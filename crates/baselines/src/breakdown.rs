@@ -1,0 +1,138 @@
+//! Workload breakdown of a bootstrapped gate — the Fig. 1 experiment.
+//!
+//! Runs instrumented NAND gates on the host CPU and aggregates the
+//! per-stage timings into the three panels of the paper's figure:
+//! gate-level proportions (PBS / KS / other), PBS-level proportions
+//! (blind rotation vs the rest), and blind-rotation-iteration
+//! proportions (rotate / decompose / FFT / vector-multiply /
+//! IFFT+accumulate).
+
+use serde::{Deserialize, Serialize};
+
+use strix_tfhe::prelude::*;
+use strix_tfhe::profiler::{PbsStage, StageTimings};
+
+/// The three panels of Fig. 1, as fractions summing to 1 each.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GateBreakdown {
+    /// Parameter-set name.
+    pub params_name: String,
+    /// Panel 1: fraction of gate time in PBS.
+    pub pbs_fraction: f64,
+    /// Panel 1: fraction of gate time in keyswitching.
+    pub keyswitch_fraction: f64,
+    /// Panel 1: fraction of gate time in other (linear) operations.
+    pub other_fraction: f64,
+    /// Panel 2: fraction of PBS time inside blind rotation.
+    pub blind_rotation_of_pbs: f64,
+    /// Panel 3: per-stage fractions within one blind-rotation
+    /// iteration, `(label, fraction)` in pipeline order.
+    pub iteration_stages: Vec<(String, f64)>,
+    /// Raw accumulated timings for further analysis.
+    pub raw: StageTimings,
+}
+
+/// Runs `gates` instrumented NAND gates and aggregates the breakdown.
+pub fn measure(params: &TfheParameters, gates: usize, seed: u64) -> GateBreakdown {
+    let (mut client, server) = generate_keys(params, seed);
+    let a = client.encrypt_bool(true);
+    let b = client.encrypt_bool(false);
+    let mut timings = StageTimings::new();
+    for _ in 0..gates.max(1) {
+        let _ = server.nand_profiled(&a, &b, &mut timings).expect("gate runs");
+    }
+    summarize(params, timings)
+}
+
+/// Builds the three Fig. 1 panels from raw stage timings.
+pub fn summarize(params: &TfheParameters, raw: StageTimings) -> GateBreakdown {
+    let pbs_fraction = raw.pbs_fraction();
+    let keyswitch_fraction = raw.fraction(PbsStage::KeySwitch);
+    let other_fraction = raw.fraction(PbsStage::LinearOps);
+
+    let br: f64 = PbsStage::BLIND_ROTATION.iter().map(|&s| raw.fraction(s)).sum();
+    let blind_rotation_of_pbs = if pbs_fraction > 0.0 { br / pbs_fraction } else { 0.0 };
+
+    let iteration_stages = PbsStage::BLIND_ROTATION
+        .iter()
+        .map(|&s| {
+            let f = if br > 0.0 { raw.fraction(s) / br } else { 0.0 };
+            (s.label().to_string(), f)
+        })
+        .collect();
+
+    GateBreakdown {
+        params_name: params.name.clone(),
+        pbs_fraction,
+        keyswitch_fraction,
+        other_fraction,
+        blind_rotation_of_pbs,
+        iteration_stages,
+        raw,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breakdown() -> GateBreakdown {
+        measure(&TfheParameters::testing_fast(), 2, 99)
+    }
+
+    #[test]
+    fn panel_one_sums_to_one() {
+        let b = breakdown();
+        let sum = b.pbs_fraction + b.keyswitch_fraction + b.other_fraction;
+        assert!((sum - 1.0).abs() < 1e-9, "{sum}");
+    }
+
+    #[test]
+    fn pbs_dominates_like_fig1() {
+        // Paper: ~65% PBS, ~30% KS, ~5% other on set I. Exact splits
+        // shift with parameters/host, but PBS must dominate and linear
+        // ops must be marginal.
+        let b = breakdown();
+        assert!(b.pbs_fraction > 0.5, "pbs {}", b.pbs_fraction);
+        assert!(b.other_fraction < 0.1, "other {}", b.other_fraction);
+    }
+
+    #[test]
+    fn blind_rotation_dominates_pbs() {
+        // Paper: ~98% of PBS is blind rotation.
+        let b = breakdown();
+        assert!(b.blind_rotation_of_pbs > 0.9, "{}", b.blind_rotation_of_pbs);
+    }
+
+    #[test]
+    fn iteration_stages_sum_to_one_and_fft_heavy() {
+        let b = breakdown();
+        let sum: f64 = b.iteration_stages.iter().map(|(_, f)| f).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        // The external product (FFT + vec-mult + IFFT) dominates one
+        // iteration; rotation is cheap. Threshold leaves headroom for
+        // scheduler jitter when the test runner saturates all cores.
+        let fft_like: f64 = b
+            .iteration_stages
+            .iter()
+            .filter(|(l, _)| l != "Rotate" && l != "Decomp.")
+            .map(|(_, f)| f)
+            .sum();
+        assert!(fft_like > 0.35, "{fft_like}");
+        let rotate = b
+            .iteration_stages
+            .iter()
+            .find(|(l, _)| l == "Rotate")
+            .map(|(_, f)| *f)
+            .unwrap();
+        assert!(rotate < fft_like, "rotation must be cheap: {rotate} vs {fft_like}");
+    }
+
+    #[test]
+    fn stage_labels_are_the_paper_annotations() {
+        let b = breakdown();
+        let labels: Vec<&str> =
+            b.iteration_stages.iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(labels, ["Rotate", "Decomp.", "FFT", "Vec. mult", "Accum.+IFFT"]);
+    }
+}

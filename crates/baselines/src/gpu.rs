@@ -1,0 +1,182 @@
+//! The GPU baseline: NuFHE-style device-level batching with
+//! blind-rotation fragmentation (§III, Fig. 2).
+//!
+//! NuFHE batches one ciphertext per streaming multiprocessor, all SMs
+//! sharing the bootstrapping key within an iteration. Execution time is
+//! therefore a staircase in the number of ciphertexts — Eq. (1)/(2):
+//!
+//! ```text
+//! total = (#fragments + 1) × BR-time-per-core,
+//! #fragments = ⌈#ciphertexts / batch⌉ − 1
+//! ```
+//!
+//! and attempting *core-level* batching on the GPU scales time linearly
+//! with LWEs per core (Fig. 2, right panel) because the SM executes the
+//! extra ciphertexts serially with no pipelining to amortise them —
+//! the observation that motivates Strix's specialised streaming cores.
+
+use serde::{Deserialize, Serialize};
+
+use strix_tfhe::{ParameterSet, TfheParameters};
+
+/// Analytical model of a NuFHE-class GPU.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GpuModel {
+    /// Number of streaming multiprocessors (the device-level batch).
+    pub sms: usize,
+    /// Blind-rotation time for one full device batch, in seconds.
+    pub batch_time_s: f64,
+}
+
+impl GpuModel {
+    /// The Titan RTX running NuFHE at parameter set I: 72 SMs, 2,000
+    /// PBS/s at full batch (Table V) → 36 ms per 72-ciphertext batch.
+    pub fn titan_rtx_set_i() -> Self {
+        Self { sms: 72, batch_time_s: 36.0e-3 }
+    }
+
+    /// Scales the set-I calibration to another parameter set by the
+    /// blind-rotation FLOP ratio (`n · (k+1)(l_b+1) · N log N` for the
+    /// transforms plus pointwise work). NuFHE itself only supports
+    /// `N = 1024`; this extrapolation stands in for "a NuFHE-class GPU
+    /// implementation" on the Deep-NN parameter families of Fig. 7.
+    pub fn titan_rtx_for(params: &TfheParameters) -> Self {
+        let base = Self::titan_rtx_set_i();
+        let ratio = br_flops(params) / br_flops(&TfheParameters::set_i());
+        Self { sms: base.sms, batch_time_s: base.batch_time_s * ratio }
+    }
+
+    /// Number of blind-rotation fragments for a ciphertext count —
+    /// Eq. (2).
+    pub fn fragments(&self, ciphertexts: usize) -> usize {
+        if ciphertexts == 0 {
+            return 0;
+        }
+        ciphertexts.div_ceil(self.sms) - 1
+    }
+
+    /// Device-level-batched execution time — Eq. (1).
+    pub fn device_batched_time_s(&self, ciphertexts: usize) -> f64 {
+        if ciphertexts == 0 {
+            return 0.0;
+        }
+        (self.fragments(ciphertexts) + 1) as f64 * self.batch_time_s
+    }
+
+    /// Execution time when forcing `lwes_per_core` ciphertexts onto
+    /// each SM (GPU core-level batching): linear scaling, no benefit
+    /// (Fig. 2 right panel).
+    pub fn core_batched_time_s(&self, lwes_per_core: usize) -> f64 {
+        self.batch_time_s * lwes_per_core as f64
+    }
+
+    /// Steady-state throughput at full batches, PBS/s.
+    pub fn throughput_pbs_s(&self) -> f64 {
+        self.sms as f64 / self.batch_time_s
+    }
+
+    /// Latency of a single PBS (one underfilled batch).
+    pub fn latency_s(&self) -> f64 {
+        self.batch_time_s
+    }
+
+    /// The Fig. 2 left panel: normalised execution time versus number
+    /// of LWEs, as `(lwes, time / batch_time)` pairs.
+    pub fn fragmentation_profile(&self, max_lwes: usize, step: usize) -> Vec<(usize, f64)> {
+        let step = step.max(1);
+        (1..=max_lwes)
+            .step_by(step)
+            .map(|l| (l, self.device_batched_time_s(l) / self.batch_time_s))
+            .collect()
+    }
+}
+
+/// Blind-rotation FLOP estimate used for cross-parameter scaling.
+fn br_flops(params: &TfheParameters) -> f64 {
+    let n = params.lwe_dimension as f64;
+    let nn = params.polynomial_size as f64;
+    let k1 = (params.glwe_dimension + 1) as f64;
+    let l = params.pbs_level as f64;
+    let fft = nn * nn.log2();
+    n * (k1 * (l + 1.0) * fft + k1 * k1 * l * nn)
+}
+
+/// Convenience: the published NuFHE point for a parameter set, when
+/// NuFHE supports it (sets I and II only).
+pub fn published_point(set: ParameterSet) -> Option<(f64, f64)> {
+    crate::published::lookup("NuFHE", set)
+        .and_then(|p| Some((p.latency_ms?, p.throughput_pbs_s?)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_matches_table_v() {
+        let g = GpuModel::titan_rtx_set_i();
+        assert!((g.throughput_pbs_s() - 2000.0).abs() < 1.0);
+        assert_eq!(g.sms, 72);
+    }
+
+    #[test]
+    fn fragmentation_staircase_matches_fig2() {
+        // Constant for 1–72 LWEs, 2× at 73–144, 3× at 145–216, 4× after.
+        let g = GpuModel::titan_rtx_set_i();
+        assert_eq!(g.fragments(1), 0);
+        assert_eq!(g.fragments(72), 0);
+        assert_eq!(g.fragments(73), 1);
+        assert_eq!(g.fragments(144), 1);
+        assert_eq!(g.fragments(145), 2);
+        assert_eq!(g.fragments(288), 3);
+        let t1 = g.device_batched_time_s(72);
+        let t2 = g.device_batched_time_s(73);
+        assert!((t2 / t1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn core_level_batching_on_gpu_gains_nothing() {
+        // Fig. 2 right panel: time grows linearly with LWEs per core,
+        // so fragments avoided are exactly paid back.
+        let g = GpuModel::titan_rtx_set_i();
+        for per_core in 1..=4 {
+            let t = g.core_batched_time_s(per_core);
+            assert!((t / g.batch_time_s - per_core as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn profile_is_monotone_staircase() {
+        let g = GpuModel::titan_rtx_set_i();
+        let profile = g.fragmentation_profile(288, 1);
+        assert_eq!(profile.len(), 288);
+        let mut prev = 0.0;
+        for &(_, t) in &profile {
+            assert!(t >= prev);
+            prev = t;
+        }
+        assert_eq!(profile.last().unwrap().1, 4.0);
+    }
+
+    #[test]
+    fn scaling_to_bigger_parameters_slows_down() {
+        let base = GpuModel::titan_rtx_set_i();
+        let big = GpuModel::titan_rtx_for(&TfheParameters::deep_nn(4096));
+        assert!(big.batch_time_s > base.batch_time_s * 3.0);
+    }
+
+    #[test]
+    fn zero_ciphertexts_cost_nothing() {
+        let g = GpuModel::titan_rtx_set_i();
+        assert_eq!(g.device_batched_time_s(0), 0.0);
+        assert_eq!(g.fragments(0), 0);
+    }
+
+    #[test]
+    fn published_points_only_for_supported_sets() {
+        assert!(published_point(ParameterSet::SetI).is_some());
+        assert!(published_point(ParameterSet::SetII).is_some());
+        assert!(published_point(ParameterSet::SetIII).is_none());
+        assert!(published_point(ParameterSet::SetIV).is_none());
+    }
+}

@@ -1,0 +1,30 @@
+//! Baseline performance models for the Strix evaluation.
+//!
+//! Three kinds of comparison points back the paper's Table V and
+//! Figures 1, 2 and 7:
+//!
+//! * [`cpu`] — the Concrete-on-CPU baseline, *measured* by running this
+//!   repository's own `strix-tfhe` implementation on the host machine
+//!   (with the paper-reported Xeon numbers carried alongside),
+//! * [`gpu`] — an analytical model of NuFHE on a 72-SM GPU: device-
+//!   level batching with the blind-rotation fragmentation behaviour of
+//!   Eqs. (1)–(2), and the linear core-level-batching slowdown of
+//!   Fig. 2,
+//! * [`published`] — the published latency/throughput points of every
+//!   accelerator in Table V (Concrete, NuFHE, YKP, XHEC, Matcha, and
+//!   Strix itself) used verbatim as comparison constants.
+//!
+//! [`breakdown`] reproduces the Fig. 1 workload decomposition by
+//! running an instrumented bootstrapped gate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod breakdown;
+pub mod cpu;
+pub mod gpu;
+pub mod published;
+
+pub use cpu::CpuMeasurement;
+pub use gpu::GpuModel;
+pub use published::{PlatformPoint, PUBLISHED_TABLE_V};

@@ -1,0 +1,127 @@
+//! Published comparison points (Table V of the paper).
+//!
+//! These constants are carried verbatim from the paper so the benchmark
+//! harness can print the full table next to our measured/simulated
+//! columns. Latencies are in milliseconds, throughput in PBS/s; `None`
+//! marks entries the paper leaves blank ("–").
+
+use serde::{Deserialize, Serialize};
+
+use strix_tfhe::ParameterSet;
+
+/// One platform's published result for one parameter set.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PlatformPoint {
+    /// Platform name as printed in Table V.
+    pub platform: &'static str,
+    /// Hardware class (CPU/GPU/FPGA/ASIC).
+    pub hardware: &'static str,
+    /// Parameter set.
+    pub set: ParameterSet,
+    /// Latency in milliseconds (`None` = not reported).
+    pub latency_ms: Option<f64>,
+    /// Throughput in PBS per second (`None` = not reported).
+    pub throughput_pbs_s: Option<f64>,
+}
+
+const fn point(
+    platform: &'static str,
+    hardware: &'static str,
+    set: ParameterSet,
+    latency_ms: Option<f64>,
+    throughput_pbs_s: Option<f64>,
+) -> PlatformPoint {
+    PlatformPoint { platform, hardware, set, latency_ms, throughput_pbs_s }
+}
+
+/// Every row of Table V.
+pub const PUBLISHED_TABLE_V: &[PlatformPoint] = &[
+    // Concrete on an Intel Xeon Platinum.
+    point("Concrete", "CPU", ParameterSet::SetI, Some(14.0), Some(70.0)),
+    point("Concrete", "CPU", ParameterSet::SetII, Some(19.0), Some(52.0)),
+    point("Concrete", "CPU", ParameterSet::SetIII, Some(38.0), Some(26.0)),
+    point("Concrete", "CPU", ParameterSet::SetIV, Some(969.0), Some(1.0)),
+    // NuFHE on an Nvidia Titan RTX.
+    point("NuFHE", "GPU", ParameterSet::SetI, Some(37.0), Some(2_000.0)),
+    point("NuFHE", "GPU", ParameterSet::SetII, Some(700.0), Some(500.0)),
+    // YKP (FPGA).
+    point("YKP", "FPGA", ParameterSet::SetI, Some(1.88), Some(2_657.0)),
+    point("YKP", "FPGA", ParameterSet::SetIII, Some(4.78), Some(836.0)),
+    // XHEC (CPU–FPGA).
+    point("XHEC", "FPGA", ParameterSet::SetI, None, Some(2_200.0)),
+    point("XHEC", "FPGA", ParameterSet::SetII, None, Some(1_800.0)),
+    // Matcha (ASIC).
+    point("Matcha", "ASIC", ParameterSet::SetI, Some(0.20), Some(10_000.0)),
+    // Strix (ASIC) — the paper's own reported numbers.
+    point("Strix", "ASIC", ParameterSet::SetI, Some(0.16), Some(74_696.0)),
+    point("Strix", "ASIC", ParameterSet::SetII, Some(0.23), Some(39_600.0)),
+    point("Strix", "ASIC", ParameterSet::SetIII, Some(0.44), Some(21_104.0)),
+    point("Strix", "ASIC", ParameterSet::SetIV, Some(3.31), Some(2_368.0)),
+];
+
+/// Looks up a platform's point for a parameter set.
+pub fn lookup(platform: &str, set: ParameterSet) -> Option<&'static PlatformPoint> {
+    PUBLISHED_TABLE_V
+        .iter()
+        .find(|p| p.platform == platform && p.set == set)
+}
+
+/// The paper's headline ratios, derivable from the table: Strix vs CPU
+/// and vs GPU throughput at set I, and vs Matcha.
+pub fn headline_speedups() -> (f64, f64, f64) {
+    let strix = lookup("Strix", ParameterSet::SetI).unwrap().throughput_pbs_s.unwrap();
+    let cpu = lookup("Concrete", ParameterSet::SetI).unwrap().throughput_pbs_s.unwrap();
+    let gpu = lookup("NuFHE", ParameterSet::SetI).unwrap().throughput_pbs_s.unwrap();
+    let matcha = lookup("Matcha", ParameterSet::SetI).unwrap().throughput_pbs_s.unwrap();
+    (strix / cpu, strix / gpu, strix / matcha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_numbers_match_abstract() {
+        // Abstract: "1,067× and 37× higher throughput … than CPU and
+        // GPU … outperforming the state of the art TFHE accelerator by
+        // 7.4×".
+        let (vs_cpu, vs_gpu, vs_matcha) = headline_speedups();
+        assert!((vs_cpu - 1067.0).abs() < 1.0, "{vs_cpu}");
+        assert!((vs_gpu - 37.348).abs() < 0.5, "{vs_gpu}");
+        assert!((vs_matcha - 7.4696).abs() < 0.1, "{vs_matcha}");
+    }
+
+    #[test]
+    fn strix_dominates_every_platform_row() {
+        for set in ParameterSet::ALL {
+            let strix = lookup("Strix", set).unwrap();
+            for p in PUBLISHED_TABLE_V.iter().filter(|p| p.set == set && p.platform != "Strix") {
+                if let (Some(s), Some(o)) = (strix.throughput_pbs_s, p.throughput_pbs_s) {
+                    assert!(s > o, "{} beats Strix at {set}?", p.platform);
+                }
+                if let (Some(s), Some(o)) = (strix.latency_ms, p.latency_ms) {
+                    assert!(s < o, "{} lower latency than Strix at {set}?", p.platform);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_misses_unreported_cells() {
+        assert!(lookup("NuFHE", ParameterSet::SetIII).is_none());
+        assert!(lookup("Matcha", ParameterSet::SetII).is_none());
+        assert!(lookup("YKP", ParameterSet::SetI).is_some());
+    }
+
+    #[test]
+    fn xhec_reports_throughput_only() {
+        let p = lookup("XHEC", ParameterSet::SetI).unwrap();
+        assert!(p.latency_ms.is_none());
+        assert!(p.throughput_pbs_s.is_some());
+    }
+
+    #[test]
+    fn table_has_fifteen_rows() {
+        assert_eq!(PUBLISHED_TABLE_V.len(), 15);
+    }
+}

@@ -1,0 +1,158 @@
+//! Ablations beyond the paper's tables, exercising the design choices
+//! §IV-A calls out: PLP/CoLP replication, core-level batch size,
+//! HBM channel allocation, and local-scratchpad capacity.
+
+use strix_bench::{banner, markdown_table};
+use strix_core::{StrixConfig, StrixSimulator};
+use strix_tfhe::TfheParameters;
+
+fn report(cfg: StrixConfig, params: TfheParameters) -> (f64, f64) {
+    let sim = StrixSimulator::new(cfg, params).unwrap();
+    let r = sim.pbs_report(1 << 13);
+    (r.throughput_pbs_per_s, r.latency_s * 1e3)
+}
+
+fn main() {
+    println!("{}", banner("Ablation A: PLP / CoLP replication (set I)"));
+    let mut rows = Vec::new();
+    for (plp, colp) in [(1, 1), (2, 1), (1, 2), (2, 2), (4, 4)] {
+        let cfg = StrixConfig { plp, colp, ..StrixConfig::paper_default() };
+        let (thr, lat) = report(cfg, TfheParameters::set_i());
+        rows.push(vec![
+            plp.to_string(),
+            colp.to_string(),
+            format!("{thr:.0}"),
+            format!("{lat:.2}"),
+        ]);
+    }
+    println!("{}", markdown_table(&["PLP", "CoLP", "thr (PBS/s)", "lat (ms)"], &rows));
+
+    println!(
+        "{}",
+        banner("Ablation B: core-level batch size (set IV, 150 GB/s HBM)")
+    );
+    // At set IV with a half-bandwidth stack the per-iteration key fetch
+    // outweighs one LWE's compute: without core-level batching the
+    // machine is memory-bound, and each extra LWE per core reuses the
+    // same fetched GGSW — the §III motivation made quantitative.
+    let mut rows = Vec::new();
+    let mut last_thr = 0.0;
+    for batch in [1usize, 2, 3, 4] {
+        let mut cfg = StrixConfig::paper_default().with_core_batch(batch);
+        cfg.hbm.total_bandwidth_gbps = 150.0;
+        let sim = StrixSimulator::new(cfg, TfheParameters::set_iv()).unwrap();
+        let r = sim.pbs_report(1 << 12);
+        rows.push(vec![
+            batch.to_string(),
+            format!("{:.0}", r.throughput_pbs_per_s),
+            format!("{}", r.iteration_cycles),
+            if r.memory_bound { "memory" } else { "compute" }.into(),
+        ]);
+        assert!(
+            r.throughput_pbs_per_s >= last_thr * 0.999,
+            "throughput must not drop with batch"
+        );
+        last_thr = r.throughput_pbs_per_s;
+    }
+    println!(
+        "{}",
+        markdown_table(&["LWEs/core", "thr (PBS/s)", "iter cycles", "bound"], &rows)
+    );
+    println!("core-level batching amortises the key stream: the motivation of §III\n");
+
+    println!("{}", banner("Ablation C: HBM bandwidth (set IV, design point)"));
+    let mut rows = Vec::new();
+    for bw in [75.0, 150.0, 300.0, 600.0] {
+        let mut cfg = StrixConfig::paper_default();
+        cfg.hbm.total_bandwidth_gbps = bw;
+        let (thr, lat) = report(cfg, TfheParameters::set_iv());
+        rows.push(vec![format!("{bw:.0}"), format!("{thr:.0}"), format!("{lat:.2}")]);
+    }
+    println!("{}", markdown_table(&["HBM GB/s", "thr (PBS/s)", "lat (ms)"], &rows));
+
+    println!("{}", banner("Ablation D: local scratchpad capacity (set IV)"));
+    let mut rows = Vec::new();
+    for kib in [256usize, 512, 640, 1280, 2560] {
+        let mut cfg = StrixConfig::paper_default();
+        cfg.local_scratchpad_bytes = kib * 1024;
+        let sim = StrixSimulator::new(cfg, TfheParameters::set_iv()).unwrap();
+        let r = sim.pbs_report(1 << 12);
+        rows.push(vec![
+            format!("{kib} KiB"),
+            r.core_batch.to_string(),
+            format!("{:.0}", r.throughput_pbs_per_s),
+            if r.memory_bound { "memory" } else { "compute" }.into(),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(&["local SP", "LWEs/core", "thr (PBS/s)", "bound"], &rows)
+    );
+    println!("bigger local scratchpads buy key reuse exactly as §IV-C describes\n");
+
+    println!("{}", banner("Ablation E: bootstrapping-key unrolling vs streaming batching"));
+    // Matcha's trick (paper §VII, ref [51]): handle two secret bits per
+    // blind-rotation iteration with three GGSWs — ⌈n/2⌉ iterations,
+    // 1.5× key bytes, 3 external products per iteration. On the Strix
+    // streaming pipeline each iteration then occupies 3×II, so:
+    let mut rows = Vec::new();
+    for params in [TfheParameters::set_i(), TfheParameters::set_iv()] {
+        let sim = StrixSimulator::new(StrixConfig::paper_default(), params.clone()).unwrap();
+        let ii = sim.pbs_cluster().initiation_interval_cycles();
+        let n = params.lwe_dimension as u64;
+        let standard_lat = n * ii;
+        let unrolled_lat = n.div_ceil(2) * 3 * ii;
+        let standard_key = params.bootstrap_key_bytes();
+        let unrolled_key = standard_key * 3 / 2;
+        rows.push(vec![
+            params.name.clone(),
+            format!("{standard_lat} cyc / {unrolled_lat} cyc"),
+            format!("{:.2}x", unrolled_lat as f64 / standard_lat as f64),
+            format!(
+                "{:.0} MiB / {:.0} MiB",
+                standard_key as f64 / (1 << 20) as f64,
+                unrolled_key as f64 / (1 << 20) as f64
+            ),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &["set", "BR latency std/unrolled", "latency ratio", "key bytes std/unrolled"],
+            &rows
+        )
+    );
+    println!(
+        "unrolling *hurts* a fully-streamed pipeline (1.5x latency, 1.5x key \
+         traffic): quantitative support for the paper's §VII position that \
+         two-level batching, not unrolling, is the right lever for Strix. \
+         The real cryptographic implementation is strix_tfhe::unrolled.\n"
+    );
+
+    println!("{}", banner("Ablation F: bsk multicast bus width (set I)"));
+    // One GGSW per initiation interval needs (k+1)·16·CLP·PLP = 256 B
+    // per cycle. A narrower bus stretches the single-LWE iteration (it
+    // cannot be amortised) but leaves batched throughput intact — the
+    // §IV-C amortisation applies to the NoC exactly as to HBM.
+    let mut rows = Vec::new();
+    for bits in [512usize, 1024, 2048, 4096] {
+        let mut cfg = StrixConfig::paper_default();
+        cfg.noc.bsk_bus_bits = bits;
+        let sim = StrixSimulator::new(cfg, TfheParameters::set_i()).unwrap();
+        let r = sim.pbs_report(1 << 13);
+        rows.push(vec![
+            bits.to_string(),
+            format!("{:.2}", r.latency_s * 1e3),
+            format!("{:.0}", r.throughput_pbs_per_s),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(&["bus bits", "latency (ms)", "thr (PBS/s)"], &rows)
+    );
+    println!(
+        "the 512-bit width stated in §VI-A cannot sustain the paper's 0.16 ms \
+         single-PBS latency; 2048 bits (matching the HBM burst rate) is the \
+         break-even width our model defaults to"
+    );
+}

@@ -1,0 +1,58 @@
+//! Figure 2 — blind-rotation fragmentation of the GPU baseline.
+//!
+//! Left panel: device-level batching staircase (normalised execution
+//! time vs number of LWEs, plateau width = 72 SMs). Right panel: GPU
+//! core-level batching (linear in LWEs per core — no amortisation).
+
+use strix_baselines::GpuModel;
+use strix_bench::{banner, markdown_table};
+
+fn main() {
+    let gpu = GpuModel::titan_rtx_set_i();
+
+    println!("{}", banner("Figure 2 (left): GPU device-level batching"));
+    let mut rows = Vec::new();
+    for lwes in [1usize, 36, 72, 73, 108, 144, 145, 180, 216, 217, 252, 288] {
+        let norm = gpu.device_batched_time_s(lwes) / gpu.batch_time_s;
+        rows.push(vec![
+            lwes.to_string(),
+            gpu.fragments(lwes).to_string(),
+            format!("{norm:.0}"),
+            "#".repeat((norm * 8.0) as usize),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(&["LWEs", "BR fragments", "norm. time", ""], &rows)
+    );
+
+    println!("{}", banner("Figure 2 (right): GPU core-level batching"));
+    let mut rows = Vec::new();
+    for per_core in 1..=4usize {
+        let norm = gpu.core_batched_time_s(per_core) / gpu.batch_time_s;
+        rows.push(vec![
+            per_core.to_string(),
+            format!("{norm:.0}"),
+            "#".repeat((norm * 8.0) as usize),
+        ]);
+    }
+    println!("{}", markdown_table(&["LWEs per core", "norm. time", ""], &rows));
+
+    // The two structural facts of §III.
+    assert_eq!(
+        gpu.device_batched_time_s(72),
+        gpu.device_batched_time_s(1),
+        "time must be flat within one device batch"
+    );
+    assert_eq!(
+        gpu.device_batched_time_s(73),
+        2.0 * gpu.device_batched_time_s(72),
+        "crossing the SM count must double execution time"
+    );
+    assert_eq!(
+        gpu.core_batched_time_s(3),
+        3.0 * gpu.core_batched_time_s(1),
+        "GPU core-level batching must scale linearly (no benefit)"
+    );
+    println!("shape checks passed: staircase plateaus at 72, core-level batching linear");
+}

@@ -1,0 +1,92 @@
+//! Figure 7 — Zama Deep-NN (NN-20/50/100) execution time: CPU vs GPU
+//! vs Strix across polynomial sizes 1024/2048/4096.
+//!
+//! CPU: one PBS+KS measured on this host with `strix-tfhe`, multiplied
+//! by the model's PBS count (the paper's CPU, a Xeon running Concrete,
+//! is sequential in exactly the same way). GPU: the NuFHE fragmentation
+//! model scaled to each parameter set. Strix: the cycle-level model
+//! executing the layer-by-layer workload graph.
+
+use strix_baselines::{cpu, GpuModel};
+use strix_bench::{banner, markdown_table};
+use strix_core::{StrixConfig, StrixSimulator, WorkloadNode};
+use strix_workloads::DeepNn;
+
+/// The paper's Fig. 7 CPU numbers imply ~0.5 ms/PBS against Table V's
+/// 14 ms single-thread latency — consistent with PBS-parallel execution
+/// across a 28-core Xeon Platinum. We report both single-thread and a
+/// 28-way ideally-parallel column.
+const XEON_CORES: f64 = 28.0;
+
+fn main() {
+    println!("{}", banner("Figure 7: Zama Deep-NN execution time (ms)"));
+
+    let mut rows = Vec::new();
+    let mut strix_vs_cpu = Vec::new();
+    let mut strix_vs_gpu = Vec::new();
+    for depth in [20usize, 50, 100] {
+        for poly in [1024usize, 2048, 4096] {
+            let nn = DeepNn::new(depth, poly);
+            let params = nn.params();
+
+            // CPU: measured per-PBS cost × PBS count.
+            let m = cpu::measure_pbs_benchmark_key(&params, 1);
+            let cpu_s = (m.pbs_s + m.keyswitch_s) * nn.total_pbs() as f64;
+
+            // GPU: per-layer device batches through the NuFHE model.
+            let gpu = GpuModel::titan_rtx_for(&params);
+            let gpu_s: f64 = nn
+                .workload()
+                .nodes()
+                .iter()
+                .map(|n| match n {
+                    WorkloadNode::Pbs { lwes, .. } => gpu.device_batched_time_s(*lwes),
+                    WorkloadNode::Linear { .. } => 0.0,
+                })
+                .sum();
+
+            // Strix: the simulator over the same graph.
+            let sim = StrixSimulator::new(StrixConfig::paper_default(), params).unwrap();
+            let strix_s = sim.run_graph(&nn.workload()).total_time_s;
+
+            let cpu_mt_s = cpu_s / XEON_CORES;
+            strix_vs_cpu.push(cpu_mt_s / strix_s);
+            strix_vs_gpu.push(gpu_s / strix_s);
+            rows.push(vec![
+                format!("NN-{depth}"),
+                poly.to_string(),
+                nn.total_pbs().to_string(),
+                format!("{:.0}", cpu_s * 1e3),
+                format!("{:.0}", cpu_mt_s * 1e3),
+                format!("{:.0}", gpu_s * 1e3),
+                format!("{:.1}", strix_s * 1e3),
+                format!("{:.0}x", cpu_mt_s / strix_s),
+                format!("{:.0}x", gpu_s / strix_s),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "model", "N", "PBS", "CPU-1t ms", "CPU-28t ms", "GPU ms", "Strix ms",
+                "vs CPU-28t", "vs GPU"
+            ],
+            &rows
+        )
+    );
+
+    // Paper: 33–38× vs CPU and 8–17× vs GPU (their hardware); on this
+    // host the CPU ratio shifts with machine speed, so assert ordering
+    // and order-of-magnitude only.
+    assert!(strix_vs_cpu.iter().all(|&s| s > 5.0), "Strix must clearly beat the CPU");
+    assert!(strix_vs_gpu.iter().all(|&s| s > 3.0), "Strix must beat the GPU");
+    println!(
+        "speedups: vs 28-thread CPU {:.0}x..{:.0}x, vs GPU {:.1}x..{:.1}x \
+         (paper: 33-38x CPU, 8-17x GPU)",
+        strix_vs_cpu.iter().cloned().fold(f64::INFINITY, f64::min),
+        strix_vs_cpu.iter().cloned().fold(0.0, f64::max),
+        strix_vs_gpu.iter().cloned().fold(f64::INFINITY, f64::min),
+        strix_vs_gpu.iter().cloned().fold(0.0, f64::max),
+    );
+}

@@ -1,0 +1,41 @@
+//! Criterion micro-benchmarks of the accelerator model itself: report
+//! generation, workload-graph execution and trace synthesis are all
+//! analytic and must stay effectively free, so design-space sweeps can
+//! evaluate thousands of configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use strix_core::{StrixConfig, StrixSimulator};
+use strix_tfhe::TfheParameters;
+use strix_workloads::DeepNn;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+
+    group.bench_function("construct_set_i", |b| {
+        b.iter(|| {
+            StrixSimulator::new(StrixConfig::paper_default(), TfheParameters::set_i())
+                .unwrap()
+        })
+    });
+
+    let sim =
+        StrixSimulator::new(StrixConfig::paper_default(), TfheParameters::set_i()).unwrap();
+    group.bench_function("pbs_report_16k", |b| b.iter(|| sim.pbs_report(1 << 14)));
+
+    let nn = DeepNn::new(100, 1024);
+    let nn_sim = StrixSimulator::new(StrixConfig::paper_default(), nn.params()).unwrap();
+    let workload = nn.workload();
+    group.bench_function("run_graph_nn100", |b| b.iter(|| nn_sim.run_graph(&workload)));
+
+    let trace_sim = StrixSimulator::new(
+        StrixConfig::paper_default().with_core_batch(3),
+        TfheParameters::set_i(),
+    )
+    .unwrap();
+    group.bench_function("trace_two_iterations", |b| b.iter(|| trace_sim.trace(2)));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Table III — area and power breakdown of Strix (8 HSCs, 28 nm).
+//!
+//! Our model anchors each component to the paper's synthesis result and
+//! scales with the configuration; at the default design point it must
+//! reproduce the published numbers within ~2%.
+
+use strix_bench::{banner, markdown_table};
+use strix_core::area::AreaModel;
+use strix_core::StrixConfig;
+
+/// Paper Table III rows: (component prefix, area mm², power W).
+const PAPER: &[(&str, f64, f64)] = &[
+    ("Local scratchpad", 0.92, 0.47),
+    ("Rotator", 0.02, 0.01),
+    ("Decomposer", 0.28, 0.02),
+    ("I/FFTU", 7.23, 5.49),
+    ("VMA", 0.63, 0.10),
+    ("Accumulator", 0.32, 0.13),
+];
+
+fn main() {
+    println!("{}", banner("Table III: Strix area and power breakdown"));
+    let model = AreaModel::new(&StrixConfig::paper_default());
+
+    let mut rows = Vec::new();
+    for c in model.per_core_components() {
+        let paper = PAPER.iter().find(|(name, _, _)| c.name.starts_with(name));
+        rows.push(vec![
+            c.name.clone(),
+            format!("{:.2}", c.area_mm2),
+            format!("{:.2}", c.power_w),
+            paper.map_or("–".into(), |(_, a, _)| format!("{a:.2}")),
+            paper.map_or("–".into(), |(_, _, p)| format!("{p:.2}")),
+        ]);
+    }
+    rows.push(vec![
+        "1 core".into(),
+        format!("{:.2}", model.core_area_mm2()),
+        format!("{:.2}", model.core_power_w()),
+        "9.38".into(),
+        "6.21".into(),
+    ]);
+    rows.push(vec![
+        "8 cores".into(),
+        format!("{:.2}", model.core_area_mm2() * 8.0),
+        format!("{:.2}", model.core_power_w() * 8.0),
+        "75.03".into(),
+        "49.67".into(),
+    ]);
+    for c in model.uncore_components() {
+        rows.push(vec![
+            c.name.clone(),
+            format!("{:.2}", c.area_mm2),
+            format!("{:.2}", c.power_w),
+            "–".into(),
+            "–".into(),
+        ]);
+    }
+    rows.push(vec![
+        "Total".into(),
+        format!("{:.2}", model.total_area_mm2()),
+        format!("{:.2}", model.total_power_w()),
+        "141.37".into(),
+        "77.14".into(),
+    ]);
+    println!(
+        "{}",
+        markdown_table(
+            &["component", "area mm² (model)", "power W (model)", "area (paper)", "power (paper)"],
+            &rows
+        )
+    );
+
+    let area_err = (model.total_area_mm2() - 141.37).abs() / 141.37;
+    let power_err = (model.total_power_w() - 77.14).abs() / 77.14;
+    assert!(area_err < 0.02, "total area off by {:.1}%", area_err * 100.0);
+    assert!(power_err < 0.02, "total power off by {:.1}%", power_err * 100.0);
+    println!(
+        "totals within 2% of paper (area err {:.2}%, power err {:.2}%)",
+        area_err * 100.0,
+        power_err * 100.0
+    );
+}

@@ -1,0 +1,74 @@
+//! Table V — PBS latency and throughput across platforms and parameter
+//! sets.
+//!
+//! Three kinds of rows: (a) published points carried from the paper
+//! (Concrete/Xeon, NuFHE, YKP, XHEC, Matcha, Strix-as-published),
+//! (b) our CPU baseline *measured on this host* with `strix-tfhe`, and
+//! (c) our Strix *simulated* with `strix-core`. The simulated Strix
+//! must land within 10% of the paper's throughput on every set.
+
+use strix_baselines::cpu;
+use strix_baselines::published::{self, PUBLISHED_TABLE_V};
+use strix_bench::{banner, markdown_table, opt_cell};
+use strix_core::{StrixConfig, StrixSimulator};
+use strix_tfhe::ParameterSet;
+
+fn main() {
+    println!("{}", banner("Table V: PBS latency and throughput comparison"));
+
+    let mut rows = Vec::new();
+    for point in PUBLISHED_TABLE_V {
+        rows.push(vec![
+            format!("{} ({}) [paper]", point.platform, point.hardware),
+            point.set.label().to_string(),
+            opt_cell(point.latency_ms, 2),
+            opt_cell(point.throughput_pbs_s, 0),
+        ]);
+    }
+
+    // Our measured CPU rows (this host, single-threaded strix-tfhe).
+    for set in ParameterSet::ALL {
+        let params = set.parameters();
+        let iterations = if params.polynomial_size >= 16384 { 1 } else { 2 };
+        let m = cpu::measure_pbs_benchmark_key(&params, iterations);
+        rows.push(vec![
+            "strix-tfhe (CPU) [measured]".into(),
+            set.label().to_string(),
+            format!("{:.2}", (m.pbs_s + m.keyswitch_s) * 1e3),
+            format!("{:.0}", m.throughput_pbs_s),
+        ]);
+    }
+
+    // Our simulated Strix rows.
+    let mut max_err: f64 = 0.0;
+    for set in ParameterSet::ALL {
+        let sim = StrixSimulator::new(StrixConfig::paper_default(), set.parameters())
+            .expect("paper config is valid");
+        let r = sim.pbs_report(1 << 14);
+        rows.push(vec![
+            "Strix (ASIC) [simulated]".into(),
+            set.label().to_string(),
+            format!("{:.2}", r.latency_s * 1e3),
+            format!("{:.0}", r.throughput_pbs_per_s),
+        ]);
+        let paper = published::lookup("Strix", set).unwrap().throughput_pbs_s.unwrap();
+        max_err = max_err.max((r.throughput_pbs_per_s / paper - 1.0).abs());
+    }
+
+    println!(
+        "{}",
+        markdown_table(&["platform", "set", "latency (ms)", "throughput (PBS/s)"], &rows)
+    );
+    println!(
+        "simulated Strix throughput within {:.1}% of paper across all four sets",
+        max_err * 100.0
+    );
+    assert!(max_err < 0.10, "simulated throughput drifted from the paper");
+
+    // Headline ratios recomputed from the rows.
+    let (vs_cpu, vs_gpu, vs_matcha) = published::headline_speedups();
+    println!(
+        "headline (from published rows): {vs_cpu:.0}x vs CPU, {vs_gpu:.0}x vs GPU, \
+         {vs_matcha:.1}x vs Matcha (paper: 1,067x / 37x / 7.4x)"
+    );
+}

@@ -1,0 +1,73 @@
+//! Table VI — FFT folding-scheme ablation at parameter set I.
+//!
+//! Paper: latency 0.27 → 0.16 ms (1.68×), throughput 37,472 → 74,696
+//! PBS/s (1.99×), FFT unit area 3.13 → 1.81 mm² (1.73×), core area
+//! 13.87 → 9.38 mm² (1.48×).
+
+use strix_bench::{banner, markdown_table, ratio_cell};
+use strix_core::area::AreaModel;
+use strix_core::{StrixConfig, StrixSimulator};
+use strix_tfhe::TfheParameters;
+
+fn main() {
+    println!("{}", banner("Table VI: FFT folding optimisation effects (set I)"));
+
+    let params = TfheParameters::set_i();
+    let folded_cfg = StrixConfig::paper_default();
+    let plain_cfg = StrixConfig::paper_non_folded();
+
+    let folded = StrixSimulator::new(folded_cfg.clone(), params.clone()).unwrap();
+    let plain = StrixSimulator::new(plain_cfg.clone(), params).unwrap();
+    let folded_r = folded.pbs_report(1 << 13);
+    let plain_r = plain.pbs_report(1 << 13);
+    let folded_a = AreaModel::new(&folded_cfg);
+    let plain_a = AreaModel::new(&plain_cfg);
+
+    // One FFT unit's area (the Table VI metric is per unit).
+    let unit_folded = folded_a.fft_units_area_mm2() / 4.0;
+    let unit_plain = plain_a.fft_units_area_mm2() / 4.0;
+
+    let rows = vec![
+        vec![
+            "Latency (ms)".into(),
+            format!("{:.2}", plain_r.latency_s * 1e3),
+            format!("{:.2}", folded_r.latency_s * 1e3),
+            ratio_cell(plain_r.latency_s, folded_r.latency_s),
+            "1.68x".into(),
+        ],
+        vec![
+            "Throughput (PBS/s)".into(),
+            format!("{:.0}", plain_r.throughput_pbs_per_s),
+            format!("{:.0}", folded_r.throughput_pbs_per_s),
+            ratio_cell(folded_r.throughput_pbs_per_s, plain_r.throughput_pbs_per_s),
+            "1.99x".into(),
+        ],
+        vec![
+            "FFT unit area (mm²)".into(),
+            format!("{unit_plain:.2}"),
+            format!("{unit_folded:.2}"),
+            ratio_cell(unit_plain, unit_folded),
+            "1.73x".into(),
+        ],
+        vec![
+            "Total core area (mm²)".into(),
+            format!("{:.2}", plain_a.core_area_mm2()),
+            format!("{:.2}", folded_a.core_area_mm2()),
+            ratio_cell(plain_a.core_area_mm2(), folded_a.core_area_mm2()),
+            "1.48x".into(),
+        ],
+    ];
+    println!(
+        "{}",
+        markdown_table(
+            &["metric", "no fold", "with fold", "improvement", "paper improvement"],
+            &rows
+        )
+    );
+
+    let thr_gain = folded_r.throughput_pbs_per_s / plain_r.throughput_pbs_per_s;
+    assert!((1.9..2.1).contains(&thr_gain), "throughput gain {thr_gain}");
+    let area_gain = unit_plain / unit_folded;
+    assert!((1.6..1.9).contains(&area_gain), "area gain {area_gain}");
+    println!("shape checks passed: ~2x throughput, ~1.7x FFT-unit area from folding");
+}

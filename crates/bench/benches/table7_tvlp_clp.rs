@@ -1,0 +1,61 @@
+//! Table VII — TvLP vs CLP trade-off at constant product (set IV,
+//! one 300 GB/s HBM2e stack).
+//!
+//! Paper rows: (TvLP, CLP, throughput, latency ms, required GB/s) =
+//! (16,2,2368,7.2,200) (8,4,2368,3.8,257) (4,8,2364,3.8,371)
+//! (2,16,1240,3.6,599) (1,32,620,3.6,1053).
+
+use strix_bench::{banner, markdown_table};
+use strix_core::{StrixConfig, StrixSimulator};
+use strix_tfhe::TfheParameters;
+
+const PAPER_ROWS: [(usize, usize, f64, f64, f64); 5] = [
+    (16, 2, 2_368.0, 7.2, 200.0),
+    (8, 4, 2_368.0, 3.8, 257.0),
+    (4, 8, 2_364.0, 3.8, 371.0),
+    (2, 16, 1_240.0, 3.6, 599.0),
+    (1, 32, 620.0, 3.6, 1_053.0),
+];
+
+fn main() {
+    println!("{}", banner("Table VII: TvLP and CLP effects (set IV)"));
+
+    let mut rows = Vec::new();
+    let mut throughputs = Vec::new();
+    for (tvlp, clp, p_thr, p_lat, p_bw) in PAPER_ROWS {
+        let cfg = StrixConfig::paper_default().with_tvlp_clp(tvlp, clp);
+        let sim = StrixSimulator::new(cfg, TfheParameters::set_iv()).unwrap();
+        let r = sim.pbs_report(1 << 12);
+        throughputs.push(r.throughput_pbs_per_s);
+        rows.push(vec![
+            tvlp.to_string(),
+            clp.to_string(),
+            format!("{:.0}", r.throughput_pbs_per_s),
+            format!("{p_thr:.0}"),
+            format!("{:.1}", r.latency_s * 1e3),
+            format!("{p_lat:.1}"),
+            format!("{:.0}", r.required_bandwidth_gbps),
+            format!("{p_bw:.0}"),
+            if r.memory_bound { "memory" } else { "compute" }.into(),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "TvLP", "CLP", "thr (model)", "thr (paper)", "lat ms (model)",
+                "lat ms (paper)", "BW (model)", "BW (paper)", "bound"
+            ],
+            &rows
+        )
+    );
+
+    // Shape assertions: flat throughput for CLP ≤ 8, ~halving at 16,
+    // ~quartering at 32; required bandwidth strictly increasing.
+    assert!((throughputs[0] - throughputs[2]).abs() / throughputs[0] < 0.02);
+    let half = throughputs[3] / throughputs[1];
+    assert!((0.4..0.65).contains(&half), "CLP=16 factor {half}");
+    let quarter = throughputs[4] / throughputs[1];
+    assert!((0.2..0.35).contains(&quarter), "CLP=32 factor {quarter}");
+    println!("shape checks passed: compute-bound plateau then bandwidth-limited decay");
+}

@@ -1,0 +1,73 @@
+//! Shared helpers for the benchmark harnesses: table formatting and
+//! paper-vs-measured comparison rows.
+//!
+//! Every table and figure of the Strix paper has a matching bench
+//! target in this crate (`cargo bench -p strix-bench --bench <name>`);
+//! the helpers here keep their output format consistent so
+//! `EXPERIMENTS.md` can be assembled from the printed blocks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Formats a markdown table from a header and rows.
+pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("| {} |\n", header.join(" | ")));
+    out.push_str(&format!("|{}\n", "---|".repeat(header.len())));
+    for row in rows {
+        out.push_str(&format!("| {} |\n", row.join(" | ")));
+    }
+    out
+}
+
+/// Formats an optional value with a unit, printing `–` for `None`
+/// (the paper's blank-cell convention).
+pub fn opt_cell(v: Option<f64>, precision: usize) -> String {
+    match v {
+        Some(x) => format!("{x:.precision$}"),
+        None => "–".to_string(),
+    }
+}
+
+/// Ratio of measured to reference, rendered as `×` with one decimal.
+pub fn ratio_cell(measured: f64, reference: f64) -> String {
+    if reference == 0.0 {
+        return "–".into();
+    }
+    format!("{:.2}x", measured / reference)
+}
+
+/// A section banner for bench output.
+pub fn banner(title: &str) -> String {
+    format!("\n=== {title} ===\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_markdown() {
+        let t = markdown_table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert!(t.contains("| a | b |"));
+        assert!(t.contains("|---|---|"));
+        assert!(t.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn optional_cells() {
+        assert_eq!(opt_cell(Some(1.234), 2), "1.23");
+        assert_eq!(opt_cell(None, 2), "–");
+    }
+
+    #[test]
+    fn ratios() {
+        assert_eq!(ratio_cell(74696.0, 10000.0), "7.47x");
+        assert_eq!(ratio_cell(1.0, 0.0), "–");
+    }
+
+    #[test]
+    fn banner_contains_title() {
+        assert!(banner("Table V").contains("Table V"));
+    }
+}

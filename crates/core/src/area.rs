@@ -1,0 +1,237 @@
+//! Area and power model — the Table III / Table VI hardware-cost side.
+//!
+//! The paper synthesised Strix's SystemVerilog in TSMC 28 nm; we do not
+//! have that flow, so (per the reproduction's substitution policy) the
+//! model anchors every component to its Table III value at the paper's
+//! design point and applies first-order scaling laws:
+//!
+//! * scratchpads scale with capacity,
+//! * lane-structured units (rotator, decomposer, VMA, accumulator)
+//!   scale with their lane × instance count,
+//! * the pipelined FFT unit scales as `m·N_fft + c·CLP·log2(N_fft)` —
+//!   a delay-line (SRAM) term plus a butterfly term — with `m, c`
+//!   fitted to the paper's folded (1.81 mm², 8192-pt) and non-folded
+//!   (3.13 mm², 16384-pt) data points of Table VI,
+//! * the HBM PHY is fixed per stack.
+//!
+//! Power entries scale proportionally to their component's area.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::StrixConfig;
+
+/// Maximum polynomial size the physical FFT unit supports (the paper's
+/// unit targets `N = 16384`, §V-A).
+pub const MAX_SUPPORTED_POLY_SIZE: usize = 16384;
+
+/// Fitted delay-line area per FFT point, mm² (from Table VI).
+const FFT_MEM_MM2_PER_POINT: f64 = 1.561e-4;
+/// Fitted butterfly area per lane per stage, mm² (from Table VI).
+const FFT_BFU_MM2_PER_LANE_STAGE: f64 = 0.010_2;
+
+/// Area/power of one named component.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ComponentCost {
+    /// Component name (Table III row).
+    pub name: String,
+    /// Area in mm².
+    pub area_mm2: f64,
+    /// Power in W.
+    pub power_w: f64,
+}
+
+/// The full chip cost breakdown.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AreaModel {
+    per_core: Vec<ComponentCost>,
+    uncore: Vec<ComponentCost>,
+    cores: usize,
+}
+
+impl AreaModel {
+    /// Builds the cost model for a configuration. The FFT unit is sized
+    /// for the maximum supported polynomial degree, not the currently
+    /// running parameter set — hardware is provisioned for the worst
+    /// case, as the paper's unit is.
+    pub fn new(config: &StrixConfig) -> Self {
+        let lanes = config.stream_lanes() as f64 * config.colp as f64;
+        let lane_ratio = lanes / 16.0; // paper design point: 16 lanes
+        let n_fft = if config.folding {
+            (MAX_SUPPORTED_POLY_SIZE / 2) as f64
+        } else {
+            MAX_SUPPORTED_POLY_SIZE as f64
+        };
+        let fft_unit = Self::fft_unit_area_mm2(n_fft, config.clp as f64);
+        // FFT instances: PLP forward units; IFFT instances: CoLP.
+        let fft_count = (config.plp + config.colp) as f64;
+        let vma_ratio = (config.clp * config.plp * config.colp) as f64 / 16.0;
+        let local_ratio = config.local_scratchpad_bytes as f64 / (640.0 * 1024.0);
+
+        // Table III anchors (paper design point values).
+        let per_core = vec![
+            ComponentCost {
+                name: format!(
+                    "Local scratchpad ({:.3} MB)",
+                    config.local_scratchpad_bytes as f64 / (1024.0 * 1024.0)
+                ),
+                area_mm2: 0.92 * local_ratio,
+                power_w: 0.47 * local_ratio,
+            },
+            ComponentCost {
+                name: "Rotator".into(),
+                area_mm2: 0.02 * lane_ratio,
+                power_w: 0.01 * lane_ratio,
+            },
+            ComponentCost {
+                name: "Decomposer".into(),
+                area_mm2: 0.28 * lane_ratio,
+                power_w: 0.02 * lane_ratio,
+            },
+            ComponentCost {
+                name: "I/FFTU".into(),
+                area_mm2: fft_unit * fft_count,
+                power_w: 5.49 * (fft_unit * fft_count) / 7.23,
+            },
+            ComponentCost {
+                name: "VMA".into(),
+                area_mm2: 0.63 * vma_ratio,
+                power_w: 0.10 * vma_ratio,
+            },
+            ComponentCost {
+                name: "Accumulator".into(),
+                area_mm2: 0.32 * lane_ratio,
+                power_w: 0.13 * lane_ratio,
+            },
+        ];
+
+        let global_ratio = config.global_scratchpad_bytes as f64 / (21.0 * 1024.0 * 1024.0);
+        let noc_ratio = config.tvlp as f64 / 8.0;
+        let uncore = vec![
+            ComponentCost {
+                name: "Global NoC".into(),
+                area_mm2: 0.04 * noc_ratio,
+                power_w: 0.01 * noc_ratio,
+            },
+            ComponentCost {
+                name: format!(
+                    "Global scratchpad ({:.0} MB)",
+                    config.global_scratchpad_bytes as f64 / (1024.0 * 1024.0)
+                ),
+                area_mm2: 51.40 * global_ratio,
+                power_w: 26.24 * global_ratio,
+            },
+            ComponentCost { name: "HBM2 PHY".into(), area_mm2: 14.90, power_w: 1.23 },
+        ];
+
+        Self { per_core, uncore, cores: config.tvlp }
+    }
+
+    /// Area of a single pipelined FFT unit: delay-line memory plus
+    /// butterflies and twiddle ROMs.
+    pub fn fft_unit_area_mm2(n_fft: f64, clp: f64) -> f64 {
+        let stages = n_fft.log2();
+        FFT_MEM_MM2_PER_POINT * n_fft + FFT_BFU_MM2_PER_LANE_STAGE * clp * stages
+    }
+
+    /// Per-core component costs (Table III upper block).
+    pub fn per_core_components(&self) -> &[ComponentCost] {
+        &self.per_core
+    }
+
+    /// Chip-level component costs (NoC, global scratchpad, HBM PHY).
+    pub fn uncore_components(&self) -> &[ComponentCost] {
+        &self.uncore
+    }
+
+    /// Area of one HSC in mm².
+    pub fn core_area_mm2(&self) -> f64 {
+        self.per_core.iter().map(|c| c.area_mm2).sum()
+    }
+
+    /// Power of one HSC in W.
+    pub fn core_power_w(&self) -> f64 {
+        self.per_core.iter().map(|c| c.power_w).sum()
+    }
+
+    /// Area of the FFT/IFFT units of one core (the Table VI metric).
+    pub fn fft_units_area_mm2(&self) -> f64 {
+        self.per_core
+            .iter()
+            .find(|c| c.name == "I/FFTU")
+            .map(|c| c.area_mm2)
+            .unwrap_or(0.0)
+    }
+
+    /// Total chip area in mm².
+    pub fn total_area_mm2(&self) -> f64 {
+        self.core_area_mm2() * self.cores as f64
+            + self.uncore.iter().map(|c| c.area_mm2).sum::<f64>()
+    }
+
+    /// Total chip power in W.
+    pub fn total_power_w(&self) -> f64 {
+        self.core_power_w() * self.cores as f64
+            + self.uncore.iter().map(|c| c.power_w).sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, rel: f64) -> bool {
+        (a - b).abs() <= rel * b.abs()
+    }
+
+    #[test]
+    fn table_iii_totals_reproduce() {
+        let m = AreaModel::new(&StrixConfig::paper_default());
+        // Paper: core 9.38 mm² / 6.21 W; total 141.37 mm² / 77.14 W.
+        assert!(close(m.core_area_mm2(), 9.38, 0.02), "{}", m.core_area_mm2());
+        assert!(close(m.core_power_w(), 6.21, 0.02), "{}", m.core_power_w());
+        assert!(close(m.total_area_mm2(), 141.37, 0.02), "{}", m.total_area_mm2());
+        assert!(close(m.total_power_w(), 77.14, 0.02), "{}", m.total_power_w());
+    }
+
+    #[test]
+    fn table_iii_fft_row_reproduces() {
+        let m = AreaModel::new(&StrixConfig::paper_default());
+        // Paper: I/FFTU 7.23 mm² (four units of 1.81 mm²).
+        assert!(close(m.fft_units_area_mm2(), 7.23, 0.02), "{}", m.fft_units_area_mm2());
+    }
+
+    #[test]
+    fn table_vi_fft_unit_areas() {
+        // Folded 8192-pt: 1.81 mm²; non-folded 16384-pt: 3.13 mm².
+        assert!(close(AreaModel::fft_unit_area_mm2(8192.0, 4.0), 1.81, 0.01));
+        assert!(close(AreaModel::fft_unit_area_mm2(16384.0, 4.0), 3.13, 0.01));
+    }
+
+    #[test]
+    fn table_vi_core_area_ratio() {
+        // Paper: 13.87 vs 9.38 mm² → 1.48× core-area reduction.
+        let folded = AreaModel::new(&StrixConfig::paper_default());
+        let plain = AreaModel::new(&StrixConfig::paper_non_folded());
+        let ratio = plain.core_area_mm2() / folded.core_area_mm2();
+        assert!((1.35..1.60).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn area_scales_with_scratchpad_capacity() {
+        let mut cfg = StrixConfig::paper_default();
+        cfg.global_scratchpad_bytes *= 2;
+        let m = AreaModel::new(&cfg);
+        let base = AreaModel::new(&StrixConfig::paper_default());
+        assert!(m.total_area_mm2() > base.total_area_mm2() + 50.0);
+    }
+
+    #[test]
+    fn component_lists_are_complete() {
+        let m = AreaModel::new(&StrixConfig::paper_default());
+        assert_eq!(m.per_core_components().len(), 6);
+        assert_eq!(m.uncore_components().len(), 3);
+        for c in m.per_core_components().iter().chain(m.uncore_components()) {
+            assert!(c.area_mm2 > 0.0 && c.power_w > 0.0, "{}", c.name);
+        }
+    }
+}

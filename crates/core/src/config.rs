@@ -1,0 +1,325 @@
+//! Accelerator configuration: parallelism levels, clock, memory system.
+//!
+//! The four parallelism knobs are the paper's §IV-A taxonomy:
+//!
+//! * `TvLP` — test-vector level parallelism = number of HSCs,
+//! * `CLP` — coefficient level parallelism = datapath lanes,
+//! * `PLP` — polynomial level parallelism = FFT/VMA replication,
+//! * `CoLP` — column level parallelism = output-column replication.
+//!
+//! The paper's design point is `TvLP = 8, CLP = 4, PLP = 2, CoLP = 2`
+//! at 1.2 GHz with a folded FFT unit, one HBM2e stack (300 GB/s,
+//! 16 channels: 8 for bsk, 4 for ksk, 4 for ciphertext I/O), a 21 MB
+//! global scratchpad and 0.625 MB local scratchpads.
+
+use serde::{Deserialize, Serialize};
+
+use crate::SimError;
+
+/// Bytes per "GB" of bandwidth. Binary giga (2^30) reproduces the
+/// paper's Table VII memory-bound capping factors exactly (e.g. the
+/// 1240/2368 throughput ratio at `TvLP=2, CLP=16`), so the model adopts
+/// it for all bandwidth figures.
+pub const BANDWIDTH_GB: f64 = (1u64 << 30) as f64;
+
+/// HBM external-memory configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HbmConfig {
+    /// Total bandwidth of the stack in GB/s (binary giga, see
+    /// [`BANDWIDTH_GB`]).
+    pub total_bandwidth_gbps: f64,
+    /// Number of channels in the stack.
+    pub channels: usize,
+    /// Channels allotted to bootstrapping-key streaming.
+    pub bsk_channels: usize,
+    /// Channels allotted to keyswitching-key streaming.
+    pub ksk_channels: usize,
+    /// Channels allotted to ciphertext input/output.
+    pub io_channels: usize,
+}
+
+impl HbmConfig {
+    /// One HBM2e stack as modelled in the paper (§VI-A): 300 GB/s over
+    /// 16 channels, split 8/4/4 between bsk, ksk and ciphertext I/O.
+    pub fn hbm2e_single_stack() -> Self {
+        Self {
+            total_bandwidth_gbps: 300.0,
+            channels: 16,
+            bsk_channels: 8,
+            ksk_channels: 4,
+            io_channels: 4,
+        }
+    }
+
+    /// Bandwidth of a single channel in GB/s.
+    #[inline]
+    pub fn channel_bandwidth_gbps(&self) -> f64 {
+        self.total_bandwidth_gbps / self.channels as f64
+    }
+
+    /// Bandwidth of the keyswitching-key channel group in GB/s.
+    #[inline]
+    pub fn ksk_bandwidth_gbps(&self) -> f64 {
+        self.channel_bandwidth_gbps() * self.ksk_channels as f64
+    }
+
+    /// Bandwidth of the ciphertext-I/O channel group in GB/s.
+    #[inline]
+    pub fn io_bandwidth_gbps(&self) -> f64 {
+        self.channel_bandwidth_gbps() * self.io_channels as f64
+    }
+
+    /// Total bandwidth in bytes per second.
+    #[inline]
+    pub fn total_bytes_per_s(&self) -> f64 {
+        self.total_bandwidth_gbps * BANDWIDTH_GB
+    }
+
+    /// Bootstrapping-key channel-group bandwidth in bytes per second.
+    #[inline]
+    pub fn bsk_bytes_per_s(&self) -> f64 {
+        self.channel_bandwidth_gbps() * self.bsk_channels as f64 * BANDWIDTH_GB
+    }
+
+    /// Ciphertext-I/O channel-group bandwidth in bytes per second.
+    #[inline]
+    pub fn io_bytes_per_s(&self) -> f64 {
+        self.io_bandwidth_gbps() * BANDWIDTH_GB
+    }
+
+    fn validate(&self) -> Result<(), SimError> {
+        if self.total_bandwidth_gbps <= 0.0 {
+            return Err(SimError::InvalidConfig("hbm bandwidth must be positive"));
+        }
+        if self.channels == 0 {
+            return Err(SimError::InvalidConfig("hbm must have at least one channel"));
+        }
+        if self.bsk_channels + self.ksk_channels + self.io_channels != self.channels {
+            return Err(SimError::InvalidConfig(
+                "hbm channel allocation must cover exactly all channels",
+            ));
+        }
+        if self.bsk_channels == 0 {
+            return Err(SimError::InvalidConfig("bsk streaming needs at least one channel"));
+        }
+        Ok(())
+    }
+}
+
+/// Full Strix accelerator configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StrixConfig {
+    /// Test-vector level parallelism: number of HSCs.
+    pub tvlp: usize,
+    /// Coefficient level parallelism: datapath lanes per unit.
+    pub clp: usize,
+    /// Polynomial level parallelism: FFT/VMA row replication.
+    pub plp: usize,
+    /// Column level parallelism: output-column replication.
+    pub colp: usize,
+    /// Whether the FFT units use the folding scheme (§V-A): an
+    /// `N`-coefficient transform on an `N/2`-point pipeline, with the
+    /// other units widened to `2·CLP` lanes.
+    pub folding: bool,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Global scratchpad capacity in bytes (stores bsk/ksk slices and
+    /// per-core ciphertext sections, double-buffered).
+    pub global_scratchpad_bytes: usize,
+    /// Local (per-HSC) scratchpad capacity in bytes.
+    pub local_scratchpad_bytes: usize,
+    /// Fraction of the local scratchpad belonging to the PBS cluster
+    /// (the rest buffers keyswitch inputs/outputs).
+    pub local_pbs_fraction: f64,
+    /// Keyswitch-cluster coefficient lanes (paper: `CLP = 8`).
+    pub ks_clp: usize,
+    /// Keyswitch-cluster column parallelism (paper: `CoLP = 8`).
+    pub ks_colp: usize,
+    /// External memory system.
+    pub hbm: HbmConfig,
+    /// On-chip key-distribution network.
+    pub noc: crate::noc::NocModel,
+    /// Override for the core-level batch size; `None` derives it from
+    /// the local scratchpad capacity (§IV-C).
+    pub core_batch_override: Option<usize>,
+}
+
+impl StrixConfig {
+    /// The paper's design point: 8 HSCs, `CLP = 4`, `PLP = CoLP = 2`,
+    /// folded FFT, 1.2 GHz, 21 MB global / 0.625 MB local scratchpads,
+    /// one 300 GB/s HBM2e stack.
+    pub fn paper_default() -> Self {
+        Self {
+            tvlp: 8,
+            clp: 4,
+            plp: 2,
+            colp: 2,
+            folding: true,
+            clock_ghz: 1.2,
+            global_scratchpad_bytes: 21 * 1024 * 1024,
+            local_scratchpad_bytes: 640 * 1024, // 0.625 MB
+            local_pbs_fraction: 0.8,
+            ks_clp: 8,
+            ks_colp: 8,
+            hbm: HbmConfig::hbm2e_single_stack(),
+            noc: crate::noc::NocModel::paper_default(),
+            core_batch_override: None,
+        }
+    }
+
+    /// The non-folded ablation of Table VI: the FFT unit transforms
+    /// full `N`-point signals with `CLP` lanes, and every other unit
+    /// falls back to `CLP` lanes as well.
+    pub fn paper_non_folded() -> Self {
+        Self { folding: false, ..Self::paper_default() }
+    }
+
+    /// A variant with different `TvLP`/`CLP` at the same product, for
+    /// the Table VII trade-off sweep.
+    pub fn with_tvlp_clp(self, tvlp: usize, clp: usize) -> Self {
+        Self { tvlp, clp, ..self }
+    }
+
+    /// Sets the core-level batch size explicitly (e.g. the 3-LWE/core
+    /// configuration of Fig. 8).
+    pub fn with_core_batch(self, batch: usize) -> Self {
+        Self { core_batch_override: Some(batch), ..self }
+    }
+
+    /// Datapath lane count of the non-FFT units: `2·CLP` when folding
+    /// (to match the virtual `CLP = 8` of the folded FFT), else `CLP`.
+    #[inline]
+    pub fn stream_lanes(&self) -> usize {
+        if self.folding {
+            2 * self.clp
+        } else {
+            self.clp
+        }
+    }
+
+    /// Cycles per second.
+    #[inline]
+    pub fn clock_hz(&self) -> f64 {
+        self.clock_ghz * 1e9
+    }
+
+    /// Converts a cycle count to seconds.
+    #[inline]
+    pub fn cycles_to_seconds(&self, cycles: f64) -> f64 {
+        cycles / self.clock_hz()
+    }
+
+    /// Validates structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] describing the violation.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.tvlp == 0 {
+            return Err(SimError::InvalidConfig("tvlp must be at least 1"));
+        }
+        if self.clp == 0 || !self.clp.is_power_of_two() {
+            return Err(SimError::InvalidConfig("clp must be a positive power of two"));
+        }
+        if self.plp == 0 || self.colp == 0 {
+            return Err(SimError::InvalidConfig("plp and colp must be at least 1"));
+        }
+        if self.clock_ghz <= 0.0 {
+            return Err(SimError::InvalidConfig("clock must be positive"));
+        }
+        if self.local_scratchpad_bytes == 0 || self.global_scratchpad_bytes == 0 {
+            return Err(SimError::InvalidConfig("scratchpads must be non-empty"));
+        }
+        if !(0.0..=1.0).contains(&self.local_pbs_fraction) {
+            return Err(SimError::InvalidConfig("local pbs fraction must be in [0, 1]"));
+        }
+        if self.ks_clp == 0 || self.ks_colp == 0 {
+            return Err(SimError::InvalidConfig("keyswitch cluster lanes must be positive"));
+        }
+        if self.core_batch_override == Some(0) {
+            return Err(SimError::InvalidConfig("core batch override must be at least 1"));
+        }
+        if self.noc.bsk_bus_bits < 8 || self.noc.ksk_bus_bits < 8 {
+            return Err(SimError::InvalidConfig("noc buses must be at least one byte wide"));
+        }
+        self.hbm.validate()
+    }
+}
+
+impl Default for StrixConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_section_vi() {
+        let c = StrixConfig::paper_default();
+        assert_eq!((c.tvlp, c.clp, c.plp, c.colp), (8, 4, 2, 2));
+        assert!(c.folding);
+        assert_eq!(c.clock_ghz, 1.2);
+        assert_eq!(c.global_scratchpad_bytes, 21 * 1024 * 1024);
+        assert_eq!(c.local_scratchpad_bytes, 640 * 1024);
+        assert_eq!(c.hbm.total_bandwidth_gbps, 300.0);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn stream_lanes_depend_on_folding() {
+        assert_eq!(StrixConfig::paper_default().stream_lanes(), 8);
+        assert_eq!(StrixConfig::paper_non_folded().stream_lanes(), 4);
+    }
+
+    #[test]
+    fn tvlp_clp_sweep_points_validate() {
+        for (tvlp, clp) in [(16, 2), (8, 4), (4, 8), (2, 16), (1, 32)] {
+            let c = StrixConfig::paper_default().with_tvlp_clp(tvlp, clp);
+            c.validate().unwrap();
+            assert_eq!(c.tvlp * c.clp, 32);
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = StrixConfig::paper_default();
+        c.tvlp = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = StrixConfig::paper_default();
+        c.clp = 3;
+        assert!(c.validate().is_err());
+
+        let mut c = StrixConfig::paper_default();
+        c.hbm.bsk_channels = 0;
+        c.hbm.io_channels = 12;
+        assert!(c.validate().is_err());
+
+        let mut c = StrixConfig::paper_default();
+        c.hbm.channels = 10; // allocation no longer covers channels
+        assert!(c.validate().is_err());
+
+        let c = StrixConfig::paper_default().with_core_batch(1);
+        c.validate().unwrap();
+        let mut c = StrixConfig::paper_default();
+        c.core_batch_override = Some(0);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn hbm_channel_groups() {
+        let h = HbmConfig::hbm2e_single_stack();
+        assert_eq!(h.channel_bandwidth_gbps(), 18.75);
+        assert_eq!(h.ksk_bandwidth_gbps(), 75.0);
+        assert_eq!(h.io_bandwidth_gbps(), 75.0);
+    }
+
+    #[test]
+    fn cycle_conversion() {
+        let c = StrixConfig::paper_default();
+        assert!((c.cycles_to_seconds(1.2e9) - 1.0).abs() < 1e-12);
+    }
+}

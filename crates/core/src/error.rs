@@ -1,0 +1,47 @@
+//! Error type for simulator construction and execution.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the Strix model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The accelerator configuration is structurally invalid.
+    InvalidConfig(&'static str),
+    /// The TFHE parameter set is invalid or unsupported by the model.
+    InvalidParameters(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig(why) => write!(f, "invalid accelerator config: {why}"),
+            SimError::InvalidParameters(why) => write!(f, "invalid tfhe parameters: {why}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            SimError::InvalidConfig("no cores").to_string(),
+            "invalid accelerator config: no cores"
+        );
+        assert_eq!(
+            SimError::InvalidParameters("bad N".into()).to_string(),
+            "invalid tfhe parameters: bad N"
+        );
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<SimError>();
+    }
+}

@@ -1,0 +1,153 @@
+//! Workload computational graphs (§VI-B).
+//!
+//! The paper's simulator "converts the input workload as a computational
+//! graph with nodes, where each node mainly represents either
+//! bootstrapping or keyswitching or a combination of both operations";
+//! linear homomorphic operations (the weighted sums of a neural-network
+//! layer) appear as cheap nodes between them. [`Workload`] is that
+//! graph: an ordered sequence of nodes with data dependencies from one
+//! to the next, which the engine decomposes into blind-rotation
+//! fragments and schedules over the two-level batch.
+
+use serde::{Deserialize, Serialize};
+
+/// One node of the workload graph.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkloadNode {
+    /// A batch of programmable bootstraps (each followed by its
+    /// keyswitch, as in the paper's PBS+KS flow).
+    Pbs {
+        /// Number of LWE ciphertexts to bootstrap.
+        lwes: usize,
+        /// Human-readable label (e.g. "layer-3 ReLU").
+        label: String,
+    },
+    /// A plaintext-weight linear layer: each output ciphertext is a
+    /// weighted sum of input ciphertexts, costing
+    /// `outputs × inputs × (n+1)` word MACs on the integer lanes.
+    Linear {
+        /// Number of output ciphertexts.
+        outputs: usize,
+        /// Number of input ciphertexts contributing to each output.
+        inputs_per_output: usize,
+        /// Human-readable label (e.g. "dense 92×92").
+        label: String,
+    },
+}
+
+impl WorkloadNode {
+    /// The node's label.
+    pub fn label(&self) -> &str {
+        match self {
+            WorkloadNode::Pbs { label, .. } | WorkloadNode::Linear { label, .. } => label,
+        }
+    }
+
+    /// Number of PBS operations this node contributes.
+    pub fn pbs_count(&self) -> usize {
+        match self {
+            WorkloadNode::Pbs { lwes, .. } => *lwes,
+            WorkloadNode::Linear { .. } => 0,
+        }
+    }
+}
+
+/// An ordered workload graph with sequential dependencies.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Workload {
+    name: String,
+    nodes: Vec<WorkloadNode>,
+}
+
+impl Workload {
+    /// Creates an empty workload.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), nodes: Vec::new() }
+    }
+
+    /// The workload's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a PBS batch node.
+    pub fn pbs(mut self, lwes: usize, label: impl Into<String>) -> Self {
+        self.nodes.push(WorkloadNode::Pbs { lwes, label: label.into() });
+        self
+    }
+
+    /// Appends a linear-layer node.
+    pub fn linear(
+        mut self,
+        outputs: usize,
+        inputs_per_output: usize,
+        label: impl Into<String>,
+    ) -> Self {
+        self.nodes.push(WorkloadNode::Linear {
+            outputs,
+            inputs_per_output,
+            label: label.into(),
+        });
+        self
+    }
+
+    /// The nodes in execution order.
+    pub fn nodes(&self) -> &[WorkloadNode] {
+        &self.nodes
+    }
+
+    /// Total number of PBS operations in the graph — the unit in which
+    /// the paper reports throughput.
+    pub fn total_pbs(&self) -> usize {
+        self.nodes.iter().map(WorkloadNode::pbs_count).sum()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains_nodes_in_order() {
+        let w = Workload::new("demo")
+            .linear(4, 8, "dense")
+            .pbs(4, "relu")
+            .pbs(2, "final");
+        assert_eq!(w.name(), "demo");
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.total_pbs(), 6);
+        assert_eq!(w.nodes()[0].label(), "dense");
+        assert_eq!(w.nodes()[1].pbs_count(), 4);
+    }
+
+    #[test]
+    fn empty_workload() {
+        let w = Workload::new("empty");
+        assert!(w.is_empty());
+        assert_eq!(w.total_pbs(), 0);
+    }
+
+    #[test]
+    fn linear_nodes_contribute_no_pbs() {
+        let w = Workload::new("lin").linear(100, 100, "dense");
+        assert_eq!(w.total_pbs(), 0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let w = Workload::new("x").pbs(3, "a").linear(1, 2, "b");
+        let json = serde_json::to_string(&w).unwrap();
+        let back: Workload = serde_json::from_str(&json).unwrap();
+        assert_eq!(w, back);
+    }
+}

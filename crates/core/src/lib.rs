@@ -1,0 +1,57 @@
+//! Cycle-level model of the **Strix** streaming TFHE accelerator.
+//!
+//! Strix (MICRO 2023) attacks the *blind-rotation fragmentation* problem
+//! of TFHE programmable bootstrapping with **two-level ciphertext
+//! batching**:
+//!
+//! * **device-level batching** — `TvLP` Homomorphic Streaming Cores
+//!   (HSCs) work on different ciphertexts while sharing one stream of
+//!   bootstrapping-key material, and
+//! * **core-level batching** — each HSC pipelines a stream of
+//!   ciphertexts through its six-stage PBS cluster (rotator →
+//!   decomposer → FFT → VMA → IFFT → accumulator) so that one
+//!   bootstrapping-key fetch is reused across the whole stream.
+//!
+//! This crate reproduces the paper's custom simulator (§VI-B): it
+//! converts workloads into computational graphs of bootstrapping /
+//! keyswitching nodes, decomposes them into blind-rotation fragments,
+//! and derives latency, throughput, bandwidth demand and per-unit
+//! utilisation from first-principles timing models of every functional
+//! unit, the two-level scratchpad hierarchy, the multicast NoC and the
+//! HBM channels. An area/power model calibrated on Table III covers the
+//! hardware-cost side of the evaluation, including the FFT folding
+//! ablation of Table VI.
+//!
+//! # Example
+//!
+//! ```
+//! use strix_core::{StrixConfig, StrixSimulator};
+//! use strix_tfhe::TfheParameters;
+//!
+//! # fn main() -> Result<(), strix_core::SimError> {
+//! let sim = StrixSimulator::new(StrixConfig::paper_default(), TfheParameters::set_i())?;
+//! let report = sim.pbs_report(1 << 14);
+//! // Strix sustains tens of thousands of bootstraps per second (Table V).
+//! assert!(report.throughput_pbs_per_s > 50_000.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod config;
+mod engine;
+mod error;
+pub mod graph;
+pub mod memory;
+pub mod noc;
+pub mod pipeline;
+pub mod trace;
+pub mod units;
+
+pub use config::{HbmConfig, StrixConfig};
+pub use engine::{EnergyReport, GraphReport, NodeReport, PbsReport, StrixSimulator};
+pub use error::SimError;
+pub use graph::{Workload, WorkloadNode};

@@ -1,0 +1,141 @@
+//! Memory-system model: scratchpad hierarchy and HBM streaming (§IV-B).
+//!
+//! * The **global scratchpad** (21 MB, double-buffered) stages the
+//!   bootstrapping-key and keyswitching-key slices shared by all cores
+//!   plus per-core private ciphertext sections.
+//! * Each **local scratchpad** (0.625 MB) holds the intermediate test
+//!   vectors of the core-level batch — its capacity *determines* the
+//!   core-level batch size (§IV-C), the central quantity of the paper's
+//!   two-level batching.
+//! * **HBM** streams one Fourier-domain GGSW per blind-rotation
+//!   iteration. With double buffering the fetch overlaps compute; the
+//!   iteration stalls only when the fetch time exceeds the compute
+//!   time, which is the compute-/memory-bound boundary explored in
+//!   Table VII.
+
+use serde::{Deserialize, Serialize};
+
+use strix_tfhe::TfheParameters;
+
+use crate::config::StrixConfig;
+
+/// Derived memory-system quantities for a `(parameters, config)` pair.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct MemoryModel {
+    /// Core-level batch size: LWEs streamed per HSC per iteration.
+    pub core_batch: usize,
+    /// Bytes of one Fourier-domain GGSW (per-iteration bsk traffic).
+    pub ggsw_bytes: usize,
+    /// Total bootstrapping-key bytes.
+    pub bsk_bytes: usize,
+    /// Total keyswitching-key bytes.
+    pub ksk_bytes: usize,
+    /// Bytes of one input LWE ciphertext.
+    pub lwe_in_bytes: usize,
+    /// Bytes of one output LWE ciphertext (after keyswitch, dimension n).
+    pub lwe_out_bytes: usize,
+}
+
+impl MemoryModel {
+    /// Builds the memory model, deriving the core-level batch size from
+    /// the local-scratchpad capacity unless overridden.
+    pub fn new(params: &TfheParameters, config: &StrixConfig) -> Self {
+        let core_batch = config.core_batch_override.unwrap_or_else(|| {
+            let pbs_bytes =
+                (config.local_scratchpad_bytes as f64 * config.local_pbs_fraction) as usize;
+            // One intermediate test vector per in-flight LWE: (k+1)·N
+            // torus words.
+            (pbs_bytes / params.glwe_bytes()).max(1)
+        });
+        Self {
+            core_batch,
+            ggsw_bytes: params.fourier_ggsw_bytes(),
+            bsk_bytes: params.bootstrap_key_bytes(),
+            ksk_bytes: params.keyswitch_key_bytes(),
+            lwe_in_bytes: params.lwe_bytes(),
+            lwe_out_bytes: params.lwe_bytes(),
+        }
+    }
+
+    /// Seconds to stream one GGSW from HBM for the next iteration,
+    /// assuming the bootstrapping key may burst across the full stack
+    /// bandwidth (the global scratchpad's double buffer absorbs the
+    /// ksk/io channel traffic).
+    pub fn ggsw_fetch_seconds(&self, config: &StrixConfig) -> f64 {
+        self.ggsw_bytes as f64 / config.hbm.total_bytes_per_s()
+    }
+
+    /// Seconds to stream one GGSW over the dedicated bsk channel group
+    /// only (the static 8-of-16 allocation of §VI-A). Used for the
+    /// Fig. 8 HBM-occupancy row.
+    pub fn ggsw_fetch_seconds_static(&self, config: &StrixConfig) -> f64 {
+        self.ggsw_bytes as f64 / config.hbm.bsk_bytes_per_s()
+    }
+
+    /// Whether the full bootstrapping key fits in the global scratchpad
+    /// (then HBM streaming is only needed once, not per epoch).
+    pub fn bsk_resident(&self, config: &StrixConfig) -> bool {
+        // Double-buffered: only half the capacity holds live data.
+        self.bsk_bytes * 2 <= config.global_scratchpad_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_i_core_batch_from_scratchpad() {
+        // 0.8 × 0.625 MB = 512 KiB of PBS-cluster memory over 16 KiB
+        // test vectors → 32 LWEs per core.
+        let m = MemoryModel::new(&TfheParameters::set_i(), &StrixConfig::paper_default());
+        assert_eq!(m.core_batch, 32);
+    }
+
+    #[test]
+    fn set_iv_core_batch_is_two() {
+        // 512 KiB / 256 KiB test vectors → 2 LWEs per core: exactly the
+        // regime where Table VII's bandwidth pressure appears.
+        let m = MemoryModel::new(&TfheParameters::set_iv(), &StrixConfig::paper_default());
+        assert_eq!(m.core_batch, 2);
+    }
+
+    #[test]
+    fn core_batch_override_wins() {
+        let cfg = StrixConfig::paper_default().with_core_batch(3);
+        let m = MemoryModel::new(&TfheParameters::set_i(), &cfg);
+        assert_eq!(m.core_batch, 3); // the Fig. 8 example
+    }
+
+    #[test]
+    fn core_batch_never_zero() {
+        // Even a parameter set whose test vector exceeds the scratchpad
+        // must stream at batch 1.
+        let mut cfg = StrixConfig::paper_default();
+        cfg.local_scratchpad_bytes = 1024;
+        let m = MemoryModel::new(&TfheParameters::set_iv(), &cfg);
+        assert_eq!(m.core_batch, 1);
+    }
+
+    #[test]
+    fn ggsw_traffic_set_i() {
+        let m = MemoryModel::new(&TfheParameters::set_i(), &StrixConfig::paper_default());
+        assert_eq!(m.ggsw_bytes, 64 * 1024);
+        // 64 KiB over 300 GB/s ≈ 203 ns ≈ 244 cycles at 1.2 GHz.
+        let cfg = StrixConfig::paper_default();
+        let cycles = m.ggsw_fetch_seconds(&cfg) * cfg.clock_hz();
+        assert!((240.0..250.0).contains(&cycles), "{cycles}");
+        // Static 8-channel allocation: twice as long.
+        let s = m.ggsw_fetch_seconds_static(&cfg) * cfg.clock_hz();
+        assert!((485.0..495.0).contains(&s), "{s}");
+    }
+
+    #[test]
+    fn set_i_bsk_not_resident() {
+        // 31 MB of bootstrapping key (×2 for double buffering) exceeds
+        // the 21 MB global scratchpad → per-epoch streaming, as the
+        // paper's Fig. 8 HBM row shows.
+        let m = MemoryModel::new(&TfheParameters::set_i(), &StrixConfig::paper_default());
+        assert!(!m.bsk_resident(&StrixConfig::paper_default()));
+    }
+}

@@ -1,0 +1,116 @@
+//! Network-on-chip model (§IV-B).
+//!
+//! Strix distributes shared keys with *fixed* networks: a one-to-all
+//! multicast bus for the bootstrapping key and another for the
+//! keyswitching key (the communication is unidirectional and identical
+//! for every HSC), plus point-to-point links between the global
+//! scratchpad's private sections and their cores.
+//!
+//! §VI-A states 512-/256-bit bus widths, but a 512-bit bus at 1.2 GHz
+//! (64 B/cycle) cannot deliver one 64 KiB GGSW per 256-cycle iteration
+//! (256 B/cycle) — the rate both Fig. 8 and Table V imply. We therefore
+//! size the default multicast bus to match the HBM burst rate
+//! (2048 bits) and keep the width configurable; the `ablations` bench
+//! sweeps it to show where an under-provisioned bus becomes the
+//! bottleneck.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::StrixConfig;
+
+/// Multicast/point-to-point NoC configuration and timing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NocModel {
+    /// Width of the bootstrapping-key multicast bus, in bits.
+    pub bsk_bus_bits: usize,
+    /// Width of the keyswitching-key multicast bus, in bits.
+    pub ksk_bus_bits: usize,
+}
+
+impl NocModel {
+    /// Default widths sized to sustain the paper's reported rates (see
+    /// module docs).
+    pub fn paper_default() -> Self {
+        Self { bsk_bus_bits: 2048, ksk_bus_bits: 1024 }
+    }
+
+    /// Cycles to broadcast `bytes` of bootstrapping key to all cores
+    /// (multicast: one transfer serves every HSC).
+    pub fn bsk_broadcast_cycles(&self, bytes: usize) -> u64 {
+        let per_cycle = (self.bsk_bus_bits / 8).max(1);
+        (bytes as u64).div_ceil(per_cycle as u64)
+    }
+
+    /// Cycles to broadcast `bytes` of keyswitching key.
+    pub fn ksk_broadcast_cycles(&self, bytes: usize) -> u64 {
+        let per_cycle = (self.ksk_bus_bits / 8).max(1);
+        (bytes as u64).div_ceil(per_cycle as u64)
+    }
+
+    /// Whether the bsk bus can keep up with a per-iteration GGSW of the
+    /// given size at the given iteration period.
+    pub fn sustains_iteration(&self, ggsw_bytes: usize, iteration_cycles: u64) -> bool {
+        self.bsk_broadcast_cycles(ggsw_bytes) <= iteration_cycles
+    }
+
+    /// Bus bandwidth in bytes per second at the given clock.
+    pub fn bsk_bus_bytes_per_s(&self, config: &StrixConfig) -> f64 {
+        (self.bsk_bus_bits as f64 / 8.0) * config.clock_hz()
+    }
+}
+
+impl Default for NocModel {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strix_tfhe::TfheParameters;
+
+    #[test]
+    fn default_bus_sustains_set_i_design_point() {
+        // 64 KiB GGSW per 256-cycle iteration needs 256 B/cycle; the
+        // 2048-bit (256 B) bus delivers exactly that.
+        let noc = NocModel::paper_default();
+        let ggsw = TfheParameters::set_i().fourier_ggsw_bytes();
+        assert_eq!(noc.bsk_broadcast_cycles(ggsw), 256);
+        assert!(noc.sustains_iteration(ggsw, 256));
+    }
+
+    #[test]
+    fn paper_stated_width_cannot_sustain_the_rate() {
+        // The §VI-A 512-bit bus would need 1024 cycles per iteration —
+        // 4x too slow for the 256-cycle II.
+        let noc = NocModel { bsk_bus_bits: 512, ksk_bus_bits: 256 };
+        let ggsw = TfheParameters::set_i().fourier_ggsw_bytes();
+        assert_eq!(noc.bsk_broadcast_cycles(ggsw), 1024);
+        assert!(!noc.sustains_iteration(ggsw, 256));
+    }
+
+    #[test]
+    fn broadcast_cycles_scale_inversely_with_width() {
+        let wide = NocModel { bsk_bus_bits: 4096, ksk_bus_bits: 1024 };
+        let narrow = NocModel { bsk_bus_bits: 1024, ksk_bus_bits: 1024 };
+        assert_eq!(
+            narrow.bsk_broadcast_cycles(1 << 20),
+            4 * wide.bsk_broadcast_cycles(1 << 20)
+        );
+    }
+
+    #[test]
+    fn bus_bandwidth_at_clock() {
+        let noc = NocModel::paper_default();
+        let cfg = StrixConfig::paper_default();
+        // 256 B/cycle × 1.2 GHz = 307.2e9 B/s.
+        assert!((noc.bsk_bus_bytes_per_s(&cfg) - 307.2e9).abs() < 1e6);
+    }
+
+    #[test]
+    fn ksk_bus_is_independent() {
+        let noc = NocModel::paper_default();
+        assert_eq!(noc.ksk_broadcast_cycles(1024), 8);
+    }
+}

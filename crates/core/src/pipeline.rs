@@ -1,0 +1,182 @@
+//! HSC compute-cluster models: the six-stage PBS cluster and the
+//! three-stage keyswitch cluster (§IV-B).
+//!
+//! The PBS cluster is a fully pipelined dataflow machine: a full
+//! traversal corresponds to one blind-rotation iteration, and its
+//! **initiation interval** (II) — the maximum per-unit occupancy — is
+//! the cadence at which core-level-batched LWEs stream through. Because
+//! every stage produces coefficients in order, iteration `i+1` of an
+//! LWE can begin as soon as the prefix of iteration `i`'s accumulator
+//! output that the rotator needs is available; we model this
+//! coefficient-order forwarding as a zero inter-iteration bubble, which
+//! reproduces the paper's Table V latencies.
+//!
+//! The keyswitch cluster executes Algorithm 2 as a tiled matrix–matrix
+//! product on integer lanes (`ks_clp × ks_colp` MACs per cycle); its
+//! execution is hidden behind the next epoch's blind rotation whenever
+//! its per-epoch time fits under the PBS cluster's (§IV-C).
+
+use serde::{Deserialize, Serialize};
+
+use strix_tfhe::TfheParameters;
+
+use crate::config::StrixConfig;
+use crate::units::{pbs_units, UnitKind, UnitModel};
+
+/// Timing model of one HSC's PBS cluster.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PbsClusterModel {
+    units: Vec<UnitModel>,
+    ii_cycles: u64,
+    fill_cycles: u64,
+}
+
+impl PbsClusterModel {
+    /// Builds the cluster model for a `(parameters, config)` pair.
+    pub fn new(params: &TfheParameters, config: &StrixConfig) -> Self {
+        let units = pbs_units(params, config);
+        let ii_cycles = units.iter().map(|u| u.occupancy_cycles).max().unwrap_or(0);
+        let fill_cycles = units.iter().map(|u| u.pipeline_latency_cycles).sum();
+        Self { units, ii_cycles, fill_cycles }
+    }
+
+    /// Initiation interval: cycles between successive LWEs entering the
+    /// cluster within one blind-rotation iteration.
+    #[inline]
+    pub fn initiation_interval_cycles(&self) -> u64 {
+        self.ii_cycles
+    }
+
+    /// Total pipeline fill latency (first input to first output of the
+    /// whole cluster).
+    #[inline]
+    pub fn fill_cycles(&self) -> u64 {
+        self.fill_cycles
+    }
+
+    /// The per-unit timing models, in pipeline order.
+    #[inline]
+    pub fn units(&self) -> &[UnitModel] {
+        &self.units
+    }
+
+    /// Per-unit utilisation at the cluster's own II (Fig. 8 shading).
+    pub fn utilizations(&self) -> Vec<(UnitKind, f64)> {
+        self.units.iter().map(|u| (u.kind, u.utilization(self.ii_cycles))).collect()
+    }
+
+    /// Cycles for one blind-rotation iteration over a core batch of
+    /// `batch` LWEs (streaming, no inter-iteration bubble).
+    #[inline]
+    pub fn iteration_cycles(&self, batch: usize) -> u64 {
+        self.ii_cycles * batch as u64
+    }
+
+    /// Compute-side cycles for a full blind rotation (`n` iterations)
+    /// of a core batch of `batch` LWEs.
+    pub fn blind_rotation_cycles(&self, params: &TfheParameters, batch: usize) -> u64 {
+        params.lwe_dimension as u64 * self.iteration_cycles(batch)
+    }
+}
+
+/// Timing model of one HSC's keyswitch cluster.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct KsClusterModel {
+    cycles_per_lwe: u64,
+    macs_per_cycle: u64,
+}
+
+impl KsClusterModel {
+    /// Builds the keyswitch-cluster model.
+    pub fn new(params: &TfheParameters, config: &StrixConfig) -> Self {
+        let macs_per_cycle = (config.ks_clp * config.ks_colp) as u64;
+        // Algorithm 2: a (k·N·l_k) × (n+1) matrix–vector product per LWE.
+        let macs = params.extracted_lwe_dimension() as u64
+            * params.ks_level as u64
+            * (params.lwe_dimension + 1) as u64;
+        Self { cycles_per_lwe: macs.div_ceil(macs_per_cycle), macs_per_cycle }
+    }
+
+    /// Cycles to keyswitch one LWE.
+    #[inline]
+    pub fn cycles_per_lwe(&self) -> u64 {
+        self.cycles_per_lwe
+    }
+
+    /// Integer MAC capacity per cycle.
+    #[inline]
+    pub fn macs_per_cycle(&self) -> u64 {
+        self.macs_per_cycle
+    }
+
+    /// Cycles to keyswitch a core batch sequentially.
+    #[inline]
+    pub fn batch_cycles(&self, batch: usize) -> u64 {
+        self.cycles_per_lwe * batch as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn design_point_ii_and_fill() {
+        let m = PbsClusterModel::new(&TfheParameters::set_i(), &StrixConfig::paper_default());
+        assert_eq!(m.initiation_interval_cycles(), 256);
+        // Fill is dominated by the two FFT passes (146 cycles each at
+        // N_fft = 512, CLP = 4) plus the small stage latencies.
+        assert!(m.fill_cycles() > 2 * 128 && m.fill_cycles() < 400, "{}", m.fill_cycles());
+    }
+
+    #[test]
+    fn blind_rotation_cycles_set_i() {
+        // 500 iterations × 256 cycles = 128k cycles ≈ 107 µs at 1.2 GHz —
+        // the compute component of Table V's 0.16 ms latency.
+        let p = TfheParameters::set_i();
+        let m = PbsClusterModel::new(&p, &StrixConfig::paper_default());
+        assert_eq!(m.blind_rotation_cycles(&p, 1), 128_000);
+    }
+
+    #[test]
+    fn iteration_cycles_scale_with_batch() {
+        let m = PbsClusterModel::new(&TfheParameters::set_i(), &StrixConfig::paper_default());
+        assert_eq!(m.iteration_cycles(3), 768); // the Fig. 8 example
+    }
+
+    #[test]
+    fn utilizations_match_fig8() {
+        let m = PbsClusterModel::new(&TfheParameters::set_i(), &StrixConfig::paper_default());
+        for (kind, util) in m.utilizations() {
+            match kind {
+                UnitKind::Rotator => assert!((util - 0.5).abs() < 1e-9),
+                _ => assert!((util - 1.0).abs() < 1e-9, "{kind}"),
+            }
+        }
+    }
+
+    #[test]
+    fn keyswitch_cluster_set_i() {
+        // kN·l_k·(n+1) = 1024·8·501 MACs over 64 MACs/cycle = 64128.
+        let m = KsClusterModel::new(&TfheParameters::set_i(), &StrixConfig::paper_default());
+        assert_eq!(m.macs_per_cycle(), 64);
+        assert_eq!(m.cycles_per_lwe(), 64_128);
+        assert_eq!(m.batch_cycles(2), 128_256);
+    }
+
+    #[test]
+    fn keyswitch_hides_under_blind_rotation_at_design_point() {
+        // §IV-C: KS of an epoch must fit under the next epoch's BR.
+        for p in [TfheParameters::set_i(), TfheParameters::set_ii(), TfheParameters::set_iv()] {
+            let cfg = StrixConfig::paper_default();
+            let pbs = PbsClusterModel::new(&p, &cfg);
+            let ks = KsClusterModel::new(&p, &cfg);
+            let batch = 4;
+            assert!(
+                ks.batch_cycles(batch) < pbs.blind_rotation_cycles(&p, batch),
+                "{}: ks not hidden",
+                p.name
+            );
+        }
+    }
+}

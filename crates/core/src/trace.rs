@@ -1,0 +1,275 @@
+//! Pipeline timing trace — the Fig. 8 experiment.
+//!
+//! The trace records, for the first few blind-rotation iterations, the
+//! busy interval of every functional unit for every LWE in the core
+//! batch, plus the local-scratchpad access windows and the HBM
+//! bootstrapping-key fetches. Rendering it as ASCII art reproduces the
+//! paper's timing diagram: staggered per-LWE bars in each unit row,
+//! near-contiguous occupancy for the 100%-utilised units, gaps in the
+//! rotator row, and a partially-occupied HBM row whose duty cycle is
+//! the "time gap to fetch the next keys".
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::StrixConfig;
+use crate::units::{UnitKind, UnitModel};
+
+/// One busy interval of one resource.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceInterval {
+    /// Start cycle (inclusive).
+    pub start: u64,
+    /// End cycle (exclusive).
+    pub end: u64,
+    /// Which LWE of the core batch this interval serves (HBM rows use
+    /// the iteration index instead).
+    pub lwe: usize,
+    /// Which blind-rotation iteration.
+    pub iteration: usize,
+}
+
+/// One labelled row of the timing diagram.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TraceRow {
+    /// Row label (Fig. 8 row names).
+    pub label: String,
+    /// Busy intervals, sorted by start cycle.
+    pub intervals: Vec<TraceInterval>,
+}
+
+impl TraceRow {
+    /// Fraction of `[0, horizon)` covered by intervals (intervals are
+    /// merged so overlaps are not double-counted).
+    pub fn occupancy(&self, horizon: u64) -> f64 {
+        if horizon == 0 {
+            return 0.0;
+        }
+        let mut spans: Vec<(u64, u64)> = self
+            .intervals
+            .iter()
+            .map(|iv| (iv.start.min(horizon), iv.end.min(horizon)))
+            .filter(|(s, e)| e > s)
+            .collect();
+        spans.sort_unstable();
+        let mut covered = 0;
+        let mut cursor = 0u64;
+        for (s, e) in spans {
+            let s = s.max(cursor);
+            if e > s {
+                covered += e - s;
+                cursor = e;
+            }
+        }
+        covered as f64 / horizon as f64
+    }
+}
+
+/// A complete pipeline trace.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PipelineTrace {
+    rows: Vec<TraceRow>,
+    horizon_cycles: u64,
+    clock_ghz: f64,
+}
+
+impl PipelineTrace {
+    /// Generates the trace analytically from the unit models.
+    ///
+    /// `ii` is the per-LWE initiation interval, `iteration_period` the
+    /// effective per-iteration period for the whole core batch,
+    /// `batch` the LWEs per core, and `bsk_fetch_cycles` the HBM fetch
+    /// duration over the static bsk channel group.
+    pub fn generate(
+        config: &StrixConfig,
+        units: &[UnitModel],
+        ii: u64,
+        iteration_period: u64,
+        batch: usize,
+        iterations: usize,
+        bsk_fetch_cycles: u64,
+    ) -> Self {
+        let mut rows: Vec<TraceRow> = units
+            .iter()
+            .map(|u| TraceRow { label: u.kind.label().to_string(), intervals: Vec::new() })
+            .collect();
+        let mut scratchpad = TraceRow { label: "Loc. Scrtpd.".into(), intervals: Vec::new() };
+        let mut hbm = TraceRow { label: "HBM".into(), intervals: Vec::new() };
+
+        for it in 0..iterations {
+            let iter_base = it as u64 * iteration_period;
+            // The double-buffered fetch of iteration i+1's key overlaps
+            // iteration i's compute.
+            hbm.intervals.push(TraceInterval {
+                start: iter_base,
+                end: iter_base + bsk_fetch_cycles,
+                lwe: 0,
+                iteration: it,
+            });
+            for lwe in 0..batch {
+                let lwe_base = iter_base + lwe as u64 * ii;
+                let mut offset = 0u64;
+                for (row, unit) in rows.iter_mut().zip(units) {
+                    let iv = TraceInterval {
+                        start: lwe_base + offset,
+                        end: lwe_base + offset + unit.occupancy_cycles,
+                        lwe,
+                        iteration: it,
+                    };
+                    row.intervals.push(iv);
+                    // The scratchpad is read by the rotator and written
+                    // by the accumulator (§IV-B).
+                    if matches!(unit.kind, UnitKind::Rotator | UnitKind::Accumulator) {
+                        scratchpad.intervals.push(iv);
+                    }
+                    offset += unit.pipeline_latency_cycles;
+                }
+            }
+        }
+        rows.push(scratchpad);
+        rows.push(hbm);
+        let horizon_cycles = iterations as u64 * iteration_period;
+        Self { rows, horizon_cycles, clock_ghz: config.clock_ghz }
+    }
+
+    /// The rows of the diagram, unit rows first, then scratchpad and HBM.
+    pub fn rows(&self) -> &[TraceRow] {
+        &self.rows
+    }
+
+    /// Trace horizon in cycles.
+    pub fn horizon_cycles(&self) -> u64 {
+        self.horizon_cycles
+    }
+
+    /// Occupancy of the row with the given label over the horizon.
+    pub fn occupancy_of(&self, label: &str) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.label == label)
+            .map(|r| r.occupancy(self.horizon_cycles))
+    }
+
+    /// Renders the diagram as ASCII art, `width` characters wide.
+    /// Per-LWE bars are drawn with distinct glyphs (`1`, `2`, `3`, …)
+    /// so the staggering of the core-level batch is visible, as the
+    /// colour coding of Fig. 8 is.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let width = width.max(16);
+        let scale = self.horizon_cycles.max(1) as f64 / width as f64;
+        let mut out = String::new();
+        let label_w = self.rows.iter().map(|r| r.label.len()).max().unwrap_or(8) + 1;
+        for row in &self.rows {
+            let mut lane = vec![' '; width];
+            for iv in &row.intervals {
+                let glyph = char::from_digit((iv.lwe as u32 % 9) + 1, 10).unwrap_or('#');
+                let s = (iv.start as f64 / scale) as usize;
+                let e = ((iv.end as f64 / scale).ceil() as usize).min(width);
+                for slot in lane.iter_mut().take(e).skip(s.min(width)) {
+                    *slot = glyph;
+                }
+            }
+            let bar: String = lane.into_iter().collect();
+            out.push_str(&format!("{:>label_w$} |{bar}|\n", row.label));
+        }
+        let ns = self.horizon_cycles as f64 / self.clock_ghz;
+        out.push_str(&format!(
+            "{:>label_w$} |{:-<width$}| {:.0} ns total\n",
+            "time", "", ns
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PbsClusterModel;
+    use strix_tfhe::TfheParameters;
+
+    fn fig8_trace(iterations: usize) -> PipelineTrace {
+        // Fig. 8's setup: set I, 3 LWEs per core; the figure shows the
+        // first two iterations, occupancy tests use a longer horizon to
+        // amortise the pipeline ramp-in.
+        let config = StrixConfig::paper_default().with_core_batch(3);
+        let params = TfheParameters::set_i();
+        let cluster = PbsClusterModel::new(&params, &config);
+        let ii = cluster.initiation_interval_cycles();
+        PipelineTrace::generate(
+            &config,
+            cluster.units(),
+            ii,
+            ii * 3,
+            3,
+            iterations,
+            488, // 64 KiB over the 150 GB/s bsk channel group at 1.2 GHz
+        )
+    }
+
+    #[test]
+    fn full_units_are_fully_occupied() {
+        let t = fig8_trace(16);
+        for label in ["Decomp.", "FFT", "VMA", "IFFT", "Accum."] {
+            let occ = t.occupancy_of(label).unwrap();
+            assert!(occ > 0.92, "{label}: {occ}");
+        }
+    }
+
+    #[test]
+    fn rotator_is_half_occupied() {
+        let t = fig8_trace(16);
+        let occ = t.occupancy_of("Rotator").unwrap();
+        assert!((0.45..0.60).contains(&occ), "{occ}");
+    }
+
+    #[test]
+    fn hbm_occupancy_matches_paper_sixty_percent() {
+        // 488 fetch cycles per 768-cycle iteration ≈ 64% ("around 60%
+        // of the time", §VI-C).
+        let t = fig8_trace(16);
+        let occ = t.occupancy_of("HBM").unwrap();
+        assert!((0.55..0.75).contains(&occ), "{occ}");
+    }
+
+    #[test]
+    fn scratchpad_is_heavily_accessed() {
+        let t = fig8_trace(16);
+        let occ = t.occupancy_of("Loc. Scrtpd.").unwrap();
+        assert!(occ > 0.8, "{occ}");
+    }
+
+    #[test]
+    fn ascii_rendering_has_all_rows() {
+        let t = fig8_trace(2);
+        let art = t.render_ascii(100);
+        for label in ["Rotator", "Decomp.", "FFT", "VMA", "IFFT", "Accum.", "Loc. Scrtpd.", "HBM"]
+        {
+            assert!(art.contains(label), "missing row {label}\n{art}");
+        }
+        // Three distinct LWE glyphs must appear (the batch staggering).
+        for glyph in ['1', '2', '3'] {
+            assert!(art.contains(glyph), "missing glyph {glyph}");
+        }
+    }
+
+    #[test]
+    fn occupancy_caps_at_horizon() {
+        let row = TraceRow {
+            label: "x".into(),
+            intervals: vec![TraceInterval { start: 0, end: 100, lwe: 0, iteration: 0 }],
+        };
+        assert!((row.occupancy(50) - 1.0).abs() < 1e-12);
+        assert_eq!(row.occupancy(0), 0.0);
+    }
+
+    #[test]
+    fn overlapping_intervals_not_double_counted() {
+        let row = TraceRow {
+            label: "x".into(),
+            intervals: vec![
+                TraceInterval { start: 0, end: 60, lwe: 0, iteration: 0 },
+                TraceInterval { start: 40, end: 100, lwe: 1, iteration: 0 },
+            ],
+        };
+        assert!((row.occupancy(100) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,70 @@
+//! Accumulator unit (§V-C): time-domain final accumulation.
+//!
+//! The IFFT streams partially-accumulated polynomials back to the time
+//! domain; the accumulator adds them into the per-column running sums
+//! (each lane owns a buffer of `N/(2·CLP)` coefficients) and writes the
+//! next accumulator value to the local scratchpad for the following
+//! blind-rotation iteration. With the frequency/time accumulation
+//! split, it ingests the IFFT's full `(k+1)·l_b`-polynomial stream.
+
+use strix_tfhe::TfheParameters;
+
+use crate::config::StrixConfig;
+use crate::units::{div_ceil_u64, UnitKind, UnitModel};
+
+/// Builds the accumulator timing model.
+pub fn accumulator_model(params: &TfheParameters, config: &StrixConfig) -> UnitModel {
+    let k1 = (params.glwe_dimension + 1) as u64;
+    let l = params.pbs_level as u64;
+    let n = params.polynomial_size as u64;
+    let lanes = config.stream_lanes() as u64 * config.colp as u64;
+    // IFFT emits (k+1)·l_b polynomials of N real coefficients per
+    // LWE-iteration (the folded spectra unfold to N reals).
+    let occ = div_ceil_u64(k1 * l * n, lanes);
+    // Each lane buffer holds N/(2·CLP) coefficients (§V-C); residency
+    // until the column sum completes sets the fill latency.
+    let buffer = div_ceil_u64(n, 2 * config.clp as u64);
+    UnitModel {
+        kind: UnitKind::Accumulator,
+        occupancy_cycles: occ,
+        pipeline_latency_cycles: buffer.min(64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_i_occupancy_is_256() {
+        let m = accumulator_model(&TfheParameters::set_i(), &StrixConfig::paper_default());
+        assert_eq!(m.occupancy_cycles, 256);
+    }
+
+    #[test]
+    fn matches_decomposer_rate() {
+        // Decomposer (input side) and accumulator (output side) handle
+        // the same coefficient volume per iteration; they must agree so
+        // the pipeline has no internal rate mismatch.
+        for p in [
+            TfheParameters::set_i(),
+            TfheParameters::set_ii(),
+            TfheParameters::set_iii(),
+            TfheParameters::set_iv(),
+        ] {
+            let cfg = StrixConfig::paper_default();
+            assert_eq!(
+                accumulator_model(&p, &cfg).occupancy_cycles,
+                crate::units::decomposer_model(&p, &cfg).occupancy_cycles,
+                "{}",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn buffer_residency_is_capped() {
+        let m = accumulator_model(&TfheParameters::set_iv(), &StrixConfig::paper_default());
+        assert!(m.pipeline_latency_cycles <= 64);
+    }
+}

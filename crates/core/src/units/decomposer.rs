@@ -1,0 +1,78 @@
+//! Decomposer unit (§V-B): streaming gadget decomposition.
+//!
+//! The novel Strix decomposer splits Eq. (3) into a *rounding step*
+//! (mask the `β·l` contributing bits, add the carry from the first
+//! dropped bit) and an *extraction step* (per-level mask, balance
+//! against `B/2`, propagate the carry) — multiplier-free, matching
+//! `strix_tfhe::decompose` bit for bit. It consumes one polynomial and
+//! emits `l_b` digit polynomials; the paper sizes it with `2·CLP` lanes
+//! per instance so its *output* rate matches the FFT units' input rate,
+//! making it a 100%-utilised stage (Fig. 8). It runs for
+//! `N/CLP × l_b` cycles per polynomial (§V-B).
+
+use strix_tfhe::TfheParameters;
+
+use crate::config::StrixConfig;
+use crate::units::{div_ceil_u64, UnitKind, UnitModel};
+
+/// Builds the decomposer timing model.
+///
+/// Occupancy is output-driven: `(k+1)·l_b` digit polynomials of `N`
+/// coefficients emitted over `2·CLP`-lane instances replicated `CoLP`
+/// times.
+pub fn decomposer_model(params: &TfheParameters, config: &StrixConfig) -> UnitModel {
+    let k1 = (params.glwe_dimension + 1) as u64;
+    let n = params.polynomial_size as u64;
+    let l = params.pbs_level as u64;
+    let lanes = config.stream_lanes() as u64 * config.colp as u64;
+    UnitModel {
+        kind: UnitKind::Decomposer,
+        occupancy_cycles: div_ceil_u64(k1 * l * n, lanes),
+        // Rounding stage + one extraction stage per level + output mux.
+        pipeline_latency_cycles: 2 + l,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_i_occupancy_is_256() {
+        // (k+1)·l_b·N / (2·CLP·CoLP) = 4·1024/16 = 256 cycles — 100%
+        // utilised at the 256-cycle design-point II.
+        let m = decomposer_model(&TfheParameters::set_i(), &StrixConfig::paper_default());
+        assert_eq!(m.occupancy_cycles, 256);
+    }
+
+    #[test]
+    fn occupancy_scales_with_levels() {
+        // Set II has l_b = 3 (vs 2): 2·3·1024/16 = 384.
+        let m = decomposer_model(&TfheParameters::set_ii(), &StrixConfig::paper_default());
+        assert_eq!(m.occupancy_cycles, 384);
+    }
+
+    #[test]
+    fn latency_grows_with_levels() {
+        let cfg = StrixConfig::paper_default();
+        let l2 = decomposer_model(&TfheParameters::set_i(), &cfg);
+        let l3 = decomposer_model(&TfheParameters::set_ii(), &cfg);
+        assert_eq!(l3.pipeline_latency_cycles, l2.pipeline_latency_cycles + 1);
+    }
+
+    #[test]
+    fn matches_paper_per_polynomial_cycle_count() {
+        // §V-B: "the decomposer unit operates for N/CLP × l_b cycles for
+        // each polynomial" — per (k+1)-polynomial input with CoLP
+        // instances this is exactly our occupancy formula.
+        let p = TfheParameters::set_i();
+        let cfg = StrixConfig::paper_default();
+        let per_poly = (p.polynomial_size as u64 / (2 * cfg.clp as u64))
+            * p.pbs_level as u64;
+        let per_lwe = per_poly * (p.glwe_dimension + 1) as u64 / cfg.colp as u64;
+        assert_eq!(
+            decomposer_model(&p, &cfg).occupancy_cycles,
+            per_lwe
+        );
+    }
+}

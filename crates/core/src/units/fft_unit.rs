@@ -1,0 +1,141 @@
+//! Pipelined (I)FFT unit (§V-A, Fig. 5).
+//!
+//! The unit is a fully pipelined radix-2 network: `log2(N_fft)` stages
+//! of `CLP/2` butterflies each, joined by shuffle units (SHUs) whose
+//! delay lines perform the inter-stage data reordering in-stream —
+//! eliminating the irregular memory accesses (and matrix transposes)
+//! of memory-based NTT designs. After an initial fill of `N_fft/CLP`
+//! cycles it accepts a new polynomial every `N_fft/CLP` cycles.
+//!
+//! With the **folding scheme**, an `N`-coefficient negacyclic transform
+//! runs on an `N_fft = N/2`-point pipeline (`strix_fft::NegacyclicFft`
+//! is the bit-accurate software model), halving both the per-polynomial
+//! cycle count and the delay-line storage — the 2× throughput / 1.7×
+//! FFT-area gain of Table VI.
+//!
+//! The paper's workload-balancing trick (§IV-B) splits the external
+//! product's accumulation between the frequency and time domains so the
+//! IFFT transforms as many polynomials as the FFT (a 1:1 ratio instead
+//! of `l_b`:1), which is why [`ifft_model`] mirrors [`fft_model`] with
+//! `CoLP` instances.
+
+use strix_tfhe::TfheParameters;
+
+use crate::config::StrixConfig;
+use crate::units::{div_ceil_u64, UnitKind, UnitModel};
+
+/// Number of points the FFT pipeline processes per polynomial:
+/// `N/2` folded, `N` otherwise.
+pub fn fourier_signal_size(params: &TfheParameters, config: &StrixConfig) -> u64 {
+    let n = params.polynomial_size as u64;
+    if config.folding {
+        n / 2
+    } else {
+        n
+    }
+}
+
+/// Cycles to stream one polynomial through one FFT unit.
+fn per_polynomial_cycles(params: &TfheParameters, config: &StrixConfig) -> u64 {
+    div_ceil_u64(fourier_signal_size(params, config), config.clp as u64)
+}
+
+/// Pipeline fill latency: the SHU delay lines sum to roughly the
+/// per-polynomial streaming time, plus one register per butterfly stage.
+fn fill_latency_cycles(params: &TfheParameters, config: &StrixConfig) -> u64 {
+    let n_fft = fourier_signal_size(params, config);
+    per_polynomial_cycles(params, config) + 2 * (63 - n_fft.leading_zeros() as u64)
+}
+
+/// Builds the forward-FFT timing model: `(k+1)·l_b` digit polynomials
+/// per LWE-iteration spread over `PLP` unit instances.
+pub fn fft_model(params: &TfheParameters, config: &StrixConfig) -> UnitModel {
+    let k1 = (params.glwe_dimension + 1) as u64;
+    let l = params.pbs_level as u64;
+    let polys = k1 * l;
+    let occ = div_ceil_u64(polys * per_polynomial_cycles(params, config), config.plp as u64);
+    UnitModel {
+        kind: UnitKind::Fft,
+        occupancy_cycles: occ,
+        pipeline_latency_cycles: fill_latency_cycles(params, config),
+    }
+}
+
+/// Builds the inverse-FFT timing model. Thanks to the frequency/time
+/// accumulation split it transforms the same number of polynomials as
+/// the forward FFT, over `CoLP` instances.
+pub fn ifft_model(params: &TfheParameters, config: &StrixConfig) -> UnitModel {
+    let k1 = (params.glwe_dimension + 1) as u64;
+    let l = params.pbs_level as u64;
+    let polys = k1 * l;
+    let occ = div_ceil_u64(polys * per_polynomial_cycles(params, config), config.colp as u64);
+    UnitModel {
+        kind: UnitKind::Ifft,
+        occupancy_cycles: occ,
+        pipeline_latency_cycles: fill_latency_cycles(params, config),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folded_set_i_streams_a_polynomial_every_128_cycles() {
+        let p = TfheParameters::set_i();
+        let cfg = StrixConfig::paper_default();
+        assert_eq!(fourier_signal_size(&p, &cfg), 512);
+        assert_eq!(per_polynomial_cycles(&p, &cfg), 128);
+        assert_eq!(fft_model(&p, &cfg).occupancy_cycles, 256);
+    }
+
+    #[test]
+    fn non_folded_doubles_signal_size() {
+        let p = TfheParameters::set_i();
+        let cfg = StrixConfig::paper_non_folded();
+        assert_eq!(fourier_signal_size(&p, &cfg), 1024);
+        assert_eq!(fft_model(&p, &cfg).occupancy_cycles, 512);
+    }
+
+    #[test]
+    fn ifft_matches_fft_occupancy_at_design_point() {
+        // The 1:1 FFT/IFFT balance of §IV-B holds when PLP = CoLP.
+        let p = TfheParameters::set_ii();
+        let cfg = StrixConfig::paper_default();
+        assert_eq!(
+            fft_model(&p, &cfg).occupancy_cycles,
+            ifft_model(&p, &cfg).occupancy_cycles
+        );
+    }
+
+    #[test]
+    fn fill_latency_includes_delay_lines_and_stages() {
+        let p = TfheParameters::set_i();
+        let cfg = StrixConfig::paper_default();
+        // 512-point pipeline at 4 lanes: 128-cycle delay lines + 2·9
+        // stage registers.
+        assert_eq!(fft_model(&p, &cfg).pipeline_latency_cycles, 128 + 18);
+    }
+
+    #[test]
+    fn folding_halves_fill_latency_roughly() {
+        let p = TfheParameters::set_iv();
+        let folded = fft_model(&p, &StrixConfig::paper_default());
+        let plain = fft_model(&p, &StrixConfig::paper_non_folded());
+        assert!(plain.pipeline_latency_cycles > folded.pipeline_latency_cycles);
+        let ratio = plain.pipeline_latency_cycles as f64
+            / folded.pipeline_latency_cycles as f64;
+        assert!((1.8..2.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn more_clp_lanes_cut_streaming_time() {
+        let p = TfheParameters::set_iv();
+        let base = StrixConfig::paper_default();
+        let wide = StrixConfig::paper_default().with_tvlp_clp(2, 16);
+        assert_eq!(
+            fft_model(&p, &base).occupancy_cycles,
+            4 * fft_model(&p, &wide).occupancy_cycles
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! Timing models of the five specialised functional units (§V).
+//!
+//! Each unit is characterised by two quantities, both in clock cycles:
+//!
+//! * **occupancy** — how long the unit is busy per LWE per
+//!   blind-rotation iteration. The maximum across units is the PBS
+//!   cluster's initiation interval (II): a new LWE can enter the
+//!   pipeline every II cycles. The ratio `occupancy / II` is the unit's
+//!   utilisation, the quantity plotted in Fig. 8 (rotator ≈ 50%, all
+//!   others ≈ 100% at the paper's design point).
+//! * **pipeline latency** — the fill delay from first input to first
+//!   output, contributing to single-ciphertext latency and the stagger
+//!   between units in the Fig. 8 timing diagram.
+//!
+//! All formulas are parameterised by the paper's parallelism taxonomy
+//! (`CLP` lanes, `PLP`/`CoLP` replication) and by the folding scheme,
+//! which halves the FFT signal length while doubling the lane count of
+//! every streaming unit.
+
+mod accumulator;
+mod decomposer;
+mod fft_unit;
+mod rotator;
+mod vma;
+
+use serde::{Deserialize, Serialize};
+
+use strix_tfhe::TfheParameters;
+
+use crate::config::StrixConfig;
+
+pub use accumulator::accumulator_model;
+pub use decomposer::decomposer_model;
+pub use fft_unit::{fft_model, ifft_model, fourier_signal_size};
+pub use rotator::rotator_model;
+pub use vma::vma_model;
+
+/// The six pipeline stages of the PBS cluster, in dataflow order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnitKind {
+    /// Negacyclic rotation and subtraction.
+    Rotator,
+    /// Gadget decomposition.
+    Decomposer,
+    /// Forward FFT of decomposed digit polynomials.
+    Fft,
+    /// Fourier-domain vector multiply–add against bsk rows.
+    Vma,
+    /// Inverse FFT back to the time domain.
+    Ifft,
+    /// Time-domain accumulation into the next accumulator value.
+    Accumulator,
+}
+
+impl UnitKind {
+    /// All PBS-cluster units in pipeline order.
+    pub const PIPELINE: [UnitKind; 6] = [
+        UnitKind::Rotator,
+        UnitKind::Decomposer,
+        UnitKind::Fft,
+        UnitKind::Vma,
+        UnitKind::Ifft,
+        UnitKind::Accumulator,
+    ];
+
+    /// Display label used in trace output (matches Fig. 8 row names).
+    pub fn label(self) -> &'static str {
+        match self {
+            UnitKind::Rotator => "Rotator",
+            UnitKind::Decomposer => "Decomp.",
+            UnitKind::Fft => "FFT",
+            UnitKind::Vma => "VMA",
+            UnitKind::Ifft => "IFFT",
+            UnitKind::Accumulator => "Accum.",
+        }
+    }
+}
+
+impl std::fmt::Display for UnitKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Timing characterisation of one functional unit for a given
+/// `(parameters, configuration)` pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnitModel {
+    /// Which unit this is.
+    pub kind: UnitKind,
+    /// Busy cycles per LWE per blind-rotation iteration.
+    pub occupancy_cycles: u64,
+    /// Fill latency from first input to first output, in cycles.
+    pub pipeline_latency_cycles: u64,
+}
+
+impl UnitModel {
+    /// Utilisation of this unit when the cluster streams at initiation
+    /// interval `ii` (Fig. 8's per-unit shading).
+    pub fn utilization(&self, ii: u64) -> f64 {
+        if ii == 0 {
+            return 0.0;
+        }
+        self.occupancy_cycles as f64 / ii as f64
+    }
+}
+
+/// Builds the timing models of all six PBS-cluster units, in pipeline
+/// order.
+pub fn pbs_units(params: &TfheParameters, config: &StrixConfig) -> Vec<UnitModel> {
+    vec![
+        rotator_model(params, config),
+        decomposer_model(params, config),
+        fft_model(params, config),
+        vma_model(params, config),
+        ifft_model(params, config),
+        accumulator_model(params, config),
+    ]
+}
+
+/// Ceiling division helper shared by the unit formulas.
+pub(crate) fn div_ceil_u64(a: u64, b: u64) -> u64 {
+    debug_assert!(b > 0);
+    a.div_ceil(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set_i() -> TfheParameters {
+        TfheParameters::set_i()
+    }
+
+    #[test]
+    fn paper_design_point_initiation_interval_is_256() {
+        // Derived in §VI: folded FFT at CLP=4 streams one 1024-coeff
+        // polynomial every 128 cycles; (k+1)·l_b = 4 digit polynomials
+        // over PLP = 2 FFT units gives II = 256 cycles per LWE-iteration.
+        let units = pbs_units(&set_i(), &StrixConfig::paper_default());
+        let ii = units.iter().map(|u| u.occupancy_cycles).max().unwrap();
+        assert_eq!(ii, 256);
+    }
+
+    #[test]
+    fn rotator_is_half_utilized_others_full() {
+        // Fig. 8: decomposer, FFT, VMA, IFFT, accumulator near 100%,
+        // rotator at 50%.
+        let units = pbs_units(&set_i(), &StrixConfig::paper_default());
+        let ii = units.iter().map(|u| u.occupancy_cycles).max().unwrap();
+        for u in &units {
+            let util = u.utilization(ii);
+            if u.kind == UnitKind::Rotator {
+                assert!((util - 0.5).abs() < 1e-9, "rotator {util}");
+            } else {
+                assert!((util - 1.0).abs() < 1e-9, "{:?} {util}", u.kind);
+            }
+        }
+    }
+
+    #[test]
+    fn non_folded_initiation_interval_doubles() {
+        // Table VI: removing folding halves throughput — II goes from
+        // 256 to 512 at set I.
+        let units = pbs_units(&set_i(), &StrixConfig::paper_non_folded());
+        let ii = units.iter().map(|u| u.occupancy_cycles).max().unwrap();
+        assert_eq!(ii, 512);
+    }
+
+    #[test]
+    fn set_iv_initiation_interval() {
+        // Set IV (N = 16384, l_b = 2): II = 2·2·8192/4/2 = 4096 cycles.
+        let units = pbs_units(&TfheParameters::set_iv(), &StrixConfig::paper_default());
+        let ii = units.iter().map(|u| u.occupancy_cycles).max().unwrap();
+        assert_eq!(ii, 4096);
+    }
+
+    #[test]
+    fn pipeline_order_and_labels() {
+        let units = pbs_units(&set_i(), &StrixConfig::paper_default());
+        let kinds: Vec<UnitKind> = units.iter().map(|u| u.kind).collect();
+        assert_eq!(kinds, UnitKind::PIPELINE);
+        assert_eq!(UnitKind::Fft.to_string(), "FFT");
+    }
+
+    #[test]
+    fn utilization_handles_zero_ii() {
+        let u = UnitModel {
+            kind: UnitKind::Rotator,
+            occupancy_cycles: 10,
+            pipeline_latency_cycles: 1,
+        };
+        assert_eq!(u.utilization(0), 0.0);
+    }
+}

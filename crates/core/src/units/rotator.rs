@@ -1,0 +1,61 @@
+//! Rotator unit (§V-C): negacyclic rotation and polynomial subtraction.
+//!
+//! The rotator reads the accumulator's `(k+1)` polynomials from the
+//! local scratchpad, rotates them by the modulus-switched mask element
+//! `ã_i` (a lane-aligned cyclic shift plus sign fix-up) and subtracts
+//! the unrotated value — Algorithm 1 line 6. It has `2·CLP` lanes per
+//! instance and `CoLP` instances, so it is deliberately *over-
+//! provisioned*: at the paper's design point it runs at 50% utilisation
+//! (Fig. 8), guaranteeing it never back-pressures the decomposer.
+
+use strix_tfhe::TfheParameters;
+
+use crate::config::StrixConfig;
+use crate::units::{div_ceil_u64, UnitKind, UnitModel};
+
+/// Fixed datapath depth: read, shift, sign fix-up, subtract.
+const ROTATOR_PIPE_DEPTH: u64 = 4;
+
+/// Builds the rotator timing model.
+pub fn rotator_model(params: &TfheParameters, config: &StrixConfig) -> UnitModel {
+    let k1 = (params.glwe_dimension + 1) as u64;
+    let n = params.polynomial_size as u64;
+    let lanes = config.stream_lanes() as u64 * config.colp as u64;
+    UnitModel {
+        kind: UnitKind::Rotator,
+        occupancy_cycles: div_ceil_u64(k1 * n, lanes),
+        pipeline_latency_cycles: ROTATOR_PIPE_DEPTH,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_i_occupancy_is_128() {
+        // (k+1)·N / (2·CLP·CoLP) = 2·1024 / 16 = 128 cycles.
+        let m = rotator_model(&TfheParameters::set_i(), &StrixConfig::paper_default());
+        assert_eq!(m.occupancy_cycles, 128);
+    }
+
+    #[test]
+    fn occupancy_scales_with_polynomial_size() {
+        let cfg = StrixConfig::paper_default();
+        let m1 = rotator_model(&TfheParameters::set_i(), &cfg); // N=1024
+        let m3 = rotator_model(&TfheParameters::set_iii(), &cfg); // N=2048
+        assert_eq!(m3.occupancy_cycles, 2 * m1.occupancy_cycles);
+    }
+
+    #[test]
+    fn non_folded_lanes_halve_throughput() {
+        let m = rotator_model(&TfheParameters::set_i(), &StrixConfig::paper_non_folded());
+        assert_eq!(m.occupancy_cycles, 256);
+    }
+
+    #[test]
+    fn latency_is_constant_pipe_depth() {
+        let m = rotator_model(&TfheParameters::set_iv(), &StrixConfig::paper_default());
+        assert_eq!(m.pipeline_latency_cycles, ROTATOR_PIPE_DEPTH);
+    }
+}

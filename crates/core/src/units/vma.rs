@@ -1,0 +1,67 @@
+//! Vector multiply–add unit (§V-C): Fourier-domain external product.
+//!
+//! The VMA multiplies the transformed digit polynomials against the
+//! broadcast bootstrapping-key rows and reduces partial sums through an
+//! adder tree. In the PBS cluster it operates on complex fixed-point
+//! pairs; per LWE-iteration it performs
+//! `(k+1)·l_b × (k+1) × N_fft` complex multiply–accumulates — the
+//! matrix–matrix workload of Fig. 3 — over a capacity of
+//! `CLP × PLP × CoLP` complex MACs per cycle.
+
+use strix_tfhe::TfheParameters;
+
+use crate::config::StrixConfig;
+use crate::units::{div_ceil_u64, fourier_signal_size, UnitKind, UnitModel};
+
+/// Builds the PBS-cluster VMA timing model.
+pub fn vma_model(params: &TfheParameters, config: &StrixConfig) -> UnitModel {
+    let k1 = (params.glwe_dimension + 1) as u64;
+    let l = params.pbs_level as u64;
+    let n_fft = fourier_signal_size(params, config);
+    let cmuls = k1 * l * k1 * n_fft;
+    let capacity = (config.clp * config.plp * config.colp) as u64;
+    UnitModel {
+        kind: UnitKind::Vma,
+        occupancy_cycles: div_ceil_u64(cmuls, capacity),
+        // Complex multiplier + adder-tree depth over PLP rows.
+        pipeline_latency_cycles: 3 + (config.plp as u64).next_power_of_two().trailing_zeros() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_i_occupancy_is_256() {
+        // 2·2·2·512 complex MACs / (4·2·2 per cycle) = 4096/16 = 256.
+        let m = vma_model(&TfheParameters::set_i(), &StrixConfig::paper_default());
+        assert_eq!(m.occupancy_cycles, 256);
+    }
+
+    #[test]
+    fn occupancy_grows_quadratically_with_glwe_dimension() {
+        let cfg = StrixConfig::paper_default();
+        let mut p = TfheParameters::set_i();
+        let base = vma_model(&p, &cfg).occupancy_cycles;
+        p.glwe_dimension = 3; // (k+1) goes 2 → 4: work ×4
+        assert_eq!(vma_model(&p, &cfg).occupancy_cycles, 4 * base);
+    }
+
+    #[test]
+    fn non_folded_spectra_double_the_work() {
+        let p = TfheParameters::set_i();
+        let folded = vma_model(&p, &StrixConfig::paper_default());
+        let plain = vma_model(&p, &StrixConfig::paper_non_folded());
+        assert_eq!(plain.occupancy_cycles, 2 * folded.occupancy_cycles);
+    }
+
+    #[test]
+    fn latency_is_small_and_constant_in_n() {
+        let cfg = StrixConfig::paper_default();
+        let a = vma_model(&TfheParameters::set_i(), &cfg);
+        let b = vma_model(&TfheParameters::set_iv(), &cfg);
+        assert_eq!(a.pipeline_latency_cycles, b.pipeline_latency_cycles);
+        assert!(a.pipeline_latency_cycles < 10);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests of the accelerator model: invariants that must
+//! hold across the whole configuration space, not just the paper's
+//! design point.
+
+use proptest::prelude::*;
+
+use strix_core::{StrixConfig, StrixSimulator};
+use strix_tfhe::TfheParameters;
+
+fn config_strategy() -> impl Strategy<Value = StrixConfig> {
+    (
+        1usize..=16,                      // tvlp
+        prop::sample::select(vec![1usize, 2, 4, 8, 16, 32]), // clp
+        1usize..=4,                       // plp
+        1usize..=4,                       // colp
+        any::<bool>(),                    // folding
+        prop::sample::select(vec![128usize, 320, 640, 1280]), // local KiB
+    )
+        .prop_map(|(tvlp, clp, plp, colp, folding, local_kib)| StrixConfig {
+            tvlp,
+            clp,
+            plp,
+            colp,
+            folding,
+            local_scratchpad_bytes: local_kib * 1024,
+            ..StrixConfig::paper_default()
+        })
+}
+
+fn params_strategy() -> impl Strategy<Value = TfheParameters> {
+    prop::sample::select(vec![
+        TfheParameters::set_i(),
+        TfheParameters::set_ii(),
+        TfheParameters::set_iii(),
+        TfheParameters::set_iv(),
+        TfheParameters::testing_fast(),
+        TfheParameters::testing_k2(),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn reports_are_finite_and_positive(
+        cfg in config_strategy(),
+        params in params_strategy(),
+        lwes in 1usize..10_000,
+    ) {
+        let sim = StrixSimulator::new(cfg, params).unwrap();
+        let r = sim.pbs_report(lwes);
+        prop_assert!(r.latency_s.is_finite() && r.latency_s > 0.0);
+        prop_assert!(r.total_time_s.is_finite() && r.total_time_s > 0.0);
+        prop_assert!(r.throughput_pbs_per_s.is_finite() && r.throughput_pbs_per_s > 0.0);
+        prop_assert!(r.required_bandwidth_gbps.is_finite() && r.required_bandwidth_gbps > 0.0);
+        prop_assert!(r.core_batch >= 1);
+        prop_assert!(r.epochs >= 1);
+    }
+
+    #[test]
+    fn unit_utilization_never_exceeds_one(
+        cfg in config_strategy(),
+        params in params_strategy(),
+    ) {
+        let sim = StrixSimulator::new(cfg, params).unwrap();
+        for (kind, util) in sim.pbs_report(64).unit_utilization {
+            prop_assert!(util > 0.0 && util <= 1.0 + 1e-9, "{kind}: {util}");
+        }
+    }
+
+    #[test]
+    fn batch_time_is_monotone_in_lwes(
+        cfg in config_strategy(),
+        params in params_strategy(),
+        lwes in 1usize..5_000,
+    ) {
+        let sim = StrixSimulator::new(cfg, params).unwrap();
+        let t1 = sim.pbs_report(lwes).total_time_s;
+        let t2 = sim.pbs_report(lwes * 2).total_time_s;
+        prop_assert!(t2 >= t1, "doubling the batch shrank the time: {t1} -> {t2}");
+    }
+
+    #[test]
+    fn throughput_never_exceeds_compute_peak(
+        cfg in config_strategy(),
+        params in params_strategy(),
+    ) {
+        // Peak = TvLP cores each finishing one LWE every n·II cycles.
+        let sim = StrixSimulator::new(cfg.clone(), params.clone()).unwrap();
+        let r = sim.pbs_report(1 << 14);
+        let ii = sim.pbs_cluster().initiation_interval_cycles() as f64;
+        let peak = cfg.tvlp as f64 * cfg.clock_hz()
+            / (params.lwe_dimension as f64 * ii);
+        prop_assert!(
+            r.throughput_pbs_per_s <= peak * (1.0 + 1e-9),
+            "thr {} above compute peak {peak}",
+            r.throughput_pbs_per_s
+        );
+    }
+
+    #[test]
+    fn memory_bound_iff_fetch_exceeds_compute(
+        cfg in config_strategy(),
+        params in params_strategy(),
+    ) {
+        let sim = StrixSimulator::new(cfg, params).unwrap();
+        let r = sim.pbs_report(256);
+        if r.memory_bound {
+            prop_assert!(r.iteration_cycles > r.compute_iteration_cycles);
+        } else {
+            prop_assert_eq!(r.iteration_cycles, r.compute_iteration_cycles);
+        }
+    }
+
+    #[test]
+    fn folding_never_hurts_throughput(
+        params in params_strategy(),
+        tvlp in 1usize..=8,
+    ) {
+        let folded = StrixConfig { tvlp, folding: true, ..StrixConfig::paper_default() };
+        let plain = StrixConfig { tvlp, folding: false, ..StrixConfig::paper_default() };
+        let tf = StrixSimulator::new(folded, params.clone()).unwrap()
+            .pbs_report(1024).throughput_pbs_per_s;
+        let tp = StrixSimulator::new(plain, params).unwrap()
+            .pbs_report(1024).throughput_pbs_per_s;
+        prop_assert!(tf >= tp * 0.999, "folding lost throughput: {tf} vs {tp}");
+    }
+
+    #[test]
+    fn trace_occupancies_are_valid_fractions(
+        params in params_strategy(),
+        batch in 1usize..6,
+        iterations in 1usize..8,
+    ) {
+        let cfg = StrixConfig::paper_default().with_core_batch(batch);
+        let sim = StrixSimulator::new(cfg, params).unwrap();
+        let trace = sim.trace(iterations);
+        for row in trace.rows() {
+            let occ = row.occupancy(trace.horizon_cycles());
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&occ), "{}: {occ}", row.label);
+        }
+    }
+
+    #[test]
+    fn report_serde_round_trips(
+        cfg in config_strategy(),
+        params in params_strategy(),
+    ) {
+        let sim = StrixSimulator::new(cfg, params).unwrap();
+        let r = sim.pbs_report(128);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: strix_core::PbsReport = serde_json::from_str(&json).unwrap();
+        // JSON text round-trips floats to within an ulp.
+        let rel = (r.throughput_pbs_per_s - back.throughput_pbs_per_s).abs()
+            / r.throughput_pbs_per_s;
+        prop_assert!(rel < 1e-12, "throughput drifted by {rel}");
+        prop_assert_eq!(r.epochs, back.epochs);
+        prop_assert_eq!(r.core_batch, back.core_batch);
+    }
+}

@@ -1,0 +1,51 @@
+//! Floating-point FFT kernels for negacyclic polynomial arithmetic.
+//!
+//! This crate provides the transform layer that both the software TFHE
+//! implementation (`strix-tfhe`) and the Strix accelerator model
+//! (`strix-core`) are built on:
+//!
+//! * [`Complex64`] — a minimal complex number type (kept dependency-free),
+//! * [`FftPlan`] — an iterative radix-2 decimation-in-time FFT with
+//!   precomputed twiddle factors and bit-reversal tables,
+//! * [`NegacyclicFft`] — the *folding scheme* of the Strix paper (§V-A):
+//!   an `N`-coefficient negacyclic transform computed on an `N/2`-point
+//!   complex FFT by packing `a_j + i·a_{j+N/2}` and twisting by the odd
+//!   2N-th roots of unity,
+//! * [`mod@reference`] — exact schoolbook negacyclic convolution used as the
+//!   correctness oracle in tests and for small parameter sets.
+//!
+//! # Example
+//!
+//! ```
+//! use strix_fft::NegacyclicFft;
+//!
+//! # fn main() -> Result<(), strix_fft::FftError> {
+//! let fft = NegacyclicFft::new(8)?;
+//! let a = [1i64, 2, 3, 4, 5, 6, 7, 8];
+//! let b = [1i64, 0, 0, 0, 0, 0, 0, 0];
+//! let mut out = [0i64; 8];
+//! fft.negacyclic_mul_i64(&a, &b, &mut out)?;
+//! assert_eq!(out, a); // multiplying by 1 is the identity
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod complex;
+mod error;
+mod negacyclic;
+mod plan;
+pub mod planner;
+pub mod reference;
+
+pub use complex::Complex64;
+pub use error::FftError;
+pub use negacyclic::{pointwise_mul_add, NegacyclicFft};
+pub use plan::FftPlan;
+
+/// Returns `true` if `n` is a power of two greater than or equal to `min`.
+pub(crate) fn is_pow2_at_least(n: usize, min: usize) -> bool {
+    n >= min && n.is_power_of_two()
+}

@@ -1,0 +1,338 @@
+//! Negacyclic polynomial transform via the folding scheme (Strix §V-A).
+//!
+//! TFHE multiplies polynomials in `Z[X]/(X^N + 1)` (negacyclic
+//! convolution). The roots of `X^N + 1` are the *odd* 2N-th roots of
+//! unity, which come in conjugate pairs for real inputs, so only `N/2`
+//! complex evaluations are needed.
+//!
+//! The folding scheme packs the second half of the polynomial into the
+//! imaginary lane of the first half — `z_j = a_j + i·a_{j+N/2}` — twists
+//! by `e^{iπj/N}`, and runs an `N/2`-point complex FFT. Bin `k` of the
+//! resulting spectrum holds `a(ω^{1−4k mod 2N})` for `ω = e^{iπ/N}` —
+//! one evaluation per conjugate pair of odd 2N-th roots. This is exactly the optimisation that lets the Strix
+//! FFT unit transform 16,384-coefficient polynomials on an 8,192-point
+//! pipeline, halving latency and area (paper Table VI), and it is also
+//! how Concrete/tfhe-rs perform the transform in software.
+
+use crate::complex::Complex64;
+use crate::error::FftError;
+use crate::is_pow2_at_least;
+use crate::plan::FftPlan;
+
+/// Negacyclic transform of real polynomials with `N` coefficients using an
+/// `N/2`-point complex FFT.
+///
+/// # Example
+///
+/// Negacyclic wrap-around: `X^{N-1} · X = X^N = -1` in `Z[X]/(X^N+1)`.
+///
+/// ```
+/// use strix_fft::NegacyclicFft;
+///
+/// # fn main() -> Result<(), strix_fft::FftError> {
+/// let fft = NegacyclicFft::new(4)?;
+/// let x3 = [0i64, 0, 0, 1]; // X^3
+/// let x1 = [0i64, 1, 0, 0]; // X
+/// let mut out = [0i64; 4];
+/// fft.negacyclic_mul_i64(&x3, &x1, &mut out)?;
+/// assert_eq!(out, [-1, 0, 0, 0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct NegacyclicFft {
+    poly_size: usize,
+    plan: FftPlan,
+    /// Twist factors `e^{iπj/N}` for `j` in `[0, N/2)`.
+    twist: Vec<Complex64>,
+    /// Inverse twist factors `e^{-iπj/N}`.
+    untwist: Vec<Complex64>,
+}
+
+impl NegacyclicFft {
+    /// Smallest supported polynomial size.
+    pub const MIN_POLY_SIZE: usize = 2;
+
+    /// Creates a transform for polynomials with `poly_size` coefficients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::InvalidSize`] unless `poly_size` is a power of
+    /// two, at least [`Self::MIN_POLY_SIZE`].
+    pub fn new(poly_size: usize) -> Result<Self, FftError> {
+        if !is_pow2_at_least(poly_size, Self::MIN_POLY_SIZE) {
+            return Err(FftError::InvalidSize {
+                requested: poly_size,
+                min: Self::MIN_POLY_SIZE,
+            });
+        }
+        let half = poly_size / 2;
+        let plan = FftPlan::new(half)?;
+        let mut twist = Vec::with_capacity(half);
+        let mut untwist = Vec::with_capacity(half);
+        for j in 0..half {
+            let theta = std::f64::consts::PI * j as f64 / poly_size as f64;
+            twist.push(Complex64::cis(theta));
+            untwist.push(Complex64::cis(-theta));
+        }
+        Ok(Self { poly_size, plan, twist, untwist })
+    }
+
+    /// Number of coefficients in the time-domain polynomial (`N`).
+    #[inline]
+    pub fn poly_size(&self) -> usize {
+        self.poly_size
+    }
+
+    /// Number of complex points in the Fourier domain (`N/2`) — the size
+    /// of the *folded* FFT pipeline the hardware instantiates.
+    #[inline]
+    pub fn fourier_size(&self) -> usize {
+        self.poly_size / 2
+    }
+
+    /// Forward transform of a polynomial given as `f64` coefficients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if `poly.len() != N` or
+    /// `out.len() != N/2`.
+    pub fn forward_f64(&self, poly: &[f64], out: &mut [Complex64]) -> Result<(), FftError> {
+        self.check_time_len(poly.len())?;
+        self.check_freq_len(out.len())?;
+        let half = self.fourier_size();
+        for j in 0..half {
+            let folded = Complex64::new(poly[j], poly[j + half]);
+            out[j] = folded * self.twist[j];
+        }
+        self.plan.forward(out)
+    }
+
+    /// Forward transform of a polynomial given as `i64` coefficients
+    /// (e.g. gadget-decomposed digits, which are small signed integers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] on buffer size mismatch.
+    pub fn forward_i64(&self, poly: &[i64], out: &mut [Complex64]) -> Result<(), FftError> {
+        self.check_time_len(poly.len())?;
+        self.check_freq_len(out.len())?;
+        let half = self.fourier_size();
+        for j in 0..half {
+            let folded = Complex64::new(poly[j] as f64, poly[j + half] as f64);
+            out[j] = folded * self.twist[j];
+        }
+        self.plan.forward(out)
+    }
+
+    /// Inverse transform producing `f64` coefficients; normalised so that
+    /// `backward(forward(a)) = a`.
+    ///
+    /// `spectrum` is consumed in place as scratch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] on buffer size mismatch.
+    pub fn backward_f64(
+        &self,
+        spectrum: &mut [Complex64],
+        out: &mut [f64],
+    ) -> Result<(), FftError> {
+        self.check_freq_len(spectrum.len())?;
+        self.check_time_len(out.len())?;
+        self.plan.inverse(spectrum)?;
+        let half = self.fourier_size();
+        for j in 0..half {
+            let z = spectrum[j] * self.untwist[j];
+            out[j] = z.re;
+            out[j + half] = z.im;
+        }
+        Ok(())
+    }
+
+    /// Exact negacyclic product of two small-integer polynomials, rounded
+    /// to the nearest integer. Intended for tests and small values; exact
+    /// as long as intermediate magnitudes stay below 2^52.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] on buffer size mismatch.
+    pub fn negacyclic_mul_i64(
+        &self,
+        a: &[i64],
+        b: &[i64],
+        out: &mut [i64],
+    ) -> Result<(), FftError> {
+        self.check_time_len(a.len())?;
+        self.check_time_len(b.len())?;
+        self.check_time_len(out.len())?;
+        let half = self.fourier_size();
+        let mut fa = vec![Complex64::ZERO; half];
+        let mut fb = vec![Complex64::ZERO; half];
+        self.forward_i64(a, &mut fa)?;
+        self.forward_i64(b, &mut fb)?;
+        for (x, y) in fa.iter_mut().zip(&fb) {
+            *x *= *y;
+        }
+        let mut res = vec![0.0f64; self.poly_size];
+        self.backward_f64(&mut fa, &mut res)?;
+        for (o, r) in out.iter_mut().zip(&res) {
+            *o = r.round() as i64;
+        }
+        Ok(())
+    }
+
+    fn check_time_len(&self, len: usize) -> Result<(), FftError> {
+        if len != self.poly_size {
+            return Err(FftError::LengthMismatch { expected: self.poly_size, actual: len });
+        }
+        Ok(())
+    }
+
+    fn check_freq_len(&self, len: usize) -> Result<(), FftError> {
+        if len != self.fourier_size() {
+            return Err(FftError::LengthMismatch {
+                expected: self.fourier_size(),
+                actual: len,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Multiplies `a` and `b` pointwise, accumulating into `acc`:
+/// `acc_k += a_k · b_k`.
+///
+/// This is the software analogue of the Strix VMA unit's
+/// multiply-and-adder-tree datapath operating on Fourier coefficients.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths (programming error — the
+/// buffers come from plans of matching size).
+#[inline]
+pub fn pointwise_mul_add(acc: &mut [Complex64], a: &[Complex64], b: &[Complex64]) {
+    assert_eq!(acc.len(), a.len(), "pointwise length mismatch");
+    assert_eq!(acc.len(), b.len(), "pointwise length mismatch");
+    for ((s, x), y) in acc.iter_mut().zip(a).zip(b) {
+        *s += *x * *y;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+
+    #[test]
+    fn rejects_tiny_or_odd_sizes() {
+        assert!(NegacyclicFft::new(1).is_err());
+        assert!(NegacyclicFft::new(6).is_err());
+        assert!(NegacyclicFft::new(2).is_ok());
+    }
+
+    #[test]
+    fn fourier_size_is_half() {
+        let fft = NegacyclicFft::new(1024).unwrap();
+        assert_eq!(fft.poly_size(), 1024);
+        assert_eq!(fft.fourier_size(), 512);
+    }
+
+    #[test]
+    fn forward_backward_round_trip() {
+        for log_n in 1..=11 {
+            let n = 1usize << log_n;
+            let fft = NegacyclicFft::new(n).unwrap();
+            let poly: Vec<f64> = (0..n).map(|i| ((i * 7919) % 257) as f64 - 128.0).collect();
+            let mut spec = vec![Complex64::ZERO; n / 2];
+            fft.forward_f64(&poly, &mut spec).unwrap();
+            let mut back = vec![0.0f64; n];
+            fft.backward_f64(&mut spec, &mut back).unwrap();
+            for (a, b) in poly.iter().zip(&back) {
+                assert!((a - b).abs() < 1e-7, "{a} vs {b} at n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn spectrum_evaluates_at_odd_roots() {
+        // Z_k must equal a(ω^{1-4k mod 2N}) with ω = e^{iπ/N}: the twist
+        // contributes e^{+iπj/N} while the FFT kernel contributes
+        // e^{-4πijk/N}.
+        let n = 16;
+        let fft = NegacyclicFft::new(n).unwrap();
+        let poly: Vec<i64> = (0..n as i64).map(|i| i * i - 5).collect();
+        let mut spec = vec![Complex64::ZERO; n / 2];
+        fft.forward_i64(&poly, &mut spec).unwrap();
+        for (k, z) in spec.iter().enumerate() {
+            let m = (1isize - 4 * k as isize).rem_euclid(2 * n as isize) as usize;
+            assert_eq!(m % 2, 1, "evaluation points must be odd 2N-th roots");
+            let root = Complex64::cis(std::f64::consts::PI * m as f64 / n as f64);
+            let mut eval = Complex64::ZERO;
+            let mut pow = Complex64::ONE;
+            for &c in &poly {
+                eval += pow.scale(c as f64);
+                pow *= root;
+            }
+            assert!((*z - eval).abs() < 1e-8, "bin {k}: {z} vs {eval}");
+        }
+    }
+
+    #[test]
+    fn multiplication_matches_schoolbook() {
+        for log_n in 1..=9 {
+            let n = 1usize << log_n;
+            let fft = NegacyclicFft::new(n).unwrap();
+            let a: Vec<i64> = (0..n).map(|i| ((i * 31 + 7) % 41) as i64 - 20).collect();
+            let b: Vec<i64> = (0..n).map(|i| ((i * 17 + 3) % 37) as i64 - 18).collect();
+            let expected = reference::negacyclic_mul(&a, &b);
+            let mut out = vec![0i64; n];
+            fft.negacyclic_mul_i64(&a, &b, &mut out).unwrap();
+            assert_eq!(out, expected, "n={n}");
+        }
+    }
+
+    #[test]
+    fn negacyclic_wraparound_sign() {
+        // X^{N/2} * X^{N/2} = X^N = -1.
+        let n = 8;
+        let fft = NegacyclicFft::new(n).unwrap();
+        let mut a = vec![0i64; n];
+        a[n / 2] = 1;
+        let mut out = vec![0i64; n];
+        fft.negacyclic_mul_i64(&a, &a, &mut out).unwrap();
+        let mut expected = vec![0i64; n];
+        expected[0] = -1;
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn pointwise_mul_add_accumulates() {
+        let a = [Complex64::new(1.0, 2.0), Complex64::new(0.0, 1.0)];
+        let b = [Complex64::new(3.0, 0.0), Complex64::new(0.0, 1.0)];
+        let mut acc = [Complex64::new(1.0, 1.0), Complex64::ZERO];
+        pointwise_mul_add(&mut acc, &a, &b);
+        assert_eq!(acc[0], Complex64::new(4.0, 7.0));
+        assert_eq!(acc[1], Complex64::new(-1.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "pointwise length mismatch")]
+    fn pointwise_mul_add_panics_on_mismatch() {
+        let a = [Complex64::ZERO; 2];
+        let b = [Complex64::ZERO; 3];
+        let mut acc = [Complex64::ZERO; 2];
+        pointwise_mul_add(&mut acc, &a, &b);
+    }
+
+    #[test]
+    fn buffer_mismatch_is_reported() {
+        let fft = NegacyclicFft::new(8).unwrap();
+        let poly = vec![0.0f64; 8];
+        let mut wrong = vec![Complex64::ZERO; 8]; // should be 4
+        assert_eq!(
+            fft.forward_f64(&poly, &mut wrong).unwrap_err(),
+            FftError::LengthMismatch { expected: 4, actual: 8 }
+        );
+    }
+}

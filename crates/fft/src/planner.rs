@@ -1,0 +1,130 @@
+//! Shared transform-plan cache.
+//!
+//! Twiddle tables are immutable once built, so every bootstrapping key,
+//! keyswitching pipeline and benchmark harness working at the same `N`
+//! can share one [`NegacyclicFft`]. The cache hands out `Arc`s; the
+//! global instance lives for the process lifetime.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::error::FftError;
+use crate::negacyclic::NegacyclicFft;
+
+/// A thread-safe cache of negacyclic transforms keyed by polynomial
+/// size.
+///
+/// # Example
+///
+/// ```
+/// use strix_fft::planner::PlanCache;
+///
+/// # fn main() -> Result<(), strix_fft::FftError> {
+/// let cache = PlanCache::new();
+/// let a = cache.get_or_create(1024)?;
+/// let b = cache.get_or_create(1024)?;
+/// assert!(std::sync::Arc::ptr_eq(&a, &b)); // same plan, shared
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: Mutex<HashMap<usize, Arc<NegacyclicFft>>>,
+}
+
+impl PlanCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached transform for `poly_size`, building it on
+    /// first use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::InvalidSize`] if `poly_size` is unsupported.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock was poisoned by a panicking thread.
+    pub fn get_or_create(&self, poly_size: usize) -> Result<Arc<NegacyclicFft>, FftError> {
+        let mut plans = self.plans.lock().expect("plan cache lock poisoned");
+        if let Some(plan) = plans.get(&poly_size) {
+            return Ok(Arc::clone(plan));
+        }
+        let plan = Arc::new(NegacyclicFft::new(poly_size)?);
+        plans.insert(poly_size, Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// Number of distinct sizes currently cached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock was poisoned.
+    pub fn len(&self) -> usize {
+        self.plans.lock().expect("plan cache lock poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock was poisoned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The process-wide plan cache.
+pub fn global() -> &'static PlanCache {
+    static GLOBAL: OnceLock<PlanCache> = OnceLock::new();
+    GLOBAL.get_or_init(PlanCache::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_returns_shared_instances() {
+        let cache = PlanCache::new();
+        assert!(cache.is_empty());
+        let a = cache.get_or_create(256).unwrap();
+        let b = cache.get_or_create(256).unwrap();
+        let c = cache.get_or_create(512).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn invalid_sizes_are_rejected_not_cached() {
+        let cache = PlanCache::new();
+        assert!(cache.get_or_create(3).is_err());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn global_cache_is_singleton() {
+        let a = global().get_or_create(128).unwrap();
+        let b = global().get_or_create(128).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn cache_is_usable_across_threads() {
+        let cache = std::sync::Arc::new(PlanCache::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || cache.get_or_create(1024).unwrap().poly_size())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 1024);
+        }
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,56 @@
+//! **Strix** — an end-to-end reproduction of the MICRO 2023 paper
+//! *"Strix: An End-to-End Streaming Architecture with Two-Level
+//! Ciphertext Batching for Fully Homomorphic Encryption with
+//! Programmable Bootstrapping"*.
+//!
+//! This umbrella crate re-exports the whole stack:
+//!
+//! * [`tfhe`] — a from-scratch TFHE implementation (LWE/GLWE/GGSW,
+//!   programmable bootstrapping, keyswitching, boolean gates, LUT
+//!   evaluation) that serves as both the functional substrate and the
+//!   measured CPU baseline,
+//! * [`fft`] — negacyclic FFT kernels with the paper's folding scheme,
+//! * [`core`] — the cycle-level Strix accelerator model (functional
+//!   units, HSC pipeline, memory system, two-level batching scheduler,
+//!   area/power model),
+//! * [`baselines`] — CPU/GPU/published-accelerator comparison models,
+//! * [`workloads`] — gate circuits and the Zama Deep-NN models.
+//!
+//! # Which crate do I want?
+//!
+//! *Encrypting data and running homomorphic circuits*: use [`tfhe`]
+//! (start from [`tfhe::prelude`]). *Estimating how fast the Strix
+//! accelerator executes a workload*: build a [`core::StrixSimulator`]
+//! and feed it a [`core::Workload`]. *Regenerating the paper's tables
+//! and figures*: run the bench targets of the `strix-bench` crate.
+//!
+//! # Example: a homomorphic gate next to its accelerator estimate
+//!
+//! ```
+//! use strix::tfhe::prelude::*;
+//! use strix::core::{StrixConfig, StrixSimulator};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Functional path: encrypt, evaluate, decrypt.
+//! let params = TfheParameters::testing_fast();
+//! let (mut client, server) = generate_keys(&params, 7);
+//! let a = client.encrypt_bool(true);
+//! let b = client.encrypt_bool(true);
+//! assert!(client.decrypt_bool(&server.and(&a, &b)?));
+//!
+//! // Performance path: how fast would Strix bootstrap 1024 LWEs?
+//! let sim = StrixSimulator::new(StrixConfig::paper_default(), TfheParameters::set_i())?;
+//! let report = sim.pbs_report(1024);
+//! assert!(report.throughput_pbs_per_s > 1_000.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use strix_baselines as baselines;
+pub use strix_core as core;
+pub use strix_fft as fft;
+pub use strix_tfhe as tfhe;
+pub use strix_workloads as workloads;

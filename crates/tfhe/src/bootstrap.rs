@@ -1,0 +1,538 @@
+//! Programmable bootstrapping (Algorithm 1).
+//!
+//! PBS refreshes the noise of an LWE ciphertext while evaluating an
+//! arbitrary univariate function encoded in a test vector:
+//!
+//! 1. **Modulus switching** — every ciphertext element is switched from
+//!    `q = 2^64` to `2N`, turning it into a rotation amount.
+//! 2. **Blind rotation** — `n` sequential CMUX iterations rotate the
+//!    test vector by the (encrypted) phase. Each iteration performs a
+//!    rotate-and-subtract, a gadget decomposition and an external
+//!    product — the six-stage dataflow of the Strix PBS cluster.
+//! 3. **Sample extraction** — coefficient 0 of the rotated accumulator
+//!    is extracted as an LWE ciphertext of dimension `k·N`.
+//!
+//! Note on Algorithm 1 as printed: line 6 shows the accumulator update
+//! as `tv − Rotate(tv)` feeding the external product directly; the
+//! mathematically complete CMUX also re-adds the untouched accumulator,
+//! `acc ← acc + bsk_i ⊡ (X^{ã_i}·acc − acc)`, which is what every TFHE
+//! library computes and what we implement. The per-iteration workload
+//! (one rotation/subtraction, one decomposition, `(k+1)·l_b` FFTs,
+//! `(k+1)²·l_b` pointwise multiplies, `k+1` IFFTs) is identical.
+
+use strix_fft::NegacyclicFft;
+
+use crate::decompose::DecompositionParams;
+use crate::ggsw::{FourierGgsw, GgswCiphertext};
+use crate::glwe::{GlweCiphertext, GlweSecretKey};
+use crate::lwe::{LweCiphertext, LweSecretKey};
+use crate::params::TfheParameters;
+use crate::poly::TorusPolynomial;
+use crate::profiler::{PbsStage, StageTimings};
+use crate::rng::NoiseSampler;
+use crate::torus::{encode_fraction, modulus_switch};
+use crate::TfheError;
+
+/// A test vector — the GLWE-encoded look-up table consumed by PBS.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Lut {
+    poly: TorusPolynomial,
+}
+
+impl Lut {
+    /// The sign LUT used by gate bootstrapping: every output is `+μ` for
+    /// phases in the positive half-torus and `−μ` for the negative half
+    /// (via negacyclic wrap-around). All `N` coefficients equal `μ`.
+    pub fn sign(poly_size: usize, mu: u64) -> Self {
+        Self { poly: TorusPolynomial::from_coeffs(vec![mu; poly_size]) }
+    }
+
+    /// Builds the LUT for an arbitrary function over a
+    /// `precision_bits`-bit message space with one padding bit:
+    /// inputs `m ∈ [0, 2^p)` map to `f(m)·Δ` with `Δ = q/2^{p+1}`.
+    ///
+    /// Each message owns a *box* of `N/2^p` consecutive coefficients;
+    /// the final half-box rotation centres the boxes so that phases up
+    /// to half a box away from the nominal encoding still decode to the
+    /// right entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TfheError::InvalidParameters`] if `2^p > N` (boxes
+    /// would be empty) or `p >= 63`.
+    pub fn from_function<F>(
+        poly_size: usize,
+        precision_bits: u32,
+        f: F,
+    ) -> Result<Self, TfheError>
+    where
+        F: Fn(u64) -> u64,
+    {
+        if precision_bits >= 63 {
+            return Err(TfheError::InvalidParameters("precision must be below 63 bits"));
+        }
+        Self::from_function_scaled(poly_size, precision_bits, 64 - precision_bits - 1, f)
+    }
+
+    /// As [`Self::from_function`], but with an explicit output scale:
+    /// LUT entries are `f(m) · 2^output_shift`. Input decoding still
+    /// follows `precision_bits`. Used when the PBS must *re-encode*
+    /// messages into a different space — e.g. moving an operand into
+    /// the low half of a packed bivariate message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TfheError::InvalidParameters`] if `2^precision_bits`
+    /// exceeds the polynomial size or the shift exceeds the torus.
+    pub fn from_function_scaled<F>(
+        poly_size: usize,
+        precision_bits: u32,
+        output_shift: u32,
+        f: F,
+    ) -> Result<Self, TfheError>
+    where
+        F: Fn(u64) -> u64,
+    {
+        if output_shift >= 64 {
+            return Err(TfheError::InvalidParameters("output shift exceeds the torus"));
+        }
+        let space = 1usize << precision_bits;
+        if space > poly_size {
+            return Err(TfheError::InvalidParameters(
+                "message space larger than polynomial size",
+            ));
+        }
+        let box_size = poly_size / space;
+        let mut coeffs = vec![0u64; poly_size];
+        for (j, c) in coeffs.iter_mut().enumerate() {
+            let m = (j / box_size) as u64;
+            *c = f(m).wrapping_shl(output_shift);
+        }
+        let poly = TorusPolynomial::from_coeffs(coeffs).rotate_left(box_size / 2);
+        Ok(Self { poly })
+    }
+
+    /// The underlying test-vector polynomial.
+    #[inline]
+    pub fn poly(&self) -> &TorusPolynomial {
+        &self.poly
+    }
+
+    /// Polynomial size `N`.
+    #[inline]
+    pub fn poly_size(&self) -> usize {
+        self.poly.size()
+    }
+}
+
+/// The bootstrapping key: `n` Fourier-domain GGSW encryptions of the LWE
+/// secret-key bits, plus the FFT plan they were transformed under.
+#[derive(Clone, Debug)]
+pub struct BootstrapKey {
+    ggsws: Vec<FourierGgsw>,
+    fft: NegacyclicFft,
+    glwe_dimension: usize,
+    poly_size: usize,
+    decomp: DecompositionParams,
+}
+
+impl BootstrapKey {
+    /// Generates a bootstrapping key encrypting `lwe_sk` under `glwe_sk`.
+    pub fn generate(
+        lwe_sk: &LweSecretKey,
+        glwe_sk: &GlweSecretKey,
+        params: &TfheParameters,
+        rng: &mut NoiseSampler,
+    ) -> Self {
+        let decomp = DecompositionParams::new(params.pbs_base_log, params.pbs_level);
+        let fft = NegacyclicFft::new(params.polynomial_size)
+            .expect("validated parameters have power-of-two N");
+        let ggsws = lwe_sk
+            .bits()
+            .iter()
+            .map(|&s| {
+                GgswCiphertext::encrypt_scalar(s, glwe_sk, decomp, params.glwe_noise_std, rng)
+                    .to_fourier(&fft)
+            })
+            .collect();
+        Self {
+            ggsws,
+            fft,
+            glwe_dimension: params.glwe_dimension,
+            poly_size: params.polynomial_size,
+            decomp,
+        }
+    }
+
+    /// Generates a *timing-equivalent* bootstrapping key without real
+    /// encryption: every GGSW row is a trivial (zero-mask) encryption
+    /// carrying only the gadget term for secret bit 0.
+    ///
+    /// Running PBS with this key performs exactly the same arithmetic
+    /// (same decompositions, FFTs, multiplies) as with a real key, so
+    /// it is suitable for the CPU-baseline *performance* measurements
+    /// at large parameter sets, where real key generation via the exact
+    /// schoolbook path would be prohibitive. It is cryptographically
+    /// meaningless — outputs decrypt to the unrotated test vector.
+    pub fn generate_for_benchmark(params: &TfheParameters) -> Self {
+        let decomp = DecompositionParams::new(params.pbs_base_log, params.pbs_level);
+        let fft = NegacyclicFft::new(params.polynomial_size)
+            .expect("validated parameters have power-of-two N");
+        // GGSW of message 1: gadget terms give the spectra non-trivial
+        // values so the FFT timing is honest.
+        let template = GgswCiphertext::trivial(
+            1,
+            params.glwe_dimension,
+            params.polynomial_size,
+            decomp,
+        )
+        .to_fourier(&fft);
+        let ggsws = vec![template; params.lwe_dimension];
+        Self {
+            ggsws,
+            fft,
+            glwe_dimension: params.glwe_dimension,
+            poly_size: params.polynomial_size,
+            decomp,
+        }
+    }
+
+    /// Input LWE dimension `n` (number of blind-rotation iterations).
+    #[inline]
+    pub fn input_dimension(&self) -> usize {
+        self.ggsws.len()
+    }
+
+    /// Output LWE dimension `k·N` after sample extraction.
+    #[inline]
+    pub fn output_dimension(&self) -> usize {
+        self.glwe_dimension * self.poly_size
+    }
+
+    /// Polynomial size `N`.
+    #[inline]
+    pub fn poly_size(&self) -> usize {
+        self.poly_size
+    }
+
+    /// The decomposition used by the external products.
+    #[inline]
+    pub fn decomposition(&self) -> DecompositionParams {
+        self.decomp
+    }
+
+    /// The FFT plan shared by all external products.
+    #[inline]
+    pub fn fft(&self) -> &NegacyclicFft {
+        &self.fft
+    }
+
+    /// Total Fourier-domain key size in bytes (HBM traffic per full PBS).
+    pub fn byte_size(&self) -> usize {
+        self.ggsws.iter().map(FourierGgsw::byte_size).sum()
+    }
+
+    /// Blind rotation (Algorithm 1 lines 2–12): rotates `lut` by the
+    /// encrypted phase of `ct`, returning the GLWE accumulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TfheError::ParameterMismatch`] if the ciphertext
+    /// dimension or LUT size disagrees with the key.
+    pub fn blind_rotate(
+        &self,
+        ct: &LweCiphertext,
+        lut: &Lut,
+    ) -> Result<GlweCiphertext, TfheError> {
+        self.blind_rotate_impl(ct, lut, None)
+    }
+
+    /// Blind rotation with stage timing instrumentation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TfheError::ParameterMismatch`] on shape mismatch.
+    pub fn blind_rotate_profiled(
+        &self,
+        ct: &LweCiphertext,
+        lut: &Lut,
+        timings: &mut StageTimings,
+    ) -> Result<GlweCiphertext, TfheError> {
+        self.blind_rotate_impl(ct, lut, Some(timings))
+    }
+
+    fn blind_rotate_impl(
+        &self,
+        ct: &LweCiphertext,
+        lut: &Lut,
+        mut timings: Option<&mut StageTimings>,
+    ) -> Result<GlweCiphertext, TfheError> {
+        if ct.dimension() != self.input_dimension() {
+            return Err(TfheError::ParameterMismatch {
+                what: "lwe dimension",
+                left: ct.dimension(),
+                right: self.input_dimension(),
+            });
+        }
+        if lut.poly_size() != self.poly_size {
+            return Err(TfheError::ParameterMismatch {
+                what: "polynomial size",
+                left: lut.poly_size(),
+                right: self.poly_size,
+            });
+        }
+        let log2_two_n = self.poly_size.trailing_zeros() + 1;
+
+        // Modulus switching of the body, then the initial left rotation
+        // (Algorithm 1 lines 3–4).
+        let t0 = std::time::Instant::now();
+        let b_tilde = modulus_switch(ct.body(), log2_two_n) as usize;
+        if let Some(t) = timings.as_deref_mut() {
+            t.add(PbsStage::ModSwitch, t0.elapsed());
+        }
+        let mut acc =
+            GlweCiphertext::trivial(self.glwe_dimension, lut.poly().rotate_left(b_tilde));
+
+        // Blind rotation loop (lines 5–12).
+        for (ggsw, &a) in self.ggsws.iter().zip(ct.mask()) {
+            let t0 = std::time::Instant::now();
+            let a_tilde = modulus_switch(a, log2_two_n) as usize;
+            if let Some(t) = timings.as_deref_mut() {
+                t.add(PbsStage::ModSwitch, t0.elapsed());
+            }
+            if a_tilde == 0 {
+                continue;
+            }
+            // Rotate-and-subtract (rotator unit).
+            let t0 = std::time::Instant::now();
+            let mut diff = acc.rotate_right(a_tilde);
+            diff.sub_assign(&acc)?;
+            if let Some(t) = timings.as_deref_mut() {
+                t.add(PbsStage::Rotate, t0.elapsed());
+            }
+            // External product (decomposer, FFT, VMA, IFFT, accumulator).
+            let prod = match timings.as_deref_mut() {
+                Some(t) => ggsw.external_product_profiled(&diff, &self.fft, t),
+                None => ggsw.external_product(&diff, &self.fft),
+            };
+            acc.add_assign(&prod)?;
+        }
+        Ok(acc)
+    }
+
+    /// Full programmable bootstrap: blind rotation followed by sample
+    /// extraction. The output is an LWE ciphertext of dimension `k·N`
+    /// encrypting `lut[phase]` with *fresh* noise, still under the
+    /// extracted key — keyswitching back to the original key is a
+    /// separate step (Algorithm 2, [`crate::keyswitch`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TfheError::ParameterMismatch`] on shape mismatch.
+    pub fn bootstrap(&self, ct: &LweCiphertext, lut: &Lut) -> Result<LweCiphertext, TfheError> {
+        Ok(self.blind_rotate(ct, lut)?.sample_extract())
+    }
+
+    /// Profiled variant of [`Self::bootstrap`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TfheError::ParameterMismatch`] on shape mismatch.
+    pub fn bootstrap_profiled(
+        &self,
+        ct: &LweCiphertext,
+        lut: &Lut,
+        timings: &mut StageTimings,
+    ) -> Result<LweCiphertext, TfheError> {
+        let acc = self.blind_rotate_profiled(ct, lut, timings)?;
+        let t0 = std::time::Instant::now();
+        let out = acc.sample_extract();
+        timings.add(PbsStage::SampleExtract, t0.elapsed());
+        Ok(out)
+    }
+}
+
+/// Encodes a boolean as `±1/8` on the torus (gate-bootstrapping
+/// convention).
+#[inline]
+pub fn encode_bool(b: bool) -> u64 {
+    if b {
+        encode_fraction(1, 3)
+    } else {
+        encode_fraction(-1, 3)
+    }
+}
+
+/// Decodes a phase to a boolean by its torus sign.
+#[inline]
+pub fn decode_bool(phase: u64) -> bool {
+    (phase as i64) > 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::torus::decode_message;
+
+    struct Fixture {
+        params: TfheParameters,
+        lwe_sk: LweSecretKey,
+        glwe_sk: GlweSecretKey,
+        extracted: LweSecretKey,
+        bsk: BootstrapKey,
+        rng: NoiseSampler,
+    }
+
+    fn fixture(params: TfheParameters) -> Fixture {
+        let mut rng = NoiseSampler::from_seed(4242);
+        let lwe_sk = LweSecretKey::generate(params.lwe_dimension, &mut rng);
+        let glwe_sk =
+            GlweSecretKey::generate(params.glwe_dimension, params.polynomial_size, &mut rng);
+        let extracted = glwe_sk.to_extracted_lwe_key();
+        let bsk = BootstrapKey::generate(&lwe_sk, &glwe_sk, &params, &mut rng);
+        Fixture { params, lwe_sk, glwe_sk, extracted, bsk, rng }
+    }
+
+    #[test]
+    fn lut_sign_shape() {
+        let lut = Lut::sign(64, encode_fraction(1, 3));
+        assert!(lut.poly().coeffs().iter().all(|&c| c == encode_fraction(1, 3)));
+    }
+
+    #[test]
+    fn lut_from_function_rejects_oversized_space() {
+        assert!(Lut::from_function(64, 7, |m| m).is_err());
+        assert!(Lut::from_function(64, 6, |m| m).is_ok());
+    }
+
+    #[test]
+    fn bootstrap_refreshes_sign_encoding() {
+        let fx = &mut fixture(TfheParameters::testing_fast());
+        for b in [true, false] {
+            let ct = fx.lwe_sk.encrypt(
+                encode_bool(b),
+                fx.params.lwe_noise_std,
+                &mut fx.rng,
+            );
+            let lut = Lut::sign(fx.params.polynomial_size, encode_fraction(1, 3));
+            let out = fx.bsk.bootstrap(&ct, &lut).unwrap();
+            assert_eq!(out.dimension(), fx.bsk.output_dimension());
+            let phase = fx.extracted.decrypt_phase(&out).unwrap();
+            assert_eq!(decode_bool(phase), b, "b={b}");
+        }
+    }
+
+    #[test]
+    fn bootstrap_evaluates_identity_lut() {
+        let fx = &mut fixture(TfheParameters::testing_fast());
+        let p = 2u32; // 2-bit messages
+        let lut = Lut::from_function(fx.params.polynomial_size, p, |m| m).unwrap();
+        for m in 0..4u64 {
+            let pt = m << (64 - p - 1);
+            let ct = fx.lwe_sk.encrypt(pt, fx.params.lwe_noise_std, &mut fx.rng);
+            let out = fx.bsk.bootstrap(&ct, &lut).unwrap();
+            let phase = fx.extracted.decrypt_phase(&out).unwrap();
+            assert_eq!(decode_message(phase, p + 1), m, "m={m}");
+        }
+    }
+
+    #[test]
+    fn bootstrap_evaluates_nontrivial_lut() {
+        let fx = &mut fixture(TfheParameters::testing_fast());
+        let p = 2u32;
+        let f = |m: u64| (3 * m + 1) % 4;
+        let lut = Lut::from_function(fx.params.polynomial_size, p, f).unwrap();
+        for m in 0..4u64 {
+            let pt = m << (64 - p - 1);
+            let ct = fx.lwe_sk.encrypt(pt, fx.params.lwe_noise_std, &mut fx.rng);
+            let out = fx.bsk.bootstrap(&ct, &lut).unwrap();
+            let phase = fx.extracted.decrypt_phase(&out).unwrap();
+            assert_eq!(decode_message(phase, p + 1), f(m), "m={m}");
+        }
+    }
+
+    #[test]
+    fn bootstrap_works_with_k2_parameters() {
+        let fx = &mut fixture(TfheParameters::testing_k2());
+        let lut = Lut::sign(fx.params.polynomial_size, encode_fraction(1, 3));
+        for b in [true, false] {
+            let ct = fx.lwe_sk.encrypt(
+                encode_bool(b),
+                fx.params.lwe_noise_std,
+                &mut fx.rng,
+            );
+            let out = fx.bsk.bootstrap(&ct, &lut).unwrap();
+            assert_eq!(out.dimension(), 2 * fx.params.polynomial_size);
+            let phase = fx.extracted.decrypt_phase(&out).unwrap();
+            assert_eq!(decode_bool(phase), b);
+        }
+    }
+
+    #[test]
+    fn blind_rotate_output_decrypts_under_glwe_key() {
+        let fx = &mut fixture(TfheParameters::testing_fast());
+        let ct = fx.lwe_sk.encrypt(
+            encode_bool(true),
+            fx.params.lwe_noise_std,
+            &mut fx.rng,
+        );
+        let lut = Lut::sign(fx.params.polynomial_size, encode_fraction(1, 3));
+        let acc = fx.bsk.blind_rotate(&ct, &lut).unwrap();
+        let phase = fx.glwe_sk.decrypt_phase(&acc).unwrap();
+        assert!(decode_bool(phase[0]));
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let fx = &mut fixture(TfheParameters::testing_fast());
+        let lut = Lut::sign(fx.params.polynomial_size, encode_fraction(1, 3));
+        let wrong = LweCiphertext::trivial(10, 0);
+        assert!(fx.bsk.blind_rotate(&wrong, &lut).is_err());
+        let wrong_lut = Lut::sign(fx.params.polynomial_size * 2, 1);
+        let ct = LweCiphertext::trivial(fx.params.lwe_dimension, 0);
+        assert!(fx.bsk.blind_rotate(&ct, &wrong_lut).is_err());
+    }
+
+    #[test]
+    fn profiled_bootstrap_accounts_blind_rotation_dominant() {
+        let fx = &mut fixture(TfheParameters::testing_fast());
+        let ct = fx.lwe_sk.encrypt(
+            encode_bool(true),
+            fx.params.lwe_noise_std,
+            &mut fx.rng,
+        );
+        let lut = Lut::sign(fx.params.polynomial_size, encode_fraction(1, 3));
+        let mut t = StageTimings::new();
+        let _ = fx.bsk.bootstrap_profiled(&ct, &lut, &mut t).unwrap();
+        // The paper reports ~98% of PBS inside the blind rotation; even
+        // at toy sizes it must clearly dominate.
+        assert!(t.blind_rotation_fraction() > 0.8, "{}", t.blind_rotation_fraction());
+    }
+
+    #[test]
+    fn key_size_matches_parameter_formula() {
+        let params = TfheParameters::testing_fast();
+        let fx = fixture(params.clone());
+        assert_eq!(fx.bsk.byte_size(), params.bootstrap_key_bytes());
+    }
+
+    #[test]
+    fn bool_encoding_round_trip() {
+        assert!(decode_bool(encode_bool(true)));
+        assert!(!decode_bool(encode_bool(false)));
+    }
+
+    #[test]
+    fn benchmark_key_has_real_key_shape_and_runs() {
+        let params = TfheParameters::testing_fast();
+        let bsk = BootstrapKey::generate_for_benchmark(&params);
+        assert_eq!(bsk.input_dimension(), params.lwe_dimension);
+        assert_eq!(bsk.byte_size(), params.bootstrap_key_bytes());
+        // PBS must execute (timing-equivalent arithmetic), whatever the
+        // output decrypts to.
+        let ct = LweCiphertext::trivial(params.lwe_dimension, encode_bool(true));
+        let lut = Lut::sign(params.polynomial_size, encode_fraction(1, 3));
+        let out = bsk.bootstrap(&ct, &lut).unwrap();
+        assert_eq!(out.dimension(), bsk.output_dimension());
+    }
+}

@@ -1,0 +1,263 @@
+//! Signed gadget decomposition (Algorithm 1's `Decompose`, Eq. (3)).
+//!
+//! A torus element `a` is approximated by `l` balanced signed digits
+//! `d_1 … d_l` with `|d_i| ≤ B/2` such that
+//!
+//! ```text
+//! a ≈ Σ_{i=1}^{l} d_i · q / B^i,   error ≤ q / (2 B^l)
+//! ```
+//!
+//! matching the paper's Eq. (3). Following §V-B, the implementation is
+//! multiplier-free — a *rounding step* (mask the contributing bits, add
+//! the carry from the first dropped bit) followed by an *extraction step*
+//! (mask each β-bit digit, balance it against B/2 with a carry into the
+//! next digit) — which is exactly the datapath of the Strix decomposer
+//! unit and lets the hardware model in `strix-core` reuse this code as
+//! its golden reference.
+
+use serde::{Deserialize, Serialize};
+
+use crate::poly::TorusPolynomial;
+use crate::torus::TORUS_BITS;
+
+/// Decomposition parameters: base `B = 2^base_log` and level count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DecompositionParams {
+    /// log2 of the decomposition base `B`.
+    pub base_log: u32,
+    /// Number of levels `l`.
+    pub level: usize,
+}
+
+impl DecompositionParams {
+    /// Creates decomposition parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < base_log · level <= 64` — the digits must
+    /// address a non-empty slice of the torus word.
+    pub fn new(base_log: u32, level: usize) -> Self {
+        assert!(base_log > 0 && level > 0, "decomposition must be non-trivial");
+        assert!(
+            base_log as usize * level <= TORUS_BITS as usize,
+            "decomposition ({base_log} bits x {level} levels) exceeds the torus width"
+        );
+        Self { base_log, level }
+    }
+
+    /// Number of bits retained by the rounding step: `base_log · level`.
+    #[inline]
+    pub fn represented_bits(&self) -> u32 {
+        self.base_log * self.level as u32
+    }
+
+    /// The gadget scale of level `i` (1-indexed): `q / B^i` as a torus
+    /// element, i.e. `2^(64 - base_log·i)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is 0 or exceeds the level count.
+    #[inline]
+    pub fn gadget_scale(&self, i: usize) -> u64 {
+        assert!(i >= 1 && i <= self.level, "gadget level {i} out of range");
+        1u64 << (TORUS_BITS - self.base_log * i as u32)
+    }
+
+    /// Rounds `a` to the closest torus element representable by the
+    /// gadget, i.e. the closest multiple of `q / B^l` (§V-B rounding
+    /// step).
+    #[inline]
+    pub fn closest_representable(&self, a: u64) -> u64 {
+        let drop = TORUS_BITS - self.represented_bits();
+        if drop == 0 {
+            return a;
+        }
+        // Add the carry from the first dropped bit, then clear the
+        // dropped bits. Overflow wraps, which is correct on the torus.
+        let carry = (a >> (drop - 1)) & 1;
+        ((a >> drop).wrapping_add(carry)) << drop
+    }
+
+    /// Decomposes a torus element into `level` balanced signed digits,
+    /// most-significant level first (`digits[0]` scales by `q/B`).
+    ///
+    /// Digits satisfy `-B/2 <= d < B/2` except that a chain of carries
+    /// may produce `d = B/2` at the most significant level; either way
+    /// `|d| <= B/2` holds, the bound used by every noise analysis.
+    pub fn decompose(&self, a: u64) -> Vec<i64> {
+        let mut digits = vec![0i64; self.level];
+        self.decompose_into(a, &mut digits);
+        digits
+    }
+
+    /// As [`Self::decompose`], writing into a caller-provided buffer
+    /// (hot path of the blind rotation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `digits.len() != self.level`.
+    pub fn decompose_into(&self, a: u64, digits: &mut [i64]) {
+        assert_eq!(digits.len(), self.level, "digit buffer length mismatch");
+        let rep_bits = self.represented_bits();
+        let base = 1u64 << self.base_log;
+        let half = base >> 1;
+        // Extraction state: the rounded value, shifted down to an
+        // integer of `rep_bits` bits (extraction step input).
+        let mut state = self.closest_representable(a) >> (TORUS_BITS - rep_bits);
+        if rep_bits < TORUS_BITS {
+            state &= (1u64 << rep_bits) - 1;
+        }
+        // Extract from the least-significant digit (level l) upwards so
+        // carries propagate toward level 1; a carry out of level 1
+        // represents a multiple of q and vanishes on the torus.
+        for lvl in (0..self.level).rev() {
+            let raw = state & (base - 1);
+            state >>= self.base_log;
+            if raw >= half {
+                digits[lvl] = raw as i64 - base as i64;
+                state = state.wrapping_add(1);
+            } else {
+                digits[lvl] = raw as i64;
+            }
+        }
+    }
+
+    /// Recomposes digits back into a torus element:
+    /// `Σ d_i · q / B^i`. Inverse of [`Self::decompose`] up to the
+    /// rounding step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `digits.len() != self.level`.
+    pub fn recompose(&self, digits: &[i64]) -> u64 {
+        assert_eq!(digits.len(), self.level, "digit buffer length mismatch");
+        let mut acc = 0u64;
+        for (i, &d) in digits.iter().enumerate() {
+            acc = acc.wrapping_add((d as u64).wrapping_mul(self.gadget_scale(i + 1)));
+        }
+        acc
+    }
+
+    /// Decomposes every coefficient of a polynomial, producing one
+    /// digit-polynomial per level (level-major layout, the order in
+    /// which the Strix decomposer unit emits its output stream).
+    pub fn decompose_polynomial(&self, poly: &TorusPolynomial) -> Vec<Vec<i64>> {
+        let n = poly.size();
+        let mut levels = vec![vec![0i64; n]; self.level];
+        let mut digits = vec![0i64; self.level];
+        for (j, &c) in poly.coeffs().iter().enumerate() {
+            self.decompose_into(c, &mut digits);
+            for (lvl, &d) in digits.iter().enumerate() {
+                levels[lvl][j] = d;
+            }
+        }
+        levels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "exceeds the torus width")]
+    fn rejects_oversized_decomposition() {
+        DecompositionParams::new(33, 2);
+    }
+
+    #[test]
+    fn closest_representable_rounds_both_ways() {
+        let p = DecompositionParams::new(8, 2); // keeps top 16 bits
+        let step = 1u64 << 48;
+        assert_eq!(p.closest_representable(0), 0);
+        assert_eq!(p.closest_representable(step), step);
+        assert_eq!(p.closest_representable(step + step / 2 + 1), 2 * step);
+        assert_eq!(p.closest_representable(step + step / 2 - 1), step);
+        // Wrap at the top of the torus.
+        assert_eq!(p.closest_representable(u64::MAX), 0);
+    }
+
+    #[test]
+    fn digits_are_balanced() {
+        let p = DecompositionParams::new(4, 3);
+        let half = 8i64; // B/2 for B = 16
+        for a in (0..10_000u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)) {
+            for &d in &p.decompose(a) {
+                assert!(d >= -half && d <= half, "digit {d} for a={a}");
+            }
+        }
+    }
+
+    #[test]
+    fn recompose_equals_closest_representable() {
+        for (base_log, level) in [(10, 2), (7, 3), (4, 8), (2, 16), (16, 4), (32, 2)] {
+            let p = DecompositionParams::new(base_log, level);
+            for a in (0..2_000u64).map(|i| i.wrapping_mul(0xD1B5_4A32_D192_ED03)) {
+                let digits = p.decompose(a);
+                assert_eq!(
+                    p.recompose(&digits),
+                    p.closest_representable(a),
+                    "a={a} base_log={base_log} level={level}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_width_decomposition_is_exact() {
+        // base_log·level = 64 means no rounding at all.
+        let p = DecompositionParams::new(16, 4);
+        for a in [0u64, 1, u64::MAX, 0x0123_4567_89AB_CDEF, 1 << 63] {
+            assert_eq!(p.recompose(&p.decompose(a)), a);
+        }
+    }
+
+    #[test]
+    fn rounding_error_is_bounded() {
+        let p = DecompositionParams::new(10, 2);
+        let bound = 1u64 << (64 - 20 - 1); // q / (2 B^l)
+        for a in (0..5_000u64).map(|i| i.wrapping_mul(0xA076_1D64_78BD_642F)) {
+            let r = p.closest_representable(a);
+            let err = (a.wrapping_sub(r) as i64).unsigned_abs();
+            assert!(err <= bound, "a={a} err={err}");
+        }
+    }
+
+    #[test]
+    fn gadget_scales_decrease_geometrically() {
+        let p = DecompositionParams::new(10, 2);
+        assert_eq!(p.gadget_scale(1), 1 << 54);
+        assert_eq!(p.gadget_scale(2), 1 << 44);
+    }
+
+    #[test]
+    fn polynomial_decomposition_is_coefficientwise() {
+        let p = DecompositionParams::new(6, 3);
+        let poly = TorusPolynomial::from_coeffs(vec![
+            0,
+            u64::MAX,
+            1 << 63,
+            0x0123_4567_89AB_CDEF,
+        ]);
+        let levels = p.decompose_polynomial(&poly);
+        assert_eq!(levels.len(), 3);
+        for (j, &c) in poly.coeffs().iter().enumerate() {
+            let per_coeff = p.decompose(c);
+            for lvl in 0..3 {
+                assert_eq!(levels[lvl][j], per_coeff[lvl]);
+            }
+        }
+    }
+
+    #[test]
+    fn known_example_base_16() {
+        // a = 0.5 on the torus = 2^63: digit 1 at level 1 should be -8
+        // (since 8 >= B/2 = 8 triggers balancing: 8 - 16 = -8 with a
+        // carry that wraps off the torus).
+        let p = DecompositionParams::new(4, 1);
+        let digits = p.decompose(1u64 << 63);
+        assert_eq!(digits, vec![-8]);
+        // Reconstruction: -8 · 2^60 = -2^63 ≡ 2^63 (mod 2^64). ✓
+        assert_eq!(p.recompose(&digits), 1u64 << 63);
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type for TFHE operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by homomorphic operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TfheError {
+    /// Two ciphertexts (or a ciphertext and a key) come from incompatible
+    /// parameter sets.
+    ParameterMismatch {
+        /// Description of the mismatching quantity.
+        what: &'static str,
+        /// Value on the left-hand side.
+        left: usize,
+        /// Value on the right-hand side.
+        right: usize,
+    },
+    /// A message does not fit in the configured message space.
+    MessageOutOfRange {
+        /// The message that was supplied.
+        message: u64,
+        /// The exclusive upper bound of the message space.
+        bound: u64,
+    },
+    /// The parameter set is structurally invalid (e.g. decomposition
+    /// exceeds the torus width, or the LUT box size would be zero).
+    InvalidParameters(&'static str),
+}
+
+impl fmt::Display for TfheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TfheError::ParameterMismatch { what, left, right } => {
+                write!(f, "parameter mismatch on {what}: {left} vs {right}")
+            }
+            TfheError::MessageOutOfRange { message, bound } => {
+                write!(f, "message {message} outside message space [0, {bound})")
+            }
+            TfheError::InvalidParameters(why) => write!(f, "invalid parameters: {why}"),
+        }
+    }
+}
+
+impl Error for TfheError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = TfheError::ParameterMismatch { what: "lwe dimension", left: 500, right: 630 };
+        assert_eq!(e.to_string(), "parameter mismatch on lwe dimension: 500 vs 630");
+        let e = TfheError::MessageOutOfRange { message: 9, bound: 8 };
+        assert_eq!(e.to_string(), "message 9 outside message space [0, 8)");
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn check<T: Send + Sync + 'static>() {}
+        check::<TfheError>();
+    }
+}

@@ -1,0 +1,412 @@
+//! GGSW ciphertexts and the external product.
+//!
+//! The bootstrapping key is a vector of `n` GGSW ciphertexts, each a
+//! `(k+1)·l_b × (k+1)` matrix of degree-`N−1` polynomials (§II-D). The
+//! external product `GGSW(s) ⊡ GLWE(μ) ≈ GLWE(s·μ)` is the inner loop of
+//! blind rotation (Algorithm 1 lines 7–10): gadget-decompose the GLWE,
+//! transform the digit polynomials, multiply–accumulate against the
+//! Fourier-domain key rows, and transform back.
+//!
+//! Two evaluation paths are provided:
+//!
+//! * [`FourierGgsw::external_product`] — the FFT path used in production
+//!   and modelled by the Strix PBS cluster (decomposer → FFT → VMA →
+//!   IFFT → accumulator),
+//! * [`GgswCiphertext::external_product_exact`] — an exact integer path
+//!   used as the correctness oracle in tests.
+
+use strix_fft::{pointwise_mul_add, Complex64, NegacyclicFft};
+
+use crate::decompose::DecompositionParams;
+use crate::glwe::{GlweCiphertext, GlweSecretKey};
+use crate::poly::TorusPolynomial;
+use crate::profiler::{PbsStage, StageTimings};
+use crate::rng::NoiseSampler;
+use crate::torus::{f64_to_torus, torus_to_f64_signed};
+
+/// A GGSW ciphertext in the standard (time) domain: `(k+1)·l` GLWE rows.
+///
+/// Row `(j, lvl)` is a GLWE encryption of zero with `m · q/B^{lvl+1}`
+/// added to polynomial `j` (the gadget matrix `m·G`).
+#[derive(Clone, Debug)]
+pub struct GgswCiphertext {
+    rows: Vec<GlweCiphertext>,
+    decomp: DecompositionParams,
+    glwe_dimension: usize,
+}
+
+impl GgswCiphertext {
+    /// Encrypts a small scalar (in blind rotation: a secret-key bit).
+    pub fn encrypt_scalar(
+        message: u64,
+        glwe_sk: &GlweSecretKey,
+        decomp: DecompositionParams,
+        noise_std: f64,
+        rng: &mut NoiseSampler,
+    ) -> Self {
+        let k = glwe_sk.dimension();
+        let n = glwe_sk.poly_size();
+        let zero = TorusPolynomial::zero(n);
+        let mut rows = Vec::with_capacity((k + 1) * decomp.level);
+        for j in 0..=k {
+            for lvl in 1..=decomp.level {
+                let mut row = glwe_sk.encrypt(&zero, noise_std, rng);
+                let scale = decomp.gadget_scale(lvl);
+                let target = row.poly_mut(j);
+                target[0] = target[0].wrapping_add(message.wrapping_mul(scale));
+                rows.push(row);
+            }
+        }
+        Self { rows, decomp, glwe_dimension: k }
+    }
+
+    /// A *trivial* (noiseless, zero-mask) GGSW encryption of `message`:
+    /// rows carry only the gadget terms `m·q/B^{lvl+1}`. Useful for
+    /// tests and for timing-equivalent benchmark keys — the arithmetic
+    /// shape of the external product is identical to a real key's.
+    pub fn trivial(
+        message: u64,
+        glwe_dimension: usize,
+        poly_size: usize,
+        decomp: DecompositionParams,
+    ) -> Self {
+        let mut rows = Vec::with_capacity((glwe_dimension + 1) * decomp.level);
+        for j in 0..=glwe_dimension {
+            for lvl in 1..=decomp.level {
+                let mut row = GlweCiphertext::zero(glwe_dimension, poly_size);
+                let target = row.poly_mut(j);
+                target[0] = message.wrapping_mul(decomp.gadget_scale(lvl));
+                rows.push(row);
+            }
+        }
+        Self { rows, decomp, glwe_dimension }
+    }
+
+    /// The GLWE rows, in `(j, lvl)` row-major order.
+    #[inline]
+    pub fn rows(&self) -> &[GlweCiphertext] {
+        &self.rows
+    }
+
+    /// Decomposition parameters used by the gadget.
+    #[inline]
+    pub fn decomposition(&self) -> DecompositionParams {
+        self.decomp
+    }
+
+    /// Exact (FFT-free) external product, the test oracle:
+    /// `self ⊡ glwe ≈ GLWE(m · phase(glwe))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes mismatch (oracle-only code path).
+    pub fn external_product_exact(&self, glwe: &GlweCiphertext) -> GlweCiphertext {
+        let k = self.glwe_dimension;
+        assert_eq!(glwe.dimension(), k, "glwe dimension mismatch");
+        let n = glwe.poly_size();
+        let mut acc = GlweCiphertext::zero(k, n);
+        let mut row_idx = 0;
+        for poly in glwe.polys() {
+            let levels = self.decomp.decompose_polynomial(poly);
+            for digits in levels.iter() {
+                let row = &self.rows[row_idx];
+                for col in 0..=k {
+                    let row_poly =
+                        if col < k { &row.masks()[col] } else { row.body() };
+                    let prod = strix_fft::reference::negacyclic_mul_torus(
+                        digits,
+                        row_poly.coeffs(),
+                    );
+                    let out = acc.poly_mut(col);
+                    for (o, p) in out.coeffs_mut().iter_mut().zip(&prod) {
+                        *o = o.wrapping_add(*p);
+                    }
+                }
+                row_idx += 1;
+            }
+        }
+        acc
+    }
+
+    /// Converts to the Fourier domain for use in blind rotation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fft.poly_size()` differs from the ciphertext's.
+    pub fn to_fourier(&self, fft: &NegacyclicFft) -> FourierGgsw {
+        let k = self.glwe_dimension;
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| {
+                row.polys()
+                    .map(|poly| {
+                        let signed: Vec<f64> =
+                            poly.coeffs().iter().map(|&c| torus_to_f64_signed(c)).collect();
+                        let mut spec = vec![Complex64::ZERO; fft.fourier_size()];
+                        fft.forward_f64(&signed, &mut spec)
+                            .expect("ggsw polynomial size must match the fft plan");
+                        spec
+                    })
+                    .collect()
+            })
+            .collect();
+        FourierGgsw { rows, decomp: self.decomp, glwe_dimension: k }
+    }
+}
+
+/// A GGSW ciphertext with every polynomial stored in the Fourier domain
+/// (`N/2` complex points per polynomial) — the format in which Strix
+/// streams bootstrapping keys from HBM, and in which Concrete stores
+/// them in memory.
+#[derive(Clone, Debug)]
+pub struct FourierGgsw {
+    /// `rows[(k+1)·l]`, each holding `k+1` Fourier polynomials.
+    rows: Vec<Vec<Vec<Complex64>>>,
+    decomp: DecompositionParams,
+    glwe_dimension: usize,
+}
+
+impl FourierGgsw {
+    /// Decomposition parameters used by the gadget.
+    #[inline]
+    pub fn decomposition(&self) -> DecompositionParams {
+        self.decomp
+    }
+
+    /// Number of bytes this key entry occupies (the per-iteration HBM
+    /// traffic of one blind-rotation step).
+    pub fn byte_size(&self) -> usize {
+        self.rows
+            .iter()
+            .flat_map(|row| row.iter())
+            .map(|poly| poly.len() * 16)
+            .sum()
+    }
+
+    /// External product via the FFT (the production path):
+    /// `self ⊡ glwe ≈ GLWE(m · phase(glwe))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes mismatch (the bootstrap key constructor
+    /// guarantees compatibility).
+    pub fn external_product(
+        &self,
+        glwe: &GlweCiphertext,
+        fft: &NegacyclicFft,
+    ) -> GlweCiphertext {
+        self.external_product_impl(glwe, fft, None)
+    }
+
+    /// External product with per-stage timing instrumentation, used by
+    /// the Figure-1 workload-breakdown harness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes mismatch.
+    pub fn external_product_profiled(
+        &self,
+        glwe: &GlweCiphertext,
+        fft: &NegacyclicFft,
+        timings: &mut StageTimings,
+    ) -> GlweCiphertext {
+        self.external_product_impl(glwe, fft, Some(timings))
+    }
+
+    fn external_product_impl(
+        &self,
+        glwe: &GlweCiphertext,
+        fft: &NegacyclicFft,
+        mut timings: Option<&mut StageTimings>,
+    ) -> GlweCiphertext {
+        let k = self.glwe_dimension;
+        assert_eq!(glwe.dimension(), k, "glwe dimension mismatch");
+        let n = glwe.poly_size();
+        assert_eq!(fft.poly_size(), n, "fft plan size mismatch");
+        let half = fft.fourier_size();
+
+        let mut acc = vec![vec![Complex64::ZERO; half]; k + 1];
+        let mut digit_spec = vec![Complex64::ZERO; half];
+        let mut row_idx = 0;
+        for poly in glwe.polys() {
+            let t0 = std::time::Instant::now();
+            let levels = self.decomp.decompose_polynomial(poly);
+            if let Some(t) = timings.as_deref_mut() {
+                t.add(PbsStage::Decompose, t0.elapsed());
+            }
+            for digits in levels.iter() {
+                let t0 = std::time::Instant::now();
+                fft.forward_i64(digits, &mut digit_spec)
+                    .expect("digit polynomial matches fft plan");
+                if let Some(t) = timings.as_deref_mut() {
+                    t.add(PbsStage::Fft, t0.elapsed());
+                }
+                let t0 = std::time::Instant::now();
+                let row = &self.rows[row_idx];
+                for (acc_col, key_col) in acc.iter_mut().zip(row.iter()) {
+                    pointwise_mul_add(acc_col, &digit_spec, key_col);
+                }
+                if let Some(t) = timings.as_deref_mut() {
+                    t.add(PbsStage::VectorMultiply, t0.elapsed());
+                }
+                row_idx += 1;
+            }
+        }
+
+        let t0 = std::time::Instant::now();
+        let mut out = GlweCiphertext::zero(k, n);
+        let mut time_domain = vec![0.0f64; n];
+        for (col, spec) in acc.iter_mut().enumerate() {
+            fft.backward_f64(spec, &mut time_domain)
+                .expect("accumulator matches fft plan");
+            let poly = out.poly_mut(col);
+            for (o, &v) in poly.coeffs_mut().iter_mut().zip(&time_domain) {
+                *o = f64_to_torus(v);
+            }
+        }
+        if let Some(t) = timings {
+            t.add(PbsStage::IfftAccumulate, t0.elapsed());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::torus::{decode_message, encode_fraction};
+
+    const STD: f64 = 1.0e-12;
+
+    struct Fixture {
+        glwe_sk: GlweSecretKey,
+        rng: NoiseSampler,
+        fft: NegacyclicFft,
+        decomp: DecompositionParams,
+        k: usize,
+        n: usize,
+    }
+
+    fn fixture(k: usize, n: usize) -> Fixture {
+        let mut rng = NoiseSampler::from_seed(99);
+        let glwe_sk = GlweSecretKey::generate(k, n, &mut rng);
+        let fft = NegacyclicFft::new(n).unwrap();
+        let decomp = DecompositionParams::new(10, 3);
+        Fixture { glwe_sk, rng, fft, decomp, k, n }
+    }
+
+    fn test_message(n: usize) -> TorusPolynomial {
+        TorusPolynomial::from_coeffs(
+            (0..n).map(|j| encode_fraction((j % 8) as i64, 4)).collect(),
+        )
+    }
+
+    #[test]
+    fn external_product_by_one_preserves_message() {
+        let mut fx = fixture(1, 64);
+        let ggsw = GgswCiphertext::encrypt_scalar(1, &fx.glwe_sk, fx.decomp, STD, &mut fx.rng);
+        let msg = test_message(fx.n);
+        let ct = fx.glwe_sk.encrypt(&msg, STD, &mut fx.rng);
+        let fourier = ggsw.to_fourier(&fx.fft);
+        let prod = fourier.external_product(&ct, &fx.fft);
+        let phase = fx.glwe_sk.decrypt_phase(&prod).unwrap();
+        for (p, m) in phase.coeffs().iter().zip(msg.coeffs()) {
+            assert_eq!(decode_message(*p, 4), decode_message(*m, 4));
+        }
+    }
+
+    #[test]
+    fn external_product_by_zero_kills_message() {
+        let mut fx = fixture(1, 64);
+        let ggsw = GgswCiphertext::encrypt_scalar(0, &fx.glwe_sk, fx.decomp, STD, &mut fx.rng);
+        let msg = test_message(fx.n);
+        let ct = fx.glwe_sk.encrypt(&msg, STD, &mut fx.rng);
+        let fourier = ggsw.to_fourier(&fx.fft);
+        let prod = fourier.external_product(&ct, &fx.fft);
+        let phase = fx.glwe_sk.decrypt_phase(&prod).unwrap();
+        for p in phase.coeffs() {
+            assert_eq!(decode_message(*p, 4), 0);
+        }
+    }
+
+    #[test]
+    fn fourier_path_matches_exact_path() {
+        let mut fx = fixture(2, 32);
+        let ggsw = GgswCiphertext::encrypt_scalar(1, &fx.glwe_sk, fx.decomp, STD, &mut fx.rng);
+        let msg = test_message(fx.n);
+        let ct = fx.glwe_sk.encrypt(&msg, STD, &mut fx.rng);
+        let exact = ggsw.external_product_exact(&ct);
+        let fourier = ggsw.to_fourier(&fx.fft).external_product(&ct, &fx.fft);
+        // The two paths agree up to FFT rounding noise, far below the
+        // decoding threshold used here.
+        let pe = fx.glwe_sk.decrypt_phase(&exact).unwrap();
+        let pf = fx.glwe_sk.decrypt_phase(&fourier).unwrap();
+        for (a, b) in pe.coeffs().iter().zip(pf.coeffs()) {
+            assert_eq!(decode_message(*a, 4), decode_message(*b, 4));
+        }
+    }
+
+    #[test]
+    fn external_product_is_linear_in_the_glwe() {
+        // GGSW(1) ⊡ (c1 + c2) ≈ GGSW(1)⊡c1 + GGSW(1)⊡c2 (up to noise).
+        let mut fx = fixture(1, 64);
+        let ggsw = GgswCiphertext::encrypt_scalar(1, &fx.glwe_sk, fx.decomp, STD, &mut fx.rng)
+            .to_fourier(&fx.fft);
+        let m1 = TorusPolynomial::constant(fx.n, encode_fraction(1, 4));
+        let m2 = TorusPolynomial::constant(fx.n, encode_fraction(2, 4));
+        let c1 = fx.glwe_sk.encrypt(&m1, STD, &mut fx.rng);
+        let c2 = fx.glwe_sk.encrypt(&m2, STD, &mut fx.rng);
+        let mut sum = c1.clone();
+        sum.add_assign(&c2).unwrap();
+        let p_sum = ggsw.external_product(&sum, &fx.fft);
+        let phase = fx.glwe_sk.decrypt_phase(&p_sum).unwrap();
+        assert_eq!(decode_message(phase[0], 4), 3);
+    }
+
+    #[test]
+    fn ggsw_row_count_and_fourier_size() {
+        let mut fx = fixture(1, 64);
+        let ggsw = GgswCiphertext::encrypt_scalar(1, &fx.glwe_sk, fx.decomp, STD, &mut fx.rng);
+        assert_eq!(ggsw.rows().len(), (fx.k + 1) * fx.decomp.level);
+        let fourier = ggsw.to_fourier(&fx.fft);
+        // (k+1)l rows × (k+1) cols × N/2 points × 16 bytes
+        assert_eq!(
+            fourier.byte_size(),
+            (fx.k + 1) * fx.decomp.level * (fx.k + 1) * (fx.n / 2) * 16
+        );
+    }
+
+    #[test]
+    fn trivial_ggsw_acts_like_noiseless_encryption() {
+        // Trivial GGSW(1) ⊡ ct must preserve the message exactly like
+        // an encrypted GGSW(1), with zero key noise.
+        let mut fx = fixture(1, 64);
+        let trivial = GgswCiphertext::trivial(1, 1, 64, fx.decomp).to_fourier(&fx.fft);
+        let msg = test_message(fx.n);
+        let ct = fx.glwe_sk.encrypt(&msg, STD, &mut fx.rng);
+        let prod = trivial.external_product(&ct, &fx.fft);
+        let phase = fx.glwe_sk.decrypt_phase(&prod).unwrap();
+        for (p, m) in phase.coeffs().iter().zip(msg.coeffs()) {
+            assert_eq!(decode_message(*p, 4), decode_message(*m, 4));
+        }
+    }
+
+    #[test]
+    fn profiled_product_records_all_stages() {
+        let mut fx = fixture(1, 64);
+        let ggsw = GgswCiphertext::encrypt_scalar(1, &fx.glwe_sk, fx.decomp, STD, &mut fx.rng)
+            .to_fourier(&fx.fft);
+        let ct = fx.glwe_sk.encrypt(&test_message(fx.n), STD, &mut fx.rng);
+        let mut t = StageTimings::default();
+        let _ = ggsw.external_product_profiled(&ct, &fx.fft, &mut t);
+        for stage in [
+            PbsStage::Decompose,
+            PbsStage::Fft,
+            PbsStage::VectorMultiply,
+            PbsStage::IfftAccumulate,
+        ] {
+            assert!(t.total_for(stage) > std::time::Duration::ZERO, "{stage:?}");
+        }
+    }
+}

@@ -1,0 +1,431 @@
+//! GLWE ciphertexts — the paper's test-vector matrices
+//! `tv[k+1] = [A_1(X), …, A_k(X), B(X)]`.
+//!
+//! A GLWE ciphertext generalises LWE to polynomial rings: the mask is a
+//! vector of `k` torus polynomials and the body satisfies
+//! `B = Σ A_j·S_j + M + E` in `T_q[X]/(X^N+1)`. During programmable
+//! bootstrapping the accumulator (`tv` in Algorithm 1) is a GLWE
+//! ciphertext that the blind rotation rotates one secret bit at a time.
+
+use serde::{Deserialize, Serialize};
+
+use crate::lwe::{LweCiphertext, LweSecretKey};
+use crate::poly::TorusPolynomial;
+use crate::rng::NoiseSampler;
+use crate::TfheError;
+
+/// A binary GLWE secret key: `k` polynomials of `N` binary coefficients.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GlweSecretKey {
+    polys: Vec<TorusPolynomial>,
+}
+
+impl GlweSecretKey {
+    /// Samples a fresh binary key with `k` polynomials of size `N`.
+    pub fn generate(glwe_dimension: usize, poly_size: usize, rng: &mut NoiseSampler) -> Self {
+        let polys = (0..glwe_dimension)
+            .map(|_| {
+                let mut p = TorusPolynomial::zero(poly_size);
+                rng.fill_binary(p.coeffs_mut());
+                p
+            })
+            .collect();
+        Self { polys }
+    }
+
+    /// GLWE mask length `k`.
+    #[inline]
+    pub fn dimension(&self) -> usize {
+        self.polys.len()
+    }
+
+    /// Polynomial size `N`.
+    #[inline]
+    pub fn poly_size(&self) -> usize {
+        self.polys[0].size()
+    }
+
+    /// Borrow of the key polynomials.
+    #[inline]
+    pub fn polys(&self) -> &[TorusPolynomial] {
+        &self.polys
+    }
+
+    /// Flattens the key into the LWE key of dimension `k·N` under which
+    /// sample-extracted ciphertexts decrypt (§II-E: the PBS output key).
+    pub fn to_extracted_lwe_key(&self) -> LweSecretKey {
+        let mut bits = Vec::with_capacity(self.dimension() * self.poly_size());
+        for p in &self.polys {
+            bits.extend_from_slice(p.coeffs());
+        }
+        LweSecretKey::from_bits(bits)
+    }
+
+    /// Encrypts a message polynomial.
+    pub fn encrypt(
+        &self,
+        message: &TorusPolynomial,
+        noise_std: f64,
+        rng: &mut NoiseSampler,
+    ) -> GlweCiphertext {
+        assert_eq!(message.size(), self.poly_size(), "message polynomial size mismatch");
+        let n = self.poly_size();
+        let mut masks = Vec::with_capacity(self.dimension());
+        for _ in 0..self.dimension() {
+            let mut m = TorusPolynomial::zero(n);
+            rng.fill_uniform(m.coeffs_mut());
+            masks.push(m);
+        }
+        let mut body = TorusPolynomial::zero(n);
+        for (b, &m) in body.coeffs_mut().iter_mut().zip(message.coeffs()) {
+            *b = m.wrapping_add(rng.gaussian_torus(noise_std));
+        }
+        for (mask, key) in masks.iter().zip(&self.polys) {
+            let prod = poly_mul_binary(mask, key);
+            body.add_assign(&prod);
+        }
+        GlweCiphertext { masks, body }
+    }
+
+    /// Computes the phase `B − Σ A_j·S_j = M + E`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TfheError::ParameterMismatch`] on shape mismatch.
+    pub fn decrypt_phase(&self, ct: &GlweCiphertext) -> Result<TorusPolynomial, TfheError> {
+        if ct.dimension() != self.dimension() {
+            return Err(TfheError::ParameterMismatch {
+                what: "glwe dimension",
+                left: ct.dimension(),
+                right: self.dimension(),
+            });
+        }
+        if ct.poly_size() != self.poly_size() {
+            return Err(TfheError::ParameterMismatch {
+                what: "polynomial size",
+                left: ct.poly_size(),
+                right: self.poly_size(),
+            });
+        }
+        let mut phase = ct.body.clone();
+        for (mask, key) in ct.masks.iter().zip(&self.polys) {
+            let prod = poly_mul_binary(mask, key);
+            phase.sub_assign(&prod);
+        }
+        Ok(phase)
+    }
+}
+
+/// Exact negacyclic product of a torus polynomial with a binary
+/// polynomial (secret keys are binary, so this stays exact and avoids
+/// FFT noise inside key operations).
+fn poly_mul_binary(torus: &TorusPolynomial, binary: &TorusPolynomial) -> TorusPolynomial {
+    let n = torus.size();
+    let mut out = TorusPolynomial::zero(n);
+    for (i, &b) in binary.coeffs().iter().enumerate() {
+        if b == 0 {
+            continue;
+        }
+        for (j, &t) in torus.coeffs().iter().enumerate() {
+            let k = i + j;
+            if k < n {
+                out[k] = out[k].wrapping_add(t);
+            } else {
+                out[k - n] = out[k - n].wrapping_sub(t);
+            }
+        }
+    }
+    out
+}
+
+/// A GLWE ciphertext `[A_1(X), …, A_k(X), B(X)]`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GlweCiphertext {
+    masks: Vec<TorusPolynomial>,
+    body: TorusPolynomial,
+}
+
+impl GlweCiphertext {
+    /// A noiseless encryption of `message` under any key: zero masks.
+    ///
+    /// This is how the initial test vector enters the blind rotation.
+    pub fn trivial(glwe_dimension: usize, message: TorusPolynomial) -> Self {
+        let n = message.size();
+        Self {
+            masks: vec![TorusPolynomial::zero(n); glwe_dimension],
+            body: message,
+        }
+    }
+
+    /// The all-zero ciphertext (trivial encryption of zero).
+    pub fn zero(glwe_dimension: usize, poly_size: usize) -> Self {
+        Self::trivial(glwe_dimension, TorusPolynomial::zero(poly_size))
+    }
+
+    /// GLWE mask length `k`.
+    #[inline]
+    pub fn dimension(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Polynomial size `N`.
+    #[inline]
+    pub fn poly_size(&self) -> usize {
+        self.body.size()
+    }
+
+    /// The mask polynomials `A_1 … A_k`.
+    #[inline]
+    pub fn masks(&self) -> &[TorusPolynomial] {
+        &self.masks
+    }
+
+    /// The body polynomial `B`.
+    #[inline]
+    pub fn body(&self) -> &TorusPolynomial {
+        &self.body
+    }
+
+    /// Iterates over all `k+1` polynomials, masks first then body —
+    /// the row order of the paper's test-vector matrix.
+    pub fn polys(&self) -> impl Iterator<Item = &TorusPolynomial> {
+        self.masks.iter().chain(std::iter::once(&self.body))
+    }
+
+    /// Mutable access to polynomial `j` (`j = k` is the body).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j > k`.
+    pub fn poly_mut(&mut self, j: usize) -> &mut TorusPolynomial {
+        let k = self.masks.len();
+        if j < k {
+            &mut self.masks[j]
+        } else if j == k {
+            &mut self.body
+        } else {
+            panic!("polynomial index {j} out of range for glwe dimension {k}");
+        }
+    }
+
+    /// Homomorphic addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TfheError::ParameterMismatch`] on shape mismatch.
+    pub fn add_assign(&mut self, other: &GlweCiphertext) -> Result<(), TfheError> {
+        self.check_shape(other)?;
+        for (a, b) in self.masks.iter_mut().zip(&other.masks) {
+            a.add_assign(b);
+        }
+        self.body.add_assign(&other.body);
+        Ok(())
+    }
+
+    /// Homomorphic subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TfheError::ParameterMismatch`] on shape mismatch.
+    pub fn sub_assign(&mut self, other: &GlweCiphertext) -> Result<(), TfheError> {
+        self.check_shape(other)?;
+        for (a, b) in self.masks.iter_mut().zip(&other.masks) {
+            a.sub_assign(b);
+        }
+        self.body.sub_assign(&other.body);
+        Ok(())
+    }
+
+    /// Returns `X^amount · self` — the rotate-right of Algorithm 1
+    /// line 6, applied to every polynomial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amount >= 2N`.
+    pub fn rotate_right(&self, amount: usize) -> GlweCiphertext {
+        GlweCiphertext {
+            masks: self.masks.iter().map(|p| p.rotate_right(amount)).collect(),
+            body: self.body.rotate_right(amount),
+        }
+    }
+
+    /// Returns `X^{-amount} · self` — the rotate-left of Algorithm 1
+    /// line 4.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amount >= 2N`.
+    pub fn rotate_left(&self, amount: usize) -> GlweCiphertext {
+        GlweCiphertext {
+            masks: self.masks.iter().map(|p| p.rotate_left(amount)).collect(),
+            body: self.body.rotate_left(amount),
+        }
+    }
+
+    /// Sample extraction (Algorithm 1 line 13): forms the LWE ciphertext
+    /// of coefficient 0 of the encrypted polynomial, of dimension `k·N`,
+    /// under the extracted key ([`GlweSecretKey::to_extracted_lwe_key`]).
+    pub fn sample_extract(&self) -> LweCiphertext {
+        let n = self.poly_size();
+        let k = self.dimension();
+        let mut data = Vec::with_capacity(k * n + 1);
+        for mask in &self.masks {
+            let c = mask.coeffs();
+            data.push(c[0]);
+            for v in 1..n {
+                data.push(c[n - v].wrapping_neg());
+            }
+        }
+        data.push(self.body.coeffs()[0]);
+        LweCiphertext::from_raw(data)
+    }
+
+    fn check_shape(&self, other: &GlweCiphertext) -> Result<(), TfheError> {
+        if self.dimension() != other.dimension() {
+            return Err(TfheError::ParameterMismatch {
+                what: "glwe dimension",
+                left: self.dimension(),
+                right: other.dimension(),
+            });
+        }
+        if self.poly_size() != other.poly_size() {
+            return Err(TfheError::ParameterMismatch {
+                what: "polynomial size",
+                left: self.poly_size(),
+                right: other.poly_size(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::torus::{decode_message, encode_fraction};
+
+    const STD: f64 = 1.0e-10;
+
+    fn setup(k: usize, n: usize) -> (GlweSecretKey, NoiseSampler) {
+        let mut rng = NoiseSampler::from_seed(77);
+        let sk = GlweSecretKey::generate(k, n, &mut rng);
+        (sk, rng)
+    }
+
+    fn message_poly(n: usize) -> TorusPolynomial {
+        let coeffs: Vec<u64> =
+            (0..n).map(|j| encode_fraction((j % 16) as i64, 4)).collect();
+        TorusPolynomial::from_coeffs(coeffs)
+    }
+
+    #[test]
+    fn encrypt_decrypt_round_trip() {
+        for (k, n) in [(1, 64), (2, 32), (3, 16)] {
+            let (sk, mut rng) = setup(k, n);
+            let msg = message_poly(n);
+            let ct = sk.encrypt(&msg, STD, &mut rng);
+            let phase = sk.decrypt_phase(&ct).unwrap();
+            for (p, m) in phase.coeffs().iter().zip(msg.coeffs()) {
+                assert_eq!(decode_message(*p, 4), decode_message(*m, 4), "k={k} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_encryption_has_zero_mask() {
+        let msg = message_poly(32);
+        let ct = GlweCiphertext::trivial(2, msg.clone());
+        assert!(ct.masks().iter().all(|m| m.coeffs().iter().all(|&c| c == 0)));
+        let (sk, _) = setup(2, 32);
+        assert_eq!(sk.decrypt_phase(&ct).unwrap(), msg);
+    }
+
+    #[test]
+    fn homomorphic_add_sub() {
+        let (sk, mut rng) = setup(1, 64);
+        let m1 = TorusPolynomial::constant(64, encode_fraction(3, 4));
+        let m2 = TorusPolynomial::constant(64, encode_fraction(2, 4));
+        let mut c1 = sk.encrypt(&m1, STD, &mut rng);
+        let c2 = sk.encrypt(&m2, STD, &mut rng);
+        c1.add_assign(&c2).unwrap();
+        let phase = sk.decrypt_phase(&c1).unwrap();
+        assert_eq!(decode_message(phase[0], 4), 5);
+        c1.sub_assign(&c2).unwrap();
+        let phase = sk.decrypt_phase(&c1).unwrap();
+        assert_eq!(decode_message(phase[0], 4), 3);
+    }
+
+    #[test]
+    fn rotation_commutes_with_decryption() {
+        // Dec(X^a · ct) = X^a · Dec(ct): rotation is a homomorphism.
+        let (sk, mut rng) = setup(2, 32);
+        let msg = message_poly(32);
+        let ct = sk.encrypt(&msg, STD, &mut rng);
+        for amount in [0usize, 1, 5, 31, 32, 40, 63] {
+            let rotated = ct.rotate_right(amount);
+            let phase = sk.decrypt_phase(&rotated).unwrap();
+            let expected = msg.rotate_right(amount);
+            for (p, m) in phase.coeffs().iter().zip(expected.coeffs()) {
+                assert_eq!(decode_message(*p, 4), decode_message(*m, 4), "amount {amount}");
+            }
+        }
+    }
+
+    #[test]
+    fn sample_extract_recovers_constant_coefficient() {
+        let (sk, mut rng) = setup(2, 32);
+        let msg = message_poly(32);
+        let ct = sk.encrypt(&msg, STD, &mut rng);
+        let extracted = ct.sample_extract();
+        assert_eq!(extracted.dimension(), 2 * 32);
+        let lwe_key = sk.to_extracted_lwe_key();
+        let phase = lwe_key.decrypt_phase(&extracted).unwrap();
+        assert_eq!(decode_message(phase, 4), decode_message(msg[0], 4));
+    }
+
+    #[test]
+    fn sample_extract_after_rotation_reads_any_coefficient() {
+        // Rotating left by j then extracting reads coefficient j — the
+        // mechanism by which PBS selects the LUT entry.
+        let (sk, mut rng) = setup(1, 64);
+        let msg = message_poly(64);
+        let ct = sk.encrypt(&msg, STD, &mut rng);
+        let lwe_key = sk.to_extracted_lwe_key();
+        for j in [0usize, 1, 17, 63] {
+            let phase = lwe_key
+                .decrypt_phase(&ct.rotate_left(j).sample_extract())
+                .unwrap();
+            assert_eq!(decode_message(phase, 4), decode_message(msg[j], 4), "j={j}");
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error() {
+        let (sk, mut rng) = setup(1, 64);
+        let ct = sk.encrypt(&message_poly(64), STD, &mut rng);
+        let mut other = GlweCiphertext::zero(2, 64);
+        assert!(other.add_assign(&ct).is_err());
+        let mut other = GlweCiphertext::zero(1, 32);
+        assert!(other.add_assign(&ct).is_err());
+        let (sk2, _) = setup(2, 64);
+        assert!(sk2.decrypt_phase(&ct).is_err());
+    }
+
+    #[test]
+    fn poly_mut_indexes_masks_then_body() {
+        let mut ct = GlweCiphertext::zero(2, 16);
+        ct.poly_mut(0)[0] = 1;
+        ct.poly_mut(1)[0] = 2;
+        ct.poly_mut(2)[0] = 3;
+        assert_eq!(ct.masks()[0][0], 1);
+        assert_eq!(ct.masks()[1][0], 2);
+        assert_eq!(ct.body()[0], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn poly_mut_rejects_out_of_range() {
+        let mut ct = GlweCiphertext::zero(1, 16);
+        ct.poly_mut(2);
+    }
+}

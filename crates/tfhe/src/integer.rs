@@ -1,0 +1,374 @@
+//! Multi-digit radix integers — TFHE beyond single look-up tables.
+//!
+//! §II-B notes TFHE "has been extended to include operations for
+//! integer and fixed-point numbers". This module provides that layer:
+//! an integer is a little-endian vector of `m`-bit digits, each held in
+//! a shortint ciphertext with one spare *carry bit* (message space
+//! `2^{m+1}`) so that a digit-wise addition cannot overflow before the
+//! carries are propagated. Carry propagation costs two PBS per digit
+//! (extract digit, extract carry) — the dominant cost, and precisely
+//! the stream of dependent bootstraps the Strix batching architecture
+//! is designed to feed.
+
+use serde::{Deserialize, Serialize};
+
+use crate::keys::{ClientKey, ServerKey};
+use crate::shortint::ShortintCiphertext;
+use crate::TfheError;
+
+/// An encrypted unsigned integer in radix representation:
+/// `value = Σ digit_i · 2^{m·i}` with `m = digit_bits`.
+#[derive(Clone, Debug)]
+pub struct RadixCiphertext {
+    digits: Vec<ShortintCiphertext>,
+    digit_bits: u32,
+}
+
+/// Shape of a radix integer: digit width and count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RadixSpec {
+    /// Message bits per digit (`m`), excluding the carry bit.
+    pub digit_bits: u32,
+    /// Number of digits.
+    pub num_digits: usize,
+}
+
+impl RadixSpec {
+    /// Creates a spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is degenerate or exceeds 64 total bits.
+    pub fn new(digit_bits: u32, num_digits: usize) -> Self {
+        assert!(digit_bits >= 1, "digits need at least one bit");
+        assert!(num_digits >= 1, "need at least one digit");
+        assert!(
+            digit_bits as usize * num_digits <= 64,
+            "radix integers are limited to 64 cleartext bits"
+        );
+        Self { digit_bits, num_digits }
+    }
+
+    /// Exclusive upper bound of representable values (saturating at
+    /// `u64::MAX` for the full 64-bit shape).
+    pub fn modulus(&self) -> u64 {
+        let bits = self.digit_bits as usize * self.num_digits;
+        if bits >= 64 {
+            u64::MAX
+        } else {
+            1u64 << bits
+        }
+    }
+}
+
+impl RadixCiphertext {
+    /// Digit width `m` in bits.
+    #[inline]
+    pub fn digit_bits(&self) -> u32 {
+        self.digit_bits
+    }
+
+    /// Number of digits.
+    #[inline]
+    pub fn num_digits(&self) -> usize {
+        self.digits.len()
+    }
+
+    /// Borrow of the digit ciphertexts (little-endian).
+    #[inline]
+    pub fn digits(&self) -> &[ShortintCiphertext] {
+        &self.digits
+    }
+
+    fn check_compatible(&self, other: &RadixCiphertext) -> Result<(), TfheError> {
+        if self.digit_bits != other.digit_bits {
+            return Err(TfheError::ParameterMismatch {
+                what: "digit bits",
+                left: self.digit_bits as usize,
+                right: other.digit_bits as usize,
+            });
+        }
+        if self.digits.len() != other.digits.len() {
+            return Err(TfheError::ParameterMismatch {
+                what: "digit count",
+                left: self.digits.len(),
+                right: other.digits.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl ClientKey {
+    /// Encrypts `value` as a radix integer.
+    ///
+    /// Each digit is stored with one carry bit: the underlying shortint
+    /// precision is `digit_bits + 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TfheError::MessageOutOfRange`] if `value` does not fit
+    /// the spec, or [`TfheError::InvalidParameters`] if a digit's
+    /// message-plus-carry space exceeds the polynomial size.
+    pub fn encrypt_radix(
+        &mut self,
+        value: u64,
+        spec: RadixSpec,
+    ) -> Result<RadixCiphertext, TfheError> {
+        if value >= spec.modulus() {
+            return Err(TfheError::MessageOutOfRange {
+                message: value,
+                bound: spec.modulus(),
+            });
+        }
+        let base = 1u64 << spec.digit_bits;
+        let mut rest = value;
+        let mut digits = Vec::with_capacity(spec.num_digits);
+        for _ in 0..spec.num_digits {
+            digits.push(self.encrypt_shortint(rest % base, spec.digit_bits + 1)?);
+            rest /= base;
+        }
+        Ok(RadixCiphertext { digits, digit_bits: spec.digit_bits })
+    }
+
+    /// Decrypts a radix integer.
+    ///
+    /// Digits are reduced mod `2^m` in case un-propagated carries
+    /// remain (the homomorphic ops below always propagate).
+    pub fn decrypt_radix(&self, ct: &RadixCiphertext) -> u64 {
+        let base = 1u64 << ct.digit_bits;
+        let mut value = 0u64;
+        for digit in ct.digits.iter().rev() {
+            value = value
+                .wrapping_mul(base)
+                .wrapping_add(self.decrypt_shortint(digit) % base);
+        }
+        value
+    }
+}
+
+impl ServerKey {
+    /// Homomorphic radix addition with full carry propagation:
+    /// `2·num_digits − 1` bootstraps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TfheError::ParameterMismatch`] on shape mismatch and
+    /// propagates PBS errors.
+    pub fn radix_add(
+        &self,
+        a: &RadixCiphertext,
+        b: &RadixCiphertext,
+    ) -> Result<RadixCiphertext, TfheError> {
+        a.check_compatible(b)?;
+        let m = a.digit_bits;
+        let base = 1u64 << m;
+        let mut out = Vec::with_capacity(a.digits.len());
+        let mut carry: Option<ShortintCiphertext> = None;
+        for (da, db) in a.digits.iter().zip(&b.digits) {
+            // Raw sum in the (m+1)-bit space: ≤ 2(2^m−1) + 1 < 2^{m+1}.
+            let mut sum = da.clone();
+            sum.add_assign(db)?;
+            if let Some(c) = &carry {
+                sum.add_assign(c)?;
+            }
+            // Two PBS: split the sum into digit and carry-out.
+            let digit = self.apply_lut(&sum, move |v| v % base)?;
+            carry = Some(self.apply_lut(&sum, move |v| v / base)?);
+            out.push(digit);
+        }
+        // The final carry out is dropped: addition is mod 2^{m·d}.
+        Ok(RadixCiphertext { digits: out, digit_bits: m })
+    }
+
+    /// Adds a cleartext constant (same carry-propagation cost as
+    /// [`Self::radix_add`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TfheError::MessageOutOfRange`] if the scalar exceeds
+    /// the integer's modulus, and propagates PBS errors.
+    pub fn radix_scalar_add(
+        &self,
+        a: &RadixCiphertext,
+        scalar: u64,
+    ) -> Result<RadixCiphertext, TfheError> {
+        let spec = RadixSpec::new(a.digit_bits, a.digits.len());
+        if scalar >= spec.modulus() {
+            return Err(TfheError::MessageOutOfRange {
+                message: scalar,
+                bound: spec.modulus(),
+            });
+        }
+        let m = a.digit_bits;
+        let base = 1u64 << m;
+        let mut rest = scalar;
+        let mut out = Vec::with_capacity(a.digits.len());
+        let mut carry: Option<ShortintCiphertext> = None;
+        for da in &a.digits {
+            let mut sum = da.clone();
+            sum.scalar_add_assign(rest % base)?;
+            rest /= base;
+            if let Some(c) = &carry {
+                sum.add_assign(c)?;
+            }
+            let digit = self.apply_lut(&sum, move |v| v % base)?;
+            carry = Some(self.apply_lut(&sum, move |v| v / base)?);
+            out.push(digit);
+        }
+        Ok(RadixCiphertext { digits: out, digit_bits: m })
+    }
+
+    /// Homomorphic doubling (`×2`): a digit-wise shift with carry
+    /// propagation; the scalar fits the carry bit by construction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates PBS errors.
+    pub fn radix_double(&self, a: &RadixCiphertext) -> Result<RadixCiphertext, TfheError> {
+        self.radix_add(a, a)
+    }
+
+    /// Homomorphic equality: per-digit bivariate equality then an
+    /// AND-reduction, returning a 1-bit shortint (1 = equal).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TfheError::ParameterMismatch`] on shape mismatch and
+    /// propagates PBS errors.
+    pub fn radix_eq(
+        &self,
+        a: &RadixCiphertext,
+        b: &RadixCiphertext,
+    ) -> Result<ShortintCiphertext, TfheError> {
+        a.check_compatible(b)?;
+        let mut acc: Option<ShortintCiphertext> = None;
+        for (da, db) in a.digits.iter().zip(&b.digits) {
+            let eq = self.apply_bivariate_lut(da, db, |x, y| u64::from(x == y))?;
+            acc = Some(match acc {
+                None => eq,
+                Some(prev) => self.apply_bivariate_lut(&prev, &eq, |x, y| x & y)?,
+            });
+        }
+        Ok(acc.expect("specs guarantee at least one digit"))
+    }
+
+    /// Number of bootstraps a radix addition of this shape costs — the
+    /// quantity a Strix workload graph charges for it.
+    pub fn radix_add_pbs_cost(&self, spec: RadixSpec) -> usize {
+        2 * spec.num_digits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::generate_keys;
+    use crate::params::TfheParameters;
+
+    // 1-bit digits at the toy N = 256: the shortint space is 2 bits and
+    // bivariate ops pack into 4 bits, leaving LUT boxes of 16
+    // coefficients — comfortably above the modulus-switch noise. Four
+    // digits give values in [0, 16).
+    fn spec() -> RadixSpec {
+        RadixSpec::new(1, 4)
+    }
+
+    fn keys() -> (ClientKey, ServerKey) {
+        generate_keys(&TfheParameters::testing_fast(), 20_26)
+    }
+
+    #[test]
+    fn encrypt_decrypt_round_trip() {
+        let (mut client, _) = keys();
+        for v in [0u64, 1, 7, 10, 15] {
+            let ct = client.encrypt_radix(v, spec()).unwrap();
+            assert_eq!(ct.num_digits(), 4);
+            assert_eq!(client.decrypt_radix(&ct), v, "v={v}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let (mut client, _) = keys();
+        assert!(matches!(
+            client.encrypt_radix(16, spec()),
+            Err(TfheError::MessageOutOfRange { message: 16, bound: 16 })
+        ));
+    }
+
+    #[test]
+    fn addition_with_carry_chains() {
+        let (mut client, server) = keys();
+        for (a, b) in [(5u64, 7u64), (9, 6), (15, 1), (3, 3), (0, 0)] {
+            let ca = client.encrypt_radix(a, spec()).unwrap();
+            let cb = client.encrypt_radix(b, spec()).unwrap();
+            let sum = server.radix_add(&ca, &cb).unwrap();
+            assert_eq!(client.decrypt_radix(&sum), (a + b) % 16, "{a}+{b}");
+        }
+    }
+
+    #[test]
+    fn scalar_addition() {
+        let (mut client, server) = keys();
+        let ca = client.encrypt_radix(9, spec()).unwrap();
+        let sum = server.radix_scalar_add(&ca, 5).unwrap();
+        assert_eq!(client.decrypt_radix(&sum), 14);
+        assert!(server.radix_scalar_add(&ca, 16).is_err());
+    }
+
+    #[test]
+    fn doubling() {
+        let (mut client, server) = keys();
+        let ca = client.encrypt_radix(6, spec()).unwrap();
+        let doubled = server.radix_double(&ca).unwrap();
+        assert_eq!(client.decrypt_radix(&doubled), 12);
+    }
+
+    #[test]
+    fn additions_chain_through_carry_propagation() {
+        // (5 + 7) + 9 = 21 ≡ 5 (mod 16): the second addition takes
+        // bootstrapped digits as inputs, proving the carry cleanup.
+        let (mut client, server) = keys();
+        let a = client.encrypt_radix(5, spec()).unwrap();
+        let b = client.encrypt_radix(7, spec()).unwrap();
+        let c = client.encrypt_radix(9, spec()).unwrap();
+        let ab = server.radix_add(&a, &b).unwrap();
+        let abc = server.radix_add(&ab, &c).unwrap();
+        assert_eq!(client.decrypt_radix(&abc), 5);
+    }
+
+    #[test]
+    fn equality() {
+        let (mut client, server) = keys();
+        let a = client.encrypt_radix(11, spec()).unwrap();
+        let b = client.encrypt_radix(11, spec()).unwrap();
+        let c = client.encrypt_radix(12, spec()).unwrap();
+        assert_eq!(client.decrypt_shortint(&server.radix_eq(&a, &b).unwrap()), 1);
+        assert_eq!(client.decrypt_shortint(&server.radix_eq(&a, &c).unwrap()), 0);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let (mut client, server) = keys();
+        let a = client.encrypt_radix(1, RadixSpec::new(1, 4)).unwrap();
+        let b = client.encrypt_radix(1, RadixSpec::new(1, 3)).unwrap();
+        assert!(server.radix_add(&a, &b).is_err());
+        let c = client.encrypt_radix(1, RadixSpec::new(2, 4)).unwrap();
+        assert!(server.radix_add(&a, &c).is_err());
+    }
+
+    #[test]
+    fn spec_invariants() {
+        assert_eq!(RadixSpec::new(1, 4).modulus(), 16);
+        assert_eq!(RadixSpec::new(4, 16).modulus(), u64::MAX);
+        let (_, server) = keys();
+        assert_eq!(server.radix_add_pbs_cost(spec()), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "64 cleartext bits")]
+    fn oversized_spec_panics() {
+        RadixSpec::new(4, 17);
+    }
+}

@@ -1,0 +1,200 @@
+//! Client and server key pairs.
+//!
+//! The [`ClientKey`] holds the secrets and performs encryption and
+//! decryption; the [`ServerKey`] holds only public evaluation material
+//! (the bootstrapping key and keyswitching key) and performs every
+//! homomorphic operation. The split mirrors the deployment model the
+//! paper targets: the server — or the Strix accelerator — never sees a
+//! secret key.
+
+use crate::bootstrap::BootstrapKey;
+use crate::glwe::GlweSecretKey;
+use crate::keyswitch::KeySwitchKey;
+use crate::lwe::{LweCiphertext, LweSecretKey};
+use crate::params::TfheParameters;
+use crate::rng::NoiseSampler;
+use crate::TfheError;
+
+/// Secret key material plus encryption/decryption helpers.
+#[derive(Clone, Debug)]
+pub struct ClientKey {
+    params: TfheParameters,
+    lwe_sk: LweSecretKey,
+    glwe_sk: GlweSecretKey,
+    extracted_sk: LweSecretKey,
+    rng: NoiseSampler,
+}
+
+impl ClientKey {
+    /// Generates a fresh client key.
+    pub fn generate(params: &TfheParameters, seed: u64) -> Self {
+        params.validate().expect("parameter set must be valid");
+        let mut rng = NoiseSampler::from_seed(seed);
+        let lwe_sk = LweSecretKey::generate(params.lwe_dimension, &mut rng);
+        let glwe_sk =
+            GlweSecretKey::generate(params.glwe_dimension, params.polynomial_size, &mut rng);
+        let extracted_sk = glwe_sk.to_extracted_lwe_key();
+        Self { params: params.clone(), lwe_sk, glwe_sk, extracted_sk, rng }
+    }
+
+    /// The parameter set this key was generated for.
+    #[inline]
+    pub fn params(&self) -> &TfheParameters {
+        &self.params
+    }
+
+    /// The LWE secret key (dimension `n`).
+    #[inline]
+    pub fn lwe_secret_key(&self) -> &LweSecretKey {
+        &self.lwe_sk
+    }
+
+    /// The GLWE secret key.
+    #[inline]
+    pub fn glwe_secret_key(&self) -> &GlweSecretKey {
+        &self.glwe_sk
+    }
+
+    /// The extracted LWE key (dimension `k·N`) under which raw PBS
+    /// outputs decrypt.
+    #[inline]
+    pub fn extracted_secret_key(&self) -> &LweSecretKey {
+        &self.extracted_sk
+    }
+
+    /// Encrypts a raw torus plaintext under the `n`-dimension key.
+    pub fn encrypt_torus(&mut self, plaintext: u64) -> LweCiphertext {
+        let std = self.params.lwe_noise_std;
+        self.lwe_sk.encrypt(plaintext, std, &mut self.rng)
+    }
+
+    /// Decrypts the phase of a ciphertext under whichever of the two
+    /// keys matches its dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TfheError::ParameterMismatch`] if the dimension matches
+    /// neither key.
+    pub fn decrypt_phase(&self, ct: &LweCiphertext) -> Result<u64, TfheError> {
+        if ct.dimension() == self.lwe_sk.dimension() {
+            self.lwe_sk.decrypt_phase(ct)
+        } else {
+            self.extracted_sk.decrypt_phase(ct)
+        }
+    }
+
+    /// Derives the matching server key.
+    pub fn server_key(&mut self) -> ServerKey {
+        let bsk = BootstrapKey::generate(&self.lwe_sk, &self.glwe_sk, &self.params, &mut self.rng);
+        let ksk = KeySwitchKey::generate(
+            &self.extracted_sk,
+            &self.lwe_sk,
+            &self.params,
+            &mut self.rng,
+        );
+        ServerKey { params: self.params.clone(), bsk, ksk }
+    }
+}
+
+/// Public evaluation keys: everything the server (or accelerator) needs.
+#[derive(Clone, Debug)]
+pub struct ServerKey {
+    pub(crate) params: TfheParameters,
+    pub(crate) bsk: BootstrapKey,
+    pub(crate) ksk: KeySwitchKey,
+}
+
+impl ServerKey {
+    /// The parameter set this key was generated for.
+    #[inline]
+    pub fn params(&self) -> &TfheParameters {
+        &self.params
+    }
+
+    /// The bootstrapping key.
+    #[inline]
+    pub fn bootstrap_key(&self) -> &BootstrapKey {
+        &self.bsk
+    }
+
+    /// The keyswitching key.
+    #[inline]
+    pub fn keyswitch_key(&self) -> &KeySwitchKey {
+        &self.ksk
+    }
+
+    /// Total evaluation-key footprint in bytes (bsk + ksk) — the
+    /// quantity Table I contrasts against CKKS's gigabyte-scale keys.
+    pub fn key_bytes(&self) -> usize {
+        self.bsk.byte_size() + self.ksk.byte_size()
+    }
+}
+
+/// Generates a `(ClientKey, ServerKey)` pair from a seed.
+///
+/// # Example
+///
+/// ```
+/// use strix_tfhe::prelude::*;
+///
+/// let params = TfheParameters::testing_fast();
+/// let (mut client, server) = generate_keys(&params, 1);
+/// let ct = client.encrypt_bool(true);
+/// assert!(client.decrypt_bool(&ct));
+/// # let _ = server;
+/// ```
+pub fn generate_keys(params: &TfheParameters, seed: u64) -> (ClientKey, ServerKey) {
+    let mut client = ClientKey::generate(params, seed);
+    let server = client.server_key();
+    (client, server)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_keys_produces_matching_dimensions() {
+        let params = TfheParameters::testing_fast();
+        let (client, server) = generate_keys(&params, 7);
+        assert_eq!(client.lwe_secret_key().dimension(), params.lwe_dimension);
+        assert_eq!(
+            client.extracted_secret_key().dimension(),
+            params.extracted_lwe_dimension()
+        );
+        assert_eq!(server.bootstrap_key().input_dimension(), params.lwe_dimension);
+        assert_eq!(server.keyswitch_key().output_dimension(), params.lwe_dimension);
+        assert_eq!(
+            server.keyswitch_key().input_dimension(),
+            params.extracted_lwe_dimension()
+        );
+    }
+
+    #[test]
+    fn key_bytes_matches_parameter_formulas() {
+        let params = TfheParameters::testing_fast();
+        let (_, server) = generate_keys(&params, 7);
+        assert_eq!(
+            server.key_bytes(),
+            params.bootstrap_key_bytes() + params.keyswitch_key_bytes()
+        );
+    }
+
+    #[test]
+    fn torus_encrypt_decrypt() {
+        let params = TfheParameters::testing_fast();
+        let (mut client, _) = generate_keys(&params, 11);
+        let pt = crate::torus::encode_fraction(3, 4);
+        let ct = client.encrypt_torus(pt);
+        let phase = client.decrypt_phase(&ct).unwrap();
+        assert_eq!(crate::torus::decode_message(phase, 4), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter set must be valid")]
+    fn invalid_parameters_panic_at_keygen() {
+        let mut params = TfheParameters::testing_fast();
+        params.polynomial_size = 100;
+        ClientKey::generate(&params, 0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Keyswitching (Algorithm 2).
+//!
+//! After PBS the ciphertext lives under the extracted key of dimension
+//! `k·N`. Keyswitching converts it back to the original `n`-dimension
+//! key: each mask element is gadget-decomposed and the digits are
+//! multiplied against the keyswitching key — a `k·N·l_k × (n+1)`
+//! matrix–vector product over scalars, which is why the Strix keyswitch
+//! cluster needs only the decomposer, VMA and accumulator units.
+
+use crate::decompose::DecompositionParams;
+use crate::lwe::{LweCiphertext, LweSecretKey};
+use crate::params::TfheParameters;
+use crate::profiler::{PbsStage, StageTimings};
+use crate::rng::NoiseSampler;
+use crate::TfheError;
+
+/// The keyswitching key: for every input-key bit `s'_j` and level
+/// `lvl`, an LWE encryption of `s'_j · q/B_ks^{lvl+1}` under the output
+/// key.
+#[derive(Clone, Debug)]
+pub struct KeySwitchKey {
+    /// `rows[j * l_k + lvl]`.
+    rows: Vec<LweCiphertext>,
+    decomp: DecompositionParams,
+    input_dimension: usize,
+    output_dimension: usize,
+}
+
+impl KeySwitchKey {
+    /// Generates a keyswitching key from `from_key` (dimension `k·N`)
+    /// to `to_key` (dimension `n`).
+    pub fn generate(
+        from_key: &LweSecretKey,
+        to_key: &LweSecretKey,
+        params: &TfheParameters,
+        rng: &mut NoiseSampler,
+    ) -> Self {
+        let decomp = DecompositionParams::new(params.ks_base_log, params.ks_level);
+        let mut rows = Vec::with_capacity(from_key.dimension() * decomp.level);
+        for &bit in from_key.bits() {
+            for lvl in 1..=decomp.level {
+                let pt = bit.wrapping_mul(decomp.gadget_scale(lvl));
+                rows.push(to_key.encrypt(pt, params.lwe_noise_std, rng));
+            }
+        }
+        Self {
+            rows,
+            decomp,
+            input_dimension: from_key.dimension(),
+            output_dimension: to_key.dimension(),
+        }
+    }
+
+    /// Input dimension (`k·N`).
+    #[inline]
+    pub fn input_dimension(&self) -> usize {
+        self.input_dimension
+    }
+
+    /// Output dimension (`n`).
+    #[inline]
+    pub fn output_dimension(&self) -> usize {
+        self.output_dimension
+    }
+
+    /// The decomposition used on input mask elements.
+    #[inline]
+    pub fn decomposition(&self) -> DecompositionParams {
+        self.decomp
+    }
+
+    /// Key size in bytes (`k·N·l_k` ciphertexts of `n+1` words).
+    pub fn byte_size(&self) -> usize {
+        self.rows.len() * (self.output_dimension + 1) * 8
+    }
+
+    /// Switches `ct` (dimension `k·N`) to the output key (dimension `n`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TfheError::ParameterMismatch`] if `ct`'s dimension is
+    /// not the key's input dimension.
+    pub fn keyswitch(&self, ct: &LweCiphertext) -> Result<LweCiphertext, TfheError> {
+        self.keyswitch_impl(ct, None)
+    }
+
+    /// Profiled variant of [`Self::keyswitch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TfheError::ParameterMismatch`] on dimension mismatch.
+    pub fn keyswitch_profiled(
+        &self,
+        ct: &LweCiphertext,
+        timings: &mut StageTimings,
+    ) -> Result<LweCiphertext, TfheError> {
+        self.keyswitch_impl(ct, Some(timings))
+    }
+
+    fn keyswitch_impl(
+        &self,
+        ct: &LweCiphertext,
+        timings: Option<&mut StageTimings>,
+    ) -> Result<LweCiphertext, TfheError> {
+        if ct.dimension() != self.input_dimension {
+            return Err(TfheError::ParameterMismatch {
+                what: "lwe dimension",
+                left: ct.dimension(),
+                right: self.input_dimension,
+            });
+        }
+        let t0 = std::time::Instant::now();
+        // o = (0, …, 0, b) − Σ_j Σ_lvl d_{j,lvl} · ksk[j][lvl]
+        let mut out = LweCiphertext::trivial(self.output_dimension, ct.body());
+        let mut digits = vec![0i64; self.decomp.level];
+        for (j, &a) in ct.mask().iter().enumerate() {
+            self.decomp.decompose_into(a, &mut digits);
+            for (lvl, &d) in digits.iter().enumerate() {
+                if d == 0 {
+                    continue;
+                }
+                let row = &self.rows[j * self.decomp.level + lvl];
+                // Fused multiply-subtract over the row (the keyswitch
+                // cluster's VMA lane).
+                let d = d as u64;
+                for (o, &r) in out.raw_mut().iter_mut().zip(row.as_raw().iter()) {
+                    *o = o.wrapping_sub(d.wrapping_mul(r));
+                }
+            }
+        }
+        if let Some(t) = timings {
+            t.add(PbsStage::KeySwitch, t0.elapsed());
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::torus::{decode_message, encode_fraction};
+
+    fn fixture() -> (LweSecretKey, LweSecretKey, KeySwitchKey, NoiseSampler, TfheParameters) {
+        let mut params = TfheParameters::testing_fast();
+        params.ks_base_log = 4;
+        params.ks_level = 8;
+        let mut rng = NoiseSampler::from_seed(31337);
+        let big = LweSecretKey::generate(256, &mut rng);
+        let small = LweSecretKey::generate(params.lwe_dimension, &mut rng);
+        let ksk = KeySwitchKey::generate(&big, &small, &params, &mut rng);
+        (big, small, ksk, rng, params)
+    }
+
+    #[test]
+    fn keyswitch_preserves_message() {
+        let (big, small, ksk, mut rng, params) = fixture();
+        for m in 0..8u64 {
+            let pt = encode_fraction(m as i64, 3);
+            let ct = big.encrypt(pt, params.lwe_noise_std, &mut rng);
+            let switched = ksk.keyswitch(&ct).unwrap();
+            assert_eq!(switched.dimension(), small.dimension());
+            let phase = small.decrypt_phase(&switched).unwrap();
+            assert_eq!(decode_message(phase, 3), m, "m={m}");
+        }
+    }
+
+    #[test]
+    fn keyswitch_is_linear() {
+        let (big, small, ksk, mut rng, params) = fixture();
+        let c1 = big.encrypt(encode_fraction(1, 3), params.lwe_noise_std, &mut rng);
+        let c2 = big.encrypt(encode_fraction(2, 3), params.lwe_noise_std, &mut rng);
+        let mut sum = c1.clone();
+        sum.add_assign(&c2).unwrap();
+        let switched_sum = ksk.keyswitch(&sum).unwrap();
+        let phase = small.decrypt_phase(&switched_sum).unwrap();
+        assert_eq!(decode_message(phase, 3), 3);
+    }
+
+    #[test]
+    fn dimensions_and_size() {
+        let (_, _, ksk, _, params) = fixture();
+        assert_eq!(ksk.input_dimension(), 256);
+        assert_eq!(ksk.output_dimension(), params.lwe_dimension);
+        assert_eq!(
+            ksk.byte_size(),
+            256 * params.ks_level * (params.lwe_dimension + 1) * 8
+        );
+    }
+
+    #[test]
+    fn wrong_dimension_is_an_error() {
+        let (_, _, ksk, _, _) = fixture();
+        let ct = LweCiphertext::trivial(100, 0);
+        assert!(matches!(
+            ksk.keyswitch(&ct),
+            Err(TfheError::ParameterMismatch { what: "lwe dimension", .. })
+        ));
+    }
+
+    #[test]
+    fn trivial_input_switches_exactly() {
+        // A trivial ciphertext has zero mask: keyswitching must return
+        // the body untouched (no decomposition work at all).
+        let (_, small, ksk, _, _) = fixture();
+        let pt = encode_fraction(5, 3);
+        let ct = LweCiphertext::trivial(256, pt);
+        let switched = ksk.keyswitch(&ct).unwrap();
+        assert_eq!(small.decrypt_phase(&switched).unwrap(), pt);
+    }
+
+    #[test]
+    fn profiled_keyswitch_records_time() {
+        let (big, _, ksk, mut rng, params) = fixture();
+        let ct = big.encrypt(0, params.lwe_noise_std, &mut rng);
+        let mut t = StageTimings::new();
+        let _ = ksk.keyswitch_profiled(&ct, &mut t).unwrap();
+        assert!(t.total_for(PbsStage::KeySwitch) > std::time::Duration::ZERO);
+    }
+}

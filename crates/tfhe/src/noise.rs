@@ -1,0 +1,198 @@
+//! Noise analysis: predicted variances and empirical measurement.
+//!
+//! The predictions follow the standard TFHE noise propagation formulas
+//! (Chillotti et al. 2020; Joye's SoK, the paper's \[43\]). They are used
+//! in two ways: to document why the Table IV parameter sets decode
+//! correctly, and in statistical tests asserting that the measured noise
+//! of our implementation stays within a small factor of theory — a
+//! functional check that the FFT path is not silently corrupting
+//! ciphertexts.
+//!
+//! All variances are *relative to the torus* (the torus has size 1).
+
+use crate::keys::ClientKey;
+use crate::lwe::LweCiphertext;
+use crate::params::TfheParameters;
+
+/// Variance of a fresh LWE encryption.
+pub fn fresh_lwe_variance(params: &TfheParameters) -> f64 {
+    params.lwe_noise_std * params.lwe_noise_std
+}
+
+/// Variance added by one external product inside blind rotation,
+/// i.e. the per-iteration noise growth. Two terms: the GGSW noise
+/// amplified by the decomposed digits, and the gadget rounding error
+/// amplified by the secret key.
+pub fn external_product_variance(params: &TfheParameters) -> f64 {
+    let k = params.glwe_dimension as f64;
+    let n = params.polynomial_size as f64;
+    let l = params.pbs_level as f64;
+    let b = 2.0f64.powi(params.pbs_base_log as i32);
+    let var_ggsw = params.glwe_noise_std * params.glwe_noise_std;
+    // Digit-amplified key noise: (k+1)·l·N·(B²+2)/12 · σ².
+    let key_term = (k + 1.0) * l * n * (b * b + 2.0) / 12.0 * var_ggsw;
+    // Gadget rounding: (1 + k·N)/2 · B^{-2l}/12 (binary secret).
+    let round_term = (1.0 + k * n) / 2.0 * b.powf(-2.0 * l) / 12.0;
+    key_term + round_term
+}
+
+/// Variance of a PBS output (fresh noise, independent of input noise):
+/// `n` accumulated external products.
+pub fn pbs_output_variance(params: &TfheParameters) -> f64 {
+    params.lwe_dimension as f64 * external_product_variance(params)
+}
+
+/// Variance added by keyswitching back to the `n`-dimension key.
+pub fn keyswitch_added_variance(params: &TfheParameters) -> f64 {
+    let kn = params.extracted_lwe_dimension() as f64;
+    let l = params.ks_level as f64;
+    let b = 2.0f64.powi(params.ks_base_log as i32);
+    let var_ks = params.lwe_noise_std * params.lwe_noise_std;
+    let key_term = kn * l * (b * b + 2.0) / 12.0 * var_ks / b / b; // digits ≤ B/2
+    let round_term = kn / 2.0 * b.powf(-2.0 * l.round()) / 12.0;
+    // The digit-amplified term uses E[d²] ≈ B²/12 per digit; combined
+    // with l levels this simplifies to kn·l·(B²+2)/12·σ² — keep the
+    // conservative (un-divided) form.
+    let conservative_key_term = kn * l * (b * b + 2.0) / 12.0 * var_ks;
+    let _ = key_term;
+    conservative_key_term + round_term
+}
+
+/// Variance added by switching the modulus from `q` to `2N` at the
+/// start of PBS, expressed back on the torus.
+pub fn modswitch_variance(params: &TfheParameters) -> f64 {
+    let two_n = (2 * params.polynomial_size) as f64;
+    let n = params.lwe_dimension as f64;
+    // Rounding each of n+1 elements to 1/2N: uniform error of variance
+    // (1/2N)²/12, the mask terms multiplied by binary key bits (E=1/2).
+    (1.0 + n / 2.0) / (two_n * two_n * 12.0)
+}
+
+/// Total phase variance at the *decision point* of a gate bootstrap:
+/// two fresh gate inputs (each PBS + KS output) combined linearly with
+/// unit weights, plus modulus switching.
+pub fn gate_decision_variance(params: &TfheParameters) -> f64 {
+    2.0 * (pbs_output_variance(params) + keyswitch_added_variance(params))
+        + modswitch_variance(params)
+}
+
+/// The margin-to-noise ratio of gate bootstrapping: distance from the
+/// `±1/8` encodings to the decision boundary (1/8 of the torus) divided
+/// by the phase standard deviation. Values above ~6 give negligible
+/// error probability; Table IV sets land well above that.
+pub fn gate_margin_sigmas(params: &TfheParameters) -> f64 {
+    0.125 / gate_decision_variance(params).sqrt()
+}
+
+/// Measures the signed torus error of a ciphertext against the expected
+/// plaintext, in torus units.
+///
+/// # Panics
+///
+/// Panics if the ciphertext decrypts under neither client key.
+pub fn measure_error(client: &ClientKey, ct: &LweCiphertext, expected_pt: u64) -> f64 {
+    let phase = client.decrypt_phase(ct).expect("ciphertext matches client key");
+    let err = phase.wrapping_sub(expected_pt);
+    err as i64 as f64 / 2.0f64.powi(64)
+}
+
+/// Sample standard deviation of a set of torus errors.
+pub fn error_std(errors: &[f64]) -> f64 {
+    if errors.is_empty() {
+        return 0.0;
+    }
+    let mean = errors.iter().sum::<f64>() / errors.len() as f64;
+    let var =
+        errors.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / errors.len() as f64;
+    var.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bootstrap::{encode_bool, Lut};
+    use crate::keys::generate_keys;
+    use crate::torus::encode_fraction;
+
+    #[test]
+    fn table_iv_sets_have_huge_gate_margins() {
+        for set in crate::params::ParameterSet::ALL {
+            let p = set.parameters();
+            let sigmas = gate_margin_sigmas(&p);
+            assert!(sigmas > 10.0, "{}: only {sigmas:.1} sigmas of margin", p.name);
+        }
+    }
+
+    #[test]
+    fn variance_components_are_positive_and_finite() {
+        let p = TfheParameters::set_i();
+        for v in [
+            fresh_lwe_variance(&p),
+            external_product_variance(&p),
+            pbs_output_variance(&p),
+            keyswitch_added_variance(&p),
+            modswitch_variance(&p),
+            gate_decision_variance(&p),
+        ] {
+            assert!(v.is_finite() && v > 0.0, "{v}");
+        }
+    }
+
+    #[test]
+    fn more_levels_reduce_rounding_noise() {
+        let mut p2 = TfheParameters::set_i();
+        p2.pbs_base_log = 6;
+        p2.pbs_level = 2;
+        let mut p4 = p2.clone();
+        p4.pbs_level = 4;
+        // With 4 levels the gadget covers more bits → smaller rounding
+        // term (the key term grows, but at these sizes rounding
+        // dominates for l=2, B=2^6).
+        let round2 = external_product_variance(&p2);
+        let round4 = external_product_variance(&p4);
+        assert!(round4 < round2);
+    }
+
+    #[test]
+    fn measured_fresh_noise_matches_parameter() {
+        let params = TfheParameters::testing_fast();
+        let (mut client, _) = generate_keys(&params, 42);
+        let pt = encode_fraction(1, 3);
+        let errors: Vec<f64> = (0..500)
+            .map(|_| {
+                let ct = client.encrypt_torus(pt);
+                measure_error(&client, &ct, pt)
+            })
+            .collect();
+        let measured = error_std(&errors);
+        let ratio = measured / params.lwe_noise_std;
+        assert!((0.8..1.25).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn measured_pbs_noise_within_theory_bound() {
+        // PBS output noise must be within a small factor of the
+        // prediction (FFT adds a little; the formula is approximate).
+        let params = TfheParameters::testing_fast();
+        let (mut client, server) = generate_keys(&params, 43);
+        let lut = Lut::sign(params.polynomial_size, encode_fraction(1, 3));
+        let predicted = pbs_output_variance(&params).sqrt();
+        let mut errors = Vec::new();
+        for _ in 0..20 {
+            let ct = client.encrypt_torus(encode_bool(true));
+            let boot = server.bootstrap_key().bootstrap(&ct, &lut).unwrap();
+            errors.push(measure_error(&client, &boot, encode_fraction(1, 3)));
+        }
+        let measured = error_std(&errors);
+        assert!(
+            measured < predicted * 8.0 + 1e-9,
+            "measured {measured:e} vs predicted {predicted:e}"
+        );
+    }
+
+    #[test]
+    fn error_std_of_constant_is_zero() {
+        assert_eq!(error_std(&[0.5, 0.5, 0.5]), 0.0);
+        assert_eq!(error_std(&[]), 0.0);
+    }
+}

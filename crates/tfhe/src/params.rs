@@ -1,0 +1,401 @@
+//! TFHE parameter sets.
+//!
+//! The four named sets reproduce Table IV of the Strix paper:
+//!
+//! | Set | n | k | N | l_b | λ |
+//! |-----|-----|---|-------|-----|---------|
+//! | I   | 500 | 1 | 1024  | 2   | 110-bit |
+//! | II  | 630 | 1 | 1024  | 3   | 128-bit |
+//! | III | 592 | 1 | 2048  | 3   | 128-bit |
+//! | IV  | 991 | 1 | 16384 | 2   | 128-bit |
+//!
+//! The quantities the paper leaves implicit (decomposition bases, key-
+//! switching decomposition, noise standard deviations) are filled in from
+//! the libraries each set originates from: set I matches the original
+//! TFHE library's 110-bit parameters, sets II/III follow Concrete-era
+//! 128-bit choices, and set IV extrapolates the same security level to
+//! `N = 16384`. Noise values are *research-grade estimates*, not audited
+//! production parameters.
+
+use serde::{Deserialize, Serialize};
+
+use crate::TfheError;
+
+/// The named parameter sets of the paper's Table IV.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ParameterSet {
+    /// 110-bit baseline used by all prior accelerators.
+    SetI,
+    /// 128-bit set used by YKP (FPGA).
+    SetII,
+    /// 128-bit set used by XHEC (FPGA).
+    SetIII,
+    /// 128-bit high-precision set introduced by Strix (`N = 16384`).
+    SetIV,
+}
+
+impl ParameterSet {
+    /// All four sets, in paper order.
+    pub const ALL: [ParameterSet; 4] =
+        [ParameterSet::SetI, ParameterSet::SetII, ParameterSet::SetIII, ParameterSet::SetIV];
+
+    /// The paper's roman-numeral label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ParameterSet::SetI => "I",
+            ParameterSet::SetII => "II",
+            ParameterSet::SetIII => "III",
+            ParameterSet::SetIV => "IV",
+        }
+    }
+
+    /// Resolves to the concrete parameter values.
+    pub fn parameters(self) -> TfheParameters {
+        match self {
+            ParameterSet::SetI => TfheParameters::set_i(),
+            ParameterSet::SetII => TfheParameters::set_ii(),
+            ParameterSet::SetIII => TfheParameters::set_iii(),
+            ParameterSet::SetIV => TfheParameters::set_iv(),
+        }
+    }
+}
+
+impl std::fmt::Display for ParameterSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A complete TFHE parameter set.
+///
+/// Field names follow the paper's notation (§II-D, Table II): `n` is the
+/// LWE mask length, `k` the GLWE mask length, `N` the polynomial size,
+/// `l_b` the bootstrapping decomposition level.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TfheParameters {
+    /// Human-readable name of the set.
+    pub name: String,
+    /// LWE mask length `n`.
+    pub lwe_dimension: usize,
+    /// GLWE mask length `k`.
+    pub glwe_dimension: usize,
+    /// Polynomial size `N` (power of two).
+    pub polynomial_size: usize,
+    /// log2 of the bootstrapping decomposition base `B`.
+    pub pbs_base_log: u32,
+    /// Bootstrapping decomposition level `l_b`.
+    pub pbs_level: usize,
+    /// log2 of the keyswitching decomposition base.
+    pub ks_base_log: u32,
+    /// Keyswitching decomposition level `l_k`.
+    pub ks_level: usize,
+    /// Standard deviation of LWE noise, relative to the torus.
+    pub lwe_noise_std: f64,
+    /// Standard deviation of GLWE noise, relative to the torus.
+    pub glwe_noise_std: f64,
+    /// Claimed security level in bits (Table IV's λ).
+    pub security_bits: u32,
+}
+
+impl TfheParameters {
+    /// Paper parameter set I (110-bit; original TFHE library values).
+    pub fn set_i() -> Self {
+        Self {
+            name: "set-I".into(),
+            lwe_dimension: 500,
+            glwe_dimension: 1,
+            polynomial_size: 1024,
+            pbs_base_log: 10,
+            pbs_level: 2,
+            ks_base_log: 2,
+            ks_level: 8,
+            lwe_noise_std: 2.43e-5,
+            glwe_noise_std: 3.73e-9,
+            security_bits: 110,
+        }
+    }
+
+    /// Paper parameter set II (128-bit; used by YKP).
+    pub fn set_ii() -> Self {
+        Self {
+            name: "set-II".into(),
+            lwe_dimension: 630,
+            glwe_dimension: 1,
+            polynomial_size: 1024,
+            pbs_base_log: 7,
+            pbs_level: 3,
+            ks_base_log: 3,
+            ks_level: 5,
+            lwe_noise_std: 2.0f64.powi(-15),
+            glwe_noise_std: 2.0f64.powi(-25),
+            security_bits: 128,
+        }
+    }
+
+    /// Paper parameter set III (128-bit; used by XHEC).
+    pub fn set_iii() -> Self {
+        Self {
+            name: "set-III".into(),
+            lwe_dimension: 592,
+            glwe_dimension: 1,
+            polynomial_size: 2048,
+            pbs_base_log: 8,
+            pbs_level: 3,
+            ks_base_log: 3,
+            ks_level: 5,
+            lwe_noise_std: 2.0f64.powi(-15),
+            glwe_noise_std: 2.0f64.powi(-37),
+            security_bits: 128,
+        }
+    }
+
+    /// Paper parameter set IV (128-bit, `N = 16384`; introduced by Strix
+    /// for higher-precision PBS).
+    pub fn set_iv() -> Self {
+        Self {
+            name: "set-IV".into(),
+            lwe_dimension: 991,
+            glwe_dimension: 1,
+            polynomial_size: 16384,
+            pbs_base_log: 18,
+            pbs_level: 2,
+            ks_base_log: 4,
+            ks_level: 5,
+            lwe_noise_std: 2.0f64.powi(-22),
+            glwe_noise_std: 2.0f64.powi(-51),
+            security_bits: 128,
+        }
+    }
+
+    /// The Zama Deep-NN parameter family (Fig. 7): same shape as the
+    /// 128-bit sets with the requested polynomial size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `polynomial_size` is not one of 1024, 2048 or 4096
+    /// (the sizes evaluated in the paper's Fig. 7).
+    pub fn deep_nn(polynomial_size: usize) -> Self {
+        let (glwe_noise_std, pbs_base_log, pbs_level) = match polynomial_size {
+            1024 => (2.0f64.powi(-25), 7, 3),
+            2048 => (2.0f64.powi(-37), 8, 3),
+            4096 => (2.0f64.powi(-45), 12, 2),
+            other => panic!("deep-NN experiments use N in {{1024, 2048, 4096}}, got {other}"),
+        };
+        Self {
+            name: format!("deep-nn-{polynomial_size}"),
+            lwe_dimension: 630,
+            glwe_dimension: 1,
+            polynomial_size,
+            pbs_base_log,
+            pbs_level,
+            ks_base_log: 3,
+            ks_level: 5,
+            lwe_noise_std: 2.0f64.powi(-15),
+            glwe_noise_std,
+            security_bits: 128,
+        }
+    }
+
+    /// A small, *insecure* parameter set for fast unit tests. Noise is
+    /// kept realistic in structure (non-zero everywhere) but dimensions
+    /// are tiny, so an attack would be trivial — never use outside tests.
+    pub fn testing_fast() -> Self {
+        Self {
+            name: "testing-fast".into(),
+            lwe_dimension: 64,
+            glwe_dimension: 1,
+            polynomial_size: 256,
+            pbs_base_log: 10,
+            pbs_level: 2,
+            ks_base_log: 2,
+            ks_level: 6,
+            lwe_noise_std: 2.0f64.powi(-20),
+            glwe_noise_std: 2.0f64.powi(-30),
+            security_bits: 0,
+        }
+    }
+
+    /// A mid-size *insecure* set exercising `k = 2` and a larger `l_b`,
+    /// for coverage of non-default shapes in tests.
+    pub fn testing_k2() -> Self {
+        Self {
+            name: "testing-k2".into(),
+            lwe_dimension: 48,
+            glwe_dimension: 2,
+            polynomial_size: 128,
+            pbs_base_log: 8,
+            pbs_level: 3,
+            ks_base_log: 3,
+            ks_level: 4,
+            lwe_noise_std: 2.0f64.powi(-20),
+            glwe_noise_std: 2.0f64.powi(-30),
+            security_bits: 0,
+        }
+    }
+
+    /// Validates structural invariants (power-of-two `N`, decomposition
+    /// within the torus width, non-degenerate dimensions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TfheError::InvalidParameters`] describing the first
+    /// violated invariant.
+    pub fn validate(&self) -> Result<(), TfheError> {
+        if self.lwe_dimension == 0 {
+            return Err(TfheError::InvalidParameters("lwe dimension must be positive"));
+        }
+        if self.glwe_dimension == 0 {
+            return Err(TfheError::InvalidParameters("glwe dimension must be positive"));
+        }
+        if !self.polynomial_size.is_power_of_two() || self.polynomial_size < 2 {
+            return Err(TfheError::InvalidParameters(
+                "polynomial size must be a power of two >= 2",
+            ));
+        }
+        if self.pbs_base_log == 0 || self.pbs_level == 0 {
+            return Err(TfheError::InvalidParameters("pbs decomposition must be non-trivial"));
+        }
+        if self.pbs_base_log as usize * self.pbs_level > 64 {
+            return Err(TfheError::InvalidParameters(
+                "pbs decomposition exceeds torus width",
+            ));
+        }
+        if self.ks_base_log == 0 || self.ks_level == 0 {
+            return Err(TfheError::InvalidParameters("ks decomposition must be non-trivial"));
+        }
+        if self.ks_base_log as usize * self.ks_level > 64 {
+            return Err(TfheError::InvalidParameters(
+                "ks decomposition exceeds torus width",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Dimension of LWE ciphertexts extracted from GLWE: `k · N`
+    /// (the paper's `kN + 1`-element output of Algorithm 1, minus body).
+    #[inline]
+    pub fn extracted_lwe_dimension(&self) -> usize {
+        self.glwe_dimension * self.polynomial_size
+    }
+
+    /// log2 of `2N`, the blind-rotation modulus.
+    #[inline]
+    pub fn log2_two_n(&self) -> u32 {
+        self.polynomial_size.trailing_zeros() + 1
+    }
+
+    /// Number of GGSW rows per bootstrapping-key entry: `(k+1) · l_b`.
+    #[inline]
+    pub fn ggsw_row_count(&self) -> usize {
+        (self.glwe_dimension + 1) * self.pbs_level
+    }
+
+    /// Size in bytes of one Fourier-domain bootstrapping-key entry
+    /// (one GGSW): `(k+1)·l_b · (k+1) · N/2` complex doubles.
+    ///
+    /// This is the per-blind-rotation-iteration key traffic that Strix
+    /// streams from HBM (§IV-B, Fig. 8).
+    #[inline]
+    pub fn fourier_ggsw_bytes(&self) -> usize {
+        self.ggsw_row_count() * (self.glwe_dimension + 1) * (self.polynomial_size / 2) * 16
+    }
+
+    /// Total Fourier bootstrapping-key size in bytes (`n` GGSW entries).
+    #[inline]
+    pub fn bootstrap_key_bytes(&self) -> usize {
+        self.lwe_dimension * self.fourier_ggsw_bytes()
+    }
+
+    /// Total keyswitching-key size in bytes: `kN · l_k` LWE ciphertexts
+    /// of dimension `n`, 8 bytes per element.
+    #[inline]
+    pub fn keyswitch_key_bytes(&self) -> usize {
+        self.extracted_lwe_dimension() * self.ks_level * (self.lwe_dimension + 1) * 8
+    }
+
+    /// Size in bytes of one LWE ciphertext (`n + 1` torus elements).
+    #[inline]
+    pub fn lwe_bytes(&self) -> usize {
+        (self.lwe_dimension + 1) * 8
+    }
+
+    /// Size in bytes of one GLWE ciphertext / test vector
+    /// (`(k+1) · N` torus elements).
+    #[inline]
+    pub fn glwe_bytes(&self) -> usize {
+        (self.glwe_dimension + 1) * self.polynomial_size * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iv_values_match_paper() {
+        let i = TfheParameters::set_i();
+        assert_eq!((i.lwe_dimension, i.glwe_dimension, i.polynomial_size, i.pbs_level), (500, 1, 1024, 2));
+        assert_eq!(i.security_bits, 110);
+        let ii = TfheParameters::set_ii();
+        assert_eq!((ii.lwe_dimension, ii.polynomial_size, ii.pbs_level), (630, 1024, 3));
+        let iii = TfheParameters::set_iii();
+        assert_eq!((iii.lwe_dimension, iii.polynomial_size, iii.pbs_level), (592, 2048, 3));
+        let iv = TfheParameters::set_iv();
+        assert_eq!((iv.lwe_dimension, iv.polynomial_size, iv.pbs_level), (991, 16384, 2));
+    }
+
+    #[test]
+    fn all_named_sets_validate() {
+        for set in ParameterSet::ALL {
+            set.parameters().validate().unwrap();
+        }
+        TfheParameters::testing_fast().validate().unwrap();
+        TfheParameters::testing_k2().validate().unwrap();
+        for n in [1024, 2048, 4096] {
+            TfheParameters::deep_nn(n).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn validation_rejects_broken_sets() {
+        let mut p = TfheParameters::set_i();
+        p.polynomial_size = 1000;
+        assert!(p.validate().is_err());
+
+        let mut p = TfheParameters::set_i();
+        p.pbs_base_log = 40;
+        p.pbs_level = 2; // 80 bits > 64
+        assert!(p.validate().is_err());
+
+        let mut p = TfheParameters::set_i();
+        p.lwe_dimension = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn derived_sizes_set_i() {
+        let p = TfheParameters::set_i();
+        assert_eq!(p.extracted_lwe_dimension(), 1024);
+        assert_eq!(p.log2_two_n(), 11);
+        assert_eq!(p.ggsw_row_count(), 4);
+        // (k+1)l_b × (k+1) × N/2 × 16B = 4 × 2 × 512 × 16 = 64 KiB
+        assert_eq!(p.fourier_ggsw_bytes(), 64 * 1024);
+        // 500 iterations × 64 KiB = 31.25 MiB — the "10s of MB" scale of Table I
+        assert_eq!(p.bootstrap_key_bytes(), 500 * 64 * 1024);
+        assert_eq!(p.lwe_bytes(), 501 * 8);
+        assert_eq!(p.glwe_bytes(), 2 * 1024 * 8);
+    }
+
+    #[test]
+    fn parameter_set_labels() {
+        assert_eq!(ParameterSet::SetI.to_string(), "I");
+        assert_eq!(ParameterSet::SetIV.label(), "IV");
+        assert_eq!(ParameterSet::ALL.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "deep-NN experiments")]
+    fn deep_nn_rejects_unsupported_sizes() {
+        TfheParameters::deep_nn(512);
+    }
+}

@@ -1,0 +1,219 @@
+//! Torus polynomials in `T_q[X]/(X^N + 1)`.
+//!
+//! These are the rows of the GLWE test-vector matrix the Strix rotator
+//! unit streams through its lanes. Negacyclic rotation (`X^a ·`),
+//! addition and subtraction are implemented directly; products go
+//! through [`strix_fft`].
+
+use std::ops::{Index, IndexMut};
+
+use serde::{Deserialize, Serialize};
+
+/// A polynomial with `u64` torus coefficients, reduced mod `X^N + 1`.
+///
+/// # Example
+///
+/// ```
+/// use strix_tfhe::poly::TorusPolynomial;
+///
+/// let p = TorusPolynomial::from_coeffs(vec![1, 2, 3, 4]);
+/// // X · p wraps the top coefficient around with a sign flip.
+/// let q = p.rotate_right(1);
+/// assert_eq!(q.coeffs(), &[4u64.wrapping_neg(), 1, 2, 3]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TorusPolynomial {
+    coeffs: Vec<u64>,
+}
+
+impl TorusPolynomial {
+    /// The zero polynomial of the given size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not a power of two >= 2.
+    pub fn zero(size: usize) -> Self {
+        assert!(size.is_power_of_two() && size >= 2, "polynomial size must be a power of two >= 2");
+        Self { coeffs: vec![0; size] }
+    }
+
+    /// Builds a polynomial from its coefficient vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a power of two >= 2.
+    pub fn from_coeffs(coeffs: Vec<u64>) -> Self {
+        assert!(
+            coeffs.len().is_power_of_two() && coeffs.len() >= 2,
+            "polynomial size must be a power of two >= 2"
+        );
+        Self { coeffs }
+    }
+
+    /// Constant polynomial `c` (all other coefficients zero).
+    pub fn constant(size: usize, c: u64) -> Self {
+        let mut p = Self::zero(size);
+        p.coeffs[0] = c;
+        p
+    }
+
+    /// Number of coefficients `N`.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Borrow of the coefficient slice.
+    #[inline]
+    pub fn coeffs(&self) -> &[u64] {
+        &self.coeffs
+    }
+
+    /// Mutable borrow of the coefficient slice.
+    #[inline]
+    pub fn coeffs_mut(&mut self) -> &mut [u64] {
+        &mut self.coeffs
+    }
+
+    /// Consumes the polynomial, returning its coefficients.
+    #[inline]
+    pub fn into_coeffs(self) -> Vec<u64> {
+        self.coeffs
+    }
+
+    /// In-place wrapping addition: `self += other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sizes differ.
+    pub fn add_assign(&mut self, other: &TorusPolynomial) {
+        assert_eq!(self.size(), other.size(), "polynomial size mismatch");
+        for (a, b) in self.coeffs.iter_mut().zip(&other.coeffs) {
+            *a = a.wrapping_add(*b);
+        }
+    }
+
+    /// In-place wrapping subtraction: `self -= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sizes differ.
+    pub fn sub_assign(&mut self, other: &TorusPolynomial) {
+        assert_eq!(self.size(), other.size(), "polynomial size mismatch");
+        for (a, b) in self.coeffs.iter_mut().zip(&other.coeffs) {
+            *a = a.wrapping_sub(*b);
+        }
+    }
+
+    /// In-place negation.
+    pub fn negate(&mut self) {
+        for a in &mut self.coeffs {
+            *a = a.wrapping_neg();
+        }
+    }
+
+    /// Returns `X^amount · self` for `amount ∈ [0, 2N)` — the paper's
+    /// `Rotate('Right', tv, c[i])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amount >= 2N`.
+    pub fn rotate_right(&self, amount: usize) -> TorusPolynomial {
+        TorusPolynomial { coeffs: strix_fft::reference::rotate_right(&self.coeffs, amount) }
+    }
+
+    /// Returns `X^{-amount} · self` for `amount ∈ [0, 2N)` — the paper's
+    /// `Rotate('left', tv, c[n])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amount >= 2N`.
+    pub fn rotate_left(&self, amount: usize) -> TorusPolynomial {
+        TorusPolynomial { coeffs: strix_fft::reference::rotate_left(&self.coeffs, amount) }
+    }
+}
+
+impl Index<usize> for TorusPolynomial {
+    type Output = u64;
+    #[inline]
+    fn index(&self, i: usize) -> &u64 {
+        &self.coeffs[i]
+    }
+}
+
+impl IndexMut<usize> for TorusPolynomial {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut u64 {
+        &mut self.coeffs[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_constant_constructors() {
+        let z = TorusPolynomial::zero(8);
+        assert_eq!(z.size(), 8);
+        assert!(z.coeffs().iter().all(|&c| c == 0));
+        let c = TorusPolynomial::constant(4, 7);
+        assert_eq!(c.coeffs(), &[7, 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        TorusPolynomial::zero(6);
+    }
+
+    #[test]
+    fn add_sub_round_trip() {
+        let mut a = TorusPolynomial::from_coeffs(vec![u64::MAX, 1, 2, 3]);
+        let b = TorusPolynomial::from_coeffs(vec![5, 6, 7, 8]);
+        let orig = a.clone();
+        a.add_assign(&b);
+        assert_eq!(a[0], 4); // wrapped
+        a.sub_assign(&b);
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn negate_is_additive_inverse() {
+        let mut a = TorusPolynomial::from_coeffs(vec![3, u64::MAX, 0, 9]);
+        let b = a.clone();
+        a.negate();
+        a.add_assign(&b);
+        assert!(a.coeffs().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn rotations_compose_to_identity() {
+        let p = TorusPolynomial::from_coeffs((1..=8u64).collect());
+        for amount in 0..16 {
+            assert_eq!(p.rotate_right(amount).rotate_left(amount), p, "amount {amount}");
+        }
+    }
+
+    #[test]
+    fn rotate_by_two_n_periodicity() {
+        // X^{2N} = 1, so rotate by N twice = identity (through negation).
+        let p = TorusPolynomial::from_coeffs(vec![1, 2, 3, 4]);
+        let once = p.rotate_right(4);
+        assert_eq!(once.coeffs(), &[
+            1u64.wrapping_neg(),
+            2u64.wrapping_neg(),
+            3u64.wrapping_neg(),
+            4u64.wrapping_neg()
+        ]);
+        let twice = once.rotate_right(4);
+        assert_eq!(twice, p);
+    }
+
+    #[test]
+    fn indexing_reads_and_writes() {
+        let mut p = TorusPolynomial::zero(4);
+        p[2] = 42;
+        assert_eq!(p[2], 42);
+    }
+}

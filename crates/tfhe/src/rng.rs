@@ -1,0 +1,158 @@
+//! Reproducible randomness for key generation, encryption and noise.
+//!
+//! Gaussian noise is sampled with the Box–Muller transform over the
+//! seedable ChaCha-based [`rand::rngs::StdRng`], keeping the whole
+//! pipeline deterministic under a fixed seed — a requirement for the
+//! benchmark harness's reproducibility.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Source of all randomness used by the scheme.
+///
+/// # Example
+///
+/// ```
+/// use strix_tfhe::rng::NoiseSampler;
+///
+/// let mut a = NoiseSampler::from_seed(7);
+/// let mut b = NoiseSampler::from_seed(7);
+/// assert_eq!(a.uniform_torus(), b.uniform_torus());
+/// ```
+#[derive(Clone, Debug)]
+pub struct NoiseSampler {
+    rng: StdRng,
+    /// Cached second Box–Muller output.
+    spare_gaussian: Option<f64>,
+}
+
+impl NoiseSampler {
+    /// Creates a sampler from a 64-bit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed), spare_gaussian: None }
+    }
+
+    /// Creates a sampler seeded from the operating system.
+    pub fn from_entropy() -> Self {
+        Self { rng: StdRng::from_entropy(), spare_gaussian: None }
+    }
+
+    /// A uniformly random torus element.
+    #[inline]
+    pub fn uniform_torus(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// A uniformly random binary secret-key bit.
+    #[inline]
+    pub fn binary(&mut self) -> u64 {
+        self.rng.next_u64() & 1
+    }
+
+    /// A standard-normal sample via Box–Muller.
+    pub fn standard_gaussian(&mut self) -> f64 {
+        if let Some(z) = self.spare_gaussian.take() {
+            return z;
+        }
+        // Draw u1 in (0, 1] to keep ln(u1) finite.
+        let u1: f64 = 1.0 - self.rng.gen::<f64>();
+        let u2: f64 = self.rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare_gaussian = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// A Gaussian torus error with standard deviation `std_rel` given
+    /// *relative to the torus* (i.e. in units of 1), as TFHE parameter
+    /// sets specify it.
+    ///
+    /// The sample is rounded to the nearest torus element.
+    #[inline]
+    pub fn gaussian_torus(&mut self, std_rel: f64) -> u64 {
+        let noise = self.standard_gaussian() * std_rel * 2.0f64.powi(64);
+        crate::torus::f64_to_torus(noise)
+    }
+
+    /// Fills `out` with uniform torus elements.
+    pub fn fill_uniform(&mut self, out: &mut [u64]) {
+        for slot in out {
+            *slot = self.rng.next_u64();
+        }
+    }
+
+    /// Fills `out` with binary values.
+    pub fn fill_binary(&mut self, out: &mut [u64]) {
+        for slot in out {
+            *slot = self.rng.next_u64() & 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = NoiseSampler::from_seed(123);
+        let mut b = NoiseSampler::from_seed(123);
+        for _ in 0..32 {
+            assert_eq!(a.uniform_torus(), b.uniform_torus());
+            assert_eq!(a.standard_gaussian(), b.standard_gaussian());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = NoiseSampler::from_seed(1);
+        let mut b = NoiseSampler::from_seed(2);
+        let same = (0..16).filter(|_| a.uniform_torus() == b.uniform_torus()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn binary_is_zero_or_one() {
+        let mut s = NoiseSampler::from_seed(9);
+        for _ in 0..256 {
+            let b = s.binary();
+            assert!(b == 0 || b == 1);
+        }
+    }
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let mut s = NoiseSampler::from_seed(31415);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| s.standard_gaussian()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn gaussian_torus_scales_with_std() {
+        let mut s = NoiseSampler::from_seed(7);
+        let std_rel = 2.0f64.powi(-20);
+        let n = 10_000;
+        let mut acc = 0.0f64;
+        for _ in 0..n {
+            let e = s.gaussian_torus(std_rel) as i64 as f64 / 2.0f64.powi(64);
+            acc += e * e;
+        }
+        let measured_std = (acc / n as f64).sqrt();
+        let ratio = measured_std / std_rel;
+        assert!((0.9..1.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn fill_helpers_fill_everything() {
+        let mut s = NoiseSampler::from_seed(5);
+        let mut buf = [0u64; 64];
+        s.fill_uniform(&mut buf);
+        assert!(buf.iter().any(|&x| x != 0));
+        s.fill_binary(&mut buf);
+        assert!(buf.iter().all(|&x| x <= 1));
+    }
+}

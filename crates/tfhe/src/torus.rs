@@ -1,0 +1,192 @@
+//! The discretised torus `T_q = (1/q)Z / Z` with `q = 2^64`.
+//!
+//! Torus elements are stored as `u64` with wrapping arithmetic: the
+//! element `t` represents the real `t / 2^64 ∈ [0, 1)`. All TFHE noise
+//! and message encodings live on this torus.
+
+/// Number of bits in the torus representation (`q = 2^TORUS_BITS`).
+pub const TORUS_BITS: u32 = 64;
+
+/// Converts a real number (in torus units, i.e. multiples of `1/2^64`)
+/// to the nearest torus element, reducing modulo 1.
+///
+/// Used to fold FFT outputs — which are large `f64` integers representing
+/// values mod `2^64` — back onto the torus.
+///
+/// Values beyond 2^52 carry f64 rounding error of their own; that error
+/// is part of the FFT noise budget, not of this reduction.
+///
+/// # Example
+///
+/// ```
+/// use strix_tfhe::torus::f64_to_torus;
+/// assert_eq!(f64_to_torus(3.0), 3);
+/// assert_eq!(f64_to_torus(-1.0), u64::MAX);
+/// // 4096 = one ulp at 2^64, so this sum is exactly representable:
+/// assert_eq!(f64_to_torus(2.0_f64.powi(64) + 4096.0), 4096);
+/// ```
+#[inline]
+pub fn f64_to_torus(x: f64) -> u64 {
+    const TWO_64: f64 = 18446744073709551616.0; // 2^64
+    let reduced = x - (x / TWO_64).round() * TWO_64;
+    // reduced ∈ [-2^63, 2^63]; the boundary value saturates to i64::MAX,
+    // a 1-ulp error absorbed by the noise term.
+    reduced.round() as i64 as u64
+}
+
+/// Interprets a torus element as a *signed* real in `[-2^63, 2^63)`,
+/// i.e. centred representative times `2^64`.
+///
+/// This is the representation in which bootstrapping-key coefficients
+/// enter the FFT.
+#[inline]
+pub fn torus_to_f64_signed(t: u64) -> f64 {
+    t as i64 as f64
+}
+
+/// Encodes the exact fraction `numer / 2^denom_log2` as a torus element.
+///
+/// # Panics
+///
+/// Panics if `denom_log2 > 64` (no such torus fraction exists).
+///
+/// # Example
+///
+/// ```
+/// use strix_tfhe::torus::encode_fraction;
+/// // 1/8 of the torus
+/// assert_eq!(encode_fraction(1, 3), 1u64 << 61);
+/// // -1/8 wraps around
+/// assert_eq!(encode_fraction(-1, 3), (1u64 << 61).wrapping_neg());
+/// ```
+#[inline]
+pub fn encode_fraction(numer: i64, denom_log2: u32) -> u64 {
+    assert!(denom_log2 <= TORUS_BITS, "denominator 2^{denom_log2} exceeds torus precision");
+    (numer as u64).wrapping_shl(TORUS_BITS - denom_log2)
+}
+
+/// Switches a torus element from modulus `2^64` to modulus
+/// `2^log2_modulus`, with rounding (Algorithm 1, line 3).
+///
+/// Returns a value in `[0, 2^log2_modulus)`. In PBS the target modulus is
+/// `2N`, turning torus elements into negacyclic rotation amounts.
+///
+/// # Panics
+///
+/// Panics if `log2_modulus` is 0 or exceeds 63.
+///
+/// # Example
+///
+/// ```
+/// use strix_tfhe::torus::modulus_switch;
+/// // 1/4 of the torus → 1/4 of 2N = 512 for N = 1024
+/// assert_eq!(modulus_switch(1u64 << 62, 11), 512);
+/// ```
+#[inline]
+pub fn modulus_switch(t: u64, log2_modulus: u32) -> u64 {
+    assert!(
+        log2_modulus > 0 && log2_modulus < TORUS_BITS,
+        "modulus switch target must be within (0, 64) bits"
+    );
+    let shift = TORUS_BITS - log2_modulus;
+    // Round-half-up: add half of the dropped range then truncate. The
+    // carry past 2^log2_modulus wraps, which is the correct behaviour on
+    // the smaller torus.
+    let rounded = (t >> (shift - 1)).wrapping_add(1) >> 1;
+    rounded & ((1u64 << log2_modulus) - 1)
+}
+
+/// Rounds a torus element to the nearest multiple of `1/2^precision_bits`
+/// and returns that multiple's index in `[0, 2^precision_bits)`.
+///
+/// This is the decryption-side decoder: after removing the mask, the
+/// message sits in the top `precision_bits` bits plus noise.
+///
+/// # Panics
+///
+/// Panics if `precision_bits` is 0 or exceeds 63.
+#[inline]
+pub fn decode_message(t: u64, precision_bits: u32) -> u64 {
+    modulus_switch(t, precision_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_round_trips_small_integers() {
+        for v in [-5i64, -1, 0, 1, 7, 1 << 40] {
+            assert_eq!(f64_to_torus(v as f64), v as u64);
+        }
+    }
+
+    #[test]
+    fn f64_reduces_mod_2_64() {
+        let two64 = 2.0f64.powi(64);
+        assert_eq!(f64_to_torus(two64), 0);
+        // Offsets must be multiples of the ulp at this magnitude (4096
+        // at 2^64, 8192 at 3·2^64) to stay exactly representable.
+        assert_eq!(f64_to_torus(3.0 * two64 + 8192.0), 8192);
+        assert_eq!(f64_to_torus(-two64 - 4096.0), 4096u64.wrapping_neg());
+    }
+
+    #[test]
+    fn signed_interpretation_is_centred() {
+        assert_eq!(torus_to_f64_signed(0), 0.0);
+        assert_eq!(torus_to_f64_signed(u64::MAX), -1.0);
+        assert_eq!(torus_to_f64_signed(1 << 62), (1u64 << 62) as f64);
+        assert!(torus_to_f64_signed(1 << 63) < 0.0);
+    }
+
+    #[test]
+    fn fraction_encoding() {
+        assert_eq!(encode_fraction(1, 1), 1 << 63); // 1/2
+        assert_eq!(encode_fraction(3, 3), 3 << 61); // 3/8
+        assert_eq!(encode_fraction(0, 5), 0);
+        // -3/8 + 3/8 = 0 on the torus
+        assert_eq!(encode_fraction(-3, 3).wrapping_add(encode_fraction(3, 3)), 0);
+    }
+
+    #[test]
+    fn modulus_switch_rounds_to_nearest() {
+        // For target 2^3 = 8 buckets, bucket width is 2^61.
+        let width = 1u64 << 61;
+        assert_eq!(modulus_switch(0, 3), 0);
+        assert_eq!(modulus_switch(width, 3), 1);
+        // Just below half a bucket rounds down; just above rounds up.
+        assert_eq!(modulus_switch(width / 2 - 1, 3), 0);
+        assert_eq!(modulus_switch(width / 2 + 1, 3), 1);
+        // Wrap-around: the top of the torus rounds to bucket 0.
+        assert_eq!(modulus_switch(u64::MAX, 3), 0);
+    }
+
+    #[test]
+    fn modulus_switch_error_is_bounded() {
+        // |switch(t)/2^m - t/2^64| <= 2^-(m+1)
+        let m = 11u32; // 2N for N = 1024
+        for t in [0u64, 1, 1 << 52, 1 << 53, u64::MAX / 3, u64::MAX] {
+            let s = modulus_switch(t, m);
+            let approx = s as f64 / (1u64 << m) as f64;
+            let exact = t as f64 / 2.0f64.powi(64);
+            let mut err = (approx - exact).abs();
+            err = err.min(1.0 - err); // torus distance
+            assert!(err <= 1.0 / (1u64 << (m + 1)) as f64 + 1e-12, "t={t}");
+        }
+    }
+
+    #[test]
+    fn decode_recovers_noisy_encoding() {
+        // Encode message 5 in a 3-bit space, add noise < half a step.
+        let encoded = encode_fraction(5, 3);
+        let noise = 1u64 << 58; // 1/64 of the torus, below the 1/16 threshold
+        assert_eq!(decode_message(encoded.wrapping_add(noise), 3), 5);
+        assert_eq!(decode_message(encoded.wrapping_sub(noise), 3), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "modulus switch target")]
+    fn modulus_switch_rejects_zero_bits() {
+        modulus_switch(1, 0);
+    }
+}

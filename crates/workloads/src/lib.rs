@@ -1,0 +1,21 @@
+//! Workload generators for the Strix evaluation.
+//!
+//! * [`nn`] — the Zama Deep-NN models (NN-20/50/100) of the paper's
+//!   Fig. 7: a 28×28 encrypted image through a convolution plus dense
+//!   layers of 92 neurons, every activation a ReLU evaluated with one
+//!   programmable bootstrap.
+//! * [`gates`] — boolean-circuit workloads (adders, comparators,
+//!   multiplexer trees) both as abstract graphs for the simulator and
+//!   as real homomorphic circuits executed with `strix-tfhe`.
+//! * [`mnist`] — synthetic 28×28 images (seeded) standing in for the
+//!   MNIST inputs the paper uses; Fig. 7 timing depends only on tensor
+//!   shapes, not pixel values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gates;
+pub mod mnist;
+pub mod nn;
+
+pub use nn::DeepNn;

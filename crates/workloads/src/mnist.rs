@@ -1,0 +1,120 @@
+//! Synthetic MNIST-like inputs.
+//!
+//! The paper encrypts 28×28-pixel MNIST images pixel-per-ciphertext.
+//! We do not ship the MNIST dataset; a seeded generator produces images
+//! with the same shape and an MNIST-like sparsity pattern (a bright
+//! blob on a dark background). Every Fig. 7 quantity depends only on
+//! the tensor shapes, so this substitution is timing-neutral.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::nn::IMAGE_SIDE;
+
+/// A synthetic 28×28 grayscale image.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SyntheticImage {
+    pixels: Vec<u8>,
+}
+
+impl SyntheticImage {
+    /// Generates a deterministic image for a seed: a Gaussian-ish blob
+    /// of bright pixels around a random centre, mimicking a digit's
+    /// foreground/background statistics.
+    pub fn generate(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cx = rng.gen_range(9..19) as f64;
+        let cy = rng.gen_range(9..19) as f64;
+        let spread = rng.gen_range(3.0..6.0);
+        let mut pixels = vec![0u8; IMAGE_SIDE * IMAGE_SIDE];
+        for y in 0..IMAGE_SIDE {
+            for x in 0..IMAGE_SIDE {
+                let d2 = ((x as f64 - cx).powi(2) + (y as f64 - cy).powi(2))
+                    / (spread * spread);
+                let intensity = (255.0 * (-d2).exp()) as u8;
+                let noise = rng.gen_range(0..8);
+                pixels[y * IMAGE_SIDE + x] = intensity.saturating_add(noise);
+            }
+        }
+        Self { pixels }
+    }
+
+    /// Pixel value at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `y` is out of range.
+    pub fn pixel(&self, x: usize, y: usize) -> u8 {
+        assert!(x < IMAGE_SIDE && y < IMAGE_SIDE, "pixel ({x},{y}) out of range");
+        self.pixels[y * IMAGE_SIDE + x]
+    }
+
+    /// Flat pixel slice, row-major.
+    pub fn pixels(&self) -> &[u8] {
+        &self.pixels
+    }
+
+    /// Number of pixels (28 × 28 = 784, the paper's per-image PBS
+    /// parallelism bound for `TvLP`).
+    pub fn len(&self) -> usize {
+        self.pixels.len()
+    }
+
+    /// Always false — images have a fixed shape.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Quantises pixels to `bits`-bit messages for shortint encryption.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 8.
+    pub fn quantize(&self, bits: u32) -> Vec<u64> {
+        assert!((1..=8).contains(&bits), "quantisation must be 1–8 bits");
+        self.pixels.iter().map(|&p| (p as u64) >> (8 - bits)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_has_784_pixels() {
+        let img = SyntheticImage::generate(7);
+        assert_eq!(img.len(), 784);
+        assert!(!img.is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(SyntheticImage::generate(42), SyntheticImage::generate(42));
+        assert_ne!(SyntheticImage::generate(42), SyntheticImage::generate(43));
+    }
+
+    #[test]
+    fn blob_is_brighter_than_background() {
+        let img = SyntheticImage::generate(1);
+        let max = *img.pixels().iter().max().unwrap();
+        let corner = img.pixel(0, 0);
+        assert!(max > 128, "blob too dim: {max}");
+        assert!(corner < 64, "background too bright: {corner}");
+    }
+
+    #[test]
+    fn quantization_bounds() {
+        let img = SyntheticImage::generate(3);
+        for bits in 1..=8 {
+            let q = img.quantize(bits);
+            let bound = 1u64 << bits;
+            assert!(q.iter().all(|&v| v < bound), "bits {bits}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn pixel_bounds_checked() {
+        SyntheticImage::generate(0).pixel(28, 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! The Zama Deep-NN models (Fig. 7; Chillotti–Joye–Paillier 2021).
+//!
+//! "The input consists of 28×28 pixels, where each pixel is encrypted
+//! with one cipher. The first layer performs a convolution followed by
+//! ReLU activation, producing an output image of dimensions
+//! [1, 2, 21, 20]. The remaining layers are dense layers with 92
+//! neurons on each layer, followed by ReLU activation between each
+//! layer." Every ReLU costs one programmable bootstrap (+ keyswitch).
+
+use serde::{Deserialize, Serialize};
+
+use strix_core::Workload;
+use strix_tfhe::TfheParameters;
+
+/// Input image side length (MNIST).
+pub const IMAGE_SIDE: usize = 28;
+/// Convolution output shape `[1, 2, 21, 20]` → 840 activations.
+pub const CONV_CHANNELS: usize = 2;
+/// Convolution output height.
+pub const CONV_OUT_H: usize = 21;
+/// Convolution output width.
+pub const CONV_OUT_W: usize = 20;
+/// Kernel height implied by the output shape (28 − 21 + 1).
+pub const KERNEL_H: usize = IMAGE_SIDE - CONV_OUT_H + 1;
+/// Kernel width implied by the output shape (28 − 20 + 1).
+pub const KERNEL_W: usize = IMAGE_SIDE - CONV_OUT_W + 1;
+/// Neurons per dense layer.
+pub const DENSE_NEURONS: usize = 92;
+
+/// The model depths evaluated in Fig. 7.
+pub const ZAMA_DEPTHS: [usize; 3] = [20, 50, 100];
+/// The polynomial sizes evaluated in Fig. 7.
+pub const ZAMA_POLY_SIZES: [usize; 3] = [1024, 2048, 4096];
+
+/// A Zama Deep-NN instance: `depth` layers (one convolution plus
+/// `depth − 1` dense layers), every activation bootstrapped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeepNn {
+    /// Total layer count (NN-20, NN-50, NN-100).
+    pub depth: usize,
+    /// TFHE polynomial size for the activations' PBS.
+    pub poly_size: usize,
+}
+
+impl DeepNn {
+    /// Creates a model description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth < 2` (the model needs the convolution plus at
+    /// least one dense layer).
+    pub fn new(depth: usize, poly_size: usize) -> Self {
+        assert!(depth >= 2, "deep-nn needs at least two layers");
+        Self { depth, poly_size }
+    }
+
+    /// Number of convolution activations: `2 × 21 × 20`.
+    pub fn conv_outputs(&self) -> usize {
+        CONV_CHANNELS * CONV_OUT_H * CONV_OUT_W
+    }
+
+    /// Total programmable bootstraps for one inference.
+    pub fn total_pbs(&self) -> usize {
+        self.conv_outputs() + (self.depth - 1) * DENSE_NEURONS
+    }
+
+    /// The TFHE parameters the paper pairs with this polynomial size.
+    pub fn params(&self) -> TfheParameters {
+        TfheParameters::deep_nn(self.poly_size)
+    }
+
+    /// Builds the computational graph: alternating linear layers and
+    /// ReLU PBS batches, in inference order.
+    pub fn workload(&self) -> Workload {
+        let mut w = Workload::new(format!("NN-{}-N{}", self.depth, self.poly_size));
+        // Convolution: each of the 840 outputs sums a KERNEL_H×KERNEL_W
+        // window of pixel ciphertexts.
+        w = w
+            .linear(self.conv_outputs(), KERNEL_H * KERNEL_W, "conv 8x9")
+            .pbs(self.conv_outputs(), "conv ReLU");
+        let mut inputs = self.conv_outputs();
+        for layer in 1..self.depth {
+            w = w
+                .linear(DENSE_NEURONS, inputs, format!("dense-{layer} {DENSE_NEURONS}x{inputs}"))
+                .pbs(DENSE_NEURONS, format!("dense-{layer} ReLU"));
+            inputs = DENSE_NEURONS;
+        }
+        w
+    }
+}
+
+impl std::fmt::Display for DeepNn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "NN-{} (N={})", self.depth, self.poly_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_shape_matches_paper() {
+        let nn = DeepNn::new(20, 1024);
+        assert_eq!(nn.conv_outputs(), 840); // [1, 2, 21, 20]
+        assert_eq!(KERNEL_H, 8);
+        assert_eq!(KERNEL_W, 9);
+    }
+
+    #[test]
+    fn pbs_counts_for_the_three_models() {
+        assert_eq!(DeepNn::new(20, 1024).total_pbs(), 840 + 19 * 92);
+        assert_eq!(DeepNn::new(50, 1024).total_pbs(), 840 + 49 * 92);
+        assert_eq!(DeepNn::new(100, 1024).total_pbs(), 840 + 99 * 92);
+    }
+
+    #[test]
+    fn workload_graph_matches_pbs_count() {
+        for depth in ZAMA_DEPTHS {
+            let nn = DeepNn::new(depth, 2048);
+            let w = nn.workload();
+            assert_eq!(w.total_pbs(), nn.total_pbs(), "depth {depth}");
+            // One linear + one PBS node per layer.
+            assert_eq!(w.len(), 2 * depth);
+        }
+    }
+
+    #[test]
+    fn params_follow_polynomial_size() {
+        for n in ZAMA_POLY_SIZES {
+            let nn = DeepNn::new(20, n);
+            assert_eq!(nn.params().polynomial_size, n);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DeepNn::new(50, 2048).to_string(), "NN-50 (N=2048)");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two layers")]
+    fn rejects_degenerate_depth() {
+        DeepNn::new(1, 1024);
+    }
+}

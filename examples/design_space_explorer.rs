@@ -1,0 +1,64 @@
+//! Design-space exploration of the Strix architecture: the TvLP/CLP
+//! trade-off (Table VII), the folding ablation (Table VI) and the
+//! area/power consequences (Table III scaling).
+//!
+//! ```sh
+//! cargo run --release -p strix --example design_space_explorer
+//! ```
+
+use strix::core::area::AreaModel;
+use strix::core::{StrixConfig, StrixSimulator};
+use strix::tfhe::TfheParameters;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("TvLP vs CLP at constant product (set IV, 300 GB/s HBM):");
+    println!(
+        "{:>6} {:>6} {:>14} {:>12} {:>14} {:>8}",
+        "TvLP", "CLP", "thr (PBS/s)", "lat (ms)", "req BW (GB/s)", "bound"
+    );
+    for (tvlp, clp) in [(16, 2), (8, 4), (4, 8), (2, 16), (1, 32)] {
+        let cfg = StrixConfig::paper_default().with_tvlp_clp(tvlp, clp);
+        let sim = StrixSimulator::new(cfg, TfheParameters::set_iv())?;
+        let r = sim.pbs_report(1 << 12);
+        println!(
+            "{tvlp:>6} {clp:>6} {:>14.0} {:>12.2} {:>14.0} {:>8}",
+            r.throughput_pbs_per_s,
+            r.latency_s * 1e3,
+            r.required_bandwidth_gbps,
+            if r.memory_bound { "memory" } else { "compute" }
+        );
+    }
+
+    println!("\nFolding ablation (set I):");
+    for (name, cfg) in [
+        ("folded", StrixConfig::paper_default()),
+        ("non-folded", StrixConfig::paper_non_folded()),
+    ] {
+        let sim = StrixSimulator::new(cfg.clone(), TfheParameters::set_i())?;
+        let r = sim.pbs_report(1 << 12);
+        let area = AreaModel::new(&cfg);
+        println!(
+            "  {name:>10}: {:>7.0} PBS/s, {:.2} ms latency, FFT units {:.2} mm², core {:.2} mm²",
+            r.throughput_pbs_per_s,
+            r.latency_s * 1e3,
+            area.fft_units_area_mm2(),
+            area.core_area_mm2()
+        );
+    }
+
+    println!("\nScaling the core count (set I):");
+    println!("{:>6} {:>14} {:>12} {:>12}", "cores", "thr (PBS/s)", "area (mm²)", "power (W)");
+    for tvlp in [1usize, 2, 4, 8, 16] {
+        let cfg = StrixConfig { tvlp, ..StrixConfig::paper_default() };
+        let sim = StrixSimulator::new(cfg.clone(), TfheParameters::set_i())?;
+        let r = sim.pbs_report(1 << 13);
+        let area = AreaModel::new(&cfg);
+        println!(
+            "{tvlp:>6} {:>14.0} {:>12.1} {:>12.1}",
+            r.throughput_pbs_per_s,
+            area.total_area_mm2(),
+            area.total_power_w()
+        );
+    }
+    Ok(())
+}

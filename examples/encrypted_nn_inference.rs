@@ -1,0 +1,77 @@
+//! Encrypted neural-network inference, end to end.
+//!
+//! Functionally runs a miniature convolution + dense layer with real
+//! TFHE ciphertexts (every ReLU one programmable bootstrap), then asks
+//! the Strix model how long the full Zama NN-20/50/100 models of
+//! Fig. 7 take on the accelerator versus the CPU and GPU baselines.
+//!
+//! ```sh
+//! cargo run --release -p strix --example encrypted_nn_inference
+//! ```
+
+use strix::baselines::GpuModel;
+use strix::core::{StrixConfig, StrixSimulator};
+use strix::tfhe::prelude::*;
+use strix::tfhe::shortint::ShortintCiphertext;
+use strix::workloads::mnist::SyntheticImage;
+use strix::workloads::DeepNn;
+
+/// Message precision of the toy inference (3-bit signed activations).
+const BITS: u32 = 3;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---------- Part 1: real encrypted inference on a toy layer --------
+    let params = TfheParameters::testing_fast();
+    let (mut client, server) = generate_keys(&params, 0xBEEF);
+
+    let image = SyntheticImage::generate(9);
+    // A 2×2 window of the image, quantised to 1-bit pixels so the toy
+    // convolution's weighted sum stays inside the 3-bit message space.
+    let window: Vec<u64> = image.quantize(1)[..4].to_vec();
+    let encrypted: Vec<ShortintCiphertext> = window
+        .iter()
+        .map(|&p| client.encrypt_shortint(p, BITS))
+        .collect::<Result<_, _>>()?;
+
+    // Convolution with weights [1, 1, -1 (as +7 ≡ -1 mod 8), 1] followed
+    // by a bootstrapped ReLU — one PBS, exactly the Fig. 7 cost model.
+    let mut acc = encrypted[0].clone();
+    acc.add_assign(&encrypted[1])?;
+    let mut neg = encrypted[2].clone();
+    neg.scalar_mul_assign(7); // ×(−1) in the 3-bit message ring
+    acc.add_assign(&neg)?;
+    acc.add_assign(&encrypted[3])?;
+    let activated = server.relu(&acc)?;
+
+    let expected: i64 =
+        window[0] as i64 + window[1] as i64 - window[2] as i64 + window[3] as i64;
+    let expected_relu = expected.max(0) as u64;
+    let decrypted = client.decrypt_shortint(&activated);
+    println!("toy conv window {window:?} -> ReLU(sum) = {decrypted} (expected {expected_relu})");
+    assert_eq!(decrypted, expected_relu);
+
+    // ---------- Part 2: the full Fig. 7 models on the accelerator ------
+    println!("\nZama Deep-NN on Strix vs baselines (one inference):");
+    println!(
+        "{:>6} {:>6} {:>8} {:>12} {:>12} {:>12}",
+        "model", "N", "PBS", "Strix (ms)", "GPU (ms)", "speedup"
+    );
+    for depth in [20usize, 50, 100] {
+        for poly in [1024usize, 2048, 4096] {
+            let nn = DeepNn::new(depth, poly);
+            let sim = StrixSimulator::new(StrixConfig::paper_default(), nn.params())?;
+            let strix_s = sim.run_graph(&nn.workload()).total_time_s;
+            let gpu = GpuModel::titan_rtx_for(&nn.params());
+            let gpu_s = gpu.device_batched_time_s(nn.conv_outputs())
+                + (depth - 1) as f64 * gpu.device_batched_time_s(92);
+            println!(
+                "NN-{depth:<4} {poly:>6} {:>8} {:>12.1} {:>12.1} {:>11.1}x",
+                nn.total_pbs(),
+                strix_s * 1e3,
+                gpu_s * 1e3,
+                gpu_s / strix_s
+            );
+        }
+    }
+    Ok(())
+}

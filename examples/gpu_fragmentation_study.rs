@@ -1,0 +1,58 @@
+//! The blind-rotation fragmentation study of §III / Fig. 2: why GPUs
+//! plateau and why Strix's two-level batching does not.
+//!
+//! Prints the GPU staircase (device-level batching), the futile GPU
+//! core-level batching line, and the Strix comparison at the same
+//! ciphertext counts.
+//!
+//! ```sh
+//! cargo run --release -p strix --example gpu_fragmentation_study
+//! ```
+
+use strix::baselines::GpuModel;
+use strix::core::{StrixConfig, StrixSimulator};
+use strix::tfhe::TfheParameters;
+
+fn bar(width: f64) -> String {
+    "#".repeat(width.round() as usize)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let gpu = GpuModel::titan_rtx_set_i();
+    println!("GPU device-level batching ({} SMs) - Eq. (1)/(2) staircase:", gpu.sms);
+    println!("{:>8} {:>10} {:>12}", "LWEs", "fragments", "norm. time");
+    for lwes in [1, 36, 72, 73, 144, 145, 216, 217, 288] {
+        let t = gpu.device_batched_time_s(lwes) / gpu.batch_time_s;
+        println!(
+            "{lwes:>8} {:>10} {:>12.1}  |{}",
+            gpu.fragments(lwes),
+            t,
+            bar(6.0 * t)
+        );
+    }
+
+    println!("\nGPU core-level batching (LWEs per SM) - no amortisation:");
+    for per_core in 1..=4 {
+        let t = gpu.core_batched_time_s(per_core) / gpu.batch_time_s;
+        println!("{per_core:>8} {:>10} {t:>12.1}  |{}", "-", bar(6.0 * t));
+    }
+
+    let sim = StrixSimulator::new(StrixConfig::paper_default(), TfheParameters::set_i())?;
+    let report = sim.pbs_report(288);
+    println!(
+        "\nStrix at the same workload: 288 PBS in {:.2} ms (GPU: {:.0} ms) — \
+         the {}-LWE/core stream amortises each key fetch across the core batch.",
+        report.total_time_s * 1e3,
+        gpu.device_batched_time_s(288) * 1e3,
+        report.core_batch,
+    );
+    println!(
+        "Strix epoch size {} = {} cores x {} LWEs/core; effective batch of one \
+         blind rotation is {}x the GPU's.",
+        report.epoch_size,
+        sim.config().tvlp,
+        report.core_batch,
+        report.epoch_size as f64 / gpu.sms as f64,
+    );
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Quickstart: encrypt booleans and small integers, evaluate gates and
+//! LUTs homomorphically, and ask the Strix model how fast the same
+//! operations run on the accelerator.
+//!
+//! ```sh
+//! cargo run --release -p strix --example quickstart
+//! ```
+
+use strix::core::{StrixConfig, StrixSimulator};
+use strix::tfhe::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Fast research parameters: tiny and insecure, instant keygen.
+    // Swap for `TfheParameters::set_i()` to run the paper's 110-bit set
+    // (key generation then takes ~1 s and each gate tens of ms).
+    let params = TfheParameters::testing_fast();
+    println!(
+        "parameter set: {} (N = {}, n = {})",
+        params.name, params.polynomial_size, params.lwe_dimension
+    );
+
+    let (mut client, server) = generate_keys(&params, 0xC0FFEE);
+
+    // --- Boolean gate bootstrapping -----------------------------------
+    let a = client.encrypt_bool(true);
+    let b = client.encrypt_bool(false);
+    let and = server.and(&a, &b)?;
+    let or = server.or(&a, &b)?;
+    let nand = server.nand(&a, &b)?;
+    let xor = server.xor(&a, &b)?;
+    println!("true AND false  = {}", client.decrypt_bool(&and));
+    println!("true OR  false  = {}", client.decrypt_bool(&or));
+    println!("true NAND false = {}", client.decrypt_bool(&nand));
+    println!("true XOR false  = {}", client.decrypt_bool(&xor));
+
+    let sel = client.encrypt_bool(true);
+    let mux = server.mux(&sel, &a, &b)?;
+    println!("mux(true, true, false) = {}", client.decrypt_bool(&mux));
+
+    // --- Programmable bootstrapping as a look-up table ----------------
+    // Evaluate f(m) = m² + 1 (mod 8) on an encrypted 3-bit message with
+    // a single bootstrap: the "programmable" in PBS.
+    let m = 5u64;
+    let ct = client.encrypt_shortint(m, 3)?;
+    let squared = server.apply_lut(&ct, |x| (x * x + 1) % 8)?;
+    println!("f({m}) = m² + 1 mod 8 = {}", client.decrypt_shortint(&squared));
+    assert_eq!(client.decrypt_shortint(&squared), (m * m + 1) % 8);
+
+    // --- The accelerator's view ----------------------------------------
+    // Each gate above cost one PBS (+ keyswitch). How fast does the
+    // Strix accelerator stream bootstraps at the paper's baseline
+    // parameters?
+    let sim = StrixSimulator::new(StrixConfig::paper_default(), TfheParameters::set_i())?;
+    let report = sim.pbs_report(1 << 12);
+    println!(
+        "\nStrix @ set I: {:.0} PBS/s steady-state, {:.2} ms single-PBS latency \
+         ({} LWEs/core x {} cores per epoch)",
+        report.throughput_pbs_per_s,
+        report.latency_s * 1e3,
+        report.core_batch,
+        sim.config().tvlp,
+    );
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! Consistency of the baseline models with the paper's published
+//! numbers and with each other.
+
+use strix::baselines::{breakdown, cpu, gpu, published, GpuModel};
+use strix::tfhe::{ParameterSet, TfheParameters};
+
+#[test]
+fn gpu_staircase_reproduces_fig2() {
+    let g = GpuModel::titan_rtx_set_i();
+    // Plateau boundaries at multiples of 72 SMs.
+    for (lwes, expected_norm) in
+        [(1, 1.0), (72, 1.0), (73, 2.0), (144, 2.0), (145, 3.0), (216, 3.0), (217, 4.0)]
+    {
+        let norm = g.device_batched_time_s(lwes) / g.batch_time_s;
+        assert_eq!(norm, expected_norm, "{lwes} LWEs");
+    }
+}
+
+#[test]
+fn gpu_equation_1_and_2_hold_for_any_count() {
+    let g = GpuModel::titan_rtx_set_i();
+    for lwes in (1usize..600).step_by(7) {
+        let fragments = lwes.div_ceil(g.sms) - 1;
+        assert_eq!(g.fragments(lwes), fragments, "Eq. (2) at {lwes}");
+        let time = (fragments + 1) as f64 * g.batch_time_s;
+        assert_eq!(g.device_batched_time_s(lwes), time, "Eq. (1) at {lwes}");
+    }
+}
+
+#[test]
+fn published_table_v_has_all_platforms() {
+    let platforms: std::collections::BTreeSet<&str> =
+        published::PUBLISHED_TABLE_V.iter().map(|p| p.platform).collect();
+    for expected in ["Concrete", "NuFHE", "YKP", "XHEC", "Matcha", "Strix"] {
+        assert!(platforms.contains(expected), "missing {expected}");
+    }
+}
+
+#[test]
+fn paper_headline_speedups_derive_from_the_table() {
+    let (vs_cpu, vs_gpu, vs_matcha) = published::headline_speedups();
+    assert!(vs_cpu > 1000.0 && vs_cpu < 1100.0);
+    assert!(vs_gpu > 35.0 && vs_gpu < 40.0);
+    assert!(vs_matcha > 7.0 && vs_matcha < 8.0);
+}
+
+#[test]
+fn measured_cpu_breakdown_matches_fig1_shape() {
+    let b = breakdown::measure(&TfheParameters::testing_fast(), 2, 404);
+    // Panel 1 sums to 1, PBS dominates.
+    let total = b.pbs_fraction + b.keyswitch_fraction + b.other_fraction;
+    assert!((total - 1.0).abs() < 1e-9);
+    assert!(b.pbs_fraction > b.keyswitch_fraction);
+    assert!(b.keyswitch_fraction > b.other_fraction);
+    // Panel 2: blind rotation ≈ all of PBS.
+    assert!(b.blind_rotation_of_pbs > 0.9);
+}
+
+#[test]
+fn measured_cpu_is_slower_at_larger_sets() {
+    let fast = cpu::measure_pbs_benchmark_key(&TfheParameters::testing_fast(), 2);
+    let set_i = cpu::measure_pbs_benchmark_key(&TfheParameters::set_i(), 2);
+    assert!(
+        set_i.pbs_s > 5.0 * fast.pbs_s,
+        "set I ({}) should dwarf toy ({})",
+        set_i.pbs_s,
+        fast.pbs_s
+    );
+}
+
+#[test]
+fn gpu_vs_cpu_ordering_matches_table_v() {
+    // Published: GPU ≈ 29× CPU throughput at set I.
+    let cpu_pt = published::lookup("Concrete", ParameterSet::SetI).unwrap();
+    let gpu_pt = published::lookup("NuFHE", ParameterSet::SetI).unwrap();
+    let ratio = gpu_pt.throughput_pbs_s.unwrap() / cpu_pt.throughput_pbs_s.unwrap();
+    assert!((25.0..35.0).contains(&ratio), "{ratio}");
+    // Our analytic GPU model is calibrated to the same point.
+    let g = GpuModel::titan_rtx_set_i();
+    assert!((g.throughput_pbs_s() - gpu_pt.throughput_pbs_s.unwrap()).abs() < 1.0);
+}
+
+#[test]
+fn gpu_extrapolation_is_monotone_in_polynomial_size() {
+    let mut last = 0.0;
+    for n in [1024usize, 2048, 4096] {
+        let g = gpu::GpuModel::titan_rtx_for(&TfheParameters::deep_nn(n));
+        assert!(g.batch_time_s > last, "N={n}");
+        last = g.batch_time_s;
+    }
+}

@@ -1,0 +1,112 @@
+//! Programmable bootstrapping as a universal univariate-function
+//! evaluator — the capability that distinguishes TFHE from CKKS
+//! (paper Table I: "Add, look-up table").
+
+use strix::tfhe::prelude::*;
+
+fn keys() -> (ClientKey, ServerKey) {
+    generate_keys(&TfheParameters::testing_fast(), 60_601)
+}
+
+#[test]
+fn identity_negation_and_constants() {
+    let (mut client, server) = keys();
+    let p = 3u32;
+    for m in 0..8u64 {
+        let ct = client.encrypt_shortint(m, p).unwrap();
+        let id = server.apply_lut(&ct, |x| x).unwrap();
+        assert_eq!(client.decrypt_shortint(&id), m);
+        let neg = server.apply_lut(&ct, |x| (8 - x) % 8).unwrap();
+        assert_eq!(client.decrypt_shortint(&neg), (8 - m) % 8);
+        let konst = server.apply_lut(&ct, |_| 5).unwrap();
+        assert_eq!(client.decrypt_shortint(&konst), 5);
+    }
+}
+
+#[test]
+fn nonlinear_functions_square_threshold_parity() {
+    let (mut client, server) = keys();
+    let p = 3u32;
+    for m in 0..8u64 {
+        let ct = client.encrypt_shortint(m, p).unwrap();
+        let sq = server.apply_lut(&ct, |x| (x * x) % 8).unwrap();
+        assert_eq!(client.decrypt_shortint(&sq), (m * m) % 8, "square({m})");
+        let thr = server.apply_lut(&ct, |x| u64::from(x >= 4)).unwrap();
+        assert_eq!(client.decrypt_shortint(&thr), u64::from(m >= 4), "thr({m})");
+        let parity = server.apply_lut(&ct, |x| x & 1).unwrap();
+        assert_eq!(client.decrypt_shortint(&parity), m & 1, "parity({m})");
+    }
+}
+
+#[test]
+fn relu_matches_signed_semantics_for_all_inputs() {
+    let (mut client, server) = keys();
+    let p = 3u32;
+    for m in 0..8u64 {
+        let ct = client.encrypt_shortint(m, p).unwrap();
+        let out = server.relu(&ct).unwrap();
+        let expected = if m < 4 { m } else { 0 }; // 4..7 ≡ −4..−1 → 0
+        assert_eq!(client.decrypt_shortint(&out), expected, "relu({m})");
+    }
+}
+
+#[test]
+fn lut_chains_compose() {
+    // g(f(m)) via two successive bootstraps; noise is refreshed at each
+    // step so arbitrarily long chains work.
+    let (mut client, server) = keys();
+    let f = |x: u64| (x + 3) % 8;
+    let g = |x: u64| (5 * x) % 8;
+    for m in 0..8u64 {
+        let ct = client.encrypt_shortint(m, 3).unwrap();
+        let mid = server.apply_lut(&ct, f).unwrap();
+        let out = server.apply_lut(&mid, g).unwrap();
+        assert_eq!(client.decrypt_shortint(&out), g(f(m)), "g(f({m}))");
+    }
+}
+
+#[test]
+fn linear_ops_then_lut() {
+    // The canonical TFHE computation pattern: cheap linear arithmetic
+    // accumulates, a single PBS applies the nonlinearity.
+    let (mut client, server) = keys();
+    let a = client.encrypt_shortint(2, 3).unwrap();
+    let b = client.encrypt_shortint(3, 3).unwrap();
+    let mut acc = a.clone();
+    acc.add_assign(&b).unwrap(); // 5
+    acc.scalar_add_assign(1).unwrap(); // 6
+    let halved = server.apply_lut(&acc, |x| x / 2).unwrap();
+    assert_eq!(client.decrypt_shortint(&halved), 3);
+}
+
+#[test]
+fn different_precisions_coexist() {
+    let (mut client, server) = keys();
+    for p in 1..=4u32 {
+        let modulus = 1u64 << p;
+        for m in [0, modulus - 1] {
+            let ct = client.encrypt_shortint(m, p).unwrap();
+            let inc = server.apply_lut(&ct, move |x| (x + 1) % modulus).unwrap();
+            assert_eq!(client.decrypt_shortint(&inc), (m + 1) % modulus, "p={p} m={m}");
+        }
+    }
+}
+
+#[test]
+fn bootstrap_refresh_enables_unbounded_additions() {
+    // Without refresh, repeated additions would eventually overflow the
+    // padding bit; interleaving identity bootstraps keeps the message
+    // space clean.
+    let (mut client, server) = keys();
+    let one = client.encrypt_shortint(1, 3).unwrap();
+    let mut acc = client.encrypt_shortint(0, 3).unwrap();
+    for step in 1..=10u64 {
+        acc.add_assign(&one).unwrap();
+        if step % 2 == 0 {
+            acc = server.refresh(&acc).unwrap();
+        }
+        if step % 8 == step {
+            assert_eq!(client.decrypt_shortint(&acc), step % 8, "step {step}");
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Cross-cutting consistency checks of the accelerator model against
+//! the paper's published evaluation (Tables III, V, VI, VII; Fig. 8).
+
+use strix::core::area::AreaModel;
+use strix::core::{StrixConfig, StrixSimulator};
+use strix::tfhe::{ParameterSet, TfheParameters};
+
+/// Paper Table V Strix rows: (set, latency ms, throughput PBS/s).
+const PAPER_TABLE_V: [(ParameterSet, f64, f64); 4] = [
+    (ParameterSet::SetI, 0.16, 74_696.0),
+    (ParameterSet::SetII, 0.23, 39_600.0),
+    (ParameterSet::SetIII, 0.44, 21_104.0),
+    (ParameterSet::SetIV, 3.31, 2_368.0),
+];
+
+#[test]
+fn throughput_matches_paper_within_ten_percent() {
+    for (set, _, paper_thr) in PAPER_TABLE_V {
+        let sim =
+            StrixSimulator::new(StrixConfig::paper_default(), set.parameters()).unwrap();
+        let thr = sim.pbs_report(1 << 14).throughput_pbs_per_s;
+        let ratio = thr / paper_thr;
+        assert!((0.9..1.1).contains(&ratio), "{set}: {thr:.0} vs {paper_thr:.0}");
+    }
+}
+
+#[test]
+fn latency_matches_paper_within_fifty_percent() {
+    // Latency is the softer target (the paper's own Tables V and VII
+    // disagree by 15% on set IV); the shape must hold within 1.5×.
+    for (set, paper_ms, _) in PAPER_TABLE_V {
+        let sim =
+            StrixSimulator::new(StrixConfig::paper_default(), set.parameters()).unwrap();
+        let ms = sim.pbs_latency_s() * 1e3;
+        let ratio = ms / paper_ms;
+        assert!((0.67..1.5).contains(&ratio), "{set}: {ms:.3} ms vs paper {paper_ms}");
+    }
+}
+
+#[test]
+fn latency_ordering_follows_workload_size() {
+    let mut last = 0.0;
+    for set in ParameterSet::ALL {
+        let sim =
+            StrixSimulator::new(StrixConfig::paper_default(), set.parameters()).unwrap();
+        let lat = sim.pbs_latency_s();
+        assert!(lat > last, "{set} latency must exceed the previous set's");
+        last = lat;
+    }
+}
+
+#[test]
+fn folding_ablation_matches_table_vi() {
+    let p = TfheParameters::set_i();
+    let folded = StrixSimulator::new(StrixConfig::paper_default(), p.clone()).unwrap();
+    let plain = StrixSimulator::new(StrixConfig::paper_non_folded(), p).unwrap();
+
+    let thr_gain = folded.pbs_report(4096).throughput_pbs_per_s
+        / plain.pbs_report(4096).throughput_pbs_per_s;
+    assert!((1.9..2.1).contains(&thr_gain), "throughput gain {thr_gain}"); // paper: 1.99×
+
+    let lat_gain = plain.pbs_latency_s() / folded.pbs_latency_s();
+    assert!((1.3..2.1).contains(&lat_gain), "latency gain {lat_gain}"); // paper: 1.68×
+
+    let a_folded = AreaModel::new(&StrixConfig::paper_default());
+    let a_plain = AreaModel::new(&StrixConfig::paper_non_folded());
+    let fft_gain = a_plain.fft_units_area_mm2() / a_folded.fft_units_area_mm2();
+    assert!((1.6..1.9).contains(&fft_gain), "fft area gain {fft_gain}"); // paper: 1.73×
+    let core_gain = a_plain.core_area_mm2() / a_folded.core_area_mm2();
+    assert!((1.35..1.6).contains(&core_gain), "core area gain {core_gain}"); // paper: 1.48×
+}
+
+#[test]
+fn table_vii_sweet_spot_is_tvlp8_clp4() {
+    // The paper: TvLP=8/CLP=4 balances compute and memory at one HBM2e
+    // stack. Verify it is the highest-CLP config that stays
+    // compute-bound with required bandwidth under ~300 GB/s.
+    let mut last_ok = None;
+    for (tvlp, clp) in [(16, 2), (8, 4), (4, 8), (2, 16), (1, 32)] {
+        let cfg = StrixConfig::paper_default().with_tvlp_clp(tvlp, clp);
+        let sim = StrixSimulator::new(cfg, TfheParameters::set_iv()).unwrap();
+        let r = sim.pbs_report(4096);
+        if !r.memory_bound && r.required_bandwidth_gbps < 300.0 {
+            last_ok = Some((tvlp, clp, r.latency_s));
+        }
+    }
+    let (tvlp, clp, _) = last_ok.expect("some config must be feasible");
+    assert_eq!((tvlp, clp), (8, 4));
+}
+
+#[test]
+fn area_model_reproduces_table_iii_componentwise() {
+    let m = AreaModel::new(&StrixConfig::paper_default());
+    let expect = [
+        ("Local scratchpad", 0.92),
+        ("Rotator", 0.02),
+        ("Decomposer", 0.28),
+        ("I/FFTU", 7.23),
+        ("VMA", 0.63),
+        ("Accumulator", 0.32),
+    ];
+    for (name, paper_mm2) in expect {
+        let c = m
+            .per_core_components()
+            .iter()
+            .find(|c| c.name.starts_with(name))
+            .unwrap_or_else(|| panic!("missing component {name}"));
+        let ratio = c.area_mm2 / paper_mm2;
+        assert!((0.97..1.03).contains(&ratio), "{name}: {} vs {paper_mm2}", c.area_mm2);
+    }
+}
+
+#[test]
+fn trace_agrees_with_engine_iteration_period() {
+    let sim =
+        StrixSimulator::new(StrixConfig::paper_default().with_core_batch(3), TfheParameters::set_i())
+            .unwrap();
+    let trace = sim.trace(2);
+    // Horizon = 2 iterations of the effective period.
+    let report = sim.pbs_report(24);
+    assert_eq!(trace.horizon_cycles(), 2 * report.iteration_cycles);
+    // Fig. 8 qualitative claims.
+    assert!(trace.occupancy_of("FFT").unwrap() > 0.8);
+    assert!(trace.occupancy_of("Rotator").unwrap() < 0.7);
+    let hbm = trace.occupancy_of("HBM").unwrap();
+    assert!((0.4..0.8).contains(&hbm), "HBM {hbm}");
+}
+
+#[test]
+fn keyswitch_stays_hidden_at_all_paper_sets() {
+    for set in ParameterSet::ALL {
+        let sim =
+            StrixSimulator::new(StrixConfig::paper_default(), set.parameters()).unwrap();
+        let r = sim.pbs_report(1 << 14);
+        // Hidden keyswitching means throughput is set by the BR epoch:
+        // epoch_size / thr == BR epoch time, i.e. KS did not stretch it.
+        let br_epoch_s = r.epoch_size as f64 / r.throughput_pbs_per_s;
+        let ks_epoch_s = sim.config().cycles_to_seconds(
+            (sim.ks_cluster().cycles_per_lwe() * r.core_batch as u64) as f64,
+        );
+        assert!(ks_epoch_s < br_epoch_s, "{set}: ks not hidden");
+    }
+}
+
+#[test]
+fn device_level_scaling_is_linear_until_bandwidth() {
+    // Adding cores multiplies throughput until the bsk stream saturates;
+    // at set I the stream is light, so 1→16 cores scale ~linearly.
+    let p = TfheParameters::set_i();
+    let thr_1 = StrixSimulator::new(
+        StrixConfig { tvlp: 1, ..StrixConfig::paper_default() },
+        p.clone(),
+    )
+    .unwrap()
+    .pbs_report(4096)
+    .throughput_pbs_per_s;
+    let thr_16 = StrixSimulator::new(
+        StrixConfig { tvlp: 16, ..StrixConfig::paper_default() },
+        p,
+    )
+    .unwrap()
+    .pbs_report(4096)
+    .throughput_pbs_per_s;
+    let scaling = thr_16 / thr_1;
+    assert!((15.0..17.0).contains(&scaling), "scaling {scaling}");
+}
