@@ -119,20 +119,15 @@ mod tests {
             .map(|(_, f)| f)
             .sum();
         assert!(fft_like > 0.35, "{fft_like}");
-        let rotate = b
-            .iteration_stages
-            .iter()
-            .find(|(l, _)| l == "Rotate")
-            .map(|(_, f)| *f)
-            .unwrap();
+        let rotate =
+            b.iteration_stages.iter().find(|(l, _)| l == "Rotate").map(|(_, f)| *f).unwrap();
         assert!(rotate < fft_like, "rotation must be cheap: {rotate} vs {fft_like}");
     }
 
     #[test]
     fn stage_labels_are_the_paper_annotations() {
         let b = breakdown();
-        let labels: Vec<&str> =
-            b.iteration_stages.iter().map(|(l, _)| l.as_str()).collect();
+        let labels: Vec<&str> = b.iteration_stages.iter().map(|(l, _)| l.as_str()).collect();
         assert_eq!(labels, ["Rotate", "Decomp.", "FFT", "Vec. mult", "Accum.+IFFT"]);
     }
 }

@@ -104,8 +104,7 @@ fn br_flops(params: &TfheParameters) -> f64 {
 /// Convenience: the published NuFHE point for a parameter set, when
 /// NuFHE supports it (sets I and II only).
 pub fn published_point(set: ParameterSet) -> Option<(f64, f64)> {
-    crate::published::lookup("NuFHE", set)
-        .and_then(|p| Some((p.latency_ms?, p.throughput_pbs_s?)))
+    crate::published::lookup("NuFHE", set).and_then(|p| Some((p.latency_ms?, p.throughput_pbs_s?)))
 }
 
 #[cfg(test)]

@@ -5,12 +5,15 @@
 //! columns. Latencies are in milliseconds, throughput in PBS/s; `None`
 //! marks entries the paper leaves blank ("–").
 
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 use strix_tfhe::ParameterSet;
 
 /// One platform's published result for one parameter set.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// Serializable for report export; not `Deserialize` because the
+/// platform labels are `&'static str` carried from the paper.
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct PlatformPoint {
     /// Platform name as printed in Table V.
     pub platform: &'static str,
@@ -61,9 +64,7 @@ pub const PUBLISHED_TABLE_V: &[PlatformPoint] = &[
 
 /// Looks up a platform's point for a parameter set.
 pub fn lookup(platform: &str, set: ParameterSet) -> Option<&'static PlatformPoint> {
-    PUBLISHED_TABLE_V
-        .iter()
-        .find(|p| p.platform == platform && p.set == set)
+    PUBLISHED_TABLE_V.iter().find(|p| p.platform == platform && p.set == set)
 }
 
 /// The paper's headline ratios, derivable from the table: Strix vs CPU

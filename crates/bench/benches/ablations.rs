@@ -27,10 +27,7 @@ fn main() {
     }
     println!("{}", markdown_table(&["PLP", "CoLP", "thr (PBS/s)", "lat (ms)"], &rows));
 
-    println!(
-        "{}",
-        banner("Ablation B: core-level batch size (set IV, 150 GB/s HBM)")
-    );
+    println!("{}", banner("Ablation B: core-level batch size (set IV, 150 GB/s HBM)"));
     // At set IV with a half-bandwidth stack the per-iteration key fetch
     // outweighs one LWE's compute: without core-level batching the
     // machine is memory-bound, and each extra LWE per core reuses the
@@ -48,16 +45,10 @@ fn main() {
             format!("{}", r.iteration_cycles),
             if r.memory_bound { "memory" } else { "compute" }.into(),
         ]);
-        assert!(
-            r.throughput_pbs_per_s >= last_thr * 0.999,
-            "throughput must not drop with batch"
-        );
+        assert!(r.throughput_pbs_per_s >= last_thr * 0.999, "throughput must not drop with batch");
         last_thr = r.throughput_pbs_per_s;
     }
-    println!(
-        "{}",
-        markdown_table(&["LWEs/core", "thr (PBS/s)", "iter cycles", "bound"], &rows)
-    );
+    println!("{}", markdown_table(&["LWEs/core", "thr (PBS/s)", "iter cycles", "bound"], &rows));
     println!("core-level batching amortises the key stream: the motivation of §III\n");
 
     println!("{}", banner("Ablation C: HBM bandwidth (set IV, design point)"));
@@ -84,10 +75,7 @@ fn main() {
             if r.memory_bound { "memory" } else { "compute" }.into(),
         ]);
     }
-    println!(
-        "{}",
-        markdown_table(&["local SP", "LWEs/core", "thr (PBS/s)", "bound"], &rows)
-    );
+    println!("{}", markdown_table(&["local SP", "LWEs/core", "thr (PBS/s)", "bound"], &rows));
     println!("bigger local scratchpads buy key reuse exactly as §IV-C describes\n");
 
     println!("{}", banner("Ablation E: bootstrapping-key unrolling vs streaming batching"));
@@ -146,10 +134,7 @@ fn main() {
             format!("{:.0}", r.throughput_pbs_per_s),
         ]);
     }
-    println!(
-        "{}",
-        markdown_table(&["bus bits", "latency (ms)", "thr (PBS/s)"], &rows)
-    );
+    println!("{}", markdown_table(&["bus bits", "latency (ms)", "thr (PBS/s)"], &rows));
     println!(
         "the 512-bit width stated in §VI-A cannot sustain the paper's 0.16 ms \
          single-PBS latency; 2048 bits (matching the HBM burst rate) is the \

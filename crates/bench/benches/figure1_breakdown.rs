@@ -41,10 +41,7 @@ fn main() {
         .iter()
         .map(|(label, f)| vec![label.clone(), format!("{:.1}%", f * 100.0)])
         .collect();
-    println!(
-        "{}",
-        markdown_table(&["BR iteration stage", "share of iteration"], &stage_rows)
-    );
+    println!("{}", markdown_table(&["BR iteration stage", "share of iteration"], &stage_rows));
 
     // Machine-checkable summary for EXPERIMENTS.md.
     assert!(b.pbs_fraction > 0.5, "PBS must dominate the gate");

@@ -21,10 +21,7 @@ fn main() {
             "#".repeat((norm * 8.0) as usize),
         ]);
     }
-    println!(
-        "{}",
-        markdown_table(&["LWEs", "BR fragments", "norm. time", ""], &rows)
-    );
+    println!("{}", markdown_table(&["LWEs", "BR fragments", "norm. time", ""], &rows));
 
     println!("{}", banner("Figure 2 (right): GPU core-level batching"));
     let mut rows = Vec::new();

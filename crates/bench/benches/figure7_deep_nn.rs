@@ -69,8 +69,15 @@ fn main() {
         "{}",
         markdown_table(
             &[
-                "model", "N", "PBS", "CPU-1t ms", "CPU-28t ms", "GPU ms", "Strix ms",
-                "vs CPU-28t", "vs GPU"
+                "model",
+                "N",
+                "PBS",
+                "CPU-1t ms",
+                "CPU-28t ms",
+                "GPU ms",
+                "Strix ms",
+                "vs CPU-28t",
+                "vs GPU"
             ],
             &rows
         )

@@ -49,9 +49,7 @@ fn bench_negacyclic_mul(c: &mut Criterion) {
         let mut out = vec![0i64; n];
         b.iter(|| fft.negacyclic_mul_i64(&a, &b_poly, &mut out).unwrap())
     });
-    group.bench_function("schoolbook_1024", |b| {
-        b.iter(|| reference::negacyclic_mul(&a, &b_poly))
-    });
+    group.bench_function("schoolbook_1024", |b| b.iter(|| reference::negacyclic_mul(&a, &b_poly)));
     group.finish();
 }
 

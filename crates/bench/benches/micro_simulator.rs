@@ -13,13 +13,11 @@ fn bench_simulator(c: &mut Criterion) {
 
     group.bench_function("construct_set_i", |b| {
         b.iter(|| {
-            StrixSimulator::new(StrixConfig::paper_default(), TfheParameters::set_i())
-                .unwrap()
+            StrixSimulator::new(StrixConfig::paper_default(), TfheParameters::set_i()).unwrap()
         })
     });
 
-    let sim =
-        StrixSimulator::new(StrixConfig::paper_default(), TfheParameters::set_i()).unwrap();
+    let sim = StrixSimulator::new(StrixConfig::paper_default(), TfheParameters::set_i()).unwrap();
     group.bench_function("pbs_report_16k", |b| b.iter(|| sim.pbs_report(1 << 14)));
 
     let nn = DeepNn::new(100, 1024);

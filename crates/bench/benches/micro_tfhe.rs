@@ -16,9 +16,7 @@ fn bench_decomposition(c: &mut Criterion) {
     let poly = TorusPolynomial::from_coeffs(
         (0..1024u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect(),
     );
-    group.bench_function("polynomial_1024_l2", |b| {
-        b.iter(|| decomp.decompose_polynomial(&poly))
-    });
+    group.bench_function("polynomial_1024_l2", |b| b.iter(|| decomp.decompose_polynomial(&poly)));
     group.finish();
 }
 
@@ -35,17 +33,13 @@ fn bench_pbs_and_gate(c: &mut Criterion) {
         .collect();
     raw.push(encode_bool(true));
     let ct = LweCiphertext::from_raw(raw);
-    group.bench_function("bootstrap_set_i", |b| {
-        b.iter(|| bsk.bootstrap(&ct, &lut).unwrap())
-    });
+    group.bench_function("bootstrap_set_i", |b| b.iter(|| bsk.bootstrap(&ct, &lut).unwrap()));
 
     // Gate + keyswitch at the fast testing set (full real-key path).
     let (mut client, server) = generate_keys(&TfheParameters::testing_fast(), 5);
     let x = client.encrypt_bool(true);
     let y = client.encrypt_bool(false);
-    group.bench_function("nand_gate_testing_fast", |b| {
-        b.iter(|| server.nand(&x, &y).unwrap())
-    });
+    group.bench_function("nand_gate_testing_fast", |b| b.iter(|| server.nand(&x, &y).unwrap()));
 
     let boot = server
         .bootstrap_key()

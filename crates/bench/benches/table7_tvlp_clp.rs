@@ -43,8 +43,15 @@ fn main() {
         "{}",
         markdown_table(
             &[
-                "TvLP", "CLP", "thr (model)", "thr (paper)", "lat ms (model)",
-                "lat ms (paper)", "BW (model)", "BW (paper)", "bound"
+                "TvLP",
+                "CLP",
+                "thr (model)",
+                "thr (paper)",
+                "lat ms (model)",
+                "lat ms (paper)",
+                "BW (model)",
+                "BW (paper)",
+                "bound"
             ],
             &rows
         )

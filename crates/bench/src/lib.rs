@@ -9,6 +9,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use strix_core::PbsReport;
+use strix_runtime::RuntimeReport;
+
 /// Formats a markdown table from a header and rows.
 pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
     let mut out = String::new();
@@ -42,6 +45,39 @@ pub fn banner(title: &str) -> String {
     format!("\n=== {title} ===\n")
 }
 
+/// The header matching [`runtime_vs_simulator_rows`].
+pub const RUNTIME_COMPARISON_HEADER: [&str; 6] =
+    ["source", "epoch", "occupancy", "p50 latency", "p99 latency", "PBS/s"];
+
+/// Renders the software runtime's measured report next to the
+/// simulator's model of the same batching policy, as rows for
+/// [`markdown_table`] under [`RUNTIME_COMPARISON_HEADER`]. This is how
+/// measured software throughput sits beside the accelerator estimate
+/// in the streaming bench output.
+pub fn runtime_vs_simulator_rows(
+    measured: &RuntimeReport,
+    simulated: &PbsReport,
+) -> Vec<Vec<String>> {
+    vec![
+        vec![
+            "strix-runtime (measured)".into(),
+            measured.epoch_capacity.to_string(),
+            format!("{:.1}%", measured.mean_batch_occupancy * 100.0),
+            format!("{:.3} ms", measured.p50_latency_us as f64 / 1e3),
+            format!("{:.3} ms", measured.p99_latency_us as f64 / 1e3),
+            format!("{:.1}", measured.achieved_pbs_per_s),
+        ],
+        vec![
+            "strix-core (simulated)".into(),
+            simulated.epoch_size.to_string(),
+            "100.0%".into(),
+            format!("{:.3} ms", simulated.latency_s * 1e3),
+            format!("{:.3} ms", simulated.latency_s * 1e3),
+            format!("{:.1}", simulated.throughput_pbs_per_s),
+        ],
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -69,5 +105,25 @@ mod tests {
     #[test]
     fn banner_contains_title() {
         assert!(banner("Table V").contains("Table V"));
+    }
+
+    #[test]
+    fn runtime_rows_render_into_the_table() {
+        use strix_core::{StrixConfig, StrixSimulator};
+        use strix_runtime::MetricsSink;
+        use strix_tfhe::TfheParameters;
+
+        let sink = MetricsSink::default();
+        sink.record_epoch(32, 32);
+        let measured = sink.report(32);
+        let sim =
+            StrixSimulator::new(StrixConfig::paper_default(), TfheParameters::set_i()).unwrap();
+        let rows = runtime_vs_simulator_rows(&measured, &sim.pbs_report(4096));
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].len(), RUNTIME_COMPARISON_HEADER.len());
+        let table = markdown_table(&RUNTIME_COMPARISON_HEADER, &rows);
+        assert!(table.contains("strix-runtime (measured)"));
+        assert!(table.contains("strix-core (simulated)"));
+        assert!(table.contains("100.0%"));
     }
 }

@@ -155,11 +155,7 @@ impl AreaModel {
 
     /// Area of the FFT/IFFT units of one core (the Table VI metric).
     pub fn fft_units_area_mm2(&self) -> f64 {
-        self.per_core
-            .iter()
-            .find(|c| c.name == "I/FFTU")
-            .map(|c| c.area_mm2)
-            .unwrap_or(0.0)
+        self.per_core.iter().find(|c| c.name == "I/FFTU").map(|c| c.area_mm2).unwrap_or(0.0)
     }
 
     /// Total chip area in mm².
@@ -170,8 +166,7 @@ impl AreaModel {
 
     /// Total chip power in W.
     pub fn total_power_w(&self) -> f64 {
-        self.core_power_w() * self.cores as f64
-            + self.uncore.iter().map(|c| c.power_w).sum::<f64>()
+        self.core_power_w() * self.cores as f64 + self.uncore.iter().map(|c| c.power_w).sum::<f64>()
     }
 }
 

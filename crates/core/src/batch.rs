@@ -1,0 +1,119 @@
+//! The two-level batch-sizing policy (§IV-C), factored out of the
+//! simulation engine so software schedulers can reuse it.
+//!
+//! Strix forms batches at two levels: the **device level** spreads
+//! `TvLP` ciphertexts across the HSC array (one per core), and the
+//! **core level** streams `core_batch` ciphertexts through each HSC's
+//! PBS cluster so that one bootstrapping-key fetch serves the whole
+//! stream. An **epoch** — the unit the engine schedules and the unit
+//! the streaming runtime flushes — therefore carries
+//! `TvLP × core_batch` LWEs.
+//!
+//! The core-level batch size is not free: each in-flight LWE owns one
+//! intermediate test vector of `(k+1)·N` torus words in the local
+//! scratchpad, so capacity divides out the batch (the central resource
+//! argument of §IV-C). [`BatchGeometry::derive`] reproduces exactly
+//! that derivation.
+
+use serde::{Deserialize, Serialize};
+
+use strix_tfhe::TfheParameters;
+
+use crate::config::StrixConfig;
+
+/// The two-level batch shape for one `(parameters, config)` pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchGeometry {
+    /// Device-level parallelism: number of HSCs (`TvLP`).
+    pub tvlp: usize,
+    /// Core-level batch: LWEs streamed per HSC per key fetch.
+    pub core_batch: usize,
+}
+
+impl BatchGeometry {
+    /// Derives the geometry from the accelerator configuration and the
+    /// TFHE parameters: `core_batch` is the number of `(k+1)·N`-word
+    /// test vectors that fit in the PBS share of the local scratchpad
+    /// (at least 1 — oversized parameters stream at batch 1), unless
+    /// the config pins it explicitly.
+    pub fn derive(params: &TfheParameters, config: &StrixConfig) -> Self {
+        let core_batch = config.core_batch_override.unwrap_or_else(|| {
+            let pbs_bytes =
+                (config.local_scratchpad_bytes as f64 * config.local_pbs_fraction) as usize;
+            (pbs_bytes / params.glwe_bytes()).max(1)
+        });
+        Self { tvlp: config.tvlp.max(1), core_batch }
+    }
+
+    /// A geometry with explicit values (for tests and software
+    /// schedulers detached from a hardware config).
+    pub fn explicit(tvlp: usize, core_batch: usize) -> Self {
+        Self { tvlp: tvlp.max(1), core_batch: core_batch.max(1) }
+    }
+
+    /// The epoch size `TvLP × core_batch`: LWEs per device-level
+    /// scheduling unit.
+    #[inline]
+    pub fn epoch_size(&self) -> usize {
+        (self.tvlp * self.core_batch).max(1)
+    }
+
+    /// Number of epochs needed for `num_lwes` ciphertexts.
+    #[inline]
+    pub fn epochs_for(&self, num_lwes: usize) -> usize {
+        num_lwes.div_ceil(self.epoch_size()).max(1)
+    }
+
+    /// Occupancy of an epoch carrying `lwes` ciphertexts, in `[0, 1]`.
+    #[inline]
+    pub fn occupancy(&self, lwes: usize) -> f64 {
+        lwes.min(self.epoch_size()) as f64 / self.epoch_size() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_design_point_set_i() {
+        // 0.8 × 0.625 MB over 16 KiB test vectors → 32 per core; the
+        // epoch is 8 × 32 = 256 LWEs.
+        let g = BatchGeometry::derive(&TfheParameters::set_i(), &StrixConfig::paper_default());
+        assert_eq!(g, BatchGeometry { tvlp: 8, core_batch: 32 });
+        assert_eq!(g.epoch_size(), 256);
+    }
+
+    #[test]
+    fn override_pins_core_batch() {
+        let cfg = StrixConfig::paper_default().with_core_batch(3);
+        let g = BatchGeometry::derive(&TfheParameters::set_i(), &cfg);
+        assert_eq!(g.core_batch, 3);
+    }
+
+    #[test]
+    fn oversized_parameters_stream_at_batch_one() {
+        let mut cfg = StrixConfig::paper_default();
+        cfg.local_scratchpad_bytes = 1024;
+        let g = BatchGeometry::derive(&TfheParameters::set_iv(), &cfg);
+        assert_eq!(g.core_batch, 1);
+    }
+
+    #[test]
+    fn epoch_counting_and_occupancy() {
+        let g = BatchGeometry::explicit(4, 8);
+        assert_eq!(g.epoch_size(), 32);
+        assert_eq!(g.epochs_for(1), 1);
+        assert_eq!(g.epochs_for(32), 1);
+        assert_eq!(g.epochs_for(33), 2);
+        assert_eq!(g.epochs_for(0), 1);
+        assert!((g.occupancy(16) - 0.5).abs() < 1e-12);
+        assert!((g.occupancy(64) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn explicit_clamps_zeroes() {
+        let g = BatchGeometry::explicit(0, 0);
+        assert_eq!(g.epoch_size(), 1);
+    }
+}

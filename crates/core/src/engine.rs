@@ -107,9 +107,7 @@ impl StrixSimulator {
     /// Returns [`SimError`] if either is invalid.
     pub fn new(config: StrixConfig, params: TfheParameters) -> Result<Self, SimError> {
         config.validate()?;
-        params
-            .validate()
-            .map_err(|e| SimError::InvalidParameters(e.to_string()))?;
+        params.validate().map_err(|e| SimError::InvalidParameters(e.to_string()))?;
         let pbs = PbsClusterModel::new(&params, &config);
         let ks = KsClusterModel::new(&params, &config);
         let mem = MemoryModel::new(&params, &config);
@@ -146,6 +144,13 @@ impl StrixSimulator {
         &self.mem
     }
 
+    /// The two-level batch shape this simulator schedules in — the same
+    /// policy the streaming runtime sizes its epochs with.
+    #[inline]
+    pub fn batch_geometry(&self) -> crate::batch::BatchGeometry {
+        crate::batch::BatchGeometry::explicit(self.config.tvlp, self.mem.core_batch)
+    }
+
     /// Bootstrapping-key delivery cycles per iteration: the slower of
     /// the HBM fetch (full-bandwidth burst, §IV-B double buffering) and
     /// the on-chip multicast broadcast.
@@ -174,9 +179,10 @@ impl StrixSimulator {
 
     /// Simulates a batch of `num_lwes` independent bootstraps.
     pub fn pbs_report(&self, num_lwes: usize) -> PbsReport {
-        let cb = self.mem.core_batch;
-        let epoch_size = (self.config.tvlp * cb).max(1);
-        let epochs = num_lwes.div_ceil(epoch_size).max(1);
+        let geometry = self.batch_geometry();
+        let cb = geometry.core_batch;
+        let epoch_size = geometry.epoch_size();
+        let epochs = geometry.epochs_for(num_lwes);
         let n = self.params.lwe_dimension as u64;
 
         let compute_iter = self.pbs.iteration_cycles(cb);
@@ -213,16 +219,14 @@ impl StrixSimulator {
     pub fn required_bandwidth_gbps(&self) -> f64 {
         let gb = crate::config::BANDWIDTH_GB;
         let cb = self.mem.core_batch;
-        let compute_iter_s =
-            self.config.cycles_to_seconds(self.pbs.iteration_cycles(cb) as f64);
+        let compute_iter_s = self.config.cycles_to_seconds(self.pbs.iteration_cycles(cb) as f64);
         let n = self.params.lwe_dimension as f64;
         let epoch_s = compute_iter_s * n;
         let bsk_rate = self.mem.ggsw_bytes as f64 / compute_iter_s / gb;
         let ksk_rate = self.mem.ksk_bytes as f64 / epoch_s / gb;
         let epoch_lwes = (self.config.tvlp * cb) as f64;
-        let io_rate = epoch_lwes * (self.mem.lwe_in_bytes + self.mem.lwe_out_bytes) as f64
-            / epoch_s
-            / gb;
+        let io_rate =
+            epoch_lwes * (self.mem.lwe_in_bytes + self.mem.lwe_out_bytes) as f64 / epoch_s / gb;
         bsk_rate + ksk_rate + io_rate
     }
 
@@ -234,11 +238,7 @@ impl StrixSimulator {
         let power_w = crate::area::AreaModel::new(&self.config).total_power_w();
         let thr = self.pbs_report(1 << 14).throughput_pbs_per_s;
         let pbs_per_joule = thr / power_w;
-        EnergyReport {
-            power_w,
-            pbs_per_joule,
-            microjoules_per_pbs: 1e6 / pbs_per_joule,
-        }
+        EnergyReport { power_w, pbs_per_joule, microjoules_per_pbs: 1e6 / pbs_per_joule }
     }
 
     /// Runs a workload graph node by node (sequential dependencies).
@@ -247,9 +247,7 @@ impl StrixSimulator {
         let mut total = 0.0f64;
         for node in workload.nodes() {
             let (time_s, pbs_count) = match node {
-                WorkloadNode::Pbs { lwes, .. } => {
-                    (self.pbs_report(*lwes).total_time_s, *lwes)
-                }
+                WorkloadNode::Pbs { lwes, .. } => (self.pbs_report(*lwes).total_time_s, *lwes),
                 WorkloadNode::Linear { outputs, inputs_per_output, .. } => {
                     (self.linear_time_s(*outputs, *inputs_per_output), 0)
                 }
@@ -268,9 +266,8 @@ impl StrixSimulator {
     /// Time for a plaintext-weight linear layer on the integer lanes of
     /// the keyswitch clusters, spread across all cores.
     pub fn linear_time_s(&self, outputs: usize, inputs_per_output: usize) -> f64 {
-        let macs = outputs as u64
-            * inputs_per_output as u64
-            * (self.params.lwe_dimension + 1) as u64;
+        let macs =
+            outputs as u64 * inputs_per_output as u64 * (self.params.lwe_dimension + 1) as u64;
         let capacity = self.ks.macs_per_cycle() * self.config.tvlp as u64;
         self.config.cycles_to_seconds(macs.div_ceil(capacity) as f64)
     }
@@ -286,8 +283,8 @@ impl StrixSimulator {
             self.iteration_cycles(self.mem.core_batch),
             self.mem.core_batch,
             iterations,
-            (self.mem.ggsw_fetch_seconds_static(&self.config) * self.config.clock_hz())
-                .ceil() as u64,
+            (self.mem.ggsw_fetch_seconds_static(&self.config) * self.config.clock_hz()).ceil()
+                as u64,
         )
     }
 }
@@ -310,11 +307,7 @@ mod tests {
             "throughput {}",
             r.throughput_pbs_per_s
         );
-        assert!(
-            (0.14e-3..0.18e-3).contains(&r.latency_s),
-            "latency {}",
-            r.latency_s
-        );
+        assert!((0.14e-3..0.18e-3).contains(&r.latency_s), "latency {}", r.latency_s);
     }
 
     #[test]
@@ -325,10 +318,7 @@ mod tests {
             let s = sim(set.parameters());
             let thr = s.pbs_report(1 << 14).throughput_pbs_per_s;
             let ratio = thr / exp;
-            assert!(
-                (0.9..1.1).contains(&ratio),
-                "set {set}: {thr:.0} vs paper {exp:.0}"
-            );
+            assert!((0.9..1.1).contains(&ratio), "set {set}: {thr:.0} vs paper {exp:.0}");
         }
     }
 

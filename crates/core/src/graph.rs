@@ -83,11 +83,7 @@ impl Workload {
         inputs_per_output: usize,
         label: impl Into<String>,
     ) -> Self {
-        self.nodes.push(WorkloadNode::Linear {
-            outputs,
-            inputs_per_output,
-            label: label.into(),
-        });
+        self.nodes.push(WorkloadNode::Linear { outputs, inputs_per_output, label: label.into() });
         self
     }
 
@@ -119,10 +115,7 @@ mod tests {
 
     #[test]
     fn builder_chains_nodes_in_order() {
-        let w = Workload::new("demo")
-            .linear(4, 8, "dense")
-            .pbs(4, "relu")
-            .pbs(2, "final");
+        let w = Workload::new("demo").linear(4, 8, "dense").pbs(4, "relu").pbs(2, "final");
         assert_eq!(w.name(), "demo");
         assert_eq!(w.len(), 3);
         assert_eq!(w.total_pbs(), 6);

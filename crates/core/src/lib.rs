@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod area;
+pub mod batch;
 pub mod config;
 mod engine;
 mod error;
@@ -51,6 +52,7 @@ pub mod pipeline;
 pub mod trace;
 pub mod units;
 
+pub use batch::BatchGeometry;
 pub use config::{HbmConfig, StrixConfig};
 pub use engine::{EnergyReport, GraphReport, NodeReport, PbsReport, StrixSimulator};
 pub use error::SimError;

@@ -37,18 +37,12 @@ pub struct MemoryModel {
 }
 
 impl MemoryModel {
-    /// Builds the memory model, deriving the core-level batch size from
-    /// the local-scratchpad capacity unless overridden.
+    /// Builds the memory model. The core-level batch size comes from
+    /// the shared §IV-C policy ([`crate::batch::BatchGeometry`]), which
+    /// derives it from the local-scratchpad capacity unless overridden.
     pub fn new(params: &TfheParameters, config: &StrixConfig) -> Self {
-        let core_batch = config.core_batch_override.unwrap_or_else(|| {
-            let pbs_bytes =
-                (config.local_scratchpad_bytes as f64 * config.local_pbs_fraction) as usize;
-            // One intermediate test vector per in-flight LWE: (k+1)·N
-            // torus words.
-            (pbs_bytes / params.glwe_bytes()).max(1)
-        });
         Self {
-            core_batch,
+            core_batch: crate::batch::BatchGeometry::derive(params, config).core_batch,
             ggsw_bytes: params.fourier_ggsw_bytes(),
             bsk_bytes: params.bootstrap_key_bytes(),
             ksk_bytes: params.keyswitch_key_bytes(),

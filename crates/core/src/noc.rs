@@ -94,10 +94,7 @@ mod tests {
     fn broadcast_cycles_scale_inversely_with_width() {
         let wide = NocModel { bsk_bus_bits: 4096, ksk_bus_bits: 1024 };
         let narrow = NocModel { bsk_bus_bits: 1024, ksk_bus_bits: 1024 };
-        assert_eq!(
-            narrow.bsk_broadcast_cycles(1 << 20),
-            4 * wide.bsk_broadcast_cycles(1 << 20)
-        );
+        assert_eq!(narrow.bsk_broadcast_cycles(1 << 20), 4 * wide.bsk_broadcast_cycles(1 << 20));
     }
 
     #[test]

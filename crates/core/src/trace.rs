@@ -143,10 +143,7 @@ impl PipelineTrace {
 
     /// Occupancy of the row with the given label over the horizon.
     pub fn occupancy_of(&self, label: &str) -> Option<f64> {
-        self.rows
-            .iter()
-            .find(|r| r.label == label)
-            .map(|r| r.occupancy(self.horizon_cycles))
+        self.rows.iter().find(|r| r.label == label).map(|r| r.occupancy(self.horizon_cycles))
     }
 
     /// Renders the diagram as ASCII art, `width` characters wide.
@@ -172,10 +169,7 @@ impl PipelineTrace {
             out.push_str(&format!("{:>label_w$} |{bar}|\n", row.label));
         }
         let ns = self.horizon_cycles as f64 / self.clock_ghz;
-        out.push_str(&format!(
-            "{:>label_w$} |{:-<width$}| {:.0} ns total\n",
-            "time", "", ns
-        ));
+        out.push_str(&format!("{:>label_w$} |{:-<width$}| {:.0} ns total\n", "time", "", ns));
         out
     }
 }
@@ -241,8 +235,7 @@ mod tests {
     fn ascii_rendering_has_all_rows() {
         let t = fig8_trace(2);
         let art = t.render_ascii(100);
-        for label in ["Rotator", "Decomp.", "FFT", "VMA", "IFFT", "Accum.", "Loc. Scrtpd.", "HBM"]
-        {
+        for label in ["Rotator", "Decomp.", "FFT", "VMA", "IFFT", "Accum.", "Loc. Scrtpd.", "HBM"] {
             assert!(art.contains(label), "missing row {label}\n{art}");
         }
         // Three distinct LWE glyphs must appear (the batch staggering).

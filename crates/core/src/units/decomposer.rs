@@ -67,12 +67,8 @@ mod tests {
         // instances this is exactly our occupancy formula.
         let p = TfheParameters::set_i();
         let cfg = StrixConfig::paper_default();
-        let per_poly = (p.polynomial_size as u64 / (2 * cfg.clp as u64))
-            * p.pbs_level as u64;
+        let per_poly = (p.polynomial_size as u64 / (2 * cfg.clp as u64)) * p.pbs_level as u64;
         let per_lwe = per_poly * (p.glwe_dimension + 1) as u64 / cfg.colp as u64;
-        assert_eq!(
-            decomposer_model(&p, &cfg).occupancy_cycles,
-            per_lwe
-        );
+        assert_eq!(decomposer_model(&p, &cfg).occupancy_cycles, per_lwe);
     }
 }

@@ -102,10 +102,7 @@ mod tests {
         // The 1:1 FFT/IFFT balance of §IV-B holds when PLP = CoLP.
         let p = TfheParameters::set_ii();
         let cfg = StrixConfig::paper_default();
-        assert_eq!(
-            fft_model(&p, &cfg).occupancy_cycles,
-            ifft_model(&p, &cfg).occupancy_cycles
-        );
+        assert_eq!(fft_model(&p, &cfg).occupancy_cycles, ifft_model(&p, &cfg).occupancy_cycles);
     }
 
     #[test]
@@ -123,8 +120,7 @@ mod tests {
         let folded = fft_model(&p, &StrixConfig::paper_default());
         let plain = fft_model(&p, &StrixConfig::paper_non_folded());
         assert!(plain.pipeline_latency_cycles > folded.pipeline_latency_cycles);
-        let ratio = plain.pipeline_latency_cycles as f64
-            / folded.pipeline_latency_cycles as f64;
+        let ratio = plain.pipeline_latency_cycles as f64 / folded.pipeline_latency_cycles as f64;
         assert!((1.8..2.1).contains(&ratio), "ratio {ratio}");
     }
 

@@ -31,7 +31,7 @@ use crate::config::StrixConfig;
 
 pub use accumulator::accumulator_model;
 pub use decomposer::decomposer_model;
-pub use fft_unit::{fft_model, ifft_model, fourier_signal_size};
+pub use fft_unit::{fft_model, fourier_signal_size, ifft_model};
 pub use rotator::rotator_model;
 pub use vma::vma_model;
 
@@ -185,11 +185,8 @@ mod tests {
 
     #[test]
     fn utilization_handles_zero_ii() {
-        let u = UnitModel {
-            kind: UnitKind::Rotator,
-            occupancy_cycles: 10,
-            pipeline_latency_cycles: 1,
-        };
+        let u =
+            UnitModel { kind: UnitKind::Rotator, occupancy_cycles: 10, pipeline_latency_cycles: 1 };
         assert_eq!(u.utilization(0), 0.0);
     }
 }

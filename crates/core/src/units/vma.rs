@@ -24,7 +24,8 @@ pub fn vma_model(params: &TfheParameters, config: &StrixConfig) -> UnitModel {
         kind: UnitKind::Vma,
         occupancy_cycles: div_ceil_u64(cmuls, capacity),
         // Complex multiplier + adder-tree depth over PLP rows.
-        pipeline_latency_cycles: 3 + (config.plp as u64).next_power_of_two().trailing_zeros() as u64,
+        pipeline_latency_cycles: 3
+            + (config.plp as u64).next_power_of_two().trailing_zeros() as u64,
     }
 }
 

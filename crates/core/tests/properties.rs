@@ -9,11 +9,11 @@ use strix_tfhe::TfheParameters;
 
 fn config_strategy() -> impl Strategy<Value = StrixConfig> {
     (
-        1usize..=16,                      // tvlp
-        prop::sample::select(vec![1usize, 2, 4, 8, 16, 32]), // clp
-        1usize..=4,                       // plp
-        1usize..=4,                       // colp
-        any::<bool>(),                    // folding
+        1usize..=16,                                          // tvlp
+        prop::sample::select(vec![1usize, 2, 4, 8, 16, 32]),  // clp
+        1usize..=4,                                           // plp
+        1usize..=4,                                           // colp
+        any::<bool>(),                                        // folding
         prop::sample::select(vec![128usize, 320, 640, 1280]), // local KiB
     )
         .prop_map(|(tvlp, clp, plp, colp, folding, local_kib)| StrixConfig {

@@ -25,10 +25,9 @@ pub enum FftError {
 impl fmt::Display for FftError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
-            FftError::InvalidSize { requested, min } => write!(
-                f,
-                "transform size {requested} is not a power of two >= {min}"
-            ),
+            FftError::InvalidSize { requested, min } => {
+                write!(f, "transform size {requested} is not a power of two >= {min}")
+            }
             FftError::LengthMismatch { expected, actual } => {
                 write!(f, "buffer length {actual} does not match plan size {expected}")
             }

@@ -61,10 +61,7 @@ impl NegacyclicFft {
     /// two, at least [`Self::MIN_POLY_SIZE`].
     pub fn new(poly_size: usize) -> Result<Self, FftError> {
         if !is_pow2_at_least(poly_size, Self::MIN_POLY_SIZE) {
-            return Err(FftError::InvalidSize {
-                requested: poly_size,
-                min: Self::MIN_POLY_SIZE,
-            });
+            return Err(FftError::InvalidSize { requested: poly_size, min: Self::MIN_POLY_SIZE });
         }
         let half = poly_size / 2;
         let plan = FftPlan::new(half)?;
@@ -191,10 +188,7 @@ impl NegacyclicFft {
 
     fn check_freq_len(&self, len: usize) -> Result<(), FftError> {
         if len != self.fourier_size() {
-            return Err(FftError::LengthMismatch {
-                expected: self.fourier_size(),
-                actual: len,
-            });
+            return Err(FftError::LengthMismatch { expected: self.fourier_size(), actual: len });
         }
         Ok(())
     }

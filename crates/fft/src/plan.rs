@@ -179,8 +179,7 @@ mod tests {
             .map(|k| {
                 (0..n)
                     .map(|j| {
-                        let theta =
-                            sign * 2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64;
+                        let theta = sign * 2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64;
                         input[j] * Complex64::cis(theta)
                     })
                     .sum()
@@ -191,23 +190,14 @@ mod tests {
     fn assert_close(a: &[Complex64], b: &[Complex64], tol: f64) {
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(b) {
-            assert!(
-                (*x - *y).abs() < tol,
-                "mismatch: {x} vs {y} (tol {tol})"
-            );
+            assert!((*x - *y).abs() < tol, "mismatch: {x} vs {y} (tol {tol})");
         }
     }
 
     #[test]
     fn rejects_non_power_of_two() {
-        assert_eq!(
-            FftPlan::new(3).unwrap_err(),
-            FftError::InvalidSize { requested: 3, min: 1 }
-        );
-        assert_eq!(
-            FftPlan::new(0).unwrap_err(),
-            FftError::InvalidSize { requested: 0, min: 1 }
-        );
+        assert_eq!(FftPlan::new(3).unwrap_err(), FftError::InvalidSize { requested: 3, min: 1 });
+        assert_eq!(FftPlan::new(0).unwrap_err(), FftError::InvalidSize { requested: 0, min: 1 });
     }
 
     #[test]
@@ -246,9 +236,8 @@ mod tests {
     #[test]
     fn inverse_matches_naive_inverse_dft() {
         let n = 32;
-        let input: Vec<Complex64> = (0..n)
-            .map(|i| Complex64::new(i as f64, -(i as f64) * 0.3))
-            .collect();
+        let input: Vec<Complex64> =
+            (0..n).map(|i| Complex64::new(i as f64, -(i as f64) * 0.3)).collect();
         let mut expected = naive_dft(&input, true);
         for z in expected.iter_mut() {
             *z = z.scale(1.0 / n as f64);
@@ -262,9 +251,8 @@ mod tests {
     #[test]
     fn round_trip_recovers_input() {
         let n = 256;
-        let input: Vec<Complex64> = (0..n)
-            .map(|i| Complex64::new((i * 37 % 101) as f64, (i * 53 % 97) as f64))
-            .collect();
+        let input: Vec<Complex64> =
+            (0..n).map(|i| Complex64::new((i * 37 % 101) as f64, (i * 53 % 97) as f64)).collect();
         let plan = FftPlan::new(n).unwrap();
         let mut data = input.clone();
         plan.forward(&mut data).unwrap();
@@ -289,18 +277,15 @@ mod tests {
     #[test]
     fn linearity_holds() {
         let n = 16;
-        let a: Vec<Complex64> =
-            (0..n).map(|i| Complex64::new(i as f64, 1.0)).collect();
-        let b: Vec<Complex64> =
-            (0..n).map(|i| Complex64::new(1.0, -(i as f64))).collect();
+        let a: Vec<Complex64> = (0..n).map(|i| Complex64::new(i as f64, 1.0)).collect();
+        let b: Vec<Complex64> = (0..n).map(|i| Complex64::new(1.0, -(i as f64))).collect();
         let plan = FftPlan::new(n).unwrap();
 
         let mut fa = a.clone();
         plan.forward(&mut fa).unwrap();
         let mut fb = b.clone();
         plan.forward(&mut fb).unwrap();
-        let mut fab: Vec<Complex64> =
-            a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        let mut fab: Vec<Complex64> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
         plan.forward(&mut fab).unwrap();
 
         let sum: Vec<Complex64> = fa.iter().zip(&fb).map(|(x, y)| *x + *y).collect();

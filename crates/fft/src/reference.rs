@@ -145,7 +145,7 @@ mod tests {
     fn torus_multiplication_wraps_mod_2_64() {
         let digits = [3i64, 0];
         let torus = [u64::MAX, 0]; // -1 on the torus
-        // 3 * (-1) = -3 mod 2^64
+                                   // 3 * (-1) = -3 mod 2^64
         assert_eq!(negacyclic_mul_torus(&digits, &torus), [3u64.wrapping_neg(), 0]);
     }
 
@@ -171,12 +171,7 @@ mod tests {
         let p = [1u64, 2, 3, 4];
         assert_eq!(
             rotate_left(&p, 4),
-            [
-                1u64.wrapping_neg(),
-                2u64.wrapping_neg(),
-                3u64.wrapping_neg(),
-                4u64.wrapping_neg()
-            ]
+            [1u64.wrapping_neg(), 2u64.wrapping_neg(), 3u64.wrapping_neg(), 4u64.wrapping_neg()]
         );
     }
 
@@ -198,10 +193,8 @@ mod tests {
         for amount in 0..8 {
             let mut monomial = vec![0i64; 8];
             monomial[amount] = 1;
-            let expected: Vec<u64> = negacyclic_mul(&p_i64, &monomial)
-                .into_iter()
-                .map(|x| x as u64)
-                .collect();
+            let expected: Vec<u64> =
+                negacyclic_mul(&p_i64, &monomial).into_iter().map(|x| x as u64).collect();
             assert_eq!(rotate_right(&p, amount), expected, "amount {amount}");
         }
     }

@@ -1,0 +1,165 @@
+//! The two-level batcher: turns the live ingress stream into epochs.
+//!
+//! One batcher thread owns the open batch. It pulls requests in
+//! arrival order (which preserves each client's submission order) and
+//! flushes an [`Epoch`] to the worker queue when either side of the
+//! [`FlushPolicy`] trips:
+//!
+//! * **batch-full** — `TvLP × core_batch` requests are waiting, the
+//!   fragmentation-free case the paper optimises for, or
+//! * **deadline** — the oldest open request has waited `max_delay`,
+//!   bounding tail latency under light load.
+//!
+//! On ingress close the batcher flushes the remainder (possibly
+//! undersized — losing requests is worse than fragmenting one final
+//! epoch) and closes the epoch queue, which lets the workers drain and
+//! exit.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::metrics::MetricsSink;
+use crate::policy::FlushPolicy;
+use crate::queue::{BoundedQueue, PopError};
+use crate::request::{Epoch, Request};
+
+pub(crate) fn run(
+    ingress: Arc<BoundedQueue<Request>>,
+    epochs: Arc<BoundedQueue<Epoch>>,
+    policy: FlushPolicy,
+    metrics: Arc<MetricsSink>,
+) {
+    let mut open: Vec<Request> = Vec::with_capacity(policy.max_epoch);
+    let mut open_since = Instant::now();
+    let mut next_epoch = 0u64;
+
+    let flush = |open: &mut Vec<Request>, next_epoch: &mut u64| {
+        if open.is_empty() {
+            return;
+        }
+        metrics.record_epoch(open.len(), policy.max_epoch);
+        let epoch = Epoch { id: *next_epoch, requests: std::mem::take(open) };
+        *next_epoch += 1;
+        // The epoch queue only closes after this thread exits, so a
+        // failed push can't lose requests; still, be explicit.
+        if epochs.push(epoch).is_err() {
+            unreachable!("epoch queue closed while batcher alive");
+        }
+    };
+
+    loop {
+        let popped = if open.is_empty() {
+            // Nothing pending: wait indefinitely for work.
+            ingress.pop()
+        } else {
+            // A batch is open: wait only until its deadline.
+            let deadline = open_since + policy.max_delay;
+            let now = Instant::now();
+            if now >= deadline {
+                flush(&mut open, &mut next_epoch);
+                continue;
+            }
+            ingress.pop_timeout(deadline - now)
+        };
+
+        match popped {
+            Ok(request) => {
+                if open.is_empty() {
+                    open_since = Instant::now();
+                }
+                open.push(request);
+                if policy.is_full(open.len()) {
+                    flush(&mut open, &mut next_epoch);
+                }
+            }
+            Err(PopError::TimedOut) => {
+                flush(&mut open, &mut next_epoch);
+            }
+            Err(PopError::Closed) => {
+                flush(&mut open, &mut next_epoch);
+                break;
+            }
+        }
+    }
+    epochs.close();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use strix_tfhe::lwe::LweCiphertext;
+
+    use crate::request::{ClientId, RequestOp};
+
+    fn request(seq: u64) -> Request {
+        Request {
+            client: ClientId(0),
+            seq,
+            ct: LweCiphertext::trivial(4, 0),
+            op: RequestOp::Keyswitch,
+            submitted_at: Instant::now(),
+        }
+    }
+
+    fn harness(
+        policy: FlushPolicy,
+    ) -> (Arc<BoundedQueue<Request>>, Arc<BoundedQueue<Epoch>>, std::thread::JoinHandle<()>) {
+        let ingress = Arc::new(BoundedQueue::new(1024));
+        let epochs = Arc::new(BoundedQueue::new(1024));
+        let metrics = Arc::new(MetricsSink::default());
+        let handle = {
+            let (i, e) = (Arc::clone(&ingress), Arc::clone(&epochs));
+            std::thread::spawn(move || run(i, e, policy, metrics))
+        };
+        (ingress, epochs, handle)
+    }
+
+    #[test]
+    fn flushes_on_batch_full() {
+        let policy = FlushPolicy { max_epoch: 4, max_delay: Duration::from_secs(10) };
+        let (ingress, epochs, handle) = harness(policy);
+        for seq in 0..8 {
+            ingress.push(request(seq)).unwrap();
+        }
+        let first = epochs.pop().unwrap();
+        let second = epochs.pop().unwrap();
+        assert_eq!(first.id, 0);
+        assert_eq!(first.requests.len(), 4);
+        assert_eq!(second.requests.len(), 4);
+        // Arrival order is preserved across the flush boundary.
+        let seqs: Vec<u64> = first.requests.iter().chain(&second.requests).map(|r| r.seq).collect();
+        assert_eq!(seqs, (0..8).collect::<Vec<_>>());
+        ingress.close();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn flushes_on_deadline_when_undersized() {
+        let policy = FlushPolicy { max_epoch: 64, max_delay: Duration::from_millis(20) };
+        let (ingress, epochs, handle) = harness(policy);
+        ingress.push(request(0)).unwrap();
+        let t0 = Instant::now();
+        let epoch = epochs.pop().unwrap();
+        assert!(t0.elapsed() < Duration::from_secs(2), "deadline flush too slow");
+        assert_eq!(epoch.requests.len(), 1);
+        ingress.close();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn close_flushes_remainder_and_closes_epochs() {
+        let policy = FlushPolicy { max_epoch: 64, max_delay: Duration::from_secs(10) };
+        let (ingress, epochs, handle) = harness(policy);
+        for seq in 0..5 {
+            ingress.push(request(seq)).unwrap();
+        }
+        ingress.close();
+        handle.join().unwrap();
+        let epoch = epochs.pop().unwrap();
+        assert_eq!(epoch.requests.len(), 5);
+        assert!(matches!(epochs.pop(), Err(PopError::Closed)));
+    }
+}

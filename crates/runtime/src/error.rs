@@ -1,0 +1,41 @@
+//! Runtime error type.
+
+use strix_tfhe::TfheError;
+
+/// Errors surfaced by the streaming runtime.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The runtime has shut down and no further requests are accepted
+    /// (or no further responses will arrive).
+    Shutdown,
+    /// The underlying homomorphic operation failed.
+    Tfhe(TfheError),
+    /// A response was expected but the worker pool dropped the request
+    /// (should not happen under the drain-on-shutdown contract).
+    Lost,
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::Shutdown => write!(f, "runtime has shut down"),
+            RuntimeError::Tfhe(e) => write!(f, "homomorphic operation failed: {e}"),
+            RuntimeError::Lost => write!(f, "request was lost by the worker pool"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Tfhe(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TfheError> for RuntimeError {
+    fn from(e: TfheError) -> Self {
+        RuntimeError::Tfhe(e)
+    }
+}

@@ -1,0 +1,169 @@
+//! Batch execution back-ends.
+//!
+//! The scheduler is execution-agnostic: workers hand each flushed
+//! epoch to a [`BatchExecutor`]. The production back-end is
+//! [`TfheExecutor`], which drives `strix-tfhe`'s key-major batched
+//! bootstrap so one pass over the bootstrapping key serves the whole
+//! epoch — the software realisation of core-level batching. Tests use
+//! lightweight synthetic executors to exercise scheduling behaviour in
+//! isolation.
+
+use std::sync::Arc;
+
+use strix_tfhe::bootstrap::PbsJob;
+use strix_tfhe::lwe::LweCiphertext;
+use strix_tfhe::{ServerKey, TfheError};
+
+use crate::request::{Request, RequestOp};
+
+/// Executes one epoch of requests.
+pub trait BatchExecutor: Send + Sync + 'static {
+    /// Runs every request, returning one result per request **in the
+    /// same order**.
+    fn execute(&self, batch: &[Request]) -> Vec<Result<LweCiphertext, TfheError>>;
+}
+
+/// The TFHE back-end: batched PBS with amortised bootstrapping-key
+/// access, plus keyswitching where the operation asks for it.
+pub struct TfheExecutor {
+    server: Arc<ServerKey>,
+}
+
+impl TfheExecutor {
+    /// Wraps a server key.
+    pub fn new(server: Arc<ServerKey>) -> Self {
+        Self { server }
+    }
+}
+
+impl BatchExecutor for TfheExecutor {
+    fn execute(&self, batch: &[Request]) -> Vec<Result<LweCiphertext, TfheError>> {
+        // Collect every PBS-bearing request into one key-major batch;
+        // keyswitch-only requests run directly. Shape validation
+        // happens here, per job, so one malformed request fails alone
+        // instead of poisoning (or serialising) the shared batch call.
+        let bsk = self.server.bootstrap_key();
+        let mut results: Vec<Option<Result<LweCiphertext, TfheError>>> =
+            batch.iter().map(|_| None).collect();
+        let mut pbs_indices = Vec::new();
+        let mut jobs: Vec<PbsJob<'_>> = Vec::new();
+        for (i, req) in batch.iter().enumerate() {
+            match &req.op {
+                RequestOp::Lut(lut) | RequestOp::Bootstrap(lut) => {
+                    match bsk.check_shape(&req.ct, lut) {
+                        Ok(()) => {
+                            pbs_indices.push(i);
+                            jobs.push(PbsJob { ct: &req.ct, lut });
+                        }
+                        Err(e) => results[i] = Some(Err(e)),
+                    }
+                }
+                RequestOp::Keyswitch => {
+                    results[i] = Some(self.server.keyswitch_key().keyswitch(&req.ct));
+                }
+            }
+        }
+
+        // With shapes pre-validated the batch call cannot mismatch;
+        // still, an unexpected error fails its jobs rather than
+        // panicking the worker thread.
+        match bsk.bootstrap_batch(&jobs) {
+            Ok(booted) => {
+                for (&i, out) in pbs_indices.iter().zip(booted) {
+                    results[i] = Some(match &batch[i].op {
+                        RequestOp::Lut(_) => self.server.keyswitch_key().keyswitch(&out),
+                        _ => Ok(out),
+                    });
+                }
+            }
+            Err(e) => {
+                for &i in &pbs_indices {
+                    results[i] = Some(Err(e.clone()));
+                }
+            }
+        }
+
+        results.into_iter().map(|r| r.expect("every request receives a result")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+    use strix_tfhe::bootstrap::Lut;
+    use strix_tfhe::prelude::*;
+
+    use crate::request::ClientId;
+
+    fn request(client: u64, seq: u64, ct: LweCiphertext, op: RequestOp) -> Request {
+        Request { client: ClientId(client), seq, ct, op, submitted_at: Instant::now() }
+    }
+
+    #[test]
+    fn mixed_epoch_executes_all_op_kinds() {
+        let params = TfheParameters::testing_fast();
+        let (mut client, server) = generate_keys(&params, 42);
+        let server = Arc::new(server);
+        let exec = TfheExecutor::new(Arc::clone(&server));
+        let p = 2u32;
+        let lut = Arc::new(Lut::from_function(params.polynomial_size, p, |m| (m + 1) % 4).unwrap());
+
+        let ct0 = client.encrypt_shortint(1, p).unwrap().as_lwe().clone();
+        let ct1 = client.encrypt_shortint(2, p).unwrap().as_lwe().clone();
+        // A keyswitch-only request needs an extracted-dimension input.
+        let big = server
+            .bootstrap_key()
+            .bootstrap(
+                client.encrypt_shortint(3, p).unwrap().as_lwe(),
+                &Lut::from_function(params.polynomial_size, p, |m| m).unwrap(),
+            )
+            .unwrap();
+
+        let batch = vec![
+            request(0, 0, ct0, RequestOp::Lut(Arc::clone(&lut))),
+            request(1, 0, big, RequestOp::Keyswitch),
+            request(0, 1, ct1, RequestOp::Bootstrap(Arc::clone(&lut))),
+        ];
+        let results = exec.execute(&batch);
+        assert_eq!(results.len(), 3);
+
+        let decode = |ct: &LweCiphertext, bits: u32| {
+            let phase = client.decrypt_phase(ct).unwrap();
+            strix_tfhe::torus::decode_message(phase, bits + 1)
+        };
+        // Lut(+1) on 1 -> 2, keyswitched to dimension n.
+        let out0 = results[0].as_ref().unwrap();
+        assert_eq!(out0.dimension(), params.lwe_dimension);
+        assert_eq!(decode(out0, p), 2);
+        // Keyswitch of identity(3) -> 3.
+        let out1 = results[1].as_ref().unwrap();
+        assert_eq!(out1.dimension(), params.lwe_dimension);
+        assert_eq!(decode(out1, p), 3);
+        // Raw bootstrap stays at the extracted dimension; (2+1)=3.
+        let out2 = results[2].as_ref().unwrap();
+        assert_eq!(out2.dimension(), params.extracted_lwe_dimension());
+        assert_eq!(decode(out2, p), 3);
+    }
+
+    #[test]
+    fn malformed_request_fails_alone_not_the_epoch() {
+        let params = TfheParameters::testing_fast();
+        let (mut client, server) = generate_keys(&params, 43);
+        let exec = TfheExecutor::new(Arc::new(server));
+        let p = 2u32;
+        let lut = Arc::new(Lut::from_function(params.polynomial_size, p, |m| m).unwrap());
+
+        let good = client.encrypt_shortint(2, p).unwrap().as_lwe().clone();
+        let bad = LweCiphertext::trivial(7, 0); // wrong dimension
+        let batch = vec![
+            request(0, 0, good, RequestOp::Lut(Arc::clone(&lut))),
+            request(1, 0, bad, RequestOp::Lut(lut)),
+        ];
+        let results = exec.execute(&batch);
+        assert!(results[0].is_ok(), "healthy request must survive");
+        assert!(results[1].is_err(), "malformed request must fail");
+        let phase = client.decrypt_phase(results[0].as_ref().unwrap()).unwrap();
+        assert_eq!(strix_tfhe::torus::decode_message(phase, p + 1), 2);
+    }
+}

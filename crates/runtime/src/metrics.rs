@@ -1,0 +1,293 @@
+//! Runtime metrics: per-request latency percentiles, achieved PBS/s,
+//! and the batch-occupancy histogram — the software counterpart of the
+//! simulator's [`strix_core::PbsReport`].
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+
+/// Number of buckets in the occupancy histogram (bucket `i` covers
+/// `(i/10, (i+1)/10]` of the epoch capacity, with 0 occupancy in
+/// bucket 0).
+pub const OCCUPANCY_BUCKETS: usize = 10;
+
+/// Reservoir size for latency percentiles. The sink is designed for an
+/// indefinitely running server, so per-request state must stay
+/// bounded: up to this many samples the percentiles are exact, beyond
+/// it they come from a uniform reservoir (algorithm R).
+pub const LATENCY_RESERVOIR: usize = 1 << 16;
+
+#[derive(Debug, Default)]
+struct MetricsInner {
+    /// Uniform reservoir of latency samples (bounded).
+    latencies_us: Vec<u64>,
+    /// Total latency samples offered to the reservoir.
+    latency_seen: u64,
+    max_latency_us: u64,
+    /// xorshift state for reservoir replacement.
+    rng_state: u64,
+    epochs: usize,
+    occupancy_sum: f64,
+    occupancy_histogram: [usize; OCCUPANCY_BUCKETS],
+    pbs_completed: usize,
+    completed: usize,
+    failed: usize,
+    first_submit: Option<Instant>,
+    last_complete: Option<Instant>,
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Shared sink the batcher and workers record into.
+#[derive(Debug, Default)]
+pub struct MetricsSink {
+    inner: Mutex<MetricsInner>,
+}
+
+impl MetricsSink {
+    /// Records one flushed epoch of `len` requests against `capacity`.
+    pub fn record_epoch(&self, len: usize, capacity: usize) {
+        let occ = len.min(capacity) as f64 / capacity.max(1) as f64;
+        let mut inner = self.inner.lock().expect("metrics lock");
+        inner.epochs += 1;
+        inner.occupancy_sum += occ;
+        let bucket =
+            ((occ * OCCUPANCY_BUCKETS as f64).ceil() as usize).clamp(1, OCCUPANCY_BUCKETS) - 1;
+        inner.occupancy_histogram[bucket] += 1;
+    }
+
+    /// Records one completed request.
+    pub fn record_request(&self, submitted_at: Instant, latency: Duration, is_pbs: bool, ok: bool) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        inner.latency_seen += 1;
+        inner.max_latency_us = inner.max_latency_us.max(us);
+        if inner.latencies_us.len() < LATENCY_RESERVOIR {
+            inner.latencies_us.push(us);
+        } else {
+            // Algorithm R: keep each of the `latency_seen` samples in
+            // the reservoir with equal probability.
+            let seen = inner.latency_seen;
+            let j = splitmix64(&mut inner.rng_state) % seen;
+            if (j as usize) < LATENCY_RESERVOIR {
+                inner.latencies_us[j as usize] = us;
+            }
+        }
+        if ok {
+            inner.completed += 1;
+            if is_pbs {
+                inner.pbs_completed += 1;
+            }
+        } else {
+            inner.failed += 1;
+        }
+        let first = inner.first_submit.get_or_insert(submitted_at);
+        if submitted_at < *first {
+            *first = submitted_at;
+        }
+        let now = Instant::now();
+        match &mut inner.last_complete {
+            Some(last) if *last >= now => {}
+            slot => *slot = Some(now),
+        }
+    }
+
+    /// Produces a snapshot report. `epoch_capacity` is the configured
+    /// `TvLP × core_batch` the occupancy is measured against.
+    ///
+    /// Percentiles are exact up to [`LATENCY_RESERVOIR`] samples and
+    /// reservoir estimates beyond; `max_latency_us` is always exact.
+    pub fn report(&self, epoch_capacity: usize) -> RuntimeReport {
+        // Snapshot under the lock, sort outside it: record_request on
+        // the workers never waits behind a percentile computation.
+        let (mut sorted, snapshot) = {
+            let inner = self.inner.lock().expect("metrics lock");
+            let elapsed_s = match (inner.first_submit, inner.last_complete) {
+                (Some(first), Some(last)) if last > first => (last - first).as_secs_f64(),
+                _ => 0.0,
+            };
+            let mean_occ =
+                if inner.epochs == 0 { 0.0 } else { inner.occupancy_sum / inner.epochs as f64 };
+            (
+                inner.latencies_us.clone(),
+                RuntimeReport {
+                    requests_completed: inner.completed,
+                    requests_failed: inner.failed,
+                    epochs: inner.epochs,
+                    epoch_capacity,
+                    p50_latency_us: 0,
+                    p90_latency_us: 0,
+                    p99_latency_us: 0,
+                    max_latency_us: inner.max_latency_us,
+                    achieved_pbs_per_s: if elapsed_s > 0.0 {
+                        inner.pbs_completed as f64 / elapsed_s
+                    } else {
+                        0.0
+                    },
+                    mean_batch_occupancy: mean_occ,
+                    occupancy_histogram: inner.occupancy_histogram.to_vec(),
+                    elapsed_s,
+                },
+            )
+        };
+        sorted.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            if sorted.is_empty() {
+                return 0;
+            }
+            let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
+            sorted[idx - 1]
+        };
+        RuntimeReport {
+            p50_latency_us: pct(0.50),
+            p90_latency_us: pct(0.90),
+            p99_latency_us: pct(0.99),
+            ..snapshot
+        }
+    }
+}
+
+/// A snapshot of the runtime's achieved performance, shaped to sit next
+/// to the simulator's `PbsReport` in the bench tables.
+#[derive(Clone, Debug, Serialize)]
+pub struct RuntimeReport {
+    /// Successfully completed requests.
+    pub requests_completed: usize,
+    /// Failed requests (shape mismatches etc.).
+    pub requests_failed: usize,
+    /// Number of flushed epochs.
+    pub epochs: usize,
+    /// Configured epoch capacity `TvLP × core_batch`.
+    pub epoch_capacity: usize,
+    /// Median end-to-end latency in microseconds.
+    pub p50_latency_us: u64,
+    /// 90th-percentile latency in microseconds.
+    pub p90_latency_us: u64,
+    /// 99th-percentile latency in microseconds.
+    pub p99_latency_us: u64,
+    /// Worst observed latency in microseconds.
+    pub max_latency_us: u64,
+    /// Achieved programmable bootstraps per second (wall clock, first
+    /// submit to last completion).
+    pub achieved_pbs_per_s: f64,
+    /// Mean epoch occupancy in `[0, 1]`.
+    pub mean_batch_occupancy: f64,
+    /// Epoch count per occupancy decile (`(i/10, (i+1)/10]`).
+    pub occupancy_histogram: Vec<usize>,
+    /// Wall-clock measurement window in seconds.
+    pub elapsed_s: f64,
+}
+
+impl RuntimeReport {
+    /// A compact human-readable summary block.
+    pub fn summary(&self) -> String {
+        format!(
+            "requests: {} ok / {} failed in {:.3} s\n\
+             epochs:   {} flushed, capacity {}, mean occupancy {:.1}%\n\
+             latency:  p50 {:.3} ms | p90 {:.3} ms | p99 {:.3} ms | max {:.3} ms\n\
+             rate:     {:.1} PBS/s achieved",
+            self.requests_completed,
+            self.requests_failed,
+            self.elapsed_s,
+            self.epochs,
+            self.epoch_capacity,
+            self.mean_batch_occupancy * 100.0,
+            self.p50_latency_us as f64 / 1e3,
+            self.p90_latency_us as f64 / 1e3,
+            self.p99_latency_us as f64 / 1e3,
+            self.max_latency_us as f64 / 1e3,
+            self.achieved_pbs_per_s,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sink_reports_zeroes() {
+        let sink = MetricsSink::default();
+        let r = sink.report(256);
+        assert_eq!(r.requests_completed, 0);
+        assert_eq!(r.p99_latency_us, 0);
+        assert_eq!(r.achieved_pbs_per_s, 0.0);
+        assert_eq!(r.occupancy_histogram.len(), OCCUPANCY_BUCKETS);
+    }
+
+    #[test]
+    fn percentiles_from_known_distribution() {
+        let sink = MetricsSink::default();
+        let t0 = Instant::now();
+        for us in 1..=100u64 {
+            sink.record_request(t0, Duration::from_micros(us), true, true);
+        }
+        let r = sink.report(4);
+        assert_eq!(r.p50_latency_us, 50);
+        assert_eq!(r.p90_latency_us, 90);
+        assert_eq!(r.p99_latency_us, 99);
+        assert_eq!(r.max_latency_us, 100);
+        assert_eq!(r.requests_completed, 100);
+    }
+
+    #[test]
+    fn occupancy_histogram_buckets() {
+        let sink = MetricsSink::default();
+        sink.record_epoch(4, 4); // 1.00 -> bucket 9
+        sink.record_epoch(2, 4); // 0.50 -> bucket 4
+        sink.record_epoch(1, 4); // 0.25 -> bucket 2
+        let r = sink.report(4);
+        assert_eq!(r.epochs, 3);
+        assert_eq!(r.occupancy_histogram[9], 1);
+        assert_eq!(r.occupancy_histogram[4], 1);
+        assert_eq!(r.occupancy_histogram[2], 1);
+        assert!((r.mean_batch_occupancy - (1.0 + 0.5 + 0.25) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_storage_is_bounded_but_stats_stay_sane() {
+        let sink = MetricsSink::default();
+        let t0 = Instant::now();
+        let total = LATENCY_RESERVOIR + 4096;
+        for i in 0..total {
+            sink.record_request(t0, Duration::from_micros(i as u64), true, true);
+        }
+        let r = sink.report(1);
+        assert_eq!(r.requests_completed, total);
+        // Max is exact even when its sample was evicted.
+        assert_eq!(r.max_latency_us, (total - 1) as u64);
+        // The reservoir keeps the median near the true middle of the
+        // uniform 0..total ramp.
+        let expected = total as f64 / 2.0;
+        let rel = (r.p50_latency_us as f64 - expected).abs() / expected;
+        assert!(rel < 0.1, "reservoir p50 {} vs {expected}", r.p50_latency_us);
+    }
+
+    #[test]
+    fn failed_requests_counted_separately() {
+        let sink = MetricsSink::default();
+        let t0 = Instant::now();
+        sink.record_request(t0, Duration::from_micros(5), true, true);
+        sink.record_request(t0, Duration::from_micros(5), true, false);
+        let r = sink.report(1);
+        assert_eq!(r.requests_completed, 1);
+        assert_eq!(r.requests_failed, 1);
+    }
+
+    #[test]
+    fn summary_mentions_key_figures() {
+        let sink = MetricsSink::default();
+        sink.record_epoch(3, 4);
+        let s = sink.report(4).summary();
+        assert!(s.contains("capacity 4"));
+        assert!(s.contains("75.0%"));
+    }
+}

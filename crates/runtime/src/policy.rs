@@ -1,0 +1,51 @@
+//! The deadline/size hybrid flush policy.
+//!
+//! The paper's Fig. 2 argument: undersized blind-rotation batches waste
+//! the bootstrapping-key stream (fragmentation), so the scheduler
+//! should wait for a full `TvLP × core_batch` epoch — but a live
+//! service cannot wait forever, so a deadline bounds the queueing
+//! delay of the *first* request in an open batch. Flush whichever
+//! trips first: batch-full (throughput-optimal) or deadline
+//! (latency-bounded).
+
+use std::time::Duration;
+
+use strix_core::BatchGeometry;
+
+/// When the batcher flushes an open epoch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlushPolicy {
+    /// Flush as soon as this many requests are batched — the epoch
+    /// size `TvLP × core_batch` of the mirrored accelerator config.
+    pub max_epoch: usize,
+    /// Flush when the oldest batched request has waited this long.
+    pub max_delay: Duration,
+}
+
+impl FlushPolicy {
+    /// Policy mirroring an accelerator batch geometry with the given
+    /// deadline.
+    pub fn from_geometry(geometry: BatchGeometry, max_delay: Duration) -> Self {
+        Self { max_epoch: geometry.epoch_size(), max_delay }
+    }
+
+    /// Whether an open batch of `len` requests must flush now.
+    #[inline]
+    pub fn is_full(&self, len: usize) -> bool {
+        len >= self.max_epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_sets_epoch() {
+        let p =
+            FlushPolicy::from_geometry(BatchGeometry::explicit(8, 32), Duration::from_millis(5));
+        assert_eq!(p.max_epoch, 256);
+        assert!(!p.is_full(255));
+        assert!(p.is_full(256));
+    }
+}

@@ -1,0 +1,208 @@
+//! A bounded blocking MPSC/MPMC queue built on `Mutex` + `Condvar`.
+//!
+//! The ingress side gives the runtime natural backpressure: when the
+//! batcher falls behind, client `submit` calls block instead of growing
+//! an unbounded buffer. Closing the queue is the shutdown signal — no
+//! new items are accepted, but **everything already enqueued is still
+//! drained** by consumers, which is what makes drain-on-shutdown
+//! lossless.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a push was rejected.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is closed; the item is handed back.
+    Closed(T),
+}
+
+/// Why a pop returned no item.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PopError {
+    /// The timeout expired with the queue still empty.
+    TimedOut,
+    /// The queue is closed and fully drained.
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded blocking queue; all handles share it through `Arc`.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner { items: VecDeque::new(), closed: false }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Blocking push: waits while the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PushError::Closed`] with the item if the queue closed.
+    pub fn push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if inner.closed {
+                return Err(PushError::Closed(item));
+            }
+            if inner.items.len() < self.capacity {
+                inner.items.push_back(item);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            inner = self.not_full.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Blocking pop: waits until an item arrives or the queue is closed
+    /// *and* drained.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PopError::Closed`] once the queue is closed and empty.
+    pub fn pop(&self) -> Result<T, PopError> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                self.not_full.notify_one();
+                return Ok(item);
+            }
+            if inner.closed {
+                return Err(PopError::Closed);
+            }
+            inner = self.not_empty.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Pop with a deadline: waits at most `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`PopError::TimedOut`] if the timeout expired while the queue
+    /// stayed empty; [`PopError::Closed`] once closed and drained.
+    pub fn pop_timeout(&self, timeout: Duration) -> Result<T, PopError> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                self.not_full.notify_one();
+                return Ok(item);
+            }
+            if inner.closed {
+                return Err(PopError::Closed);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(PopError::TimedOut);
+            }
+            let (guard, _result) =
+                self.not_empty.wait_timeout(inner, deadline - now).expect("queue lock");
+            inner = guard;
+        }
+    }
+
+    /// Closes the queue: pending pushes fail, pops drain the remainder.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().expect("queue lock");
+        inner.closed = true;
+        drop(inner);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Number of items currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock").items.len()
+    }
+
+    /// Whether the queue currently buffers nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(q.pop().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn close_drains_then_reports_closed() {
+        let q = BoundedQueue::new(8);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert_eq!(q.push(3), Err(PushError::Closed(3)));
+        assert_eq!(q.pop(), Ok(1));
+        assert_eq!(q.pop(), Ok(2));
+        assert_eq!(q.pop(), Err(PopError::Closed));
+    }
+
+    #[test]
+    fn pop_timeout_expires() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(1);
+        let t0 = Instant::now();
+        assert_eq!(q.pop_timeout(Duration::from_millis(30)), Err(PopError::TimedOut));
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn full_queue_blocks_until_pop() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(1u32).unwrap();
+        let q2 = Arc::clone(&q);
+        let pusher = std::thread::spawn(move || q2.push(2).unwrap());
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.pop().unwrap(), 1);
+        pusher.join().unwrap();
+        assert_eq!(q.pop().unwrap(), 2);
+    }
+
+    #[test]
+    fn cross_thread_handoff() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                for i in 0..100u32 {
+                    q.push(i).unwrap();
+                }
+                q.close();
+            })
+        };
+        let mut seen = Vec::new();
+        while let Ok(item) = q.pop() {
+            seen.push(item);
+        }
+        producer.join().unwrap();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+}

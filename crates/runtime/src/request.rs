@@ -1,0 +1,114 @@
+//! Tagged requests and responses flowing through the runtime.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use strix_tfhe::bootstrap::Lut;
+use strix_tfhe::lwe::LweCiphertext;
+
+use crate::error::RuntimeError;
+
+/// Identifies one client stream. Per-client request order is preserved
+/// end to end.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClientId(pub u64);
+
+impl std::fmt::Display for ClientId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "client-{}", self.0)
+    }
+}
+
+/// The homomorphic operation a request asks for.
+///
+/// LUTs are shared by `Arc`: many requests typically evaluate the same
+/// function, and a batch mixes operations freely — batching shares the
+/// *key* material, not the test vectors.
+#[derive(Clone, Debug)]
+pub enum RequestOp {
+    /// Programmable bootstrap with this LUT, then keyswitch back to the
+    /// small (`n`) key: the full PBS+KS flow of the paper's workloads.
+    Lut(Arc<Lut>),
+    /// Raw programmable bootstrap only; the output stays under the
+    /// extracted (`k·N`) key.
+    Bootstrap(Arc<Lut>),
+    /// Keyswitch only; the input must be under the extracted key.
+    Keyswitch,
+}
+
+impl RequestOp {
+    /// Whether this operation contains a programmable bootstrap (and
+    /// thus counts toward PBS/s throughput).
+    pub fn is_pbs(&self) -> bool {
+        matches!(self, RequestOp::Lut(_) | RequestOp::Bootstrap(_))
+    }
+}
+
+/// One in-flight request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Originating client.
+    pub client: ClientId,
+    /// Position in the client's stream (0-based, strictly increasing).
+    pub seq: u64,
+    /// Input ciphertext.
+    pub ct: LweCiphertext,
+    /// Operation to perform.
+    pub op: RequestOp,
+    /// Submission timestamp, for end-to-end latency accounting.
+    pub submitted_at: Instant,
+}
+
+/// The completed counterpart of a [`Request`].
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Originating client.
+    pub client: ClientId,
+    /// The request's position in the client's stream.
+    pub seq: u64,
+    /// The output ciphertext, or the failure.
+    pub result: Result<LweCiphertext, RuntimeError>,
+    /// Submit-to-completion latency.
+    pub latency: Duration,
+    /// The epoch this request was batched into.
+    pub epoch: u64,
+}
+
+impl Response {
+    /// Unwraps the ciphertext.
+    ///
+    /// # Errors
+    ///
+    /// Returns the carried [`RuntimeError`] for failed requests.
+    pub fn into_ciphertext(self) -> Result<LweCiphertext, RuntimeError> {
+        self.result
+    }
+}
+
+/// A flushed device-level batch: up to `TvLP × core_batch` requests
+/// executed as one unit against shared key material.
+#[derive(Clone, Debug)]
+pub struct Epoch {
+    /// Monotonic epoch number (flush order).
+    pub id: u64,
+    /// The batched requests, in arrival order.
+    pub requests: Vec<Request>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_classification() {
+        let lut = Arc::new(Lut::sign(64, 1));
+        assert!(RequestOp::Lut(Arc::clone(&lut)).is_pbs());
+        assert!(RequestOp::Bootstrap(lut).is_pbs());
+        assert!(!RequestOp::Keyswitch.is_pbs());
+    }
+
+    #[test]
+    fn client_id_display() {
+        assert_eq!(ClientId(3).to_string(), "client-3");
+    }
+}

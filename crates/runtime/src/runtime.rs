@@ -1,0 +1,311 @@
+//! The runtime orchestrator: ingress, batcher, worker pool, client
+//! handles and drain-on-shutdown.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, TryRecvError};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use strix_core::BatchGeometry;
+use strix_tfhe::lwe::LweCiphertext;
+
+use crate::batcher;
+use crate::error::RuntimeError;
+use crate::executor::BatchExecutor;
+use crate::metrics::{MetricsSink, RuntimeReport};
+use crate::policy::FlushPolicy;
+use crate::queue::BoundedQueue;
+use crate::request::{ClientId, Request, RequestOp, Response};
+use crate::worker::{self, ClientRegistry};
+
+/// Configuration of a [`Runtime`].
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeConfig {
+    /// The two-level batch shape (epoch = `tvlp × core_batch`).
+    pub geometry: BatchGeometry,
+    /// Deadline for the oldest request in an open batch.
+    pub max_delay: Duration,
+    /// Worker threads executing epochs.
+    pub workers: usize,
+    /// Ingress queue depth, in requests (backpressure bound).
+    pub ingress_depth: usize,
+}
+
+impl RuntimeConfig {
+    /// A config mirroring an accelerator batch geometry, with a 10 ms
+    /// deadline, two workers and an ingress of four epochs.
+    pub fn new(geometry: BatchGeometry) -> Self {
+        Self {
+            geometry,
+            max_delay: Duration::from_millis(10),
+            workers: 2,
+            ingress_depth: geometry.epoch_size() * 4,
+        }
+    }
+
+    /// Overrides the flush deadline.
+    pub fn with_max_delay(self, max_delay: Duration) -> Self {
+        Self { max_delay, ..self }
+    }
+
+    /// Overrides the worker count.
+    pub fn with_workers(self, workers: usize) -> Self {
+        Self { workers: workers.max(1), ..self }
+    }
+}
+
+/// The streaming runtime: accepts tagged requests from many concurrent
+/// clients, forms `TvLP × core_batch` epochs with a deadline/size
+/// hybrid policy, and executes them on a worker pool.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use strix_core::BatchGeometry;
+/// use strix_runtime::{Runtime, RuntimeConfig, RequestOp, TfheExecutor};
+/// use strix_tfhe::bootstrap::Lut;
+/// use strix_tfhe::prelude::*;
+///
+/// let params = TfheParameters::testing_fast();
+/// let (mut client_key, server_key) = generate_keys(&params, 7);
+/// let runtime = Runtime::start(
+///     RuntimeConfig::new(BatchGeometry::explicit(2, 4)),
+///     TfheExecutor::new(Arc::new(server_key)),
+/// );
+///
+/// let lut = Arc::new(Lut::from_function(params.polynomial_size, 2, |m| (m + 1) % 4).unwrap());
+/// let mut handle = runtime.client();
+/// let ct = client_key.encrypt_shortint(1, 2).unwrap().as_lwe().clone();
+/// handle.submit(ct, RequestOp::Lut(lut)).unwrap();
+/// let response = handle.recv().unwrap();
+/// let phase = client_key.decrypt_phase(&response.result.unwrap()).unwrap();
+/// assert_eq!(strix_tfhe::torus::decode_message(phase, 3), 2);
+/// let report = runtime.shutdown();
+/// assert_eq!(report.requests_completed, 1);
+/// ```
+pub struct Runtime {
+    ingress: Arc<BoundedQueue<Request>>,
+    registry: Arc<ClientRegistry>,
+    metrics: Arc<MetricsSink>,
+    epoch_capacity: usize,
+    next_client: AtomicU64,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Runtime {
+    /// Starts the batcher and worker threads.
+    pub fn start(config: RuntimeConfig, executor: impl BatchExecutor) -> Self {
+        Self::start_dyn(config, Arc::new(executor))
+    }
+
+    /// As [`Self::start`], for an already-shared executor.
+    pub fn start_dyn(config: RuntimeConfig, executor: Arc<dyn BatchExecutor>) -> Self {
+        let policy = FlushPolicy::from_geometry(config.geometry, config.max_delay);
+        let ingress = Arc::new(BoundedQueue::new(config.ingress_depth.max(1)));
+        // Enough in-flight epochs to keep every worker busy plus one
+        // being formed.
+        let epochs = Arc::new(BoundedQueue::new(config.workers.max(1) + 1));
+        let registry = Arc::new(ClientRegistry::default());
+        let metrics = Arc::new(MetricsSink::default());
+
+        let batcher = {
+            let (i, e, m) = (Arc::clone(&ingress), Arc::clone(&epochs), Arc::clone(&metrics));
+            std::thread::Builder::new()
+                .name("strix-batcher".into())
+                .spawn(move || batcher::run(i, e, policy, m))
+                .expect("spawn batcher")
+        };
+        let workers = (0..config.workers.max(1))
+            .map(|idx| {
+                let (e, x, r, m) = (
+                    Arc::clone(&epochs),
+                    Arc::clone(&executor),
+                    Arc::clone(&registry),
+                    Arc::clone(&metrics),
+                );
+                std::thread::Builder::new()
+                    .name(format!("strix-worker-{idx}"))
+                    .spawn(move || worker::run(e, x, r, m))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        Self {
+            ingress,
+            registry,
+            metrics,
+            epoch_capacity: policy.max_epoch,
+            next_client: AtomicU64::new(0),
+            batcher: Some(batcher),
+            workers,
+        }
+    }
+
+    /// Opens a new client stream. Handles are independent and may move
+    /// to their own threads.
+    pub fn client(&self) -> ClientHandle {
+        let id = ClientId(self.next_client.fetch_add(1, Ordering::Relaxed));
+        let (tx, rx) = mpsc::channel();
+        self.registry.register(id, tx);
+        ClientHandle {
+            id,
+            ingress: Arc::clone(&self.ingress),
+            registry: Arc::clone(&self.registry),
+            rx,
+            next_submit: 0,
+            next_recv: 0,
+            reorder: BTreeMap::new(),
+        }
+    }
+
+    /// A live snapshot of the metrics without shutting down.
+    pub fn report(&self) -> RuntimeReport {
+        self.metrics.report(self.epoch_capacity)
+    }
+
+    /// Drains and stops the runtime: the ingress closes (further
+    /// `submit`s fail), every already-accepted request still executes,
+    /// and all threads are joined. Returns the final report.
+    pub fn shutdown(mut self) -> RuntimeReport {
+        self.drain_and_join();
+        self.metrics.report(self.epoch_capacity)
+    }
+
+    fn drain_and_join(&mut self) {
+        self.ingress.close();
+        if let Some(handle) = self.batcher.take() {
+            let _ = handle.join();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        // Every response is now delivered; dropping the senders lets
+        // client handles see disconnection after draining their
+        // buffers instead of blocking forever.
+        self.registry.clear();
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        // A dropped runtime still drains: close and join.
+        self.drain_and_join();
+    }
+}
+
+/// One client's submit/receive endpoint.
+///
+/// `recv` returns responses **in submission order** regardless of how
+/// epochs interleave across workers: a small reorder buffer holds any
+/// response that completes ahead of its predecessors.
+pub struct ClientHandle {
+    id: ClientId,
+    ingress: Arc<BoundedQueue<Request>>,
+    registry: Arc<ClientRegistry>,
+    rx: Receiver<Response>,
+    next_submit: u64,
+    next_recv: u64,
+    reorder: BTreeMap<u64, Response>,
+}
+
+impl ClientHandle {
+    /// This stream's id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Submits a request, blocking if the ingress queue is full
+    /// (backpressure). Returns the request's sequence number.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Shutdown`] after the runtime shut down.
+    pub fn submit(&mut self, ct: LweCiphertext, op: RequestOp) -> Result<u64, RuntimeError> {
+        let seq = self.next_submit;
+        let request = Request { client: self.id, seq, ct, op, submitted_at: Instant::now() };
+        self.ingress.push(request).map_err(|_| RuntimeError::Shutdown)?;
+        self.next_submit += 1;
+        Ok(seq)
+    }
+
+    /// Receives the next response in submission order, blocking until
+    /// it is available.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Shutdown`] when the runtime stopped
+    /// before producing it.
+    pub fn recv(&mut self) -> Result<Response, RuntimeError> {
+        loop {
+            if let Some(response) = self.reorder.remove(&self.next_recv) {
+                self.next_recv += 1;
+                return Ok(response);
+            }
+            match self.rx.recv() {
+                Ok(response) => self.buffer(response),
+                Err(_) => return Err(RuntimeError::Shutdown),
+            }
+        }
+    }
+
+    /// As [`Self::recv`] with a time limit.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Lost`] on timeout, [`RuntimeError::Shutdown`]
+    /// when the runtime stopped.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Result<Response, RuntimeError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(response) = self.reorder.remove(&self.next_recv) {
+                self.next_recv += 1;
+                return Ok(response);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RuntimeError::Lost);
+            }
+            match self.rx.recv_timeout(deadline - now) {
+                Ok(response) => self.buffer(response),
+                Err(RecvTimeoutError::Timeout) => return Err(RuntimeError::Lost),
+                Err(RecvTimeoutError::Disconnected) => return Err(RuntimeError::Shutdown),
+            }
+        }
+    }
+
+    /// Non-blocking receive of the next in-order response, if ready.
+    pub fn try_recv(&mut self) -> Option<Response> {
+        loop {
+            if let Some(response) = self.reorder.remove(&self.next_recv) {
+                self.next_recv += 1;
+                return Some(response);
+            }
+            match self.rx.try_recv() {
+                Ok(response) => self.buffer(response),
+                Err(TryRecvError::Empty | TryRecvError::Disconnected) => return None,
+            }
+        }
+    }
+
+    /// Number of submitted requests not yet returned by `recv`.
+    /// Responses sitting in the reorder buffer still count as
+    /// outstanding — they have not reached the caller.
+    pub fn outstanding(&self) -> u64 {
+        self.next_submit - self.next_recv
+    }
+
+    fn buffer(&mut self, response: Response) {
+        debug_assert!(response.seq >= self.next_recv, "duplicate response");
+        self.reorder.insert(response.seq, response);
+    }
+}
+
+impl Drop for ClientHandle {
+    fn drop(&mut self) {
+        self.registry.deregister(self.id);
+    }
+}

@@ -1,0 +1,123 @@
+//! Open-loop traffic generation for demos, tests and benches.
+//!
+//! Open-loop means arrivals follow their own clock and do not wait for
+//! responses — the regime a deployed FHE service actually faces, and
+//! the one where batch occupancy and queueing latency trade off. Three
+//! processes cover the interesting shapes:
+//!
+//! * **Poisson** — memoryless arrivals at a mean rate (steady load),
+//! * **Bursty** — on/off bursts (the fragmentation-adversarial case),
+//! * **Backlog** — everything at once (saturation; measures peak
+//!   throughput and full-epoch occupancy).
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The arrival process of one client stream.
+#[derive(Clone, Copy, Debug)]
+pub enum ArrivalProcess {
+    /// Exponential inter-arrival times with the given mean rate.
+    Poisson {
+        /// Mean arrivals per second.
+        rate_hz: f64,
+    },
+    /// Bursts of back-to-back requests separated by idle gaps.
+    Bursty {
+        /// Requests per burst.
+        burst: usize,
+        /// Arrival rate inside a burst, per second.
+        rate_hz: f64,
+        /// Idle gap between bursts.
+        idle: Duration,
+    },
+    /// All requests arrive immediately (saturation).
+    Backlog,
+}
+
+/// A deterministic open-loop schedule generator: same seed, same
+/// schedule — so experiments and regression tests reproduce exactly.
+#[derive(Clone, Copy, Debug)]
+pub struct OpenLoopTrafficGen {
+    /// Arrival process shared by every client.
+    pub process: ArrivalProcess,
+    /// Base seed; each client stream derives its own generator.
+    pub seed: u64,
+}
+
+impl OpenLoopTrafficGen {
+    /// Creates a generator.
+    pub fn new(process: ArrivalProcess, seed: u64) -> Self {
+        Self { process, seed }
+    }
+
+    /// The inter-arrival delays for `client`'s first `n` requests
+    /// (delay *before* each request).
+    pub fn inter_arrivals(&self, client: u64, n: usize) -> Vec<Duration> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ client.wrapping_mul(0x9e3779b97f4a7c15));
+        (0..n).map(|i| self.delay(&mut rng, i)).collect()
+    }
+
+    fn delay(&self, rng: &mut StdRng, index: usize) -> Duration {
+        match self.process {
+            ArrivalProcess::Poisson { rate_hz } => {
+                assert!(rate_hz > 0.0, "poisson rate must be positive");
+                let u: f64 = rng.gen();
+                // Inverse-CDF of the exponential; clamp u away from 1.
+                let delay_s = -(1.0 - u).max(f64::MIN_POSITIVE).ln() / rate_hz;
+                Duration::from_secs_f64(delay_s)
+            }
+            ArrivalProcess::Bursty { burst, rate_hz, idle } => {
+                assert!(rate_hz > 0.0, "burst rate must be positive");
+                let burst = burst.max(1);
+                if index > 0 && index.is_multiple_of(burst) {
+                    idle
+                } else {
+                    Duration::from_secs_f64(1.0 / rate_hz)
+                }
+            }
+            ArrivalProcess::Backlog => Duration::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_mean_matches_rate() {
+        let gen = OpenLoopTrafficGen::new(ArrivalProcess::Poisson { rate_hz: 1000.0 }, 7);
+        let delays = gen.inter_arrivals(0, 20_000);
+        let mean_s: f64 =
+            delays.iter().map(Duration::as_secs_f64).sum::<f64>() / delays.len() as f64;
+        let ratio = mean_s * 1000.0;
+        assert!((0.95..1.05).contains(&ratio), "mean off by {ratio}");
+    }
+
+    #[test]
+    fn poisson_is_deterministic_per_client_and_distinct_across() {
+        let gen = OpenLoopTrafficGen::new(ArrivalProcess::Poisson { rate_hz: 50.0 }, 3);
+        assert_eq!(gen.inter_arrivals(1, 64), gen.inter_arrivals(1, 64));
+        assert_ne!(gen.inter_arrivals(1, 64), gen.inter_arrivals(2, 64));
+    }
+
+    #[test]
+    fn bursty_inserts_idle_gaps() {
+        let gen = OpenLoopTrafficGen::new(
+            ArrivalProcess::Bursty { burst: 4, rate_hz: 1000.0, idle: Duration::from_millis(50) },
+            0,
+        );
+        let delays = gen.inter_arrivals(0, 12);
+        assert_eq!(delays[4], Duration::from_millis(50));
+        assert_eq!(delays[8], Duration::from_millis(50));
+        assert!(delays[1] < Duration::from_millis(2));
+    }
+
+    #[test]
+    fn backlog_is_all_zero() {
+        let gen = OpenLoopTrafficGen::new(ArrivalProcess::Backlog, 0);
+        assert!(gen.inter_arrivals(5, 32).iter().all(|d| d.is_zero()));
+    }
+}

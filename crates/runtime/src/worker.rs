@@ -1,0 +1,210 @@
+//! The worker pool: executes flushed epochs and routes responses.
+//!
+//! Workers pull epochs from the batcher's queue, run them through the
+//! [`BatchExecutor`](crate::executor::BatchExecutor), record metrics
+//! and deliver each response to its client's channel. Multiple workers
+//! may complete epochs out of flush order — the per-client reorder
+//! buffer in [`ClientHandle`](crate::runtime::ClientHandle) restores
+//! per-client sequencing at the receive side.
+
+use std::collections::HashMap;
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Mutex};
+
+use crate::error::RuntimeError;
+use crate::executor::BatchExecutor;
+use crate::metrics::MetricsSink;
+use crate::queue::BoundedQueue;
+use crate::request::{ClientId, Epoch, Response};
+
+/// Routes responses to per-client channels.
+#[derive(Default)]
+pub(crate) struct ClientRegistry {
+    senders: Mutex<HashMap<ClientId, Sender<Response>>>,
+}
+
+impl ClientRegistry {
+    pub(crate) fn register(&self, id: ClientId, tx: Sender<Response>) {
+        self.senders.lock().expect("registry lock").insert(id, tx);
+    }
+
+    pub(crate) fn deregister(&self, id: ClientId) {
+        self.senders.lock().expect("registry lock").remove(&id);
+    }
+
+    /// Drops every sender. Called after the workers have drained and
+    /// joined: receivers then observe disconnection once their
+    /// buffered responses are consumed, which is what lets
+    /// `ClientHandle::recv` report shutdown instead of blocking.
+    pub(crate) fn clear(&self) {
+        self.senders.lock().expect("registry lock").clear();
+    }
+
+    fn deliver(&self, response: Response) {
+        let senders = self.senders.lock().expect("registry lock");
+        if let Some(tx) = senders.get(&response.client) {
+            // A dropped handle just discards its remaining responses.
+            let _ = tx.send(response);
+        }
+    }
+}
+
+pub(crate) fn run(
+    epochs: Arc<BoundedQueue<Epoch>>,
+    executor: Arc<dyn BatchExecutor>,
+    registry: Arc<ClientRegistry>,
+    metrics: Arc<MetricsSink>,
+) {
+    while let Ok(epoch) = epochs.pop() {
+        let expected = epoch.requests.len();
+        let mut results: Vec<Result<_, RuntimeError>> = executor
+            .execute(&epoch.requests)
+            .into_iter()
+            .map(|r| r.map_err(RuntimeError::Tfhe))
+            .collect();
+        // An executor that breaks its one-result-per-request contract
+        // must not strand clients: surplus results are dropped, missing
+        // ones surface as explicit losses.
+        results.truncate(expected);
+        results.resize_with(expected, || Err(RuntimeError::Lost));
+        for (request, result) in epoch.requests.into_iter().zip(results) {
+            let latency = request.submitted_at.elapsed();
+            metrics.record_request(
+                request.submitted_at,
+                latency,
+                request.op.is_pbs(),
+                result.is_ok(),
+            );
+            registry.deliver(Response {
+                client: request.client,
+                seq: request.seq,
+                result,
+                latency,
+                epoch: epoch.id,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use std::time::Instant;
+
+    use strix_tfhe::lwe::LweCiphertext;
+    use strix_tfhe::TfheError;
+
+    use crate::request::{Request, RequestOp};
+
+    /// Echoes the input ciphertext back; fails on dimension 0.
+    struct EchoExecutor;
+
+    impl BatchExecutor for EchoExecutor {
+        fn execute(&self, batch: &[Request]) -> Vec<Result<LweCiphertext, TfheError>> {
+            batch
+                .iter()
+                .map(|r| {
+                    if r.ct.dimension() == 0 {
+                        Err(TfheError::InvalidParameters("zero dimension"))
+                    } else {
+                        Ok(r.ct.clone())
+                    }
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn worker_delivers_to_the_right_client() {
+        let epochs = Arc::new(BoundedQueue::new(8));
+        let registry = Arc::new(ClientRegistry::default());
+        let metrics = Arc::new(MetricsSink::default());
+        let (tx_a, rx_a) = mpsc::channel();
+        let (tx_b, rx_b) = mpsc::channel();
+        registry.register(ClientId(1), tx_a);
+        registry.register(ClientId(2), tx_b);
+
+        let make = |client: u64, seq: u64, body: u64| Request {
+            client: ClientId(client),
+            seq,
+            ct: LweCiphertext::trivial(4, body),
+            op: RequestOp::Keyswitch,
+            submitted_at: Instant::now(),
+        };
+        epochs
+            .push(Epoch { id: 0, requests: vec![make(1, 0, 10), make(2, 0, 20), make(1, 1, 11)] })
+            .unwrap();
+        epochs.close();
+
+        run(epochs, Arc::new(EchoExecutor), Arc::clone(&registry), Arc::clone(&metrics));
+
+        let a0 = rx_a.recv().unwrap();
+        let a1 = rx_a.recv().unwrap();
+        let b0 = rx_b.recv().unwrap();
+        assert_eq!((a0.seq, a0.result.unwrap().body()), (0, 10));
+        assert_eq!((a1.seq, a1.result.unwrap().body()), (1, 11));
+        assert_eq!((b0.seq, b0.result.unwrap().body()), (0, 20));
+        assert_eq!(metrics.report(3).requests_completed, 3);
+    }
+
+    /// Violates the executor contract: returns one result too few.
+    struct ShortExecutor;
+
+    impl BatchExecutor for ShortExecutor {
+        fn execute(&self, batch: &[Request]) -> Vec<Result<LweCiphertext, TfheError>> {
+            batch.iter().take(batch.len().saturating_sub(1)).map(|r| Ok(r.ct.clone())).collect()
+        }
+    }
+
+    #[test]
+    fn short_executor_results_surface_as_losses_not_hangs() {
+        let epochs = Arc::new(BoundedQueue::new(8));
+        let registry = Arc::new(ClientRegistry::default());
+        let metrics = Arc::new(MetricsSink::default());
+        let (tx, rx) = mpsc::channel();
+        registry.register(ClientId(1), tx);
+        let make = |seq: u64| Request {
+            client: ClientId(1),
+            seq,
+            ct: LweCiphertext::trivial(4, seq),
+            op: RequestOp::Keyswitch,
+            submitted_at: Instant::now(),
+        };
+        epochs.push(Epoch { id: 0, requests: vec![make(0), make(1)] }).unwrap();
+        epochs.close();
+        run(epochs, Arc::new(ShortExecutor), registry, Arc::clone(&metrics));
+
+        let first = rx.recv().unwrap();
+        assert!(first.result.is_ok());
+        let second = rx.recv().unwrap();
+        assert_eq!(second.seq, 1);
+        assert!(matches!(second.result, Err(RuntimeError::Lost)), "missing result must surface");
+        let report = metrics.report(2);
+        assert_eq!(report.requests_completed, 1);
+        assert_eq!(report.requests_failed, 1);
+    }
+
+    #[test]
+    fn dropped_client_does_not_wedge_the_worker() {
+        let epochs = Arc::new(BoundedQueue::new(8));
+        let registry = Arc::new(ClientRegistry::default());
+        let metrics = Arc::new(MetricsSink::default());
+        // No registered client at all.
+        epochs
+            .push(Epoch {
+                id: 0,
+                requests: vec![Request {
+                    client: ClientId(9),
+                    seq: 0,
+                    ct: LweCiphertext::trivial(4, 1),
+                    op: RequestOp::Keyswitch,
+                    submitted_at: Instant::now(),
+                }],
+            })
+            .unwrap();
+        epochs.close();
+        run(epochs, Arc::new(EchoExecutor), registry, Arc::clone(&metrics));
+        assert_eq!(metrics.report(1).requests_completed, 1);
+    }
+}

@@ -14,7 +14,9 @@
 //!   units, HSC pipeline, memory system, two-level batching scheduler,
 //!   area/power model),
 //! * [`baselines`] — CPU/GPU/published-accelerator comparison models,
-//! * [`workloads`] — gate circuits and the Zama Deep-NN models.
+//! * [`workloads`] — gate circuits and the Zama Deep-NN models,
+//! * [`runtime`] — the streaming two-level batch scheduler serving
+//!   concurrent PBS request streams against the `tfhe` stack.
 //!
 //! # Which crate do I want?
 //!
@@ -52,5 +54,6 @@
 pub use strix_baselines as baselines;
 pub use strix_core as core;
 pub use strix_fft as fft;
+pub use strix_runtime as runtime;
 pub use strix_tfhe as tfhe;
 pub use strix_workloads as workloads;

@@ -129,7 +129,11 @@ impl ServerKey {
     /// # Errors
     ///
     /// Returns [`TfheError::ParameterMismatch`] on parameter mismatch.
-    pub fn nand(&self, a: &BoolCiphertext, b: &BoolCiphertext) -> Result<BoolCiphertext, TfheError> {
+    pub fn nand(
+        &self,
+        a: &BoolCiphertext,
+        b: &BoolCiphertext,
+    ) -> Result<BoolCiphertext, TfheError> {
         self.gate(NAND_RECIPE, a, b)
     }
 
@@ -156,7 +160,11 @@ impl ServerKey {
     /// # Errors
     ///
     /// Returns [`TfheError::ParameterMismatch`] on parameter mismatch.
-    pub fn xnor(&self, a: &BoolCiphertext, b: &BoolCiphertext) -> Result<BoolCiphertext, TfheError> {
+    pub fn xnor(
+        &self,
+        a: &BoolCiphertext,
+        b: &BoolCiphertext,
+    ) -> Result<BoolCiphertext, TfheError> {
         self.gate(XNOR_RECIPE, a, b)
     }
 
@@ -229,7 +237,8 @@ mod tests {
     #[test]
     fn truth_tables_two_input_gates() {
         let (mut client, server) = fixture();
-        type Gate = fn(&ServerKey, &BoolCiphertext, &BoolCiphertext) -> Result<BoolCiphertext, TfheError>;
+        type Gate =
+            fn(&ServerKey, &BoolCiphertext, &BoolCiphertext) -> Result<BoolCiphertext, TfheError>;
         type GateRow = (&'static str, Gate, fn(bool, bool) -> bool);
         let gates: [GateRow; 6] = [
             ("and", ServerKey::and, |x, y| x & y),
@@ -245,11 +254,7 @@ mod tests {
                     let cx = client.encrypt_bool(x);
                     let cy = client.encrypt_bool(y);
                     let out = gate(&server, &cx, &cy).unwrap();
-                    assert_eq!(
-                        client.decrypt_bool(&out),
-                        model(x, y),
-                        "{name}({x}, {y})"
-                    );
+                    assert_eq!(client.decrypt_bool(&out), model(x, y), "{name}({x}, {y})");
                 }
             }
         }
@@ -298,11 +303,7 @@ mod tests {
                 server.or(&t1, &t2).unwrap()
             };
             assert_eq!(client.decrypt_bool(&sum), a ^ b ^ cin, "sum {bits:03b}");
-            assert_eq!(
-                client.decrypt_bool(&carry),
-                (a & b) | ((a ^ b) & cin),
-                "carry {bits:03b}"
-            );
+            assert_eq!(client.decrypt_bool(&carry), (a & b) | ((a ^ b) & cin), "carry {bits:03b}");
         }
     }
 

@@ -60,11 +60,7 @@ impl Lut {
     ///
     /// Returns [`TfheError::InvalidParameters`] if `2^p > N` (boxes
     /// would be empty) or `p >= 63`.
-    pub fn from_function<F>(
-        poly_size: usize,
-        precision_bits: u32,
-        f: F,
-    ) -> Result<Self, TfheError>
+    pub fn from_function<F>(poly_size: usize, precision_bits: u32, f: F) -> Result<Self, TfheError>
     where
         F: Fn(u64) -> u64,
     {
@@ -98,9 +94,7 @@ impl Lut {
         }
         let space = 1usize << precision_bits;
         if space > poly_size {
-            return Err(TfheError::InvalidParameters(
-                "message space larger than polynomial size",
-            ));
+            return Err(TfheError::InvalidParameters("message space larger than polynomial size"));
         }
         let box_size = poly_size / space;
         let mut coeffs = vec![0u64; poly_size];
@@ -123,6 +117,17 @@ impl Lut {
     pub fn poly_size(&self) -> usize {
         self.poly.size()
     }
+}
+
+/// One entry of a batched bootstrap: a ciphertext and the LUT to
+/// evaluate on it. Jobs in a batch share the bootstrapping key (that is
+/// the point of batching) but may use different LUTs.
+#[derive(Clone, Copy, Debug)]
+pub struct PbsJob<'a> {
+    /// The LWE ciphertext to bootstrap (dimension `n`).
+    pub ct: &'a LweCiphertext,
+    /// The test vector to evaluate.
+    pub lut: &'a Lut,
 }
 
 /// The bootstrapping key: `n` Fourier-domain GGSW encryptions of the LWE
@@ -180,13 +185,9 @@ impl BootstrapKey {
             .expect("validated parameters have power-of-two N");
         // GGSW of message 1: gadget terms give the spectra non-trivial
         // values so the FFT timing is honest.
-        let template = GgswCiphertext::trivial(
-            1,
-            params.glwe_dimension,
-            params.polynomial_size,
-            decomp,
-        )
-        .to_fourier(&fft);
+        let template =
+            GgswCiphertext::trivial(1, params.glwe_dimension, params.polynomial_size, decomp)
+                .to_fourier(&fft);
         let ggsws = vec![template; params.lwe_dimension];
         Self {
             ggsws,
@@ -239,11 +240,7 @@ impl BootstrapKey {
     ///
     /// Returns [`TfheError::ParameterMismatch`] if the ciphertext
     /// dimension or LUT size disagrees with the key.
-    pub fn blind_rotate(
-        &self,
-        ct: &LweCiphertext,
-        lut: &Lut,
-    ) -> Result<GlweCiphertext, TfheError> {
+    pub fn blind_rotate(&self, ct: &LweCiphertext, lut: &Lut) -> Result<GlweCiphertext, TfheError> {
         self.blind_rotate_impl(ct, lut, None)
     }
 
@@ -261,12 +258,15 @@ impl BootstrapKey {
         self.blind_rotate_impl(ct, lut, Some(timings))
     }
 
-    fn blind_rotate_impl(
-        &self,
-        ct: &LweCiphertext,
-        lut: &Lut,
-        mut timings: Option<&mut StageTimings>,
-    ) -> Result<GlweCiphertext, TfheError> {
+    /// Checks that a `(ciphertext, LUT)` pair matches this key's shape
+    /// — the single validation both the single and batched bootstrap
+    /// paths apply, exposed so schedulers can pre-validate jobs before
+    /// committing them to a shared batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TfheError::ParameterMismatch`] naming the mismatch.
+    pub fn check_shape(&self, ct: &LweCiphertext, lut: &Lut) -> Result<(), TfheError> {
         if ct.dimension() != self.input_dimension() {
             return Err(TfheError::ParameterMismatch {
                 what: "lwe dimension",
@@ -281,6 +281,16 @@ impl BootstrapKey {
                 right: self.poly_size,
             });
         }
+        Ok(())
+    }
+
+    fn blind_rotate_impl(
+        &self,
+        ct: &LweCiphertext,
+        lut: &Lut,
+        mut timings: Option<&mut StageTimings>,
+    ) -> Result<GlweCiphertext, TfheError> {
+        self.check_shape(ct, lut)?;
         let log2_two_n = self.poly_size.trailing_zeros() + 1;
 
         // Modulus switching of the body, then the initial left rotation
@@ -290,8 +300,7 @@ impl BootstrapKey {
         if let Some(t) = timings.as_deref_mut() {
             t.add(PbsStage::ModSwitch, t0.elapsed());
         }
-        let mut acc =
-            GlweCiphertext::trivial(self.glwe_dimension, lut.poly().rotate_left(b_tilde));
+        let mut acc = GlweCiphertext::trivial(self.glwe_dimension, lut.poly().rotate_left(b_tilde));
 
         // Blind rotation loop (lines 5–12).
         for (ggsw, &a) in self.ggsws.iter().zip(ct.mask()) {
@@ -318,6 +327,64 @@ impl BootstrapKey {
             acc.add_assign(&prod)?;
         }
         Ok(acc)
+    }
+
+    /// Blind-rotates a whole batch with **key-major iteration order**,
+    /// the software analogue of the paper's core-level batching
+    /// (§IV-C): the outer loop walks the `n` bootstrapping-key entries
+    /// and the inner loop applies each GGSW to every accumulator in
+    /// the batch, so one key fetch is reused `batch` times — exactly
+    /// how an HSC amortises its per-iteration bsk stream. Jobs may
+    /// carry different LUTs; only the key material is shared.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TfheError::ParameterMismatch`] if any job's ciphertext
+    /// dimension or LUT size disagrees with the key.
+    pub fn blind_rotate_batch(
+        &self,
+        jobs: &[PbsJob<'_>],
+    ) -> Result<Vec<GlweCiphertext>, TfheError> {
+        let log2_two_n = self.poly_size.trailing_zeros() + 1;
+        for job in jobs {
+            self.check_shape(job.ct, job.lut)?;
+        }
+
+        // Initial rotation by each body (Algorithm 1 lines 3–4).
+        let mut accs: Vec<GlweCiphertext> = jobs
+            .iter()
+            .map(|job| {
+                let b_tilde = modulus_switch(job.ct.body(), log2_two_n) as usize;
+                GlweCiphertext::trivial(self.glwe_dimension, job.lut.poly().rotate_left(b_tilde))
+            })
+            .collect();
+
+        // Key-major blind rotation: fetch GGSW i once, use it for the
+        // whole batch.
+        for (i, ggsw) in self.ggsws.iter().enumerate() {
+            for (acc, job) in accs.iter_mut().zip(jobs) {
+                let a_tilde = modulus_switch(job.ct.mask()[i], log2_two_n) as usize;
+                if a_tilde == 0 {
+                    continue;
+                }
+                let mut diff = acc.rotate_right(a_tilde);
+                diff.sub_assign(acc)?;
+                let prod = ggsw.external_product(&diff, &self.fft);
+                acc.add_assign(&prod)?;
+            }
+        }
+        Ok(accs)
+    }
+
+    /// Batched programmable bootstrap: [`Self::blind_rotate_batch`]
+    /// followed by per-job sample extraction. Outputs are in job order
+    /// and still under the extracted (`k·N`) key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TfheError::ParameterMismatch`] on any shape mismatch.
+    pub fn bootstrap_batch(&self, jobs: &[PbsJob<'_>]) -> Result<Vec<LweCiphertext>, TfheError> {
+        Ok(self.blind_rotate_batch(jobs)?.iter().map(GlweCiphertext::sample_extract).collect())
     }
 
     /// Full programmable bootstrap: blind rotation followed by sample
@@ -409,11 +476,7 @@ mod tests {
     fn bootstrap_refreshes_sign_encoding() {
         let fx = &mut fixture(TfheParameters::testing_fast());
         for b in [true, false] {
-            let ct = fx.lwe_sk.encrypt(
-                encode_bool(b),
-                fx.params.lwe_noise_std,
-                &mut fx.rng,
-            );
+            let ct = fx.lwe_sk.encrypt(encode_bool(b), fx.params.lwe_noise_std, &mut fx.rng);
             let lut = Lut::sign(fx.params.polynomial_size, encode_fraction(1, 3));
             let out = fx.bsk.bootstrap(&ct, &lut).unwrap();
             assert_eq!(out.dimension(), fx.bsk.output_dimension());
@@ -456,11 +519,7 @@ mod tests {
         let fx = &mut fixture(TfheParameters::testing_k2());
         let lut = Lut::sign(fx.params.polynomial_size, encode_fraction(1, 3));
         for b in [true, false] {
-            let ct = fx.lwe_sk.encrypt(
-                encode_bool(b),
-                fx.params.lwe_noise_std,
-                &mut fx.rng,
-            );
+            let ct = fx.lwe_sk.encrypt(encode_bool(b), fx.params.lwe_noise_std, &mut fx.rng);
             let out = fx.bsk.bootstrap(&ct, &lut).unwrap();
             assert_eq!(out.dimension(), 2 * fx.params.polynomial_size);
             let phase = fx.extracted.decrypt_phase(&out).unwrap();
@@ -471,11 +530,7 @@ mod tests {
     #[test]
     fn blind_rotate_output_decrypts_under_glwe_key() {
         let fx = &mut fixture(TfheParameters::testing_fast());
-        let ct = fx.lwe_sk.encrypt(
-            encode_bool(true),
-            fx.params.lwe_noise_std,
-            &mut fx.rng,
-        );
+        let ct = fx.lwe_sk.encrypt(encode_bool(true), fx.params.lwe_noise_std, &mut fx.rng);
         let lut = Lut::sign(fx.params.polynomial_size, encode_fraction(1, 3));
         let acc = fx.bsk.blind_rotate(&ct, &lut).unwrap();
         let phase = fx.glwe_sk.decrypt_phase(&acc).unwrap();
@@ -496,11 +551,7 @@ mod tests {
     #[test]
     fn profiled_bootstrap_accounts_blind_rotation_dominant() {
         let fx = &mut fixture(TfheParameters::testing_fast());
-        let ct = fx.lwe_sk.encrypt(
-            encode_bool(true),
-            fx.params.lwe_noise_std,
-            &mut fx.rng,
-        );
+        let ct = fx.lwe_sk.encrypt(encode_bool(true), fx.params.lwe_noise_std, &mut fx.rng);
         let lut = Lut::sign(fx.params.polynomial_size, encode_fraction(1, 3));
         let mut t = StageTimings::new();
         let _ = fx.bsk.bootstrap_profiled(&ct, &lut, &mut t).unwrap();
@@ -520,6 +571,47 @@ mod tests {
     fn bool_encoding_round_trip() {
         assert!(decode_bool(encode_bool(true)));
         assert!(!decode_bool(encode_bool(false)));
+    }
+
+    #[test]
+    fn batched_bootstrap_matches_single_per_job() {
+        // Key-major iteration must be arithmetically identical to the
+        // ciphertext-major single path — same products, same order of
+        // additions per accumulator.
+        let fx = &mut fixture(TfheParameters::testing_fast());
+        let p = 2u32;
+        let lut_id = Lut::from_function(fx.params.polynomial_size, p, |m| m).unwrap();
+        let lut_sq = Lut::from_function(fx.params.polynomial_size, p, |m| (m * m) % 4).unwrap();
+        let cts: Vec<LweCiphertext> = (0..4u64)
+            .map(|m| fx.lwe_sk.encrypt(m << (64 - p - 1), fx.params.lwe_noise_std, &mut fx.rng))
+            .collect();
+        let jobs: Vec<PbsJob<'_>> = cts
+            .iter()
+            .enumerate()
+            .map(|(i, ct)| PbsJob { ct, lut: if i % 2 == 0 { &lut_id } else { &lut_sq } })
+            .collect();
+        let batched = fx.bsk.bootstrap_batch(&jobs).unwrap();
+        for (job, out) in jobs.iter().zip(&batched) {
+            let single = fx.bsk.bootstrap(job.ct, job.lut).unwrap();
+            assert_eq!(out, &single);
+        }
+        // And the results are still correct.
+        for (m, out) in batched.iter().enumerate() {
+            let phase = fx.extracted.decrypt_phase(out).unwrap();
+            let expected = if m % 2 == 0 { m as u64 } else { ((m * m) % 4) as u64 };
+            assert_eq!(decode_message(phase, p + 1), expected, "m={m}");
+        }
+    }
+
+    #[test]
+    fn batched_bootstrap_rejects_shape_mismatch() {
+        let fx = &mut fixture(TfheParameters::testing_fast());
+        let lut = Lut::sign(fx.params.polynomial_size, encode_fraction(1, 3));
+        let good = LweCiphertext::trivial(fx.params.lwe_dimension, 0);
+        let bad = LweCiphertext::trivial(10, 0);
+        let jobs = [PbsJob { ct: &good, lut: &lut }, PbsJob { ct: &bad, lut: &lut }];
+        assert!(fx.bsk.bootstrap_batch(&jobs).is_err());
+        assert!(fx.bsk.bootstrap_batch(&[]).unwrap().is_empty());
     }
 
     #[test]

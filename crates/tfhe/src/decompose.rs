@@ -233,12 +233,7 @@ mod tests {
     #[test]
     fn polynomial_decomposition_is_coefficientwise() {
         let p = DecompositionParams::new(6, 3);
-        let poly = TorusPolynomial::from_coeffs(vec![
-            0,
-            u64::MAX,
-            1 << 63,
-            0x0123_4567_89AB_CDEF,
-        ]);
+        let poly = TorusPolynomial::from_coeffs(vec![0, u64::MAX, 1 << 63, 0x0123_4567_89AB_CDEF]);
         let levels = p.decompose_polynomial(&poly);
         assert_eq!(levels.len(), 3);
         for (j, &c) in poly.coeffs().iter().enumerate() {

@@ -111,12 +111,9 @@ impl GgswCiphertext {
             for digits in levels.iter() {
                 let row = &self.rows[row_idx];
                 for col in 0..=k {
-                    let row_poly =
-                        if col < k { &row.masks()[col] } else { row.body() };
-                    let prod = strix_fft::reference::negacyclic_mul_torus(
-                        digits,
-                        row_poly.coeffs(),
-                    );
+                    let row_poly = if col < k { &row.masks()[col] } else { row.body() };
+                    let prod =
+                        strix_fft::reference::negacyclic_mul_torus(digits, row_poly.coeffs());
                     let out = acc.poly_mut(col);
                     for (o, p) in out.coeffs_mut().iter_mut().zip(&prod) {
                         *o = o.wrapping_add(*p);
@@ -177,11 +174,7 @@ impl FourierGgsw {
     /// Number of bytes this key entry occupies (the per-iteration HBM
     /// traffic of one blind-rotation step).
     pub fn byte_size(&self) -> usize {
-        self.rows
-            .iter()
-            .flat_map(|row| row.iter())
-            .map(|poly| poly.len() * 16)
-            .sum()
+        self.rows.iter().flat_map(|row| row.iter()).map(|poly| poly.len() * 16).sum()
     }
 
     /// External product via the FFT (the production path):
@@ -191,11 +184,7 @@ impl FourierGgsw {
     ///
     /// Panics if shapes mismatch (the bootstrap key constructor
     /// guarantees compatibility).
-    pub fn external_product(
-        &self,
-        glwe: &GlweCiphertext,
-        fft: &NegacyclicFft,
-    ) -> GlweCiphertext {
+    pub fn external_product(&self, glwe: &GlweCiphertext, fft: &NegacyclicFft) -> GlweCiphertext {
         self.external_product_impl(glwe, fft, None)
     }
 
@@ -258,8 +247,7 @@ impl FourierGgsw {
         let mut out = GlweCiphertext::zero(k, n);
         let mut time_domain = vec![0.0f64; n];
         for (col, spec) in acc.iter_mut().enumerate() {
-            fft.backward_f64(spec, &mut time_domain)
-                .expect("accumulator matches fft plan");
+            fft.backward_f64(spec, &mut time_domain).expect("accumulator matches fft plan");
             let poly = out.poly_mut(col);
             for (o, &v) in poly.coeffs_mut().iter_mut().zip(&time_domain) {
                 *o = f64_to_torus(v);
@@ -297,9 +285,7 @@ mod tests {
     }
 
     fn test_message(n: usize) -> TorusPolynomial {
-        TorusPolynomial::from_coeffs(
-            (0..n).map(|j| encode_fraction((j % 8) as i64, 4)).collect(),
-        )
+        TorusPolynomial::from_coeffs((0..n).map(|j| encode_fraction((j % 8) as i64, 4)).collect())
     }
 
     #[test]
@@ -400,12 +386,9 @@ mod tests {
         let ct = fx.glwe_sk.encrypt(&test_message(fx.n), STD, &mut fx.rng);
         let mut t = StageTimings::default();
         let _ = ggsw.external_product_profiled(&ct, &fx.fft, &mut t);
-        for stage in [
-            PbsStage::Decompose,
-            PbsStage::Fft,
-            PbsStage::VectorMultiply,
-            PbsStage::IfftAccumulate,
-        ] {
+        for stage in
+            [PbsStage::Decompose, PbsStage::Fft, PbsStage::VectorMultiply, PbsStage::IfftAccumulate]
+        {
             assert!(t.total_for(stage) > std::time::Duration::ZERO, "{stage:?}");
         }
     }

@@ -151,10 +151,7 @@ impl GlweCiphertext {
     /// This is how the initial test vector enters the blind rotation.
     pub fn trivial(glwe_dimension: usize, message: TorusPolynomial) -> Self {
         let n = message.size();
-        Self {
-            masks: vec![TorusPolynomial::zero(n); glwe_dimension],
-            body: message,
-        }
+        Self { masks: vec![TorusPolynomial::zero(n); glwe_dimension], body: message }
     }
 
     /// The all-zero ciphertext (trivial encryption of zero).
@@ -313,8 +310,7 @@ mod tests {
     }
 
     fn message_poly(n: usize) -> TorusPolynomial {
-        let coeffs: Vec<u64> =
-            (0..n).map(|j| encode_fraction((j % 16) as i64, 4)).collect();
+        let coeffs: Vec<u64> = (0..n).map(|j| encode_fraction((j % 16) as i64, 4)).collect();
         TorusPolynomial::from_coeffs(coeffs)
     }
 
@@ -392,9 +388,7 @@ mod tests {
         let ct = sk.encrypt(&msg, STD, &mut rng);
         let lwe_key = sk.to_extracted_lwe_key();
         for j in [0usize, 1, 17, 63] {
-            let phase = lwe_key
-                .decrypt_phase(&ct.rotate_left(j).sample_extract())
-                .unwrap();
+            let phase = lwe_key.decrypt_phase(&ct.rotate_left(j).sample_extract()).unwrap();
             assert_eq!(decode_message(phase, 4), decode_message(msg[j], 4), "j={j}");
         }
     }

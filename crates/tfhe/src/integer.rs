@@ -116,10 +116,7 @@ impl ClientKey {
         spec: RadixSpec,
     ) -> Result<RadixCiphertext, TfheError> {
         if value >= spec.modulus() {
-            return Err(TfheError::MessageOutOfRange {
-                message: value,
-                bound: spec.modulus(),
-            });
+            return Err(TfheError::MessageOutOfRange { message: value, bound: spec.modulus() });
         }
         let base = 1u64 << spec.digit_bits;
         let mut rest = value;
@@ -139,9 +136,7 @@ impl ClientKey {
         let base = 1u64 << ct.digit_bits;
         let mut value = 0u64;
         for digit in ct.digits.iter().rev() {
-            value = value
-                .wrapping_mul(base)
-                .wrapping_add(self.decrypt_shortint(digit) % base);
+            value = value.wrapping_mul(base).wrapping_add(self.decrypt_shortint(digit) % base);
         }
         value
     }
@@ -195,10 +190,7 @@ impl ServerKey {
     ) -> Result<RadixCiphertext, TfheError> {
         let spec = RadixSpec::new(a.digit_bits, a.digits.len());
         if scalar >= spec.modulus() {
-            return Err(TfheError::MessageOutOfRange {
-                message: scalar,
-                bound: spec.modulus(),
-            });
+            return Err(TfheError::MessageOutOfRange { message: scalar, bound: spec.modulus() });
         }
         let m = a.digit_bits;
         let base = 1u64 << m;

@@ -86,12 +86,8 @@ impl ClientKey {
     /// Derives the matching server key.
     pub fn server_key(&mut self) -> ServerKey {
         let bsk = BootstrapKey::generate(&self.lwe_sk, &self.glwe_sk, &self.params, &mut self.rng);
-        let ksk = KeySwitchKey::generate(
-            &self.extracted_sk,
-            &self.lwe_sk,
-            &self.params,
-            &mut self.rng,
-        );
+        let ksk =
+            KeySwitchKey::generate(&self.extracted_sk, &self.lwe_sk, &self.params, &mut self.rng);
         ServerKey { params: self.params.clone(), bsk, ksk }
     }
 }
@@ -158,26 +154,17 @@ mod tests {
         let params = TfheParameters::testing_fast();
         let (client, server) = generate_keys(&params, 7);
         assert_eq!(client.lwe_secret_key().dimension(), params.lwe_dimension);
-        assert_eq!(
-            client.extracted_secret_key().dimension(),
-            params.extracted_lwe_dimension()
-        );
+        assert_eq!(client.extracted_secret_key().dimension(), params.extracted_lwe_dimension());
         assert_eq!(server.bootstrap_key().input_dimension(), params.lwe_dimension);
         assert_eq!(server.keyswitch_key().output_dimension(), params.lwe_dimension);
-        assert_eq!(
-            server.keyswitch_key().input_dimension(),
-            params.extracted_lwe_dimension()
-        );
+        assert_eq!(server.keyswitch_key().input_dimension(), params.extracted_lwe_dimension());
     }
 
     #[test]
     fn key_bytes_matches_parameter_formulas() {
         let params = TfheParameters::testing_fast();
         let (_, server) = generate_keys(&params, 7);
-        assert_eq!(
-            server.key_bytes(),
-            params.bootstrap_key_bytes() + params.keyswitch_key_bytes()
-        );
+        assert_eq!(server.key_bytes(), params.bootstrap_key_bytes() + params.keyswitch_key_bytes());
     }
 
     #[test]

@@ -181,10 +181,7 @@ mod tests {
         let (_, _, ksk, _, params) = fixture();
         assert_eq!(ksk.input_dimension(), 256);
         assert_eq!(ksk.output_dimension(), params.lwe_dimension);
-        assert_eq!(
-            ksk.byte_size(),
-            256 * params.ks_level * (params.lwe_dimension + 1) * 8
-        );
+        assert_eq!(ksk.byte_size(), 256 * params.ks_level * (params.lwe_dimension + 1) * 8);
     }
 
     #[test]

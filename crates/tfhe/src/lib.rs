@@ -48,8 +48,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod bootstrap;
 pub mod boolean;
+pub mod bootstrap;
 pub mod decompose;
 mod error;
 pub mod ggsw;

@@ -48,12 +48,7 @@ impl LweSecretKey {
 
     /// Encrypts a plaintext torus element with the given noise standard
     /// deviation (relative to the torus).
-    pub fn encrypt(
-        &self,
-        plaintext: u64,
-        noise_std: f64,
-        rng: &mut NoiseSampler,
-    ) -> LweCiphertext {
+    pub fn encrypt(&self, plaintext: u64, noise_std: f64, rng: &mut NoiseSampler) -> LweCiphertext {
         let n = self.dimension();
         let mut data = vec![0u64; n + 1];
         rng.fill_uniform(&mut data[..n]);

@@ -102,8 +102,7 @@ pub fn error_std(errors: &[f64]) -> f64 {
         return 0.0;
     }
     let mean = errors.iter().sum::<f64>() / errors.len() as f64;
-    let var =
-        errors.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / errors.len() as f64;
+    let var = errors.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / errors.len() as f64;
     var.sqrt()
 }
 

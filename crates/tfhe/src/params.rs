@@ -256,17 +256,13 @@ impl TfheParameters {
             return Err(TfheError::InvalidParameters("pbs decomposition must be non-trivial"));
         }
         if self.pbs_base_log as usize * self.pbs_level > 64 {
-            return Err(TfheError::InvalidParameters(
-                "pbs decomposition exceeds torus width",
-            ));
+            return Err(TfheError::InvalidParameters("pbs decomposition exceeds torus width"));
         }
         if self.ks_base_log == 0 || self.ks_level == 0 {
             return Err(TfheError::InvalidParameters("ks decomposition must be non-trivial"));
         }
         if self.ks_base_log as usize * self.ks_level > 64 {
-            return Err(TfheError::InvalidParameters(
-                "ks decomposition exceeds torus width",
-            ));
+            return Err(TfheError::InvalidParameters("ks decomposition exceeds torus width"));
         }
         Ok(())
     }
@@ -334,7 +330,10 @@ mod tests {
     #[test]
     fn table_iv_values_match_paper() {
         let i = TfheParameters::set_i();
-        assert_eq!((i.lwe_dimension, i.glwe_dimension, i.polynomial_size, i.pbs_level), (500, 1, 1024, 2));
+        assert_eq!(
+            (i.lwe_dimension, i.glwe_dimension, i.polynomial_size, i.pbs_level),
+            (500, 1, 1024, 2)
+        );
         assert_eq!(i.security_bits, 110);
         let ii = TfheParameters::set_ii();
         assert_eq!((ii.lwe_dimension, ii.polynomial_size, ii.pbs_level), (630, 1024, 3));

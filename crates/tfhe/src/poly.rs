@@ -200,12 +200,10 @@ mod tests {
         // X^{2N} = 1, so rotate by N twice = identity (through negation).
         let p = TorusPolynomial::from_coeffs(vec![1, 2, 3, 4]);
         let once = p.rotate_right(4);
-        assert_eq!(once.coeffs(), &[
-            1u64.wrapping_neg(),
-            2u64.wrapping_neg(),
-            3u64.wrapping_neg(),
-            4u64.wrapping_neg()
-        ]);
+        assert_eq!(
+            once.coeffs(),
+            &[1u64.wrapping_neg(), 2u64.wrapping_neg(), 3u64.wrapping_neg(), 4u64.wrapping_neg()]
+        );
         let twice = once.rotate_right(4);
         assert_eq!(twice, p);
     }

@@ -109,9 +109,7 @@ impl ClientKey {
     ) -> Result<ShortintCiphertext, TfheError> {
         check_range(m, message_bits)?;
         if (1usize << message_bits) > self.params().polynomial_size {
-            return Err(TfheError::InvalidParameters(
-                "message space larger than polynomial size",
-            ));
+            return Err(TfheError::InvalidParameters("message space larger than polynomial size"));
         }
         let pt = m << (64 - message_bits - 1);
         Ok(ShortintCiphertext { ct: self.encrypt_torus(pt), message_bits })
@@ -148,11 +146,65 @@ impl ServerKey {
     {
         let p = ct.message_bits;
         let modulus = 1u64 << p;
-        let lut =
-            Lut::from_function(self.params.polynomial_size, p, |m| f(m) % modulus)?;
+        let lut = Lut::from_function(self.params.polynomial_size, p, |m| f(m) % modulus)?;
         let boot = self.bsk.bootstrap(&ct.ct, &lut)?;
         let switched = self.ksk.keyswitch(&boot)?;
         Ok(ShortintCiphertext { ct: switched, message_bits: p })
+    }
+
+    /// Applies a univariate function to a whole batch of ciphertexts
+    /// with one pass over the bootstrapping key
+    /// ([`crate::bootstrap::BootstrapKey::bootstrap_batch`]) — the
+    /// user-facing batched counterpart of [`Self::apply_lut`]. All
+    /// inputs must share one precision; each may use its own function.
+    /// One invalid input fails the whole call; the streaming runtime's
+    /// executor drives `bootstrap_batch` directly instead, isolating
+    /// per-request failures.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::apply_lut`], for any element of the batch.
+    pub fn apply_lut_batch<F>(
+        &self,
+        cts: &[ShortintCiphertext],
+        fs: &[F],
+    ) -> Result<Vec<ShortintCiphertext>, TfheError>
+    where
+        F: Fn(u64) -> u64,
+    {
+        if cts.is_empty() {
+            return Ok(Vec::new());
+        }
+        if fs.len() != cts.len() {
+            return Err(TfheError::ParameterMismatch {
+                what: "batch length",
+                left: cts.len(),
+                right: fs.len(),
+            });
+        }
+        let p = cts[0].message_bits;
+        let modulus = 1u64 << p;
+        let mut luts = Vec::with_capacity(cts.len());
+        for (ct, f) in cts.iter().zip(fs) {
+            if ct.message_bits != p {
+                return Err(TfheError::ParameterMismatch {
+                    what: "message bits",
+                    left: p as usize,
+                    right: ct.message_bits as usize,
+                });
+            }
+            luts.push(Lut::from_function(self.params.polynomial_size, p, |m| f(m) % modulus)?);
+        }
+        let jobs: Vec<crate::bootstrap::PbsJob<'_>> = cts
+            .iter()
+            .zip(&luts)
+            .map(|(ct, lut)| crate::bootstrap::PbsJob { ct: &ct.ct, lut })
+            .collect();
+        let booted = self.bsk.bootstrap_batch(&jobs)?;
+        booted
+            .iter()
+            .map(|b| Ok(ShortintCiphertext { ct: self.ksk.keyswitch(b)?, message_bits: p }))
+            .collect()
     }
 
     /// Bootstrapped identity: refreshes noise without changing the
@@ -213,9 +265,7 @@ impl ServerKey {
         }
         let packed_bits = 2 * p;
         if (1usize << packed_bits) > self.params.polynomial_size {
-            return Err(TfheError::InvalidParameters(
-                "message space larger than polynomial size",
-            ));
+            return Err(TfheError::InvalidParameters("message space larger than polynomial size"));
         }
         let shift = 1u64 << p;
         let modulus = shift;
@@ -331,6 +381,30 @@ mod tests {
     }
 
     #[test]
+    fn batched_lut_matches_per_message_results() {
+        let (mut client, server) = fixture();
+        let cts: Vec<ShortintCiphertext> =
+            (0..8u64).map(|m| client.encrypt_shortint(m, P).unwrap()).collect();
+        let fs: Vec<_> = (0..8u64).map(|i| move |m: u64| (m + i) % 8).collect();
+        let outs = server.apply_lut_batch(&cts, &fs).unwrap();
+        for (i, out) in outs.iter().enumerate() {
+            let expected = (i as u64 + i as u64) % 8;
+            assert_eq!(client.decrypt_shortint(out), expected, "i={i}");
+        }
+        assert!(server.apply_lut_batch::<fn(u64) -> u64>(&[], &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn batched_lut_rejects_mixed_precision_and_length() {
+        let (mut client, server) = fixture();
+        let a = client.encrypt_shortint(1, 2).unwrap();
+        let b = client.encrypt_shortint(1, 3).unwrap();
+        let id = |m: u64| m;
+        assert!(server.apply_lut_batch(&[a.clone(), b], &[id, id]).is_err());
+        assert!(server.apply_lut_batch(&[a], &[id, id]).is_err());
+    }
+
+    #[test]
     fn homomorphic_add_and_scalar_ops() {
         let (mut client, server) = fixture();
         let mut a = client.encrypt_shortint(2, P).unwrap();
@@ -400,9 +474,6 @@ mod tests {
         // 2p = 10 bits > log2(256): impossible to pack.
         let a5 = client.encrypt_shortint(1, 5).unwrap();
         let b5 = client.encrypt_shortint(1, 5).unwrap();
-        assert!(matches!(
-            server.mul(&a5, &b5),
-            Err(TfheError::InvalidParameters(_))
-        ));
+        assert!(matches!(server.mul(&a5, &b5), Err(TfheError::InvalidParameters(_))));
     }
 }

@@ -68,9 +68,8 @@ impl UnrolledBootstrapKey {
             .expect("validated parameters have power-of-two N");
         let std = params.glwe_noise_std;
         let bits = lwe_sk.bits();
-        let mut encrypt = |m: u64| {
-            GgswCiphertext::encrypt_scalar(m, glwe_sk, decomp, std, rng).to_fourier(&fft)
-        };
+        let mut encrypt =
+            |m: u64| GgswCiphertext::encrypt_scalar(m, glwe_sk, decomp, std, rng).to_fourier(&fft);
         let mut pairs = Vec::with_capacity(bits.len() / 2);
         for pair in bits.chunks_exact(2) {
             let (s1, s2) = (pair[0], pair[1]);
@@ -130,11 +129,7 @@ impl UnrolledBootstrapKey {
     /// # Errors
     ///
     /// Returns [`TfheError::ParameterMismatch`] on shape mismatch.
-    pub fn blind_rotate(
-        &self,
-        ct: &LweCiphertext,
-        lut: &Lut,
-    ) -> Result<GlweCiphertext, TfheError> {
+    pub fn blind_rotate(&self, ct: &LweCiphertext, lut: &Lut) -> Result<GlweCiphertext, TfheError> {
         if ct.dimension() != self.input_dimension {
             return Err(TfheError::ParameterMismatch {
                 what: "lwe dimension",
@@ -152,8 +147,7 @@ impl UnrolledBootstrapKey {
         let log2_two_n = self.poly_size.trailing_zeros() + 1;
         let two_n = 2 * self.poly_size;
         let b_tilde = modulus_switch(ct.body(), log2_two_n) as usize;
-        let mut acc =
-            GlweCiphertext::trivial(self.glwe_dimension, lut.poly().rotate_left(b_tilde));
+        let mut acc = GlweCiphertext::trivial(self.glwe_dimension, lut.poly().rotate_left(b_tilde));
 
         let mask = ct.mask();
         for (pair_idx, entry) in self.pairs.iter().enumerate() {
@@ -237,11 +231,7 @@ mod tests {
         let fx = &mut fixture(TfheParameters::testing_fast());
         let lut = Lut::sign(fx.params.polynomial_size, encode_fraction(1, 3));
         for b in [true, false] {
-            let ct = fx.lwe_sk.encrypt(
-                encode_bool(b),
-                fx.params.lwe_noise_std,
-                &mut fx.rng,
-            );
+            let ct = fx.lwe_sk.encrypt(encode_bool(b), fx.params.lwe_noise_std, &mut fx.rng);
             let out_u = fx.unrolled.bootstrap(&ct, &lut).unwrap();
             let out_s = fx.standard.bootstrap(&ct, &lut).unwrap();
             let phase_u = fx.extracted.decrypt_phase(&out_u).unwrap();
@@ -273,9 +263,7 @@ mod tests {
         let fx = &mut fixture(params.clone());
         assert_eq!(fx.unrolled.iterations(), 33); // 32 pairs + tail
         let lut = Lut::sign(params.polynomial_size, encode_fraction(1, 3));
-        let ct = fx
-            .lwe_sk
-            .encrypt(encode_bool(true), params.lwe_noise_std, &mut fx.rng);
+        let ct = fx.lwe_sk.encrypt(encode_bool(true), params.lwe_noise_std, &mut fx.rng);
         let out = fx.unrolled.bootstrap(&ct, &lut).unwrap();
         let phase = fx.extracted.decrypt_phase(&out).unwrap();
         assert!(decode_bool(phase));

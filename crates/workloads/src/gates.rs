@@ -38,9 +38,7 @@ pub fn multiplier_workload(bits: usize) -> Workload {
 /// the Boyar–Peralta circuit size (32 AND, 83 XOR/XNOR) — every gate
 /// one PBS in TFHE.
 pub fn aes_sbox_workload() -> Workload {
-    Workload::new("aes-sbox")
-        .pbs(83, "linear layers (XOR/XNOR)")
-        .pbs(32, "nonlinear core (AND)")
+    Workload::new("aes-sbox").pbs(83, "linear layers (XOR/XNOR)").pbs(32, "nonlinear core (AND)")
 }
 
 /// Simulator workload of one fetch–decode–execute cycle of an
@@ -202,10 +200,7 @@ mod tests {
     }
 
     fn decrypt_bits(client: &ClientKey, cts: &[BoolCiphertext]) -> u64 {
-        cts.iter()
-            .enumerate()
-            .map(|(i, c)| (client.decrypt_bool(c) as u64) << i)
-            .sum()
+        cts.iter().enumerate().map(|(i, c)| (client.decrypt_bool(c) as u64) << i).sum()
     }
 
     #[test]

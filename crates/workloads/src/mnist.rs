@@ -29,8 +29,7 @@ impl SyntheticImage {
         let mut pixels = vec![0u8; IMAGE_SIDE * IMAGE_SIDE];
         for y in 0..IMAGE_SIDE {
             for x in 0..IMAGE_SIDE {
-                let d2 = ((x as f64 - cx).powi(2) + (y as f64 - cy).powi(2))
-                    / (spread * spread);
+                let d2 = ((x as f64 - cx).powi(2) + (y as f64 - cy).powi(2)) / (spread * spread);
                 let intensity = (255.0 * (-d2).exp()) as u8;
                 let noise = rng.gen_range(0..8);
                 pixels[y * IMAGE_SIDE + x] = intensity.saturating_add(noise);

@@ -30,10 +30,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\nFolding ablation (set I):");
-    for (name, cfg) in [
-        ("folded", StrixConfig::paper_default()),
-        ("non-folded", StrixConfig::paper_non_folded()),
-    ] {
+    for (name, cfg) in
+        [("folded", StrixConfig::paper_default()), ("non-folded", StrixConfig::paper_non_folded())]
+    {
         let sim = StrixSimulator::new(cfg.clone(), TfheParameters::set_i())?;
         let r = sim.pbs_report(1 << 12);
         let area = AreaModel::new(&cfg);

@@ -28,10 +28,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 2×2 window of the image, quantised to 1-bit pixels so the toy
     // convolution's weighted sum stays inside the 3-bit message space.
     let window: Vec<u64> = image.quantize(1)[..4].to_vec();
-    let encrypted: Vec<ShortintCiphertext> = window
-        .iter()
-        .map(|&p| client.encrypt_shortint(p, BITS))
-        .collect::<Result<_, _>>()?;
+    let encrypted: Vec<ShortintCiphertext> =
+        window.iter().map(|&p| client.encrypt_shortint(p, BITS)).collect::<Result<_, _>>()?;
 
     // Convolution with weights [1, 1, -1 (as +7 ≡ -1 mod 8), 1] followed
     // by a bootstrapped ReLU — one PBS, exactly the Fig. 7 cost model.
@@ -43,8 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     acc.add_assign(&encrypted[3])?;
     let activated = server.relu(&acc)?;
 
-    let expected: i64 =
-        window[0] as i64 + window[1] as i64 - window[2] as i64 + window[3] as i64;
+    let expected: i64 = window[0] as i64 + window[1] as i64 - window[2] as i64 + window[3] as i64;
     let expected_relu = expected.max(0) as u64;
     let decrypted = client.decrypt_shortint(&activated);
     println!("toy conv window {window:?} -> ReLU(sum) = {decrypted} (expected {expected_relu})");

@@ -23,12 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{:>8} {:>10} {:>12}", "LWEs", "fragments", "norm. time");
     for lwes in [1, 36, 72, 73, 144, 145, 216, 217, 288] {
         let t = gpu.device_batched_time_s(lwes) / gpu.batch_time_s;
-        println!(
-            "{lwes:>8} {:>10} {:>12.1}  |{}",
-            gpu.fragments(lwes),
-            t,
-            bar(6.0 * t)
-        );
+        println!("{lwes:>8} {:>10} {:>12.1}  |{}", gpu.fragments(lwes), t, bar(6.0 * t));
     }
 
     println!("\nGPU core-level batching (LWEs per SM) - no amortisation:");

@@ -43,10 +43,7 @@ fn strix_beats_the_gpu_model_at_every_nn_size() {
                 .map(|n| gpu.device_batched_time_s(n.pbs_count()))
                 .sum();
             let speedup = gpu_s / strix_s;
-            assert!(
-                (3.0..100.0).contains(&speedup),
-                "NN-{depth}/N={poly}: speedup {speedup:.1}"
-            );
+            assert!((3.0..100.0).contains(&speedup), "NN-{depth}/N={poly}: speedup {speedup:.1}");
         }
     }
 }
@@ -72,6 +69,13 @@ fn measured_cpu_pbs_is_same_order_as_published_concrete() {
     // the same algorithm.
     let m = cpu::measure_pbs_benchmark_key(&TfheParameters::set_i(), 3);
     let ms = m.pbs_s * 1e3;
+    if cfg!(debug_assertions) {
+        // The absolute window only holds for optimized code; in debug
+        // builds just confirm the measurement ran and is sane.
+        assert!(ms.is_finite() && ms > 0.0, "degenerate measurement {ms}");
+        eprintln!("debug build: skipping absolute window (measured {ms:.1} ms)");
+        return;
+    }
     assert!((1.4..140.0).contains(&ms), "measured {ms:.1} ms vs published 14 ms");
 }
 
@@ -84,12 +88,8 @@ fn nn_speedup_grows_with_workload_like_fig7() {
         let sim = StrixSimulator::new(StrixConfig::paper_default(), nn.params()).unwrap();
         let strix_s = sim.run_graph(&nn.workload()).total_time_s;
         let gpu = GpuModel::titan_rtx_for(&nn.params());
-        let gpu_s: f64 = nn
-            .workload()
-            .nodes()
-            .iter()
-            .map(|n| gpu.device_batched_time_s(n.pbs_count()))
-            .sum();
+        let gpu_s: f64 =
+            nn.workload().nodes().iter().map(|n| gpu.device_batched_time_s(n.pbs_count())).sum();
         gpu_s / strix_s
     };
     let small = speedup(1024);

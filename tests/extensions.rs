@@ -72,8 +72,7 @@ fn plan_cache_shares_transforms_across_uses() {
 #[test]
 fn energy_report_is_exposed_at_the_top_level() {
     use strix::core::{StrixConfig, StrixSimulator};
-    let sim =
-        StrixSimulator::new(StrixConfig::paper_default(), TfheParameters::set_i()).unwrap();
+    let sim = StrixSimulator::new(StrixConfig::paper_default(), TfheParameters::set_i()).unwrap();
     let e = sim.energy_report();
     assert!(e.pbs_per_joule > 100.0);
     assert!(e.power_w > 50.0 && e.power_w < 100.0);

@@ -16,8 +16,7 @@ const PAPER_TABLE_V: [(ParameterSet, f64, f64); 4] = [
 #[test]
 fn throughput_matches_paper_within_ten_percent() {
     for (set, _, paper_thr) in PAPER_TABLE_V {
-        let sim =
-            StrixSimulator::new(StrixConfig::paper_default(), set.parameters()).unwrap();
+        let sim = StrixSimulator::new(StrixConfig::paper_default(), set.parameters()).unwrap();
         let thr = sim.pbs_report(1 << 14).throughput_pbs_per_s;
         let ratio = thr / paper_thr;
         assert!((0.9..1.1).contains(&ratio), "{set}: {thr:.0} vs {paper_thr:.0}");
@@ -29,8 +28,7 @@ fn latency_matches_paper_within_fifty_percent() {
     // Latency is the softer target (the paper's own Tables V and VII
     // disagree by 15% on set IV); the shape must hold within 1.5×.
     for (set, paper_ms, _) in PAPER_TABLE_V {
-        let sim =
-            StrixSimulator::new(StrixConfig::paper_default(), set.parameters()).unwrap();
+        let sim = StrixSimulator::new(StrixConfig::paper_default(), set.parameters()).unwrap();
         let ms = sim.pbs_latency_s() * 1e3;
         let ratio = ms / paper_ms;
         assert!((0.67..1.5).contains(&ratio), "{set}: {ms:.3} ms vs paper {paper_ms}");
@@ -41,8 +39,7 @@ fn latency_matches_paper_within_fifty_percent() {
 fn latency_ordering_follows_workload_size() {
     let mut last = 0.0;
     for set in ParameterSet::ALL {
-        let sim =
-            StrixSimulator::new(StrixConfig::paper_default(), set.parameters()).unwrap();
+        let sim = StrixSimulator::new(StrixConfig::paper_default(), set.parameters()).unwrap();
         let lat = sim.pbs_latency_s();
         assert!(lat > last, "{set} latency must exceed the previous set's");
         last = lat;
@@ -55,8 +52,8 @@ fn folding_ablation_matches_table_vi() {
     let folded = StrixSimulator::new(StrixConfig::paper_default(), p.clone()).unwrap();
     let plain = StrixSimulator::new(StrixConfig::paper_non_folded(), p).unwrap();
 
-    let thr_gain = folded.pbs_report(4096).throughput_pbs_per_s
-        / plain.pbs_report(4096).throughput_pbs_per_s;
+    let thr_gain =
+        folded.pbs_report(4096).throughput_pbs_per_s / plain.pbs_report(4096).throughput_pbs_per_s;
     assert!((1.9..2.1).contains(&thr_gain), "throughput gain {thr_gain}"); // paper: 1.99×
 
     let lat_gain = plain.pbs_latency_s() / folded.pbs_latency_s();
@@ -112,9 +109,11 @@ fn area_model_reproduces_table_iii_componentwise() {
 
 #[test]
 fn trace_agrees_with_engine_iteration_period() {
-    let sim =
-        StrixSimulator::new(StrixConfig::paper_default().with_core_batch(3), TfheParameters::set_i())
-            .unwrap();
+    let sim = StrixSimulator::new(
+        StrixConfig::paper_default().with_core_batch(3),
+        TfheParameters::set_i(),
+    )
+    .unwrap();
     let trace = sim.trace(2);
     // Horizon = 2 iterations of the effective period.
     let report = sim.pbs_report(24);
@@ -129,15 +128,14 @@ fn trace_agrees_with_engine_iteration_period() {
 #[test]
 fn keyswitch_stays_hidden_at_all_paper_sets() {
     for set in ParameterSet::ALL {
-        let sim =
-            StrixSimulator::new(StrixConfig::paper_default(), set.parameters()).unwrap();
+        let sim = StrixSimulator::new(StrixConfig::paper_default(), set.parameters()).unwrap();
         let r = sim.pbs_report(1 << 14);
         // Hidden keyswitching means throughput is set by the BR epoch:
         // epoch_size / thr == BR epoch time, i.e. KS did not stretch it.
         let br_epoch_s = r.epoch_size as f64 / r.throughput_pbs_per_s;
-        let ks_epoch_s = sim.config().cycles_to_seconds(
-            (sim.ks_cluster().cycles_per_lwe() * r.core_batch as u64) as f64,
-        );
+        let ks_epoch_s = sim
+            .config()
+            .cycles_to_seconds((sim.ks_cluster().cycles_per_lwe() * r.core_batch as u64) as f64);
         assert!(ks_epoch_s < br_epoch_s, "{set}: ks not hidden");
     }
 }
@@ -147,20 +145,15 @@ fn device_level_scaling_is_linear_until_bandwidth() {
     // Adding cores multiplies throughput until the bsk stream saturates;
     // at set I the stream is light, so 1→16 cores scale ~linearly.
     let p = TfheParameters::set_i();
-    let thr_1 = StrixSimulator::new(
-        StrixConfig { tvlp: 1, ..StrixConfig::paper_default() },
-        p.clone(),
-    )
-    .unwrap()
-    .pbs_report(4096)
-    .throughput_pbs_per_s;
-    let thr_16 = StrixSimulator::new(
-        StrixConfig { tvlp: 16, ..StrixConfig::paper_default() },
-        p,
-    )
-    .unwrap()
-    .pbs_report(4096)
-    .throughput_pbs_per_s;
+    let thr_1 =
+        StrixSimulator::new(StrixConfig { tvlp: 1, ..StrixConfig::paper_default() }, p.clone())
+            .unwrap()
+            .pbs_report(4096)
+            .throughput_pbs_per_s;
+    let thr_16 = StrixSimulator::new(StrixConfig { tvlp: 16, ..StrixConfig::paper_default() }, p)
+        .unwrap()
+        .pbs_report(4096)
+        .throughput_pbs_per_s;
     let scaling = thr_16 / thr_1;
     assert!((15.0..17.0).contains(&scaling), "scaling {scaling}");
 }

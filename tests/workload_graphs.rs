@@ -19,8 +19,7 @@ fn nn_models_have_the_paper_shapes() {
 #[test]
 fn deeper_networks_take_longer_on_strix() {
     let sim =
-        StrixSimulator::new(StrixConfig::paper_default(), TfheParameters::deep_nn(1024))
-            .unwrap();
+        StrixSimulator::new(StrixConfig::paper_default(), TfheParameters::deep_nn(1024)).unwrap();
     let mut last = 0.0;
     for depth in [20usize, 50, 100] {
         let t = sim.run_graph(&DeepNn::new(depth, 1024).workload()).total_time_s;
@@ -78,8 +77,7 @@ fn image_feeds_the_nn_input_shape() {
 
 #[test]
 fn empty_and_composite_workloads_run() {
-    let sim =
-        StrixSimulator::new(StrixConfig::paper_default(), TfheParameters::set_i()).unwrap();
+    let sim = StrixSimulator::new(StrixConfig::paper_default(), TfheParameters::set_i()).unwrap();
     let empty = Workload::new("empty");
     let r = sim.run_graph(&empty);
     assert_eq!(r.total_time_s, 0.0);
@@ -98,8 +96,7 @@ fn empty_and_composite_workloads_run() {
 
 #[test]
 fn graph_times_scale_with_pbs_count() {
-    let sim =
-        StrixSimulator::new(StrixConfig::paper_default(), TfheParameters::set_i()).unwrap();
+    let sim = StrixSimulator::new(StrixConfig::paper_default(), TfheParameters::set_i()).unwrap();
     let small = sim.run_graph(&Workload::new("s").pbs(256, "x")).total_time_s;
     let large = sim.run_graph(&Workload::new("l").pbs(2560, "x")).total_time_s;
     let ratio = large / small;

@@ -1,0 +1,455 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate implements the subset of the proptest API the workspace's
+//! property tests use: the [`Strategy`] trait with `prop_map` /
+//! `prop_filter`, range and collection strategies, `prop::sample::select`,
+//! `any::<T>()`, the `proptest!` macro with `#![proptest_config(...)]`,
+//! and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking** — a failing case panics with the assertion message
+//!   directly. Each test function draws from a generator seeded from the
+//!   test's own name, so failures reproduce deterministically.
+//! * `prop_assert!`/`prop_assert_eq!` panic instead of returning a
+//!   `TestCaseError` (the harness treats both as failure).
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Runner configuration: number of random cases per property.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Derives a deterministic per-test seed from the test name (FNV-1a).
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut hash = 0xcbf29ce484222325u64;
+    for b in name.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// A source of random values of an associated type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps produced values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects values failing `pred`, retrying (up to a bound).
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, whence, pred }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..10_000 {
+            let candidate = self.inner.sample(rng);
+            if (self.pred)(&candidate) {
+                return candidate;
+            }
+        }
+        panic!("prop_filter `{}` rejected 10000 consecutive samples", self.whence);
+    }
+}
+
+/// A strategy producing one fixed value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty range strategy");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        start + unit * (end - start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
+}
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draws one value from the full domain.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.next_u64() as u8
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+/// Strategy over the full domain of `T`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-domain strategy for `T` (`any::<u64>()` etc.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+/// Namespaced strategy constructors, mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{SizeRange, Strategy, VecStrategy};
+
+        /// A strategy for `Vec`s of `size` elements drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, size: impl SizeRange) -> VecStrategy<S> {
+            VecStrategy { element, size: size.pick_bounds() }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use super::super::Select;
+
+        /// A strategy drawing uniformly from `options`.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select requires at least one option");
+            Select { options }
+        }
+    }
+}
+
+/// A fixed or bounded element count for [`prop::collection::vec`].
+pub trait SizeRange {
+    /// The inclusive (min, max) element count.
+    fn pick_bounds(&self) -> (usize, usize);
+}
+
+impl SizeRange for usize {
+    fn pick_bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn pick_bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty vec size range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn pick_bounds(&self) -> (usize, usize) {
+        (*self.start(), *self.end())
+    }
+}
+
+/// See [`prop::collection::vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: (usize, usize),
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let (min, max) = self.size;
+        let len = if min == max { min } else { min + (rng.next_u64() as usize) % (max - min + 1) };
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// See [`prop::sample::select`].
+#[derive(Clone, Debug)]
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        let idx = (rng.next_u64() as usize) % self.options.len();
+        self.options[idx].clone()
+    }
+}
+
+/// Builds the per-test generator.
+pub fn test_rng(name: &str) -> StdRng {
+    StdRng::seed_from_u64(seed_from_name(name))
+}
+
+/// Asserts a condition inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` running the body over random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ [$cfg] $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ [$crate::ProptestConfig::default()] $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    ([$cfg:expr]) => {};
+    ([$cfg:expr]
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        // The conventional `proptest!` body already carries `#[test]`
+        // in $meta, so no extra attribute is added here.
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_rng(stringify!($name));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_impl!{ [$cfg] $($rest)* }
+    };
+}
+
+/// Glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = super::test_rng("ranges_stay_in_bounds");
+        for _ in 0..500 {
+            let x = (1u32..=16).sample(&mut rng);
+            assert!((1..=16).contains(&x));
+            let y = (-5i64..=5).sample(&mut rng);
+            assert!((-5..=5).contains(&y));
+            let z = (-1.5f64..2.5).sample(&mut rng);
+            assert!((-1.5..2.5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn map_filter_compose() {
+        let strat = (1u32..=16, 1usize..=4)
+            .prop_filter("fits", |(b, l)| (*b as usize) * *l <= 16)
+            .prop_map(|(b, l)| (b as usize) * l);
+        let mut rng = super::test_rng("map_filter_compose");
+        for _ in 0..500 {
+            assert!(strat.sample(&mut rng) <= 16);
+        }
+    }
+
+    #[test]
+    fn vec_and_select() {
+        let mut rng = super::test_rng("vec_and_select");
+        let v = prop::collection::vec(-3i64..=3, 17).sample(&mut rng);
+        assert_eq!(v.len(), 17);
+        assert!(v.iter().all(|x| (-3..=3).contains(x)));
+        let s = prop::sample::select(vec![2usize, 4, 8]).sample(&mut rng);
+        assert!([2, 4, 8].contains(&s));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_patterns(a in any::<u64>(), (b, c) in (0u32..10, 0u32..10)) {
+            prop_assert!(b < 10 && c < 10);
+            let _ = a;
+        }
+    }
+}

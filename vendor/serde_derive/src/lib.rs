@@ -1,0 +1,394 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for
+//! the vendored value-tree `serde` without depending on `syn`/`quote`:
+//! the input token stream is parsed by hand into a small item model
+//! (struct with named fields, or enum of unit/tuple/struct variants —
+//! exactly the shapes this workspace derives on), and the impls are
+//! emitted as source text.
+//!
+//! Unsupported shapes (generic types, tuple structs, unions) produce a
+//! compile error naming the limitation rather than silently-wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Derives `serde::Serialize` via the value tree.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize` via the value tree.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item).parse().expect("serde_derive stub generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = ident_at(&tokens, i).ok_or("expected `struct` or `enum`")?;
+    i += 1;
+    let name = ident_at(&tokens, i).ok_or("expected type name")?;
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("serde_derive stub: generic type `{name}` is not supported"));
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::Struct { name, fields: parse_named_fields(g.stream())? })
+            }
+            _ => Err(format!("serde_derive stub: struct `{name}` must have named fields")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::Enum { name, variants: parse_variants(g.stream())? })
+            }
+            _ => Err(format!("serde_derive stub: malformed enum `{name}`")),
+        },
+        other => Err(format!("serde_derive stub: unsupported item `{other}`")),
+    }
+}
+
+fn ident_at(tokens: &[TokenTree], i: usize) -> Option<String> {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Advances past `#[...]` attributes and `pub`/`pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` plus the bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `name1: Type1, name2: Type2, ...` from a brace group's stream.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_at(&tokens, i).ok_or("expected field name")?;
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Advances past a type, stopping after the top-level `,` (or at end).
+/// Angle brackets are tracked by depth since they are bare punctuation
+/// in the token stream.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_at(&tokens, i).ok_or("expected variant name")?;
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_elems(g.stream());
+                i += 1;
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            return Err(format!(
+                "serde_derive stub: explicit discriminant on `{name}` is not supported"
+            ));
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+fn count_tuple_elems(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0usize;
+    for (idx, tok) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                // A trailing comma does not start a new element.
+                ',' if angle_depth == 0 && idx + 1 < tokens.len() => count += 1,
+                _ => {}
+            }
+        }
+    }
+    count
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let entries = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 \tfn to_value(&self) -> ::serde::Value {{\n\
+                 \t\t::serde::Value::Object(vec![{entries}])\n\
+                 \t}}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str({vname:?}.to_string()),"
+                        ),
+                        VariantKind::Tuple(arity) => {
+                            let binds: Vec<String> =
+                                (0..*arity).map(|k| format!("__f{k}")).collect();
+                            let elems = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            let payload = if *arity == 1 {
+                                elems
+                            } else {
+                                format!("::serde::Value::Array(vec![{elems}])")
+                            };
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(vec![({vname:?}.to_string(), {payload})]),",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let entries = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "({f:?}.to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(vec![({vname:?}.to_string(), ::serde::Value::Object(vec![{entries}]))]),"
+                            )
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n\t\t\t");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 \tfn to_value(&self) -> ::serde::Value {{\n\
+                 \t\tmatch self {{\n\
+                 \t\t\t{arms}\n\
+                 \t\t}}\n\
+                 \t}}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let inits = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::get_field(__obj, {f:?})?)?,"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("\n\t\t\t");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 \tfn from_value(__v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 \t\tlet __obj = __v.as_object().ok_or_else(|| ::serde::DeError::expected(\"object for {name}\", __v))?;\n\
+                 \t\tOk({name} {{\n\
+                 \t\t\t{inits}\n\
+                 \t\t}})\n\
+                 \t}}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("{:?} => return Ok({name}::{}),", v.name, v.name))
+                .collect::<Vec<_>>()
+                .join("\n\t\t\t\t");
+            let payload_arms = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(arity) => {
+                            let body = if *arity == 1 {
+                                format!(
+                                    "return Ok({name}::{vname}(::serde::Deserialize::from_value(__payload)?));"
+                                )
+                            } else {
+                                let elems = (0..*arity)
+                                    .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?"))
+                                    .collect::<Vec<_>>()
+                                    .join(", ");
+                                format!(
+                                    "let __items = __payload.as_array().ok_or_else(|| ::serde::DeError::expected(\"array for {name}::{vname}\", __payload))?;\n\
+                                     \t\t\t\t\tif __items.len() != {arity} {{ return Err(::serde::DeError::custom(\"wrong arity for {name}::{vname}\")); }}\n\
+                                     \t\t\t\t\treturn Ok({name}::{vname}({elems}));"
+                                )
+                            };
+                            Some(format!("{vname:?} => {{ {body} }}"))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(::serde::get_field(__fields, {f:?})?)?,"
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                                .join(" ");
+                            Some(format!(
+                                "{vname:?} => {{\n\
+                                 \t\t\t\t\tlet __fields = __payload.as_object().ok_or_else(|| ::serde::DeError::expected(\"object for {name}::{vname}\", __payload))?;\n\
+                                 \t\t\t\t\treturn Ok({name}::{vname} {{ {inits} }});\n\
+                                 \t\t\t\t}}"
+                            ))
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n\t\t\t\t");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 \tfn from_value(__v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 \t\tif let Some(__s) = __v.as_str() {{\n\
+                 \t\t\tmatch __s {{\n\
+                 \t\t\t\t{unit_arms}\n\
+                 \t\t\t\t_ => return Err(::serde::DeError::custom(format!(\"unknown variant `{{__s}}` of {name}\"))),\n\
+                 \t\t\t}}\n\
+                 \t\t}}\n\
+                 \t\tif let Some(__entries) = __v.as_object() {{\n\
+                 \t\t\tif __entries.len() == 1 {{\n\
+                 \t\t\t\tlet (__tag, __payload) = (&__entries[0].0, &__entries[0].1);\n\
+                 \t\t\t\tmatch __tag.as_str() {{\n\
+                 \t\t\t\t{payload_arms}\n\
+                 \t\t\t\t_ => return Err(::serde::DeError::custom(format!(\"unknown variant `{{__tag}}` of {name}\"))),\n\
+                 \t\t\t\t}}\n\
+                 \t\t\t}}\n\
+                 \t\t}}\n\
+                 \t\tErr(::serde::DeError::expected(\"variant of {name}\", __v))\n\
+                 \t}}\n\
+                 }}"
+            )
+        }
+    }
+}
