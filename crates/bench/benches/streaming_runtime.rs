@@ -12,9 +12,7 @@ use std::time::Duration;
 
 use strix_bench::{banner, markdown_table, runtime_vs_simulator_rows, RUNTIME_COMPARISON_HEADER};
 use strix_core::{BatchGeometry, StrixConfig, StrixSimulator};
-use strix_runtime::{
-    ArrivalProcess, OpenLoopTrafficGen, RequestOp, Runtime, RuntimeConfig, TfheExecutor,
-};
+use strix_runtime::{ArrivalProcess, OpenLoopTrafficGen, RequestOp, Runtime, RuntimeConfig};
 use strix_tfhe::bootstrap::Lut;
 use strix_tfhe::prelude::*;
 
@@ -28,9 +26,18 @@ fn main() {
     let params = TfheParameters::testing_fast();
     let (client_key, server_key) = generate_keys(&params, 0xBE7C);
     let geometry = BatchGeometry::explicit(4, 8);
-    let runtime = Runtime::start(
-        RuntimeConfig::new(geometry).with_max_delay(Duration::from_millis(50)).with_workers(2),
-        TfheExecutor::new(Arc::new(server_key)),
+    // Shard each epoch across the cores, divided between the two
+    // workers so workers x threads never oversubscribes the host
+    // (capped at 4 threads per worker either way).
+    const WORKERS: usize = 2;
+    let threads_per_worker =
+        std::thread::available_parallelism().map_or(1, |p| (p.get() / WORKERS).clamp(1, 4));
+    let runtime = Runtime::start_tfhe(
+        RuntimeConfig::new(geometry)
+            .with_max_delay(Duration::from_millis(50))
+            .with_workers(WORKERS)
+            .with_threads_per_worker(threads_per_worker),
+        Arc::new(server_key),
     );
     let lut =
         Arc::new(Lut::from_function(params.polynomial_size, BITS, |m| (7 * m + 1) % 8).unwrap());

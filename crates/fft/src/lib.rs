@@ -11,6 +11,11 @@
 //!   an `N`-coefficient negacyclic transform computed on an `N/2`-point
 //!   complex FFT by packing `a_j + i·a_{j+N/2}` and twisting by the odd
 //!   2N-th roots of unity,
+//! * [`FftScratch`] — caller-owned buffers for allocation-free loops of
+//!   whole negacyclic products; the `forward_*`/`backward_*` entry
+//!   points are scratch-taking by design (they write into caller
+//!   buffers and never allocate), which is what `strix-tfhe`'s larger
+//!   per-thread PBS scratch builds on,
 //! * [`mod@reference`] — exact schoolbook negacyclic convolution used as the
 //!   correctness oracle in tests and for small parameter sets.
 //!
@@ -42,7 +47,7 @@ pub mod reference;
 
 pub use complex::Complex64;
 pub use error::FftError;
-pub use negacyclic::{pointwise_mul_add, NegacyclicFft};
+pub use negacyclic::{pointwise_mul_add, FftScratch, NegacyclicFft};
 pub use plan::FftPlan;
 
 /// Returns `true` if `n` is a power of two greater than or equal to `min`.

@@ -19,6 +19,41 @@ use crate::error::FftError;
 use crate::is_pow2_at_least;
 use crate::plan::FftPlan;
 
+/// Caller-owned scratch buffers for allocation-free negacyclic
+/// arithmetic: two spectra (`N/2` complex points each) and one
+/// time-domain buffer (`N` reals), sized to one [`NegacyclicFft`] plan.
+///
+/// The transform entry points ([`NegacyclicFft::forward_f64`],
+/// [`NegacyclicFft::forward_i64`], [`NegacyclicFft::backward_f64`])
+/// already write into caller-provided buffers and never allocate; this
+/// type bundles correctly-sized instances of those buffers for loops
+/// of whole products ([`NegacyclicFft::negacyclic_mul_i64_scratch`]).
+/// Allocate one per thread and reuse it across operations. (The PBS
+/// CMUX loop needs more state than one product — per-level digits and
+/// `k+1` accumulator spectra — so `strix-tfhe` builds its larger
+/// `PbsScratch` on the same scratch-taking transforms rather than on
+/// this type.)
+#[derive(Clone, Debug)]
+pub struct FftScratch {
+    /// First spectrum buffer (`N/2` points).
+    pub spectrum_a: Vec<Complex64>,
+    /// Second spectrum buffer (`N/2` points).
+    pub spectrum_b: Vec<Complex64>,
+    /// Time-domain buffer (`N` reals).
+    pub time: Vec<f64>,
+}
+
+impl FftScratch {
+    /// Allocates scratch sized to `fft`'s polynomial size.
+    pub fn for_plan(fft: &NegacyclicFft) -> Self {
+        Self {
+            spectrum_a: vec![Complex64::ZERO; fft.fourier_size()],
+            spectrum_b: vec![Complex64::ZERO; fft.fourier_size()],
+            time: vec![0.0f64; fft.poly_size()],
+        }
+    }
+}
+
 /// Negacyclic transform of real polynomials with `N` coefficients using an
 /// `N/2`-point complex FFT.
 ///
@@ -160,20 +195,34 @@ impl NegacyclicFft {
         b: &[i64],
         out: &mut [i64],
     ) -> Result<(), FftError> {
+        let mut scratch = FftScratch::for_plan(self);
+        self.negacyclic_mul_i64_scratch(a, b, out, &mut scratch)
+    }
+
+    /// As [`Self::negacyclic_mul_i64`] but using caller-provided
+    /// scratch, so repeated products perform no heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] on buffer size mismatch
+    /// (including a scratch sized for a different plan).
+    pub fn negacyclic_mul_i64_scratch(
+        &self,
+        a: &[i64],
+        b: &[i64],
+        out: &mut [i64],
+        scratch: &mut FftScratch,
+    ) -> Result<(), FftError> {
         self.check_time_len(a.len())?;
         self.check_time_len(b.len())?;
         self.check_time_len(out.len())?;
-        let half = self.fourier_size();
-        let mut fa = vec![Complex64::ZERO; half];
-        let mut fb = vec![Complex64::ZERO; half];
-        self.forward_i64(a, &mut fa)?;
-        self.forward_i64(b, &mut fb)?;
-        for (x, y) in fa.iter_mut().zip(&fb) {
+        self.forward_i64(a, &mut scratch.spectrum_a)?;
+        self.forward_i64(b, &mut scratch.spectrum_b)?;
+        for (x, y) in scratch.spectrum_a.iter_mut().zip(&scratch.spectrum_b) {
             *x *= *y;
         }
-        let mut res = vec![0.0f64; self.poly_size];
-        self.backward_f64(&mut fa, &mut res)?;
-        for (o, r) in out.iter_mut().zip(&res) {
+        self.backward_f64(&mut scratch.spectrum_a, &mut scratch.time)?;
+        for (o, r) in out.iter_mut().zip(&scratch.time) {
             *o = r.round() as i64;
         }
         Ok(())
@@ -298,6 +347,32 @@ mod tests {
         let mut expected = vec![0i64; n];
         expected[0] = -1;
         assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn scratch_multiplication_is_bit_identical_to_allocating_path() {
+        let n = 64;
+        let fft = NegacyclicFft::new(n).unwrap();
+        let mut scratch = FftScratch::for_plan(&fft);
+        let a: Vec<i64> = (0..n).map(|i| ((i * 29 + 11) % 53) as i64 - 26).collect();
+        let b: Vec<i64> = (0..n).map(|i| ((i * 13 + 5) % 47) as i64 - 23).collect();
+        let mut alloc = vec![0i64; n];
+        fft.negacyclic_mul_i64(&a, &b, &mut alloc).unwrap();
+        // Reuse the same scratch twice: stale contents must not leak.
+        for _ in 0..2 {
+            let mut reused = vec![0i64; n];
+            fft.negacyclic_mul_i64_scratch(&a, &b, &mut reused, &mut scratch).unwrap();
+            assert_eq!(reused, alloc);
+        }
+    }
+
+    #[test]
+    fn scratch_for_wrong_plan_is_rejected() {
+        let fft = NegacyclicFft::new(8).unwrap();
+        let mut scratch = FftScratch::for_plan(&NegacyclicFft::new(16).unwrap());
+        let a = [0i64; 8];
+        let mut out = [0i64; 8];
+        assert!(fft.negacyclic_mul_i64_scratch(&a, &a, &mut out, &mut scratch).is_err());
     }
 
     #[test]

@@ -83,9 +83,21 @@ pub fn negacyclic_mul_torus(digits: &[i64], torus: &[u64]) -> Vec<u64> {
 ///
 /// Panics if `amount >= 2 * poly.len()`.
 pub fn rotate_left(poly: &[u64], amount: usize) -> Vec<u64> {
+    let mut out = vec![0u64; poly.len()];
+    rotate_left_into(poly, amount, &mut out);
+    out
+}
+
+/// As [`rotate_left`], writing into a caller-provided buffer — the
+/// allocation-free form used inside the blind-rotation CMUX loop.
+///
+/// # Panics
+///
+/// Panics if `amount >= 2 * poly.len()` or the buffer sizes differ.
+pub fn rotate_left_into(poly: &[u64], amount: usize, out: &mut [u64]) {
     let n = poly.len();
     assert!(amount < 2 * n, "rotation amount {amount} out of range for size {n}");
-    let mut out = vec![0u64; n];
+    assert_eq!(out.len(), n, "rotation output buffer size mismatch");
     for (j, slot) in out.iter_mut().enumerate() {
         // out = X^{-amount} * poly: out[j] = poly[(j + amount) mod 2N] with sign.
         let src = j + amount;
@@ -97,7 +109,6 @@ pub fn rotate_left(poly: &[u64], amount: usize) -> Vec<u64> {
             *slot = poly[src - 2 * n];
         }
     }
-    out
 }
 
 /// Negacyclic right-rotation by `amount` positions in `[0, 2N)`:
@@ -107,13 +118,27 @@ pub fn rotate_left(poly: &[u64], amount: usize) -> Vec<u64> {
 ///
 /// Panics if `amount >= 2 * poly.len()`.
 pub fn rotate_right(poly: &[u64], amount: usize) -> Vec<u64> {
+    let mut out = vec![0u64; poly.len()];
+    rotate_right_into(poly, amount, &mut out);
+    out
+}
+
+/// As [`rotate_right`], writing into a caller-provided buffer — the
+/// allocation-free form used inside the blind-rotation CMUX loop.
+///
+/// # Panics
+///
+/// Panics if `amount >= 2 * poly.len()` or the buffer sizes differ.
+pub fn rotate_right_into(poly: &[u64], amount: usize, out: &mut [u64]) {
     let n = poly.len();
     assert!(amount < 2 * n, "rotation amount {amount} out of range for size {n}");
     if amount == 0 {
-        return poly.to_vec();
+        assert_eq!(out.len(), n, "rotation output buffer size mismatch");
+        out.copy_from_slice(poly);
+        return;
     }
     // X^{amount} = X^{-(2N - amount)}.
-    rotate_left(poly, 2 * n - amount)
+    rotate_left_into(poly, 2 * n - amount, out);
 }
 
 #[cfg(test)]

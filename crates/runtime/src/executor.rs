@@ -21,18 +21,46 @@ pub trait BatchExecutor: Send + Sync + 'static {
     /// Runs every request, returning one result per request **in the
     /// same order**.
     fn execute(&self, batch: &[Request]) -> Vec<Result<LweCiphertext, TfheError>>;
+
+    /// How many threads [`Self::execute`] will use for a batch
+    /// carrying `batch_len` PBS jobs (workers pass the PBS-bearing
+    /// request count, since keyswitch-only requests never shard).
+    /// Recorded into the metrics so the report can show per-epoch
+    /// thread occupancy.
+    fn planned_threads(&self, batch_len: usize) -> usize {
+        let _ = batch_len;
+        1
+    }
+
+    /// The thread budget this executor was configured with (the
+    /// denominator of the thread-occupancy metric).
+    fn max_threads(&self) -> usize {
+        1
+    }
 }
 
 /// The TFHE back-end: batched PBS with amortised bootstrapping-key
-/// access, plus keyswitching where the operation asks for it.
+/// access — optionally split across an intra-epoch thread pool
+/// ([`strix_tfhe::bootstrap::BootstrapKey::bootstrap_batch_parallel`])
+/// — plus batched keyswitching where the operation asks for it.
 pub struct TfheExecutor {
     server: Arc<ServerKey>,
+    threads: usize,
 }
 
 impl TfheExecutor {
-    /// Wraps a server key.
+    /// Wraps a server key; epochs execute on the calling worker thread
+    /// alone.
     pub fn new(server: Arc<ServerKey>) -> Self {
-        Self { server }
+        Self::with_threads(server, 1)
+    }
+
+    /// Wraps a server key with an intra-epoch thread budget: each
+    /// epoch's PBS jobs are sharded across up to `threads` scoped
+    /// threads sharing the bootstrapping key, bit-identically to the
+    /// sequential path. `threads` is clamped to at least 1.
+    pub fn with_threads(server: Arc<ServerKey>, threads: usize) -> Self {
+        Self { server, threads: threads.max(1) }
     }
 }
 
@@ -67,13 +95,36 @@ impl BatchExecutor for TfheExecutor {
         // With shapes pre-validated the batch call cannot mismatch;
         // still, an unexpected error fails its jobs rather than
         // panicking the worker thread.
-        match bsk.bootstrap_batch(&jobs) {
+        match bsk.bootstrap_batch_parallel(&jobs, self.planned_threads(jobs.len())) {
             Ok(booted) => {
+                // Keyswitch the Lut-op outputs as one batch (they all
+                // carry the extracted dimension the key expects);
+                // Bootstrap-op outputs pass through raw.
+                let mut ks_slots = Vec::new();
+                let mut ks_inputs = Vec::new();
                 for (&i, out) in pbs_indices.iter().zip(booted) {
-                    results[i] = Some(match &batch[i].op {
-                        RequestOp::Lut(_) => self.server.keyswitch_key().keyswitch(&out),
-                        _ => Ok(out),
-                    });
+                    match &batch[i].op {
+                        RequestOp::Lut(_) => {
+                            ks_slots.push(i);
+                            ks_inputs.push(out);
+                        }
+                        _ => results[i] = Some(Ok(out)),
+                    }
+                }
+                match self.server.keyswitch_key().keyswitch_batch(&ks_inputs) {
+                    Ok(switched) => {
+                        for (&i, out) in ks_slots.iter().zip(switched) {
+                            results[i] = Some(Ok(out));
+                        }
+                    }
+                    // Unreachable with pre-validated shapes (PBS always
+                    // emits the extracted dimension), but an error must
+                    // fail its requests, not the worker.
+                    Err(e) => {
+                        for &i in &ks_slots {
+                            results[i] = Some(Err(e.clone()));
+                        }
+                    }
                 }
             }
             Err(e) => {
@@ -84,6 +135,14 @@ impl BatchExecutor for TfheExecutor {
         }
 
         results.into_iter().map(|r| r.expect("every request receives a result")).collect()
+    }
+
+    fn planned_threads(&self, batch_len: usize) -> usize {
+        self.threads.min(batch_len).max(1)
+    }
+
+    fn max_threads(&self) -> usize {
+        self.threads
     }
 }
 
@@ -144,6 +203,31 @@ mod tests {
         let out2 = results[2].as_ref().unwrap();
         assert_eq!(out2.dimension(), params.extracted_lwe_dimension());
         assert_eq!(decode(out2, p), 3);
+    }
+
+    #[test]
+    fn threaded_executor_matches_single_threaded_bitwise() {
+        let params = TfheParameters::testing_fast();
+        let (mut client, server) = generate_keys(&params, 44);
+        let server = Arc::new(server);
+        let p = 2u32;
+        let lut = Arc::new(Lut::from_function(params.polynomial_size, p, |m| (3 * m) % 4).unwrap());
+        // 5 requests: uneven across 2 threads.
+        let batch: Vec<Request> = (0..5u64)
+            .map(|i| {
+                let ct = client.encrypt_shortint(i % 4, p).unwrap().as_lwe().clone();
+                request(i, 0, ct, RequestOp::Lut(Arc::clone(&lut)))
+            })
+            .collect();
+        let sequential = TfheExecutor::new(Arc::clone(&server)).execute(&batch);
+        let threaded = TfheExecutor::with_threads(Arc::clone(&server), 2);
+        assert_eq!(threaded.planned_threads(batch.len()), 2);
+        assert_eq!(threaded.planned_threads(1), 1);
+        assert_eq!(threaded.max_threads(), 2);
+        let parallel = threaded.execute(&batch);
+        for (s, t) in sequential.iter().zip(&parallel) {
+            assert_eq!(s.as_ref().unwrap(), t.as_ref().unwrap());
+        }
     }
 
     #[test]

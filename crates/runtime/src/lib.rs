@@ -18,12 +18,15 @@
 //!    Fig. 2 argument) or on deadline (bounded tail latency),
 //! 3. a **worker pool** ([`worker`]) executing each epoch through a
 //!    [`BatchExecutor`]; the TFHE back-end drives
-//!    `BootstrapKey::bootstrap_batch`, whose key-major loop reuses one
-//!    bootstrapping-key fetch across the whole epoch exactly as an HSC
-//!    amortises its bsk stream,
+//!    `BootstrapKey::bootstrap_batch_parallel`, which shards the epoch
+//!    across `threads_per_worker` scoped threads — each shard's
+//!    key-major loop reuses one bootstrapping-key fetch exactly as an
+//!    HSC amortises its bsk stream, and every shard runs on its own
+//!    allocation-free `PbsScratch`,
 //! 4. a **metrics layer** ([`metrics`]) producing a [`RuntimeReport`]
-//!    (latency percentiles, achieved PBS/s, batch-occupancy histogram)
-//!    that sits next to the simulator's `PbsReport` in `strix-bench`.
+//!    (latency percentiles, achieved PBS/s, batch-occupancy histogram,
+//!    per-epoch thread occupancy) that sits next to the simulator's
+//!    `PbsReport` in `strix-bench`.
 //!
 //! [`OpenLoopTrafficGen`] supplies Poisson / bursty / backlog arrival
 //! schedules for the demo (`examples/streaming_server.rs`), the

@@ -30,6 +30,12 @@ struct MetricsInner {
     epochs: usize,
     occupancy_sum: f64,
     occupancy_histogram: [usize; OCCUPANCY_BUCKETS],
+    /// Epochs whose execution-thread usage was recorded (workers
+    /// record these; the batcher records the occupancy above).
+    executed_epochs: usize,
+    threads_used_sum: u64,
+    threads_budget_sum: u64,
+    max_threads_used: usize,
     pbs_completed: usize,
     completed: usize,
     failed: usize,
@@ -62,6 +68,18 @@ impl MetricsSink {
         let bucket =
             ((occ * OCCUPANCY_BUCKETS as f64).ceil() as usize).clamp(1, OCCUPANCY_BUCKETS) - 1;
         inner.occupancy_histogram[bucket] += 1;
+    }
+
+    /// Records the intra-epoch thread plan of one executed epoch:
+    /// `used` threads planned for its PBS jobs against the executor's
+    /// configured `budget`. Both clamp to at least 1 (an epoch always
+    /// occupies at least its worker thread).
+    pub fn record_epoch_threads(&self, used: usize, budget: usize) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        inner.executed_epochs += 1;
+        inner.threads_used_sum += used.max(1) as u64;
+        inner.threads_budget_sum += budget.max(1) as u64;
+        inner.max_threads_used = inner.max_threads_used.max(used.max(1));
     }
 
     /// Records one completed request.
@@ -116,6 +134,16 @@ impl MetricsSink {
             };
             let mean_occ =
                 if inner.epochs == 0 { 0.0 } else { inner.occupancy_sum / inner.epochs as f64 };
+            let mean_threads = if inner.executed_epochs == 0 {
+                0.0
+            } else {
+                inner.threads_used_sum as f64 / inner.executed_epochs as f64
+            };
+            let thread_occ = if inner.threads_budget_sum == 0 {
+                0.0
+            } else {
+                inner.threads_used_sum as f64 / inner.threads_budget_sum as f64
+            };
             (
                 inner.latencies_us.clone(),
                 RuntimeReport {
@@ -134,6 +162,9 @@ impl MetricsSink {
                     },
                     mean_batch_occupancy: mean_occ,
                     occupancy_histogram: inner.occupancy_histogram.to_vec(),
+                    mean_threads_per_epoch: mean_threads,
+                    thread_occupancy: thread_occ,
+                    max_threads_per_epoch: inner.max_threads_used,
                     elapsed_s,
                 },
             )
@@ -182,6 +213,16 @@ pub struct RuntimeReport {
     pub mean_batch_occupancy: f64,
     /// Epoch count per occupancy decile (`(i/10, (i+1)/10]`).
     pub occupancy_histogram: Vec<usize>,
+    /// Mean intra-epoch threads per executed epoch, as planned by the
+    /// executor for the epoch's PBS jobs (keyswitch-only epochs run on
+    /// the worker thread alone and count as 1).
+    pub mean_threads_per_epoch: f64,
+    /// Mean planned threads over configured thread budget in `[0, 1]`
+    /// — below 1.0 means epochs flushed with too few PBS jobs to fill
+    /// the pool.
+    pub thread_occupancy: f64,
+    /// Largest intra-epoch thread count any epoch planned.
+    pub max_threads_per_epoch: usize,
     /// Wall-clock measurement window in seconds.
     pub elapsed_s: f64,
 }
@@ -192,6 +233,7 @@ impl RuntimeReport {
         format!(
             "requests: {} ok / {} failed in {:.3} s\n\
              epochs:   {} flushed, capacity {}, mean occupancy {:.1}%\n\
+             threads:  {:.1} mean / {} peak per epoch ({:.1}% of budget)\n\
              latency:  p50 {:.3} ms | p90 {:.3} ms | p99 {:.3} ms | max {:.3} ms\n\
              rate:     {:.1} PBS/s achieved",
             self.requests_completed,
@@ -200,6 +242,9 @@ impl RuntimeReport {
             self.epochs,
             self.epoch_capacity,
             self.mean_batch_occupancy * 100.0,
+            self.mean_threads_per_epoch,
+            self.max_threads_per_epoch,
+            self.thread_occupancy * 100.0,
             self.p50_latency_us as f64 / 1e3,
             self.p90_latency_us as f64 / 1e3,
             self.p99_latency_us as f64 / 1e3,
@@ -269,6 +314,20 @@ mod tests {
         let expected = total as f64 / 2.0;
         let rel = (r.p50_latency_us as f64 - expected).abs() / expected;
         assert!(rel < 0.1, "reservoir p50 {} vs {expected}", r.p50_latency_us);
+    }
+
+    #[test]
+    fn thread_occupancy_tracks_used_over_budget() {
+        let sink = MetricsSink::default();
+        sink.record_epoch_threads(4, 4);
+        sink.record_epoch_threads(2, 4);
+        sink.record_epoch_threads(1, 4);
+        let r = sink.report(8);
+        assert!((r.mean_threads_per_epoch - 7.0 / 3.0).abs() < 1e-12);
+        assert!((r.thread_occupancy - 7.0 / 12.0).abs() < 1e-12);
+        assert_eq!(r.max_threads_per_epoch, 4);
+        let s = r.summary();
+        assert!(s.contains("2.3 mean / 4 peak"), "{s}");
     }
 
     #[test]

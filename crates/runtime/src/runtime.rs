@@ -29,18 +29,27 @@ pub struct RuntimeConfig {
     pub max_delay: Duration,
     /// Worker threads executing epochs.
     pub workers: usize,
+    /// Intra-epoch threads each worker's executor may use: an epoch's
+    /// PBS jobs are sharded across up to this many scoped threads
+    /// (bit-identical to sequential execution). Honoured by
+    /// [`Runtime::start_tfhe`]; custom executors receive it via
+    /// [`TfheExecutor::with_threads`](crate::executor::TfheExecutor::with_threads)-style
+    /// constructors.
+    pub threads_per_worker: usize,
     /// Ingress queue depth, in requests (backpressure bound).
     pub ingress_depth: usize,
 }
 
 impl RuntimeConfig {
     /// A config mirroring an accelerator batch geometry, with a 10 ms
-    /// deadline, two workers and an ingress of four epochs.
+    /// deadline, two single-threaded workers and an ingress of four
+    /// epochs.
     pub fn new(geometry: BatchGeometry) -> Self {
         Self {
             geometry,
             max_delay: Duration::from_millis(10),
             workers: 2,
+            threads_per_worker: 1,
             ingress_depth: geometry.epoch_size() * 4,
         }
     }
@@ -53,6 +62,11 @@ impl RuntimeConfig {
     /// Overrides the worker count.
     pub fn with_workers(self, workers: usize) -> Self {
         Self { workers: workers.max(1), ..self }
+    }
+
+    /// Overrides the intra-epoch thread budget per worker.
+    pub fn with_threads_per_worker(self, threads_per_worker: usize) -> Self {
+        Self { threads_per_worker: threads_per_worker.max(1), ..self }
     }
 }
 
@@ -100,6 +114,15 @@ impl Runtime {
     /// Starts the batcher and worker threads.
     pub fn start(config: RuntimeConfig, executor: impl BatchExecutor) -> Self {
         Self::start_dyn(config, Arc::new(executor))
+    }
+
+    /// Starts a runtime over the TFHE back-end, honouring the config's
+    /// `threads_per_worker`: shorthand for [`Self::start`] with
+    /// [`TfheExecutor::with_threads`](crate::executor::TfheExecutor::with_threads).
+    pub fn start_tfhe(config: RuntimeConfig, server: Arc<strix_tfhe::ServerKey>) -> Self {
+        let executor =
+            crate::executor::TfheExecutor::with_threads(server, config.threads_per_worker);
+        Self::start(config, executor)
     }
 
     /// As [`Self::start`], for an already-shared executor.

@@ -1,7 +1,7 @@
 //! The worker pool: executes flushed epochs and routes responses.
 //!
 //! Workers pull epochs from the batcher's queue, run them through the
-//! [`BatchExecutor`](crate::executor::BatchExecutor), record metrics
+//! [`BatchExecutor`], record metrics
 //! and deliver each response to its client's channel. Multiple workers
 //! may complete epochs out of flush order — the per-client reorder
 //! buffer in [`ClientHandle`](crate::runtime::ClientHandle) restores
@@ -57,6 +57,11 @@ pub(crate) fn run(
 ) {
     while let Ok(epoch) = epochs.pop() {
         let expected = epoch.requests.len();
+        // Thread usage scales with the PBS-bearing subset of the epoch
+        // (keyswitch-only requests never shard), so record against that
+        // count, not the raw epoch size.
+        let pbs_len = epoch.requests.iter().filter(|r| r.op.is_pbs()).count();
+        metrics.record_epoch_threads(executor.planned_threads(pbs_len), executor.max_threads());
         let mut results: Vec<Result<_, RuntimeError>> = executor
             .execute(&epoch.requests)
             .into_iter()

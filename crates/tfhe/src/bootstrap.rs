@@ -19,6 +19,17 @@
 //! library computes and what we implement. The per-iteration workload
 //! (one rotation/subtraction, one decomposition, `(k+1)·l_b` FFTs,
 //! `(k+1)²·l_b` pointwise multiplies, `k+1` IFFTs) is identical.
+//!
+//! # Hot-path execution model
+//!
+//! The CMUX loop runs entirely on per-thread [`PbsScratch`] buffers —
+//! no heap allocation between the initial accumulator setup and sample
+//! extraction. Epochs scale across cores with
+//! [`BootstrapKey::bootstrap_batch_parallel`]: the job list is split
+//! into contiguous shards, each shard walks the shared bootstrapping
+//! key in key-major order with its own scratch, and the results come
+//! back in job order, bit-identical to the sequential
+//! [`BootstrapKey::bootstrap_batch`].
 
 use strix_fft::NegacyclicFft;
 
@@ -30,6 +41,7 @@ use crate::params::TfheParameters;
 use crate::poly::TorusPolynomial;
 use crate::profiler::{PbsStage, StageTimings};
 use crate::rng::NoiseSampler;
+use crate::scratch::PbsScratch;
 use crate::torus::{encode_fraction, modulus_switch};
 use crate::TfheError;
 
@@ -228,6 +240,12 @@ impl BootstrapKey {
         &self.fft
     }
 
+    /// Allocates a [`PbsScratch`] sized to this key — one per thread,
+    /// reused across every bootstrap that thread performs.
+    pub fn scratch(&self) -> PbsScratch {
+        PbsScratch::new(self.glwe_dimension, self.poly_size, self.decomp)
+    }
+
     /// Total Fourier-domain key size in bytes (HBM traffic per full PBS).
     pub fn byte_size(&self) -> usize {
         self.ggsws.iter().map(FourierGgsw::byte_size).sum()
@@ -241,7 +259,56 @@ impl BootstrapKey {
     /// Returns [`TfheError::ParameterMismatch`] if the ciphertext
     /// dimension or LUT size disagrees with the key.
     pub fn blind_rotate(&self, ct: &LweCiphertext, lut: &Lut) -> Result<GlweCiphertext, TfheError> {
-        self.blind_rotate_impl(ct, lut, None)
+        let mut scratch = self.scratch();
+        self.blind_rotate_with(ct, lut, &mut scratch)
+    }
+
+    /// As [`Self::blind_rotate`] with caller-provided scratch: after
+    /// the initial accumulator setup, the CMUX loop performs no heap
+    /// allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TfheError::ParameterMismatch`] on shape mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch` was sized for a different parameter set.
+    pub fn blind_rotate_with(
+        &self,
+        ct: &LweCiphertext,
+        lut: &Lut,
+        scratch: &mut PbsScratch,
+    ) -> Result<GlweCiphertext, TfheError> {
+        self.check_shape(ct, lut)?;
+        scratch.check_shape(self.glwe_dimension, self.poly_size, self.decomp.level);
+        let log2_two_n = self.poly_size.trailing_zeros() + 1;
+        let b_tilde = modulus_switch(ct.body(), log2_two_n) as usize;
+        let mut acc = GlweCiphertext::trivial(self.glwe_dimension, lut.poly().rotate_left(b_tilde));
+        for (ggsw, &a) in self.ggsws.iter().zip(ct.mask()) {
+            let a_tilde = modulus_switch(a, log2_two_n) as usize;
+            if a_tilde == 0 {
+                continue;
+            }
+            self.cmux_assign(ggsw, &mut acc, a_tilde, scratch);
+        }
+        Ok(acc)
+    }
+
+    /// One CMUX iteration on scratch buffers:
+    /// `acc ← acc + ggsw ⊡ (X^ã·acc − acc)`, allocation-free.
+    fn cmux_assign(
+        &self,
+        ggsw: &FourierGgsw,
+        acc: &mut GlweCiphertext,
+        a_tilde: usize,
+        scratch: &mut PbsScratch,
+    ) {
+        let PbsScratch { diff, prod, ep } = scratch;
+        acc.rotate_right_into(a_tilde, diff);
+        diff.sub_assign(acc).expect("scratch shape is pre-validated");
+        ggsw.external_product_scratch(diff, &self.fft, prod, ep);
+        acc.add_assign(prod).expect("scratch shape is pre-validated");
     }
 
     /// Blind rotation with stage timing instrumentation.
@@ -255,7 +322,7 @@ impl BootstrapKey {
         lut: &Lut,
         timings: &mut StageTimings,
     ) -> Result<GlweCiphertext, TfheError> {
-        self.blind_rotate_impl(ct, lut, Some(timings))
+        self.blind_rotate_profiled_impl(ct, lut, timings)
     }
 
     /// Checks that a `(ciphertext, LUT)` pair matches this key's shape
@@ -284,11 +351,14 @@ impl BootstrapKey {
         Ok(())
     }
 
-    fn blind_rotate_impl(
+    /// The profiled twin of [`Self::blind_rotate_with`]: same
+    /// arithmetic, with per-stage timers around each unit. Kept
+    /// separate so the hot path carries no timing branches.
+    fn blind_rotate_profiled_impl(
         &self,
         ct: &LweCiphertext,
         lut: &Lut,
-        mut timings: Option<&mut StageTimings>,
+        timings: &mut StageTimings,
     ) -> Result<GlweCiphertext, TfheError> {
         self.check_shape(ct, lut)?;
         let log2_two_n = self.poly_size.trailing_zeros() + 1;
@@ -297,18 +367,14 @@ impl BootstrapKey {
         // (Algorithm 1 lines 3–4).
         let t0 = std::time::Instant::now();
         let b_tilde = modulus_switch(ct.body(), log2_two_n) as usize;
-        if let Some(t) = timings.as_deref_mut() {
-            t.add(PbsStage::ModSwitch, t0.elapsed());
-        }
+        timings.add(PbsStage::ModSwitch, t0.elapsed());
         let mut acc = GlweCiphertext::trivial(self.glwe_dimension, lut.poly().rotate_left(b_tilde));
 
         // Blind rotation loop (lines 5–12).
         for (ggsw, &a) in self.ggsws.iter().zip(ct.mask()) {
             let t0 = std::time::Instant::now();
             let a_tilde = modulus_switch(a, log2_two_n) as usize;
-            if let Some(t) = timings.as_deref_mut() {
-                t.add(PbsStage::ModSwitch, t0.elapsed());
-            }
+            timings.add(PbsStage::ModSwitch, t0.elapsed());
             if a_tilde == 0 {
                 continue;
             }
@@ -316,14 +382,9 @@ impl BootstrapKey {
             let t0 = std::time::Instant::now();
             let mut diff = acc.rotate_right(a_tilde);
             diff.sub_assign(&acc)?;
-            if let Some(t) = timings.as_deref_mut() {
-                t.add(PbsStage::Rotate, t0.elapsed());
-            }
+            timings.add(PbsStage::Rotate, t0.elapsed());
             // External product (decomposer, FFT, VMA, IFFT, accumulator).
-            let prod = match timings.as_deref_mut() {
-                Some(t) => ggsw.external_product_profiled(&diff, &self.fft, t),
-                None => ggsw.external_product(&diff, &self.fft),
-            };
+            let prod = ggsw.external_product_profiled(&diff, &self.fft, timings);
             acc.add_assign(&prod)?;
         }
         Ok(acc)
@@ -345,10 +406,31 @@ impl BootstrapKey {
         &self,
         jobs: &[PbsJob<'_>],
     ) -> Result<Vec<GlweCiphertext>, TfheError> {
+        let mut scratch = self.scratch();
+        self.blind_rotate_batch_with(jobs, &mut scratch)
+    }
+
+    /// As [`Self::blind_rotate_batch`] with caller-provided scratch —
+    /// one scratch serves the whole epoch, so the key-major loop
+    /// performs no heap allocation beyond the output accumulators.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TfheError::ParameterMismatch`] on any shape mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch` was sized for a different parameter set.
+    pub fn blind_rotate_batch_with(
+        &self,
+        jobs: &[PbsJob<'_>],
+        scratch: &mut PbsScratch,
+    ) -> Result<Vec<GlweCiphertext>, TfheError> {
         let log2_two_n = self.poly_size.trailing_zeros() + 1;
         for job in jobs {
             self.check_shape(job.ct, job.lut)?;
         }
+        scratch.check_shape(self.glwe_dimension, self.poly_size, self.decomp.level);
 
         // Initial rotation by each body (Algorithm 1 lines 3–4).
         let mut accs: Vec<GlweCiphertext> = jobs
@@ -367,10 +449,7 @@ impl BootstrapKey {
                 if a_tilde == 0 {
                     continue;
                 }
-                let mut diff = acc.rotate_right(a_tilde);
-                diff.sub_assign(acc)?;
-                let prod = ggsw.external_product(&diff, &self.fft);
-                acc.add_assign(&prod)?;
+                self.cmux_assign(ggsw, acc, a_tilde, scratch);
             }
         }
         Ok(accs)
@@ -385,6 +464,66 @@ impl BootstrapKey {
     /// Returns [`TfheError::ParameterMismatch`] on any shape mismatch.
     pub fn bootstrap_batch(&self, jobs: &[PbsJob<'_>]) -> Result<Vec<LweCiphertext>, TfheError> {
         Ok(self.blind_rotate_batch(jobs)?.iter().map(GlweCiphertext::sample_extract).collect())
+    }
+
+    /// Parallel epoch execution: splits `jobs` into `threads`
+    /// contiguous shards and runs each through the key-major
+    /// [`Self::bootstrap_batch`] on its own [`std::thread::scope`]
+    /// worker with its own [`PbsScratch`], all sharing this
+    /// `&BootstrapKey`. This is the software form of the paper's
+    /// two-level batching actually running in parallel: core-level
+    /// batching (key-major reuse) *within* each shard, device-level
+    /// parallelism *across* shards.
+    ///
+    /// Results come back **in job order** and are **bit-identical** to
+    /// the sequential path — each job's CMUX sequence depends only on
+    /// its own ciphertext, so sharding cannot change a single
+    /// floating-point operation.
+    ///
+    /// `threads` is clamped to `[1, jobs.len()]`; `threads <= 1` runs
+    /// sequentially on the calling thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TfheError::ParameterMismatch`] if any job's shape
+    /// disagrees with the key (validated up front, before any thread
+    /// is spawned).
+    pub fn bootstrap_batch_parallel(
+        &self,
+        jobs: &[PbsJob<'_>],
+        threads: usize,
+    ) -> Result<Vec<LweCiphertext>, TfheError> {
+        for job in jobs {
+            self.check_shape(job.ct, job.lut)?;
+        }
+        let threads = threads.max(1).min(jobs.len());
+        if threads <= 1 {
+            return self.bootstrap_batch(jobs);
+        }
+        // Balanced contiguous shards: the first `jobs % threads` shards
+        // take one extra job, so exactly `threads` workers spawn and no
+        // worker trails the rest by more than one PBS. Contiguity
+        // preserves key-major order within each shard and job order
+        // across the concatenated results.
+        let base = jobs.len() / threads;
+        let extra = jobs.len() % threads;
+        let shards: Vec<Result<Vec<LweCiphertext>, TfheError>> = std::thread::scope(|scope| {
+            let mut start = 0;
+            let handles: Vec<_> = (0..threads)
+                .map(|i| {
+                    let len = base + usize::from(i < extra);
+                    let shard = &jobs[start..start + len];
+                    start += len;
+                    scope.spawn(move || self.bootstrap_batch(shard))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("PBS shard worker panicked")).collect()
+        });
+        let mut out = Vec::with_capacity(jobs.len());
+        for shard in shards {
+            out.extend(shard?);
+        }
+        Ok(out)
     }
 
     /// Full programmable bootstrap: blind rotation followed by sample
@@ -420,7 +559,23 @@ impl BootstrapKey {
 }
 
 /// Encodes a boolean as `±1/8` on the torus (gate-bootstrapping
-/// convention).
+/// convention): `true ↦ +1/8`, `false ↦ −1/8`.
+///
+/// The call `encode_fraction(±1, 3)` reads as "±1 over 2³" — the
+/// second argument is the **log2 of the denominator**, so this is
+/// exactly the `±1/8` the convention asks for (not `±1/3`).
+///
+/// ```
+/// use strix_tfhe::bootstrap::{decode_bool, encode_bool};
+/// use strix_tfhe::torus::encode_fraction;
+///
+/// // +1/8 of the torus is 2^64/8 = 2^61; −1/8 is its wrapping negation.
+/// assert_eq!(encode_bool(true), 1u64 << 61);
+/// assert_eq!(encode_bool(true), encode_fraction(1, 3));
+/// assert_eq!(encode_bool(false), (1u64 << 61).wrapping_neg());
+/// assert!(decode_bool(encode_bool(true)));
+/// assert!(!decode_bool(encode_bool(false)));
+/// ```
 #[inline]
 pub fn encode_bool(b: bool) -> u64 {
     if b {
@@ -601,6 +756,71 @@ mod tests {
             let expected = if m % 2 == 0 { m as u64 } else { ((m * m) % 4) as u64 };
             assert_eq!(decode_message(phase, p + 1), expected, "m={m}");
         }
+    }
+
+    #[test]
+    fn parallel_bootstrap_is_bit_identical_to_sequential() {
+        let fx = &mut fixture(TfheParameters::testing_fast());
+        let p = 2u32;
+        let lut_id = Lut::from_function(fx.params.polynomial_size, p, |m| m).unwrap();
+        let lut_sq = Lut::from_function(fx.params.polynomial_size, p, |m| (m * m) % 4).unwrap();
+        // 7 jobs: does not divide evenly by 2, 3, 4, 5 or 6 threads.
+        let cts: Vec<LweCiphertext> = (0..7u64)
+            .map(|m| {
+                fx.lwe_sk.encrypt((m % 4) << (64 - p - 1), fx.params.lwe_noise_std, &mut fx.rng)
+            })
+            .collect();
+        let jobs: Vec<PbsJob<'_>> = cts
+            .iter()
+            .enumerate()
+            .map(|(i, ct)| PbsJob { ct, lut: if i % 2 == 0 { &lut_id } else { &lut_sq } })
+            .collect();
+        let sequential = fx.bsk.bootstrap_batch(&jobs).unwrap();
+        for threads in 1..=8 {
+            let parallel = fx.bsk.bootstrap_batch_parallel(&jobs, threads).unwrap();
+            assert_eq!(parallel, sequential, "threads={threads}");
+        }
+        // Degenerate thread counts are clamped, not errors.
+        assert_eq!(fx.bsk.bootstrap_batch_parallel(&jobs, 0).unwrap(), sequential);
+        assert_eq!(fx.bsk.bootstrap_batch_parallel(&jobs, 100).unwrap(), sequential);
+        assert!(fx.bsk.bootstrap_batch_parallel(&[], 4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn parallel_bootstrap_rejects_shape_mismatch_before_spawning() {
+        let fx = &mut fixture(TfheParameters::testing_fast());
+        let lut = Lut::sign(fx.params.polynomial_size, encode_fraction(1, 3));
+        let good = LweCiphertext::trivial(fx.params.lwe_dimension, 0);
+        let bad = LweCiphertext::trivial(10, 0);
+        let jobs = [PbsJob { ct: &good, lut: &lut }, PbsJob { ct: &bad, lut: &lut }];
+        assert!(fx.bsk.bootstrap_batch_parallel(&jobs, 2).is_err());
+    }
+
+    #[test]
+    fn scratch_reuse_across_bootstraps_is_bit_identical() {
+        let fx = &mut fixture(TfheParameters::testing_fast());
+        let lut = Lut::sign(fx.params.polynomial_size, encode_fraction(1, 3));
+        let mut scratch = fx.bsk.scratch();
+        for b in [true, false, true] {
+            let ct = fx.lwe_sk.encrypt(encode_bool(b), fx.params.lwe_noise_std, &mut fx.rng);
+            let fresh = fx.bsk.blind_rotate(&ct, &lut).unwrap();
+            let reused = fx.bsk.blind_rotate_with(&ct, &lut, &mut scratch).unwrap();
+            assert_eq!(reused, fresh);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scratch polynomial size mismatch")]
+    fn wrong_scratch_shape_panics() {
+        let fx = &mut fixture(TfheParameters::testing_fast());
+        let lut = Lut::sign(fx.params.polynomial_size, encode_fraction(1, 3));
+        let ct = LweCiphertext::trivial(fx.params.lwe_dimension, 0);
+        let mut wrong = crate::scratch::PbsScratch::new(
+            fx.params.glwe_dimension,
+            fx.params.polynomial_size * 2,
+            fx.bsk.decomposition(),
+        );
+        let _ = fx.bsk.blind_rotate_with(&ct, &lut, &mut wrong);
     }
 
     #[test]

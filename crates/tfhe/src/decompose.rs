@@ -153,6 +153,32 @@ impl DecompositionParams {
         }
         levels
     }
+
+    /// As [`Self::decompose_polynomial`], writing into a flat
+    /// caller-provided buffer of `level · N` digits (level-major:
+    /// `levels[lvl·N + j]` is digit `lvl` of coefficient `j`). This is
+    /// the allocation-free form the blind-rotation hot path uses with a
+    /// per-thread [`crate::scratch::PbsScratch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels.len() != level · N` or
+    /// `digits.len() != level`.
+    pub fn decompose_polynomial_into(
+        &self,
+        poly: &TorusPolynomial,
+        levels: &mut [i64],
+        digits: &mut [i64],
+    ) {
+        let n = poly.size();
+        assert_eq!(levels.len(), self.level * n, "digit level buffer length mismatch");
+        for (j, &c) in poly.coeffs().iter().enumerate() {
+            self.decompose_into(c, digits);
+            for (lvl, &d) in digits.iter().enumerate() {
+                levels[lvl * n + j] = d;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -241,6 +267,20 @@ mod tests {
             for lvl in 0..3 {
                 assert_eq!(levels[lvl][j], per_coeff[lvl]);
             }
+        }
+    }
+
+    #[test]
+    fn flat_polynomial_decomposition_matches_nested() {
+        let p = DecompositionParams::new(6, 3);
+        let poly = TorusPolynomial::from_coeffs(vec![0, u64::MAX, 1 << 63, 0x0123_4567_89AB_CDEF]);
+        let nested = p.decompose_polynomial(&poly);
+        let n = poly.size();
+        let mut flat = vec![0i64; p.level * n];
+        let mut digits = vec![0i64; p.level];
+        p.decompose_polynomial_into(&poly, &mut flat, &mut digits);
+        for (lvl, level) in nested.iter().enumerate() {
+            assert_eq!(&flat[lvl * n..(lvl + 1) * n], level.as_slice());
         }
     }
 

@@ -22,6 +22,7 @@ use crate::glwe::{GlweCiphertext, GlweSecretKey};
 use crate::poly::TorusPolynomial;
 use crate::profiler::{PbsStage, StageTimings};
 use crate::rng::NoiseSampler;
+use crate::scratch::ExternalProductScratch;
 use crate::torus::{f64_to_torus, torus_to_f64_signed};
 
 /// A GGSW ciphertext in the standard (time) domain: `(k+1)·l` GLWE rows.
@@ -203,6 +204,63 @@ impl FourierGgsw {
         self.external_product_impl(glwe, fft, Some(timings))
     }
 
+    /// Allocation-free external product writing into `out` using
+    /// caller-provided scratch — the hot-path form driven by the
+    /// scratch-based blind rotation. Bit-identical to
+    /// [`Self::external_product`]: same decompositions, same transform
+    /// and multiply order, same rounding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `glwe`, `out`, `fft` or `scratch` disagree with the
+    /// key's shape (the bootstrap key constructor and
+    /// [`crate::scratch::PbsScratch`] guarantee compatibility).
+    pub fn external_product_scratch(
+        &self,
+        glwe: &GlweCiphertext,
+        fft: &NegacyclicFft,
+        out: &mut GlweCiphertext,
+        scratch: &mut ExternalProductScratch,
+    ) {
+        let k = self.glwe_dimension;
+        assert_eq!(glwe.dimension(), k, "glwe dimension mismatch");
+        assert_eq!(out.dimension(), k, "output glwe dimension mismatch");
+        let n = glwe.poly_size();
+        assert_eq!(out.poly_size(), n, "output polynomial size mismatch");
+        assert_eq!(fft.poly_size(), n, "fft plan size mismatch");
+        let level = self.decomp.level;
+        scratch.check_shape(k, n, level);
+        let half = fft.fourier_size();
+
+        scratch.fourier_acc.fill(Complex64::ZERO);
+        let mut row_idx = 0;
+        for poly in glwe.polys() {
+            self.decomp.decompose_polynomial_into(
+                poly,
+                &mut scratch.digit_levels,
+                &mut scratch.digits,
+            );
+            for lvl in 0..level {
+                let digits = &scratch.digit_levels[lvl * n..(lvl + 1) * n];
+                fft.forward_i64(digits, &mut scratch.digit_spec)
+                    .expect("digit polynomial matches fft plan");
+                let row = &self.rows[row_idx];
+                for (acc_col, key_col) in scratch.fourier_acc.chunks_mut(half).zip(row.iter()) {
+                    pointwise_mul_add(acc_col, &scratch.digit_spec, key_col);
+                }
+                row_idx += 1;
+            }
+        }
+
+        for (col, spec) in scratch.fourier_acc.chunks_mut(half).enumerate() {
+            fft.backward_f64(spec, &mut scratch.time_domain).expect("accumulator matches fft plan");
+            let poly = out.poly_mut(col);
+            for (o, &v) in poly.coeffs_mut().iter_mut().zip(&scratch.time_domain) {
+                *o = f64_to_torus(v);
+            }
+        }
+    }
+
     fn external_product_impl(
         &self,
         glwe: &GlweCiphertext,
@@ -376,6 +434,40 @@ mod tests {
         for (p, m) in phase.coeffs().iter().zip(msg.coeffs()) {
             assert_eq!(decode_message(*p, 4), decode_message(*m, 4));
         }
+    }
+
+    #[test]
+    fn scratch_product_is_bit_identical_to_allocating_product() {
+        // The scratch path must be *bit*-identical, not just decode to
+        // the same message: parallel epochs rely on it.
+        for (k, n) in [(1usize, 64usize), (2, 32)] {
+            let mut fx = fixture(k, n);
+            let ggsw = GgswCiphertext::encrypt_scalar(1, &fx.glwe_sk, fx.decomp, STD, &mut fx.rng)
+                .to_fourier(&fx.fft);
+            let mut scratch = ExternalProductScratch::new(k, n, fx.decomp);
+            let mut out = GlweCiphertext::zero(k, n);
+            for trial in 0..3 {
+                let msg = test_message(fx.n);
+                let ct = fx.glwe_sk.encrypt(&msg, STD, &mut fx.rng);
+                let alloc = ggsw.external_product(&ct, &fx.fft);
+                // Same scratch reused across trials: stale state must
+                // not leak into the result.
+                ggsw.external_product_scratch(&ct, &fx.fft, &mut out, &mut scratch);
+                assert_eq!(out, alloc, "k={k} n={n} trial={trial}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scratch glwe dimension mismatch")]
+    fn scratch_product_rejects_wrong_scratch_shape() {
+        let mut fx = fixture(1, 64);
+        let ggsw = GgswCiphertext::encrypt_scalar(1, &fx.glwe_sk, fx.decomp, STD, &mut fx.rng)
+            .to_fourier(&fx.fft);
+        let ct = fx.glwe_sk.encrypt(&test_message(fx.n), STD, &mut fx.rng);
+        let mut out = GlweCiphertext::zero(1, 64);
+        let mut wrong = ExternalProductScratch::new(2, 64, fx.decomp);
+        ggsw.external_product_scratch(&ct, &fx.fft, &mut out, &mut wrong);
     }
 
     #[test]

@@ -259,6 +259,21 @@ impl GlweCiphertext {
         }
     }
 
+    /// As [`Self::rotate_right`], writing into a caller-provided
+    /// ciphertext — the allocation-free rotate of the scratch-based
+    /// blind rotation (Algorithm 1 line 6 without the `Vec` churn).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amount >= 2N` or the shapes differ.
+    pub fn rotate_right_into(&self, amount: usize, out: &mut GlweCiphertext) {
+        assert_eq!(self.dimension(), out.dimension(), "glwe dimension mismatch");
+        for (src, dst) in self.masks.iter().zip(&mut out.masks) {
+            src.rotate_right_into(amount, dst);
+        }
+        self.body.rotate_right_into(amount, &mut out.body);
+    }
+
     /// Sample extraction (Algorithm 1 line 13): forms the LWE ciphertext
     /// of coefficient 0 of the encrypted polynomial, of dimension `k·N`,
     /// under the extracted key ([`GlweSecretKey::to_extracted_lwe_key`]).

@@ -81,7 +81,22 @@ impl KeySwitchKey {
     /// Returns [`TfheError::ParameterMismatch`] if `ct`'s dimension is
     /// not the key's input dimension.
     pub fn keyswitch(&self, ct: &LweCiphertext) -> Result<LweCiphertext, TfheError> {
-        self.keyswitch_impl(ct, None)
+        self.keyswitch_impl(ct, None, &mut vec![0i64; self.decomp.level])
+    }
+
+    /// Switches a whole batch, reusing one digit buffer across every
+    /// ciphertext — the batched counterpart the runtime executor pairs
+    /// with [`crate::bootstrap::BootstrapKey::bootstrap_batch`] when an
+    /// epoch's PBS outputs all return to the original key. Outputs are
+    /// in input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TfheError::ParameterMismatch`] if any input's
+    /// dimension is not the key's input dimension.
+    pub fn keyswitch_batch(&self, cts: &[LweCiphertext]) -> Result<Vec<LweCiphertext>, TfheError> {
+        let mut digits = vec![0i64; self.decomp.level];
+        cts.iter().map(|ct| self.keyswitch_impl(ct, None, &mut digits)).collect()
     }
 
     /// Profiled variant of [`Self::keyswitch`].
@@ -94,13 +109,14 @@ impl KeySwitchKey {
         ct: &LweCiphertext,
         timings: &mut StageTimings,
     ) -> Result<LweCiphertext, TfheError> {
-        self.keyswitch_impl(ct, Some(timings))
+        self.keyswitch_impl(ct, Some(timings), &mut vec![0i64; self.decomp.level])
     }
 
     fn keyswitch_impl(
         &self,
         ct: &LweCiphertext,
         timings: Option<&mut StageTimings>,
+        digits: &mut [i64],
     ) -> Result<LweCiphertext, TfheError> {
         if ct.dimension() != self.input_dimension {
             return Err(TfheError::ParameterMismatch {
@@ -112,9 +128,8 @@ impl KeySwitchKey {
         let t0 = std::time::Instant::now();
         // o = (0, …, 0, b) − Σ_j Σ_lvl d_{j,lvl} · ksk[j][lvl]
         let mut out = LweCiphertext::trivial(self.output_dimension, ct.body());
-        let mut digits = vec![0i64; self.decomp.level];
         for (j, &a) in ct.mask().iter().enumerate() {
-            self.decomp.decompose_into(a, &mut digits);
+            self.decomp.decompose_into(a, digits);
             for (lvl, &d) in digits.iter().enumerate() {
                 if d == 0 {
                     continue;
@@ -174,6 +189,21 @@ mod tests {
         let switched_sum = ksk.keyswitch(&sum).unwrap();
         let phase = small.decrypt_phase(&switched_sum).unwrap();
         assert_eq!(decode_message(phase, 3), 3);
+    }
+
+    #[test]
+    fn batched_keyswitch_matches_single_per_input() {
+        let (big, _, ksk, mut rng, params) = fixture();
+        let cts: Vec<LweCiphertext> = (0..5i64)
+            .map(|m| big.encrypt(encode_fraction(m, 3), params.lwe_noise_std, &mut rng))
+            .collect();
+        let batched = ksk.keyswitch_batch(&cts).unwrap();
+        for (ct, out) in cts.iter().zip(&batched) {
+            assert_eq!(out, &ksk.keyswitch(ct).unwrap());
+        }
+        assert!(ksk.keyswitch_batch(&[]).unwrap().is_empty());
+        let bad = LweCiphertext::trivial(3, 0);
+        assert!(ksk.keyswitch_batch(&[bad]).is_err());
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub mod params;
 pub mod poly;
 pub mod profiler;
 pub mod rng;
+pub mod scratch;
 pub mod shortint;
 pub mod torus;
 pub mod unrolled;

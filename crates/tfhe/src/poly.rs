@@ -131,6 +131,16 @@ impl TorusPolynomial {
     pub fn rotate_left(&self, amount: usize) -> TorusPolynomial {
         TorusPolynomial { coeffs: strix_fft::reference::rotate_left(&self.coeffs, amount) }
     }
+
+    /// As [`Self::rotate_right`], writing into a caller-provided
+    /// polynomial — the allocation-free form used inside the CMUX loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amount >= 2N` or the sizes differ.
+    pub fn rotate_right_into(&self, amount: usize, out: &mut TorusPolynomial) {
+        strix_fft::reference::rotate_right_into(&self.coeffs, amount, &mut out.coeffs);
+    }
 }
 
 impl Index<usize> for TorusPolynomial {

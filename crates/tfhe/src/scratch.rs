@@ -1,0 +1,144 @@
+//! Reusable per-thread working memory for the PBS hot path.
+//!
+//! FPT and BTS (and Strix itself) make the same observation about the
+//! blind-rotation inner loop: the win comes from keeping its working
+//! set *resident* — streamed key material flows past a fixed set of
+//! on-chip buffers — rather than re-materialising state per operation.
+//! The software analogue is [`PbsScratch`]: one allocation up front,
+//! zero heap traffic afterwards. Every CMUX iteration of
+//! [`crate::bootstrap::BootstrapKey`] then reuses
+//!
+//! * a digit buffer and a level-major digit-polynomial buffer for the
+//!   gadget decomposition (decomposer unit),
+//! * one Fourier spectrum for the transformed digits and `k+1` fused
+//!   accumulator spectra (FFT + VMA units),
+//! * a time-domain buffer for the inverse transform (IFFT unit),
+//! * two GLWE-shaped buffers for the rotate-and-subtract difference and
+//!   the external-product output (rotator + accumulator units).
+//!
+//! Scratch is deliberately **not** shared between threads: a parallel
+//! epoch ([`crate::bootstrap::BootstrapKey::bootstrap_batch_parallel`])
+//! gives each worker its own `PbsScratch` while all workers share one
+//! `&BootstrapKey`.
+
+use strix_fft::Complex64;
+
+use crate::decompose::DecompositionParams;
+use crate::glwe::GlweCiphertext;
+
+/// Scratch for one FFT-path external product (decompose → FFT → VMA →
+/// IFFT), owned by exactly one thread.
+#[derive(Clone, Debug)]
+pub struct ExternalProductScratch {
+    /// Per-coefficient digit buffer (`l` digits).
+    pub(crate) digits: Vec<i64>,
+    /// Level-major decomposed digit polynomials (`l · N`).
+    pub(crate) digit_levels: Vec<i64>,
+    /// Spectrum of the current digit polynomial (`N/2`).
+    pub(crate) digit_spec: Vec<Complex64>,
+    /// Fused accumulator spectra, column-major (`(k+1) · N/2`).
+    pub(crate) fourier_acc: Vec<Complex64>,
+    /// Inverse-transform output buffer (`N`).
+    pub(crate) time_domain: Vec<f64>,
+    glwe_dimension: usize,
+    poly_size: usize,
+    level: usize,
+}
+
+impl ExternalProductScratch {
+    /// Allocates scratch for external products of shape `(k, N, l)`.
+    pub fn new(glwe_dimension: usize, poly_size: usize, decomp: DecompositionParams) -> Self {
+        let half = poly_size / 2;
+        Self {
+            digits: vec![0i64; decomp.level],
+            digit_levels: vec![0i64; decomp.level * poly_size],
+            digit_spec: vec![Complex64::ZERO; half],
+            fourier_acc: vec![Complex64::ZERO; (glwe_dimension + 1) * half],
+            time_domain: vec![0.0f64; poly_size],
+            glwe_dimension,
+            poly_size,
+            level: decomp.level,
+        }
+    }
+
+    /// Asserts this scratch matches the `(k, N, l)` shape of the
+    /// operation about to use it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any mismatch — mixing scratch between parameter sets
+    /// is a programming error, not a recoverable condition.
+    pub(crate) fn check_shape(&self, glwe_dimension: usize, poly_size: usize, level: usize) {
+        assert_eq!(self.glwe_dimension, glwe_dimension, "scratch glwe dimension mismatch");
+        assert_eq!(self.poly_size, poly_size, "scratch polynomial size mismatch");
+        assert_eq!(self.level, level, "scratch decomposition level mismatch");
+    }
+}
+
+/// Per-thread reusable working memory for programmable bootstrapping:
+/// the external-product scratch plus the two GLWE-shaped buffers of the
+/// CMUX (`diff = X^ã·acc − acc` and the external-product output).
+///
+/// Build one with [`crate::bootstrap::BootstrapKey::scratch`] (or
+/// [`Self::new`] from raw parameters), keep it alive for as many
+/// bootstraps as you like, and never share it across threads. With a
+/// scratch in hand the whole blind rotation performs no heap
+/// allocation inside the CMUX loop.
+#[derive(Clone, Debug)]
+pub struct PbsScratch {
+    /// Rotate-and-subtract difference buffer.
+    pub(crate) diff: GlweCiphertext,
+    /// External-product output buffer.
+    pub(crate) prod: GlweCiphertext,
+    /// Scratch for the external product itself.
+    pub(crate) ep: ExternalProductScratch,
+}
+
+impl PbsScratch {
+    /// Allocates scratch for bootstraps of shape `(k, N, l)`.
+    pub fn new(glwe_dimension: usize, poly_size: usize, decomp: DecompositionParams) -> Self {
+        Self {
+            diff: GlweCiphertext::zero(glwe_dimension, poly_size),
+            prod: GlweCiphertext::zero(glwe_dimension, poly_size),
+            ep: ExternalProductScratch::new(glwe_dimension, poly_size, decomp),
+        }
+    }
+
+    /// Asserts this scratch matches the `(k, N, l)` shape of the key
+    /// about to use it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any mismatch.
+    pub(crate) fn check_shape(&self, glwe_dimension: usize, poly_size: usize, level: usize) {
+        assert_eq!(self.diff.dimension(), glwe_dimension, "scratch glwe dimension mismatch");
+        assert_eq!(self.diff.poly_size(), poly_size, "scratch polynomial size mismatch");
+        self.ep.check_shape(glwe_dimension, poly_size, level);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_are_sized_to_the_shape() {
+        let decomp = DecompositionParams::new(8, 3);
+        let s = PbsScratch::new(2, 64, decomp);
+        assert_eq!(s.ep.digits.len(), 3);
+        assert_eq!(s.ep.digit_levels.len(), 3 * 64);
+        assert_eq!(s.ep.digit_spec.len(), 32);
+        assert_eq!(s.ep.fourier_acc.len(), 3 * 32);
+        assert_eq!(s.ep.time_domain.len(), 64);
+        assert_eq!(s.diff.dimension(), 2);
+        assert_eq!(s.prod.poly_size(), 64);
+        s.check_shape(2, 64, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "scratch polynomial size mismatch")]
+    fn shape_mismatch_panics() {
+        let decomp = DecompositionParams::new(8, 3);
+        PbsScratch::new(1, 64, decomp).check_shape(1, 128, 3);
+    }
+}

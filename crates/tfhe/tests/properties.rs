@@ -1,13 +1,18 @@
 //! Property-based tests of the TFHE data structures and their
 //! invariants: gadget decomposition, torus codecs, ciphertext algebra.
 
+use std::sync::OnceLock;
+
 use proptest::prelude::*;
 
+use strix_tfhe::bootstrap::{BootstrapKey, Lut, PbsJob};
 use strix_tfhe::decompose::DecompositionParams;
+use strix_tfhe::glwe::GlweSecretKey;
 use strix_tfhe::lwe::{LweCiphertext, LweSecretKey};
 use strix_tfhe::poly::TorusPolynomial;
 use strix_tfhe::rng::NoiseSampler;
 use strix_tfhe::torus;
+use strix_tfhe::TfheParameters;
 
 fn decomp_strategy() -> impl Strategy<Value = DecompositionParams> {
     (1u32..=16, 1usize..=4)
@@ -132,5 +137,59 @@ proptest! {
     fn signed_interpretation_matches_twos_complement(t in any::<u64>()) {
         let signed = torus::torus_to_f64_signed(t);
         prop_assert_eq!(signed, t as i64 as f64);
+    }
+}
+
+/// A real bootstrapping key plus a pair of distinct LUTs, generated
+/// once for the whole parallel-equivalence property (key generation is
+/// the expensive part; the ciphertexts vary per case).
+fn pbs_fixture() -> &'static (TfheParameters, BootstrapKey, Vec<Lut>) {
+    static FIXTURE: OnceLock<(TfheParameters, BootstrapKey, Vec<Lut>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let params = TfheParameters::testing_fast();
+        let mut rng = NoiseSampler::from_seed(0xE90C);
+        let lwe_sk = LweSecretKey::generate(params.lwe_dimension, &mut rng);
+        let glwe_sk =
+            GlweSecretKey::generate(params.glwe_dimension, params.polynomial_size, &mut rng);
+        let bsk = BootstrapKey::generate(&lwe_sk, &glwe_sk, &params, &mut rng);
+        let luts = vec![
+            Lut::sign(params.polynomial_size, torus::encode_fraction(1, 3)),
+            Lut::from_function(params.polynomial_size, 2, |m| (3 * m + 1) % 4).unwrap(),
+        ];
+        (params, bsk, luts)
+    })
+}
+
+proptest! {
+    // PBS-heavy property: fewer cases, each covering a random epoch.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// `bootstrap_batch_parallel` must be *bit*-identical to the
+    /// sequential key-major path for any epoch shape — including job
+    /// counts that do not divide evenly across the thread count and
+    /// epochs smaller than the thread count.
+    #[test]
+    fn parallel_epoch_is_bit_identical_to_sequential(
+        job_count in 0usize..10,
+        threads in 1usize..=8,
+        seed in any::<u64>(),
+    ) {
+        let (params, bsk, luts) = pbs_fixture();
+        let mut rng = NoiseSampler::from_seed(seed);
+        let cts: Vec<LweCiphertext> = (0..job_count)
+            .map(|_| {
+                let mut raw = vec![0u64; params.lwe_dimension + 1];
+                rng.fill_uniform(&mut raw);
+                LweCiphertext::from_raw(raw)
+            })
+            .collect();
+        let jobs: Vec<PbsJob<'_>> = cts
+            .iter()
+            .enumerate()
+            .map(|(i, ct)| PbsJob { ct, lut: &luts[i % luts.len()] })
+            .collect();
+        let sequential = bsk.bootstrap_batch(&jobs).unwrap();
+        let parallel = bsk.bootstrap_batch_parallel(&jobs, threads).unwrap();
+        prop_assert_eq!(parallel, sequential, "jobs={} threads={}", job_count, threads);
     }
 }

@@ -13,9 +13,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use strix::core::{BatchGeometry, StrixConfig, StrixSimulator};
-use strix::runtime::{
-    ArrivalProcess, OpenLoopTrafficGen, RequestOp, Runtime, RuntimeConfig, TfheExecutor,
-};
+use strix::runtime::{ArrivalProcess, OpenLoopTrafficGen, RequestOp, Runtime, RuntimeConfig};
 use strix::tfhe::bootstrap::Lut;
 use strix::tfhe::prelude::*;
 
@@ -30,10 +28,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A small epoch so the demo's hundred-ish requests span many
     // batches; a production deployment would mirror the paper's
     // 8 × 32 design point via `StrixSimulator::batch_geometry()`.
+    // Each worker shards its epoch across scoped PBS threads
+    // (`threads_per_worker`, the host's cores split between the two
+    // workers, capped at 2), so the report's thread-occupancy line
+    // shows how full the intra-epoch pool ran.
     let geometry = BatchGeometry::explicit(4, 8);
-    let runtime = Runtime::start(
-        RuntimeConfig::new(geometry).with_max_delay(Duration::from_millis(5)).with_workers(2),
-        TfheExecutor::new(Arc::new(server_key)),
+    const WORKERS: usize = 2;
+    let threads_per_worker =
+        std::thread::available_parallelism().map_or(1, |p| (p.get() / WORKERS).clamp(1, 2));
+    let runtime = Runtime::start_tfhe(
+        RuntimeConfig::new(geometry)
+            .with_max_delay(Duration::from_millis(5))
+            .with_workers(WORKERS)
+            .with_threads_per_worker(threads_per_worker),
+        Arc::new(server_key),
     );
 
     // Every request evaluates f(m) = (m + 3) mod 8 via one PBS + KS.

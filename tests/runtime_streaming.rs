@@ -91,6 +91,55 @@ fn bursty_multi_client_streams_stay_ordered_and_correct() {
 }
 
 #[test]
+fn parallel_epoch_runtime_is_correct_and_reports_thread_occupancy() {
+    // End-to-end through `Runtime::start_tfhe`: each worker shards its
+    // epochs across 3 PBS threads. Results must decode exactly as with
+    // the single-threaded executor (the crypto layer guarantees
+    // bit-identity; here we check the whole pipeline plus metrics).
+    const PER_CLIENT: usize = 24;
+    const BITS: u32 = 3;
+    const THREADS: usize = 3;
+
+    let params = TfheParameters::testing_fast();
+    let (client_key, server_key) = generate_keys(&params, 0x9A7A11E1);
+    let geometry = BatchGeometry::explicit(2, 4);
+    let runtime = Runtime::start_tfhe(
+        RuntimeConfig::new(geometry)
+            .with_max_delay(Duration::from_millis(3))
+            .with_workers(2)
+            .with_threads_per_worker(THREADS),
+        Arc::new(server_key),
+    );
+    let lut =
+        Arc::new(Lut::from_function(params.polynomial_size, BITS, |m| (5 * m + 2) % 8).unwrap());
+
+    let mut handle = runtime.client();
+    let mut key = client_key.clone();
+    for i in 0..PER_CLIENT as u64 {
+        let ct = key.encrypt_shortint(i % 8, BITS).unwrap().as_lwe().clone();
+        handle.submit(ct, RequestOp::Lut(Arc::clone(&lut))).unwrap();
+    }
+    for i in 0..PER_CLIENT as u64 {
+        let response = handle.recv().expect("response");
+        assert_eq!(response.seq, i);
+        let out = response.result.expect("op succeeds");
+        let phase = key.decrypt_phase(&out).unwrap();
+        let decoded = strix::tfhe::torus::decode_message(phase, BITS + 1);
+        assert_eq!(decoded, (5 * (i % 8) + 2) % 8, "request {i}");
+    }
+
+    let report = runtime.shutdown();
+    assert_eq!(report.requests_completed, PER_CLIENT);
+    assert_eq!(report.requests_failed, 0);
+    // Thread metrics recorded: never above the configured budget, and
+    // full-size epochs (8 jobs > 3 threads) use the whole budget.
+    assert!(report.max_threads_per_epoch <= THREADS);
+    assert!(report.mean_threads_per_epoch >= 1.0);
+    assert!(report.thread_occupancy > 0.0 && report.thread_occupancy <= 1.0);
+    assert!(report.summary().contains("per epoch"));
+}
+
+#[test]
 fn saturated_ingress_fills_epochs_past_90_percent() {
     // Saturation: a backlog of exactly 12 epochs' worth of requests
     // submitted as fast as the queue accepts them, against an executor
