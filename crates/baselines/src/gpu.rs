@@ -160,7 +160,7 @@ mod tests {
     #[test]
     fn scaling_to_bigger_parameters_slows_down() {
         let base = GpuModel::titan_rtx_set_i();
-        let big = GpuModel::titan_rtx_for(&TfheParameters::deep_nn(4096));
+        let big = GpuModel::titan_rtx_for(&TfheParameters::deep_nn(4096).unwrap());
         assert!(big.batch_time_s > base.batch_time_s * 3.0);
     }
 

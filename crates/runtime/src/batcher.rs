@@ -7,8 +7,12 @@
 //!
 //! * **batch-full** — `TvLP × core_batch` requests are waiting, the
 //!   fragmentation-free case the paper optimises for, or
-//! * **deadline** — the oldest open request has waited `max_delay`,
-//!   bounding tail latency under light load.
+//! * **deadline** — the oldest open request has waited `max_delay`
+//!   *since it was submitted* (`Request::submitted_at`), bounding tail
+//!   latency under light load. Time spent queued in the ingress counts
+//!   against the deadline: a request that aged in a backed-up ingress
+//!   flushes immediately once the batcher pops it, instead of waiting
+//!   another full `max_delay` measured from batch-open.
 //!
 //! On ingress close the batcher flushes the remainder (possibly
 //! undersized — losing requests is worse than fragmenting one final
@@ -16,7 +20,7 @@
 //! exit.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::metrics::MetricsSink;
 use crate::policy::FlushPolicy;
@@ -30,7 +34,6 @@ pub(crate) fn run(
     metrics: Arc<MetricsSink>,
 ) {
     let mut open: Vec<Request> = Vec::with_capacity(policy.max_epoch);
-    let mut open_since = Instant::now();
     let mut next_epoch = 0u64;
 
     let flush = |open: &mut Vec<Request>, next_epoch: &mut u64| {
@@ -47,15 +50,40 @@ pub(crate) fn run(
         }
     };
 
+    // A deadline flush first tops the batch up with whatever already
+    // waits in the ingress — pops are instant, so an aged backlog must
+    // fill epochs instead of collapsing into undersized flushes (one
+    // aged request per epoch would be the worst fragmentation case the
+    // policy exists to avoid).
+    let top_up = |open: &mut Vec<Request>| {
+        while !policy.is_full(open.len()) {
+            match ingress.pop_timeout(Duration::ZERO) {
+                Ok(request) => open.push(request),
+                Err(_) => break,
+            }
+        }
+    };
+
     loop {
         let popped = if open.is_empty() {
             // Nothing pending: wait indefinitely for work.
             ingress.pop()
         } else {
-            // A batch is open: wait only until its deadline.
-            let deadline = open_since + policy.max_delay;
+            // A batch is open: wait only until its deadline, measured
+            // from the oldest request's *submission* so ingress
+            // queueing time counts against the `max_delay` bound.
+            // Pop order follows push order, not submission order (a
+            // submitter can block on a full ingress while a younger
+            // request lands first), so take the true minimum.
+            let oldest = open
+                .iter()
+                .map(|r| r.submitted_at)
+                .min()
+                .expect("open batch is non-empty on this branch");
+            let deadline = oldest + policy.max_delay;
             let now = Instant::now();
             if now >= deadline {
+                top_up(&mut open);
                 flush(&mut open, &mut next_epoch);
                 continue;
             }
@@ -64,15 +92,13 @@ pub(crate) fn run(
 
         match popped {
             Ok(request) => {
-                if open.is_empty() {
-                    open_since = Instant::now();
-                }
                 open.push(request);
                 if policy.is_full(open.len()) {
                     flush(&mut open, &mut next_epoch);
                 }
             }
             Err(PopError::TimedOut) => {
+                top_up(&mut open);
                 flush(&mut open, &mut next_epoch);
             }
             Err(PopError::Closed) => {
@@ -145,6 +171,74 @@ mod tests {
         let epoch = epochs.pop().unwrap();
         assert!(t0.elapsed() < Duration::from_secs(2), "deadline flush too slow");
         assert_eq!(epoch.requests.len(), 1);
+        ingress.close();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn deadline_counts_from_submission_not_batch_open() {
+        // Regression test for the `open_since` bug: a request that
+        // already aged past `max_delay` while queued in the ingress
+        // must flush immediately. The old logic restarted the clock
+        // when the batcher popped it, so with the 500 ms deadline it
+        // would only flush after the full extra 500 ms. (The back-date
+        // is kept to 2 s so a freshly booted machine's monotonic clock
+        // can still represent it.)
+        let policy = FlushPolicy { max_epoch: 64, max_delay: Duration::from_millis(500) };
+        let (ingress, epochs, handle) = harness(policy);
+        let mut aged = request(0);
+        aged.submitted_at = Instant::now()
+            .checked_sub(Duration::from_secs(2))
+            .expect("system uptime exceeds two seconds");
+        ingress.push(aged).unwrap();
+        let t0 = Instant::now();
+        let epoch = epochs.pop().unwrap();
+        assert!(
+            t0.elapsed() < Duration::from_millis(400),
+            "pre-aged request waited {:?}; deadline logic is measuring from batch-open",
+            t0.elapsed()
+        );
+        assert_eq!(epoch.requests.len(), 1);
+
+        // A *fresh* request still waits out its own deadline rather
+        // than flushing eagerly (no regression in the other direction):
+        // nothing flushes in the first instants after the push.
+        ingress.push(request(1)).unwrap();
+        assert!(matches!(epochs.pop_timeout(Duration::from_millis(50)), Err(PopError::TimedOut)));
+        ingress.close();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn aged_backlog_fills_epochs_instead_of_singleton_flushes() {
+        // When a backlog has aged past the deadline, every expired
+        // flush must first top up from the queued requests: 8 aged
+        // requests with max_epoch 4 form 2 full epochs, not 8
+        // singletons.
+        let policy = FlushPolicy { max_epoch: 4, max_delay: Duration::from_millis(100) };
+        // Enqueue the whole backlog *before* the batcher starts so the
+        // test is deterministic (no race with the batcher's pops).
+        let ingress = Arc::new(BoundedQueue::new(1024));
+        let epochs = Arc::new(BoundedQueue::new(1024));
+        let aged_at = Instant::now()
+            .checked_sub(Duration::from_secs(2))
+            .expect("system uptime exceeds two seconds");
+        for seq in 0..8 {
+            let mut r = request(seq);
+            r.submitted_at = aged_at;
+            ingress.push(r).unwrap();
+        }
+        let handle = {
+            let (i, e) = (Arc::clone(&ingress), Arc::clone(&epochs));
+            let metrics = Arc::new(MetricsSink::default());
+            std::thread::spawn(move || run(i, e, policy, metrics))
+        };
+        let first = epochs.pop().unwrap();
+        let second = epochs.pop().unwrap();
+        assert_eq!(first.requests.len(), 4, "aged backlog must fill the epoch");
+        assert_eq!(second.requests.len(), 4);
+        let seqs: Vec<u64> = first.requests.iter().chain(&second.requests).map(|r| r.seq).collect();
+        assert_eq!(seqs, (0..8).collect::<Vec<_>>());
         ingress.close();
         handle.join().unwrap();
     }

@@ -13,6 +13,9 @@ pub enum RuntimeError {
     /// A response was expected but the worker pool dropped the request
     /// (should not happen under the drain-on-shutdown contract).
     Lost,
+    /// A dataflow program is malformed (bad wire reference, input
+    /// count mismatch, weight arity mismatch).
+    Program(&'static str),
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -21,6 +24,7 @@ impl std::fmt::Display for RuntimeError {
             RuntimeError::Shutdown => write!(f, "runtime has shut down"),
             RuntimeError::Tfhe(e) => write!(f, "homomorphic operation failed: {e}"),
             RuntimeError::Lost => write!(f, "request was lost by the worker pool"),
+            RuntimeError::Program(why) => write!(f, "malformed dataflow program: {why}"),
         }
     }
 }

@@ -10,11 +10,45 @@
 
 use std::sync::Arc;
 
-use strix_tfhe::bootstrap::PbsJob;
+use strix_tfhe::boolean::gate_sign_lut;
+use strix_tfhe::bootstrap::{Lut, PbsJob};
 use strix_tfhe::lwe::LweCiphertext;
 use strix_tfhe::{ServerKey, TfheError};
 
 use crate::request::{Request, RequestOp};
+
+/// Computes the linear preamble
+/// `weights[0]·ct + Σ weights[i+1]·extra[i] + offset` shared by gate
+/// and [`RequestOp::LinearLut`] requests (and by the synchronous
+/// reference path in
+/// [`Program::run_sync`](crate::session::Program::run_sync), so the
+/// two executions stay bit-identical).
+///
+/// # Errors
+///
+/// Returns [`TfheError::ParameterMismatch`] if the weight count does
+/// not match the input count or the input dimensions disagree.
+pub(crate) fn linear_preamble(
+    ct: &LweCiphertext,
+    weights: &[i64],
+    extra: &[LweCiphertext],
+    offset: u64,
+) -> Result<LweCiphertext, TfheError> {
+    if weights.len() != extra.len() + 1 {
+        return Err(TfheError::ParameterMismatch {
+            what: "linear weights vs inputs",
+            left: weights.len(),
+            right: extra.len() + 1,
+        });
+    }
+    let mut acc = ct.clone();
+    acc.scalar_mul_assign(weights[0]);
+    for (w, x) in weights[1..].iter().zip(extra) {
+        acc.add_scaled_assign(x, *w)?;
+    }
+    acc.plaintext_add_assign(offset);
+    Ok(acc)
+}
 
 /// Executes one epoch of requests.
 pub trait BatchExecutor: Send + Sync + 'static {
@@ -46,6 +80,9 @@ pub trait BatchExecutor: Send + Sync + 'static {
 pub struct TfheExecutor {
     server: Arc<ServerKey>,
     threads: usize,
+    /// The sign LUT shared by every gate request, built once per
+    /// executor instead of once per gate.
+    gate_lut: Lut,
 }
 
 impl TfheExecutor {
@@ -60,7 +97,8 @@ impl TfheExecutor {
     /// threads sharing the bootstrapping key, bit-identically to the
     /// sequential path. `threads` is clamped to at least 1.
     pub fn with_threads(server: Arc<ServerKey>, threads: usize) -> Self {
-        Self { server, threads: threads.max(1) }
+        let gate_lut = gate_sign_lut(server.params().polynomial_size);
+        Self { server, threads: threads.max(1), gate_lut }
     }
 }
 
@@ -73,21 +111,57 @@ impl BatchExecutor for TfheExecutor {
         let bsk = self.server.bootstrap_key();
         let mut results: Vec<Option<Result<LweCiphertext, TfheError>>> =
             batch.iter().map(|_| None).collect();
+        // Fused linear preambles are materialised first so the borrowed
+        // PBS jobs below can reference them alongside the plain request
+        // ciphertexts. A failed preamble fails its request alone.
+        let mut preambles: Vec<Option<LweCiphertext>> = batch.iter().map(|_| None).collect();
+        for (i, req) in batch.iter().enumerate() {
+            let combined = match &req.op {
+                RequestOp::Gate { gate, other } => {
+                    let recipe = gate.recipe();
+                    Some(linear_preamble(
+                        &req.ct,
+                        &recipe.weights(),
+                        std::slice::from_ref(other),
+                        recipe.offset(),
+                    ))
+                }
+                RequestOp::LinearLut { weights, extra, offset, .. } => {
+                    Some(linear_preamble(&req.ct, weights, extra, *offset))
+                }
+                _ => None,
+            };
+            match combined {
+                Some(Ok(ct)) => preambles[i] = Some(ct),
+                Some(Err(e)) => results[i] = Some(Err(e)),
+                None => {}
+            }
+        }
+
         let mut pbs_indices = Vec::new();
         let mut jobs: Vec<PbsJob<'_>> = Vec::new();
         for (i, req) in batch.iter().enumerate() {
-            match &req.op {
-                RequestOp::Lut(lut) | RequestOp::Bootstrap(lut) => {
-                    match bsk.check_shape(&req.ct, lut) {
-                        Ok(()) => {
-                            pbs_indices.push(i);
-                            jobs.push(PbsJob { ct: &req.ct, lut });
-                        }
-                        Err(e) => results[i] = Some(Err(e)),
-                    }
+            if results[i].is_some() {
+                continue; // preamble already failed this request
+            }
+            let job = match &req.op {
+                RequestOp::Lut(lut) | RequestOp::Bootstrap(lut) => Some((&req.ct, lut.as_ref())),
+                RequestOp::Gate { .. } => preambles[i].as_ref().map(|ct| (ct, &self.gate_lut)),
+                RequestOp::LinearLut { lut, .. } => {
+                    preambles[i].as_ref().map(|ct| (ct, lut.as_ref()))
                 }
                 RequestOp::Keyswitch => {
                     results[i] = Some(self.server.keyswitch_key().keyswitch(&req.ct));
+                    None
+                }
+            };
+            if let Some((ct, lut)) = job {
+                match bsk.check_shape(ct, lut) {
+                    Ok(()) => {
+                        pbs_indices.push(i);
+                        jobs.push(PbsJob { ct, lut });
+                    }
+                    Err(e) => results[i] = Some(Err(e)),
                 }
             }
         }
@@ -97,14 +171,16 @@ impl BatchExecutor for TfheExecutor {
         // panicking the worker thread.
         match bsk.bootstrap_batch_parallel(&jobs, self.planned_threads(jobs.len())) {
             Ok(booted) => {
-                // Keyswitch the Lut-op outputs as one batch (they all
-                // carry the extracted dimension the key expects);
-                // Bootstrap-op outputs pass through raw.
+                // Keyswitch the Lut/Gate/LinearLut outputs as one batch
+                // (they all carry the extracted dimension the key
+                // expects); Bootstrap-op outputs pass through raw.
                 let mut ks_slots = Vec::new();
                 let mut ks_inputs = Vec::new();
                 for (&i, out) in pbs_indices.iter().zip(booted) {
                     match &batch[i].op {
-                        RequestOp::Lut(_) => {
+                        RequestOp::Lut(_)
+                        | RequestOp::Gate { .. }
+                        | RequestOp::LinearLut { .. } => {
                             ks_slots.push(i);
                             ks_inputs.push(out);
                         }
@@ -228,6 +304,85 @@ mod tests {
         for (s, t) in sequential.iter().zip(&parallel) {
             assert_eq!(s.as_ref().unwrap(), t.as_ref().unwrap());
         }
+    }
+
+    #[test]
+    fn gate_requests_match_server_key_gates_bitwise() {
+        use strix_tfhe::boolean::BinaryGate;
+        let params = TfheParameters::testing_fast();
+        let (mut client, server) = generate_keys(&params, 77);
+        let server = Arc::new(server);
+        let exec = TfheExecutor::new(Arc::clone(&server));
+        for gate in BinaryGate::ALL {
+            for bits in 0..4u8 {
+                let (x, y) = (bits & 1 != 0, bits & 2 != 0);
+                let cx = client.encrypt_bool(x);
+                let cy = client.encrypt_bool(y);
+                let batch = vec![request(
+                    0,
+                    0,
+                    cx.as_lwe().clone(),
+                    RequestOp::Gate { gate, other: cy.as_lwe().clone() },
+                )];
+                let streamed = exec.execute(&batch).pop().unwrap().unwrap();
+                let reference = server.binary_gate(gate, &cx, &cy).unwrap();
+                // Same linear preamble, same deterministic PBS+KS: the
+                // batched gate is bit-identical to the synchronous one.
+                assert_eq!(&streamed, reference.as_lwe(), "{gate}({x}, {y})");
+            }
+        }
+    }
+
+    #[test]
+    fn linear_lut_request_fuses_weighted_sum_and_lut() {
+        let params = TfheParameters::testing_fast();
+        let (mut client, server) = generate_keys(&params, 78);
+        let exec = TfheExecutor::new(Arc::new(server));
+        let p = 3u32;
+        // A toy neuron: 2·m0 + m1 + 1, clamped by an identity LUT over
+        // the 3-bit space (sum stays below 8, no wrap).
+        let lut = Arc::new(Lut::from_function(params.polynomial_size, p, |m| m).unwrap());
+        let m0 = 2u64;
+        let m1 = 1u64;
+        let ct0 = client.encrypt_shortint(m0, p).unwrap().as_lwe().clone();
+        let ct1 = client.encrypt_shortint(m1, p).unwrap().as_lwe().clone();
+        let offset = strix_tfhe::torus::encode_fraction(1, p + 1); // +1 message
+        let op = RequestOp::LinearLut {
+            weights: vec![2, 1],
+            extra: vec![ct1],
+            offset,
+            lut: Arc::clone(&lut),
+        };
+        let out = exec.execute(&[request(0, 0, ct0, op)]).pop().unwrap().unwrap();
+        assert_eq!(out.dimension(), params.lwe_dimension, "keyswitched back to n");
+        let phase = client.decrypt_phase(&out).unwrap();
+        assert_eq!(strix_tfhe::torus::decode_message(phase, p + 1), 2 * m0 + m1 + 1);
+    }
+
+    #[test]
+    fn linear_preamble_arity_mismatch_fails_the_request_alone() {
+        let params = TfheParameters::testing_fast();
+        let (mut client, server) = generate_keys(&params, 79);
+        let exec = TfheExecutor::new(Arc::new(server));
+        let p = 2u32;
+        let lut = Arc::new(Lut::from_function(params.polynomial_size, p, |m| m).unwrap());
+        let good_ct = client.encrypt_shortint(1, p).unwrap().as_lwe().clone();
+        let bad_op = RequestOp::LinearLut {
+            weights: vec![1, 1, 1], // three weights, two inputs
+            extra: vec![client.encrypt_shortint(0, p).unwrap().as_lwe().clone()],
+            offset: 0,
+            lut: Arc::clone(&lut),
+        };
+        let batch = vec![
+            request(0, 0, good_ct.clone(), RequestOp::Lut(Arc::clone(&lut))),
+            request(1, 0, good_ct, bad_op),
+        ];
+        let results = exec.execute(&batch);
+        assert!(results[0].is_ok(), "healthy request must survive");
+        assert!(
+            matches!(results[1], Err(TfheError::ParameterMismatch { .. })),
+            "arity mismatch must fail its own request"
+        );
     }
 
     #[test]

@@ -26,7 +26,13 @@
 //! 4. a **metrics layer** ([`metrics`]) producing a [`RuntimeReport`]
 //!    (latency percentiles, achieved PBS/s, batch-occupancy histogram,
 //!    per-epoch thread occupancy) that sits next to the simulator's
-//!    `PbsReport` in `strix-bench`.
+//!    `PbsReport` in `strix-bench`,
+//! 5. a **session/dataflow layer** ([`session`]) streaming multi-stage
+//!    programs — circuit DAGs and Deep-NN ReLU schedules — through the
+//!    same batcher: each [`ProgramSession`] keeps its whole ready
+//!    frontier in flight, so independent stages from many concurrent
+//!    clients interleave into full epochs instead of each client
+//!    serialising on its own dependencies.
 //!
 //! [`OpenLoopTrafficGen`] supplies Poisson / bursty / backlog arrival
 //! schedules for the demo (`examples/streaming_server.rs`), the
@@ -77,6 +83,7 @@ pub mod policy;
 pub mod queue;
 pub mod request;
 mod runtime;
+pub mod session;
 pub mod traffic;
 pub mod worker;
 
@@ -86,4 +93,5 @@ pub use metrics::{MetricsSink, RuntimeReport};
 pub use policy::FlushPolicy;
 pub use request::{ClientId, Epoch, Request, RequestOp, Response};
 pub use runtime::{ClientHandle, Runtime, RuntimeConfig};
+pub use session::{Program, ProgramSession, Wire};
 pub use traffic::{ArrivalProcess, OpenLoopTrafficGen};

@@ -37,6 +37,7 @@ struct MetricsInner {
     threads_budget_sum: u64,
     max_threads_used: usize,
     pbs_completed: usize,
+    fused_linear_completed: usize,
     completed: usize,
     failed: usize,
     first_submit: Option<Instant>,
@@ -82,8 +83,17 @@ impl MetricsSink {
         inner.max_threads_used = inner.max_threads_used.max(used.max(1));
     }
 
-    /// Records one completed request.
-    pub fn record_request(&self, submitted_at: Instant, latency: Duration, is_pbs: bool, ok: bool) {
+    /// Records one completed request. `fused_linear` marks requests
+    /// that carried a linear preamble (gate or weighted-sum ops) fused
+    /// ahead of their bootstrap.
+    pub fn record_request(
+        &self,
+        submitted_at: Instant,
+        latency: Duration,
+        is_pbs: bool,
+        fused_linear: bool,
+        ok: bool,
+    ) {
         let mut inner = self.inner.lock().expect("metrics lock");
         let us = latency.as_micros().min(u64::MAX as u128) as u64;
         inner.latency_seen += 1;
@@ -103,6 +113,9 @@ impl MetricsSink {
             inner.completed += 1;
             if is_pbs {
                 inner.pbs_completed += 1;
+            }
+            if fused_linear {
+                inner.fused_linear_completed += 1;
             }
         } else {
             inner.failed += 1;
@@ -149,6 +162,7 @@ impl MetricsSink {
                 RuntimeReport {
                     requests_completed: inner.completed,
                     requests_failed: inner.failed,
+                    fused_linear_completed: inner.fused_linear_completed,
                     epochs: inner.epochs,
                     epoch_capacity,
                     p50_latency_us: 0,
@@ -194,6 +208,10 @@ pub struct RuntimeReport {
     pub requests_completed: usize,
     /// Failed requests (shape mismatches etc.).
     pub requests_failed: usize,
+    /// Completed requests that fused a linear preamble (boolean gates,
+    /// Deep-NN neurons) ahead of their bootstrap — the multi-input ops
+    /// streamed by the session/dataflow layer.
+    pub fused_linear_completed: usize,
     /// Number of flushed epochs.
     pub epochs: usize,
     /// Configured epoch capacity `TvLP × core_batch`.
@@ -231,13 +249,14 @@ impl RuntimeReport {
     /// A compact human-readable summary block.
     pub fn summary(&self) -> String {
         format!(
-            "requests: {} ok / {} failed in {:.3} s\n\
+            "requests: {} ok / {} failed ({} fused-linear) in {:.3} s\n\
              epochs:   {} flushed, capacity {}, mean occupancy {:.1}%\n\
              threads:  {:.1} mean / {} peak per epoch ({:.1}% of budget)\n\
              latency:  p50 {:.3} ms | p90 {:.3} ms | p99 {:.3} ms | max {:.3} ms\n\
              rate:     {:.1} PBS/s achieved",
             self.requests_completed,
             self.requests_failed,
+            self.fused_linear_completed,
             self.elapsed_s,
             self.epochs,
             self.epoch_capacity,
@@ -273,7 +292,7 @@ mod tests {
         let sink = MetricsSink::default();
         let t0 = Instant::now();
         for us in 1..=100u64 {
-            sink.record_request(t0, Duration::from_micros(us), true, true);
+            sink.record_request(t0, Duration::from_micros(us), true, false, true);
         }
         let r = sink.report(4);
         assert_eq!(r.p50_latency_us, 50);
@@ -303,7 +322,7 @@ mod tests {
         let t0 = Instant::now();
         let total = LATENCY_RESERVOIR + 4096;
         for i in 0..total {
-            sink.record_request(t0, Duration::from_micros(i as u64), true, true);
+            sink.record_request(t0, Duration::from_micros(i as u64), true, false, true);
         }
         let r = sink.report(1);
         assert_eq!(r.requests_completed, total);
@@ -334,8 +353,8 @@ mod tests {
     fn failed_requests_counted_separately() {
         let sink = MetricsSink::default();
         let t0 = Instant::now();
-        sink.record_request(t0, Duration::from_micros(5), true, true);
-        sink.record_request(t0, Duration::from_micros(5), true, false);
+        sink.record_request(t0, Duration::from_micros(5), true, false, true);
+        sink.record_request(t0, Duration::from_micros(5), true, true, false);
         let r = sink.report(1);
         assert_eq!(r.requests_completed, 1);
         assert_eq!(r.requests_failed, 1);

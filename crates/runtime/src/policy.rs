@@ -3,10 +3,12 @@
 //! The paper's Fig. 2 argument: undersized blind-rotation batches waste
 //! the bootstrapping-key stream (fragmentation), so the scheduler
 //! should wait for a full `TvLP × core_batch` epoch — but a live
-//! service cannot wait forever, so a deadline bounds the queueing
-//! delay of the *first* request in an open batch. Flush whichever
-//! trips first: batch-full (throughput-optimal) or deadline
-//! (latency-bounded).
+//! service cannot wait forever, so a deadline bounds the total wait of
+//! the *oldest* request in an open batch, measured from its
+//! `submitted_at` timestamp. Ingress queueing time counts against the
+//! bound: `max_delay` limits submit-to-flush scheduling delay, not
+//! merely time spent in an open batch. Flush whichever trips first:
+//! batch-full (throughput-optimal) or deadline (latency-bounded).
 
 use std::time::Duration;
 
@@ -18,7 +20,8 @@ pub struct FlushPolicy {
     /// Flush as soon as this many requests are batched — the epoch
     /// size `TvLP × core_batch` of the mirrored accelerator config.
     pub max_epoch: usize,
-    /// Flush when the oldest batched request has waited this long.
+    /// Flush when the oldest batched request has waited this long
+    /// since submission (ingress queueing included).
     pub max_delay: Duration,
 }
 

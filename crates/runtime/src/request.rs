@@ -3,6 +3,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use strix_tfhe::boolean::BinaryGate;
 use strix_tfhe::bootstrap::Lut;
 use strix_tfhe::lwe::LweCiphertext;
 
@@ -34,13 +35,51 @@ pub enum RequestOp {
     Bootstrap(Arc<Lut>),
     /// Keyswitch only; the input must be under the extracted key.
     Keyswitch,
+    /// A two-input boolean gate as one request: the gate recipe's
+    /// linear combination of the request ciphertext and `other`, then
+    /// the shared sign-LUT bootstrap, then keyswitch. Exposes the
+    /// [`strix_tfhe::boolean`] gate recipes through the batcher so a
+    /// circuit level streams as ordinary epoch slots.
+    Gate {
+        /// Which gate to evaluate.
+        gate: BinaryGate,
+        /// The second gate input (the first is [`Request::ct`]).
+        other: LweCiphertext,
+    },
+    /// Linear-combination preamble then LUT: computes
+    /// `weights[0]·ct + Σ weights[i+1]·extra[i] + offset` on the small
+    /// key, bootstraps the sum with `lut`, and keyswitches back — one
+    /// request per neuron of a Deep-NN dense layer.
+    LinearLut {
+        /// Per-input integer weights; `weights[0]` scales
+        /// [`Request::ct`], `weights[i + 1]` scales `extra[i]`.
+        weights: Vec<i64>,
+        /// Additional input ciphertexts beyond [`Request::ct`].
+        extra: Vec<LweCiphertext>,
+        /// Constant torus offset added after the weighted sum.
+        offset: u64,
+        /// The LUT applied by the bootstrap.
+        lut: Arc<Lut>,
+    },
 }
 
 impl RequestOp {
     /// Whether this operation contains a programmable bootstrap (and
     /// thus counts toward PBS/s throughput).
     pub fn is_pbs(&self) -> bool {
-        matches!(self, RequestOp::Lut(_) | RequestOp::Bootstrap(_))
+        matches!(
+            self,
+            RequestOp::Lut(_)
+                | RequestOp::Bootstrap(_)
+                | RequestOp::Gate { .. }
+                | RequestOp::LinearLut { .. }
+        )
+    }
+
+    /// Whether this operation carries a fused linear preamble (a gate
+    /// recipe or an explicit weighted sum) ahead of its bootstrap.
+    pub fn is_fused_linear(&self) -> bool {
+        matches!(self, RequestOp::Gate { .. } | RequestOp::LinearLut { .. })
     }
 }
 
@@ -103,8 +142,13 @@ mod tests {
     fn op_classification() {
         let lut = Arc::new(Lut::sign(64, 1));
         assert!(RequestOp::Lut(Arc::clone(&lut)).is_pbs());
-        assert!(RequestOp::Bootstrap(lut).is_pbs());
+        assert!(RequestOp::Bootstrap(Arc::clone(&lut)).is_pbs());
         assert!(!RequestOp::Keyswitch.is_pbs());
+        let gate = RequestOp::Gate { gate: BinaryGate::And, other: LweCiphertext::trivial(4, 0) };
+        assert!(gate.is_pbs() && gate.is_fused_linear());
+        let lin = RequestOp::LinearLut { weights: vec![1], extra: vec![], offset: 0, lut };
+        assert!(lin.is_pbs() && lin.is_fused_linear());
+        assert!(!RequestOp::Keyswitch.is_fused_linear());
     }
 
     #[test]

@@ -322,8 +322,17 @@ impl ClientHandle {
     }
 
     fn buffer(&mut self, response: Response) {
-        debug_assert!(response.seq >= self.next_recv, "duplicate response");
-        self.reorder.insert(response.seq, response);
+        // A stale response (already returned to the caller) is dropped
+        // explicitly rather than debug-asserted: in release it must not
+        // silently shadow a live entry in the reorder buffer.
+        if response.seq < self.next_recv {
+            return;
+        }
+        let evicted = self.reorder.insert(response.seq, response);
+        // Two in-flight responses for one sequence number can't happen:
+        // each submit allocates a fresh seq and workers answer each
+        // request exactly once.
+        debug_assert!(evicted.is_none(), "duplicate in-flight response");
     }
 }
 

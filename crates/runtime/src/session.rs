@@ -1,0 +1,625 @@
+//! The session/dataflow layer: multi-stage homomorphic programs
+//! streamed through the runtime.
+//!
+//! The paper's flagship evaluations — gate-level circuits and the Zama
+//! Deep-NN (Fig. 7) — are *multi-stage* programs: every PBS output
+//! feeds the next circuit level or dense layer. A single client
+//! executing such a program synchronously keeps only its current
+//! frontier in flight, so epochs flush undersized (the fragmentation
+//! cost of Fig. 2). This module lets many clients hold whole programs
+//! open against the runtime at once: each [`ProgramSession`]
+//! auto-submits every operation whose inputs have resolved, the
+//! batcher interleaves *independent* stages from concurrent sessions
+//! into full `TvLP × core_batch` epochs, and responses route back into
+//! the waiting DAG through the client handle's existing reorder
+//! machinery.
+//!
+//! A [`Program`] is a DAG over [`Wire`]s (program inputs or node
+//! outputs) with three node kinds:
+//!
+//! * a two-input boolean gate ([`RequestOp::Gate`]) — one epoch slot,
+//! * a linear-combination preamble plus LUT ([`RequestOp::LinearLut`])
+//!   — one epoch slot per Deep-NN neuron,
+//! * NOT — a free local negation, no runtime round trip.
+//!
+//! [`Program::run_sync`] is the synchronous reference execution over a
+//! [`ServerKey`]; it performs the same linear-preamble → bootstrap →
+//! keyswitch pipeline as the streamed path, so the two produce
+//! bit-identical ciphertexts (the batch bootstrap is bit-identical to
+//! the sequential one by construction).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use strix_tfhe::boolean::{gate_sign_lut, BinaryGate};
+use strix_tfhe::bootstrap::Lut;
+use strix_tfhe::lwe::LweCiphertext;
+use strix_tfhe::ServerKey;
+
+use crate::error::RuntimeError;
+use crate::executor::linear_preamble;
+use crate::request::{RequestOp, Response};
+use crate::runtime::ClientHandle;
+
+/// A value reference inside a [`Program`]: one of the program's
+/// encrypted inputs, or the output of an earlier node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Wire {
+    /// The `i`-th program input ciphertext.
+    Input(usize),
+    /// The output of node `n`.
+    Node(usize),
+}
+
+#[derive(Clone, Debug)]
+enum NodeOp {
+    /// Two-input boolean gate: one runtime request.
+    Gate(BinaryGate),
+    /// Local negation: resolved without a runtime round trip.
+    Not,
+    /// `Σ weights[i]·inputs[i] + offset`, then `lut`, then keyswitch:
+    /// one runtime request.
+    LinearLut { weights: Vec<i64>, offset: u64, lut: Arc<Lut> },
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    op: NodeOp,
+    inputs: Vec<Wire>,
+}
+
+/// A dependency-carrying multi-stage homomorphic program: a DAG of
+/// gate / linear-LUT / NOT nodes over encrypted inputs.
+///
+/// Built incrementally — every builder method returns the [`Wire`]
+/// carrying the new node's output, and may only reference wires that
+/// already exist, so a `Program` is acyclic by construction.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    input_count: usize,
+    nodes: Vec<Node>,
+    outputs: Vec<Wire>,
+}
+
+impl Program {
+    /// A program over `input_count` encrypted inputs.
+    pub fn new(input_count: usize) -> Self {
+        Self { input_count, nodes: Vec::new(), outputs: Vec::new() }
+    }
+
+    /// Number of encrypted inputs the program expects.
+    #[inline]
+    pub fn input_count(&self) -> usize {
+        self.input_count
+    }
+
+    /// Total node count (including free NOT nodes).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of nodes that cost one runtime request (everything but
+    /// NOT) — the program's PBS budget.
+    pub fn request_count(&self) -> usize {
+        self.nodes.iter().filter(|n| !matches!(n.op, NodeOp::Not)).count()
+    }
+
+    /// The declared output wires, in order.
+    #[inline]
+    pub fn outputs(&self) -> &[Wire] {
+        &self.outputs
+    }
+
+    fn check_wire(&self, w: Wire) {
+        let valid = match w {
+            Wire::Input(i) => i < self.input_count,
+            Wire::Node(n) => n < self.nodes.len(),
+        };
+        assert!(valid, "wire {w:?} does not exist yet in this program");
+    }
+
+    /// Appends a two-input boolean gate node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either wire does not exist yet (construction-time
+    /// programming error; nothing has been submitted).
+    pub fn gate(&mut self, gate: BinaryGate, a: Wire, b: Wire) -> Wire {
+        self.check_wire(a);
+        self.check_wire(b);
+        self.nodes.push(Node { op: NodeOp::Gate(gate), inputs: vec![a, b] });
+        Wire::Node(self.nodes.len() - 1)
+    }
+
+    /// Appends a free NOT node (no runtime request).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wire does not exist yet.
+    pub fn not(&mut self, a: Wire) -> Wire {
+        self.check_wire(a);
+        self.nodes.push(Node { op: NodeOp::Not, inputs: vec![a] });
+        Wire::Node(self.nodes.len() - 1)
+    }
+
+    /// Appends a linear-combination + LUT node:
+    /// `Σ weights[i]·inputs[i] + offset`, bootstrapped through `lut`
+    /// and keyswitched back to the small key — the shape of one
+    /// Deep-NN neuron (weighted activations, bias, activation LUT).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` and `inputs` differ in length, `inputs` is
+    /// empty, or any wire does not exist yet.
+    pub fn linear_lut(
+        &mut self,
+        weights: Vec<i64>,
+        inputs: Vec<Wire>,
+        offset: u64,
+        lut: Arc<Lut>,
+    ) -> Wire {
+        assert!(!inputs.is_empty(), "linear node needs at least one input");
+        assert_eq!(weights.len(), inputs.len(), "one weight per input wire");
+        for &w in &inputs {
+            self.check_wire(w);
+        }
+        self.nodes.push(Node { op: NodeOp::LinearLut { weights, offset, lut }, inputs });
+        Wire::Node(self.nodes.len() - 1)
+    }
+
+    /// Declares `wire` as the next program output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wire does not exist yet.
+    pub fn output(&mut self, wire: Wire) {
+        self.check_wire(wire);
+        self.outputs.push(wire);
+    }
+
+    /// Marks the nodes the output set transitively depends on. Both
+    /// execution paths schedule exactly this set, so a dead node can
+    /// neither cost a bootstrap nor fail a run on either path.
+    fn needed_nodes(&self) -> Vec<bool> {
+        let mut needed = vec![false; self.nodes.len()];
+        let mut stack: Vec<usize> = self
+            .outputs
+            .iter()
+            .filter_map(|&w| match w {
+                Wire::Node(i) => Some(i),
+                Wire::Input(_) => None,
+            })
+            .collect();
+        while let Some(i) = stack.pop() {
+            if std::mem::replace(&mut needed[i], true) {
+                continue;
+            }
+            for &w in &self.nodes[i].inputs {
+                if let Wire::Node(j) = w {
+                    stack.push(j);
+                }
+            }
+        }
+        needed
+    }
+
+    /// Synchronous reference execution over a [`ServerKey`]: every
+    /// node runs in submission order through the same linear-preamble
+    /// → bootstrap → keyswitch pipeline as the streamed path, so the
+    /// outputs are bit-identical to a [`ProgramSession`] run against a
+    /// [`TfheExecutor`](crate::executor::TfheExecutor) built on the
+    /// same key.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Program`] if `inputs` mismatches the program's
+    /// input count, [`RuntimeError::Tfhe`] if a node's homomorphic
+    /// operation fails.
+    pub fn run_sync(
+        &self,
+        server: &ServerKey,
+        inputs: &[LweCiphertext],
+    ) -> Result<Vec<LweCiphertext>, RuntimeError> {
+        if inputs.len() != self.input_count {
+            return Err(RuntimeError::Program("input count mismatch"));
+        }
+        let sign = gate_sign_lut(server.params().polynomial_size);
+        let needed = self.needed_nodes();
+        let mut values: Vec<Option<LweCiphertext>> = vec![None; self.nodes.len()];
+        for (idx, node) in self.nodes.iter().enumerate() {
+            if !needed[idx] {
+                continue; // same pruning as the streamed session
+            }
+            let value_of = |w: Wire| -> &LweCiphertext {
+                match w {
+                    Wire::Input(i) => &inputs[i],
+                    Wire::Node(n) => values[n].as_ref().expect("needed nodes resolve in order"),
+                }
+            };
+            let out = match &node.op {
+                NodeOp::Not => {
+                    let mut ct = value_of(node.inputs[0]).clone();
+                    ct.negate();
+                    ct
+                }
+                NodeOp::Gate(gate) => {
+                    let recipe = gate.recipe();
+                    let sum = linear_preamble(
+                        value_of(node.inputs[0]),
+                        &recipe.weights(),
+                        std::slice::from_ref(value_of(node.inputs[1])),
+                        recipe.offset(),
+                    )?;
+                    let boot = server.bootstrap_key().bootstrap(&sum, &sign)?;
+                    server.keyswitch_key().keyswitch(&boot)?
+                }
+                NodeOp::LinearLut { weights, offset, lut } => {
+                    let extra: Vec<LweCiphertext> =
+                        node.inputs[1..].iter().map(|&w| value_of(w).clone()).collect();
+                    let sum = linear_preamble(value_of(node.inputs[0]), weights, &extra, *offset)?;
+                    let boot = server.bootstrap_key().bootstrap(&sum, lut)?;
+                    server.keyswitch_key().keyswitch(&boot)?
+                }
+            };
+            values[idx] = Some(out);
+        }
+        self.outputs
+            .iter()
+            .map(|&w| {
+                Ok(match w {
+                    Wire::Input(i) => inputs[i].clone(),
+                    Wire::Node(n) => {
+                        values[n].as_ref().expect("output node is needed by definition").clone()
+                    }
+                })
+            })
+            .collect()
+    }
+}
+
+/// One client's in-flight execution of a [`Program`] against the
+/// streaming runtime.
+///
+/// The session holds the DAG plus the resolved values, auto-submits
+/// every node whose inputs have resolved (the *frontier* — independent
+/// nodes ship together so concurrent sessions fill epochs), routes
+/// responses back into pending nodes, and completes when the output
+/// set resolves. Only nodes the outputs actually depend on are
+/// scheduled.
+///
+/// The client handle is borrowed per call so callers can multiplex,
+/// but the session assumes exclusive use of the handle while it runs:
+/// every response received must answer one of its submissions.
+///
+/// Responses are absorbed in submission order (the handle's in-order
+/// contract), so *within one session* a fast later response waits for
+/// its slower predecessors before unblocking dependents. Epochs are
+/// filled across *concurrent* sessions, where no such coupling exists;
+/// per-client order is the price of the existing reorder machinery.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use strix_core::BatchGeometry;
+/// use strix_runtime::session::{Program, ProgramSession, Wire};
+/// use strix_runtime::{Runtime, RuntimeConfig, TfheExecutor};
+/// use strix_tfhe::boolean::BinaryGate;
+/// use strix_tfhe::prelude::*;
+///
+/// let params = TfheParameters::testing_fast();
+/// let (mut client_key, server_key) = generate_keys(&params, 11);
+/// let runtime = Runtime::start(
+///     RuntimeConfig::new(BatchGeometry::explicit(2, 2)),
+///     TfheExecutor::new(Arc::new(server_key)),
+/// );
+///
+/// // half adder: sum = a XOR b, carry = a AND b
+/// let mut program = Program::new(2);
+/// let sum = program.gate(BinaryGate::Xor, Wire::Input(0), Wire::Input(1));
+/// let carry = program.gate(BinaryGate::And, Wire::Input(0), Wire::Input(1));
+/// program.output(sum);
+/// program.output(carry);
+///
+/// let inputs = vec![
+///     client_key.encrypt_bool(true).into_lwe(),
+///     client_key.encrypt_bool(true).into_lwe(),
+/// ];
+/// let mut handle = runtime.client();
+/// let session = ProgramSession::new(&program, inputs).unwrap();
+/// let outputs = session.run(&mut handle).unwrap();
+/// assert!(!strix_tfhe::bootstrap::decode_bool(
+///     client_key.decrypt_phase(&outputs[0]).unwrap()
+/// )); // 1 XOR 1 = 0
+/// assert!(strix_tfhe::bootstrap::decode_bool(
+///     client_key.decrypt_phase(&outputs[1]).unwrap()
+/// )); // 1 AND 1 = 1
+/// runtime.shutdown();
+/// ```
+pub struct ProgramSession<'p> {
+    program: &'p Program,
+    inputs: Vec<LweCiphertext>,
+    node_values: Vec<Option<LweCiphertext>>,
+    /// Unresolved node-input references per needed node (multiplicity
+    /// counted, so a node consuming the same wire twice waits once per
+    /// reference).
+    unresolved: Vec<usize>,
+    /// Needed nodes waiting on each node's value, one entry per
+    /// reference.
+    dependents: Vec<Vec<usize>>,
+    /// Needed nodes whose inputs are all resolved but which have not
+    /// been dispatched yet.
+    ready: Vec<usize>,
+    /// Submitted sequence numbers awaiting their response.
+    in_flight: HashMap<u64, usize>,
+    /// Needed nodes not yet resolved.
+    outstanding_nodes: usize,
+}
+
+impl<'p> ProgramSession<'p> {
+    /// Binds a program to its input ciphertexts.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Program`] if `inputs` mismatches the program's
+    /// declared input count.
+    pub fn new(program: &'p Program, inputs: Vec<LweCiphertext>) -> Result<Self, RuntimeError> {
+        if inputs.len() != program.input_count {
+            return Err(RuntimeError::Program("input count mismatch"));
+        }
+        let n = program.nodes.len();
+        let needed = program.needed_nodes();
+        let mut unresolved = vec![0usize; n];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut ready = Vec::new();
+        let mut outstanding_nodes = 0;
+        for (i, node) in program.nodes.iter().enumerate() {
+            if !needed[i] {
+                continue;
+            }
+            outstanding_nodes += 1;
+            for &w in &node.inputs {
+                if let Wire::Node(j) = w {
+                    unresolved[i] += 1;
+                    dependents[j].push(i);
+                }
+            }
+            if unresolved[i] == 0 {
+                ready.push(i);
+            }
+        }
+
+        Ok(Self {
+            program,
+            inputs,
+            node_values: vec![None; n],
+            unresolved,
+            dependents,
+            ready,
+            in_flight: HashMap::new(),
+            outstanding_nodes,
+        })
+    }
+
+    fn wire_value(&self, w: Wire) -> &LweCiphertext {
+        match w {
+            Wire::Input(i) => &self.inputs[i],
+            Wire::Node(n) => {
+                self.node_values[n].as_ref().expect("wire scheduled before it resolved")
+            }
+        }
+    }
+
+    /// Marks node `n` resolved and promotes newly unblocked dependents
+    /// onto the ready frontier.
+    fn resolve(&mut self, n: usize, value: LweCiphertext) {
+        debug_assert!(self.node_values[n].is_none(), "node resolved twice");
+        self.node_values[n] = Some(value);
+        self.outstanding_nodes -= 1;
+        // A node resolves exactly once; its dependent list is consumed.
+        for d in std::mem::take(&mut self.dependents[n]) {
+            self.unresolved[d] -= 1;
+            if self.unresolved[d] == 0 {
+                self.ready.push(d);
+            }
+        }
+    }
+
+    /// Submits every ready node: NOT nodes resolve locally (which can
+    /// unblock further nodes within the same call), gate and
+    /// linear-LUT nodes become runtime requests.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Shutdown`] if the runtime stopped accepting
+    /// requests.
+    pub fn submit_ready(&mut self, handle: &mut ClientHandle) -> Result<(), RuntimeError> {
+        while let Some(n) = self.ready.pop() {
+            match &self.program.nodes[n].op {
+                NodeOp::Not => {
+                    let mut ct = self.wire_value(self.program.nodes[n].inputs[0]).clone();
+                    ct.negate();
+                    self.resolve(n, ct);
+                }
+                NodeOp::Gate(gate) => {
+                    let node = &self.program.nodes[n];
+                    let ct = self.wire_value(node.inputs[0]).clone();
+                    let other = self.wire_value(node.inputs[1]).clone();
+                    let seq = handle.submit(ct, RequestOp::Gate { gate: *gate, other })?;
+                    self.in_flight.insert(seq, n);
+                }
+                NodeOp::LinearLut { weights, offset, lut } => {
+                    let node = &self.program.nodes[n];
+                    let ct = self.wire_value(node.inputs[0]).clone();
+                    let extra: Vec<LweCiphertext> =
+                        node.inputs[1..].iter().map(|&w| self.wire_value(w).clone()).collect();
+                    let op = RequestOp::LinearLut {
+                        weights: weights.clone(),
+                        extra,
+                        offset: *offset,
+                        lut: Arc::clone(lut),
+                    };
+                    let seq = handle.submit(ct, op)?;
+                    self.in_flight.insert(seq, n);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Routes one response back into its pending node.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Program`] if the response does not answer one of
+    /// this session's submissions; the carried error if the node's
+    /// request failed.
+    pub fn absorb(&mut self, response: Response) -> Result<(), RuntimeError> {
+        let node = self
+            .in_flight
+            .remove(&response.seq)
+            .ok_or(RuntimeError::Program("response does not belong to this session"))?;
+        let ct = response.result?;
+        self.resolve(node, ct);
+        Ok(())
+    }
+
+    /// Whether every node the output set depends on has resolved.
+    #[inline]
+    pub fn is_complete(&self) -> bool {
+        self.outstanding_nodes == 0
+    }
+
+    /// Number of submitted requests still awaiting a response.
+    #[inline]
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Drives the session to completion: submits the frontier, blocks
+    /// on responses, resubmits as stages unblock, and returns the
+    /// program's outputs in declaration order.
+    ///
+    /// On failure the session first drains its remaining in-flight
+    /// responses, so the handle is left clean and can run further
+    /// sessions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates submission, response and per-node execution errors.
+    pub fn run(mut self, handle: &mut ClientHandle) -> Result<Vec<LweCiphertext>, RuntimeError> {
+        match self.run_inner(handle) {
+            Ok(outputs) => Ok(outputs),
+            Err(e) => {
+                // Discard the responses of requests already submitted:
+                // a leftover would otherwise surface as a foreign
+                // sequence number to the handle's next session.
+                while !self.in_flight.is_empty() {
+                    match handle.recv() {
+                        Ok(response) => {
+                            self.in_flight.remove(&response.seq);
+                        }
+                        Err(_) => break,
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn run_inner(&mut self, handle: &mut ClientHandle) -> Result<Vec<LweCiphertext>, RuntimeError> {
+        loop {
+            self.submit_ready(handle)?;
+            if self.is_complete() {
+                break;
+            }
+            let response = handle.recv()?;
+            self.absorb(response)?;
+        }
+        let outputs = self.program.outputs.iter().map(|&w| self.wire_value(w).clone()).collect();
+        Ok(outputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_chain(len: usize) -> Program {
+        let mut p = Program::new(len + 1);
+        let mut acc = Wire::Input(0);
+        for i in 0..len {
+            acc = p.gate(BinaryGate::Xor, acc, Wire::Input(i + 1));
+        }
+        p.output(acc);
+        p
+    }
+
+    #[test]
+    fn builder_counts_requests_and_outputs() {
+        let mut p = Program::new(2);
+        let x = p.gate(BinaryGate::Xor, Wire::Input(0), Wire::Input(1));
+        let n = p.not(x);
+        p.output(n);
+        assert_eq!(p.node_count(), 2);
+        assert_eq!(p.request_count(), 1); // NOT is free
+        assert_eq!(p.outputs(), &[Wire::Node(1)]);
+        assert_eq!(p.input_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist yet")]
+    fn builder_rejects_dangling_wires() {
+        let mut p = Program::new(1);
+        p.gate(BinaryGate::And, Wire::Input(0), Wire::Node(5));
+    }
+
+    #[test]
+    fn session_rejects_input_count_mismatch() {
+        let p = xor_chain(2);
+        let err = ProgramSession::new(&p, vec![]).err().unwrap();
+        assert!(matches!(err, RuntimeError::Program(_)));
+    }
+
+    #[test]
+    fn unneeded_nodes_are_not_scheduled() {
+        let mut p = Program::new(2);
+        let used = p.gate(BinaryGate::And, Wire::Input(0), Wire::Input(1));
+        let _dead = p.gate(BinaryGate::Or, Wire::Input(0), Wire::Input(1));
+        p.output(used);
+        let inputs = vec![LweCiphertext::trivial(4, 0), LweCiphertext::trivial(4, 0)];
+        let session = ProgramSession::new(&p, inputs).unwrap();
+        // Only the AND feeding the output is scheduled; the dead OR is
+        // pruned from both the outstanding count and the frontier.
+        assert_eq!(session.outstanding_nodes, 1);
+        assert_eq!(session.ready, vec![0]);
+    }
+
+    #[test]
+    fn run_sync_skips_dead_nodes_like_the_streamed_path() {
+        // A dead node consuming a malformed wire must not fail (or
+        // cost a bootstrap in) either execution path: both prune it.
+        let mut p = Program::new(2);
+        let live = p.not(Wire::Input(0));
+        let _dead = p.gate(BinaryGate::And, Wire::Input(0), Wire::Input(1));
+        p.output(live);
+        let params = strix_tfhe::TfheParameters::testing_fast();
+        let (mut client, server) = strix_tfhe::generate_keys(&params, 31);
+        let inputs = vec![
+            client.encrypt_bool(true).into_lwe(),
+            LweCiphertext::trivial(7, 0), // wrong dimension, dead-only
+        ];
+        let outs = p.run_sync(&server, &inputs).expect("dead node must not execute");
+        assert_eq!(outs.len(), 1);
+    }
+
+    #[test]
+    fn passthrough_output_completes_without_requests() {
+        let mut p = Program::new(1);
+        p.output(Wire::Input(0));
+        let session = ProgramSession::new(&p, vec![LweCiphertext::trivial(4, 9)]).unwrap();
+        assert!(session.is_complete());
+        assert_eq!(session.in_flight(), 0);
+    }
+}

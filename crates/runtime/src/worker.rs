@@ -78,6 +78,7 @@ pub(crate) fn run(
                 request.submitted_at,
                 latency,
                 request.op.is_pbs(),
+                request.op.is_fused_linear(),
                 result.is_ok(),
             );
             registry.deliver(Response {

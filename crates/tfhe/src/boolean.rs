@@ -59,24 +59,111 @@ impl ClientKey {
 }
 
 /// The linear pre-processing of a binary gate: `w1·c1 + w2·c2 + offset`.
-#[derive(Clone, Copy, Debug)]
-struct GateRecipe {
-    w1: i64,
-    w2: i64,
+///
+/// Recipes are public so schedulers can evaluate a gate as one batched
+/// runtime request (linear preamble, then the shared [`gate_sign_lut`]
+/// bootstrap, then keyswitch) instead of calling [`ServerKey`] methods
+/// synchronously.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GateRecipe {
+    /// Weight of the first input ciphertext.
+    pub w1: i64,
+    /// Weight of the second input ciphertext.
+    pub w2: i64,
     /// Offset numerator in eighths of the torus.
-    offset_eighths: i64,
+    pub offset_eighths: i64,
 }
 
-const AND_RECIPE: GateRecipe = GateRecipe { w1: 1, w2: 1, offset_eighths: -1 };
-const OR_RECIPE: GateRecipe = GateRecipe { w1: 1, w2: 1, offset_eighths: 1 };
-const NAND_RECIPE: GateRecipe = GateRecipe { w1: -1, w2: -1, offset_eighths: 1 };
-const NOR_RECIPE: GateRecipe = GateRecipe { w1: -1, w2: -1, offset_eighths: -1 };
-const XOR_RECIPE: GateRecipe = GateRecipe { w1: 2, w2: 2, offset_eighths: 2 };
-const XNOR_RECIPE: GateRecipe = GateRecipe { w1: -2, w2: -2, offset_eighths: -2 };
+impl GateRecipe {
+    /// The recipe's constant offset as a torus element.
+    #[inline]
+    pub fn offset(self) -> u64 {
+        encode_fraction(self.offset_eighths, 3)
+    }
+
+    /// The two input weights as a slice-friendly array.
+    #[inline]
+    pub fn weights(self) -> [i64; 2] {
+        [self.w1, self.w2]
+    }
+}
+
+/// The two-input boolean gates evaluable with one sign-LUT bootstrap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinaryGate {
+    /// Logical AND.
+    And,
+    /// Logical OR.
+    Or,
+    /// Logical NAND.
+    Nand,
+    /// Logical NOR.
+    Nor,
+    /// Logical XOR.
+    Xor,
+    /// Logical XNOR.
+    Xnor,
+}
+
+impl BinaryGate {
+    /// Every gate, in a fixed order (useful for exhaustive tests).
+    pub const ALL: [BinaryGate; 6] = [
+        BinaryGate::And,
+        BinaryGate::Or,
+        BinaryGate::Nand,
+        BinaryGate::Nor,
+        BinaryGate::Xor,
+        BinaryGate::Xnor,
+    ];
+
+    /// The gate's linear pre-processing recipe.
+    pub fn recipe(self) -> GateRecipe {
+        match self {
+            BinaryGate::And => GateRecipe { w1: 1, w2: 1, offset_eighths: -1 },
+            BinaryGate::Or => GateRecipe { w1: 1, w2: 1, offset_eighths: 1 },
+            BinaryGate::Nand => GateRecipe { w1: -1, w2: -1, offset_eighths: 1 },
+            BinaryGate::Nor => GateRecipe { w1: -1, w2: -1, offset_eighths: -1 },
+            BinaryGate::Xor => GateRecipe { w1: 2, w2: 2, offset_eighths: 2 },
+            BinaryGate::Xnor => GateRecipe { w1: -2, w2: -2, offset_eighths: -2 },
+        }
+    }
+
+    /// The plaintext truth table.
+    pub fn eval(self, a: bool, b: bool) -> bool {
+        match self {
+            BinaryGate::And => a & b,
+            BinaryGate::Or => a | b,
+            BinaryGate::Nand => !(a & b),
+            BinaryGate::Nor => !(a | b),
+            BinaryGate::Xor => a ^ b,
+            BinaryGate::Xnor => !(a ^ b),
+        }
+    }
+}
+
+impl std::fmt::Display for BinaryGate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            BinaryGate::And => "and",
+            BinaryGate::Or => "or",
+            BinaryGate::Nand => "nand",
+            BinaryGate::Nor => "nor",
+            BinaryGate::Xor => "xor",
+            BinaryGate::Xnor => "xnor",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The sign LUT shared by every gate bootstrap: positive phases map to
+/// `+1/8`, negative phases to `−1/8` (negacyclic wrap-around).
+pub fn gate_sign_lut(poly_size: usize) -> Lut {
+    Lut::sign(poly_size, encode_fraction(1, 3))
+}
 
 impl ServerKey {
     fn sign_lut(&self) -> Lut {
-        Lut::sign(self.params.polynomial_size, encode_fraction(1, 3))
+        gate_sign_lut(self.params.polynomial_size)
     }
 
     fn gate_linear(
@@ -87,20 +174,26 @@ impl ServerKey {
     ) -> Result<LweCiphertext, TfheError> {
         let mut acc = a.ct.clone();
         acc.scalar_mul_assign(recipe.w1);
-        let mut rhs = b.ct.clone();
-        rhs.scalar_mul_assign(recipe.w2);
-        acc.add_assign(&rhs)?;
+        acc.add_scaled_assign(&b.ct, recipe.w2)?;
         acc.plaintext_add_assign(encode_fraction(recipe.offset_eighths, 3));
         Ok(acc)
     }
 
-    fn gate(
+    /// Evaluates any two-input [`BinaryGate`]: the recipe's linear
+    /// combination, the shared sign-LUT bootstrap, then a keyswitch
+    /// back to the `n`-dimension key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TfheError::ParameterMismatch`] if the inputs come from
+    /// a different parameter set.
+    pub fn binary_gate(
         &self,
-        recipe: GateRecipe,
+        gate: BinaryGate,
         a: &BoolCiphertext,
         b: &BoolCiphertext,
     ) -> Result<BoolCiphertext, TfheError> {
-        let sum = self.gate_linear(recipe, a, b)?;
+        let sum = self.gate_linear(gate.recipe(), a, b)?;
         let boot = self.bsk.bootstrap(&sum, &self.sign_lut())?;
         Ok(BoolCiphertext { ct: self.ksk.keyswitch(&boot)? })
     }
@@ -112,7 +205,7 @@ impl ServerKey {
     /// Returns [`TfheError::ParameterMismatch`] if the inputs come from
     /// a different parameter set.
     pub fn and(&self, a: &BoolCiphertext, b: &BoolCiphertext) -> Result<BoolCiphertext, TfheError> {
-        self.gate(AND_RECIPE, a, b)
+        self.binary_gate(BinaryGate::And, a, b)
     }
 
     /// Homomorphic OR.
@@ -121,7 +214,7 @@ impl ServerKey {
     ///
     /// Returns [`TfheError::ParameterMismatch`] on parameter mismatch.
     pub fn or(&self, a: &BoolCiphertext, b: &BoolCiphertext) -> Result<BoolCiphertext, TfheError> {
-        self.gate(OR_RECIPE, a, b)
+        self.binary_gate(BinaryGate::Or, a, b)
     }
 
     /// Homomorphic NAND (the universal gate of the original TFHE demo).
@@ -134,7 +227,7 @@ impl ServerKey {
         a: &BoolCiphertext,
         b: &BoolCiphertext,
     ) -> Result<BoolCiphertext, TfheError> {
-        self.gate(NAND_RECIPE, a, b)
+        self.binary_gate(BinaryGate::Nand, a, b)
     }
 
     /// Homomorphic NOR.
@@ -143,7 +236,7 @@ impl ServerKey {
     ///
     /// Returns [`TfheError::ParameterMismatch`] on parameter mismatch.
     pub fn nor(&self, a: &BoolCiphertext, b: &BoolCiphertext) -> Result<BoolCiphertext, TfheError> {
-        self.gate(NOR_RECIPE, a, b)
+        self.binary_gate(BinaryGate::Nor, a, b)
     }
 
     /// Homomorphic XOR.
@@ -152,7 +245,7 @@ impl ServerKey {
     ///
     /// Returns [`TfheError::ParameterMismatch`] on parameter mismatch.
     pub fn xor(&self, a: &BoolCiphertext, b: &BoolCiphertext) -> Result<BoolCiphertext, TfheError> {
-        self.gate(XOR_RECIPE, a, b)
+        self.binary_gate(BinaryGate::Xor, a, b)
     }
 
     /// Homomorphic XNOR.
@@ -165,7 +258,7 @@ impl ServerKey {
         a: &BoolCiphertext,
         b: &BoolCiphertext,
     ) -> Result<BoolCiphertext, TfheError> {
-        self.gate(XNOR_RECIPE, a, b)
+        self.binary_gate(BinaryGate::Xnor, a, b)
     }
 
     /// Homomorphic NOT — a negation of the ciphertext, with no
@@ -190,10 +283,10 @@ impl ServerKey {
     ) -> Result<BoolCiphertext, TfheError> {
         let lut = self.sign_lut();
         // u1 = sel AND a (pre-keyswitch), u2 = (NOT sel) AND b.
-        let u1_in = self.gate_linear(AND_RECIPE, sel, a)?;
+        let u1_in = self.gate_linear(BinaryGate::And.recipe(), sel, a)?;
         let u1 = self.bsk.bootstrap(&u1_in, &lut)?;
         let not_sel = self.not(sel);
-        let u2_in = self.gate_linear(AND_RECIPE, &not_sel, b)?;
+        let u2_in = self.gate_linear(BinaryGate::And.recipe(), &not_sel, b)?;
         let u2 = self.bsk.bootstrap(&u2_in, &lut)?;
         // sel·a and ¬sel·b are mutually exclusive: their sum plus 1/8
         // re-centres onto the ±1/8 encoding.
@@ -216,7 +309,7 @@ impl ServerKey {
         timings: &mut StageTimings,
     ) -> Result<BoolCiphertext, TfheError> {
         let t0 = std::time::Instant::now();
-        let sum = self.gate_linear(NAND_RECIPE, a, b)?;
+        let sum = self.gate_linear(BinaryGate::Nand.recipe(), a, b)?;
         timings.add(PbsStage::LinearOps, t0.elapsed());
         let boot = self.bsk.bootstrap_profiled(&sum, &self.sign_lut(), timings)?;
         let switched = self.ksk.keyswitch_profiled(&boot, timings)?;
@@ -258,6 +351,30 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn binary_gate_dispatch_matches_eval_model() {
+        let (mut client, server) = fixture();
+        for gate in BinaryGate::ALL {
+            for x in [false, true] {
+                for y in [false, true] {
+                    let cx = client.encrypt_bool(x);
+                    let cy = client.encrypt_bool(y);
+                    let out = server.binary_gate(gate, &cx, &cy).unwrap();
+                    assert_eq!(client.decrypt_bool(&out), gate.eval(x, y), "{gate}({x}, {y})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recipe_offsets_encode_eighths() {
+        let and = BinaryGate::And.recipe();
+        assert_eq!(and.weights(), [1, 1]);
+        assert_eq!(and.offset(), (1u64 << 61).wrapping_neg());
+        assert_eq!(BinaryGate::Or.recipe().offset(), 1u64 << 61);
+        assert_eq!(BinaryGate::Xor.to_string(), "xor");
     }
 
     #[test]

@@ -53,7 +53,7 @@ impl GgswCiphertext {
             for lvl in 1..=decomp.level {
                 let mut row = glwe_sk.encrypt(&zero, noise_std, rng);
                 let scale = decomp.gadget_scale(lvl);
-                let target = row.poly_mut(j);
+                let target = row.poly_mut(j).expect("row index within GLWE dimension");
                 target[0] = target[0].wrapping_add(message.wrapping_mul(scale));
                 rows.push(row);
             }
@@ -75,7 +75,7 @@ impl GgswCiphertext {
         for j in 0..=glwe_dimension {
             for lvl in 1..=decomp.level {
                 let mut row = GlweCiphertext::zero(glwe_dimension, poly_size);
-                let target = row.poly_mut(j);
+                let target = row.poly_mut(j).expect("row index within GLWE dimension");
                 target[0] = message.wrapping_mul(decomp.gadget_scale(lvl));
                 rows.push(row);
             }
@@ -115,7 +115,7 @@ impl GgswCiphertext {
                     let row_poly = if col < k { &row.masks()[col] } else { row.body() };
                     let prod =
                         strix_fft::reference::negacyclic_mul_torus(digits, row_poly.coeffs());
-                    let out = acc.poly_mut(col);
+                    let out = acc.poly_mut(col).expect("column within GLWE dimension");
                     for (o, p) in out.coeffs_mut().iter_mut().zip(&prod) {
                         *o = o.wrapping_add(*p);
                     }
@@ -254,7 +254,7 @@ impl FourierGgsw {
 
         for (col, spec) in scratch.fourier_acc.chunks_mut(half).enumerate() {
             fft.backward_f64(spec, &mut scratch.time_domain).expect("accumulator matches fft plan");
-            let poly = out.poly_mut(col);
+            let poly = out.poly_mut(col).expect("column within GLWE dimension");
             for (o, &v) in poly.coeffs_mut().iter_mut().zip(&scratch.time_domain) {
                 *o = f64_to_torus(v);
             }
@@ -306,7 +306,7 @@ impl FourierGgsw {
         let mut time_domain = vec![0.0f64; n];
         for (col, spec) in acc.iter_mut().enumerate() {
             fft.backward_f64(spec, &mut time_domain).expect("accumulator matches fft plan");
-            let poly = out.poly_mut(col);
+            let poly = out.poly_mut(col).expect("column within GLWE dimension");
             for (o, &v) in poly.coeffs_mut().iter_mut().zip(&time_domain) {
                 *o = f64_to_torus(v);
             }

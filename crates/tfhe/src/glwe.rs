@@ -191,17 +191,19 @@ impl GlweCiphertext {
 
     /// Mutable access to polynomial `j` (`j = k` is the body).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `j > k`.
-    pub fn poly_mut(&mut self, j: usize) -> &mut TorusPolynomial {
+    /// Returns [`TfheError::ParameterMismatch`] if `j > k`. Indexing
+    /// mistakes surface as an error the caller can route around
+    /// instead of a panic that would take a serving thread down.
+    pub fn poly_mut(&mut self, j: usize) -> Result<&mut TorusPolynomial, TfheError> {
         let k = self.masks.len();
         if j < k {
-            &mut self.masks[j]
+            Ok(&mut self.masks[j])
         } else if j == k {
-            &mut self.body
+            Ok(&mut self.body)
         } else {
-            panic!("polynomial index {j} out of range for glwe dimension {k}");
+            Err(TfheError::ParameterMismatch { what: "glwe polynomial index", left: j, right: k })
         }
     }
 
@@ -423,18 +425,20 @@ mod tests {
     #[test]
     fn poly_mut_indexes_masks_then_body() {
         let mut ct = GlweCiphertext::zero(2, 16);
-        ct.poly_mut(0)[0] = 1;
-        ct.poly_mut(1)[0] = 2;
-        ct.poly_mut(2)[0] = 3;
+        ct.poly_mut(0).unwrap()[0] = 1;
+        ct.poly_mut(1).unwrap()[0] = 2;
+        ct.poly_mut(2).unwrap()[0] = 3;
         assert_eq!(ct.masks()[0][0], 1);
         assert_eq!(ct.masks()[1][0], 2);
         assert_eq!(ct.body()[0], 3);
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn poly_mut_rejects_out_of_range() {
+    fn poly_mut_rejects_out_of_range_as_error() {
         let mut ct = GlweCiphertext::zero(1, 16);
-        ct.poly_mut(2);
+        assert!(matches!(
+            ct.poly_mut(2),
+            Err(TfheError::ParameterMismatch { what: "glwe polynomial index", left: 2, right: 1 })
+        ));
     }
 }

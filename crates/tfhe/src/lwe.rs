@@ -179,6 +179,26 @@ impl LweCiphertext {
         }
     }
 
+    /// Fused multiply-add: `self += c · other` in one pass, without
+    /// materialising the scaled ciphertext. `c == 0` is a no-op
+    /// (bit-identical to adding the explicitly-zeroed product). This is
+    /// the linear-preamble hot path of the streaming executor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TfheError::ParameterMismatch`] on dimension mismatch.
+    pub fn add_scaled_assign(&mut self, other: &LweCiphertext, c: i64) -> Result<(), TfheError> {
+        self.check_dim(other)?;
+        if c == 0 {
+            return Ok(());
+        }
+        let c = c as u64;
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a = a.wrapping_add(b.wrapping_mul(c));
+        }
+        Ok(())
+    }
+
     /// Homomorphic multiplication by a small signed integer constant.
     pub fn scalar_mul_assign(&mut self, c: i64) {
         let c = c as u64;
@@ -214,6 +234,26 @@ mod tests {
         let mut rng = NoiseSampler::from_seed(2024);
         let sk = LweSecretKey::generate(128, &mut rng);
         (sk, rng)
+    }
+
+    #[test]
+    fn add_scaled_assign_matches_scale_then_add() {
+        let (sk, mut rng) = setup();
+        let std = 2.0f64.powi(-30);
+        for c in [-2i64, -1, 0, 1, 2, 7] {
+            let a = sk.encrypt(encode_fraction(1, 5), std, &mut rng);
+            let b = sk.encrypt(encode_fraction(2, 5), std, &mut rng);
+            let mut fused = a.clone();
+            fused.add_scaled_assign(&b, c).unwrap();
+            let mut reference = b.clone();
+            reference.scalar_mul_assign(c);
+            let mut expected = a;
+            expected.add_assign(&reference).unwrap();
+            assert_eq!(fused, expected, "c = {c}");
+        }
+        // Dimension mismatch is rejected.
+        let mut short = LweCiphertext::trivial(4, 0);
+        assert!(short.add_scaled_assign(&LweCiphertext::trivial(5, 0), 1).is_err());
     }
 
     #[test]

@@ -170,18 +170,24 @@ impl TfheParameters {
     /// The Zama Deep-NN parameter family (Fig. 7): same shape as the
     /// 128-bit sets with the requested polynomial size.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `polynomial_size` is not one of 1024, 2048 or 4096
-    /// (the sizes evaluated in the paper's Fig. 7).
-    pub fn deep_nn(polynomial_size: usize) -> Self {
+    /// Returns [`TfheError::InvalidParameters`] if `polynomial_size` is
+    /// not one of 1024, 2048 or 4096 (the sizes evaluated in the
+    /// paper's Fig. 7) — a serving path must be able to reject an
+    /// unsupported client request without panicking a worker thread.
+    pub fn deep_nn(polynomial_size: usize) -> Result<Self, TfheError> {
         let (glwe_noise_std, pbs_base_log, pbs_level) = match polynomial_size {
             1024 => (2.0f64.powi(-25), 7, 3),
             2048 => (2.0f64.powi(-37), 8, 3),
             4096 => (2.0f64.powi(-45), 12, 2),
-            other => panic!("deep-NN experiments use N in {{1024, 2048, 4096}}, got {other}"),
+            _ => {
+                return Err(TfheError::InvalidParameters(
+                    "deep-NN experiments use N in {1024, 2048, 4096}",
+                ))
+            }
         };
-        Self {
+        Ok(Self {
             name: format!("deep-nn-{polynomial_size}"),
             lwe_dimension: 630,
             glwe_dimension: 1,
@@ -193,7 +199,7 @@ impl TfheParameters {
             lwe_noise_std: 2.0f64.powi(-15),
             glwe_noise_std,
             security_bits: 128,
-        }
+        })
     }
 
     /// A small, *insecure* parameter set for fast unit tests. Noise is
@@ -351,7 +357,7 @@ mod tests {
         TfheParameters::testing_fast().validate().unwrap();
         TfheParameters::testing_k2().validate().unwrap();
         for n in [1024, 2048, 4096] {
-            TfheParameters::deep_nn(n).validate().unwrap();
+            TfheParameters::deep_nn(n).unwrap().validate().unwrap();
         }
     }
 
@@ -393,8 +399,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "deep-NN experiments")]
-    fn deep_nn_rejects_unsupported_sizes() {
-        TfheParameters::deep_nn(512);
+    fn deep_nn_rejects_unsupported_sizes_as_error() {
+        assert!(matches!(
+            TfheParameters::deep_nn(512),
+            Err(TfheError::InvalidParameters(msg)) if msg.contains("deep-NN")
+        ));
+        assert!(TfheParameters::deep_nn(2048).is_ok());
     }
 }

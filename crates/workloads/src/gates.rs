@@ -8,7 +8,8 @@
 //! correctness of the same circuits the graphs describe.
 
 use strix_core::Workload;
-use strix_tfhe::boolean::BoolCiphertext;
+use strix_runtime::session::{Program, Wire};
+use strix_tfhe::boolean::{BinaryGate, BoolCiphertext};
 use strix_tfhe::{ServerKey, TfheError};
 
 /// Simulator workload of a `bits`-bit ripple-carry adder: each bit
@@ -186,6 +187,82 @@ pub fn greater_than(
     Ok(gt)
 }
 
+/// Compiles a `bits`-bit ripple-carry adder into a dataflow
+/// [`Program`] for the streaming runtime: inputs are `a[0..bits]` then
+/// `b[0..bits]` (little-endian boolean ciphertexts), outputs are the
+/// `bits + 1` sum bits. The first bit position is a half adder; later
+/// positions are the 5-gate full adder of [`full_adder`], so the
+/// decrypted outputs match [`ripple_carry_add`].
+///
+/// Each bit level exposes 2–3 independent gates, and independent
+/// levels from *concurrent* sessions interleave into shared epochs —
+/// the whole point of streaming circuits instead of running them
+/// synchronously.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+pub fn ripple_carry_adder_program(bits: usize) -> Program {
+    let mut p = Program::new(2 * bits);
+    let mut carry: Option<Wire> = None;
+    for i in 0..bits {
+        let a = Wire::Input(i);
+        let b = Wire::Input(bits + i);
+        let ab = p.gate(BinaryGate::Xor, a, b);
+        match carry {
+            None => {
+                // Half adder: no carry-in at bit 0.
+                p.output(ab);
+                carry = Some(p.gate(BinaryGate::And, a, b));
+            }
+            Some(cin) => {
+                let sum = p.gate(BinaryGate::Xor, ab, cin);
+                p.output(sum);
+                let t1 = p.gate(BinaryGate::And, a, b);
+                let t2 = p.gate(BinaryGate::And, ab, cin);
+                carry = Some(p.gate(BinaryGate::Or, t1, t2));
+            }
+        }
+    }
+    p.output(carry.expect("adder needs at least one bit"));
+    p
+}
+
+/// Compiles a `bits`-bit equality comparator into a dataflow
+/// [`Program`]: inputs are `a[0..bits]` then `b[0..bits]`, the single
+/// output is `a == b`. One XNOR per bit (all independent — a full
+/// level of parallel epoch slots), then a balanced AND-reduction tree
+/// mirroring [`comparator_workload`]'s level structure.
+///
+/// # Panics
+///
+/// Panics if `bits == 0` (there is no constant-true wire).
+pub fn equality_program(bits: usize) -> Program {
+    let mut p = Program::new(2 * bits);
+    let mut level: Vec<Wire> = (0..bits)
+        .map(|i| p.gate(BinaryGate::Xnor, Wire::Input(i), Wire::Input(bits + i)))
+        .collect();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len() / 2 + 1);
+        for pair in level.chunks(2) {
+            match pair {
+                [x, y] => next.push(p.gate(BinaryGate::And, *x, *y)),
+                [x] => next.push(*x),
+                _ => unreachable!("chunks(2) yields 1 or 2 wires"),
+            }
+        }
+        level = next;
+    }
+    match level.first() {
+        Some(&w) => p.output(w),
+        // Zero-width comparison is trivially true, but there is no
+        // constant wire; keep the degenerate case out of the DAG by
+        // requiring at least one bit.
+        None => panic!("equality comparator needs at least one bit"),
+    }
+    p
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,5 +364,64 @@ mod tests {
         let (client, server) = keys();
         let e = equals(&server, &[], &[]).unwrap();
         assert!(client.decrypt_bool(&e));
+    }
+
+    #[test]
+    fn adder_program_shape_matches_gate_counts() {
+        let p = ripple_carry_adder_program(4);
+        assert_eq!(p.input_count(), 8);
+        assert_eq!(p.outputs().len(), 5);
+        // Half adder (2 gates) + 3 full adders (5 gates each).
+        assert_eq!(p.request_count(), 2 + 3 * 5);
+    }
+
+    #[test]
+    fn equality_program_shape_matches_comparator_workload() {
+        for bits in [1usize, 2, 5, 8] {
+            let p = equality_program(bits);
+            assert_eq!(p.input_count(), 2 * bits, "{bits} bits");
+            assert_eq!(p.outputs().len(), 1);
+            assert_eq!(p.request_count(), comparator_workload(bits).total_pbs(), "{bits} bits");
+        }
+    }
+
+    #[test]
+    fn adder_program_run_sync_matches_gate_execution() {
+        let (mut client, server) = keys();
+        const BITS: usize = 3;
+        for (a, b) in [(5u64, 3u64), (7, 7)] {
+            let ca = encrypt_bits(&mut client, a, BITS);
+            let cb = encrypt_bits(&mut client, b, BITS);
+            let inputs: Vec<_> = ca.iter().chain(&cb).map(|c| c.as_lwe().clone()).collect();
+            let program = ripple_carry_adder_program(BITS);
+            let outs = program.run_sync(&server, &inputs).unwrap();
+            let decoded: u64 = outs
+                .iter()
+                .enumerate()
+                .map(|(i, ct)| {
+                    let phase = client.decrypt_phase(ct).unwrap();
+                    (strix_tfhe::bootstrap::decode_bool(phase) as u64) << i
+                })
+                .sum();
+            assert_eq!(decoded, a + b, "{a}+{b}");
+            // ...and agrees with the synchronous ServerKey circuit.
+            let reference = ripple_carry_add(&server, &ca, &cb).unwrap();
+            let ref_decoded = decrypt_bits(&client, &reference);
+            assert_eq!(decoded, ref_decoded);
+        }
+    }
+
+    #[test]
+    fn equality_program_run_sync_matches_equals() {
+        let (mut client, server) = keys();
+        const BITS: usize = 4;
+        for (a, b) in [(9u64, 9u64), (9, 10)] {
+            let ca = encrypt_bits(&mut client, a, BITS);
+            let cb = encrypt_bits(&mut client, b, BITS);
+            let inputs: Vec<_> = ca.iter().chain(&cb).map(|c| c.as_lwe().clone()).collect();
+            let outs = equality_program(BITS).run_sync(&server, &inputs).unwrap();
+            let phase = client.decrypt_phase(&outs[0]).unwrap();
+            assert_eq!(strix_tfhe::bootstrap::decode_bool(phase), a == b, "{a}=={b}");
+        }
     }
 }

@@ -18,4 +18,4 @@ pub mod gates;
 pub mod mnist;
 pub mod nn;
 
-pub use nn::DeepNn;
+pub use nn::{DeepNn, ReluSchedule};

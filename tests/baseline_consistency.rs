@@ -84,7 +84,7 @@ fn gpu_vs_cpu_ordering_matches_table_v() {
 fn gpu_extrapolation_is_monotone_in_polynomial_size() {
     let mut last = 0.0;
     for n in [1024usize, 2048, 4096] {
-        let g = gpu::GpuModel::titan_rtx_for(&TfheParameters::deep_nn(n));
+        let g = gpu::GpuModel::titan_rtx_for(&TfheParameters::deep_nn(n).unwrap());
         assert!(g.batch_time_s > last, "N={n}");
         last = g.batch_time_s;
     }

@@ -19,7 +19,8 @@ fn nn_models_have_the_paper_shapes() {
 #[test]
 fn deeper_networks_take_longer_on_strix() {
     let sim =
-        StrixSimulator::new(StrixConfig::paper_default(), TfheParameters::deep_nn(1024)).unwrap();
+        StrixSimulator::new(StrixConfig::paper_default(), TfheParameters::deep_nn(1024).unwrap())
+            .unwrap();
     let mut last = 0.0;
     for depth in [20usize, 50, 100] {
         let t = sim.run_graph(&DeepNn::new(depth, 1024).workload()).total_time_s;
