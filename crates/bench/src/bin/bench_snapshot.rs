@@ -1,0 +1,181 @@
+//! Perf-trajectory snapshot: a fixed PBS + FFT workload whose numbers
+//! are written to `BENCH_pbs.json` at the repo root, so successive PRs
+//! have a committed baseline to compare against.
+//!
+//! Run from the workspace root (paths are relative to the cwd):
+//!
+//! ```text
+//! cargo run --release -p strix-bench --bin bench_snapshot
+//! cargo run --release -p strix-bench --bin bench_snapshot -- --fast --out /tmp/s.json
+//! ```
+//!
+//! `--fast` switches to the tiny insecure test parameters (CI smoke);
+//! the default is the paper's 128-bit set II, measured with the
+//! timing-equivalent benchmark bootstrapping key (same arithmetic
+//! shape as a real key, instant keygen). `--threads T` sets the
+//! intra-epoch shard count fed to `bootstrap_batch_parallel`.
+
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use strix_fft::{Complex64, NegacyclicFft};
+use strix_tfhe::bootstrap::{BootstrapKey, Lut, PbsJob};
+use strix_tfhe::lwe::LweCiphertext;
+use strix_tfhe::torus::encode_fraction;
+use strix_tfhe::TfheParameters;
+
+/// Wall-clock budget per measured quantity.
+const BUDGET: Duration = Duration::from_millis(300);
+
+/// Times `f` adaptively: one calibration call, then enough iterations
+/// to fill the budget. Returns mean seconds per call.
+fn time_per_call<F: FnMut()>(mut f: F) -> f64 {
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed().max(Duration::from_nanos(50));
+    let iters = (BUDGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_secs_f64() / iters as f64
+}
+
+struct FftRow {
+    n: usize,
+    forward_us: f64,
+    inverse_us: f64,
+    pair_us: f64,
+}
+
+fn measure_fft(n: usize) -> FftRow {
+    let fft = NegacyclicFft::new(n).unwrap();
+    let poly: Vec<i64> = (0..n as i64).map(|i| (i * 31 % 1024) - 512).collect();
+    let mut spec = vec![Complex64::ZERO; n / 2];
+    let mut time = vec![0.0f64; n];
+
+    let forward = time_per_call(|| fft.forward_i64(&poly, &mut spec).unwrap());
+    fft.forward_i64(&poly, &mut spec).unwrap();
+    let inverse = time_per_call(|| {
+        // The inverse consumes the spectrum as scratch; refresh it so
+        // every iteration transforms honest data.
+        let mut s = spec.clone();
+        fft.backward_f64(&mut s, &mut time).unwrap();
+    });
+    let clone_cost = time_per_call(|| {
+        let s = spec.clone();
+        std::hint::black_box(&s);
+    });
+    let pair = time_per_call(|| {
+        fft.forward_i64(&poly, &mut spec).unwrap();
+        fft.backward_f64(&mut spec, &mut time).unwrap();
+    });
+    FftRow {
+        n,
+        forward_us: forward * 1e6,
+        inverse_us: (inverse - clone_cost).max(0.0) * 1e6,
+        pair_us: pair * 1e6,
+    }
+}
+
+fn main() {
+    let mut fast = false;
+    let mut threads = 1usize;
+    let mut batch = 8usize;
+    let mut out_path = String::from("BENCH_pbs.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fast" => fast = true,
+            "--threads" => {
+                threads = args.next().and_then(|v| v.parse().ok()).expect("--threads <count>");
+            }
+            "--batch" => {
+                batch = args.next().and_then(|v| v.parse().ok()).expect("--batch <jobs>");
+            }
+            "--out" => out_path = args.next().expect("--out <path>"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let params = if fast { TfheParameters::testing_fast() } else { TfheParameters::set_ii() };
+    if fast {
+        batch = batch.min(4);
+    }
+    eprintln!("bench_snapshot: params={} batch={batch} threads={threads}", params.name);
+
+    // FFT rows: the per-transform numbers future PRs diff against.
+    let fft_sizes: &[usize] = if fast { &[256, 1024] } else { &[1024, 2048] };
+    let fft_rows: Vec<FftRow> = fft_sizes.iter().map(|&n| measure_fft(n)).collect();
+
+    // PBS throughput on the timing-equivalent benchmark key: one
+    // key-major epoch of `batch` sign-LUT bootstraps, repeated to fill
+    // the budget.
+    let bsk = BootstrapKey::generate_for_benchmark(&params);
+    let lut = Lut::sign(params.polynomial_size, encode_fraction(1, 3));
+    // Pseudorandom masks (splitmix64): a trivial zero-mask ciphertext
+    // would modulus-switch to all-zero rotations and skip every CMUX,
+    // so the masks must be dense for the timing to be honest.
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    };
+    let cts: Vec<LweCiphertext> = (0..batch)
+        .map(|_| LweCiphertext::from_raw((0..=params.lwe_dimension).map(|_| next()).collect()))
+        .collect();
+    let jobs: Vec<PbsJob<'_>> = cts.iter().map(|ct| PbsJob { ct, lut: &lut }).collect();
+    let per_epoch = time_per_call(|| {
+        let out = bsk.bootstrap_batch_parallel(&jobs, threads).unwrap();
+        std::hint::black_box(&out);
+    });
+    let pbs_per_s = batch as f64 / per_epoch;
+    let per_pbs_ms = per_epoch * 1e3 / batch as f64;
+
+    let unix_time = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
+    let fft_json: Vec<String> = fft_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{ \"n\": {}, \"forward_us\": {:.3}, \"inverse_us\": {:.3}, \"pair_us\": {:.3} }}",
+                r.n, r.forward_us, r.inverse_us, r.pair_us
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n\
+         \x20 \"schema\": \"strix-bench-snapshot-v1\",\n\
+         \x20 \"unix_time\": {unix_time},\n\
+         \x20 \"params\": {{\n\
+         \x20   \"name\": \"{name}\",\n\
+         \x20   \"lwe_dimension\": {n_lwe},\n\
+         \x20   \"glwe_dimension\": {k},\n\
+         \x20   \"polynomial_size\": {poly},\n\
+         \x20   \"pbs_base_log\": {base},\n\
+         \x20   \"pbs_level\": {level},\n\
+         \x20   \"ks_base_log\": {ks_base},\n\
+         \x20   \"ks_level\": {ks_level}\n\
+         \x20 }},\n\
+         \x20 \"threads\": {threads},\n\
+         \x20 \"pbs\": {{ \"batch\": {batch}, \"per_pbs_ms\": {per_pbs_ms:.3}, \"pbs_per_s\": {pbs_per_s:.2} }},\n\
+         \x20 \"fft\": [\n{fft}\n  ]\n\
+         }}\n",
+        name = params.name,
+        n_lwe = params.lwe_dimension,
+        k = params.glwe_dimension,
+        poly = params.polynomial_size,
+        base = params.pbs_base_log,
+        level = params.pbs_level,
+        ks_base = params.ks_base_log,
+        ks_level = params.ks_level,
+        fft = fft_json.join(",\n"),
+    );
+    std::fs::write(&out_path, &json).expect("write snapshot JSON");
+    println!("{json}");
+    eprintln!("bench_snapshot: wrote {out_path}");
+}

@@ -11,7 +11,12 @@
 //! runs on an `N_fft = N/2`-point pipeline (`strix_fft::NegacyclicFft`
 //! is the bit-accurate software model), halving both the per-polynomial
 //! cycle count and the delay-line storage — the 2× throughput / 1.7×
-//! FFT-area gain of Table VI.
+//! FFT-area gain of Table VI. Note the pipeline never materialises a
+//! natural-order spectrum: the SHUs reorder in-stream and the VMA
+//! consumes whatever lane order the last stage emits. The software
+//! mirror of that property is `strix_fft::SpectralPlan`'s
+//! bit-reversed-spectrum convention, which deletes the bit-reversal
+//! permutation pass from both transform directions.
 //!
 //! The paper's workload-balancing trick (§IV-B) splits the external
 //! product's accumulation between the frequency and time domains so the

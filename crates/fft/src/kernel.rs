@@ -1,0 +1,755 @@
+//! Branch-free bit-reversed-spectrum FFT kernel.
+//!
+//! This is the hot transform core behind [`crate::NegacyclicFft`],
+//! built around one observation about how spectra are *used* in TFHE:
+//! they are only ever consumed pointwise (the VMA multiply–accumulate
+//! of the external product), where bin ordering is irrelevant. The
+//! kernel therefore never produces a natural-order spectrum:
+//!
+//! * the **forward** transform is decimation-in-frequency (DIF) —
+//!   natural order in, digit-reversed spectrum out;
+//! * the **inverse** transform is decimation-in-time (DIT) — the exact
+//!   stage-by-stage inverse of the forward, digit-reversed spectrum
+//!   in, natural order out.
+//!
+//! Composing them is the identity *by construction* (each inverse
+//! stage undoes one forward stage, in reverse order), so both
+//! bit-reversal permutation passes of a conventional natural-order FFT
+//! are deleted outright. This mirrors how the Strix FFT unit (§V-A,
+//! Fig. 5) never reorders data in memory either: its shuffle units
+//! reorder *in-stream* between butterfly stages, and the VMA consumes
+//! whatever lane order the pipeline emits as long as the IFFT consumes
+//! the same one.
+//!
+//! Two further properties keep the inner loop branch-free and lean:
+//!
+//! * **stage-major twiddle tables**, precomputed separately for the
+//!   forward and inverse directions — no `if inverse { tw.conj() }`
+//!   in any butterfly, no per-stage stride arithmetic into one shared
+//!   table;
+//! * **radix-4 butterflies** with a single radix-2 stage when
+//!   `log2(n)` is odd — half the stage count (and half the twiddle
+//!   multiplies) of the radix-2 seed kernel.
+//!
+//! The natural-order [`crate::FftPlan`] is kept alongside as the
+//! correctness oracle; [`SpectralPlan::permutation`] gives the exact
+//! bin→slot map connecting the two conventions.
+
+use crate::complex::Complex64;
+use crate::error::FftError;
+use crate::is_pow2_at_least;
+
+/// Butterfly radix of one stage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Radix {
+    Two,
+    Four,
+}
+
+/// One butterfly stage: all blocks of length `len` across the array.
+///
+/// Twiddle layout is stage-major: radix-2 stages store `len/2` factors
+/// `w^j`; radix-4 stages store `len/4` *triples* `(w^j, w^{2j},
+/// w^{3j})` interleaved, so the inner loop walks one contiguous table.
+#[derive(Clone, Debug)]
+struct Stage {
+    radix: Radix,
+    len: usize,
+    twiddles: Vec<Complex64>,
+}
+
+impl Stage {
+    /// Builds the stage for block length `len` in the given direction
+    /// (`sign = -1.0` forward, `+1.0` inverse).
+    fn new(radix: Radix, len: usize, sign: f64) -> Self {
+        let base = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let twiddles = match radix {
+            Radix::Two => (0..len / 2).map(|j| Complex64::cis(base * j as f64)).collect(),
+            Radix::Four => {
+                let mut t = Vec::with_capacity(3 * (len / 4));
+                for j in 0..len / 4 {
+                    let theta = base * j as f64;
+                    t.push(Complex64::cis(theta));
+                    t.push(Complex64::cis(2.0 * theta));
+                    t.push(Complex64::cis(3.0 * theta));
+                }
+                t
+            }
+        };
+        Self { radix, len, twiddles }
+    }
+
+    /// Radix as a plain factor (2 or 4).
+    fn factor(&self) -> usize {
+        match self.radix {
+            Radix::Two => 2,
+            Radix::Four => 4,
+        }
+    }
+}
+
+/// Forward radix-2 DIF butterflies over one block split into halves.
+#[inline]
+fn fwd_radix2(lo: &mut [Complex64], hi: &mut [Complex64], tw: &[Complex64]) {
+    for ((a, b), w) in lo.iter_mut().zip(hi.iter_mut()).zip(tw) {
+        let (x, y) = (*a, *b);
+        *a = x + y;
+        *b = (x - y) * *w;
+    }
+}
+
+/// Inverse radix-2 DIT butterflies (exact stage inverse, unnormalised:
+/// yields 2× the original block values).
+#[inline]
+fn inv_radix2(lo: &mut [Complex64], hi: &mut [Complex64], tw: &[Complex64]) {
+    for ((a, b), w) in lo.iter_mut().zip(hi.iter_mut()).zip(tw) {
+        let x = *a;
+        let y = *b * *w;
+        *a = x + y;
+        *b = x - y;
+    }
+}
+
+/// Forward radix-4 butterfly without the twiddle multiplies — the
+/// whole final (`len == 4`) stage has `w = 1`, so the three multiplies
+/// per butterfly would be by unity. Specialising the stage removes
+/// `3·(n/4)` complex multiplies per transform.
+#[inline]
+fn fwd_radix4_unit(
+    a0: Complex64,
+    a1: Complex64,
+    a2: Complex64,
+    a3: Complex64,
+) -> (Complex64, Complex64, Complex64, Complex64) {
+    let p02 = a0 + a2;
+    let m02 = a0 - a2;
+    let p13 = a1 + a3;
+    let m13i = (a1 - a3).mul_i();
+    (p02 + p13, m02 - m13i, p02 - p13, m02 + m13i)
+}
+
+/// Inverse radix-4 butterfly without twiddle multiplies (first inverse
+/// stage, `len == 4`).
+#[inline]
+fn inv_radix4_unit(
+    y0: Complex64,
+    y1: Complex64,
+    y2: Complex64,
+    y3: Complex64,
+) -> (Complex64, Complex64, Complex64, Complex64) {
+    let p02 = y0 + y2;
+    let m02 = y0 - y2;
+    let p13 = y1 + y3;
+    let m13i = (y1 - y3).mul_i();
+    (p02 + p13, m02 + m13i, p02 - p13, m02 - m13i)
+}
+
+/// Forward radix-4 DIF butterfly on four already-loaded lanes; returns
+/// the four outputs in sub-block order `(y0, y1·w, y2·w², y3·w³)`.
+#[inline]
+fn fwd_radix4_core(
+    a0: Complex64,
+    a1: Complex64,
+    a2: Complex64,
+    a3: Complex64,
+    w1: Complex64,
+    w2: Complex64,
+    w3: Complex64,
+) -> (Complex64, Complex64, Complex64, Complex64) {
+    let p02 = a0 + a2;
+    let m02 = a0 - a2;
+    let p13 = a1 + a3;
+    let m13i = (a1 - a3).mul_i();
+    (p02 + p13, (m02 - m13i) * w1, (p02 - p13) * w2, (m02 + m13i) * w3)
+}
+
+/// Inverse radix-4 DIT butterfly (exact stage inverse, unnormalised:
+/// yields 4× the original lane values).
+#[inline]
+fn inv_radix4_core(
+    y0: Complex64,
+    y1: Complex64,
+    y2: Complex64,
+    y3: Complex64,
+    w1: Complex64,
+    w2: Complex64,
+    w3: Complex64,
+) -> (Complex64, Complex64, Complex64, Complex64) {
+    let u1 = y1 * w1;
+    let u2 = y2 * w2;
+    let u3 = y3 * w3;
+    let p02 = y0 + u2;
+    let m02 = y0 - u2;
+    let p13 = u1 + u3;
+    let m13i = (u1 - u3).mul_i();
+    (p02 + p13, m02 + m13i, p02 - p13, m02 - m13i)
+}
+
+/// Applies one forward stage in place across the whole array.
+fn apply_fwd_stage(stage: &Stage, data: &mut [Complex64]) {
+    if stage.len == 4 && stage.radix == Radix::Four {
+        for block in data.chunks_exact_mut(4) {
+            let (y0, y1, y2, y3) = fwd_radix4_unit(block[0], block[1], block[2], block[3]);
+            block[0] = y0;
+            block[1] = y1;
+            block[2] = y2;
+            block[3] = y3;
+        }
+        return;
+    }
+    for block in data.chunks_exact_mut(stage.len) {
+        match stage.radix {
+            Radix::Two => {
+                let (lo, hi) = block.split_at_mut(stage.len / 2);
+                fwd_radix2(lo, hi, &stage.twiddles);
+            }
+            Radix::Four => {
+                let q = stage.len / 4;
+                let (q0, rest) = block.split_at_mut(q);
+                let (q1, rest) = rest.split_at_mut(q);
+                let (q2, q3) = rest.split_at_mut(q);
+                for ((((a, b), c), d), w) in
+                    q0.iter_mut().zip(q1).zip(q2).zip(q3).zip(stage.twiddles.chunks_exact(3))
+                {
+                    let (y0, y1, y2, y3) = fwd_radix4_core(*a, *b, *c, *d, w[0], w[1], w[2]);
+                    *a = y0;
+                    *b = y1;
+                    *c = y2;
+                    *d = y3;
+                }
+            }
+        }
+    }
+}
+
+/// Applies one inverse stage in place across the whole array.
+fn apply_inv_stage(stage: &Stage, data: &mut [Complex64]) {
+    if stage.len == 4 && stage.radix == Radix::Four {
+        for block in data.chunks_exact_mut(4) {
+            let (x0, x1, x2, x3) = inv_radix4_unit(block[0], block[1], block[2], block[3]);
+            block[0] = x0;
+            block[1] = x1;
+            block[2] = x2;
+            block[3] = x3;
+        }
+        return;
+    }
+    for block in data.chunks_exact_mut(stage.len) {
+        match stage.radix {
+            Radix::Two => {
+                let (lo, hi) = block.split_at_mut(stage.len / 2);
+                inv_radix2(lo, hi, &stage.twiddles);
+            }
+            Radix::Four => {
+                let q = stage.len / 4;
+                let (q0, rest) = block.split_at_mut(q);
+                let (q1, rest) = rest.split_at_mut(q);
+                let (q2, q3) = rest.split_at_mut(q);
+                for ((((a, b), c), d), w) in
+                    q0.iter_mut().zip(q1).zip(q2).zip(q3).zip(stage.twiddles.chunks_exact(3))
+                {
+                    let (x0, x1, x2, x3) = inv_radix4_core(*a, *b, *c, *d, w[0], w[1], w[2]);
+                    *a = x0;
+                    *b = x1;
+                    *c = x2;
+                    *d = x3;
+                }
+            }
+        }
+    }
+}
+
+/// Precomputed plan for forward/inverse complex FFTs of a fixed size
+/// under the **bit-reversed-spectrum convention**: the forward
+/// transform emits the spectrum digit-reversed, the inverse consumes
+/// exactly that ordering, and no permutation pass ever runs.
+///
+/// Use this kernel when spectra are consumed pointwise (convolution
+/// via [`crate::pointwise_mul_add`]); use [`crate::FftPlan`] when a
+/// natural-order spectrum is required.
+///
+/// # Example
+///
+/// Round trip without any permutation:
+///
+/// ```
+/// use strix_fft::{Complex64, SpectralPlan};
+///
+/// # fn main() -> Result<(), strix_fft::FftError> {
+/// let plan = SpectralPlan::new(8)?;
+/// let input: Vec<Complex64> =
+///     (0..8).map(|i| Complex64::new(i as f64, -(i as f64))).collect();
+/// let mut data = input.clone();
+/// plan.forward(&mut data)?; // digit-reversed spectrum
+/// plan.inverse(&mut data)?; // natural order again
+/// for (a, b) in data.iter().zip(&input) {
+///     assert!((*a - *b).abs() < 1e-12);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct SpectralPlan {
+    size: usize,
+    /// DIF stages, largest block first (`len = n, …, 4|2`).
+    fwd_stages: Vec<Stage>,
+    /// DIT stages, smallest block first — each the exact inverse of
+    /// the matching forward stage, with its own conjugate table.
+    inv_stages: Vec<Stage>,
+}
+
+impl SpectralPlan {
+    /// Smallest supported transform size.
+    pub const MIN_SIZE: usize = 1;
+
+    /// Creates a plan for transforms of `size` points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::InvalidSize`] if `size` is not a power of
+    /// two.
+    pub fn new(size: usize) -> Result<Self, FftError> {
+        if !is_pow2_at_least(size, Self::MIN_SIZE) {
+            return Err(FftError::InvalidSize { requested: size, min: Self::MIN_SIZE });
+        }
+        // Radix schedule: one radix-2 stage first when log2(n) is odd,
+        // then radix-4 all the way down. The first stage is the
+        // whole-array one, which is also the stage the negacyclic
+        // wrapper fuses its twist into.
+        let log2 = size.trailing_zeros();
+        let mut radices = Vec::new();
+        let mut remaining = log2;
+        if remaining % 2 == 1 {
+            radices.push(Radix::Two);
+            remaining -= 1;
+        }
+        radices.extend(std::iter::repeat_n(Radix::Four, (remaining / 2) as usize));
+
+        let build = |sign: f64| {
+            let mut stages = Vec::with_capacity(radices.len());
+            let mut len = size;
+            for &r in &radices {
+                stages.push(Stage::new(r, len, sign));
+                len /= match r {
+                    Radix::Two => 2,
+                    Radix::Four => 4,
+                };
+            }
+            stages
+        };
+        let fwd_stages = build(-1.0);
+        let mut inv_stages = build(1.0);
+        inv_stages.reverse();
+        Ok(Self { size, fwd_stages, inv_stages })
+    }
+
+    /// The transform size this plan was built for.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Number of butterfly stages (radix-4 counts once) — the depth of
+    /// the equivalent pipelined hardware unit after radix folding.
+    #[inline]
+    pub fn stages(&self) -> usize {
+        self.fwd_stages.len()
+    }
+
+    /// In-place forward DIF FFT: natural order in, digit-reversed
+    /// spectrum out. Bin `k` of the natural spectrum lands at slot
+    /// [`Self::permutation`]`[k]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if `data.len()` differs
+    /// from the plan size.
+    pub fn forward(&self, data: &mut [Complex64]) -> Result<(), FftError> {
+        self.check_len(data.len())?;
+        for stage in &self.fwd_stages {
+            apply_fwd_stage(stage, data);
+        }
+        Ok(())
+    }
+
+    /// In-place unnormalised inverse DIT FFT: digit-reversed spectrum
+    /// in, natural order out, scaled by `n` (dividing is left to the
+    /// caller so the constant can be fused elsewhere, as
+    /// [`crate::NegacyclicFft`] fuses it into its untwist table).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] on size mismatch.
+    pub fn inverse_unnormalized(&self, data: &mut [Complex64]) -> Result<(), FftError> {
+        self.check_len(data.len())?;
+        for stage in &self.inv_stages {
+            apply_inv_stage(stage, data);
+        }
+        Ok(())
+    }
+
+    /// In-place normalised inverse FFT (divides by `n`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] on size mismatch.
+    pub fn inverse(&self, data: &mut [Complex64]) -> Result<(), FftError> {
+        self.inverse_unnormalized(data)?;
+        let scale = 1.0 / self.size as f64;
+        for z in data.iter_mut() {
+            *z = z.scale(scale);
+        }
+        Ok(())
+    }
+
+    /// The bin→slot map of the forward transform: natural-order bin
+    /// `k` is stored at slot `permutation()[k]` of the output. For a
+    /// pure radix-2 schedule this is the classic bit reversal; with
+    /// radix-4 stages it is the matching mixed-radix digit reversal.
+    ///
+    /// Only diagnostics and tests need this — the production pipeline
+    /// (VMA pointwise multiply, inverse transform) is
+    /// ordering-agnostic by design.
+    pub fn permutation(&self) -> Vec<usize> {
+        let mut out = vec![0usize; self.size];
+        for (k, slot) in out.iter_mut().enumerate() {
+            let mut pos = 0usize;
+            let mut block = self.size;
+            let mut idx = k;
+            for stage in &self.fwd_stages {
+                let r = stage.factor();
+                pos += (idx % r) * (block / r);
+                idx /= r;
+                block /= r;
+            }
+            *slot = pos;
+        }
+        out
+    }
+
+    /// Fold + twist + first forward stage in one out-of-place pass,
+    /// then the remaining stages in place on `out`. `poly` holds the
+    /// `2n` real coefficients (`z_j = poly[j] + i·poly[j+n]` after
+    /// folding), `twist` the `n` per-element twist factors. All
+    /// operands are pre-sliced to exact lengths so the inner loops
+    /// carry no bounds checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `poly.len() != 2n`, `twist.len() != n` or
+    /// `out.len() != n` (callers validate first).
+    pub(crate) fn forward_folded_twisted<T: Copy>(
+        &self,
+        poly: &[T],
+        twist: &[Complex64],
+        out: &mut [Complex64],
+        to_f64: impl Fn(T) -> f64,
+    ) {
+        let n = self.size;
+        assert_eq!(poly.len(), 2 * n, "folded input length mismatch");
+        assert_eq!(twist.len(), n, "twist table length mismatch");
+        assert_eq!(out.len(), n, "output length mismatch");
+        let (re, im) = poly.split_at(n);
+        let Some((first, rest)) = self.fwd_stages.split_first() else {
+            out[0] = Complex64::new(to_f64(re[0]), to_f64(im[0])) * twist[0];
+            return;
+        };
+        match first.radix {
+            Radix::Two => {
+                let q = n / 2;
+                let (re0, re1) = re.split_at(q);
+                let (im0, im1) = im.split_at(q);
+                let (tw0, tw1) = twist.split_at(q);
+                let (o0, o1) = out.split_at_mut(q);
+                let w = &first.twiddles[..q];
+                for j in 0..q {
+                    let x = Complex64::new(to_f64(re0[j]), to_f64(im0[j])) * tw0[j];
+                    let y = Complex64::new(to_f64(re1[j]), to_f64(im1[j])) * tw1[j];
+                    o0[j] = x + y;
+                    o1[j] = (x - y) * w[j];
+                }
+            }
+            Radix::Four => {
+                let q = n / 4;
+                let (o0, r) = out.split_at_mut(q);
+                let (o1, r) = r.split_at_mut(q);
+                let (o2, o3) = r.split_at_mut(q);
+                let w = &first.twiddles[..3 * q];
+                for j in 0..q {
+                    let a0 = Complex64::new(to_f64(re[j]), to_f64(im[j])) * twist[j];
+                    let a1 = Complex64::new(to_f64(re[j + q]), to_f64(im[j + q])) * twist[j + q];
+                    let a2 = Complex64::new(to_f64(re[j + 2 * q]), to_f64(im[j + 2 * q]))
+                        * twist[j + 2 * q];
+                    let a3 = Complex64::new(to_f64(re[j + 3 * q]), to_f64(im[j + 3 * q]))
+                        * twist[j + 3 * q];
+                    let (y0, y1, y2, y3) =
+                        fwd_radix4_core(a0, a1, a2, a3, w[3 * j], w[3 * j + 1], w[3 * j + 2]);
+                    o0[j] = y0;
+                    o1[j] = y1;
+                    o2[j] = y2;
+                    o3[j] = y3;
+                }
+            }
+        }
+        for stage in rest {
+            apply_fwd_stage(stage, out);
+        }
+    }
+
+    /// All inverse stages but the last in place on `spectrum`, then
+    /// the last (whole-array) stage fused with the merged
+    /// untwist+normalise multiply and the unfold into the `2n` real
+    /// output coefficients — the separate untwist and normalisation
+    /// passes never run. Operands are pre-sliced to exact lengths so
+    /// the final loop carries no bounds checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spectrum.len() != n`, `untwist.len() != n` or
+    /// `out.len() != 2n` (callers validate first).
+    pub(crate) fn inverse_folded_untwisted(
+        &self,
+        spectrum: &mut [Complex64],
+        untwist: &[Complex64],
+        out: &mut [f64],
+    ) {
+        let n = self.size;
+        assert_eq!(spectrum.len(), n, "spectrum length mismatch");
+        assert_eq!(untwist.len(), n, "untwist table length mismatch");
+        assert_eq!(out.len(), 2 * n, "output length mismatch");
+        let (out_re, out_im) = out.split_at_mut(n);
+        let Some((last, rest)) = self.inv_stages.split_last() else {
+            let z = spectrum[0] * untwist[0];
+            out_re[0] = z.re;
+            out_im[0] = z.im;
+            return;
+        };
+        for stage in rest {
+            apply_inv_stage(stage, spectrum);
+        }
+        match last.radix {
+            Radix::Two => {
+                let q = n / 2;
+                let (s0, s1) = spectrum.split_at(q);
+                let (u0, u1) = untwist.split_at(q);
+                let (r0, r1) = out_re.split_at_mut(q);
+                let (i0, i1) = out_im.split_at_mut(q);
+                let w = &last.twiddles[..q];
+                for j in 0..q {
+                    let x = s0[j];
+                    let y = s1[j] * w[j];
+                    let z0 = (x + y) * u0[j];
+                    let z1 = (x - y) * u1[j];
+                    r0[j] = z0.re;
+                    i0[j] = z0.im;
+                    r1[j] = z1.re;
+                    i1[j] = z1.im;
+                }
+            }
+            Radix::Four => {
+                let q = n / 4;
+                let w = &last.twiddles[..3 * q];
+                for j in 0..q {
+                    let (x0, x1, x2, x3) = inv_radix4_core(
+                        spectrum[j],
+                        spectrum[j + q],
+                        spectrum[j + 2 * q],
+                        spectrum[j + 3 * q],
+                        w[3 * j],
+                        w[3 * j + 1],
+                        w[3 * j + 2],
+                    );
+                    let z0 = x0 * untwist[j];
+                    let z1 = x1 * untwist[j + q];
+                    let z2 = x2 * untwist[j + 2 * q];
+                    let z3 = x3 * untwist[j + 3 * q];
+                    out_re[j] = z0.re;
+                    out_im[j] = z0.im;
+                    out_re[j + q] = z1.re;
+                    out_im[j + q] = z1.im;
+                    out_re[j + 2 * q] = z2.re;
+                    out_im[j + 2 * q] = z2.im;
+                    out_re[j + 3 * q] = z3.re;
+                    out_im[j + 3 * q] = z3.im;
+                }
+            }
+        }
+    }
+
+    fn check_len(&self, len: usize) -> Result<(), FftError> {
+        if len != self.size {
+            return Err(FftError::LengthMismatch { expected: self.size, actual: len });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FftPlan;
+
+    fn sample(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.37).sin() * 8.0, (i as f64 * 0.61).cos() * 5.0))
+            .collect()
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(SpectralPlan::new(3).is_err());
+        assert!(SpectralPlan::new(0).is_err());
+        assert!(SpectralPlan::new(1).is_ok());
+    }
+
+    #[test]
+    fn rejects_wrong_buffer_length() {
+        let plan = SpectralPlan::new(8).unwrap();
+        let mut short = vec![Complex64::ZERO; 4];
+        assert_eq!(
+            plan.forward(&mut short).unwrap_err(),
+            FftError::LengthMismatch { expected: 8, actual: 4 }
+        );
+        assert!(plan.inverse(&mut short).is_err());
+    }
+
+    #[test]
+    fn stage_schedule_prefers_radix4() {
+        // 1024 = 4^5: five radix-4 stages. 512 = 2·4^4: one radix-2
+        // fixup plus four radix-4 stages.
+        assert_eq!(SpectralPlan::new(1024).unwrap().stages(), 5);
+        assert_eq!(SpectralPlan::new(512).unwrap().stages(), 5);
+        assert_eq!(SpectralPlan::new(2).unwrap().stages(), 1);
+        assert_eq!(SpectralPlan::new(1).unwrap().stages(), 0);
+    }
+
+    #[test]
+    fn forward_matches_natural_order_oracle_under_permutation() {
+        for log_n in 0..=10 {
+            let n = 1usize << log_n;
+            let input = sample(n);
+            let plan = SpectralPlan::new(n).unwrap();
+            let oracle = FftPlan::new(n).unwrap();
+
+            let mut reversed = input.clone();
+            plan.forward(&mut reversed).unwrap();
+            let mut natural = input.clone();
+            oracle.forward(&mut natural).unwrap();
+
+            let perm = plan.permutation();
+            for (k, &slot) in perm.iter().enumerate() {
+                let d = (reversed[slot] - natural[k]).abs();
+                assert!(d < 1e-9 * n as f64, "n={n} bin={k}: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_is_identity_without_permutation() {
+        for log_n in 0..=12 {
+            let n = 1usize << log_n;
+            let input = sample(n);
+            let plan = SpectralPlan::new(n).unwrap();
+            let mut data = input.clone();
+            plan.forward(&mut data).unwrap();
+            plan.inverse(&mut data).unwrap();
+            for (a, b) in data.iter().zip(&input) {
+                assert!((*a - *b).abs() < 1e-9, "n={n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn unnormalized_inverse_scales_by_n() {
+        let n = 64;
+        let input = sample(n);
+        let plan = SpectralPlan::new(n).unwrap();
+        let mut data = input.clone();
+        plan.forward(&mut data).unwrap();
+        plan.inverse_unnormalized(&mut data).unwrap();
+        for (a, b) in data.iter().zip(&input) {
+            assert!((*a - b.scale(n as f64)).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn permutation_is_a_bijection_and_bit_reversal_for_radix2() {
+        for n in [1usize, 2, 4, 8, 64, 512, 1024] {
+            let perm = SpectralPlan::new(n).unwrap().permutation();
+            let mut seen = vec![false; n];
+            for &p in &perm {
+                assert!(!seen[p], "slot {p} hit twice at n={n}");
+                seen[p] = true;
+            }
+        }
+        // n = 2: single radix-2 stage, permutation is identity on 2
+        // elements (bit reversal of 1 bit).
+        assert_eq!(SpectralPlan::new(2).unwrap().permutation(), vec![0, 1]);
+        // n = 4: single radix-4 stage = 2-bit digit reversal =
+        // identity? No: radix-4 splits by k mod 4 into quarter s, so
+        // bin k sits at slot (k%4)·1 + k/4 — for n=4 that is identity.
+        assert_eq!(SpectralPlan::new(4).unwrap().permutation(), vec![0, 1, 2, 3]);
+        // n = 8: radix-2 then radix-4 — mixed-digit reversal.
+        let perm8 = SpectralPlan::new(8).unwrap().permutation();
+        let mut inverse = [0usize; 8];
+        for (k, &p) in perm8.iter().enumerate() {
+            inverse[p] = k;
+        }
+        // Spot-check against the oracle: slot order must list bins so
+        // that the DIT inverse reading slots 0.. reconstructs naturally.
+        let n = 8;
+        let input = sample(n);
+        let plan = SpectralPlan::new(n).unwrap();
+        let oracle = FftPlan::new(n).unwrap();
+        let mut reversed = input.clone();
+        plan.forward(&mut reversed).unwrap();
+        let mut natural = input;
+        oracle.forward(&mut natural).unwrap();
+        for (slot, &bin) in inverse.iter().enumerate() {
+            assert!((reversed[slot] - natural[bin]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fused_forward_matches_plain_forward() {
+        // With a unit twist table, the fused fold+twist+first-stage
+        // path must reproduce the plain in-place forward bit for bit.
+        for n in [1usize, 2, 8, 16, 128, 512] {
+            let input = sample(n);
+            let plan = SpectralPlan::new(n).unwrap();
+            let mut plain = input.clone();
+            plan.forward(&mut plain).unwrap();
+            // Fold layout: first n reals, then n imaginaries.
+            let folded: Vec<f64> =
+                input.iter().map(|z| z.re).chain(input.iter().map(|z| z.im)).collect();
+            let ones = vec![Complex64::ONE; n];
+            let mut fused = vec![Complex64::ZERO; n];
+            plan.forward_folded_twisted(&folded, &ones, &mut fused, |v| v);
+            assert_eq!(plain, fused, "n={n}");
+        }
+    }
+
+    #[test]
+    fn fused_inverse_matches_plain_inverse() {
+        // With a unit untwist table, the fused last stage must agree
+        // with the plain unnormalised inverse bit for bit.
+        for n in [1usize, 2, 8, 16, 128, 512] {
+            let input = sample(n);
+            let plan = SpectralPlan::new(n).unwrap();
+            let mut spec = input.clone();
+            plan.forward(&mut spec).unwrap();
+
+            let mut plain = spec.clone();
+            plan.inverse_unnormalized(&mut plain).unwrap();
+
+            let ones = vec![Complex64::ONE; n];
+            let mut unfolded = vec![0.0f64; 2 * n];
+            let mut scratch = spec;
+            plan.inverse_folded_untwisted(&mut scratch, &ones, &mut unfolded);
+            for j in 0..n {
+                assert_eq!(plain[j].re, unfolded[j], "re n={n} j={j}");
+                assert_eq!(plain[j].im, unfolded[j + n], "im n={n} j={j}");
+            }
+        }
+    }
+}

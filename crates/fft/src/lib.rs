@@ -5,12 +5,22 @@
 //! (`strix-core`) are built on:
 //!
 //! * [`Complex64`] — a minimal complex number type (kept dependency-free),
-//! * [`FftPlan`] — an iterative radix-2 decimation-in-time FFT with
-//!   precomputed twiddle factors and bit-reversal tables,
-//! * [`NegacyclicFft`] — the *folding scheme* of the Strix paper (§V-A):
-//!   an `N`-coefficient negacyclic transform computed on an `N/2`-point
-//!   complex FFT by packing `a_j + i·a_{j+N/2}` and twisting by the odd
-//!   2N-th roots of unity,
+//! * [`SpectralPlan`] — the branch-free **bit-reversed-spectrum**
+//!   kernel: a radix-4/radix-2 decimation-in-frequency forward
+//!   transform (natural in → digit-reversed spectrum out) paired with
+//!   the exact decimation-in-time inverse (digit-reversed in → natural
+//!   out), with stage-major precomputed twiddle tables per direction —
+//!   no permutation pass, no direction branch, no `conj()` in any
+//!   inner loop,
+//! * [`NegacyclicFft`] — the *folding scheme* of the Strix paper (§V-A)
+//!   on that kernel: an `N`-coefficient negacyclic transform computed
+//!   on an `N/2`-point complex FFT by packing `a_j + i·a_{j+N/2}` and
+//!   twisting by the odd 2N-th roots of unity, with the twist fused
+//!   into the first forward stage and untwist + normalisation fused
+//!   into the last inverse stage,
+//! * [`FftPlan`] — the seed iterative radix-2 decimation-in-time FFT
+//!   with natural-order spectra, kept as the correctness oracle for the
+//!   kernel (and for callers that genuinely need natural bin order),
 //! * [`FftScratch`] — caller-owned buffers for allocation-free loops of
 //!   whole negacyclic products; the `forward_*`/`backward_*` entry
 //!   points are scratch-taking by design (they write into caller
@@ -40,6 +50,7 @@
 
 mod complex;
 mod error;
+mod kernel;
 mod negacyclic;
 mod plan;
 pub mod planner;
@@ -47,6 +58,7 @@ pub mod reference;
 
 pub use complex::Complex64;
 pub use error::FftError;
+pub use kernel::SpectralPlan;
 pub use negacyclic::{pointwise_mul_add, FftScratch, NegacyclicFft};
 pub use plan::FftPlan;
 

@@ -1,4 +1,5 @@
-//! Negacyclic polynomial transform via the folding scheme (Strix §V-A).
+//! Negacyclic polynomial transform via the folding scheme (Strix §V-A)
+//! on the bit-reversed-spectrum kernel.
 //!
 //! TFHE multiplies polynomials in `Z[X]/(X^N + 1)` (negacyclic
 //! convolution). The roots of `X^N + 1` are the *odd* 2N-th roots of
@@ -6,18 +7,42 @@
 //! complex evaluations are needed.
 //!
 //! The folding scheme packs the second half of the polynomial into the
-//! imaginary lane of the first half — `z_j = a_j + i·a_{j+N/2}` — twists
-//! by `e^{iπj/N}`, and runs an `N/2`-point complex FFT. Bin `k` of the
-//! resulting spectrum holds `a(ω^{1−4k mod 2N})` for `ω = e^{iπ/N}` —
-//! one evaluation per conjugate pair of odd 2N-th roots. This is exactly the optimisation that lets the Strix
-//! FFT unit transform 16,384-coefficient polynomials on an 8,192-point
-//! pipeline, halving latency and area (paper Table VI), and it is also
-//! how Concrete/tfhe-rs perform the transform in software.
+//! imaginary lane of the first half — `z_j = a_j + i·a_{j+N/2}` —
+//! twists by `e^{iπj/N}`, and runs an `N/2`-point complex FFT. This is
+//! exactly the optimisation that lets the Strix FFT unit transform
+//! 16,384-coefficient polynomials on an 8,192-point pipeline, halving
+//! latency and area (paper Table VI), and it is also how
+//! Concrete/tfhe-rs perform the transform in software.
+//!
+//! # Spectrum convention and fused passes
+//!
+//! The complex core is [`SpectralPlan`], the branch-free DIF/DIT
+//! kernel: the forward transform emits the spectrum **digit-reversed**
+//! and the inverse consumes exactly that ordering, so no bit-reversal
+//! permutation pass ever runs. Spectra produced by this type are only
+//! valid for *pointwise* consumption ([`pointwise_mul_add`], the VMA)
+//! against spectra produced under the **same plan** — which is all
+//! TFHE ever does with them. [`NegacyclicFft::spectrum_permutation`]
+//! exposes the bin→slot map for diagnostics.
+//!
+//! On top of the kernel, two whole passes over the data are fused
+//! away per transform:
+//!
+//! * the fold + twist (`z_j = (a_j + i·a_{j+N/2})·e^{iπj/N}`) is
+//!   computed inside the *first* forward butterfly stage, loading
+//!   straight from the real coefficient array;
+//! * the untwist and the `1/(N/2)` normalisation are merged into one
+//!   constant table applied inside the *last* inverse stage, which
+//!   also unfolds straight into the real output array.
+//!
+//! A transform is therefore exactly its butterfly stages: no
+//! permutation pass, no twist pass, no normalisation pass, and no
+//! direction branch anywhere in the inner loops.
 
 use crate::complex::Complex64;
 use crate::error::FftError;
 use crate::is_pow2_at_least;
-use crate::plan::FftPlan;
+use crate::kernel::SpectralPlan;
 
 /// Caller-owned scratch buffers for allocation-free negacyclic
 /// arithmetic: two spectra (`N/2` complex points each) and one
@@ -54,8 +79,9 @@ impl FftScratch {
     }
 }
 
-/// Negacyclic transform of real polynomials with `N` coefficients using an
-/// `N/2`-point complex FFT.
+/// Negacyclic transform of real polynomials with `N` coefficients using
+/// an `N/2`-point complex FFT under the bit-reversed-spectrum
+/// convention (see the module docs).
 ///
 /// # Example
 ///
@@ -77,11 +103,14 @@ impl FftScratch {
 #[derive(Clone, Debug)]
 pub struct NegacyclicFft {
     poly_size: usize,
-    plan: FftPlan,
-    /// Twist factors `e^{iπj/N}` for `j` in `[0, N/2)`.
+    kernel: SpectralPlan,
+    /// Twist factors `e^{iπj/N}` for `j` in `[0, N/2)`, applied inside
+    /// the first forward stage.
     twist: Vec<Complex64>,
-    /// Inverse twist factors `e^{-iπj/N}`.
-    untwist: Vec<Complex64>,
+    /// Merged inverse constants `e^{-iπj/N} / (N/2)` — untwist and
+    /// normalisation in one multiply, applied inside the last inverse
+    /// stage.
+    untwist_norm: Vec<Complex64>,
 }
 
 impl NegacyclicFft {
@@ -99,15 +128,16 @@ impl NegacyclicFft {
             return Err(FftError::InvalidSize { requested: poly_size, min: Self::MIN_POLY_SIZE });
         }
         let half = poly_size / 2;
-        let plan = FftPlan::new(half)?;
+        let kernel = SpectralPlan::new(half)?;
+        let inv_n = 1.0 / half as f64;
         let mut twist = Vec::with_capacity(half);
-        let mut untwist = Vec::with_capacity(half);
+        let mut untwist_norm = Vec::with_capacity(half);
         for j in 0..half {
             let theta = std::f64::consts::PI * j as f64 / poly_size as f64;
             twist.push(Complex64::cis(theta));
-            untwist.push(Complex64::cis(-theta));
+            untwist_norm.push(Complex64::cis(-theta).scale(inv_n));
         }
-        Ok(Self { poly_size, plan, twist, untwist })
+        Ok(Self { poly_size, kernel, twist, untwist_norm })
     }
 
     /// Number of coefficients in the time-domain polynomial (`N`).
@@ -123,7 +153,17 @@ impl NegacyclicFft {
         self.poly_size / 2
     }
 
+    /// The bin→slot map of the spectra this transform produces:
+    /// natural-order negacyclic bin `k` (the evaluation at
+    /// `ω^{1−4k mod 2N}`, `ω = e^{iπ/N}`) is stored at slot
+    /// `spectrum_permutation()[k]`. Diagnostics/tests only — the
+    /// production pipeline never needs natural order.
+    pub fn spectrum_permutation(&self) -> Vec<usize> {
+        self.kernel.permutation()
+    }
+
     /// Forward transform of a polynomial given as `f64` coefficients.
+    /// The output spectrum is in the plan's digit-reversed slot order.
     ///
     /// # Errors
     ///
@@ -132,16 +172,13 @@ impl NegacyclicFft {
     pub fn forward_f64(&self, poly: &[f64], out: &mut [Complex64]) -> Result<(), FftError> {
         self.check_time_len(poly.len())?;
         self.check_freq_len(out.len())?;
-        let half = self.fourier_size();
-        for j in 0..half {
-            let folded = Complex64::new(poly[j], poly[j + half]);
-            out[j] = folded * self.twist[j];
-        }
-        self.plan.forward(out)
+        self.kernel.forward_folded_twisted(poly, &self.twist, out, |v| v);
+        Ok(())
     }
 
     /// Forward transform of a polynomial given as `i64` coefficients
     /// (e.g. gadget-decomposed digits, which are small signed integers).
+    /// The output spectrum is in the plan's digit-reversed slot order.
     ///
     /// # Errors
     ///
@@ -149,16 +186,13 @@ impl NegacyclicFft {
     pub fn forward_i64(&self, poly: &[i64], out: &mut [Complex64]) -> Result<(), FftError> {
         self.check_time_len(poly.len())?;
         self.check_freq_len(out.len())?;
-        let half = self.fourier_size();
-        for j in 0..half {
-            let folded = Complex64::new(poly[j] as f64, poly[j + half] as f64);
-            out[j] = folded * self.twist[j];
-        }
-        self.plan.forward(out)
+        self.kernel.forward_folded_twisted(poly, &self.twist, out, |v| v as f64);
+        Ok(())
     }
 
     /// Inverse transform producing `f64` coefficients; normalised so that
-    /// `backward(forward(a)) = a`.
+    /// `backward(forward(a)) = a`. Consumes a spectrum in the same
+    /// digit-reversed slot order the forward transforms emit.
     ///
     /// `spectrum` is consumed in place as scratch.
     ///
@@ -172,13 +206,10 @@ impl NegacyclicFft {
     ) -> Result<(), FftError> {
         self.check_freq_len(spectrum.len())?;
         self.check_time_len(out.len())?;
-        self.plan.inverse(spectrum)?;
-        let half = self.fourier_size();
-        for j in 0..half {
-            let z = spectrum[j] * self.untwist[j];
-            out[j] = z.re;
-            out[j + half] = z.im;
-        }
+        // The kernel's fused tail applies the last butterfly stage,
+        // the merged untwist/normalise multiply and the unfold in one
+        // pass over the data.
+        self.kernel.inverse_folded_untwisted(spectrum, &self.untwist_norm, out);
         Ok(())
     }
 
@@ -248,6 +279,10 @@ impl NegacyclicFft {
 ///
 /// This is the software analogue of the Strix VMA unit's
 /// multiply-and-adder-tree datapath operating on Fourier coefficients.
+/// It is ordering-agnostic: with all three operands in the same
+/// (digit-reversed) slot order, the result is the slot-ordered product
+/// spectrum — which is precisely why the bit-reversed-spectrum
+/// convention is free for TFHE.
 ///
 /// # Panics
 ///
@@ -298,16 +333,18 @@ mod tests {
     }
 
     #[test]
-    fn spectrum_evaluates_at_odd_roots() {
-        // Z_k must equal a(ω^{1-4k mod 2N}) with ω = e^{iπ/N}: the twist
-        // contributes e^{+iπj/N} while the FFT kernel contributes
-        // e^{-4πijk/N}.
+    fn spectrum_evaluates_at_odd_roots_in_permuted_slots() {
+        // Slot perm[k] must hold a(ω^{1-4k mod 2N}) with ω = e^{iπ/N}:
+        // the twist contributes e^{+iπj/N}, the FFT kernel contributes
+        // e^{-4πijk/N}, and the DIF schedule stores bin k at slot
+        // perm[k] instead of running a reordering pass.
         let n = 16;
         let fft = NegacyclicFft::new(n).unwrap();
         let poly: Vec<i64> = (0..n as i64).map(|i| i * i - 5).collect();
         let mut spec = vec![Complex64::ZERO; n / 2];
         fft.forward_i64(&poly, &mut spec).unwrap();
-        for (k, z) in spec.iter().enumerate() {
+        let perm = fft.spectrum_permutation();
+        for (k, &slot) in perm.iter().enumerate() {
             let m = (1isize - 4 * k as isize).rem_euclid(2 * n as isize) as usize;
             assert_eq!(m % 2, 1, "evaluation points must be odd 2N-th roots");
             let root = Complex64::cis(std::f64::consts::PI * m as f64 / n as f64);
@@ -317,7 +354,8 @@ mod tests {
                 eval += pow.scale(c as f64);
                 pow *= root;
             }
-            assert!((*z - eval).abs() < 1e-8, "bin {k}: {z} vs {eval}");
+            let z = spec[slot];
+            assert!((z - eval).abs() < 1e-8, "bin {k} (slot {slot}): {z} vs {eval}");
         }
     }
 
@@ -373,6 +411,19 @@ mod tests {
         let a = [0i64; 8];
         let mut out = [0i64; 8];
         assert!(fft.negacyclic_mul_i64_scratch(&a, &a, &mut out, &mut scratch).is_err());
+    }
+
+    #[test]
+    fn smallest_polynomial_size_multiplies_exactly() {
+        // N = 2 runs on a single-point complex FFT: the fused fold and
+        // untwist paths must still be exact.
+        let fft = NegacyclicFft::new(2).unwrap();
+        let a = [3i64, -4];
+        let b = [-2i64, 5];
+        // (3 - 4X)(-2 + 5X) = -6 + 23X - 20X² = 14 + 23X mod X²+1.
+        let mut out = [0i64; 2];
+        fft.negacyclic_mul_i64(&a, &b, &mut out).unwrap();
+        assert_eq!(out, [14, 23]);
     }
 
     #[test]

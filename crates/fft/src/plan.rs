@@ -1,10 +1,16 @@
-//! Iterative radix-2 decimation-in-time FFT with precomputed tables.
+//! Iterative radix-2 decimation-in-time FFT with precomputed tables and
+//! **natural-order** spectra — the correctness oracle for the
+//! bit-reversed-spectrum production kernel ([`crate::SpectralPlan`]).
 //!
-//! The hardware analogue is the fully pipelined FFT unit of Strix §V-A
-//! (Fig. 5): `log2(N)` butterfly stages connected by shuffle units. In
-//! software we execute the same butterfly network iteratively over a
-//! bit-reversed input ordering. Twiddle factors are precomputed once per
-//! plan, mirroring the per-stage twiddle ROMs of the hardware.
+//! This was the seed hot kernel; the production transforms now run on
+//! `SpectralPlan`, which deletes this plan's per-transform bit-reversal
+//! permutation pass and per-butterfly direction branch. It is kept
+//! (unchanged, on purpose) because its natural bin ordering makes it
+//! the easy-to-trust reference: kernel tests compare
+//! `SpectralPlan::forward` against [`FftPlan::forward`] through
+//! `SpectralPlan::permutation`, and callers that genuinely need
+//! natural-order spectra (spectral diagnostics, plotting) should use
+//! this type.
 
 use crate::complex::Complex64;
 use crate::error::FftError;

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 
-use strix_fft::{reference, Complex64, FftPlan, NegacyclicFft};
+use strix_fft::{reference, Complex64, FftPlan, NegacyclicFft, SpectralPlan};
 
 fn poly_strategy(n: usize, bound: i64) -> impl Strategy<Value = Vec<i64>> {
     prop::collection::vec(-bound..=bound, n)
@@ -55,6 +55,28 @@ proptest! {
         for ((x, y), c) in fa.iter().zip(&fb).zip(&combined) {
             let expected = *x + y.scale(scale);
             prop_assert!((*c - expected).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn spectral_kernel_round_trip_recovers_input(
+        log_n in 0u32..=10,
+        seed_re in prop::collection::vec(-1000.0f64..1000.0, 1024),
+    ) {
+        // DIF forward ∘ DIT inverse must be the identity with no
+        // permutation pass, for arbitrary inputs at every size.
+        let n = 1usize << log_n;
+        let plan = SpectralPlan::new(n).unwrap();
+        let input: Vec<Complex64> = seed_re[..n]
+            .iter()
+            .enumerate()
+            .map(|(i, &re)| Complex64::new(re, (i as f64 * 0.9).cos() * 100.0))
+            .collect();
+        let mut data = input.clone();
+        plan.forward(&mut data).unwrap();
+        plan.inverse(&mut data).unwrap();
+        for (a, b) in data.iter().zip(&input) {
+            prop_assert!((*a - *b).abs() < 1e-7, "{a} vs {b}");
         }
     }
 

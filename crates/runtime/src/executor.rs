@@ -76,7 +76,13 @@ pub trait BatchExecutor: Send + Sync + 'static {
 /// The TFHE back-end: batched PBS with amortised bootstrapping-key
 /// access — optionally split across an intra-epoch thread pool
 /// ([`strix_tfhe::bootstrap::BootstrapKey::bootstrap_batch_parallel`])
-/// — plus batched keyswitching where the operation asks for it.
+/// — plus batched keyswitching where the operation asks for it. Both
+/// tails of Algorithm 2 run batched: the post-PBS keyswitches are
+/// sharded across the same thread budget as the blind rotation
+/// ([`strix_tfhe::keyswitch::KeySwitchKey::keyswitch_batch_parallel`]),
+/// and keyswitch-only requests form one batch per epoch (one digit
+/// buffer, no per-request allocation), borrowed straight from the
+/// request structures.
 pub struct TfheExecutor {
     server: Arc<ServerKey>,
     threads: usize,
@@ -138,8 +144,16 @@ impl BatchExecutor for TfheExecutor {
             }
         }
 
+        let ksk = self.server.keyswitch_key();
         let mut pbs_indices = Vec::new();
         let mut jobs: Vec<PbsJob<'_>> = Vec::new();
+        // Keyswitch-only requests are collected and run as ONE batch
+        // (one digit buffer per epoch) instead of one allocating
+        // `keyswitch` call per request. Dimensions are validated here,
+        // per request, so a malformed input fails alone instead of
+        // poisoning the shared batch call.
+        let mut ks_only_slots = Vec::new();
+        let mut ks_only_inputs: Vec<&LweCiphertext> = Vec::new();
         for (i, req) in batch.iter().enumerate() {
             if results[i].is_some() {
                 continue; // preamble already failed this request
@@ -151,7 +165,16 @@ impl BatchExecutor for TfheExecutor {
                     preambles[i].as_ref().map(|ct| (ct, lut.as_ref()))
                 }
                 RequestOp::Keyswitch => {
-                    results[i] = Some(self.server.keyswitch_key().keyswitch(&req.ct));
+                    if req.ct.dimension() == ksk.input_dimension() {
+                        ks_only_slots.push(i);
+                        ks_only_inputs.push(&req.ct);
+                    } else {
+                        results[i] = Some(Err(TfheError::ParameterMismatch {
+                            what: "lwe dimension",
+                            left: req.ct.dimension(),
+                            right: ksk.input_dimension(),
+                        }));
+                    }
                     None
                 }
             };
@@ -162,6 +185,26 @@ impl BatchExecutor for TfheExecutor {
                         jobs.push(PbsJob { ct, lut });
                     }
                     Err(e) => results[i] = Some(Err(e)),
+                }
+            }
+        }
+
+        // With dimensions pre-validated the batch call cannot fail;
+        // an unexpected error still fails only its own requests.
+        if !ks_only_inputs.is_empty() {
+            match ksk.keyswitch_batch_parallel(
+                &ks_only_inputs,
+                self.planned_threads(ks_only_inputs.len()),
+            ) {
+                Ok(switched) => {
+                    for (&i, out) in ks_only_slots.iter().zip(switched) {
+                        results[i] = Some(Ok(out));
+                    }
+                }
+                Err(e) => {
+                    for &i in &ks_only_slots {
+                        results[i] = Some(Err(e.clone()));
+                    }
                 }
             }
         }
@@ -187,7 +230,12 @@ impl BatchExecutor for TfheExecutor {
                         _ => results[i] = Some(Ok(out)),
                     }
                 }
-                match self.server.keyswitch_key().keyswitch_batch(&ks_inputs) {
+                // The Algorithm-2 tail shares the epoch's thread
+                // budget: sharded like the blind rotation, bit-identical
+                // to the sequential batch.
+                match ksk
+                    .keyswitch_batch_parallel(&ks_inputs, self.planned_threads(ks_inputs.len()))
+                {
                     Ok(switched) => {
                         for (&i, out) in ks_slots.iter().zip(switched) {
                             results[i] = Some(Ok(out));

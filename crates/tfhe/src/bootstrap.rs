@@ -24,7 +24,13 @@
 //!
 //! The CMUX loop runs entirely on per-thread [`PbsScratch`] buffers —
 //! no heap allocation between the initial accumulator setup and sample
-//! extraction. Epochs scale across cores with
+//! extraction. All Fourier-domain data (bootstrapping-key rows, digit
+//! spectra, accumulator spectra) lives in the transform plan's
+//! bit-reversed slot order end to end — the `strix-fft` kernel never
+//! runs a permutation pass, and nothing in PBS ever needs natural bin
+//! order. Batched epochs additionally hoist the per-iteration modulus
+//! switch: every job's mask is switched once into a per-epoch table
+//! before the key-major loop starts. Epochs scale across cores with
 //! [`BootstrapKey::bootstrap_batch_parallel`]: the job list is split
 //! into contiguous shards, each shard walks the shared bootstrapping
 //! key in key-major order with its own scratch, and the results come
@@ -412,7 +418,10 @@ impl BootstrapKey {
 
     /// As [`Self::blind_rotate_batch`] with caller-provided scratch —
     /// one scratch serves the whole epoch, so the key-major loop
-    /// performs no heap allocation beyond the output accumulators.
+    /// performs no heap allocation beyond the output accumulators and
+    /// one per-epoch switched-mask table: every job's mask is
+    /// modulus-switched **once, up front**, rather than per key entry
+    /// inside the hot loop (epoch-wide hoisting of Algorithm 1 line 5).
     ///
     /// # Errors
     ///
@@ -441,11 +450,26 @@ impl BootstrapKey {
             })
             .collect();
 
+        // Epoch-wide hoisting: switch every mask element of every job
+        // once, up front, instead of re-running `modulus_switch` inside
+        // the key-major inner loop (`n · batch` calls per epoch). The
+        // switched values live in `[0, 2N)` so `u32` keeps the table a
+        // quarter the size of the masks it replaces. `modulus_switch`
+        // is a pure rounding shift, so precomputation is bit-identical
+        // to switching in-loop.
+        let n_iter = self.ggsws.len();
+        let mut switched = vec![0u32; jobs.len() * n_iter];
+        for (row, job) in switched.chunks_exact_mut(n_iter).zip(jobs) {
+            for (s, &a) in row.iter_mut().zip(job.ct.mask()) {
+                *s = modulus_switch(a, log2_two_n) as u32;
+            }
+        }
+
         // Key-major blind rotation: fetch GGSW i once, use it for the
         // whole batch.
         for (i, ggsw) in self.ggsws.iter().enumerate() {
-            for (acc, job) in accs.iter_mut().zip(jobs) {
-                let a_tilde = modulus_switch(job.ct.mask()[i], log2_two_n) as usize;
+            for (acc, row) in accs.iter_mut().zip(switched.chunks_exact(n_iter)) {
+                let a_tilde = row[i] as usize;
                 if a_tilde == 0 {
                     continue;
                 }

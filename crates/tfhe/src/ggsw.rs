@@ -126,7 +126,10 @@ impl GgswCiphertext {
         acc
     }
 
-    /// Converts to the Fourier domain for use in blind rotation.
+    /// Converts to the Fourier domain for use in blind rotation. The
+    /// resulting spectra are in `fft`'s digit-reversed slot order —
+    /// globally consistent with every other spectrum produced under
+    /// the same plan, which is the only way they are ever consumed.
     ///
     /// # Panics
     ///
@@ -157,6 +160,13 @@ impl GgswCiphertext {
 /// (`N/2` complex points per polynomial) — the format in which Strix
 /// streams bootstrapping keys from HBM, and in which Concrete stores
 /// them in memory.
+///
+/// Spectra follow the transform plan's **bit-reversed (digit-reversed)
+/// slot order**: [`GgswCiphertext::to_fourier`] produces them under
+/// the same [`NegacyclicFft`] plan that later transforms the
+/// decomposed digits, so the VMA's pointwise multiply lines up slot
+/// for slot and no spectrum is ever reordered. A `FourierGgsw` is only
+/// meaningful together with the plan that created it.
 #[derive(Clone, Debug)]
 pub struct FourierGgsw {
     /// `rows[(k+1)·l]`, each holding `k+1` Fourier polynomials.

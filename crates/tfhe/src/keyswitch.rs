@@ -88,15 +88,86 @@ impl KeySwitchKey {
     /// ciphertext — the batched counterpart the runtime executor pairs
     /// with [`crate::bootstrap::BootstrapKey::bootstrap_batch`] when an
     /// epoch's PBS outputs all return to the original key. Outputs are
-    /// in input order.
+    /// in input order. Accepts owned or borrowed inputs
+    /// (`&[LweCiphertext]` or `&[&LweCiphertext]`), so callers holding
+    /// ciphertexts inside request structures can batch without cloning.
     ///
     /// # Errors
     ///
     /// Returns [`TfheError::ParameterMismatch`] if any input's
     /// dimension is not the key's input dimension.
-    pub fn keyswitch_batch(&self, cts: &[LweCiphertext]) -> Result<Vec<LweCiphertext>, TfheError> {
+    pub fn keyswitch_batch<C: AsRef<LweCiphertext>>(
+        &self,
+        cts: &[C],
+    ) -> Result<Vec<LweCiphertext>, TfheError> {
         let mut digits = vec![0i64; self.decomp.level];
-        cts.iter().map(|ct| self.keyswitch_impl(ct, None, &mut digits)).collect()
+        cts.iter().map(|ct| self.keyswitch_impl(ct.as_ref(), None, &mut digits)).collect()
+    }
+
+    /// Parallel batched keyswitch: splits `cts` into `threads`
+    /// contiguous shards and runs each through
+    /// [`Self::keyswitch_batch`] on its own [`std::thread::scope`]
+    /// worker (one digit buffer per shard), all sharing this key. The
+    /// Algorithm-2 tail of an epoch thereby scales with the same
+    /// thread budget as the blind rotation
+    /// ([`crate::bootstrap::BootstrapKey::bootstrap_batch_parallel`]).
+    ///
+    /// Results come back **in input order** and are **bit-identical**
+    /// to the sequential path — each keyswitch depends only on its own
+    /// ciphertext, so sharding cannot change a single operation.
+    ///
+    /// `threads` is clamped to `[1, cts.len()]`; `threads <= 1` runs
+    /// sequentially on the calling thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TfheError::ParameterMismatch`] if any input's
+    /// dimension is not the key's input dimension (validated up front,
+    /// before any thread is spawned).
+    pub fn keyswitch_batch_parallel<C: AsRef<LweCiphertext> + Sync>(
+        &self,
+        cts: &[C],
+        threads: usize,
+    ) -> Result<Vec<LweCiphertext>, TfheError> {
+        for ct in cts {
+            let ct = ct.as_ref();
+            if ct.dimension() != self.input_dimension {
+                return Err(TfheError::ParameterMismatch {
+                    what: "lwe dimension",
+                    left: ct.dimension(),
+                    right: self.input_dimension,
+                });
+            }
+        }
+        let threads = threads.max(1).min(cts.len());
+        if threads <= 1 {
+            return self.keyswitch_batch(cts);
+        }
+        // Balanced contiguous shards, mirroring the PBS sharding: the
+        // first `cts % threads` shards take one extra ciphertext, and
+        // contiguity preserves input order across the concatenation.
+        let base = cts.len() / threads;
+        let extra = cts.len() % threads;
+        let shards: Vec<Result<Vec<LweCiphertext>, TfheError>> = std::thread::scope(|scope| {
+            let mut start = 0;
+            let handles: Vec<_> = (0..threads)
+                .map(|i| {
+                    let len = base + usize::from(i < extra);
+                    let shard = &cts[start..start + len];
+                    start += len;
+                    scope.spawn(move || self.keyswitch_batch(shard))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("keyswitch shard worker panicked"))
+                .collect()
+        });
+        let mut out = Vec::with_capacity(cts.len());
+        for shard in shards {
+            out.extend(shard?);
+        }
+        Ok(out)
     }
 
     /// Profiled variant of [`Self::keyswitch`].
@@ -201,9 +272,38 @@ mod tests {
         for (ct, out) in cts.iter().zip(&batched) {
             assert_eq!(out, &ksk.keyswitch(ct).unwrap());
         }
-        assert!(ksk.keyswitch_batch(&[]).unwrap().is_empty());
+        assert!(ksk.keyswitch_batch(&[] as &[LweCiphertext]).unwrap().is_empty());
         let bad = LweCiphertext::trivial(3, 0);
         assert!(ksk.keyswitch_batch(&[bad]).is_err());
+    }
+
+    #[test]
+    fn parallel_keyswitch_is_bit_identical_to_sequential() {
+        let (big, _, ksk, mut rng, params) = fixture();
+        // 7 inputs: does not divide evenly by 2..6 threads.
+        let cts: Vec<LweCiphertext> = (0..7i64)
+            .map(|m| big.encrypt(encode_fraction(m % 8, 3), params.lwe_noise_std, &mut rng))
+            .collect();
+        let sequential = ksk.keyswitch_batch(&cts).unwrap();
+        for threads in 1..=8 {
+            let parallel = ksk.keyswitch_batch_parallel(&cts, threads).unwrap();
+            assert_eq!(parallel, sequential, "threads={threads}");
+        }
+        // Degenerate thread counts are clamped, not errors.
+        assert_eq!(ksk.keyswitch_batch_parallel(&cts, 0).unwrap(), sequential);
+        assert_eq!(ksk.keyswitch_batch_parallel(&cts, 100).unwrap(), sequential);
+        assert!(ksk.keyswitch_batch_parallel(&[] as &[LweCiphertext], 4).unwrap().is_empty());
+        // Borrowed inputs batch without cloning and agree with owned.
+        let refs: Vec<&LweCiphertext> = cts.iter().collect();
+        assert_eq!(ksk.keyswitch_batch_parallel(&refs, 3).unwrap(), sequential);
+    }
+
+    #[test]
+    fn parallel_keyswitch_rejects_mismatch_before_spawning() {
+        let (big, _, ksk, mut rng, params) = fixture();
+        let good = big.encrypt(0, params.lwe_noise_std, &mut rng);
+        let bad = LweCiphertext::trivial(3, 0);
+        assert!(ksk.keyswitch_batch_parallel(&[good, bad], 2).is_err());
     }
 
     #[test]

@@ -225,6 +225,17 @@ impl LweCiphertext {
     }
 }
 
+// Lets batch entry points (`KeySwitchKey::keyswitch_batch[_parallel]`)
+// accept `&[LweCiphertext]` and `&[&LweCiphertext]` alike, so callers
+// holding ciphertexts inside larger structures (e.g. the runtime's
+// per-request queue) can batch without cloning.
+impl AsRef<LweCiphertext> for LweCiphertext {
+    #[inline]
+    fn as_ref(&self) -> &LweCiphertext {
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -34,9 +34,11 @@ pub struct ExternalProductScratch {
     pub(crate) digits: Vec<i64>,
     /// Level-major decomposed digit polynomials (`l · N`).
     pub(crate) digit_levels: Vec<i64>,
-    /// Spectrum of the current digit polynomial (`N/2`).
+    /// Spectrum of the current digit polynomial (`N/2`), in the
+    /// transform plan's digit-reversed slot order.
     pub(crate) digit_spec: Vec<Complex64>,
-    /// Fused accumulator spectra, column-major (`(k+1) · N/2`).
+    /// Fused accumulator spectra, column-major (`(k+1) · N/2`), in the
+    /// same slot order — pointwise accumulation never reorders.
     pub(crate) fourier_acc: Vec<Complex64>,
     /// Inverse-transform output buffer (`N`).
     pub(crate) time_domain: Vec<f64>,

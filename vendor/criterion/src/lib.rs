@@ -14,12 +14,22 @@
 #![forbid(unsafe_code)]
 
 use std::fmt::Display;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
 /// Target wall-clock budget per benchmark measurement.
 const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+
+/// True when the binary was invoked with `--test` (as in
+/// `cargo bench -- --test`, matching real criterion): every benchmark
+/// closure runs exactly once with no timing — a smoke mode that
+/// catches bench bitrot in CI without paying measurement time.
+fn test_mode() -> bool {
+    static MODE: OnceLock<bool> = OnceLock::new();
+    *MODE.get_or_init(|| std::env::args().any(|a| a == "--test"))
+}
 
 /// An identifier for one benchmark within a group.
 #[derive(Clone, Debug)]
@@ -71,6 +81,14 @@ impl Bencher {
     /// measurement budget. The closure's return value is black-boxed so
     /// the computation is not optimized away.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if test_mode() {
+            // Smoke mode: execute once so panics/bitrot surface, skip
+            // all measurement.
+            black_box(f());
+            self.iters = 1;
+            self.elapsed = Duration::from_nanos(1);
+            return;
+        }
         // Warm-up and calibration: time a single call.
         let t0 = Instant::now();
         black_box(f());
@@ -173,6 +191,10 @@ fn run_one(
     };
     if bencher.iters == 0 {
         println!("{label:<44} (no measurement: Bencher::iter never called)");
+        return;
+    }
+    if test_mode() {
+        println!("{label:<44} ok (--test mode, 1 iter, untimed)");
         return;
     }
     let per_iter_ns = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
