@@ -7,6 +7,7 @@
 //! ```text
 //! cargo run --release -p strix-bench --bin bench_snapshot
 //! cargo run --release -p strix-bench --bin bench_snapshot -- --fast --out /tmp/s.json
+//! cargo run --release -p strix-bench --bin bench_snapshot -- --baseline BENCH_pbs.json
 //! ```
 //!
 //! `--fast` switches to the tiny insecure test parameters (CI smoke);
@@ -14,12 +15,25 @@
 //! timing-equivalent benchmark bootstrapping key (same arithmetic
 //! shape as a real key, instant keygen). `--threads T` sets the
 //! intra-epoch shard count fed to `bootstrap_batch_parallel`.
+//!
+//! Each snapshot also records the git commit it was measured at and a
+//! **per-stage breakdown** of one PBS (decompose / forward FFT / VMA /
+//! inverse FFT / rotate / modswitch / sample-extract µs), taken with
+//! the timing probe over the *production* blocked CMUX kernel, so the
+//! committed JSON explains *where* a regression or win lives, not just
+//! that one happened.
+//!
+//! `--baseline <file>` compares the fresh numbers against a previous
+//! snapshot and prints a warn-only report (exit status stays 0 — CI
+//! uses it as a visibility check, not a gate, since container timing
+//! is noisy).
 
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use strix_fft::{Complex64, NegacyclicFft};
 use strix_tfhe::bootstrap::{BootstrapKey, Lut, PbsJob};
 use strix_tfhe::lwe::LweCiphertext;
+use strix_tfhe::profiler::{PbsStage, StageTimings};
 use strix_tfhe::torus::encode_fraction;
 use strix_tfhe::TfheParameters;
 
@@ -77,11 +91,95 @@ fn measure_fft(n: usize) -> FftRow {
     }
 }
 
+/// Best-effort short git commit hash of the working tree (snapshots
+/// are committed alongside the code they measured, so the hash pins
+/// the *parent* of the committing revision — close enough to navigate
+/// back to the kernel that produced the numbers).
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Pulls `"key": value` out of a flat JSON snapshot without a parser
+/// dependency — the snapshot schema is ours and machine-written, so a
+/// scan for the quoted key is reliable enough for a warn-only check.
+fn json_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest.find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))?;
+    rest[..end].parse().ok()
+}
+
+fn json_string(json: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\": \"");
+    let at = json.find(&needle)? + needle.len();
+    let end = json[at..].find('"')?;
+    Some(json[at..at + end].to_string())
+}
+
+/// Warn-only comparison against a previous snapshot's contents (read
+/// *before* the new snapshot is written, so `--baseline` may point at
+/// the very file `--out` overwrites). Never fails the process: CI
+/// surfaces the report, humans judge it.
+fn compare_against_baseline(
+    old: &str,
+    baseline_path: &str,
+    params_name: &str,
+    threads: usize,
+    batch: usize,
+    per_pbs_ms: f64,
+) {
+    let old_name = json_string(old, "name").unwrap_or_default();
+    if old_name != params_name {
+        eprintln!(
+            "bench_snapshot: baseline params ({old_name}) differ from measured \
+             ({params_name}); comparison skipped"
+        );
+        return;
+    }
+    // per_pbs_ms is only comparable at the same shard count and epoch
+    // size — a 4-thread run against a 1-thread baseline would print a
+    // meaningless "speedup" (or a spurious regression warning).
+    let old_threads = json_number(old, "threads");
+    let old_batch = json_number(old, "batch");
+    if old_threads != Some(threads as f64) || old_batch != Some(batch as f64) {
+        eprintln!(
+            "bench_snapshot: baseline threads/batch ({:?}/{:?}) differ from measured \
+             ({threads}/{batch}); comparison skipped",
+            old_threads, old_batch
+        );
+        return;
+    }
+    let Some(old_ms) = json_number(old, "per_pbs_ms") else {
+        eprintln!("bench_snapshot: baseline {baseline_path} has no per_pbs_ms; skipped");
+        return;
+    };
+    let speedup = old_ms / per_pbs_ms;
+    eprintln!(
+        "bench_snapshot: baseline {old_ms:.3} ms/PBS -> {per_pbs_ms:.3} ms/PBS \
+         ({speedup:.3}x vs {baseline_path})"
+    );
+    if per_pbs_ms > old_ms * 1.05 {
+        eprintln!(
+            "bench_snapshot: WARNING: PBS regressed more than 5% vs baseline \
+             ({old_ms:.3} ms -> {per_pbs_ms:.3} ms). Warn-only; not failing."
+        );
+    }
+}
+
 fn main() {
     let mut fast = false;
     let mut threads = 1usize;
     let mut batch = 8usize;
     let mut out_path = String::from("BENCH_pbs.json");
+    let mut baseline: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -93,12 +191,18 @@ fn main() {
                 batch = args.next().and_then(|v| v.parse().ok()).expect("--batch <jobs>");
             }
             "--out" => out_path = args.next().expect("--out <path>"),
+            "--baseline" => baseline = Some(args.next().expect("--baseline <file>")),
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
             }
         }
     }
+
+    // Capture the baseline *now*, before anything writes `out_path` —
+    // `--baseline BENCH_pbs.json --out BENCH_pbs.json` must compare
+    // against the previous snapshot, not the one being produced.
+    let baseline_contents = baseline.as_ref().map(|p| (p.clone(), std::fs::read_to_string(p)));
 
     let params = if fast { TfheParameters::testing_fast() } else { TfheParameters::set_ii() };
     if fast {
@@ -137,6 +241,33 @@ fn main() {
     let pbs_per_s = batch as f64 / per_epoch;
     let per_pbs_ms = per_epoch * 1e3 / batch as f64;
 
+    // Per-stage breakdown over the production blocked CMUX kernel
+    // (timing probe): a few epochs, normalised to µs per PBS. Always
+    // measured on ONE thread regardless of --threads — the probe
+    // needs exclusive StageTimings — so the emitted object carries its
+    // own "threads": 1 marker; the stage sum reconciles with
+    // per_pbs_ms only when --threads is 1 too.
+    let mut timings = StageTimings::new();
+    let mut profiled_epochs = 0u32;
+    let t0 = Instant::now();
+    while t0.elapsed() < BUDGET || profiled_epochs == 0 {
+        let out = bsk.bootstrap_batch_profiled(&jobs, &mut timings).unwrap();
+        std::hint::black_box(&out);
+        profiled_epochs += 1;
+    }
+    let per_pbs_us = |stage: PbsStage| {
+        timings.total_for(stage).as_secs_f64() * 1e6 / (profiled_epochs as f64 * batch as f64)
+    };
+    let stage_rows: Vec<(&str, f64)> = vec![
+        ("modswitch_us", per_pbs_us(PbsStage::ModSwitch)),
+        ("rotate_us", per_pbs_us(PbsStage::Rotate)),
+        ("decompose_us", per_pbs_us(PbsStage::Decompose)),
+        ("forward_fft_us", per_pbs_us(PbsStage::Fft)),
+        ("vma_us", per_pbs_us(PbsStage::VectorMultiply)),
+        ("inverse_fft_us", per_pbs_us(PbsStage::IfftAccumulate)),
+        ("sample_extract_us", per_pbs_us(PbsStage::SampleExtract)),
+    ];
+
     let unix_time = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
     let fft_json: Vec<String> = fft_rows
         .iter()
@@ -147,10 +278,14 @@ fn main() {
             )
         })
         .collect();
+    let stage_json: Vec<String> = std::iter::once("    \"threads\": 1".to_string())
+        .chain(stage_rows.iter().map(|(k, v)| format!("    \"{k}\": {v:.3}")))
+        .collect();
     let json = format!(
         "{{\n\
-         \x20 \"schema\": \"strix-bench-snapshot-v1\",\n\
+         \x20 \"schema\": \"strix-bench-snapshot-v2\",\n\
          \x20 \"unix_time\": {unix_time},\n\
+         \x20 \"git_commit\": \"{commit}\",\n\
          \x20 \"params\": {{\n\
          \x20   \"name\": \"{name}\",\n\
          \x20   \"lwe_dimension\": {n_lwe},\n\
@@ -163,8 +298,10 @@ fn main() {
          \x20 }},\n\
          \x20 \"threads\": {threads},\n\
          \x20 \"pbs\": {{ \"batch\": {batch}, \"per_pbs_ms\": {per_pbs_ms:.3}, \"pbs_per_s\": {pbs_per_s:.2} }},\n\
+         \x20 \"pbs_stages\": {{\n{stages}\n  }},\n\
          \x20 \"fft\": [\n{fft}\n  ]\n\
          }}\n",
+        commit = git_commit(),
         name = params.name,
         n_lwe = params.lwe_dimension,
         k = params.glwe_dimension,
@@ -173,9 +310,19 @@ fn main() {
         level = params.pbs_level,
         ks_base = params.ks_base_log,
         ks_level = params.ks_level,
+        stages = stage_json.join(",\n"),
         fft = fft_json.join(",\n"),
     );
     std::fs::write(&out_path, &json).expect("write snapshot JSON");
     println!("{json}");
     eprintln!("bench_snapshot: wrote {out_path}");
+    match baseline_contents {
+        Some((path, Ok(old))) => {
+            compare_against_baseline(&old, &path, &params.name, threads, batch, per_pbs_ms);
+        }
+        Some((path, Err(_))) => {
+            eprintln!("bench_snapshot: baseline {path} unreadable; comparison skipped");
+        }
+        None => {}
+    }
 }

@@ -38,6 +38,7 @@
 use crate::complex::Complex64;
 use crate::error::FftError;
 use crate::is_pow2_at_least;
+use crate::soa::SoaSpectrum;
 
 /// Butterfly radix of one stage.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -48,14 +49,25 @@ enum Radix {
 
 /// One butterfly stage: all blocks of length `len` across the array.
 ///
-/// Twiddle layout is stage-major: radix-2 stages store `len/2` factors
-/// `w^j`; radix-4 stages store `len/4` *triples* `(w^j, w^{2j},
-/// w^{3j})` interleaved, so the inner loop walks one contiguous table.
+/// Twiddle layout is stage-major and kept in **both** storage
+/// conventions, built from the same values so the two are bit-equal:
+///
+/// * interleaved ([`Complex64`]) for the AoS path — radix-2 stages
+///   store `len/2` factors `w^j`; radix-4 stages store `len/4`
+///   *triples* `(w^j, w^{2j}, w^{3j})` interleaved, so the inner loop
+///   walks one contiguous table;
+/// * split (`tw_re`/`tw_im` planes, power-major: all `w^j`, then all
+///   `w^{2j}`, then all `w^{3j}`) for the SoA path, so its inner loops
+///   touch no interleaved data at all.
 #[derive(Clone, Debug)]
 struct Stage {
     radix: Radix,
     len: usize,
     twiddles: Vec<Complex64>,
+    /// Split real plane (power-major; see type docs).
+    tw_re: Vec<f64>,
+    /// Split imaginary plane (power-major).
+    tw_im: Vec<f64>,
 }
 
 impl Stage {
@@ -63,7 +75,7 @@ impl Stage {
     /// (`sign = -1.0` forward, `+1.0` inverse).
     fn new(radix: Radix, len: usize, sign: f64) -> Self {
         let base = sign * 2.0 * std::f64::consts::PI / len as f64;
-        let twiddles = match radix {
+        let twiddles: Vec<Complex64> = match radix {
             Radix::Two => (0..len / 2).map(|j| Complex64::cis(base * j as f64)).collect(),
             Radix::Four => {
                 let mut t = Vec::with_capacity(3 * (len / 4));
@@ -76,7 +88,29 @@ impl Stage {
                 t
             }
         };
-        Self { radix, len, twiddles }
+        // Split planes hold the same values in power-major order, so
+        // the SoA butterflies consume bit-identical factors.
+        let (mut tw_re, mut tw_im) =
+            (Vec::with_capacity(twiddles.len()), Vec::with_capacity(twiddles.len()));
+        match radix {
+            Radix::Two => {
+                for w in &twiddles {
+                    tw_re.push(w.re);
+                    tw_im.push(w.im);
+                }
+            }
+            Radix::Four => {
+                let q = len / 4;
+                for power in 0..3 {
+                    for j in 0..q {
+                        let w = twiddles[3 * j + power];
+                        tw_re.push(w.re);
+                        tw_im.push(w.im);
+                    }
+                }
+            }
+        }
+        Self { radix, len, twiddles, tw_re, tw_im }
     }
 
     /// Radix as a plain factor (2 or 4).
@@ -86,6 +120,14 @@ impl Stage {
             Radix::Four => 4,
         }
     }
+}
+
+/// Scalar complex multiply on split operands — exactly
+/// [`Complex64::mul`]'s expression, so SoA and AoS paths round
+/// identically.
+#[inline(always)]
+fn cmul(ar: f64, ai: f64, br: f64, bi: f64) -> (f64, f64) {
+    (ar * br - ai * bi, ar * bi + ai * br)
 }
 
 /// Forward radix-2 DIF butterflies over one block split into halves.
@@ -259,6 +301,154 @@ fn apply_inv_stage(stage: &Stage, data: &mut [Complex64]) {
     }
 }
 
+/// One forward SoA stage over one transform's split planes. Mirrors
+/// [`apply_fwd_stage`] operation for operation: every butterfly
+/// computes the same IEEE expressions in the same order, so the two
+/// layouts produce bit-identical spectra. The split planes let every
+/// loop below run over plain contiguous `f64` slices (sliced to exact
+/// lengths so the compiler drops the bounds checks and emits packed
+/// arithmetic).
+fn apply_fwd_stage_soa(stage: &Stage, re: &mut [f64], im: &mut [f64]) {
+    let len = stage.len;
+    if len == 4 && stage.radix == Radix::Four {
+        for (re4, im4) in re.chunks_exact_mut(4).zip(im.chunks_exact_mut(4)) {
+            let (p02r, p02i) = (re4[0] + re4[2], im4[0] + im4[2]);
+            let (m02r, m02i) = (re4[0] - re4[2], im4[0] - im4[2]);
+            let (p13r, p13i) = (re4[1] + re4[3], im4[1] + im4[3]);
+            // (a1 - a3).mul_i(): re' = -(im-diff), im' = re-diff.
+            let (m13ir, m13ii) = (-(im4[1] - im4[3]), re4[1] - re4[3]);
+            re4[0] = p02r + p13r;
+            im4[0] = p02i + p13i;
+            re4[1] = m02r - m13ir;
+            im4[1] = m02i - m13ii;
+            re4[2] = p02r - p13r;
+            im4[2] = p02i - p13i;
+            re4[3] = m02r + m13ir;
+            im4[3] = m02i + m13ii;
+        }
+        return;
+    }
+    for (bre, bim) in re.chunks_exact_mut(len).zip(im.chunks_exact_mut(len)) {
+        match stage.radix {
+            Radix::Two => {
+                let q = len / 2;
+                let (lo_r, hi_r) = bre.split_at_mut(q);
+                let (lo_i, hi_i) = bim.split_at_mut(q);
+                let (wr, wi) = (&stage.tw_re[..q], &stage.tw_im[..q]);
+                for j in 0..q {
+                    let (xr, xi) = (lo_r[j], lo_i[j]);
+                    let (yr, yi) = (hi_r[j], hi_i[j]);
+                    lo_r[j] = xr + yr;
+                    lo_i[j] = xi + yi;
+                    let (br, bi) = cmul(xr - yr, xi - yi, wr[j], wi[j]);
+                    hi_r[j] = br;
+                    hi_i[j] = bi;
+                }
+            }
+            Radix::Four => {
+                let q = len / 4;
+                let (r0, rest) = bre.split_at_mut(q);
+                let (r1, rest) = rest.split_at_mut(q);
+                let (r2, r3) = rest.split_at_mut(q);
+                let (i0, rest) = bim.split_at_mut(q);
+                let (i1, rest) = rest.split_at_mut(q);
+                let (i2, i3) = rest.split_at_mut(q);
+                let (w1r, w1i) = (&stage.tw_re[..q], &stage.tw_im[..q]);
+                let (w2r, w2i) = (&stage.tw_re[q..2 * q], &stage.tw_im[q..2 * q]);
+                let (w3r, w3i) = (&stage.tw_re[2 * q..3 * q], &stage.tw_im[2 * q..3 * q]);
+                for j in 0..q {
+                    let (p02r, p02i) = (r0[j] + r2[j], i0[j] + i2[j]);
+                    let (m02r, m02i) = (r0[j] - r2[j], i0[j] - i2[j]);
+                    let (p13r, p13i) = (r1[j] + r3[j], i1[j] + i3[j]);
+                    let (m13ir, m13ii) = (-(i1[j] - i3[j]), r1[j] - r3[j]);
+                    r0[j] = p02r + p13r;
+                    i0[j] = p02i + p13i;
+                    let (y1r, y1i) = cmul(m02r - m13ir, m02i - m13ii, w1r[j], w1i[j]);
+                    r1[j] = y1r;
+                    i1[j] = y1i;
+                    let (y2r, y2i) = cmul(p02r - p13r, p02i - p13i, w2r[j], w2i[j]);
+                    r2[j] = y2r;
+                    i2[j] = y2i;
+                    let (y3r, y3i) = cmul(m02r + m13ir, m02i + m13ii, w3r[j], w3i[j]);
+                    r3[j] = y3r;
+                    i3[j] = y3i;
+                }
+            }
+        }
+    }
+}
+
+/// One inverse SoA stage over one transform's split planes — the exact
+/// mirror of [`apply_inv_stage`] (same expressions, same order,
+/// bit-identical results).
+fn apply_inv_stage_soa(stage: &Stage, re: &mut [f64], im: &mut [f64]) {
+    let len = stage.len;
+    if len == 4 && stage.radix == Radix::Four {
+        for (re4, im4) in re.chunks_exact_mut(4).zip(im.chunks_exact_mut(4)) {
+            let (p02r, p02i) = (re4[0] + re4[2], im4[0] + im4[2]);
+            let (m02r, m02i) = (re4[0] - re4[2], im4[0] - im4[2]);
+            let (p13r, p13i) = (re4[1] + re4[3], im4[1] + im4[3]);
+            let (m13ir, m13ii) = (-(im4[1] - im4[3]), re4[1] - re4[3]);
+            re4[0] = p02r + p13r;
+            im4[0] = p02i + p13i;
+            re4[1] = m02r + m13ir;
+            im4[1] = m02i + m13ii;
+            re4[2] = p02r - p13r;
+            im4[2] = p02i - p13i;
+            re4[3] = m02r - m13ir;
+            im4[3] = m02i - m13ii;
+        }
+        return;
+    }
+    for (bre, bim) in re.chunks_exact_mut(len).zip(im.chunks_exact_mut(len)) {
+        match stage.radix {
+            Radix::Two => {
+                let q = len / 2;
+                let (lo_r, hi_r) = bre.split_at_mut(q);
+                let (lo_i, hi_i) = bim.split_at_mut(q);
+                let (wr, wi) = (&stage.tw_re[..q], &stage.tw_im[..q]);
+                for j in 0..q {
+                    let (xr, xi) = (lo_r[j], lo_i[j]);
+                    let (yr, yi) = cmul(hi_r[j], hi_i[j], wr[j], wi[j]);
+                    lo_r[j] = xr + yr;
+                    lo_i[j] = xi + yi;
+                    hi_r[j] = xr - yr;
+                    hi_i[j] = xi - yi;
+                }
+            }
+            Radix::Four => {
+                let q = len / 4;
+                let (r0, rest) = bre.split_at_mut(q);
+                let (r1, rest) = rest.split_at_mut(q);
+                let (r2, r3) = rest.split_at_mut(q);
+                let (i0, rest) = bim.split_at_mut(q);
+                let (i1, rest) = rest.split_at_mut(q);
+                let (i2, i3) = rest.split_at_mut(q);
+                let (w1r, w1i) = (&stage.tw_re[..q], &stage.tw_im[..q]);
+                let (w2r, w2i) = (&stage.tw_re[q..2 * q], &stage.tw_im[q..2 * q]);
+                let (w3r, w3i) = (&stage.tw_re[2 * q..3 * q], &stage.tw_im[2 * q..3 * q]);
+                for j in 0..q {
+                    let (u1r, u1i) = cmul(r1[j], i1[j], w1r[j], w1i[j]);
+                    let (u2r, u2i) = cmul(r2[j], i2[j], w2r[j], w2i[j]);
+                    let (u3r, u3i) = cmul(r3[j], i3[j], w3r[j], w3i[j]);
+                    let (p02r, p02i) = (r0[j] + u2r, i0[j] + u2i);
+                    let (m02r, m02i) = (r0[j] - u2r, i0[j] - u2i);
+                    let (p13r, p13i) = (u1r + u3r, u1i + u3i);
+                    let (m13ir, m13ii) = (-(u1i - u3i), u1r - u3r);
+                    r0[j] = p02r + p13r;
+                    i0[j] = p02i + p13i;
+                    r1[j] = m02r + m13ir;
+                    i1[j] = m02i + m13ii;
+                    r2[j] = p02r - p13r;
+                    i2[j] = p02i - p13i;
+                    r3[j] = m02r - m13ir;
+                    i3[j] = m02i - m13ii;
+                }
+            }
+        }
+    }
+}
+
 /// Precomputed plan for forward/inverse complex FFTs of a fixed size
 /// under the **bit-reversed-spectrum convention**: the forward
 /// transform emits the spectrum digit-reversed, the inverse consumes
@@ -398,6 +588,73 @@ impl SpectralPlan {
         let scale = 1.0 / self.size as f64;
         for z in data.iter_mut() {
             *z = z.scale(scale);
+        }
+        Ok(())
+    }
+
+    /// Batched in-place forward DIF FFT over a whole [`SoaSpectrum`]:
+    /// every transform goes natural order in → digit-reversed spectrum
+    /// out, exactly like [`Self::forward`], but each butterfly stage
+    /// runs across **all** transforms before the next stage starts, so
+    /// one walk of the stage's twiddle table is amortised over the
+    /// batch and the tables stay cache-hot. Per-transform arithmetic is
+    /// untouched (the stage/transform loops merely interchange), so
+    /// results are **bit-identical** to looping [`Self::forward`] over
+    /// interleaved copies of the same data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if the batch's transform
+    /// length differs from the plan size.
+    pub fn forward_many(&self, batch: &mut SoaSpectrum) -> Result<(), FftError> {
+        self.check_len(batch.transform_len())?;
+        for stage in &self.fwd_stages {
+            for t in 0..batch.count() {
+                let (re, im) = batch.transform_mut(t);
+                apply_fwd_stage_soa(stage, re, im);
+            }
+        }
+        Ok(())
+    }
+
+    /// Batched unnormalised inverse DIT FFT over a whole
+    /// [`SoaSpectrum`]: the stage-across-batch counterpart of
+    /// [`Self::inverse_unnormalized`], bit-identical to looping it per
+    /// transform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] on transform-length
+    /// mismatch.
+    pub fn inverse_many_unnormalized(&self, batch: &mut SoaSpectrum) -> Result<(), FftError> {
+        self.check_len(batch.transform_len())?;
+        for stage in &self.inv_stages {
+            for t in 0..batch.count() {
+                let (re, im) = batch.transform_mut(t);
+                apply_inv_stage_soa(stage, re, im);
+            }
+        }
+        Ok(())
+    }
+
+    /// Batched normalised inverse FFT (divides every transform by `n`),
+    /// bit-identical to looping [`Self::inverse`] per transform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] on transform-length
+    /// mismatch.
+    pub fn inverse_many(&self, batch: &mut SoaSpectrum) -> Result<(), FftError> {
+        self.inverse_many_unnormalized(batch)?;
+        let scale = 1.0 / self.size as f64;
+        for t in 0..batch.count() {
+            let (re, im) = batch.transform_mut(t);
+            for v in re.iter_mut() {
+                *v *= scale;
+            }
+            for v in im.iter_mut() {
+                *v *= scale;
+            }
         }
         Ok(())
     }
@@ -571,6 +828,237 @@ impl SpectralPlan {
                     out_im[j + 2 * q] = z2.im;
                     out_re[j + 3 * q] = z3.re;
                     out_im[j + 3 * q] = z3.im;
+                }
+            }
+        }
+    }
+
+    /// Batched split-complex counterpart of
+    /// [`Self::forward_folded_twisted`]: transforms `count` packed
+    /// real polynomials (each `2n` coefficients, laid out back to
+    /// back in `polys`) into the matching transforms of `batch`. The
+    /// fused fold+twist+first-stage pass runs per transform straight
+    /// from the coefficient array; every remaining butterfly stage
+    /// then runs **across the whole batch** before the next stage
+    /// starts, amortising one twiddle-table walk over all `count`
+    /// transforms. Per-transform arithmetic mirrors the interleaved
+    /// fused path expression for expression, so the spectra are
+    /// bit-identical to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `polys.len() != 2n · count`, the twist planes are not
+    /// `n` long, or `batch`'s transform length is not `n` (callers
+    /// validate first).
+    pub(crate) fn forward_folded_twisted_many<T: Copy>(
+        &self,
+        polys: &[T],
+        twist_re: &[f64],
+        twist_im: &[f64],
+        batch: &mut SoaSpectrum,
+        to_f64: impl Fn(T) -> f64 + Copy,
+    ) {
+        let n = self.size;
+        let count = batch.count();
+        assert_eq!(polys.len(), 2 * n * count, "folded batch length mismatch");
+        assert_eq!(twist_re.len(), n, "twist table length mismatch");
+        assert_eq!(twist_im.len(), n, "twist table length mismatch");
+        assert_eq!(batch.transform_len(), n, "batch transform length mismatch");
+        let Some((first, rest)) = self.fwd_stages.split_first() else {
+            for (t, poly) in polys.chunks_exact(2 * n).enumerate() {
+                let (re, im) = batch.transform_mut(t);
+                let (zr, zi) = cmul(to_f64(poly[0]), to_f64(poly[1]), twist_re[0], twist_im[0]);
+                re[0] = zr;
+                im[0] = zi;
+            }
+            return;
+        };
+        for (t, poly) in polys.chunks_exact(2 * n).enumerate() {
+            let (out_re, out_im) = batch.transform_mut(t);
+            let (pre, pim) = poly.split_at(n);
+            match first.radix {
+                Radix::Two => {
+                    let q = n / 2;
+                    let (o0r, o1r) = out_re.split_at_mut(q);
+                    let (o0i, o1i) = out_im.split_at_mut(q);
+                    let (wr, wi) = (&first.tw_re[..q], &first.tw_im[..q]);
+                    for j in 0..q {
+                        let (xr, xi) =
+                            cmul(to_f64(pre[j]), to_f64(pim[j]), twist_re[j], twist_im[j]);
+                        let (yr, yi) = cmul(
+                            to_f64(pre[j + q]),
+                            to_f64(pim[j + q]),
+                            twist_re[j + q],
+                            twist_im[j + q],
+                        );
+                        o0r[j] = xr + yr;
+                        o0i[j] = xi + yi;
+                        let (br, bi) = cmul(xr - yr, xi - yi, wr[j], wi[j]);
+                        o1r[j] = br;
+                        o1i[j] = bi;
+                    }
+                }
+                Radix::Four => {
+                    let q = n / 4;
+                    let (o0r, restr) = out_re.split_at_mut(q);
+                    let (o1r, restr) = restr.split_at_mut(q);
+                    let (o2r, o3r) = restr.split_at_mut(q);
+                    let (o0i, resti) = out_im.split_at_mut(q);
+                    let (o1i, resti) = resti.split_at_mut(q);
+                    let (o2i, o3i) = resti.split_at_mut(q);
+                    let (w1r, w1i) = (&first.tw_re[..q], &first.tw_im[..q]);
+                    let (w2r, w2i) = (&first.tw_re[q..2 * q], &first.tw_im[q..2 * q]);
+                    let (w3r, w3i) = (&first.tw_re[2 * q..3 * q], &first.tw_im[2 * q..3 * q]);
+                    for j in 0..q {
+                        let (a0r, a0i) =
+                            cmul(to_f64(pre[j]), to_f64(pim[j]), twist_re[j], twist_im[j]);
+                        let (a1r, a1i) = cmul(
+                            to_f64(pre[j + q]),
+                            to_f64(pim[j + q]),
+                            twist_re[j + q],
+                            twist_im[j + q],
+                        );
+                        let (a2r, a2i) = cmul(
+                            to_f64(pre[j + 2 * q]),
+                            to_f64(pim[j + 2 * q]),
+                            twist_re[j + 2 * q],
+                            twist_im[j + 2 * q],
+                        );
+                        let (a3r, a3i) = cmul(
+                            to_f64(pre[j + 3 * q]),
+                            to_f64(pim[j + 3 * q]),
+                            twist_re[j + 3 * q],
+                            twist_im[j + 3 * q],
+                        );
+                        let (p02r, p02i) = (a0r + a2r, a0i + a2i);
+                        let (m02r, m02i) = (a0r - a2r, a0i - a2i);
+                        let (p13r, p13i) = (a1r + a3r, a1i + a3i);
+                        let (m13ir, m13ii) = (-(a1i - a3i), a1r - a3r);
+                        o0r[j] = p02r + p13r;
+                        o0i[j] = p02i + p13i;
+                        let (y1r, y1i) = cmul(m02r - m13ir, m02i - m13ii, w1r[j], w1i[j]);
+                        o1r[j] = y1r;
+                        o1i[j] = y1i;
+                        let (y2r, y2i) = cmul(p02r - p13r, p02i - p13i, w2r[j], w2i[j]);
+                        o2r[j] = y2r;
+                        o2i[j] = y2i;
+                        let (y3r, y3i) = cmul(m02r + m13ir, m02i + m13ii, w3r[j], w3i[j]);
+                        o3r[j] = y3r;
+                        o3i[j] = y3i;
+                    }
+                }
+            }
+        }
+        for stage in rest {
+            for t in 0..count {
+                let (re, im) = batch.transform_mut(t);
+                apply_fwd_stage_soa(stage, re, im);
+            }
+        }
+    }
+
+    /// Batched split-complex counterpart of
+    /// [`Self::inverse_folded_untwisted`]: every inverse stage but the
+    /// last runs **across the whole batch**, then the fused last
+    /// stage + merged untwist/normalise multiply + unfold writes each
+    /// transform straight into its `2n`-coefficient slot of `out`.
+    /// Bit-identical to the interleaved fused path per transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch`'s transform length is not `n`, the untwist
+    /// planes are not `n` long, or `out.len() != 2n · count` (callers
+    /// validate first).
+    pub(crate) fn inverse_folded_untwisted_many(
+        &self,
+        batch: &mut SoaSpectrum,
+        untwist_re: &[f64],
+        untwist_im: &[f64],
+        out: &mut [f64],
+    ) {
+        let n = self.size;
+        let count = batch.count();
+        assert_eq!(batch.transform_len(), n, "batch transform length mismatch");
+        assert_eq!(untwist_re.len(), n, "untwist table length mismatch");
+        assert_eq!(untwist_im.len(), n, "untwist table length mismatch");
+        assert_eq!(out.len(), 2 * n * count, "output batch length mismatch");
+        let Some((last, rest)) = self.inv_stages.split_last() else {
+            for (t, slot) in out.chunks_exact_mut(2 * n).enumerate() {
+                let (re, im) = batch.transform(t);
+                let (zr, zi) = cmul(re[0], im[0], untwist_re[0], untwist_im[0]);
+                slot[0] = zr;
+                slot[1] = zi;
+            }
+            return;
+        };
+        for stage in rest {
+            for t in 0..count {
+                let (re, im) = batch.transform_mut(t);
+                apply_inv_stage_soa(stage, re, im);
+            }
+        }
+        for (t, slot) in out.chunks_exact_mut(2 * n).enumerate() {
+            let (sre, sim) = batch.transform(t);
+            let (out_re, out_im) = slot.split_at_mut(n);
+            match last.radix {
+                Radix::Two => {
+                    let q = n / 2;
+                    let (s0r, s1r) = sre.split_at(q);
+                    let (s0i, s1i) = sim.split_at(q);
+                    let (u0r, u1r) = untwist_re.split_at(q);
+                    let (u0i, u1i) = untwist_im.split_at(q);
+                    let (r0, r1) = out_re.split_at_mut(q);
+                    let (i0, i1) = out_im.split_at_mut(q);
+                    let (wr, wi) = (&last.tw_re[..q], &last.tw_im[..q]);
+                    for j in 0..q {
+                        let (xr, xi) = (s0r[j], s0i[j]);
+                        let (yr, yi) = cmul(s1r[j], s1i[j], wr[j], wi[j]);
+                        let (z0r, z0i) = cmul(xr + yr, xi + yi, u0r[j], u0i[j]);
+                        let (z1r, z1i) = cmul(xr - yr, xi - yi, u1r[j], u1i[j]);
+                        r0[j] = z0r;
+                        i0[j] = z0i;
+                        r1[j] = z1r;
+                        i1[j] = z1i;
+                    }
+                }
+                Radix::Four => {
+                    let q = n / 4;
+                    let (w1r, w1i) = (&last.tw_re[..q], &last.tw_im[..q]);
+                    let (w2r, w2i) = (&last.tw_re[q..2 * q], &last.tw_im[q..2 * q]);
+                    let (w3r, w3i) = (&last.tw_re[2 * q..3 * q], &last.tw_im[2 * q..3 * q]);
+                    for j in 0..q {
+                        let (u1r, u1i) = cmul(sre[j + q], sim[j + q], w1r[j], w1i[j]);
+                        let (u2r, u2i) = cmul(sre[j + 2 * q], sim[j + 2 * q], w2r[j], w2i[j]);
+                        let (u3r, u3i) = cmul(sre[j + 3 * q], sim[j + 3 * q], w3r[j], w3i[j]);
+                        let (p02r, p02i) = (sre[j] + u2r, sim[j] + u2i);
+                        let (m02r, m02i) = (sre[j] - u2r, sim[j] - u2i);
+                        let (p13r, p13i) = (u1r + u3r, u1i + u3i);
+                        let (m13ir, m13ii) = (-(u1i - u3i), u1r - u3r);
+                        let (z0r, z0i) =
+                            cmul(p02r + p13r, p02i + p13i, untwist_re[j], untwist_im[j]);
+                        let (z1r, z1i) =
+                            cmul(m02r + m13ir, m02i + m13ii, untwist_re[j + q], untwist_im[j + q]);
+                        let (z2r, z2i) = cmul(
+                            p02r - p13r,
+                            p02i - p13i,
+                            untwist_re[j + 2 * q],
+                            untwist_im[j + 2 * q],
+                        );
+                        let (z3r, z3i) = cmul(
+                            m02r - m13ir,
+                            m02i - m13ii,
+                            untwist_re[j + 3 * q],
+                            untwist_im[j + 3 * q],
+                        );
+                        out_re[j] = z0r;
+                        out_im[j] = z0i;
+                        out_re[j + q] = z1r;
+                        out_im[j + q] = z1i;
+                        out_re[j + 2 * q] = z2r;
+                        out_im[j + 2 * q] = z2i;
+                        out_re[j + 3 * q] = z3r;
+                        out_im[j + 3 * q] = z3i;
+                    }
                 }
             }
         }

@@ -18,6 +18,13 @@
 //!   twisting by the odd 2N-th roots of unity, with the twist fused
 //!   into the first forward stage and untwist + normalisation fused
 //!   into the last inverse stage,
+//! * [`SoaSpectrum`] — split-complex (structure-of-arrays) batches of
+//!   spectra: one contiguous plane of real parts, one of imaginary
+//!   parts, the layout under which the batched transform entry points
+//!   ([`SpectralPlan::forward_many`], [`NegacyclicFft::forward_i64_many`],
+//!   [`NegacyclicFft::backward_f64_many`]) and the fused four-array VMA
+//!   ([`pointwise_mul_add_soa`]) autovectorise into packed `f64`
+//!   arithmetic — bit-identical to the interleaved kernel,
 //! * [`FftPlan`] — the seed iterative radix-2 decimation-in-time FFT
 //!   with natural-order spectra, kept as the correctness oracle for the
 //!   kernel (and for callers that genuinely need natural bin order),
@@ -55,12 +62,16 @@ mod negacyclic;
 mod plan;
 pub mod planner;
 pub mod reference;
+mod soa;
 
 pub use complex::Complex64;
 pub use error::FftError;
 pub use kernel::SpectralPlan;
-pub use negacyclic::{pointwise_mul_add, FftScratch, NegacyclicFft};
+pub use negacyclic::{
+    pointwise_mul_add, pointwise_mul_add_key, pointwise_mul_add_soa, FftScratch, NegacyclicFft,
+};
 pub use plan::FftPlan;
+pub use soa::SoaSpectrum;
 
 /// Returns `true` if `n` is a power of two greater than or equal to `min`.
 pub(crate) fn is_pow2_at_least(n: usize, min: usize) -> bool {

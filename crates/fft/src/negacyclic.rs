@@ -43,6 +43,7 @@ use crate::complex::Complex64;
 use crate::error::FftError;
 use crate::is_pow2_at_least;
 use crate::kernel::SpectralPlan;
+use crate::soa::SoaSpectrum;
 
 /// Caller-owned scratch buffers for allocation-free negacyclic
 /// arithmetic: two spectra (`N/2` complex points each) and one
@@ -111,6 +112,13 @@ pub struct NegacyclicFft {
     /// normalisation in one multiply, applied inside the last inverse
     /// stage.
     untwist_norm: Vec<Complex64>,
+    /// Split copies of `twist` (same bits, planar layout) for the SoA
+    /// batched transforms.
+    twist_re: Vec<f64>,
+    twist_im: Vec<f64>,
+    /// Split copies of `untwist_norm` for the SoA batched transforms.
+    untwist_re: Vec<f64>,
+    untwist_im: Vec<f64>,
 }
 
 impl NegacyclicFft {
@@ -137,7 +145,20 @@ impl NegacyclicFft {
             twist.push(Complex64::cis(theta));
             untwist_norm.push(Complex64::cis(-theta).scale(inv_n));
         }
-        Ok(Self { poly_size, kernel, twist, untwist_norm })
+        let twist_re = twist.iter().map(|z| z.re).collect();
+        let twist_im = twist.iter().map(|z| z.im).collect();
+        let untwist_re = untwist_norm.iter().map(|z| z.re).collect();
+        let untwist_im = untwist_norm.iter().map(|z| z.im).collect();
+        Ok(Self {
+            poly_size,
+            kernel,
+            twist,
+            untwist_norm,
+            twist_re,
+            twist_im,
+            untwist_re,
+            untwist_im,
+        })
     }
 
     /// Number of coefficients in the time-domain polynomial (`N`).
@@ -210,6 +231,68 @@ impl NegacyclicFft {
         // the merged untwist/normalise multiply and the unfold in one
         // pass over the data.
         self.kernel.inverse_folded_untwisted(spectrum, &self.untwist_norm, out);
+        Ok(())
+    }
+
+    /// Batched forward transform of `count` packed `i64` polynomials
+    /// (laid out back to back in `polys`, `N` coefficients each) into
+    /// the `count` transforms of `out` — the coefficient-level batching
+    /// entry point of the CMUX hot path: all `(k+1)·l` digit
+    /// polynomials of one external product go through the kernel in
+    /// one call, with every butterfly stage run across the whole batch
+    /// before the next stage starts ([`SpectralPlan::forward_many`]'s
+    /// schedule) and the fold+twist fused into the first stage exactly
+    /// as in [`Self::forward_i64`].
+    ///
+    /// Spectra are **bit-identical** to calling [`Self::forward_i64`]
+    /// once per polynomial.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if `polys.len()` is not
+    /// `N · count` or `out`'s transform length is not `N/2`.
+    pub fn forward_i64_many(&self, polys: &[i64], out: &mut SoaSpectrum) -> Result<(), FftError> {
+        self.check_batch(polys.len(), out)?;
+        self.kernel
+            .forward_folded_twisted_many(polys, &self.twist_re, &self.twist_im, out, |v| v as f64);
+        Ok(())
+    }
+
+    /// Batched inverse transform: the `count` spectra of `batch`
+    /// (consumed in place as scratch) become `count` packed real
+    /// polynomials in `out`, bit-identical to calling
+    /// [`Self::backward_f64`] once per spectrum. Every inverse stage
+    /// but the last runs across the whole batch; the merged
+    /// untwist+normalise multiply and the unfold are fused into the
+    /// last stage as in the single-transform path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if `out.len()` is not
+    /// `N · count` or `batch`'s transform length is not `N/2`.
+    pub fn backward_f64_many(
+        &self,
+        batch: &mut SoaSpectrum,
+        out: &mut [f64],
+    ) -> Result<(), FftError> {
+        self.check_batch(out.len(), batch)?;
+        self.kernel.inverse_folded_untwisted_many(batch, &self.untwist_re, &self.untwist_im, out);
+        Ok(())
+    }
+
+    fn check_batch(&self, time_len: usize, batch: &SoaSpectrum) -> Result<(), FftError> {
+        if batch.transform_len() != self.fourier_size() {
+            return Err(FftError::LengthMismatch {
+                expected: self.fourier_size(),
+                actual: batch.transform_len(),
+            });
+        }
+        if time_len != self.poly_size * batch.count() {
+            return Err(FftError::LengthMismatch {
+                expected: self.poly_size * batch.count(),
+                actual: time_len,
+            });
+        }
         Ok(())
     }
 
@@ -294,6 +377,69 @@ pub fn pointwise_mul_add(acc: &mut [Complex64], a: &[Complex64], b: &[Complex64]
     assert_eq!(acc.len(), b.len(), "pointwise length mismatch");
     for ((s, x), y) in acc.iter_mut().zip(a).zip(b) {
         *s += *x * *y;
+    }
+}
+
+/// As [`pointwise_mul_add`], but with the second operand in split
+/// (SoA) planes: `acc_k += a_k · (b_re_k + i·b_im_k)`. The complex
+/// multiply uses exactly [`Complex64`]'s expression, so mixing layouts
+/// never changes a bit. This is how the per-job oracle CMUX path
+/// consumes the split-layout bootstrapping key.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn pointwise_mul_add_key(acc: &mut [Complex64], a: &[Complex64], b_re: &[f64], b_im: &[f64]) {
+    assert_eq!(acc.len(), a.len(), "pointwise length mismatch");
+    assert_eq!(acc.len(), b_re.len(), "pointwise length mismatch");
+    assert_eq!(acc.len(), b_im.len(), "pointwise length mismatch");
+    for (((s, x), &br), &bi) in acc.iter_mut().zip(a).zip(b_re).zip(b_im) {
+        let pr = x.re * br - x.im * bi;
+        let pi = x.re * bi + x.im * br;
+        s.re += pr;
+        s.im += pi;
+    }
+}
+
+/// Fully split (structure-of-arrays) fused multiply–accumulate, the
+/// four-array VMA kernel of the coefficient-batched CMUX:
+/// `acc_k += a_k · b_k` with every operand in separate `re`/`im`
+/// planes. Each plane is a plain contiguous `f64` slice, so the loop
+/// below autovectorises into packed multiplies and adds with no lane
+/// shuffles — the software shape of the Strix VMA unit's datapath and
+/// of FPT's split-lane layout.
+///
+/// Per-element arithmetic is exactly [`pointwise_mul_add`]'s, so the
+/// accumulated spectra are bit-identical to the interleaved kernel's.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths (programming error —
+/// the buffers come from plans of matching size).
+#[inline]
+pub fn pointwise_mul_add_soa(
+    acc_re: &mut [f64],
+    acc_im: &mut [f64],
+    a_re: &[f64],
+    a_im: &[f64],
+    b_re: &[f64],
+    b_im: &[f64],
+) {
+    let n = acc_re.len();
+    assert_eq!(acc_im.len(), n, "pointwise length mismatch");
+    assert_eq!(a_re.len(), n, "pointwise length mismatch");
+    assert_eq!(a_im.len(), n, "pointwise length mismatch");
+    assert_eq!(b_re.len(), n, "pointwise length mismatch");
+    assert_eq!(b_im.len(), n, "pointwise length mismatch");
+    // Indexed loop over pre-checked equal-length slices: the bounds
+    // checks fold away and the body is four independent packed FMAs'
+    // worth of mul/add work per lane.
+    for j in 0..n {
+        let pr = a_re[j] * b_re[j] - a_im[j] * b_im[j];
+        let pi = a_re[j] * b_im[j] + a_im[j] * b_re[j];
+        acc_re[j] += pr;
+        acc_im[j] += pi;
     }
 }
 

@@ -191,10 +191,12 @@ impl BatchExecutor for TfheExecutor {
 
         // With dimensions pre-validated the batch call cannot fail;
         // an unexpected error still fails only its own requests.
+        // Keyswitching has no job blocking, so it shards with the
+        // plain thread budget, not the block-aware PBS plan.
         if !ks_only_inputs.is_empty() {
             match ksk.keyswitch_batch_parallel(
                 &ks_only_inputs,
-                self.planned_threads(ks_only_inputs.len()),
+                self.threads.min(ks_only_inputs.len()).max(1),
             ) {
                 Ok(switched) => {
                     for (&i, out) in ks_only_slots.iter().zip(switched) {
@@ -234,7 +236,7 @@ impl BatchExecutor for TfheExecutor {
                 // budget: sharded like the blind rotation, bit-identical
                 // to the sequential batch.
                 match ksk
-                    .keyswitch_batch_parallel(&ks_inputs, self.planned_threads(ks_inputs.len()))
+                    .keyswitch_batch_parallel(&ks_inputs, self.threads.min(ks_inputs.len()).max(1))
                 {
                     Ok(switched) => {
                         for (&i, out) in ks_slots.iter().zip(switched) {
@@ -262,7 +264,14 @@ impl BatchExecutor for TfheExecutor {
     }
 
     fn planned_threads(&self, batch_len: usize) -> usize {
-        self.threads.min(batch_len).max(1)
+        // Block-aware sharding: the blocked CMUX amortises each key
+        // row over up to CMUX_JOB_BLOCK accumulators, so a shard
+        // smaller than one block trades that locality for thread
+        // count. Cap the shard count at one block per thread (the
+        // keyswitch tail, which has no blocking, shards with the plain
+        // thread budget instead). Bit-identity holds for any split.
+        let max_useful = batch_len.div_ceil(strix_tfhe::scratch::CMUX_JOB_BLOCK);
+        self.threads.min(max_useful).max(1)
     }
 
     fn max_threads(&self) -> usize {

@@ -37,7 +37,7 @@
 //! back in job order, bit-identical to the sequential
 //! [`BootstrapKey::bootstrap_batch`].
 
-use strix_fft::NegacyclicFft;
+use strix_fft::{pointwise_mul_add_soa, NegacyclicFft};
 
 use crate::decompose::DecompositionParams;
 use crate::ggsw::{FourierGgsw, GgswCiphertext};
@@ -45,10 +45,10 @@ use crate::glwe::{GlweCiphertext, GlweSecretKey};
 use crate::lwe::{LweCiphertext, LweSecretKey};
 use crate::params::TfheParameters;
 use crate::poly::TorusPolynomial;
-use crate::profiler::{PbsStage, StageTimings};
+use crate::profiler::{NoProbe, PbsStage, Probe, StageTimings, TimingProbe};
 use crate::rng::NoiseSampler;
-use crate::scratch::PbsScratch;
-use crate::torus::{encode_fraction, modulus_switch};
+use crate::scratch::{PbsScratch, CMUX_JOB_BLOCK};
+use crate::torus::{encode_fraction, f64_to_torus, modulus_switch};
 use crate::TfheError;
 
 /// A test vector — the GLWE-encoded look-up table consumed by PBS.
@@ -286,38 +286,48 @@ impl BootstrapKey {
         lut: &Lut,
         scratch: &mut PbsScratch,
     ) -> Result<GlweCiphertext, TfheError> {
+        self.blind_rotate_core(ct, lut, scratch, &mut NoProbe)
+    }
+
+    /// The single implementation behind the per-job blind-rotation
+    /// entry points, generic over a [`Probe`]: the production path
+    /// passes [`NoProbe`] (inlines to nothing), the profiled path a
+    /// [`TimingProbe`] — one rotation loop, so instrumented and
+    /// production execution can never drift.
+    fn blind_rotate_core<P: Probe>(
+        &self,
+        ct: &LweCiphertext,
+        lut: &Lut,
+        scratch: &mut PbsScratch,
+        probe: &mut P,
+    ) -> Result<GlweCiphertext, TfheError> {
         self.check_shape(ct, lut)?;
         scratch.check_shape(self.glwe_dimension, self.poly_size, self.decomp.level);
         let log2_two_n = self.poly_size.trailing_zeros() + 1;
-        let b_tilde = modulus_switch(ct.body(), log2_two_n) as usize;
+        let b_tilde =
+            probe.time(PbsStage::ModSwitch, || modulus_switch(ct.body(), log2_two_n)) as usize;
         let mut acc = GlweCiphertext::trivial(self.glwe_dimension, lut.poly().rotate_left(b_tilde));
         for (ggsw, &a) in self.ggsws.iter().zip(ct.mask()) {
-            let a_tilde = modulus_switch(a, log2_two_n) as usize;
+            let a_tilde =
+                probe.time(PbsStage::ModSwitch, || modulus_switch(a, log2_two_n)) as usize;
             if a_tilde == 0 {
                 continue;
             }
-            self.cmux_assign(ggsw, &mut acc, a_tilde, scratch);
+            // CMUX: acc ← acc + ggsw ⊡ (X^ã·acc − acc), allocation-free.
+            let PbsScratch { diff, prod, ep, .. } = scratch;
+            probe.time(PbsStage::Rotate, || {
+                acc.rotate_right_into(a_tilde, diff);
+                diff.sub_assign(&acc).expect("scratch shape is pre-validated");
+            });
+            ggsw.external_product_probed(diff, &self.fft, prod, ep, probe);
+            acc.add_assign(prod).expect("scratch shape is pre-validated");
         }
         Ok(acc)
     }
 
-    /// One CMUX iteration on scratch buffers:
-    /// `acc ← acc + ggsw ⊡ (X^ã·acc − acc)`, allocation-free.
-    fn cmux_assign(
-        &self,
-        ggsw: &FourierGgsw,
-        acc: &mut GlweCiphertext,
-        a_tilde: usize,
-        scratch: &mut PbsScratch,
-    ) {
-        let PbsScratch { diff, prod, ep } = scratch;
-        acc.rotate_right_into(a_tilde, diff);
-        diff.sub_assign(acc).expect("scratch shape is pre-validated");
-        ggsw.external_product_scratch(diff, &self.fft, prod, ep);
-        acc.add_assign(prod).expect("scratch shape is pre-validated");
-    }
-
-    /// Blind rotation with stage timing instrumentation.
+    /// Blind rotation with stage timing instrumentation — the same
+    /// rotation loop as [`Self::blind_rotate_with`], observed through
+    /// a timing probe.
     ///
     /// # Errors
     ///
@@ -328,7 +338,8 @@ impl BootstrapKey {
         lut: &Lut,
         timings: &mut StageTimings,
     ) -> Result<GlweCiphertext, TfheError> {
-        self.blind_rotate_profiled_impl(ct, lut, timings)
+        let mut scratch = self.scratch();
+        self.blind_rotate_core(ct, lut, &mut scratch, &mut TimingProbe(timings))
     }
 
     /// Checks that a `(ciphertext, LUT)` pair matches this key's shape
@@ -355,45 +366,6 @@ impl BootstrapKey {
             });
         }
         Ok(())
-    }
-
-    /// The profiled twin of [`Self::blind_rotate_with`]: same
-    /// arithmetic, with per-stage timers around each unit. Kept
-    /// separate so the hot path carries no timing branches.
-    fn blind_rotate_profiled_impl(
-        &self,
-        ct: &LweCiphertext,
-        lut: &Lut,
-        timings: &mut StageTimings,
-    ) -> Result<GlweCiphertext, TfheError> {
-        self.check_shape(ct, lut)?;
-        let log2_two_n = self.poly_size.trailing_zeros() + 1;
-
-        // Modulus switching of the body, then the initial left rotation
-        // (Algorithm 1 lines 3–4).
-        let t0 = std::time::Instant::now();
-        let b_tilde = modulus_switch(ct.body(), log2_two_n) as usize;
-        timings.add(PbsStage::ModSwitch, t0.elapsed());
-        let mut acc = GlweCiphertext::trivial(self.glwe_dimension, lut.poly().rotate_left(b_tilde));
-
-        // Blind rotation loop (lines 5–12).
-        for (ggsw, &a) in self.ggsws.iter().zip(ct.mask()) {
-            let t0 = std::time::Instant::now();
-            let a_tilde = modulus_switch(a, log2_two_n) as usize;
-            timings.add(PbsStage::ModSwitch, t0.elapsed());
-            if a_tilde == 0 {
-                continue;
-            }
-            // Rotate-and-subtract (rotator unit).
-            let t0 = std::time::Instant::now();
-            let mut diff = acc.rotate_right(a_tilde);
-            diff.sub_assign(&acc)?;
-            timings.add(PbsStage::Rotate, t0.elapsed());
-            // External product (decomposer, FFT, VMA, IFFT, accumulator).
-            let prod = ggsw.external_product_profiled(&diff, &self.fft, timings);
-            acc.add_assign(&prod)?;
-        }
-        Ok(acc)
     }
 
     /// Blind-rotates a whole batch with **key-major iteration order**,
@@ -423,6 +395,18 @@ impl BootstrapKey {
     /// modulus-switched **once, up front**, rather than per key entry
     /// inside the hot loop (epoch-wide hoisting of Algorithm 1 line 5).
     ///
+    /// This is the **coefficient-batched, job-blocked** CMUX path (the
+    /// paper's two batching levels realised together): per key entry,
+    /// accumulators are processed in blocks of
+    /// [`CMUX_JOB_BLOCK`] jobs whose
+    /// digit polynomials go through one batched split-complex forward
+    /// transform each ([`NegacyclicFft::forward_i64_many`]) and whose
+    /// VMA runs **row-major across the block**, so each key row is
+    /// fetched once per block instead of once per job. Outputs are
+    /// bit-identical to the per-job oracle path
+    /// ([`Self::blind_rotate_with`]) — the schedule changes, the
+    /// per-job arithmetic does not.
+    ///
     /// # Errors
     ///
     /// Returns [`TfheError::ParameterMismatch`] on any shape mismatch.
@@ -434,6 +418,18 @@ impl BootstrapKey {
         &self,
         jobs: &[PbsJob<'_>],
         scratch: &mut PbsScratch,
+    ) -> Result<Vec<GlweCiphertext>, TfheError> {
+        self.blind_rotate_batch_core(jobs, scratch, &mut NoProbe)
+    }
+
+    /// The single implementation behind the batched blind rotation,
+    /// generic over a [`Probe`] (production: [`NoProbe`]; the
+    /// per-stage breakdown harness: [`TimingProbe`]).
+    fn blind_rotate_batch_core<P: Probe>(
+        &self,
+        jobs: &[PbsJob<'_>],
+        scratch: &mut PbsScratch,
+        probe: &mut P,
     ) -> Result<Vec<GlweCiphertext>, TfheError> {
         let log2_two_n = self.poly_size.trailing_zeros() + 1;
         for job in jobs {
@@ -453,30 +449,140 @@ impl BootstrapKey {
         // Epoch-wide hoisting: switch every mask element of every job
         // once, up front, instead of re-running `modulus_switch` inside
         // the key-major inner loop (`n · batch` calls per epoch). The
-        // switched values live in `[0, 2N)` so `u32` keeps the table a
-        // quarter the size of the masks it replaces. `modulus_switch`
-        // is a pure rounding shift, so precomputation is bit-identical
-        // to switching in-loop.
+        // table is **entry-major** (`switched[i·batch + j]`), so the
+        // key-major loop below reads each entry's rotation amounts as
+        // one contiguous slice per block. The switched values live in
+        // `[0, 2N)` so `u32` keeps the table a quarter the size of the
+        // masks it replaces. `modulus_switch` is a pure rounding shift,
+        // so precomputation is bit-identical to switching in-loop.
         let n_iter = self.ggsws.len();
-        let mut switched = vec![0u32; jobs.len() * n_iter];
-        for (row, job) in switched.chunks_exact_mut(n_iter).zip(jobs) {
-            for (s, &a) in row.iter_mut().zip(job.ct.mask()) {
-                *s = modulus_switch(a, log2_two_n) as u32;
-            }
-        }
-
-        // Key-major blind rotation: fetch GGSW i once, use it for the
-        // whole batch.
-        for (i, ggsw) in self.ggsws.iter().enumerate() {
-            for (acc, row) in accs.iter_mut().zip(switched.chunks_exact(n_iter)) {
-                let a_tilde = row[i] as usize;
-                if a_tilde == 0 {
-                    continue;
+        let batch = jobs.len();
+        let mut switched = vec![0u32; batch * n_iter];
+        probe.time(PbsStage::ModSwitch, || {
+            for (j, job) in jobs.iter().enumerate() {
+                for (i, &a) in job.ct.mask().iter().enumerate() {
+                    switched[i * batch + j] = modulus_switch(a, log2_two_n) as u32;
                 }
-                self.cmux_assign(ggsw, acc, a_tilde, scratch);
+            }
+        });
+
+        // Key-major, job-blocked blind rotation: fetch GGSW i once,
+        // use it for the whole batch, block by block.
+        for (i, ggsw) in self.ggsws.iter().enumerate() {
+            let amounts = &switched[i * batch..(i + 1) * batch];
+            for (accs_block, amounts_block) in
+                accs.chunks_mut(CMUX_JOB_BLOCK).zip(amounts.chunks(CMUX_JOB_BLOCK))
+            {
+                self.cmux_block(ggsw, accs_block, amounts_block, scratch, probe);
             }
         }
         Ok(accs)
+    }
+
+    /// One blocked CMUX step: applies `ggsw` to every accumulator of
+    /// the block whose rotation amount is non-zero, computing
+    /// `acc ← acc + ggsw ⊡ (X^ã·acc − acc)` for each, bit-identically
+    /// to the per-job path but scheduled for locality:
+    ///
+    /// 1. **Stage** — per job: rotate-and-subtract, gadget-decompose
+    ///    all `k+1` difference polynomials, and run all `(k+1)·l`
+    ///    forward FFTs as one batched split-complex transform.
+    /// 2. **VMA, row-major across the block** — for each of the
+    ///    `(k+1)·l` key rows, multiply–accumulate it against every
+    ///    staged job before the next row streams in, so the row stays
+    ///    in L1 across the block.
+    /// 3. **Drain** — per job: one batched inverse transform of the
+    ///    `k+1` accumulator spectra, fused with the torus conversion
+    ///    and the accumulator update.
+    ///
+    /// Per job, rows are visited in the same order and every
+    /// floating-point/torus operation is the same as in
+    /// [`FourierGgsw::external_product_scratch`] — only the loop
+    /// nesting across *independent* jobs differs, which cannot change
+    /// a bit of any output.
+    fn cmux_block<P: Probe>(
+        &self,
+        ggsw: &FourierGgsw,
+        accs: &mut [GlweCiphertext],
+        amounts: &[u32],
+        scratch: &mut PbsScratch,
+        probe: &mut P,
+    ) {
+        debug_assert_eq!(accs.len(), amounts.len());
+        debug_assert!(accs.len() <= CMUX_JOB_BLOCK);
+        let k = self.glwe_dimension;
+        let n = self.poly_size;
+        let level = self.decomp.level;
+        let PbsScratch { diff, ep, all_digits, digit_batch, acc_batch, time_batch, .. } = scratch;
+
+        // Stage: rotate/subtract, decompose, batched forward FFTs.
+        for ((acc, &amt), digits) in accs.iter().zip(amounts).zip(digit_batch.iter_mut()) {
+            if amt == 0 {
+                continue;
+            }
+            probe.time(PbsStage::Rotate, || {
+                acc.rotate_right_into(amt as usize, diff);
+                diff.sub_assign(acc).expect("scratch shape is pre-validated");
+            });
+            probe.time(PbsStage::Decompose, || {
+                for (j, poly) in diff.polys().enumerate() {
+                    self.decomp.decompose_polynomial_levels(
+                        poly,
+                        &mut all_digits[j * level * n..(j + 1) * level * n],
+                        &mut ep.decomp_state,
+                    );
+                }
+            });
+            probe.time(PbsStage::Fft, || {
+                self.fft
+                    .forward_i64_many(all_digits, digits)
+                    .expect("digit batch matches the fft plan");
+            });
+        }
+
+        // VMA, row-major across the block: key row `r` is loaded once
+        // and applied to every staged job while hot.
+        probe.time(PbsStage::VectorMultiply, || {
+            for spec in
+                acc_batch.iter_mut().zip(amounts).filter(|(_, &amt)| amt != 0).map(|(s, _)| s)
+            {
+                spec.fill_zero();
+            }
+            for r in 0..(k + 1) * level {
+                for (digits, spec) in digit_batch
+                    .iter()
+                    .zip(acc_batch.iter_mut())
+                    .zip(amounts)
+                    .filter(|(_, &amt)| amt != 0)
+                    .map(|(pair, _)| pair)
+                {
+                    let (d_re, d_im) = digits.transform(r);
+                    for col in 0..=k {
+                        let (k_re, k_im) = ggsw.row_col(r, col);
+                        let (a_re, a_im) = spec.transform_mut(col);
+                        pointwise_mul_add_soa(a_re, a_im, d_re, d_im, k_re, k_im);
+                    }
+                }
+            }
+        });
+
+        // Drain: batched inverse, fused torus conversion + accumulate.
+        for ((acc, &amt), spec) in accs.iter_mut().zip(amounts).zip(acc_batch.iter_mut()) {
+            if amt == 0 {
+                continue;
+            }
+            probe.time(PbsStage::IfftAccumulate, || {
+                self.fft
+                    .backward_f64_many(spec, time_batch)
+                    .expect("accumulator batch matches the fft plan");
+                for (col, time) in time_batch.chunks_exact(n).enumerate() {
+                    let poly = acc.poly_mut(col).expect("column within GLWE dimension");
+                    for (o, &v) in poly.coeffs_mut().iter_mut().zip(time) {
+                        *o = o.wrapping_add(f64_to_torus(v));
+                    }
+                }
+            });
+        }
     }
 
     /// Batched programmable bootstrap: [`Self::blind_rotate_batch`]
@@ -488,6 +594,29 @@ impl BootstrapKey {
     /// Returns [`TfheError::ParameterMismatch`] on any shape mismatch.
     pub fn bootstrap_batch(&self, jobs: &[PbsJob<'_>]) -> Result<Vec<LweCiphertext>, TfheError> {
         Ok(self.blind_rotate_batch(jobs)?.iter().map(GlweCiphertext::sample_extract).collect())
+    }
+
+    /// As [`Self::bootstrap_batch`] with per-stage timing
+    /// instrumentation over the **production blocked CMUX path** —
+    /// the same kernel the un-instrumented batch runs, observed
+    /// through a timing probe, so the per-stage breakdown
+    /// (decompose / forward FFT / VMA / inverse FFT) reflects exactly
+    /// what production executes. Used by the `bench_snapshot` harness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TfheError::ParameterMismatch`] on any shape mismatch.
+    pub fn bootstrap_batch_profiled(
+        &self,
+        jobs: &[PbsJob<'_>],
+        timings: &mut StageTimings,
+    ) -> Result<Vec<LweCiphertext>, TfheError> {
+        let mut scratch = self.scratch();
+        let mut probe = TimingProbe(timings);
+        let accs = self.blind_rotate_batch_core(jobs, &mut scratch, &mut probe)?;
+        Ok(probe.time(PbsStage::SampleExtract, || {
+            accs.iter().map(GlweCiphertext::sample_extract).collect()
+        }))
     }
 
     /// Parallel epoch execution: splits `jobs` into `threads`

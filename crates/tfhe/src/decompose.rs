@@ -97,28 +97,26 @@ impl DecompositionParams {
     ///
     /// Panics if `digits.len() != self.level`.
     pub fn decompose_into(&self, a: u64, digits: &mut [i64]) {
-        assert_eq!(digits.len(), self.level, "digit buffer length mismatch");
+        self.decomposer().decompose_into(a, digits);
+    }
+
+    /// Builds the hoisted-constant [`Decomposer`] for these parameters:
+    /// every shift, mask and threshold the per-element decomposition
+    /// needs, derived once instead of on every call. Hot loops
+    /// (keyswitching over `k·N` mask elements, the CMUX's per-polynomial
+    /// decomposition) construct one before the loop and call its
+    /// [`Decomposer::decompose_into`] inside — bit-identical to
+    /// [`Self::decompose_into`], which now delegates to it.
+    #[inline]
+    pub fn decomposer(&self) -> Decomposer {
         let rep_bits = self.represented_bits();
-        let base = 1u64 << self.base_log;
-        let half = base >> 1;
-        // Extraction state: the rounded value, shifted down to an
-        // integer of `rep_bits` bits (extraction step input).
-        let mut state = self.closest_representable(a) >> (TORUS_BITS - rep_bits);
-        if rep_bits < TORUS_BITS {
-            state &= (1u64 << rep_bits) - 1;
-        }
-        // Extract from the least-significant digit (level l) upwards so
-        // carries propagate toward level 1; a carry out of level 1
-        // represents a multiple of q and vanishes on the torus.
-        for lvl in (0..self.level).rev() {
-            let raw = state & (base - 1);
-            state >>= self.base_log;
-            if raw >= half {
-                digits[lvl] = raw as i64 - base as i64;
-                state = state.wrapping_add(1);
-            } else {
-                digits[lvl] = raw as i64;
-            }
+        Decomposer {
+            base_log: self.base_log,
+            level: self.level,
+            drop: TORUS_BITS - rep_bits,
+            state_mask: if rep_bits < TORUS_BITS { (1u64 << rep_bits) - 1 } else { u64::MAX },
+            digit_mask: (1u64 << self.base_log) - 1,
+            half: 1u64 << (self.base_log - 1),
         }
     }
 
@@ -145,8 +143,9 @@ impl DecompositionParams {
         let n = poly.size();
         let mut levels = vec![vec![0i64; n]; self.level];
         let mut digits = vec![0i64; self.level];
+        let dec = self.decomposer();
         for (j, &c) in poly.coeffs().iter().enumerate() {
-            self.decompose_into(c, &mut digits);
+            dec.decompose_into(c, &mut digits);
             for (lvl, &d) in digits.iter().enumerate() {
                 levels[lvl][j] = d;
             }
@@ -172,12 +171,132 @@ impl DecompositionParams {
     ) {
         let n = poly.size();
         assert_eq!(levels.len(), self.level * n, "digit level buffer length mismatch");
+        let dec = self.decomposer();
         for (j, &c) in poly.coeffs().iter().enumerate() {
-            self.decompose_into(c, digits);
+            dec.decompose_into(c, digits);
             for (lvl, &d) in digits.iter().enumerate() {
                 levels[lvl * n + j] = d;
             }
         }
+    }
+
+    /// Level-major polynomial decomposition over a caller-provided
+    /// extraction-state buffer — the lane-parallel form of
+    /// [`Self::decompose_polynomial_into`] used by the CMUX hot path.
+    ///
+    /// Coefficients decompose independently of one another (the carry
+    /// chain runs across *levels*, not coefficients), so interchanging
+    /// the loops — level outer, coefficient inner — turns every pass
+    /// into straight-line u64 slice arithmetic (mask, shift, compare,
+    /// balance) that autovectorises across coefficients, where the
+    /// coefficient-outer form serialises on one word at a time. The
+    /// per-coefficient operations are exactly the same, so the digits
+    /// are **bit-identical** to [`Self::decompose_polynomial_into`]
+    /// (pinned by `flat_polynomial_decomposition_matches_nested`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels.len() != level · N` or `state.len() != N`.
+    pub fn decompose_polynomial_levels(
+        &self,
+        poly: &TorusPolynomial,
+        levels: &mut [i64],
+        state: &mut [u64],
+    ) {
+        let n = poly.size();
+        assert_eq!(levels.len(), self.level * n, "digit level buffer length mismatch");
+        assert_eq!(state.len(), n, "decomposition state buffer length mismatch");
+        let dec = self.decomposer();
+        // Rounding step for every coefficient (one vectorisable pass).
+        if dec.drop == 0 {
+            state.copy_from_slice(poly.coeffs());
+        } else {
+            for (s, &c) in state.iter_mut().zip(poly.coeffs()) {
+                let carry = (c >> (dec.drop - 1)) & 1;
+                *s = ((c >> dec.drop).wrapping_add(carry)) & dec.state_mask;
+            }
+        }
+        // Extraction, least-significant level first, all coefficients
+        // per level: same balance-and-carry arithmetic as the scalar
+        // loop, lane-parallel across the polynomial.
+        for lvl in (0..self.level).rev() {
+            let out = &mut levels[lvl * n..(lvl + 1) * n];
+            for (d, s) in out.iter_mut().zip(state.iter_mut()) {
+                let raw = *s & dec.digit_mask;
+                *s >>= dec.base_log;
+                let balance = u64::from(raw >= dec.half);
+                *d = raw as i64 - ((balance << dec.base_log) as i64);
+                *s = s.wrapping_add(balance);
+            }
+        }
+    }
+}
+
+/// Hoisted-constant signed decomposer: the shifts, masks and balancing
+/// threshold of [`DecompositionParams::decompose_into`] derived once,
+/// so hot loops that decompose thousands of elements per operation
+/// (keyswitching, the CMUX's polynomial decomposition) re-derive
+/// nothing per element. Build with [`DecompositionParams::decomposer`].
+///
+/// Bit-identical to the parameter-level entry points — they delegate
+/// here.
+#[derive(Clone, Copy, Debug)]
+pub struct Decomposer {
+    base_log: u32,
+    level: usize,
+    /// Bits discarded by the rounding step (`64 − base_log·level`).
+    drop: u32,
+    /// Mask keeping the represented bits of the extraction state.
+    state_mask: u64,
+    /// Mask extracting one `base_log`-bit digit.
+    digit_mask: u64,
+    half: u64,
+}
+
+impl Decomposer {
+    /// Decomposes `a` into `level` balanced signed digits,
+    /// most-significant level first — the rounding step (carry from
+    /// the first dropped bit) fused with the shift down to the
+    /// extraction state, then the balanced digit extraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `digits.len()` differs from the level count.
+    #[inline]
+    pub fn decompose_into(&self, a: u64, digits: &mut [i64]) {
+        assert_eq!(digits.len(), self.level, "digit buffer length mismatch");
+        // Rounding step: adding the carry straight onto the shifted
+        // value equals rounding at full width then shifting — the
+        // re-masking folds away the carry out of the represented bits,
+        // exactly as the shift-up/shift-down pair did.
+        let mut state = if self.drop == 0 {
+            a
+        } else {
+            let carry = (a >> (self.drop - 1)) & 1;
+            ((a >> self.drop).wrapping_add(carry)) & self.state_mask
+        };
+        // Extract from the least-significant digit (level l) upwards so
+        // carries propagate toward level 1; a carry out of level 1
+        // represents a multiple of q and vanishes on the torus.
+        //
+        // Branchless balancing: digits of uniform torus values sit
+        // above/below B/2 with equal probability, so a conditional here
+        // mispredicts half the time across the k·N·l digits of every
+        // CMUX/keyswitch — the flag-to-carry form costs two ALU ops
+        // instead and computes exactly the same digits.
+        for d in digits.iter_mut().rev() {
+            let raw = state & self.digit_mask;
+            state >>= self.base_log;
+            let balance = u64::from(raw >= self.half);
+            *d = raw as i64 - (balance << self.base_log) as i64;
+            state = state.wrapping_add(balance);
+        }
+    }
+
+    /// Number of levels this decomposer emits.
+    #[inline]
+    pub fn level(&self) -> usize {
+        self.level
     }
 }
 
@@ -281,6 +400,26 @@ mod tests {
         p.decompose_polynomial_into(&poly, &mut flat, &mut digits);
         for (lvl, level) in nested.iter().enumerate() {
             assert_eq!(&flat[lvl * n..(lvl + 1) * n], level.as_slice());
+        }
+    }
+
+    #[test]
+    fn level_major_decomposition_is_bit_identical_to_coefficient_major() {
+        // Includes a full-width decomposition (drop == 0) and shapes
+        // with long carry chains.
+        for (base_log, level) in [(6u32, 3usize), (10, 2), (7, 3), (16, 4), (2, 16)] {
+            let p = DecompositionParams::new(base_log, level);
+            let n = 64;
+            let coeffs: Vec<u64> =
+                (0..n as u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+            let poly = TorusPolynomial::from_coeffs(coeffs);
+            let mut flat = vec![0i64; level * n];
+            let mut digits = vec![0i64; level];
+            p.decompose_polynomial_into(&poly, &mut flat, &mut digits);
+            let mut lane = vec![0i64; level * n];
+            let mut state = vec![0u64; n];
+            p.decompose_polynomial_levels(&poly, &mut lane, &mut state);
+            assert_eq!(lane, flat, "base_log={base_log} level={level}");
         }
     }
 

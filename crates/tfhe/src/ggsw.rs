@@ -15,12 +15,12 @@
 //! * [`GgswCiphertext::external_product_exact`] — an exact integer path
 //!   used as the correctness oracle in tests.
 
-use strix_fft::{pointwise_mul_add, Complex64, NegacyclicFft};
+use strix_fft::{pointwise_mul_add_key, Complex64, NegacyclicFft, SoaSpectrum};
 
 use crate::decompose::DecompositionParams;
 use crate::glwe::{GlweCiphertext, GlweSecretKey};
 use crate::poly::TorusPolynomial;
-use crate::profiler::{PbsStage, StageTimings};
+use crate::profiler::{NoProbe, PbsStage, Probe, StageTimings, TimingProbe};
 use crate::rng::NoiseSampler;
 use crate::scratch::ExternalProductScratch;
 use crate::torus::{f64_to_torus, torus_to_f64_signed};
@@ -129,30 +129,33 @@ impl GgswCiphertext {
     /// Converts to the Fourier domain for use in blind rotation. The
     /// resulting spectra are in `fft`'s digit-reversed slot order —
     /// globally consistent with every other spectrum produced under
-    /// the same plan, which is the only way they are ever consumed.
+    /// the same plan, which is the only way they are ever consumed —
+    /// and are stored **split** (structure-of-arrays): one real plane
+    /// and one imaginary plane per `(row, column)` polynomial, the
+    /// layout the SIMD-friendly VMA kernels stream. The plane values
+    /// are bit-for-bit the transform outputs, so both the split and
+    /// the interleaved CMUX paths consume the same key bits.
     ///
     /// # Panics
     ///
     /// Panics if `fft.poly_size()` differs from the ciphertext's.
     pub fn to_fourier(&self, fft: &NegacyclicFft) -> FourierGgsw {
         let k = self.glwe_dimension;
-        let rows = self
-            .rows
-            .iter()
-            .map(|row| {
-                row.polys()
-                    .map(|poly| {
-                        let signed: Vec<f64> =
-                            poly.coeffs().iter().map(|&c| torus_to_f64_signed(c)).collect();
-                        let mut spec = vec![Complex64::ZERO; fft.fourier_size()];
-                        fft.forward_f64(&signed, &mut spec)
-                            .expect("ggsw polynomial size must match the fft plan");
-                        spec
-                    })
-                    .collect()
-            })
-            .collect();
-        FourierGgsw { rows, decomp: self.decomp, glwe_dimension: k }
+        let half = fft.fourier_size();
+        let mut spectra = SoaSpectrum::new(self.rows.len() * (k + 1), half);
+        let mut spec = vec![Complex64::ZERO; half];
+        let mut signed = vec![0.0f64; fft.poly_size()];
+        for (r, row) in self.rows.iter().enumerate() {
+            for (col, poly) in row.polys().enumerate() {
+                for (s, &c) in signed.iter_mut().zip(poly.coeffs()) {
+                    *s = torus_to_f64_signed(c);
+                }
+                fft.forward_f64(&signed, &mut spec)
+                    .expect("ggsw polynomial size must match the fft plan");
+                spectra.store(r * (k + 1) + col, &spec);
+            }
+        }
+        FourierGgsw { spectra, decomp: self.decomp, glwe_dimension: k }
     }
 }
 
@@ -167,10 +170,18 @@ impl GgswCiphertext {
 /// decomposed digits, so the VMA's pointwise multiply lines up slot
 /// for slot and no spectrum is ever reordered. A `FourierGgsw` is only
 /// meaningful together with the plan that created it.
+///
+/// Storage is **split-complex** ([`SoaSpectrum`]): all `(k+1)·l·(k+1)`
+/// polynomials live in two contiguous `f64` planes (real, imaginary),
+/// row-major then column. This is the layout the blocked CMUX's
+/// four-array VMA streams directly; the interleaved oracle path reads
+/// the same planes through [`pointwise_mul_add_key`], so both paths
+/// consume identical key bits.
 #[derive(Clone, Debug)]
 pub struct FourierGgsw {
-    /// `rows[(k+1)·l]`, each holding `k+1` Fourier polynomials.
-    rows: Vec<Vec<Vec<Complex64>>>,
+    /// Transform `row·(k+1) + col` holds the spectrum of row `row`
+    /// (row-major `(j, lvl)` order), column `col`.
+    spectra: SoaSpectrum,
     decomp: DecompositionParams,
     glwe_dimension: usize,
 }
@@ -182,25 +193,49 @@ impl FourierGgsw {
         self.decomp
     }
 
+    /// Number of GLWE rows (`(k+1)·l`).
+    #[inline]
+    pub fn row_count(&self) -> usize {
+        self.spectra.count() / (self.glwe_dimension + 1)
+    }
+
+    /// The split `(re, im)` planes of the `(row, col)` polynomial's
+    /// spectrum — the unit of key streaming in the CMUX VMA loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row`/`col` are out of range.
+    #[inline]
+    pub(crate) fn row_col(&self, row: usize, col: usize) -> (&[f64], &[f64]) {
+        assert!(col <= self.glwe_dimension, "ggsw column out of range");
+        self.spectra.transform(row * (self.glwe_dimension + 1) + col)
+    }
+
     /// Number of bytes this key entry occupies (the per-iteration HBM
     /// traffic of one blind-rotation step).
     pub fn byte_size(&self) -> usize {
-        self.rows.iter().flat_map(|row| row.iter()).map(|poly| poly.len() * 16).sum()
+        self.spectra.byte_size()
     }
 
-    /// External product via the FFT (the production path):
-    /// `self ⊡ glwe ≈ GLWE(m · phase(glwe))`.
+    /// External product via the FFT (the interleaved per-job path):
+    /// `self ⊡ glwe ≈ GLWE(m · phase(glwe))`. Allocates its own
+    /// scratch; loops should use [`Self::external_product_scratch`].
     ///
     /// # Panics
     ///
     /// Panics if shapes mismatch (the bootstrap key constructor
     /// guarantees compatibility).
     pub fn external_product(&self, glwe: &GlweCiphertext, fft: &NegacyclicFft) -> GlweCiphertext {
-        self.external_product_impl(glwe, fft, None)
+        let mut scratch =
+            ExternalProductScratch::new(self.glwe_dimension, glwe.poly_size(), self.decomp);
+        let mut out = GlweCiphertext::zero(self.glwe_dimension, glwe.poly_size());
+        self.external_product_scratch(glwe, fft, &mut out, &mut scratch);
+        out
     }
 
     /// External product with per-stage timing instrumentation, used by
-    /// the Figure-1 workload-breakdown harness.
+    /// the Figure-1 workload-breakdown harness. Same implementation as
+    /// the production path, observed through a timing probe.
     ///
     /// # Panics
     ///
@@ -211,12 +246,18 @@ impl FourierGgsw {
         fft: &NegacyclicFft,
         timings: &mut StageTimings,
     ) -> GlweCiphertext {
-        self.external_product_impl(glwe, fft, Some(timings))
+        let mut scratch =
+            ExternalProductScratch::new(self.glwe_dimension, glwe.poly_size(), self.decomp);
+        let mut out = GlweCiphertext::zero(self.glwe_dimension, glwe.poly_size());
+        self.external_product_probed(glwe, fft, &mut out, &mut scratch, &mut TimingProbe(timings));
+        out
     }
 
     /// Allocation-free external product writing into `out` using
-    /// caller-provided scratch — the hot-path form driven by the
-    /// scratch-based blind rotation. Bit-identical to
+    /// caller-provided scratch — the per-job oracle form driven by the
+    /// scratch-based single blind rotation (the blocked batch path
+    /// re-schedules the same arithmetic across jobs; this one is the
+    /// bit-identity reference). Bit-identical to
     /// [`Self::external_product`]: same decompositions, same transform
     /// and multiply order, same rounding.
     ///
@@ -232,6 +273,20 @@ impl FourierGgsw {
         out: &mut GlweCiphertext,
         scratch: &mut ExternalProductScratch,
     ) {
+        self.external_product_probed(glwe, fft, out, scratch, &mut NoProbe);
+    }
+
+    /// The single implementation behind every per-job external-product
+    /// entry point, generic over a [`Probe`] so the profiled and
+    /// production paths cannot drift.
+    pub(crate) fn external_product_probed<P: Probe>(
+        &self,
+        glwe: &GlweCiphertext,
+        fft: &NegacyclicFft,
+        out: &mut GlweCiphertext,
+        scratch: &mut ExternalProductScratch,
+        probe: &mut P,
+    ) {
         let k = self.glwe_dimension;
         assert_eq!(glwe.dimension(), k, "glwe dimension mismatch");
         assert_eq!(out.dimension(), k, "output glwe dimension mismatch");
@@ -245,86 +300,39 @@ impl FourierGgsw {
         scratch.fourier_acc.fill(Complex64::ZERO);
         let mut row_idx = 0;
         for poly in glwe.polys() {
-            self.decomp.decompose_polynomial_into(
-                poly,
-                &mut scratch.digit_levels,
-                &mut scratch.digits,
-            );
+            probe.time(PbsStage::Decompose, || {
+                self.decomp.decompose_polynomial_levels(
+                    poly,
+                    &mut scratch.digit_levels,
+                    &mut scratch.decomp_state,
+                );
+            });
             for lvl in 0..level {
-                let digits = &scratch.digit_levels[lvl * n..(lvl + 1) * n];
-                fft.forward_i64(digits, &mut scratch.digit_spec)
-                    .expect("digit polynomial matches fft plan");
-                let row = &self.rows[row_idx];
-                for (acc_col, key_col) in scratch.fourier_acc.chunks_mut(half).zip(row.iter()) {
-                    pointwise_mul_add(acc_col, &scratch.digit_spec, key_col);
-                }
+                probe.time(PbsStage::Fft, || {
+                    let digits = &scratch.digit_levels[lvl * n..(lvl + 1) * n];
+                    fft.forward_i64(digits, &mut scratch.digit_spec)
+                        .expect("digit polynomial matches fft plan");
+                });
+                probe.time(PbsStage::VectorMultiply, || {
+                    for (col, acc_col) in scratch.fourier_acc.chunks_mut(half).enumerate() {
+                        let (key_re, key_im) = self.row_col(row_idx, col);
+                        pointwise_mul_add_key(acc_col, &scratch.digit_spec, key_re, key_im);
+                    }
+                });
                 row_idx += 1;
             }
         }
 
-        for (col, spec) in scratch.fourier_acc.chunks_mut(half).enumerate() {
-            fft.backward_f64(spec, &mut scratch.time_domain).expect("accumulator matches fft plan");
-            let poly = out.poly_mut(col).expect("column within GLWE dimension");
-            for (o, &v) in poly.coeffs_mut().iter_mut().zip(&scratch.time_domain) {
-                *o = f64_to_torus(v);
-            }
-        }
-    }
-
-    fn external_product_impl(
-        &self,
-        glwe: &GlweCiphertext,
-        fft: &NegacyclicFft,
-        mut timings: Option<&mut StageTimings>,
-    ) -> GlweCiphertext {
-        let k = self.glwe_dimension;
-        assert_eq!(glwe.dimension(), k, "glwe dimension mismatch");
-        let n = glwe.poly_size();
-        assert_eq!(fft.poly_size(), n, "fft plan size mismatch");
-        let half = fft.fourier_size();
-
-        let mut acc = vec![vec![Complex64::ZERO; half]; k + 1];
-        let mut digit_spec = vec![Complex64::ZERO; half];
-        let mut row_idx = 0;
-        for poly in glwe.polys() {
-            let t0 = std::time::Instant::now();
-            let levels = self.decomp.decompose_polynomial(poly);
-            if let Some(t) = timings.as_deref_mut() {
-                t.add(PbsStage::Decompose, t0.elapsed());
-            }
-            for digits in levels.iter() {
-                let t0 = std::time::Instant::now();
-                fft.forward_i64(digits, &mut digit_spec)
-                    .expect("digit polynomial matches fft plan");
-                if let Some(t) = timings.as_deref_mut() {
-                    t.add(PbsStage::Fft, t0.elapsed());
+        probe.time(PbsStage::IfftAccumulate, || {
+            for (col, spec) in scratch.fourier_acc.chunks_mut(half).enumerate() {
+                fft.backward_f64(spec, &mut scratch.time_domain)
+                    .expect("accumulator matches fft plan");
+                let poly = out.poly_mut(col).expect("column within GLWE dimension");
+                for (o, &v) in poly.coeffs_mut().iter_mut().zip(&scratch.time_domain) {
+                    *o = f64_to_torus(v);
                 }
-                let t0 = std::time::Instant::now();
-                let row = &self.rows[row_idx];
-                for (acc_col, key_col) in acc.iter_mut().zip(row.iter()) {
-                    pointwise_mul_add(acc_col, &digit_spec, key_col);
-                }
-                if let Some(t) = timings.as_deref_mut() {
-                    t.add(PbsStage::VectorMultiply, t0.elapsed());
-                }
-                row_idx += 1;
             }
-        }
-
-        let t0 = std::time::Instant::now();
-        let mut out = GlweCiphertext::zero(k, n);
-        let mut time_domain = vec![0.0f64; n];
-        for (col, spec) in acc.iter_mut().enumerate() {
-            fft.backward_f64(spec, &mut time_domain).expect("accumulator matches fft plan");
-            let poly = out.poly_mut(col).expect("column within GLWE dimension");
-            for (o, &v) in poly.coeffs_mut().iter_mut().zip(&time_domain) {
-                *o = f64_to_torus(v);
-            }
-        }
-        if let Some(t) = timings {
-            t.add(PbsStage::IfftAccumulate, t0.elapsed());
-        }
-        out
+        });
     }
 }
 

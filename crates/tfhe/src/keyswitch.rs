@@ -197,15 +197,22 @@ impl KeySwitchKey {
             });
         }
         let t0 = std::time::Instant::now();
+        // Hoisted out of the k·N-element mask loop: the decomposition's
+        // shift/mask constants (one `Decomposer` for the whole
+        // ciphertext — and, via `keyswitch_batch`, the whole batch)
+        // and the level stride into the key rows. The digit buffer is
+        // caller-provided and fully overwritten per element, so it is
+        // never re-zeroed.
+        let decomposer = self.decomp.decomposer();
+        let level = self.decomp.level;
         // o = (0, …, 0, b) − Σ_j Σ_lvl d_{j,lvl} · ksk[j][lvl]
         let mut out = LweCiphertext::trivial(self.output_dimension, ct.body());
-        for (j, &a) in ct.mask().iter().enumerate() {
-            self.decomp.decompose_into(a, digits);
-            for (lvl, &d) in digits.iter().enumerate() {
+        for (rows_j, &a) in self.rows.chunks_exact(level).zip(ct.mask()) {
+            decomposer.decompose_into(a, digits);
+            for (&d, row) in digits.iter().zip(rows_j) {
                 if d == 0 {
                     continue;
                 }
-                let row = &self.rows[j * self.decomp.level + lvl];
                 // Fused multiply-subtract over the row (the keyswitch
                 // cluster's VMA lane).
                 let d = d as u64;

@@ -146,6 +146,44 @@ fn nanos_to_duration(n: u128) -> Duration {
     Duration::from_nanos(u64::try_from(n).unwrap_or(u64::MAX))
 }
 
+/// A zero-cost instrumentation point for the PBS execution paths.
+///
+/// The blind rotation and the external product are each implemented
+/// **once**, generic over a probe; the production entry points pass
+/// [`NoProbe`] (every `time` call inlines to a plain closure call, so
+/// the hot loop carries no timing branches) and the profiled entry
+/// points pass [`TimingProbe`], which wraps each region in an
+/// [`std::time::Instant`] pair and accumulates into [`StageTimings`].
+/// One implementation means the profiled numbers can never drift from
+/// what the production kernel actually executes.
+pub(crate) trait Probe {
+    /// Runs `f`, attributing its wall time to `stage` (or not at all).
+    fn time<R>(&mut self, stage: PbsStage, f: impl FnOnce() -> R) -> R;
+}
+
+/// The production probe: measures nothing, compiles to nothing.
+pub(crate) struct NoProbe;
+
+impl Probe for NoProbe {
+    #[inline(always)]
+    fn time<R>(&mut self, _stage: PbsStage, f: impl FnOnce() -> R) -> R {
+        f()
+    }
+}
+
+/// The profiling probe: accumulates per-stage wall time.
+pub(crate) struct TimingProbe<'a>(pub &'a mut StageTimings);
+
+impl Probe for TimingProbe<'_> {
+    #[inline]
+    fn time<R>(&mut self, stage: PbsStage, f: impl FnOnce() -> R) -> R {
+        let t0 = std::time::Instant::now();
+        let r = f();
+        self.0.add(stage, t0.elapsed());
+        r
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

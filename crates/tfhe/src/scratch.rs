@@ -8,30 +8,50 @@
 //! zero heap traffic afterwards. Every CMUX iteration of
 //! [`crate::bootstrap::BootstrapKey`] then reuses
 //!
-//! * a digit buffer and a level-major digit-polynomial buffer for the
-//!   gadget decomposition (decomposer unit),
+//! * an extraction-state buffer and a level-major digit-polynomial
+//!   buffer for the lane-parallel gadget decomposition (decomposer
+//!   unit),
 //! * one Fourier spectrum for the transformed digits and `k+1` fused
 //!   accumulator spectra (FFT + VMA units),
 //! * a time-domain buffer for the inverse transform (IFFT unit),
 //! * two GLWE-shaped buffers for the rotate-and-subtract difference and
-//!   the external-product output (rotator + accumulator units).
+//!   the external-product output (rotator + accumulator units),
+//! * the blocked-CMUX staging set: per-job split-complex digit and
+//!   accumulator spectra for one block of [`CMUX_JOB_BLOCK`] jobs plus
+//!   a packed digit buffer and a batched inverse-transform buffer.
 //!
 //! Scratch is deliberately **not** shared between threads: a parallel
 //! epoch ([`crate::bootstrap::BootstrapKey::bootstrap_batch_parallel`])
 //! gives each worker its own `PbsScratch` while all workers share one
 //! `&BootstrapKey`.
 
-use strix_fft::Complex64;
+use strix_fft::{Complex64, SoaSpectrum};
 
 use crate::decompose::DecompositionParams;
 use crate::glwe::GlweCiphertext;
+
+/// Number of accumulators the blocked CMUX processes per bootstrapping
+/// key entry before moving to the next block (the job-blocking factor
+/// of the batched blind rotation).
+///
+/// Rationale: within a block, the VMA loop is **row-major** — one
+/// `(k+1)·N/2`-point key row is loaded and applied to every job in the
+/// block before the next row streams in, so the row stays in L1 across
+/// `CMUX_JOB_BLOCK` uses instead of being re-fetched per job. The
+/// block size bounds the staging footprint (each job stages
+/// `(k+1)·l + (k+1)` split spectra); 4 keeps that under ~256 KiB at
+/// the paper's set-II/III shapes — resident in L2 — while already
+/// amortising the key stream 4×. Results are bit-identical for every
+/// block size, so this is purely a locality knob.
+pub const CMUX_JOB_BLOCK: usize = 4;
 
 /// Scratch for one FFT-path external product (decompose → FFT → VMA →
 /// IFFT), owned by exactly one thread.
 #[derive(Clone, Debug)]
 pub struct ExternalProductScratch {
-    /// Per-coefficient digit buffer (`l` digits).
-    pub(crate) digits: Vec<i64>,
+    /// Lane-parallel decomposition state (`N` extraction words) for
+    /// the level-major decomposition pass.
+    pub(crate) decomp_state: Vec<u64>,
     /// Level-major decomposed digit polynomials (`l · N`).
     pub(crate) digit_levels: Vec<i64>,
     /// Spectrum of the current digit polynomial (`N/2`), in the
@@ -52,7 +72,7 @@ impl ExternalProductScratch {
     pub fn new(glwe_dimension: usize, poly_size: usize, decomp: DecompositionParams) -> Self {
         let half = poly_size / 2;
         Self {
-            digits: vec![0i64; decomp.level],
+            decomp_state: vec![0u64; poly_size],
             digit_levels: vec![0i64; decomp.level * poly_size],
             digit_spec: vec![Complex64::ZERO; half],
             fourier_acc: vec![Complex64::ZERO; (glwe_dimension + 1) * half],
@@ -94,15 +114,38 @@ pub struct PbsScratch {
     pub(crate) prod: GlweCiphertext,
     /// Scratch for the external product itself.
     pub(crate) ep: ExternalProductScratch,
+    /// One job's full digit decomposition, poly-major then level-major
+    /// within each polynomial (`(k+1)·l · N` digits) — the packed
+    /// input of the batched forward transform.
+    pub(crate) all_digits: Vec<i64>,
+    /// Per-job split digit spectra for one block:
+    /// [`CMUX_JOB_BLOCK`] batches of `(k+1)·l` transforms of `N/2`
+    /// points (the FFT-unit output staging of the blocked CMUX).
+    pub(crate) digit_batch: Vec<SoaSpectrum>,
+    /// Per-job split accumulator spectra for one block:
+    /// [`CMUX_JOB_BLOCK`] batches of `k+1` transforms of `N/2` points
+    /// (the VMA accumulation staging).
+    pub(crate) acc_batch: Vec<SoaSpectrum>,
+    /// Batched inverse-transform output (`(k+1) · N` reals), reused by
+    /// every job of every block.
+    pub(crate) time_batch: Vec<f64>,
 }
 
 impl PbsScratch {
     /// Allocates scratch for bootstraps of shape `(k, N, l)`.
     pub fn new(glwe_dimension: usize, poly_size: usize, decomp: DecompositionParams) -> Self {
+        let half = poly_size / 2;
+        let cols = glwe_dimension + 1;
         Self {
             diff: GlweCiphertext::zero(glwe_dimension, poly_size),
             prod: GlweCiphertext::zero(glwe_dimension, poly_size),
             ep: ExternalProductScratch::new(glwe_dimension, poly_size, decomp),
+            all_digits: vec![0i64; cols * decomp.level * poly_size],
+            digit_batch: (0..CMUX_JOB_BLOCK)
+                .map(|_| SoaSpectrum::new(cols * decomp.level, half))
+                .collect(),
+            acc_batch: (0..CMUX_JOB_BLOCK).map(|_| SoaSpectrum::new(cols, half)).collect(),
+            time_batch: vec![0.0f64; cols * poly_size],
         }
     }
 
@@ -127,13 +170,22 @@ mod tests {
     fn buffers_are_sized_to_the_shape() {
         let decomp = DecompositionParams::new(8, 3);
         let s = PbsScratch::new(2, 64, decomp);
-        assert_eq!(s.ep.digits.len(), 3);
+        assert_eq!(s.ep.decomp_state.len(), 64);
         assert_eq!(s.ep.digit_levels.len(), 3 * 64);
         assert_eq!(s.ep.digit_spec.len(), 32);
         assert_eq!(s.ep.fourier_acc.len(), 3 * 32);
         assert_eq!(s.ep.time_domain.len(), 64);
         assert_eq!(s.diff.dimension(), 2);
         assert_eq!(s.prod.poly_size(), 64);
+        // Blocked-CMUX staging: one digit buffer per job of a block,
+        // (k+1)·l transforms each, plus k+1 accumulator spectra.
+        assert_eq!(s.all_digits.len(), 3 * 3 * 64);
+        assert_eq!(s.digit_batch.len(), CMUX_JOB_BLOCK);
+        assert_eq!(s.digit_batch[0].count(), 3 * 3);
+        assert_eq!(s.digit_batch[0].transform_len(), 32);
+        assert_eq!(s.acc_batch.len(), CMUX_JOB_BLOCK);
+        assert_eq!(s.acc_batch[0].count(), 3);
+        assert_eq!(s.time_batch.len(), 3 * 64);
         s.check_shape(2, 64, 3);
     }
 
