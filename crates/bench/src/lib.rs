@@ -9,8 +9,185 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use serde::{Deserialize, Serialize, Value};
 use strix_core::PbsReport;
 use strix_runtime::RuntimeReport;
+
+/// Schema tag written into (and expected from) `BENCH_service.json`.
+pub const SERVICE_SCHEMA: &str = "strix-bench-service-v1";
+
+/// The committed closed-loop SLO snapshot (`BENCH_service.json`):
+/// p50/p99 latency and achieved throughput at a sweep of offered loads
+/// through the full streaming runtime, bracketing the saturation knee.
+///
+/// Written by `cargo run --release -p strix-bench --bin bench_service`,
+/// parsed back by the same binary for the warn-only `--baseline`
+/// comparison and by the schema round-trip tests, so the file format
+/// is pinned by these derives rather than by hand-maintained format
+/// strings.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ServiceBenchReport {
+    /// Always [`SERVICE_SCHEMA`]; bumped when the shape changes.
+    pub schema: String,
+    /// Seconds since the Unix epoch at measurement time.
+    pub unix_time: u64,
+    /// Short git commit hash the numbers were measured at.
+    pub git_commit: String,
+    /// Parameter set and runtime shape the sweep ran with.
+    pub config: ServiceBenchConfig,
+    /// Fixed-backlog capacity of the runtime (PBS/s with every epoch
+    /// full), measured before the sweep and used to place the load
+    /// points around the knee.
+    pub capacity_pbs_per_s: f64,
+    /// Throughput cost of tracing + stage sampling at their default
+    /// settings, in percent of untraced capacity (negative values are
+    /// measurement noise).
+    pub trace_overhead_percent: f64,
+    /// The saturation knee: the largest achieved PBS/s over the sweep.
+    pub knee_pbs_per_s: f64,
+    /// One entry per offered-load point, in sweep order.
+    pub points: Vec<ServiceLoadPoint>,
+}
+
+/// The runtime/parameter shape a [`ServiceBenchReport`] was measured
+/// with; baselines are only comparable when these match.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ServiceBenchConfig {
+    /// Parameter-set name (`set_ii`, `testing_fast`, …).
+    pub params: String,
+    /// LWE dimension `n`.
+    pub lwe_dimension: usize,
+    /// Polynomial size `N`.
+    pub polynomial_size: usize,
+    /// TvLP factor of the epoch geometry.
+    pub tvlp: usize,
+    /// Core batch factor of the epoch geometry.
+    pub core_batch: usize,
+    /// Worker threads executing epochs.
+    pub workers: usize,
+    /// Intra-epoch PBS threads per worker.
+    pub threads_per_worker: usize,
+    /// Concurrent open-loop client streams.
+    pub clients: usize,
+    /// Batcher deadline, in milliseconds.
+    pub max_delay_ms: f64,
+    /// Stage-profiling period (every Nth epoch; 0 = off).
+    pub profile_every: u64,
+}
+
+/// One offered-load point of the SLO sweep.
+///
+/// Latencies are measured from each request's *scheduled* arrival
+/// time, not from when `submit` returned — past the knee the schedule
+/// slips and queue-blocked submits dominate, and charging that wait to
+/// the request is exactly what makes the p99 curve bend instead of
+/// flattening (the coordinated-omission trap).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ServiceLoadPoint {
+    /// Offered load, in PBS/s across all clients.
+    pub offered_pbs_per_s: f64,
+    /// Length of the arrival schedule, in seconds.
+    pub duration_s: f64,
+    /// Requests submitted.
+    pub requests: usize,
+    /// Requests completed successfully.
+    pub completed: usize,
+    /// Requests that returned an error.
+    pub failed: usize,
+    /// Completed PBS per second of runtime wall clock.
+    pub achieved_pbs_per_s: f64,
+    /// Median latency from scheduled arrival, milliseconds.
+    pub p50_ms: f64,
+    /// 90th-percentile latency, milliseconds.
+    pub p90_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// Worst observed latency, milliseconds.
+    pub max_ms: f64,
+    /// Mean epoch occupancy (fraction of slots filled at flush).
+    pub mean_occupancy: f64,
+    /// Deepest the ingress queue got during the point.
+    pub queue_high_water: usize,
+    /// Mean schedule slip, milliseconds: how far behind its Poisson
+    /// arrival time the average submit ran because backpressure
+    /// blocked the client — the coordinated-omission debt the latency
+    /// percentiles already include.
+    pub mean_slip_ms: f64,
+    /// Whether this point ran past the knee: achieved throughput fell
+    /// measurably short of offered *and* the arrival schedule slipped
+    /// (so the shortfall is the runtime's pace, not idle lead-in).
+    pub saturated: bool,
+}
+
+/// Renders a [`Value`] as indented JSON (two-space indent), matching
+/// the compact writer's escaping and float formatting byte for byte —
+/// `serde_json::from_str` of the output parses to the same value. The
+/// vendored `serde_json` only writes compact JSON; committed snapshot
+/// files go through this so they diff readably across PRs.
+pub fn pretty_json(value: &Value) -> String {
+    let mut out = String::new();
+    write_pretty(value, 0, &mut out);
+    out.push('\n');
+    out
+}
+
+fn write_pretty(value: &Value, depth: usize, out: &mut String) {
+    match value {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(depth + 1, out);
+                write_pretty(item, depth + 1, out);
+            }
+            out.push('\n');
+            push_indent(depth, out);
+            out.push(']');
+        }
+        Value::Object(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(depth + 1, out);
+                out.push_str(&serde_json::to_string(key).expect("strings always serialize"));
+                out.push_str(": ");
+                write_pretty(item, depth + 1, out);
+            }
+            out.push('\n');
+            push_indent(depth, out);
+            out.push('}');
+        }
+        // Scalars and empty containers: defer to the compact writer so
+        // escaping and float formatting stay identical.
+        leaf => {
+            out.push_str(&leaf_to_string(leaf));
+        }
+    }
+}
+
+fn push_indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn leaf_to_string(v: &Value) -> String {
+    match v {
+        Value::Null => "null".into(),
+        Value::Bool(b) => b.to_string(),
+        Value::U64(u) => u.to_string(),
+        Value::I64(i) => i.to_string(),
+        Value::F64(x) if x.is_finite() => format!("{x:?}"),
+        Value::F64(_) => "null".into(),
+        Value::Str(s) => serde_json::to_string(s).expect("strings always serialize"),
+        Value::Array(_) => "[]".into(),
+        Value::Object(_) => "{}".into(),
+    }
+}
 
 /// Formats a markdown table from a header and rows.
 pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
@@ -105,6 +282,92 @@ mod tests {
     #[test]
     fn banner_contains_title() {
         assert!(banner("Table V").contains("Table V"));
+    }
+
+    fn sample_service_report() -> ServiceBenchReport {
+        ServiceBenchReport {
+            schema: SERVICE_SCHEMA.into(),
+            unix_time: 1_754_000_000,
+            git_commit: "abc1234".into(),
+            config: ServiceBenchConfig {
+                params: "set_ii".into(),
+                lwe_dimension: 742,
+                polynomial_size: 2048,
+                tvlp: 2,
+                core_batch: 4,
+                workers: 1,
+                threads_per_worker: 1,
+                clients: 8,
+                max_delay_ms: 40.0,
+                profile_every: 16,
+            },
+            capacity_pbs_per_s: 37.25,
+            trace_overhead_percent: 0.4,
+            knee_pbs_per_s: 36.9,
+            points: vec![ServiceLoadPoint {
+                offered_pbs_per_s: 14.9,
+                duration_s: 4.0,
+                requests: 60,
+                completed: 60,
+                failed: 0,
+                achieved_pbs_per_s: 14.7,
+                p50_ms: 151.25,
+                p90_ms: 230.0,
+                p99_ms: 280.5,
+                max_ms: 301.0,
+                mean_occupancy: 0.52,
+                queue_high_water: 9,
+                mean_slip_ms: 0.08,
+                saturated: false,
+            }],
+        }
+    }
+
+    #[test]
+    fn service_report_round_trips_through_pretty_json() {
+        let report = sample_service_report();
+        let pretty = pretty_json(&serde_json::to_value(&report));
+        let parsed: ServiceBenchReport =
+            serde_json::from_str(&pretty).expect("pretty output parses");
+        assert_eq!(parsed, report);
+        // And through the compact writer, for good measure.
+        let compact = serde_json::to_string(&report).unwrap();
+        let parsed: ServiceBenchReport = serde_json::from_str(&compact).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn pretty_json_matches_compact_semantics() {
+        let report = sample_service_report();
+        let pretty = pretty_json(&serde_json::to_value(&report));
+        let reparsed: ServiceBenchReport = serde_json::from_str(&pretty).expect("valid JSON");
+        assert_eq!(
+            serde_json::to_string(&reparsed).unwrap(),
+            serde_json::to_string(&report).unwrap(),
+            "pretty form must carry exactly the compact form's data"
+        );
+        // Indentation actually happened (the point of the pretty form),
+        // and floats keep their shortest round-trip spelling.
+        assert!(pretty.contains("\n  \"schema\": "));
+        assert!(pretty.contains("\"p50_ms\": 151.25"));
+    }
+
+    #[test]
+    fn committed_service_snapshot_parses_against_the_current_schema() {
+        // The schema structs and the committed BENCH_service.json must
+        // move together: a field rename that orphans the committed
+        // baseline fails here, in CI, not at the next manual sweep.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
+        let text = std::fs::read_to_string(path).expect("committed BENCH_service.json exists");
+        let report: ServiceBenchReport =
+            serde_json::from_str(&text).expect("committed snapshot matches schema");
+        assert_eq!(report.schema, SERVICE_SCHEMA);
+        assert!(report.points.len() >= 4, "sweep must bracket the knee");
+        assert!(
+            report.points.iter().any(|p| p.saturated),
+            "at least one point past the saturation knee"
+        );
+        assert!(report.capacity_pbs_per_s > 0.0);
     }
 
     #[test]

@@ -26,22 +26,55 @@ use crate::metrics::MetricsSink;
 use crate::policy::FlushPolicy;
 use crate::queue::{BoundedQueue, PopError};
 use crate::request::{Epoch, Request};
+use crate::trace::{TraceStage, Tracer};
 
 pub(crate) fn run(
     ingress: Arc<BoundedQueue<Request>>,
     epochs: Arc<BoundedQueue<Epoch>>,
     policy: FlushPolicy,
     metrics: Arc<MetricsSink>,
+    tracer: Arc<Tracer>,
 ) {
     let mut open: Vec<Request> = Vec::with_capacity(policy.max_epoch);
     let mut next_epoch = 0u64;
+
+    // Entry into the open batch stamps `batched_at` (closing the
+    // ingress queue-wait interval) on the request itself, so latency
+    // attribution works even with tracing disabled or sampled out.
+    let admit = |open: &mut Vec<Request>, mut request: Request| {
+        let now = Instant::now();
+        request.batched_at = Some(now);
+        tracer.record_at(
+            request.span,
+            request.client,
+            request.seq,
+            None,
+            TraceStage::BatchOpened,
+            now,
+        );
+        open.push(request);
+    };
 
     let flush = |open: &mut Vec<Request>, next_epoch: &mut u64| {
         if open.is_empty() {
             return;
         }
         metrics.record_epoch(open.len(), policy.max_epoch);
-        let epoch = Epoch { id: *next_epoch, requests: std::mem::take(open) };
+        metrics.record_queue_depth(ingress.len());
+        let now = Instant::now();
+        let id = *next_epoch;
+        for request in open.iter_mut() {
+            request.flushed_at = Some(now);
+            tracer.record_at(
+                request.span,
+                request.client,
+                request.seq,
+                Some(id),
+                TraceStage::EpochFlushed,
+                now,
+            );
+        }
+        let epoch = Epoch { id, requests: std::mem::take(open) };
         *next_epoch += 1;
         // The epoch queue only closes after this thread exits, so a
         // failed push can't lose requests; still, be explicit.
@@ -58,7 +91,7 @@ pub(crate) fn run(
     let top_up = |open: &mut Vec<Request>| {
         while !policy.is_full(open.len()) {
             match ingress.pop_timeout(Duration::ZERO) {
-                Ok(request) => open.push(request),
+                Ok(request) => admit(open, request),
                 Err(_) => break,
             }
         }
@@ -92,7 +125,7 @@ pub(crate) fn run(
 
         match popped {
             Ok(request) => {
-                open.push(request);
+                admit(&mut open, request);
                 if policy.is_full(open.len()) {
                     flush(&mut open, &mut next_epoch);
                 }
@@ -119,15 +152,16 @@ mod tests {
     use strix_tfhe::lwe::LweCiphertext;
 
     use crate::request::{ClientId, RequestOp};
+    use crate::trace::SpanId;
 
     fn request(seq: u64) -> Request {
-        Request {
-            client: ClientId(0),
+        Request::new(
+            ClientId(0),
             seq,
-            ct: LweCiphertext::trivial(4, 0),
-            op: RequestOp::Keyswitch,
-            submitted_at: Instant::now(),
-        }
+            SpanId(seq),
+            LweCiphertext::trivial(4, 0),
+            RequestOp::Keyswitch,
+        )
     }
 
     fn harness(
@@ -136,9 +170,10 @@ mod tests {
         let ingress = Arc::new(BoundedQueue::new(1024));
         let epochs = Arc::new(BoundedQueue::new(1024));
         let metrics = Arc::new(MetricsSink::default());
+        let tracer = Arc::new(Tracer::default());
         let handle = {
             let (i, e) = (Arc::clone(&ingress), Arc::clone(&epochs));
-            std::thread::spawn(move || run(i, e, policy, metrics))
+            std::thread::spawn(move || run(i, e, policy, metrics, tracer))
         };
         (ingress, epochs, handle)
     }
@@ -231,7 +266,8 @@ mod tests {
         let handle = {
             let (i, e) = (Arc::clone(&ingress), Arc::clone(&epochs));
             let metrics = Arc::new(MetricsSink::default());
-            std::thread::spawn(move || run(i, e, policy, metrics))
+            let tracer = Arc::new(Tracer::default());
+            std::thread::spawn(move || run(i, e, policy, metrics, tracer))
         };
         let first = epochs.pop().unwrap();
         let second = epochs.pop().unwrap();
@@ -239,6 +275,22 @@ mod tests {
         assert_eq!(second.requests.len(), 4);
         let seqs: Vec<u64> = first.requests.iter().chain(&second.requests).map(|r| r.seq).collect();
         assert_eq!(seqs, (0..8).collect::<Vec<_>>());
+        ingress.close();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn flush_stamps_batch_and_flush_times() {
+        let policy = FlushPolicy { max_epoch: 2, max_delay: Duration::from_secs(10) };
+        let (ingress, epochs, handle) = harness(policy);
+        ingress.push(request(0)).unwrap();
+        ingress.push(request(1)).unwrap();
+        let epoch = epochs.pop().unwrap();
+        for r in &epoch.requests {
+            let batched = r.batched_at.expect("batcher stamps batched_at");
+            let flushed = r.flushed_at.expect("batcher stamps flushed_at");
+            assert!(r.submitted_at <= batched && batched <= flushed);
+        }
         ingress.close();
         handle.join().unwrap();
     }

@@ -9,10 +9,12 @@
 //! isolation.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use strix_tfhe::boolean::gate_sign_lut;
 use strix_tfhe::bootstrap::{Lut, PbsJob};
 use strix_tfhe::lwe::LweCiphertext;
+use strix_tfhe::profiler::{PbsStage, StageTimings};
 use strix_tfhe::{ServerKey, TfheError};
 
 use crate::request::{Request, RequestOp};
@@ -50,11 +52,47 @@ pub(crate) fn linear_preamble(
     Ok(acc)
 }
 
+/// What one epoch's execution produced, beyond the results themselves:
+/// the coarse execution timeline the tracer turns into `pbs` /
+/// `keyswitch` slices, and — on sampled epochs — the per-stage timing
+/// breakdown from the probed production kernel.
+pub struct EpochExecution {
+    /// One result per request, in request order.
+    pub results: Vec<Result<LweCiphertext, TfheError>>,
+    /// When the epoch's batched blind rotation started and ended
+    /// (absent if the epoch carried no PBS jobs).
+    pub pbs_span: Option<(Instant, Instant)>,
+    /// When the epoch's post-PBS batched keyswitch tail started and
+    /// ended (absent if nothing needed switching back).
+    pub ks_span: Option<(Instant, Instant)>,
+    /// Per-stage timings and the PBS job count they cover, present only
+    /// when the epoch was executed through the probed kernel.
+    pub stage_sample: Option<(StageTimings, usize)>,
+}
+
+impl EpochExecution {
+    /// Wraps bare results with no timeline — what synthetic executors
+    /// and the default trait impl produce.
+    pub fn from_results(results: Vec<Result<LweCiphertext, TfheError>>) -> Self {
+        Self { results, pbs_span: None, ks_span: None, stage_sample: None }
+    }
+}
+
 /// Executes one epoch of requests.
 pub trait BatchExecutor: Send + Sync + 'static {
     /// Runs every request, returning one result per request **in the
     /// same order**.
     fn execute(&self, batch: &[Request]) -> Vec<Result<LweCiphertext, TfheError>>;
+
+    /// Runs one epoch and reports its execution timeline; when
+    /// `profiled` is set the back-end should execute through its
+    /// instrumented path and attach a per-stage sample. The default
+    /// delegates to [`Self::execute`] with no timeline, so synthetic
+    /// test executors need not care.
+    fn execute_epoch(&self, batch: &[Request], profiled: bool) -> EpochExecution {
+        let _ = profiled;
+        EpochExecution::from_results(self.execute(batch))
+    }
 
     /// How many threads [`Self::execute`] will use for a batch
     /// carrying `batch_len` PBS jobs (workers pass the PBS-bearing
@@ -110,16 +148,24 @@ impl TfheExecutor {
 
 impl BatchExecutor for TfheExecutor {
     fn execute(&self, batch: &[Request]) -> Vec<Result<LweCiphertext, TfheError>> {
+        self.execute_epoch(batch, false).results
+    }
+
+    fn execute_epoch(&self, batch: &[Request], profiled: bool) -> EpochExecution {
         // Collect every PBS-bearing request into one key-major batch;
         // keyswitch-only requests run directly. Shape validation
         // happens here, per job, so one malformed request fails alone
         // instead of poisoning (or serialising) the shared batch call.
         let bsk = self.server.bootstrap_key();
+        let mut timings = StageTimings::new();
+        let mut pbs_span = None;
+        let mut ks_span = None;
         let mut results: Vec<Option<Result<LweCiphertext, TfheError>>> =
             batch.iter().map(|_| None).collect();
         // Fused linear preambles are materialised first so the borrowed
         // PBS jobs below can reference them alongside the plain request
         // ciphertexts. A failed preamble fails its request alone.
+        let preamble_t0 = Instant::now();
         let mut preambles: Vec<Option<LweCiphertext>> = batch.iter().map(|_| None).collect();
         for (i, req) in batch.iter().enumerate() {
             let combined = match &req.op {
@@ -142,6 +188,9 @@ impl BatchExecutor for TfheExecutor {
                 Some(Err(e)) => results[i] = Some(Err(e)),
                 None => {}
             }
+        }
+        if profiled {
+            timings.add(PbsStage::LinearOps, preamble_t0.elapsed());
         }
 
         let ksk = self.server.keyswitch_key();
@@ -214,7 +263,22 @@ impl BatchExecutor for TfheExecutor {
         // With shapes pre-validated the batch call cannot mismatch;
         // still, an unexpected error fails its jobs rather than
         // panicking the worker thread.
-        match bsk.bootstrap_batch_parallel(&jobs, self.planned_threads(jobs.len())) {
+        //
+        // A profiled (sampled) epoch runs the probed production kernel
+        // instead — same blocked CMUX loop, single-threaded, with each
+        // stage bracketed by `TimingProbe`. Bit-identical output; the
+        // sampling cost is losing intra-epoch parallelism for this one
+        // epoch, which is why it's every Nth epoch, not all of them.
+        let pbs_t0 = Instant::now();
+        let booted_result = if profiled {
+            bsk.bootstrap_batch_profiled(&jobs, &mut timings)
+        } else {
+            bsk.bootstrap_batch_parallel(&jobs, self.planned_threads(jobs.len()))
+        };
+        if !jobs.is_empty() {
+            pbs_span = Some((pbs_t0, Instant::now()));
+        }
+        match booted_result {
             Ok(booted) => {
                 // Keyswitch the Lut/Gate/LinearLut outputs as one batch
                 // (they all carry the extracted dimension the key
@@ -234,10 +298,19 @@ impl BatchExecutor for TfheExecutor {
                 }
                 // The Algorithm-2 tail shares the epoch's thread
                 // budget: sharded like the blind rotation, bit-identical
-                // to the sequential batch.
-                match ksk
-                    .keyswitch_batch_parallel(&ks_inputs, self.threads.min(ks_inputs.len()).max(1))
-                {
+                // to the sequential batch. On sampled epochs its wall
+                // time lands in the KeySwitch stage bucket.
+                let ks_t0 = Instant::now();
+                let switched_result = ksk
+                    .keyswitch_batch_parallel(&ks_inputs, self.threads.min(ks_inputs.len()).max(1));
+                if !ks_inputs.is_empty() {
+                    let ks_t1 = Instant::now();
+                    ks_span = Some((ks_t0, ks_t1));
+                    if profiled {
+                        timings.add(PbsStage::KeySwitch, ks_t1 - ks_t0);
+                    }
+                }
+                match switched_result {
                     Ok(switched) => {
                         for (&i, out) in ks_slots.iter().zip(switched) {
                             results[i] = Some(Ok(out));
@@ -260,7 +333,10 @@ impl BatchExecutor for TfheExecutor {
             }
         }
 
-        results.into_iter().map(|r| r.expect("every request receives a result")).collect()
+        let results =
+            results.into_iter().map(|r| r.expect("every request receives a result")).collect();
+        let stage_sample = (profiled && !jobs.is_empty()).then_some((timings, jobs.len()));
+        EpochExecution { results, pbs_span, ks_span, stage_sample }
     }
 
     fn planned_threads(&self, batch_len: usize) -> usize {
@@ -282,14 +358,14 @@ impl BatchExecutor for TfheExecutor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::time::Instant;
     use strix_tfhe::bootstrap::Lut;
     use strix_tfhe::prelude::*;
 
     use crate::request::ClientId;
+    use crate::trace::SpanId;
 
     fn request(client: u64, seq: u64, ct: LweCiphertext, op: RequestOp) -> Request {
-        Request { client: ClientId(client), seq, ct, op, submitted_at: Instant::now() }
+        Request::new(ClientId(client), seq, SpanId(seq), ct, op)
     }
 
     #[test]
@@ -361,6 +437,62 @@ mod tests {
         for (s, t) in sequential.iter().zip(&parallel) {
             assert_eq!(s.as_ref().unwrap(), t.as_ref().unwrap());
         }
+    }
+
+    #[test]
+    fn profiled_epoch_matches_plain_epoch_and_carries_a_stage_sample() {
+        let params = TfheParameters::testing_fast();
+        let (mut client, server) = generate_keys(&params, 45);
+        let server = Arc::new(server);
+        let exec = TfheExecutor::new(Arc::clone(&server));
+        let p = 2u32;
+        let lut = Arc::new(Lut::from_function(params.polynomial_size, p, |m| (m + 1) % 4).unwrap());
+        let batch: Vec<Request> = (0..3u64)
+            .map(|i| {
+                let ct = client.encrypt_shortint(i % 4, p).unwrap().as_lwe().clone();
+                request(i, 0, ct, RequestOp::Lut(Arc::clone(&lut)))
+            })
+            .collect();
+
+        let plain = exec.execute_epoch(&batch, false);
+        let profiled = exec.execute_epoch(&batch, true);
+        // Same blocked kernel either way: outputs are bit-identical.
+        for (a, b) in plain.results.iter().zip(&profiled.results) {
+            assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+        }
+        assert!(plain.stage_sample.is_none(), "unsampled epochs carry no stage data");
+        let (timings, pbs) =
+            profiled.stage_sample.as_ref().expect("profiled epoch carries stage data");
+        let pbs = *pbs;
+        assert_eq!(pbs, 3);
+        assert!(timings.total_for(PbsStage::Fft) > std::time::Duration::ZERO);
+        assert!(timings.total_for(PbsStage::KeySwitch) > std::time::Duration::ZERO);
+        // Both executions report a coherent timeline: PBS before KS.
+        for exec_out in [&plain, &profiled] {
+            let (p0, p1) = exec_out.pbs_span.expect("PBS span");
+            let (k0, k1) = exec_out.ks_span.expect("KS span");
+            assert!(p0 <= p1 && p1 <= k0 && k0 <= k1);
+        }
+    }
+
+    #[test]
+    fn keyswitch_only_epoch_has_no_pbs_span() {
+        let params = TfheParameters::testing_fast();
+        let (mut client, server) = generate_keys(&params, 46);
+        let server = Arc::new(server);
+        let exec = TfheExecutor::new(Arc::clone(&server));
+        let p = 2u32;
+        let big = server
+            .bootstrap_key()
+            .bootstrap(
+                client.encrypt_shortint(1, p).unwrap().as_lwe(),
+                &Lut::from_function(params.polynomial_size, p, |m| m).unwrap(),
+            )
+            .unwrap();
+        let out = exec.execute_epoch(&[request(0, 0, big, RequestOp::Keyswitch)], true);
+        assert!(out.results[0].is_ok());
+        assert!(out.pbs_span.is_none());
+        assert!(out.stage_sample.is_none(), "no PBS jobs, nothing to normalise against");
     }
 
     #[test]

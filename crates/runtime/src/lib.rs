@@ -25,8 +25,11 @@
 //!    allocation-free `PbsScratch`,
 //! 4. a **metrics layer** ([`metrics`]) producing a [`RuntimeReport`]
 //!    (latency percentiles, achieved PBS/s, batch-occupancy histogram,
-//!    per-epoch thread occupancy) that sits next to the simulator's
-//!    `PbsReport` in `strix-bench`,
+//!    per-epoch thread occupancy, per-class latency attribution, a
+//!    sampled per-stage PBS breakdown and a windowed time series) that
+//!    sits next to the simulator's `PbsReport` in `strix-bench`,
+//!    backed by an end-to-end **tracing layer** ([`trace`]) whose
+//!    Chrome trace-event export opens in Perfetto,
 //! 5. a **session/dataflow layer** ([`session`]) streaming multi-stage
 //!    programs — circuit DAGs and Deep-NN ReLU schedules — through the
 //!    same batcher: each [`ProgramSession`] keeps its whole ready
@@ -84,14 +87,19 @@ pub mod queue;
 pub mod request;
 mod runtime;
 pub mod session;
+pub mod trace;
 pub mod traffic;
 pub mod worker;
 
 pub use error::RuntimeError;
-pub use executor::{BatchExecutor, TfheExecutor};
-pub use metrics::{MetricsSink, RuntimeReport};
+pub use executor::{BatchExecutor, EpochExecution, TfheExecutor};
+pub use metrics::{
+    ClassLatency, MetricsSink, MetricsWindow, PbsStageBreakdown, RequestRecord, RuntimeReport,
+    REPORT_SCHEMA_VERSION,
+};
 pub use policy::FlushPolicy;
-pub use request::{ClientId, Epoch, Request, RequestOp, Response};
+pub use request::{ClientId, Epoch, Request, RequestClass, RequestOp, Response};
 pub use runtime::{ClientHandle, Runtime, RuntimeConfig};
 pub use session::{Program, ProgramSession, Wire};
+pub use trace::{SpanId, TraceConfig, TraceStage, Tracer};
 pub use traffic::{ArrivalProcess, OpenLoopTrafficGen};

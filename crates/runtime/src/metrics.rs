@@ -1,11 +1,17 @@
 //! Runtime metrics: per-request latency percentiles, achieved PBS/s,
-//! and the batch-occupancy histogram — the software counterpart of the
-//! simulator's [`strix_core::PbsReport`].
+//! the batch-occupancy histogram, per-class latency attribution,
+//! sampled per-stage PBS breakdowns and windowed time series — the
+//! production counterpart of the simulator's [`strix_core::PbsReport`]
+//! and the data source for `BENCH_service.json`.
 
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
+
+use strix_tfhe::profiler::{PbsStage, StageTimings};
+
+use crate::request::RequestClass;
 
 /// Number of buckets in the occupancy histogram (bucket `i` covers
 /// `(i/10, (i+1)/10]` of the epoch capacity, with 0 occupancy in
@@ -17,6 +23,62 @@ pub const OCCUPANCY_BUCKETS: usize = 10;
 /// bounded: up to this many samples the percentiles are exact, beyond
 /// it they come from a uniform reservoir (algorithm R).
 pub const LATENCY_RESERVOIR: usize = 1 << 16;
+
+/// How many time windows the sink retains. Together with the window
+/// length this bounds the time-series state regardless of uptime.
+pub const WINDOW_RING: usize = 64;
+
+/// Version of the [`RuntimeReport`] JSON schema. Consumers of
+/// `BENCH_service.json` (and of serialized reports generally) should
+/// check this before interpreting fields; it bumps on any
+/// breaking/renaming change, not on pure additions.
+pub const REPORT_SCHEMA_VERSION: u32 = 1;
+
+/// Everything the worker knows about one completed request, handed to
+/// [`MetricsSink::record_request`] in one piece.
+#[derive(Clone, Copy, Debug)]
+pub struct RequestRecord {
+    /// When the client submitted the request.
+    pub submitted_at: Instant,
+    /// Submit-to-completion latency.
+    pub latency: Duration,
+    /// Time from submission to the batcher pulling the request into
+    /// its open batch (ingress queueing).
+    pub queue_wait: Duration,
+    /// Time from batch entry to the epoch flushing (batch formation).
+    pub batch_wait: Duration,
+    /// Time from epoch flush to completion (epoch queueing plus
+    /// execution).
+    pub execute: Duration,
+    /// The request's class, for attribution.
+    pub class: RequestClass,
+    /// Whether a linear preamble was fused ahead of the bootstrap.
+    pub fused_linear: bool,
+    /// Whether the request succeeded.
+    pub ok: bool,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct ClassAccum {
+    completed: usize,
+    failed: usize,
+    queue_wait_ns: u128,
+    batch_wait_ns: u128,
+    execute_ns: u128,
+    latency_ns: u128,
+}
+
+/// One live accumulation window (fixed length, ring-bounded).
+#[derive(Clone, Copy, Debug, Default)]
+struct WindowAccum {
+    index: u64,
+    completed: usize,
+    failed: usize,
+    pbs_completed: usize,
+    epochs: usize,
+    occupancy_sum: f64,
+    max_queue_depth: usize,
+}
 
 #[derive(Debug, Default)]
 struct MetricsInner {
@@ -42,6 +104,16 @@ struct MetricsInner {
     failed: usize,
     first_submit: Option<Instant>,
     last_complete: Option<Instant>,
+    /// Per-class attribution accumulators, indexed by
+    /// [`RequestClass::index`].
+    classes: [ClassAccum; 5],
+    /// Per-stage nanoseconds from sampled (probed) epochs, indexed in
+    /// [`PbsStage::ALL`] order.
+    stage_ns: [u128; 9],
+    sampled_epochs: usize,
+    sampled_pbs: usize,
+    /// Ring of recent time windows, oldest first.
+    windows: std::collections::VecDeque<WindowAccum>,
 }
 
 #[inline]
@@ -53,15 +125,70 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Advances `last_complete` to `now`, never backwards.
+///
+/// `now` is sampled by the caller **before** taking the metrics lock,
+/// so two workers completing epochs concurrently may apply their
+/// timestamps out of order; the max-guard makes the measurement window
+/// (`first_submit → last_complete`) monotonically non-shrinking under
+/// any interleaving.
+#[inline]
+fn note_completion(slot: &mut Option<Instant>, now: Instant) {
+    match slot {
+        Some(last) if *last >= now => {}
+        _ => *slot = Some(now),
+    }
+}
+
 /// Shared sink the batcher and workers record into.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MetricsSink {
     inner: Mutex<MetricsInner>,
+    /// Time zero of the windowed series.
+    origin: Instant,
+    /// Length of one accumulation window.
+    window: Duration,
+}
+
+impl Default for MetricsSink {
+    fn default() -> Self {
+        Self::with_window(Duration::from_secs(1))
+    }
 }
 
 impl MetricsSink {
+    /// Creates a sink whose time series buckets into windows of the
+    /// given length (clamped to ≥ 1 ms). The default is 1 s.
+    pub fn with_window(window: Duration) -> Self {
+        Self {
+            inner: Mutex::new(MetricsInner::default()),
+            origin: Instant::now(),
+            window: window.max(Duration::from_millis(1)),
+        }
+    }
+
+    /// The live window for time `now`, advancing (and bounding) the
+    /// ring as needed. Events landing behind the newest window are
+    /// folded into it — the series is monotone by construction.
+    fn window_mut<'a>(&self, inner: &'a mut MetricsInner, now: Instant) -> &'a mut WindowAccum {
+        let idx = (now.saturating_duration_since(self.origin).as_nanos()
+            / self.window.as_nanos().max(1)) as u64;
+        let need_new = match inner.windows.back() {
+            Some(back) => back.index < idx,
+            None => true,
+        };
+        if need_new {
+            inner.windows.push_back(WindowAccum { index: idx, ..WindowAccum::default() });
+            if inner.windows.len() > WINDOW_RING {
+                inner.windows.pop_front();
+            }
+        }
+        inner.windows.back_mut().expect("ring has a live window")
+    }
+
     /// Records one flushed epoch of `len` requests against `capacity`.
     pub fn record_epoch(&self, len: usize, capacity: usize) {
+        let now = Instant::now();
         let occ = len.min(capacity) as f64 / capacity.max(1) as f64;
         let mut inner = self.inner.lock().expect("metrics lock");
         inner.epochs += 1;
@@ -69,6 +196,9 @@ impl MetricsSink {
         let bucket =
             ((occ * OCCUPANCY_BUCKETS as f64).ceil() as usize).clamp(1, OCCUPANCY_BUCKETS) - 1;
         inner.occupancy_histogram[bucket] += 1;
+        let w = self.window_mut(&mut inner, now);
+        w.epochs += 1;
+        w.occupancy_sum += occ;
     }
 
     /// Records the intra-epoch thread plan of one executed epoch:
@@ -83,19 +213,39 @@ impl MetricsSink {
         inner.max_threads_used = inner.max_threads_used.max(used.max(1));
     }
 
-    /// Records one completed request. `fused_linear` marks requests
-    /// that carried a linear preamble (gate or weighted-sum ops) fused
-    /// ahead of their bootstrap.
-    pub fn record_request(
-        &self,
-        submitted_at: Instant,
-        latency: Duration,
-        is_pbs: bool,
-        fused_linear: bool,
-        ok: bool,
-    ) {
+    /// Records the ingress queue depth observed at a batcher flush, so
+    /// the windowed series carries a queue-depth gauge next to the
+    /// throughput counters.
+    pub fn record_queue_depth(&self, depth: usize) {
+        let now = Instant::now();
         let mut inner = self.inner.lock().expect("metrics lock");
-        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        let w = self.window_mut(&mut inner, now);
+        w.max_queue_depth = w.max_queue_depth.max(depth);
+    }
+
+    /// Records the per-stage timings of one **sampled** (probed) epoch
+    /// carrying `pbs_jobs` bootstraps, taken over the production
+    /// blocked kernel. Feeds [`RuntimeReport::pbs_stage_breakdown`].
+    pub fn record_stage_sample(&self, timings: &StageTimings, pbs_jobs: usize) {
+        if pbs_jobs == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("metrics lock");
+        inner.sampled_epochs += 1;
+        inner.sampled_pbs += pbs_jobs;
+        for (slot, &stage) in inner.stage_ns.iter_mut().zip(PbsStage::ALL.iter()) {
+            *slot += timings.total_for(stage).as_nanos();
+        }
+    }
+
+    /// Records one completed request.
+    pub fn record_request(&self, record: RequestRecord) {
+        // Taken once, before the lock: see [`note_completion`] for the
+        // ordering contract this preserves.
+        let now = Instant::now();
+        let is_pbs = record.class != RequestClass::Keyswitch;
+        let mut inner = self.inner.lock().expect("metrics lock");
+        let us = record.latency.as_micros().min(u64::MAX as u128) as u64;
         inner.latency_seen += 1;
         inner.max_latency_us = inner.max_latency_us.max(us);
         if inner.latencies_us.len() < LATENCY_RESERVOIR {
@@ -109,25 +259,40 @@ impl MetricsSink {
                 inner.latencies_us[j as usize] = us;
             }
         }
-        if ok {
+        let class = &mut inner.classes[record.class.index()];
+        if record.ok {
+            class.completed += 1;
+            class.queue_wait_ns += record.queue_wait.as_nanos();
+            class.batch_wait_ns += record.batch_wait.as_nanos();
+            class.execute_ns += record.execute.as_nanos();
+            class.latency_ns += record.latency.as_nanos();
+        } else {
+            class.failed += 1;
+        }
+        if record.ok {
             inner.completed += 1;
             if is_pbs {
                 inner.pbs_completed += 1;
             }
-            if fused_linear {
+            if record.fused_linear {
                 inner.fused_linear_completed += 1;
             }
         } else {
             inner.failed += 1;
         }
-        let first = inner.first_submit.get_or_insert(submitted_at);
-        if submitted_at < *first {
-            *first = submitted_at;
+        let first = inner.first_submit.get_or_insert(record.submitted_at);
+        if record.submitted_at < *first {
+            *first = record.submitted_at;
         }
-        let now = Instant::now();
-        match &mut inner.last_complete {
-            Some(last) if *last >= now => {}
-            slot => *slot = Some(now),
+        note_completion(&mut inner.last_complete, now);
+        let w = self.window_mut(&mut inner, now);
+        if record.ok {
+            w.completed += 1;
+            if is_pbs {
+                w.pbs_completed += 1;
+            }
+        } else {
+            w.failed += 1;
         }
     }
 
@@ -136,7 +301,10 @@ impl MetricsSink {
     ///
     /// Percentiles are exact up to [`LATENCY_RESERVOIR`] samples and
     /// reservoir estimates beyond; `max_latency_us` is always exact.
+    /// The ingress-queue gauges are zero here — the runtime fills them
+    /// from the live queue, which owns the high-water mark.
     pub fn report(&self, epoch_capacity: usize) -> RuntimeReport {
+        let window_s = self.window.as_secs_f64();
         // Snapshot under the lock, sort outside it: record_request on
         // the workers never waits behind a percentile computation.
         let (mut sorted, snapshot) = {
@@ -157,9 +325,73 @@ impl MetricsSink {
             } else {
                 inner.threads_used_sum as f64 / inner.threads_budget_sum as f64
             };
+            let latency_attribution = RequestClass::ALL
+                .iter()
+                .map(|&class| {
+                    let acc = inner.classes[class.index()];
+                    let mean = |ns: u128| {
+                        if acc.completed == 0 {
+                            0.0
+                        } else {
+                            ns as f64 / 1e3 / acc.completed as f64
+                        }
+                    };
+                    ClassLatency {
+                        class: class.label().to_string(),
+                        completed: acc.completed,
+                        failed: acc.failed,
+                        mean_queue_wait_us: mean(acc.queue_wait_ns),
+                        mean_batch_wait_us: mean(acc.batch_wait_ns),
+                        mean_execute_us: mean(acc.execute_ns),
+                        mean_latency_us: mean(acc.latency_ns),
+                    }
+                })
+                .filter(|c| c.completed + c.failed > 0)
+                .collect();
+            let pbs_stage_breakdown = if inner.sampled_pbs == 0 {
+                None
+            } else {
+                let us = |stage: PbsStage| {
+                    let i = PbsStage::ALL.iter().position(|&s| s == stage).expect("stage in ALL");
+                    inner.stage_ns[i] as f64 / 1e3 / inner.sampled_pbs as f64
+                };
+                Some(PbsStageBreakdown {
+                    sampled_epochs: inner.sampled_epochs,
+                    sampled_pbs: inner.sampled_pbs,
+                    modswitch_us: us(PbsStage::ModSwitch),
+                    rotate_us: us(PbsStage::Rotate),
+                    decompose_us: us(PbsStage::Decompose),
+                    forward_fft_us: us(PbsStage::Fft),
+                    vma_us: us(PbsStage::VectorMultiply),
+                    inverse_fft_us: us(PbsStage::IfftAccumulate),
+                    sample_extract_us: us(PbsStage::SampleExtract),
+                    keyswitch_us: us(PbsStage::KeySwitch),
+                    linear_ops_us: us(PbsStage::LinearOps),
+                })
+            };
+            let windows = inner
+                .windows
+                .iter()
+                .map(|w| MetricsWindow {
+                    start_s: w.index as f64 * window_s,
+                    duration_s: window_s,
+                    completed: w.completed,
+                    failed: w.failed,
+                    pbs_completed: w.pbs_completed,
+                    epochs: w.epochs,
+                    pbs_per_s: w.pbs_completed as f64 / window_s,
+                    mean_occupancy: if w.epochs == 0 {
+                        0.0
+                    } else {
+                        w.occupancy_sum / w.epochs as f64
+                    },
+                    max_queue_depth: w.max_queue_depth,
+                })
+                .collect();
             (
                 inner.latencies_us.clone(),
                 RuntimeReport {
+                    schema_version: REPORT_SCHEMA_VERSION,
                     requests_completed: inner.completed,
                     requests_failed: inner.failed,
                     fused_linear_completed: inner.fused_linear_completed,
@@ -179,6 +411,11 @@ impl MetricsSink {
                     mean_threads_per_epoch: mean_threads,
                     thread_occupancy: thread_occ,
                     max_threads_per_epoch: inner.max_threads_used,
+                    ingress_queue_depth: 0,
+                    ingress_queue_high_water: 0,
+                    latency_attribution,
+                    pbs_stage_breakdown,
+                    windows,
                     elapsed_s,
                 },
             )
@@ -200,10 +437,88 @@ impl MetricsSink {
     }
 }
 
+/// Mean per-request latency attribution for one request class: where
+/// the time of an average completed request of this class went.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClassLatency {
+    /// Stable class label ([`RequestClass::label`]).
+    pub class: String,
+    /// Completed requests of this class.
+    pub completed: usize,
+    /// Failed requests of this class.
+    pub failed: usize,
+    /// Mean time queued in the ingress before the batcher pulled the
+    /// request (µs).
+    pub mean_queue_wait_us: f64,
+    /// Mean time waiting in the open batch for the epoch to flush (µs).
+    pub mean_batch_wait_us: f64,
+    /// Mean time from epoch flush to completion — epoch queueing plus
+    /// execution (µs).
+    pub mean_execute_us: f64,
+    /// Mean end-to-end latency (µs); the three waits above sum to
+    /// within scheduling jitter of this.
+    pub mean_latency_us: f64,
+}
+
+/// Per-stage µs of one average production PBS, from sampled epochs
+/// executed through the timing probe over the production blocked
+/// kernel (every `profile_every`-th epoch).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PbsStageBreakdown {
+    /// How many epochs were sampled.
+    pub sampled_epochs: usize,
+    /// Total PBS jobs across the sampled epochs (the normalizer).
+    pub sampled_pbs: usize,
+    /// Modulus switching (per PBS, µs).
+    pub modswitch_us: f64,
+    /// Negacyclic rotation (per PBS, µs).
+    pub rotate_us: f64,
+    /// Gadget decomposition (per PBS, µs).
+    pub decompose_us: f64,
+    /// Forward FFT (per PBS, µs).
+    pub forward_fft_us: f64,
+    /// Fourier-domain multiply–accumulate (per PBS, µs).
+    pub vma_us: f64,
+    /// Inverse FFT + accumulation (per PBS, µs).
+    pub inverse_fft_us: f64,
+    /// Sample extraction (per PBS, µs).
+    pub sample_extract_us: f64,
+    /// Keyswitching (per PBS, µs).
+    pub keyswitch_us: f64,
+    /// Linear preambles and other linear ops (per PBS, µs).
+    pub linear_ops_us: f64,
+}
+
+/// One fixed-length window of the recent time series.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MetricsWindow {
+    /// Window start, seconds since the sink was created.
+    pub start_s: f64,
+    /// Window length in seconds.
+    pub duration_s: f64,
+    /// Requests completed in this window.
+    pub completed: usize,
+    /// Requests failed in this window.
+    pub failed: usize,
+    /// PBS-bearing requests completed in this window.
+    pub pbs_completed: usize,
+    /// Epochs flushed in this window.
+    pub epochs: usize,
+    /// Achieved PBS/s over the window.
+    pub pbs_per_s: f64,
+    /// Mean epoch occupancy over the window's flushed epochs.
+    pub mean_occupancy: f64,
+    /// Highest ingress-queue depth sampled in this window.
+    pub max_queue_depth: usize,
+}
+
 /// A snapshot of the runtime's achieved performance, shaped to sit next
-/// to the simulator's `PbsReport` in the bench tables.
-#[derive(Clone, Debug, Serialize)]
+/// to the simulator's `PbsReport` in the bench tables and to serialize
+/// into `BENCH_service.json`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct RuntimeReport {
+    /// JSON schema version ([`REPORT_SCHEMA_VERSION`]).
+    pub schema_version: u32,
     /// Successfully completed requests.
     pub requests_completed: usize,
     /// Failed requests (shape mismatches etc.).
@@ -241,6 +556,21 @@ pub struct RuntimeReport {
     pub thread_occupancy: f64,
     /// Largest intra-epoch thread count any epoch planned.
     pub max_threads_per_epoch: usize,
+    /// Requests currently buffered in the ingress queue (filled by the
+    /// runtime at report time; backpressure builds here).
+    pub ingress_queue_depth: usize,
+    /// Highest ingress-queue depth ever observed (filled by the
+    /// runtime at report time).
+    pub ingress_queue_high_water: usize,
+    /// Mean queue-wait / batch-wait / execute attribution per request
+    /// class, for completed requests.
+    pub latency_attribution: Vec<ClassLatency>,
+    /// Per-stage µs of an average PBS from sampled production epochs;
+    /// `None` until the first sampled epoch completes.
+    pub pbs_stage_breakdown: Option<PbsStageBreakdown>,
+    /// The most recent fixed-length windows of the time series (up to
+    /// [`WINDOW_RING`]), oldest first.
+    pub windows: Vec<MetricsWindow>,
     /// Wall-clock measurement window in seconds.
     pub elapsed_s: f64,
 }
@@ -248,10 +578,11 @@ pub struct RuntimeReport {
 impl RuntimeReport {
     /// A compact human-readable summary block.
     pub fn summary(&self) -> String {
-        format!(
+        let mut out = format!(
             "requests: {} ok / {} failed ({} fused-linear) in {:.3} s\n\
              epochs:   {} flushed, capacity {}, mean occupancy {:.1}%\n\
              threads:  {:.1} mean / {} peak per epoch ({:.1}% of budget)\n\
+             ingress:  {} queued now, {} high water\n\
              latency:  p50 {:.3} ms | p90 {:.3} ms | p99 {:.3} ms | max {:.3} ms\n\
              rate:     {:.1} PBS/s achieved",
             self.requests_completed,
@@ -264,12 +595,42 @@ impl RuntimeReport {
             self.mean_threads_per_epoch,
             self.max_threads_per_epoch,
             self.thread_occupancy * 100.0,
+            self.ingress_queue_depth,
+            self.ingress_queue_high_water,
             self.p50_latency_us as f64 / 1e3,
             self.p90_latency_us as f64 / 1e3,
             self.p99_latency_us as f64 / 1e3,
             self.max_latency_us as f64 / 1e3,
             self.achieved_pbs_per_s,
-        )
+        );
+        for c in &self.latency_attribution {
+            out.push_str(&format!(
+                "\nclass {:<10} {:>7} ok: queue {:.3} ms | batch {:.3} ms | execute {:.3} ms",
+                c.class,
+                c.completed,
+                c.mean_queue_wait_us / 1e3,
+                c.mean_batch_wait_us / 1e3,
+                c.mean_execute_us / 1e3,
+            ));
+        }
+        if let Some(b) = &self.pbs_stage_breakdown {
+            out.push_str(&format!(
+                "\nstages ({} PBS sampled over {} epochs, µs/PBS): \
+                 modswitch {:.1} | rotate {:.1} | decompose {:.1} | fft {:.1} | vma {:.1} | \
+                 ifft {:.1} | extract {:.1} | keyswitch {:.1}",
+                b.sampled_pbs,
+                b.sampled_epochs,
+                b.modswitch_us,
+                b.rotate_us,
+                b.decompose_us,
+                b.forward_fft_us,
+                b.vma_us,
+                b.inverse_fft_us,
+                b.sample_extract_us,
+                b.keyswitch_us,
+            ));
+        }
+        out
     }
 }
 
@@ -277,14 +638,33 @@ impl RuntimeReport {
 mod tests {
     use super::*;
 
+    /// A success record with the given latency and class, submitted at
+    /// `t0`, with a fixed 40/40/20 wait split for attribution tests.
+    fn record(t0: Instant, us: u64, class: RequestClass, ok: bool) -> RequestRecord {
+        RequestRecord {
+            submitted_at: t0,
+            latency: Duration::from_micros(us),
+            queue_wait: Duration::from_micros(us * 2 / 5),
+            batch_wait: Duration::from_micros(us * 2 / 5),
+            execute: Duration::from_micros(us / 5),
+            class,
+            fused_linear: matches!(class, RequestClass::Gate | RequestClass::LinearLut),
+            ok,
+        }
+    }
+
     #[test]
     fn empty_sink_reports_zeroes() {
         let sink = MetricsSink::default();
         let r = sink.report(256);
+        assert_eq!(r.schema_version, REPORT_SCHEMA_VERSION);
         assert_eq!(r.requests_completed, 0);
         assert_eq!(r.p99_latency_us, 0);
         assert_eq!(r.achieved_pbs_per_s, 0.0);
         assert_eq!(r.occupancy_histogram.len(), OCCUPANCY_BUCKETS);
+        assert!(r.latency_attribution.is_empty());
+        assert!(r.pbs_stage_breakdown.is_none());
+        assert!(r.windows.is_empty());
     }
 
     #[test]
@@ -292,7 +672,7 @@ mod tests {
         let sink = MetricsSink::default();
         let t0 = Instant::now();
         for us in 1..=100u64 {
-            sink.record_request(t0, Duration::from_micros(us), true, false, true);
+            sink.record_request(record(t0, us, RequestClass::Lut, true));
         }
         let r = sink.report(4);
         assert_eq!(r.p50_latency_us, 50);
@@ -322,7 +702,7 @@ mod tests {
         let t0 = Instant::now();
         let total = LATENCY_RESERVOIR + 4096;
         for i in 0..total {
-            sink.record_request(t0, Duration::from_micros(i as u64), true, false, true);
+            sink.record_request(record(t0, i as u64, RequestClass::Lut, true));
         }
         let r = sink.report(1);
         assert_eq!(r.requests_completed, total);
@@ -353,11 +733,13 @@ mod tests {
     fn failed_requests_counted_separately() {
         let sink = MetricsSink::default();
         let t0 = Instant::now();
-        sink.record_request(t0, Duration::from_micros(5), true, false, true);
-        sink.record_request(t0, Duration::from_micros(5), true, true, false);
+        sink.record_request(record(t0, 5, RequestClass::Lut, true));
+        sink.record_request(record(t0, 5, RequestClass::Gate, false));
         let r = sink.report(1);
         assert_eq!(r.requests_completed, 1);
         assert_eq!(r.requests_failed, 1);
+        let gate = r.latency_attribution.iter().find(|c| c.class == "gate").unwrap();
+        assert_eq!((gate.completed, gate.failed), (0, 1));
     }
 
     #[test]
@@ -367,5 +749,140 @@ mod tests {
         let s = sink.report(4).summary();
         assert!(s.contains("capacity 4"));
         assert!(s.contains("75.0%"));
+    }
+
+    #[test]
+    fn out_of_order_completions_never_shrink_the_window() {
+        // Two workers sample `now` before the lock; the one that
+        // acquires the lock second may carry the *earlier* timestamp.
+        // The guard must keep the later one.
+        let t0 = Instant::now();
+        let later = t0 + Duration::from_millis(10);
+        let mut slot = None;
+        note_completion(&mut slot, later);
+        note_completion(&mut slot, t0); // out-of-order arrival
+        assert_eq!(slot, Some(later), "earlier completion must not rewind last_complete");
+        note_completion(&mut slot, later + Duration::from_millis(1));
+        assert_eq!(slot, Some(later + Duration::from_millis(1)));
+
+        // And end to end: the reported window is non-decreasing across
+        // interleaved recordings.
+        let sink = MetricsSink::default();
+        sink.record_request(record(t0, 10, RequestClass::Lut, true));
+        let w1 = sink.report(1).elapsed_s;
+        sink.record_request(record(t0, 10, RequestClass::Lut, true));
+        let w2 = sink.report(1).elapsed_s;
+        assert!(w2 >= w1, "window shrank: {w1} -> {w2}");
+    }
+
+    #[test]
+    fn per_class_attribution_averages_waits() {
+        let sink = MetricsSink::default();
+        let t0 = Instant::now();
+        for _ in 0..4 {
+            sink.record_request(record(t0, 100, RequestClass::Gate, true));
+        }
+        sink.record_request(record(t0, 50, RequestClass::Keyswitch, true));
+        let r = sink.report(4);
+        assert_eq!(r.latency_attribution.len(), 2);
+        let gate = r.latency_attribution.iter().find(|c| c.class == "gate").unwrap();
+        assert_eq!(gate.completed, 4);
+        assert!((gate.mean_queue_wait_us - 40.0).abs() < 1e-9);
+        assert!((gate.mean_batch_wait_us - 40.0).abs() < 1e-9);
+        assert!((gate.mean_execute_us - 20.0).abs() < 1e-9);
+        assert!((gate.mean_latency_us - 100.0).abs() < 1e-9);
+        // Keyswitch-only requests do not count toward PBS throughput.
+        assert_eq!(r.requests_completed, 5);
+        let s = r.summary();
+        assert!(s.contains("class gate"), "{s}");
+    }
+
+    #[test]
+    fn stage_samples_normalize_to_us_per_pbs() {
+        let sink = MetricsSink::default();
+        let mut t = StageTimings::new();
+        t.add(PbsStage::Fft, Duration::from_micros(600));
+        t.add(PbsStage::KeySwitch, Duration::from_micros(200));
+        sink.record_stage_sample(&t, 4);
+        sink.record_stage_sample(&t, 4);
+        let r = sink.report(4);
+        let b = r.pbs_stage_breakdown.clone().expect("sampled");
+        assert_eq!(b.sampled_epochs, 2);
+        assert_eq!(b.sampled_pbs, 8);
+        assert!((b.forward_fft_us - 150.0).abs() < 1e-9);
+        assert!((b.keyswitch_us - 50.0).abs() < 1e-9);
+        assert_eq!(b.rotate_us, 0.0);
+        assert!(r.summary().contains("stages (8 PBS sampled"), "{}", r.summary());
+        // Zero-job samples are ignored entirely.
+        sink.record_stage_sample(&t, 0);
+        assert_eq!(sink.report(4).pbs_stage_breakdown.unwrap().sampled_epochs, 2);
+    }
+
+    #[test]
+    fn windows_bucket_events_by_time_and_stay_bounded() {
+        // 1 ms windows so the test can cross window boundaries quickly.
+        let sink = MetricsSink::with_window(Duration::from_millis(1));
+        let t0 = Instant::now();
+        sink.record_request(record(t0, 10, RequestClass::Lut, true));
+        sink.record_epoch(2, 4);
+        sink.record_queue_depth(7);
+        std::thread::sleep(Duration::from_millis(3));
+        sink.record_request(record(t0, 10, RequestClass::Lut, true));
+        sink.record_queue_depth(3);
+        let r = sink.report(4);
+        assert!(r.windows.len() >= 2, "expected ≥2 windows, got {}", r.windows.len());
+        let first = &r.windows[0];
+        assert_eq!(first.completed, 1);
+        assert_eq!(first.epochs, 1);
+        assert_eq!(first.max_queue_depth, 7);
+        assert!((first.mean_occupancy - 0.5).abs() < 1e-12);
+        let last = r.windows.last().unwrap();
+        assert_eq!(last.completed, 1);
+        assert_eq!(last.max_queue_depth, 3);
+        assert!(last.start_s > first.start_s);
+        // Ring stays bounded over a long stream of distinct windows.
+        for w in &r.windows {
+            assert!((w.duration_s - 1e-3).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn window_ring_is_bounded() {
+        let sink = MetricsSink::with_window(Duration::from_millis(1));
+        let t0 = Instant::now();
+        // Spread events over more than WINDOW_RING windows by forcing
+        // the index forward via sleeps in coarse steps. Sleeping 65+
+        // real ms is acceptable for a unit test.
+        for _ in 0..(WINDOW_RING + 4) {
+            sink.record_request(record(t0, 1, RequestClass::Lut, true));
+            std::thread::sleep(Duration::from_micros(1100));
+        }
+        let r = sink.report(1);
+        assert!(r.windows.len() <= WINDOW_RING);
+        assert_eq!(r.requests_completed, WINDOW_RING + 4, "totals unaffected by eviction");
+    }
+
+    #[test]
+    fn report_round_trips_through_serde_json() {
+        let sink = MetricsSink::default();
+        let t0 = Instant::now();
+        sink.record_epoch(3, 4);
+        sink.record_request(record(t0, 100, RequestClass::Gate, true));
+        let mut t = StageTimings::new();
+        t.add(PbsStage::Fft, Duration::from_micros(10));
+        sink.record_stage_sample(&t, 1);
+        let mut report = sink.report(4);
+        report.ingress_queue_depth = 3;
+        report.ingress_queue_high_water = 9;
+        let json = serde_json::to_string(&report).unwrap();
+        let parsed: RuntimeReport = serde_json::from_str(&json).expect("report parses back");
+        assert_eq!(parsed.schema_version, REPORT_SCHEMA_VERSION);
+        assert_eq!(parsed.requests_completed, report.requests_completed);
+        assert_eq!(parsed.ingress_queue_high_water, 9);
+        assert_eq!(parsed.latency_attribution, report.latency_attribution);
+        assert_eq!(parsed.pbs_stage_breakdown, report.pbs_stage_breakdown);
+        assert_eq!(parsed.windows, report.windows);
+        // Fixed point: a second serialization is byte-identical.
+        assert_eq!(serde_json::to_string(&parsed).unwrap(), json);
     }
 }

@@ -30,6 +30,9 @@ pub enum PopError {
 struct Inner<T> {
     items: VecDeque<T>,
     closed: bool,
+    /// Highest depth the queue ever reached — the backpressure gauge
+    /// surfaced in `RuntimeReport`.
+    high_water: usize,
 }
 
 /// A bounded blocking queue; all handles share it through `Arc`.
@@ -44,7 +47,7 @@ impl<T> BoundedQueue<T> {
     /// Creates a queue holding at most `capacity` items.
     pub fn new(capacity: usize) -> Self {
         Self {
-            inner: Mutex::new(Inner { items: VecDeque::new(), closed: false }),
+            inner: Mutex::new(Inner { items: VecDeque::new(), closed: false, high_water: 0 }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             capacity: capacity.max(1),
@@ -64,6 +67,7 @@ impl<T> BoundedQueue<T> {
             }
             if inner.items.len() < self.capacity {
                 inner.items.push_back(item);
+                inner.high_water = inner.high_water.max(inner.items.len());
                 self.not_empty.notify_one();
                 return Ok(());
             }
@@ -136,6 +140,12 @@ impl<T> BoundedQueue<T> {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Highest depth the queue ever reached. A high-water mark near
+    /// capacity means submitters have been blocking on backpressure.
+    pub fn high_water(&self) -> usize {
+        self.inner.lock().expect("queue lock").high_water
+    }
 }
 
 #[cfg(test)]
@@ -164,6 +174,24 @@ mod tests {
         assert_eq!(q.pop(), Ok(1));
         assert_eq!(q.pop(), Ok(2));
         assert_eq!(q.pop(), Err(PopError::Closed));
+    }
+
+    #[test]
+    fn high_water_tracks_peak_depth() {
+        let q = BoundedQueue::new(8);
+        assert_eq!(q.high_water(), 0);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.push(3).unwrap();
+        assert_eq!(q.high_water(), 3);
+        q.pop().unwrap();
+        q.pop().unwrap();
+        assert_eq!(q.len(), 1);
+        // Draining never lowers the mark...
+        assert_eq!(q.high_water(), 3);
+        q.push(4).unwrap();
+        // ...and refilling below the peak doesn't move it either.
+        assert_eq!(q.high_water(), 3);
     }
 
     #[test]

@@ -8,6 +8,7 @@ use strix_tfhe::bootstrap::Lut;
 use strix_tfhe::lwe::LweCiphertext;
 
 use crate::error::RuntimeError;
+use crate::trace::SpanId;
 
 /// Identifies one client stream. Per-client request order is preserved
 /// end to end.
@@ -67,19 +68,75 @@ impl RequestOp {
     /// Whether this operation contains a programmable bootstrap (and
     /// thus counts toward PBS/s throughput).
     pub fn is_pbs(&self) -> bool {
-        matches!(
-            self,
-            RequestOp::Lut(_)
-                | RequestOp::Bootstrap(_)
-                | RequestOp::Gate { .. }
-                | RequestOp::LinearLut { .. }
-        )
+        !matches!(self, RequestOp::Keyswitch)
     }
 
     /// Whether this operation carries a fused linear preamble (a gate
     /// recipe or an explicit weighted sum) ahead of its bootstrap.
     pub fn is_fused_linear(&self) -> bool {
         matches!(self, RequestOp::Gate { .. } | RequestOp::LinearLut { .. })
+    }
+
+    /// The request class this operation belongs to, for per-class
+    /// latency attribution in the metrics.
+    pub fn class(&self) -> RequestClass {
+        match self {
+            RequestOp::Lut(_) => RequestClass::Lut,
+            RequestOp::Bootstrap(_) => RequestClass::Bootstrap,
+            RequestOp::Keyswitch => RequestClass::Keyswitch,
+            RequestOp::Gate { .. } => RequestClass::Gate,
+            RequestOp::LinearLut { .. } => RequestClass::LinearLut,
+        }
+    }
+}
+
+/// The request classes the metrics attribute latency to — one per
+/// [`RequestOp`] variant, so the report can show where each kind of
+/// request spends its time (queue wait vs batch wait vs execution).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RequestClass {
+    /// PBS + keyswitch ([`RequestOp::Lut`]).
+    Lut,
+    /// Raw PBS ([`RequestOp::Bootstrap`]).
+    Bootstrap,
+    /// Keyswitch only ([`RequestOp::Keyswitch`]).
+    Keyswitch,
+    /// Boolean gate ([`RequestOp::Gate`]).
+    Gate,
+    /// Fused linear + LUT ([`RequestOp::LinearLut`]).
+    LinearLut,
+}
+
+impl RequestClass {
+    /// All classes, in a fixed order (the metrics index by position).
+    pub const ALL: [RequestClass; 5] = [
+        RequestClass::Lut,
+        RequestClass::Bootstrap,
+        RequestClass::Keyswitch,
+        RequestClass::Gate,
+        RequestClass::LinearLut,
+    ];
+
+    /// Stable label used in reports and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            RequestClass::Lut => "lut",
+            RequestClass::Bootstrap => "bootstrap",
+            RequestClass::Keyswitch => "keyswitch",
+            RequestClass::Gate => "gate",
+            RequestClass::LinearLut => "linear-lut",
+        }
+    }
+
+    /// Position in [`Self::ALL`].
+    pub(crate) fn index(self) -> usize {
+        match self {
+            RequestClass::Lut => 0,
+            RequestClass::Bootstrap => 1,
+            RequestClass::Keyswitch => 2,
+            RequestClass::Gate => 3,
+            RequestClass::LinearLut => 4,
+        }
     }
 }
 
@@ -90,12 +147,36 @@ pub struct Request {
     pub client: ClientId,
     /// Position in the client's stream (0-based, strictly increasing).
     pub seq: u64,
+    /// Trace span carried through every runtime layer.
+    pub span: SpanId,
     /// Input ciphertext.
     pub ct: LweCiphertext,
     /// Operation to perform.
     pub op: RequestOp,
     /// Submission timestamp, for end-to-end latency accounting.
     pub submitted_at: Instant,
+    /// When the batcher pulled this request into its open batch
+    /// (`submitted_at → batched_at` is the ingress queue wait).
+    pub batched_at: Option<Instant>,
+    /// When the open batch flushed as an epoch
+    /// (`batched_at → flushed_at` is the batch-formation wait).
+    pub flushed_at: Option<Instant>,
+}
+
+impl Request {
+    /// Builds a fresh request, submitted now, not yet batched.
+    pub fn new(client: ClientId, seq: u64, span: SpanId, ct: LweCiphertext, op: RequestOp) -> Self {
+        Self {
+            client,
+            seq,
+            span,
+            ct,
+            op,
+            submitted_at: Instant::now(),
+            batched_at: None,
+            flushed_at: None,
+        }
+    }
 }
 
 /// The completed counterpart of a [`Request`].
@@ -105,6 +186,9 @@ pub struct Response {
     pub client: ClientId,
     /// The request's position in the client's stream.
     pub seq: u64,
+    /// The request's trace span, so callers can correlate responses
+    /// with exported trace slices.
+    pub span: SpanId,
     /// The output ciphertext, or the failure.
     pub result: Result<LweCiphertext, RuntimeError>,
     /// Submit-to-completion latency.
@@ -149,6 +233,21 @@ mod tests {
         let lin = RequestOp::LinearLut { weights: vec![1], extra: vec![], offset: 0, lut };
         assert!(lin.is_pbs() && lin.is_fused_linear());
         assert!(!RequestOp::Keyswitch.is_fused_linear());
+    }
+
+    #[test]
+    fn classes_cover_every_op_and_have_stable_labels() {
+        let lut = Arc::new(Lut::sign(64, 1));
+        assert_eq!(RequestOp::Lut(Arc::clone(&lut)).class(), RequestClass::Lut);
+        assert_eq!(RequestOp::Keyswitch.class(), RequestClass::Keyswitch);
+        assert_eq!(
+            RequestOp::Gate { gate: BinaryGate::Xor, other: LweCiphertext::trivial(4, 0) }.class(),
+            RequestClass::Gate
+        );
+        for (i, class) in RequestClass::ALL.into_iter().enumerate() {
+            assert_eq!(class.index(), i);
+            assert!(!class.label().is_empty());
+        }
     }
 
     #[test]

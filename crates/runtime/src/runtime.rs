@@ -18,6 +18,7 @@ use crate::metrics::{MetricsSink, RuntimeReport};
 use crate::policy::FlushPolicy;
 use crate::queue::BoundedQueue;
 use crate::request::{ClientId, Request, RequestOp, Response};
+use crate::trace::{TraceConfig, TraceStage, Tracer};
 use crate::worker::{self, ClientRegistry};
 
 /// Configuration of a [`Runtime`].
@@ -38,6 +39,14 @@ pub struct RuntimeConfig {
     pub threads_per_worker: usize,
     /// Ingress queue depth, in requests (backpressure bound).
     pub ingress_depth: usize,
+    /// Request tracing configuration (ring capacity, sampling).
+    pub trace: TraceConfig,
+    /// Execute every Nth epoch through the probed (instrumented)
+    /// production kernel to populate the report's per-stage PBS
+    /// breakdown; 0 disables sampling. A sampled epoch runs
+    /// single-threaded, so with `threads_per_worker > 1` this trades a
+    /// sliver of throughput for attribution.
+    pub profile_every: u64,
 }
 
 impl RuntimeConfig {
@@ -51,6 +60,8 @@ impl RuntimeConfig {
             workers: 2,
             threads_per_worker: 1,
             ingress_depth: geometry.epoch_size() * 4,
+            trace: TraceConfig::default(),
+            profile_every: 16,
         }
     }
 
@@ -67,6 +78,16 @@ impl RuntimeConfig {
     /// Overrides the intra-epoch thread budget per worker.
     pub fn with_threads_per_worker(self, threads_per_worker: usize) -> Self {
         Self { threads_per_worker: threads_per_worker.max(1), ..self }
+    }
+
+    /// Overrides the tracing configuration.
+    pub fn with_trace(self, trace: TraceConfig) -> Self {
+        Self { trace, ..self }
+    }
+
+    /// Overrides the stage-profiling sampling period (0 disables).
+    pub fn with_profile_every(self, profile_every: u64) -> Self {
+        Self { profile_every, ..self }
     }
 }
 
@@ -104,6 +125,7 @@ pub struct Runtime {
     ingress: Arc<BoundedQueue<Request>>,
     registry: Arc<ClientRegistry>,
     metrics: Arc<MetricsSink>,
+    tracer: Arc<Tracer>,
     epoch_capacity: usize,
     next_client: AtomicU64,
     batcher: Option<JoinHandle<()>>,
@@ -134,25 +156,33 @@ impl Runtime {
         let epochs = Arc::new(BoundedQueue::new(config.workers.max(1) + 1));
         let registry = Arc::new(ClientRegistry::default());
         let metrics = Arc::new(MetricsSink::default());
+        let tracer = Arc::new(Tracer::new(config.trace));
 
         let batcher = {
-            let (i, e, m) = (Arc::clone(&ingress), Arc::clone(&epochs), Arc::clone(&metrics));
+            let (i, e, m, t) = (
+                Arc::clone(&ingress),
+                Arc::clone(&epochs),
+                Arc::clone(&metrics),
+                Arc::clone(&tracer),
+            );
             std::thread::Builder::new()
                 .name("strix-batcher".into())
-                .spawn(move || batcher::run(i, e, policy, m))
+                .spawn(move || batcher::run(i, e, policy, m, t))
                 .expect("spawn batcher")
         };
+        let profile_every = config.profile_every;
         let workers = (0..config.workers.max(1))
             .map(|idx| {
-                let (e, x, r, m) = (
+                let (e, x, r, m, t) = (
                     Arc::clone(&epochs),
                     Arc::clone(&executor),
                     Arc::clone(&registry),
                     Arc::clone(&metrics),
+                    Arc::clone(&tracer),
                 );
                 std::thread::Builder::new()
                     .name(format!("strix-worker-{idx}"))
-                    .spawn(move || worker::run(e, x, r, m))
+                    .spawn(move || worker::run(e, x, r, m, t, profile_every))
                     .expect("spawn worker")
             })
             .collect();
@@ -161,6 +191,7 @@ impl Runtime {
             ingress,
             registry,
             metrics,
+            tracer,
             epoch_capacity: policy.max_epoch,
             next_client: AtomicU64::new(0),
             batcher: Some(batcher),
@@ -178,6 +209,7 @@ impl Runtime {
             id,
             ingress: Arc::clone(&self.ingress),
             registry: Arc::clone(&self.registry),
+            tracer: Arc::clone(&self.tracer),
             rx,
             next_submit: 0,
             next_recv: 0,
@@ -185,17 +217,32 @@ impl Runtime {
         }
     }
 
+    /// The runtime's tracer — export [`Tracer::chrome_trace_json`]
+    /// after (or during) a run to open the request timeline in
+    /// Perfetto / `chrome://tracing`.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
     /// A live snapshot of the metrics without shutting down.
     pub fn report(&self) -> RuntimeReport {
-        self.metrics.report(self.epoch_capacity)
+        let mut report = self.metrics.report(self.epoch_capacity);
+        report.ingress_queue_depth = self.ingress.len();
+        report.ingress_queue_high_water = self.ingress.high_water();
+        report
     }
 
     /// Drains and stops the runtime: the ingress closes (further
     /// `submit`s fail), every already-accepted request still executes,
     /// and all threads are joined. Returns the final report.
     pub fn shutdown(mut self) -> RuntimeReport {
+        // The high-water mark must be read before the drain empties the
+        // queue; the final depth is, by construction, zero.
+        let high_water = self.ingress.high_water();
         self.drain_and_join();
-        self.metrics.report(self.epoch_capacity)
+        let mut report = self.metrics.report(self.epoch_capacity);
+        report.ingress_queue_high_water = high_water.max(self.ingress.high_water());
+        report
     }
 
     fn drain_and_join(&mut self) {
@@ -229,6 +276,7 @@ pub struct ClientHandle {
     id: ClientId,
     ingress: Arc<BoundedQueue<Request>>,
     registry: Arc<ClientRegistry>,
+    tracer: Arc<Tracer>,
     rx: Receiver<Response>,
     next_submit: u64,
     next_recv: u64,
@@ -249,8 +297,20 @@ impl ClientHandle {
     /// Returns [`RuntimeError::Shutdown`] after the runtime shut down.
     pub fn submit(&mut self, ct: LweCiphertext, op: RequestOp) -> Result<u64, RuntimeError> {
         let seq = self.next_submit;
-        let request = Request { client: self.id, seq, ct, op, submitted_at: Instant::now() };
+        let span = self.tracer.next_span();
+        let request = Request::new(self.id, seq, span, ct, op);
+        // The Submitted→Enqueued gap is the time `push` blocked on
+        // backpressure — visible per request in the exported trace.
+        self.tracer.record_at(
+            span,
+            self.id,
+            seq,
+            None,
+            TraceStage::Submitted,
+            request.submitted_at,
+        );
         self.ingress.push(request).map_err(|_| RuntimeError::Shutdown)?;
+        self.tracer.record(span, self.id, seq, None, TraceStage::Enqueued);
         self.next_submit += 1;
         Ok(seq)
     }

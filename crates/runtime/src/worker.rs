@@ -10,12 +10,14 @@
 use std::collections::HashMap;
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use crate::error::RuntimeError;
 use crate::executor::BatchExecutor;
-use crate::metrics::MetricsSink;
+use crate::metrics::{MetricsSink, RequestRecord};
 use crate::queue::BoundedQueue;
 use crate::request::{ClientId, Epoch, Response};
+use crate::trace::{TraceStage, Tracer};
 
 /// Routes responses to per-client channels.
 #[derive(Default)]
@@ -54,6 +56,8 @@ pub(crate) fn run(
     executor: Arc<dyn BatchExecutor>,
     registry: Arc<ClientRegistry>,
     metrics: Arc<MetricsSink>,
+    tracer: Arc<Tracer>,
+    profile_every: u64,
 ) {
     while let Ok(epoch) = epochs.pop() {
         let expected = epoch.requests.len();
@@ -62,28 +66,68 @@ pub(crate) fn run(
         // count, not the raw epoch size.
         let pbs_len = epoch.requests.iter().filter(|r| r.op.is_pbs()).count();
         metrics.record_epoch_threads(executor.planned_threads(pbs_len), executor.max_threads());
-        let mut results: Vec<Result<_, RuntimeError>> = executor
-            .execute(&epoch.requests)
-            .into_iter()
-            .map(|r| r.map_err(RuntimeError::Tfhe))
-            .collect();
+        // Sampling decision: every `profile_every`-th epoch (by flush
+        // id, so it's deterministic and uniform across workers with no
+        // shared counter) runs the probed production kernel and feeds
+        // the per-stage breakdown. 0 disables sampling entirely.
+        let profiled = profile_every > 0 && epoch.id % profile_every == 0;
+        let execution = executor.execute_epoch(&epoch.requests, profiled);
+        if let Some((timings, pbs_jobs)) = &execution.stage_sample {
+            metrics.record_stage_sample(timings, *pbs_jobs);
+        }
+        // The epoch-level execution timeline applies to every
+        // PBS-bearing span in the epoch: the batched blind rotation and
+        // the batched keyswitch tail are shared work, so each traced
+        // request shows the same pbs/keyswitch sub-slices.
+        for request in epoch.requests.iter().filter(|r| r.op.is_pbs()) {
+            for (span, stage) in [
+                (execution.pbs_span, (TraceStage::PbsStart, TraceStage::PbsEnd)),
+                (execution.ks_span, (TraceStage::KsStart, TraceStage::KsEnd)),
+            ] {
+                if let Some((t0, t1)) = span {
+                    let id = Some(epoch.id);
+                    tracer.record_at(request.span, request.client, request.seq, id, stage.0, t0);
+                    tracer.record_at(request.span, request.client, request.seq, id, stage.1, t1);
+                }
+            }
+        }
+        let mut results: Vec<Result<_, RuntimeError>> =
+            execution.results.into_iter().map(|r| r.map_err(RuntimeError::Tfhe)).collect();
         // An executor that breaks its one-result-per-request contract
         // must not strand clients: surplus results are dropped, missing
         // ones surface as explicit losses.
         results.truncate(expected);
         results.resize_with(expected, || Err(RuntimeError::Lost));
         for (request, result) in epoch.requests.into_iter().zip(results) {
-            let latency = request.submitted_at.elapsed();
-            metrics.record_request(
-                request.submitted_at,
+            let completed_at = Instant::now();
+            let latency = completed_at.saturating_duration_since(request.submitted_at);
+            // The batcher stamps both waypoints; epochs injected by
+            // tests may omit them, in which case the missing interval
+            // collapses to zero rather than inventing time.
+            let batched = request.batched_at.unwrap_or(request.submitted_at);
+            let flushed = request.flushed_at.unwrap_or(batched);
+            metrics.record_request(RequestRecord {
+                submitted_at: request.submitted_at,
                 latency,
-                request.op.is_pbs(),
-                request.op.is_fused_linear(),
-                result.is_ok(),
+                queue_wait: batched.saturating_duration_since(request.submitted_at),
+                batch_wait: flushed.saturating_duration_since(batched),
+                execute: completed_at.saturating_duration_since(flushed),
+                class: request.op.class(),
+                fused_linear: request.op.is_fused_linear(),
+                ok: result.is_ok(),
+            });
+            tracer.record_at(
+                request.span,
+                request.client,
+                request.seq,
+                Some(epoch.id),
+                TraceStage::Completed,
+                completed_at,
             );
             registry.deliver(Response {
                 client: request.client,
                 seq: request.seq,
+                span: request.span,
                 result,
                 latency,
                 epoch: epoch.id,
@@ -96,12 +140,12 @@ pub(crate) fn run(
 mod tests {
     use super::*;
     use std::sync::mpsc;
-    use std::time::Instant;
 
     use strix_tfhe::lwe::LweCiphertext;
     use strix_tfhe::TfheError;
 
     use crate::request::{Request, RequestOp};
+    use crate::trace::SpanId;
 
     /// Echoes the input ciphertext back; fails on dimension 0.
     struct EchoExecutor;
@@ -131,19 +175,28 @@ mod tests {
         registry.register(ClientId(1), tx_a);
         registry.register(ClientId(2), tx_b);
 
-        let make = |client: u64, seq: u64, body: u64| Request {
-            client: ClientId(client),
-            seq,
-            ct: LweCiphertext::trivial(4, body),
-            op: RequestOp::Keyswitch,
-            submitted_at: Instant::now(),
+        let make = |client: u64, seq: u64, body: u64| {
+            Request::new(
+                ClientId(client),
+                seq,
+                SpanId(client * 100 + seq),
+                LweCiphertext::trivial(4, body),
+                RequestOp::Keyswitch,
+            )
         };
         epochs
             .push(Epoch { id: 0, requests: vec![make(1, 0, 10), make(2, 0, 20), make(1, 1, 11)] })
             .unwrap();
         epochs.close();
 
-        run(epochs, Arc::new(EchoExecutor), Arc::clone(&registry), Arc::clone(&metrics));
+        run(
+            epochs,
+            Arc::new(EchoExecutor),
+            Arc::clone(&registry),
+            Arc::clone(&metrics),
+            Arc::new(Tracer::default()),
+            0,
+        );
 
         let a0 = rx_a.recv().unwrap();
         let a1 = rx_a.recv().unwrap();
@@ -170,16 +223,25 @@ mod tests {
         let metrics = Arc::new(MetricsSink::default());
         let (tx, rx) = mpsc::channel();
         registry.register(ClientId(1), tx);
-        let make = |seq: u64| Request {
-            client: ClientId(1),
-            seq,
-            ct: LweCiphertext::trivial(4, seq),
-            op: RequestOp::Keyswitch,
-            submitted_at: Instant::now(),
+        let make = |seq: u64| {
+            Request::new(
+                ClientId(1),
+                seq,
+                SpanId(seq),
+                LweCiphertext::trivial(4, seq),
+                RequestOp::Keyswitch,
+            )
         };
         epochs.push(Epoch { id: 0, requests: vec![make(0), make(1)] }).unwrap();
         epochs.close();
-        run(epochs, Arc::new(ShortExecutor), registry, Arc::clone(&metrics));
+        run(
+            epochs,
+            Arc::new(ShortExecutor),
+            registry,
+            Arc::clone(&metrics),
+            Arc::new(Tracer::default()),
+            0,
+        );
 
         let first = rx.recv().unwrap();
         assert!(first.result.is_ok());
@@ -200,17 +262,76 @@ mod tests {
         epochs
             .push(Epoch {
                 id: 0,
-                requests: vec![Request {
-                    client: ClientId(9),
-                    seq: 0,
-                    ct: LweCiphertext::trivial(4, 1),
-                    op: RequestOp::Keyswitch,
-                    submitted_at: Instant::now(),
-                }],
+                requests: vec![Request::new(
+                    ClientId(9),
+                    0,
+                    SpanId(0),
+                    LweCiphertext::trivial(4, 1),
+                    RequestOp::Keyswitch,
+                )],
             })
             .unwrap();
         epochs.close();
-        run(epochs, Arc::new(EchoExecutor), registry, Arc::clone(&metrics));
+        run(
+            epochs,
+            Arc::new(EchoExecutor),
+            registry,
+            Arc::clone(&metrics),
+            Arc::new(Tracer::default()),
+            0,
+        );
         assert_eq!(metrics.report(1).requests_completed, 1);
+    }
+
+    /// Counts how often it was asked for a profiled execution.
+    struct ProfileCountingExecutor(Mutex<Vec<(u64, bool)>>);
+
+    impl BatchExecutor for ProfileCountingExecutor {
+        fn execute(&self, batch: &[Request]) -> Vec<Result<LweCiphertext, TfheError>> {
+            batch.iter().map(|r| Ok(r.ct.clone())).collect()
+        }
+
+        fn execute_epoch(
+            &self,
+            batch: &[Request],
+            profiled: bool,
+        ) -> crate::executor::EpochExecution {
+            self.0.lock().unwrap().push((batch[0].seq, profiled));
+            crate::executor::EpochExecution::from_results(self.execute(batch))
+        }
+    }
+
+    #[test]
+    fn every_nth_epoch_is_profiled() {
+        let epochs = Arc::new(BoundedQueue::new(16));
+        let registry = Arc::new(ClientRegistry::default());
+        let metrics = Arc::new(MetricsSink::default());
+        let exec = Arc::new(ProfileCountingExecutor(Mutex::new(Vec::new())));
+        for id in 0..6u64 {
+            epochs
+                .push(Epoch {
+                    id,
+                    requests: vec![Request::new(
+                        ClientId(1),
+                        id,
+                        SpanId(id),
+                        LweCiphertext::trivial(4, 0),
+                        RequestOp::Keyswitch,
+                    )],
+                })
+                .unwrap();
+        }
+        epochs.close();
+        run(
+            Arc::clone(&epochs),
+            Arc::clone(&exec) as Arc<dyn BatchExecutor>,
+            registry,
+            metrics,
+            Arc::new(Tracer::default()),
+            3,
+        );
+        let seen = exec.0.lock().unwrap().clone();
+        let profiled: Vec<bool> = seen.iter().map(|&(_, p)| p).collect();
+        assert_eq!(profiled, [true, false, false, true, false, false]);
     }
 }

@@ -124,6 +124,27 @@ impl ServerKey {
     pub fn key_bytes(&self) -> usize {
         self.bsk.byte_size() + self.ksk.byte_size()
     }
+
+    /// Generates a *timing-equivalent* server key without the full
+    /// (hours-long at production parameters) bootstrapping keygen: the
+    /// bsk comes from [`BootstrapKey::generate_for_benchmark`] (same
+    /// arithmetic, cryptographically meaningless), while the ksk is a
+    /// real keyswitching key over freshly drawn secret keys — ksk
+    /// generation is cheap, and a real ksk keeps the keyswitch path's
+    /// memory traffic honest. Suitable only for performance
+    /// measurements (the closed-loop SLO harness); outputs do not
+    /// decrypt meaningfully.
+    pub fn generate_for_benchmark(params: &TfheParameters, seed: u64) -> Self {
+        params.validate().expect("parameter set must be valid");
+        let mut rng = NoiseSampler::from_seed(seed);
+        let bsk = BootstrapKey::generate_for_benchmark(params);
+        let glwe_sk =
+            GlweSecretKey::generate(params.glwe_dimension, params.polynomial_size, &mut rng);
+        let lwe_sk = LweSecretKey::generate(params.lwe_dimension, &mut rng);
+        let ksk =
+            KeySwitchKey::generate(&glwe_sk.to_extracted_lwe_key(), &lwe_sk, params, &mut rng);
+        Self { params: params.clone(), bsk, ksk }
+    }
 }
 
 /// Generates a `(ClientKey, ServerKey)` pair from a seed.
@@ -175,6 +196,22 @@ mod tests {
         let ct = client.encrypt_torus(pt);
         let phase = client.decrypt_phase(&ct).unwrap();
         assert_eq!(crate::torus::decode_message(phase, 4), 3);
+    }
+
+    #[test]
+    fn benchmark_server_key_has_real_shapes() {
+        let params = TfheParameters::testing_fast();
+        let server = ServerKey::generate_for_benchmark(&params, 123);
+        assert_eq!(server.bootstrap_key().input_dimension(), params.lwe_dimension);
+        assert_eq!(server.keyswitch_key().input_dimension(), params.extracted_lwe_dimension());
+        assert_eq!(server.keyswitch_key().output_dimension(), params.lwe_dimension);
+        assert_eq!(server.key_bytes(), params.bootstrap_key_bytes() + params.keyswitch_key_bytes());
+        // The PBS+KS pipeline runs end to end with the benchmark key.
+        let lut = crate::bootstrap::Lut::sign(params.polynomial_size, 1);
+        let ct = LweCiphertext::trivial(params.lwe_dimension, 0);
+        let booted = server.bootstrap_key().bootstrap(&ct, &lut).unwrap();
+        let switched = server.keyswitch_key().keyswitch(&booted).unwrap();
+        assert_eq!(switched.dimension(), params.lwe_dimension);
     }
 
     #[test]

@@ -8,6 +8,15 @@
 //! ```sh
 //! cargo run --release -p strix --example streaming_server
 //! ```
+//!
+//! Pass `--trace-out <path>` to export the run's end-to-end request
+//! timeline in Chrome trace-event format — open the file in Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing` to see each
+//! client's queue-wait / batch-wait / execute slices per request:
+//!
+//! ```sh
+//! cargo run --release -p strix --example streaming_server -- --trace-out trace.json
+//! ```
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -17,11 +26,23 @@ use strix::runtime::{ArrivalProcess, OpenLoopTrafficGen, RequestOp, Runtime, Run
 use strix::tfhe::bootstrap::Lut;
 use strix::tfhe::prelude::*;
 
-const CLIENTS: usize = 4;
-const REQUESTS_PER_CLIENT: usize = 24;
+const CLIENTS: usize = 8;
+const REQUESTS_PER_CLIENT: usize = 12;
 const MESSAGE_BITS: u32 = 3;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut trace_out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace-out" => trace_out = Some(args.next().expect("--trace-out <path>")),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
     let params = TfheParameters::testing_fast();
     let (client_key, server_key) = generate_keys(&params, 0x57121);
 
@@ -84,6 +105,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             });
         }
     });
+
+    // Export the trace before shutdown consumes the runtime; by now
+    // every request has its Completed event, so the timeline is whole.
+    if let Some(path) = trace_out {
+        let json = runtime.tracer().chrome_trace_json();
+        std::fs::write(&path, json)?;
+        println!(
+            "wrote {} trace events to {path} (open in https://ui.perfetto.dev)",
+            runtime.tracer().events().len()
+        );
+    }
 
     let report = runtime.shutdown();
     println!("\n--- runtime report ---------------------------------------");

@@ -8,7 +8,7 @@ use std::time::Duration;
 use strix::core::BatchGeometry;
 use strix::runtime::{
     ArrivalProcess, BatchExecutor, OpenLoopTrafficGen, Request, RequestOp, Runtime, RuntimeConfig,
-    TfheExecutor,
+    TfheExecutor, TraceStage, REPORT_SCHEMA_VERSION,
 };
 use strix::tfhe::bootstrap::Lut;
 use strix::tfhe::lwe::LweCiphertext;
@@ -173,6 +173,90 @@ fn saturated_ingress_fills_epochs_past_90_percent() {
         report.mean_batch_occupancy,
         report.occupancy_histogram
     );
+}
+
+#[test]
+fn observability_pipeline_traces_spans_and_attributes_latency_end_to_end() {
+    // One run through the real TFHE backend exercises the whole
+    // telemetry path: span tracing at every stage boundary, per-class
+    // latency attribution, the sampled per-stage PBS breakdown
+    // (profile_every = 1 so every epoch samples), windowed series and
+    // the queue gauges — all without perturbing results.
+    const PER_CLIENT: usize = 10;
+    const BITS: u32 = 3;
+
+    let params = TfheParameters::testing_fast();
+    let (client_key, server_key) = generate_keys(&params, 0x0B5E7);
+    let runtime = Runtime::start_tfhe(
+        RuntimeConfig::new(BatchGeometry::explicit(2, 4))
+            .with_max_delay(Duration::from_millis(3))
+            .with_workers(2)
+            .with_profile_every(1),
+        Arc::new(server_key),
+    );
+    let lut = Arc::new(Lut::from_function(params.polynomial_size, BITS, |m| (m + 1) % 8).unwrap());
+
+    let mut handle = runtime.client();
+    let mut key = client_key.clone();
+    for i in 0..PER_CLIENT as u64 {
+        let ct = key.encrypt_shortint(i % 8, BITS).unwrap().as_lwe().clone();
+        handle.submit(ct, RequestOp::Lut(Arc::clone(&lut))).unwrap();
+    }
+    for i in 0..PER_CLIENT as u64 {
+        let response = handle.recv().expect("response");
+        assert_eq!(response.seq, i);
+        let out = response.result.expect("op succeeds");
+        let phase = key.decrypt_phase(&out).unwrap();
+        assert_eq!(strix::tfhe::torus::decode_message(phase, BITS + 1), (i % 8 + 1) % 8);
+    }
+
+    // Every request's span reached every lifecycle stage.
+    let events = runtime.tracer().events();
+    for stage in [
+        TraceStage::Submitted,
+        TraceStage::Enqueued,
+        TraceStage::BatchOpened,
+        TraceStage::EpochFlushed,
+        TraceStage::PbsStart,
+        TraceStage::PbsEnd,
+        TraceStage::KsStart,
+        TraceStage::KsEnd,
+        TraceStage::Completed,
+    ] {
+        let count = events.iter().filter(|e| e.stage == stage).count();
+        assert_eq!(count, PER_CLIENT, "stage {stage:?} missing events");
+    }
+    // The Chrome export is valid JSON with one complete-event slice
+    // per queue-wait/batch-wait/execute/pbs/keyswitch interval.
+    let chrome = runtime.tracer().chrome_trace_json();
+    assert!(chrome.starts_with('['));
+    for name in ["queue-wait", "batch-wait", "execute", "pbs", "keyswitch"] {
+        assert!(chrome.contains(name), "chrome trace lacks {name} slices");
+    }
+
+    let report = runtime.shutdown();
+    assert_eq!(report.schema_version, REPORT_SCHEMA_VERSION);
+    assert_eq!(report.requests_completed, PER_CLIENT);
+    // Latency attribution: the lut class completed everything, with
+    // non-degenerate stage means.
+    let lut_class =
+        report.latency_attribution.iter().find(|c| c.class == "lut").expect("lut class attributed");
+    assert_eq!(lut_class.completed, PER_CLIENT);
+    assert!(lut_class.mean_execute_us > 0.0);
+    assert!(lut_class.mean_latency_us >= lut_class.mean_execute_us);
+    // Stage breakdown came from the sampled production epochs.
+    let stages = report.pbs_stage_breakdown.as_ref().expect("profiled epochs sampled");
+    assert!(stages.sampled_epochs >= 1);
+    assert_eq!(stages.sampled_pbs, PER_CLIENT);
+    assert!(stages.forward_fft_us > 0.0 && stages.keyswitch_us > 0.0);
+    // Windowed series and queue gauges populated.
+    assert!(!report.windows.is_empty());
+    assert_eq!(report.windows.iter().map(|w| w.completed).sum::<usize>(), PER_CLIENT);
+    assert!(report.ingress_queue_high_water >= 1);
+    assert_eq!(report.ingress_queue_depth, 0, "shutdown drained the queue");
+    // The human summary surfaces the new telemetry.
+    let summary = report.summary();
+    assert!(summary.contains("lut"), "class attribution missing from summary");
 }
 
 #[test]
