@@ -16,6 +16,13 @@
 //! shape as a real key, instant keygen). `--threads T` sets the
 //! intra-epoch shard count fed to `bootstrap_batch_parallel`.
 //!
+//! `--kernel both|classical|multi_bit` (default `both`) selects which
+//! PBS kernels to measure: the classical blind rotation, the grouped
+//! multi-bit blind rotation (`--grouping G`, default 3 — the faster
+//! configuration on the reference container), or both side by side. The emitted JSON carries a `pbs` block per measured
+//! kernel, so the committed snapshot records the per-kernel ms/PBS the
+//! kernel-selection enum chooses between.
+//!
 //! Each snapshot also records the git commit it was measured at and a
 //! **per-stage breakdown** of one PBS (decompose / forward FFT / VMA /
 //! inverse FFT / rotate / modswitch / sample-extract µs), taken with
@@ -31,7 +38,7 @@
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use strix_fft::{Complex64, NegacyclicFft};
-use strix_tfhe::bootstrap::{BootstrapKey, Lut, PbsJob};
+use strix_tfhe::bootstrap::{BootstrapKey, Lut, MultiBitBootstrapKey, PbsJob};
 use strix_tfhe::lwe::LweCiphertext;
 use strix_tfhe::profiler::{PbsStage, StageTimings};
 use strix_tfhe::torus::encode_fraction;
@@ -174,10 +181,58 @@ fn compare_against_baseline(
     }
 }
 
+/// One kernel's measured throughput plus its per-stage breakdown.
+struct KernelMeasure {
+    per_pbs_ms: f64,
+    pbs_per_s: f64,
+    stages: Vec<(&'static str, f64)>,
+}
+
+/// Measures one PBS kernel: epoch throughput via `run` (sharded over
+/// `threads`), then a per-stage breakdown via `run_profiled` over the
+/// probed production path. The breakdown is always measured on ONE
+/// thread regardless of `threads` — the probe needs exclusive
+/// `StageTimings` — so the emitted stage object carries its own
+/// `"threads": 1` marker; the stage sum reconciles with `per_pbs_ms`
+/// only when `threads` is 1 too.
+fn measure_kernel(
+    batch: usize,
+    mut run: impl FnMut(usize),
+    mut run_profiled: impl FnMut(&mut StageTimings),
+    threads: usize,
+) -> KernelMeasure {
+    let per_epoch = time_per_call(|| run(threads));
+    let mut timings = StageTimings::new();
+    let mut profiled_epochs = 0u32;
+    let t0 = Instant::now();
+    while t0.elapsed() < BUDGET || profiled_epochs == 0 {
+        run_profiled(&mut timings);
+        profiled_epochs += 1;
+    }
+    let per_pbs_us = |stage: PbsStage| {
+        timings.total_for(stage).as_secs_f64() * 1e6 / (profiled_epochs as f64 * batch as f64)
+    };
+    KernelMeasure {
+        per_pbs_ms: per_epoch * 1e3 / batch as f64,
+        pbs_per_s: batch as f64 / per_epoch,
+        stages: vec![
+            ("modswitch_us", per_pbs_us(PbsStage::ModSwitch)),
+            ("rotate_us", per_pbs_us(PbsStage::Rotate)),
+            ("decompose_us", per_pbs_us(PbsStage::Decompose)),
+            ("forward_fft_us", per_pbs_us(PbsStage::Fft)),
+            ("vma_us", per_pbs_us(PbsStage::VectorMultiply)),
+            ("inverse_fft_us", per_pbs_us(PbsStage::IfftAccumulate)),
+            ("sample_extract_us", per_pbs_us(PbsStage::SampleExtract)),
+        ],
+    }
+}
+
 fn main() {
     let mut fast = false;
     let mut threads = 1usize;
     let mut batch = 8usize;
+    let mut kernel = String::from("both");
+    let mut grouping = 3usize;
     let mut out_path = String::from("BENCH_pbs.json");
     let mut baseline: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -190,6 +245,12 @@ fn main() {
             "--batch" => {
                 batch = args.next().and_then(|v| v.parse().ok()).expect("--batch <jobs>");
             }
+            "--kernel" => {
+                kernel = args.next().expect("--kernel <both|classical|multi_bit>");
+            }
+            "--grouping" => {
+                grouping = args.next().and_then(|v| v.parse().ok()).expect("--grouping <factor>");
+            }
             "--out" => out_path = args.next().expect("--out <path>"),
             "--baseline" => baseline = Some(args.next().expect("--baseline <file>")),
             other => {
@@ -198,6 +259,15 @@ fn main() {
             }
         }
     }
+    let (classical_enabled, multi_bit_enabled) = match kernel.as_str() {
+        "both" => (true, true),
+        "classical" => (true, false),
+        "multi_bit" => (false, true),
+        other => {
+            eprintln!("unknown --kernel value: {other} (expected both|classical|multi_bit)");
+            std::process::exit(2);
+        }
+    };
 
     // Capture the baseline *now*, before anything writes `out_path` —
     // `--baseline BENCH_pbs.json --out BENCH_pbs.json` must compare
@@ -208,16 +278,23 @@ fn main() {
     if fast {
         batch = batch.min(4);
     }
-    eprintln!("bench_snapshot: params={} batch={batch} threads={threads}", params.name);
+    eprintln!(
+        "bench_snapshot: params={} batch={batch} threads={threads} kernel={kernel}",
+        params.name
+    );
 
     // FFT rows: the per-transform numbers future PRs diff against.
     let fft_sizes: &[usize] = if fast { &[256, 1024] } else { &[1024, 2048] };
     let fft_rows: Vec<FftRow> = fft_sizes.iter().map(|&n| measure_fft(n)).collect();
 
-    // PBS throughput on the timing-equivalent benchmark key: one
-    // key-major epoch of `batch` sign-LUT bootstraps, repeated to fill
-    // the budget.
-    let bsk = BootstrapKey::generate_for_benchmark(&params);
+    // PBS throughput on the timing-equivalent benchmark keys: one
+    // key-major epoch of `batch` sign-LUT bootstraps per kernel,
+    // repeated to fill the budget. Keys are generated only for the
+    // kernels actually measured (the multi-bit key is 2^g/g times the
+    // classical footprint: 2x at g = 2, 2.67x at g = 3).
+    let bsk = classical_enabled.then(|| BootstrapKey::generate_for_benchmark(&params));
+    let mbsk =
+        multi_bit_enabled.then(|| MultiBitBootstrapKey::generate_for_benchmark(&params, grouping));
     let lut = Lut::sign(params.polynomial_size, encode_fraction(1, 3));
     // Pseudorandom masks (splitmix64): a trivial zero-mask ciphertext
     // would modulus-switch to all-zero rotations and skip every CMUX,
@@ -234,39 +311,43 @@ fn main() {
         .map(|_| LweCiphertext::from_raw((0..=params.lwe_dimension).map(|_| next()).collect()))
         .collect();
     let jobs: Vec<PbsJob<'_>> = cts.iter().map(|ct| PbsJob { ct, lut: &lut }).collect();
-    let per_epoch = time_per_call(|| {
-        let out = bsk.bootstrap_batch_parallel(&jobs, threads).unwrap();
-        std::hint::black_box(&out);
+    let classical = bsk.as_ref().map(|bsk| {
+        measure_kernel(
+            batch,
+            |t| {
+                let out = bsk.bootstrap_batch_parallel(&jobs, t).unwrap();
+                std::hint::black_box(&out);
+            },
+            |timings| {
+                let out = bsk.bootstrap_batch_profiled(&jobs, timings).unwrap();
+                std::hint::black_box(&out);
+            },
+            threads,
+        )
     });
-    let pbs_per_s = batch as f64 / per_epoch;
-    let per_pbs_ms = per_epoch * 1e3 / batch as f64;
-
-    // Per-stage breakdown over the production blocked CMUX kernel
-    // (timing probe): a few epochs, normalised to µs per PBS. Always
-    // measured on ONE thread regardless of --threads — the probe
-    // needs exclusive StageTimings — so the emitted object carries its
-    // own "threads": 1 marker; the stage sum reconciles with
-    // per_pbs_ms only when --threads is 1 too.
-    let mut timings = StageTimings::new();
-    let mut profiled_epochs = 0u32;
-    let t0 = Instant::now();
-    while t0.elapsed() < BUDGET || profiled_epochs == 0 {
-        let out = bsk.bootstrap_batch_profiled(&jobs, &mut timings).unwrap();
-        std::hint::black_box(&out);
-        profiled_epochs += 1;
+    let multi_bit = mbsk.as_ref().map(|mb| {
+        measure_kernel(
+            batch,
+            |t| {
+                let out = mb.bootstrap_batch_parallel(&jobs, t).unwrap();
+                std::hint::black_box(&out);
+            },
+            |timings| {
+                let out = mb.bootstrap_batch_profiled(&jobs, timings).unwrap();
+                std::hint::black_box(&out);
+            },
+            threads,
+        )
+    });
+    if let (Some(c), Some(m)) = (&classical, &multi_bit) {
+        eprintln!(
+            "bench_snapshot: multi-bit g={grouping}: {:.3} ms/PBS vs classical {:.3} ms/PBS \
+             ({:.3}x)",
+            m.per_pbs_ms,
+            c.per_pbs_ms,
+            c.per_pbs_ms / m.per_pbs_ms
+        );
     }
-    let per_pbs_us = |stage: PbsStage| {
-        timings.total_for(stage).as_secs_f64() * 1e6 / (profiled_epochs as f64 * batch as f64)
-    };
-    let stage_rows: Vec<(&str, f64)> = vec![
-        ("modswitch_us", per_pbs_us(PbsStage::ModSwitch)),
-        ("rotate_us", per_pbs_us(PbsStage::Rotate)),
-        ("decompose_us", per_pbs_us(PbsStage::Decompose)),
-        ("forward_fft_us", per_pbs_us(PbsStage::Fft)),
-        ("vma_us", per_pbs_us(PbsStage::VectorMultiply)),
-        ("inverse_fft_us", per_pbs_us(PbsStage::IfftAccumulate)),
-        ("sample_extract_us", per_pbs_us(PbsStage::SampleExtract)),
-    ];
 
     let unix_time = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
     let fft_json: Vec<String> = fft_rows
@@ -278,9 +359,31 @@ fn main() {
             )
         })
         .collect();
-    let stage_json: Vec<String> = std::iter::once("    \"threads\": 1".to_string())
-        .chain(stage_rows.iter().map(|(k, v)| format!("    \"{k}\": {v:.3}")))
-        .collect();
+    let stage_obj = |m: &KernelMeasure| {
+        std::iter::once("    \"threads\": 1".to_string())
+            .chain(m.stages.iter().map(|(k, v)| format!("    \"{k}\": {v:.3}")))
+            .collect::<Vec<_>>()
+            .join(",\n")
+    };
+    // One `pbs*` block per measured kernel. The classical block keeps
+    // its historical keys (`pbs` / `pbs_stages`) so older baselines
+    // stay comparable; the multi-bit block sits alongside it.
+    let mut kernel_blocks: Vec<String> = Vec::new();
+    if let Some(m) = &classical {
+        kernel_blocks.push(format!(
+            "  \"pbs\": {{ \"batch\": {batch}, \"per_pbs_ms\": {:.3}, \"pbs_per_s\": {:.2} }}",
+            m.per_pbs_ms, m.pbs_per_s
+        ));
+        kernel_blocks.push(format!("  \"pbs_stages\": {{\n{}\n  }}", stage_obj(m)));
+    }
+    if let Some(m) = &multi_bit {
+        kernel_blocks.push(format!(
+            "  \"pbs_multi_bit\": {{ \"grouping_factor\": {grouping}, \"batch\": {batch}, \
+             \"per_pbs_ms\": {:.3}, \"pbs_per_s\": {:.2} }}",
+            m.per_pbs_ms, m.pbs_per_s
+        ));
+        kernel_blocks.push(format!("  \"pbs_multi_bit_stages\": {{\n{}\n  }}", stage_obj(m)));
+    }
     let json = format!(
         "{{\n\
          \x20 \"schema\": \"strix-bench-snapshot-v2\",\n\
@@ -297,8 +400,7 @@ fn main() {
          \x20   \"ks_level\": {ks_level}\n\
          \x20 }},\n\
          \x20 \"threads\": {threads},\n\
-         \x20 \"pbs\": {{ \"batch\": {batch}, \"per_pbs_ms\": {per_pbs_ms:.3}, \"pbs_per_s\": {pbs_per_s:.2} }},\n\
-         \x20 \"pbs_stages\": {{\n{stages}\n  }},\n\
+         {kernels},\n\
          \x20 \"fft\": [\n{fft}\n  ]\n\
          }}\n",
         commit = git_commit(),
@@ -310,7 +412,7 @@ fn main() {
         level = params.pbs_level,
         ks_base = params.ks_base_log,
         ks_level = params.ks_level,
-        stages = stage_json.join(",\n"),
+        kernels = kernel_blocks.join(",\n"),
         fft = fft_json.join(",\n"),
     );
     std::fs::write(&out_path, &json).expect("write snapshot JSON");
@@ -318,7 +420,13 @@ fn main() {
     eprintln!("bench_snapshot: wrote {out_path}");
     match baseline_contents {
         Some((path, Ok(old))) => {
-            compare_against_baseline(&old, &path, &params.name, threads, batch, per_pbs_ms);
+            if let Some(m) = &classical {
+                compare_against_baseline(&old, &path, &params.name, threads, batch, m.per_pbs_ms);
+            } else {
+                eprintln!(
+                    "bench_snapshot: classical kernel not measured; baseline comparison skipped"
+                );
+            }
         }
         Some((path, Err(_))) => {
             eprintln!("bench_snapshot: baseline {path} unreadable; comparison skipped");

@@ -68,7 +68,8 @@ pub use complex::Complex64;
 pub use error::FftError;
 pub use kernel::SpectralPlan;
 pub use negacyclic::{
-    pointwise_mul_add, pointwise_mul_add_key, pointwise_mul_add_soa, FftScratch, NegacyclicFft,
+    pointwise_mul_add, pointwise_mul_add_key, pointwise_mul_add_soa, FftScratch, MonomialTable,
+    NegacyclicFft,
 };
 pub use plan::FftPlan;
 pub use soa::SoaSpectrum;

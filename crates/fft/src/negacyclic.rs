@@ -357,6 +357,95 @@ impl NegacyclicFft {
     }
 }
 
+/// Precomputed tables for materializing the spectrum of a monomial
+/// `X^d` directly in the digit-reversed slot order of a
+/// [`NegacyclicFft`] plan — without running a transform.
+///
+/// The negacyclic spectrum of `X^d` evaluated at the odd 2N-th root
+/// `ω^m` (`ω = e^{iπ/N}`) is the unit complex `e^{iπ·d·m/N}`, which is
+/// periodic in `d·m` with period `2N`. The table therefore stores the
+/// `2N` units `e^{iπt/N}` once (split into re/im planes) plus the odd
+/// exponent `m` of each *slot* of the plan's digit-reversed ordering,
+/// and [`Self::spectrum_into`] becomes a pure table gather:
+/// `slot s ← unit[(d · m_s) mod 2N]`. No `sin`/`cos` runs per call.
+///
+/// This is the enabling primitive of the multi-bit PBS kernel: the
+/// combined GGSW `Σ_b X^{d_b}·GGSW_b` is assembled in the Fourier
+/// domain by scaling each key row's spectrum with a monomial spectrum,
+/// so rotation by the grouped mask digits costs one gather plus one
+/// pointwise multiply–accumulate instead of any time-domain rotation
+/// or extra transform. Negacyclic wrap-around (`X^N = −1`) is encoded
+/// in the period-2N unit table and needs no special casing.
+#[derive(Clone, Debug)]
+pub struct MonomialTable {
+    /// `e^{iπt/N}.re` for `t ∈ [0, 2N)`.
+    unit_re: Vec<f64>,
+    /// `e^{iπt/N}.im` for `t ∈ [0, 2N)`.
+    unit_im: Vec<f64>,
+    /// Odd exponent `m = (1 − 4k) mod 2N` of the bin stored in each
+    /// slot, in slot order (index = slot, not natural bin).
+    slot_exp: Vec<usize>,
+    /// `2N − 1`, for reducing `d·m` mod the power-of-two period.
+    mask: usize,
+}
+
+impl MonomialTable {
+    /// Builds the tables for `fft`'s polynomial size and slot ordering.
+    pub fn for_plan(fft: &NegacyclicFft) -> Self {
+        let n = fft.poly_size();
+        let two_n = 2 * n;
+        let mut unit_re = Vec::with_capacity(two_n);
+        let mut unit_im = Vec::with_capacity(two_n);
+        for t in 0..two_n {
+            let z = Complex64::cis(std::f64::consts::PI * t as f64 / n as f64);
+            unit_re.push(z.re);
+            unit_im.push(z.im);
+        }
+        let perm = fft.spectrum_permutation();
+        let mut slot_exp = vec![0usize; fft.fourier_size()];
+        for (k, &slot) in perm.iter().enumerate() {
+            slot_exp[slot] = (1isize - 4 * k as isize).rem_euclid(two_n as isize) as usize;
+        }
+        Self { unit_re, unit_im, slot_exp, mask: two_n - 1 }
+    }
+
+    /// Number of slots per spectrum (`N/2`).
+    #[inline]
+    pub fn fourier_size(&self) -> usize {
+        self.slot_exp.len()
+    }
+
+    /// Writes the spectrum of `X^degree` (degree taken mod `2N`) into
+    /// split re/im planes, in the plan's digit-reversed slot order —
+    /// pointwise-compatible with spectra from the plan's forward
+    /// transforms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if either plane is not
+    /// `N/2` long.
+    pub fn spectrum_into(
+        &self,
+        degree: usize,
+        re: &mut [f64],
+        im: &mut [f64],
+    ) -> Result<(), FftError> {
+        let half = self.fourier_size();
+        for len in [re.len(), im.len()] {
+            if len != half {
+                return Err(FftError::LengthMismatch { expected: half, actual: len });
+            }
+        }
+        let d = degree & self.mask;
+        for s in 0..half {
+            let t = (d * self.slot_exp[s]) & self.mask;
+            re[s] = self.unit_re[t];
+            im[s] = self.unit_im[t];
+        }
+        Ok(())
+    }
+}
+
 /// Multiplies `a` and `b` pointwise, accumulating into `acc`:
 /// `acc_k += a_k · b_k`.
 ///
@@ -503,6 +592,56 @@ mod tests {
             let z = spec[slot];
             assert!((z - eval).abs() < 1e-8, "bin {k} (slot {slot}): {z} vs {eval}");
         }
+    }
+
+    #[test]
+    fn monomial_table_matches_forward_transform_of_the_monomial() {
+        // The gathered spectrum of X^d must agree with actually
+        // transforming the monomial polynomial, for degrees covering
+        // d = 0, d < N, the negacyclic wrap d ≥ N (X^N = −1) and full
+        // 2N-periodicity.
+        for n in [4usize, 16, 64, 512] {
+            let fft = NegacyclicFft::new(n).unwrap();
+            let table = MonomialTable::for_plan(&fft);
+            assert_eq!(table.fourier_size(), fft.fourier_size());
+            for degree in [0, 1, n / 2, n - 1, n, n + 3, 2 * n - 1, 2 * n, 3 * n + 5] {
+                let reduced = degree % (2 * n);
+                let mut poly = vec![0i64; n];
+                if reduced < n {
+                    poly[reduced] = 1;
+                } else {
+                    poly[reduced - n] = -1;
+                }
+                let mut spec = vec![Complex64::ZERO; n / 2];
+                fft.forward_i64(&poly, &mut spec).unwrap();
+                let mut re = vec![0.0f64; n / 2];
+                let mut im = vec![0.0f64; n / 2];
+                table.spectrum_into(degree, &mut re, &mut im).unwrap();
+                for s in 0..n / 2 {
+                    let dr = (re[s] - spec[s].re).abs();
+                    let di = (im[s] - spec[s].im).abs();
+                    assert!(
+                        dr < 1e-9 && di < 1e-9,
+                        "n={n} d={degree} slot {s}: ({}, {}) vs {:?}",
+                        re[s],
+                        im[s],
+                        spec[s]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn monomial_table_rejects_wrong_plane_lengths() {
+        let fft = NegacyclicFft::new(8).unwrap();
+        let table = MonomialTable::for_plan(&fft);
+        let mut re = vec![0.0f64; 4];
+        let mut im = vec![0.0f64; 3];
+        assert_eq!(
+            table.spectrum_into(1, &mut re, &mut im).unwrap_err(),
+            FftError::LengthMismatch { expected: 4, actual: 3 }
+        );
     }
 
     #[test]

@@ -104,6 +104,20 @@ impl SoaSpectrum {
         self.im.fill(0.0);
     }
 
+    /// Overwrites this batch with `other`'s planes, bit-for-bit — the
+    /// split-complex bulk copy the multi-bit CMUX uses to seed its
+    /// combined-key accumulator from the pattern-0 entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batches disagree in transform count or length.
+    pub fn copy_from(&mut self, other: &SoaSpectrum) {
+        assert_eq!(self.transform_len, other.transform_len, "transform length mismatch");
+        assert_eq!(self.re.len(), other.re.len(), "transform count mismatch");
+        self.re.copy_from_slice(&other.re);
+        self.im.copy_from_slice(&other.im);
+    }
+
     /// Scatters an interleaved spectrum into transform `t`'s planes.
     /// Values are copied bit-for-bit — no arithmetic.
     ///
@@ -167,6 +181,23 @@ mod tests {
         batch.fill_zero();
         assert!(batch.re_plane().iter().all(|&v| v == 0.0));
         assert!(batch.im_plane().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn copy_from_replicates_planes_bit_exactly() {
+        let mut src = SoaSpectrum::new(2, 3);
+        src.store(0, &[Complex64::new(1.5, -2.5); 3]);
+        src.store(1, &[Complex64::new(-0.25, 4.0); 3]);
+        let mut dst = SoaSpectrum::new(2, 3);
+        dst.store(0, &[Complex64::new(9.0, 9.0); 3]);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    #[should_panic(expected = "transform count mismatch")]
+    fn copy_from_rejects_mismatched_counts() {
+        SoaSpectrum::new(2, 4).copy_from(&SoaSpectrum::new(3, 4));
     }
 
     #[test]

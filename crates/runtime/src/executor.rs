@@ -15,9 +15,50 @@ use strix_tfhe::boolean::gate_sign_lut;
 use strix_tfhe::bootstrap::{Lut, PbsJob};
 use strix_tfhe::lwe::LweCiphertext;
 use strix_tfhe::profiler::{PbsStage, StageTimings};
-use strix_tfhe::{ServerKey, TfheError};
+use strix_tfhe::{PbsKernel, ServerKey, TfheError};
 
-use crate::request::{Request, RequestOp};
+use crate::request::{Request, RequestClass, RequestOp};
+
+/// Per-request-class PBS kernel selection, mirroring the
+/// CLASSICAL-vs-MULTI_BIT dispatch of GPU TFHE back-ends: a default
+/// kernel plus optional per-[`RequestClass`] overrides, resolved per
+/// request at epoch execution time.
+///
+/// The policy expresses *intent*; the executor resolves it against the
+/// key material actually present. A class routed to
+/// [`PbsKernel::MultiBit`] falls back to the classical kernel when the
+/// server key carries no grouped bootstrapping key (the grouping factor
+/// inside the policy's `MultiBit` variant is advisory — the server key
+/// holds exactly one grouped key, generated at the parameter set's
+/// grouping factor).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelPolicy {
+    default: PbsKernel,
+    overrides: [Option<PbsKernel>; RequestClass::ALL.len()],
+}
+
+impl KernelPolicy {
+    /// A policy routing every request class through `kernel`.
+    pub fn uniform(kernel: PbsKernel) -> Self {
+        Self { default: kernel, overrides: [None; RequestClass::ALL.len()] }
+    }
+
+    /// Overrides the kernel for one request class.
+    pub fn with_class(mut self, class: RequestClass, kernel: PbsKernel) -> Self {
+        self.overrides[class.index()] = Some(kernel);
+        self
+    }
+
+    /// The kernel this policy selects for `class`.
+    pub fn kernel_for(&self, class: RequestClass) -> PbsKernel {
+        self.overrides[class.index()].unwrap_or(self.default)
+    }
+
+    /// The default kernel (used by classes without an override).
+    pub fn default_kernel(&self) -> PbsKernel {
+        self.default
+    }
+}
 
 /// Computes the linear preamble
 /// `weights[0]·ct + Σ weights[i+1]·extra[i] + offset` shared by gate
@@ -68,13 +109,17 @@ pub struct EpochExecution {
     /// Per-stage timings and the PBS job count they cover, present only
     /// when the epoch was executed through the probed kernel.
     pub stage_sample: Option<(StageTimings, usize)>,
+    /// How many of the epoch's PBS jobs ran through each kernel, as
+    /// `[classical, multi_bit]` — the observable of the per-class
+    /// kernel dispatch, recorded into the metrics by the worker.
+    pub kernel_jobs: [usize; 2],
 }
 
 impl EpochExecution {
     /// Wraps bare results with no timeline — what synthetic executors
     /// and the default trait impl produce.
     pub fn from_results(results: Vec<Result<LweCiphertext, TfheError>>) -> Self {
-        Self { results, pbs_span: None, ks_span: None, stage_sample: None }
+        Self { results, pbs_span: None, ks_span: None, stage_sample: None, kernel_jobs: [0, 0] }
     }
 }
 
@@ -124,6 +169,9 @@ pub trait BatchExecutor: Send + Sync + 'static {
 pub struct TfheExecutor {
     server: Arc<ServerKey>,
     threads: usize,
+    /// Per-request-class kernel selection, resolved against the server
+    /// key's material at epoch execution time.
+    policy: KernelPolicy,
     /// The sign LUT shared by every gate request, built once per
     /// executor instead of once per gate.
     gate_lut: Lut,
@@ -140,9 +188,35 @@ impl TfheExecutor {
     /// epoch's PBS jobs are sharded across up to `threads` scoped
     /// threads sharing the bootstrapping key, bit-identically to the
     /// sequential path. `threads` is clamped to at least 1.
+    ///
+    /// The kernel policy follows the server key's parameter set: a key
+    /// generated for [`PbsKernel::MultiBit`] parameters routes every
+    /// class through the grouped kernel, a classical key through the
+    /// classical one. Use [`Self::with_policy`] to override per class.
     pub fn with_threads(server: Arc<ServerKey>, threads: usize) -> Self {
+        let policy = KernelPolicy::uniform(server.params().pbs_kernel);
+        Self::with_policy(server, threads, policy)
+    }
+
+    /// Wraps a server key with an explicit per-class kernel policy.
+    /// Classes the policy routes to a kernel whose key material the
+    /// server key does not carry fall back to the classical kernel
+    /// (always present).
+    pub fn with_policy(server: Arc<ServerKey>, threads: usize, policy: KernelPolicy) -> Self {
         let gate_lut = gate_sign_lut(server.params().polynomial_size);
-        Self { server, threads: threads.max(1), gate_lut }
+        Self { server, threads: threads.max(1), policy, gate_lut }
+    }
+
+    /// The kernel policy this executor dispatches with.
+    pub fn kernel_policy(&self) -> KernelPolicy {
+        self.policy
+    }
+
+    /// Whether `class` resolves to the multi-bit kernel: the policy
+    /// selects it **and** the server key carries the grouped key.
+    fn uses_multi_bit(&self, class: RequestClass) -> bool {
+        matches!(self.policy.kernel_for(class), PbsKernel::MultiBit { .. })
+            && self.server.multi_bit_bootstrap_key().is_some()
     }
 }
 
@@ -194,8 +268,15 @@ impl BatchExecutor for TfheExecutor {
         }
 
         let ksk = self.server.keyswitch_key();
+        let mbsk = self.server.multi_bit_bootstrap_key();
+        // One job list per kernel: each request's class resolves
+        // through the policy (with classical fallback when the grouped
+        // key is absent), so one epoch may mix kernels freely while
+        // each kernel still runs as a single key-major batch.
         let mut pbs_indices = Vec::new();
         let mut jobs: Vec<PbsJob<'_>> = Vec::new();
+        let mut mb_indices = Vec::new();
+        let mut mb_jobs: Vec<PbsJob<'_>> = Vec::new();
         // Keyswitch-only requests are collected and run as ONE batch
         // (one digit buffer per epoch) instead of one allocating
         // `keyswitch` call per request. Dimensions are validated here,
@@ -228,12 +309,23 @@ impl BatchExecutor for TfheExecutor {
                 }
             };
             if let Some((ct, lut)) = job {
-                match bsk.check_shape(ct, lut) {
-                    Ok(()) => {
-                        pbs_indices.push(i);
-                        jobs.push(PbsJob { ct, lut });
+                if self.uses_multi_bit(req.op.class()) {
+                    let mb = mbsk.expect("uses_multi_bit implies the grouped key is present");
+                    match mb.check_shape(ct, lut) {
+                        Ok(()) => {
+                            mb_indices.push(i);
+                            mb_jobs.push(PbsJob { ct, lut });
+                        }
+                        Err(e) => results[i] = Some(Err(e)),
                     }
-                    Err(e) => results[i] = Some(Err(e)),
+                } else {
+                    match bsk.check_shape(ct, lut) {
+                        Ok(()) => {
+                            pbs_indices.push(i);
+                            jobs.push(PbsJob { ct, lut });
+                        }
+                        Err(e) => results[i] = Some(Err(e)),
+                    }
                 }
             }
         }
@@ -269,74 +361,94 @@ impl BatchExecutor for TfheExecutor {
         // stage bracketed by `TimingProbe`. Bit-identical output; the
         // sampling cost is losing intra-epoch parallelism for this one
         // epoch, which is why it's every Nth epoch, not all of them.
+        // Both kernels run their batch inside one PBS span: the
+        // classical jobs first, then the grouped multi-bit jobs. On
+        // sampled epochs both probed kernels accumulate into the same
+        // per-stage timings (the stages are shared vocabulary).
         let pbs_t0 = Instant::now();
-        let booted_result = if profiled {
+        let classical_result = if profiled {
             bsk.bootstrap_batch_profiled(&jobs, &mut timings)
         } else {
             bsk.bootstrap_batch_parallel(&jobs, self.planned_threads(jobs.len()))
         };
-        if !jobs.is_empty() {
+        let multi_bit_result = match mbsk {
+            Some(mb) if !mb_jobs.is_empty() => {
+                if profiled {
+                    mb.bootstrap_batch_profiled(&mb_jobs, &mut timings)
+                } else {
+                    mb.bootstrap_batch_parallel(&mb_jobs, self.planned_threads(mb_jobs.len()))
+                }
+            }
+            _ => Ok(Vec::new()),
+        };
+        let total_pbs = jobs.len() + mb_jobs.len();
+        if total_pbs > 0 {
             pbs_span = Some((pbs_t0, Instant::now()));
         }
-        match booted_result {
-            Ok(booted) => {
-                // Keyswitch the Lut/Gate/LinearLut outputs as one batch
-                // (they all carry the extracted dimension the key
-                // expects); Bootstrap-op outputs pass through raw.
-                let mut ks_slots = Vec::new();
-                let mut ks_inputs = Vec::new();
-                for (&i, out) in pbs_indices.iter().zip(booted) {
-                    match &batch[i].op {
-                        RequestOp::Lut(_)
-                        | RequestOp::Gate { .. }
-                        | RequestOp::LinearLut { .. } => {
-                            ks_slots.push(i);
-                            ks_inputs.push(out);
+        // Keyswitch the Lut/Gate/LinearLut outputs of BOTH kernels as
+        // one batch (they all carry the extracted dimension the key
+        // expects); Bootstrap-op outputs pass through raw.
+        let mut ks_slots = Vec::new();
+        let mut ks_inputs = Vec::new();
+        for (indices, booted_result) in
+            [(&pbs_indices, classical_result), (&mb_indices, multi_bit_result)]
+        {
+            match booted_result {
+                Ok(booted) => {
+                    for (&i, out) in indices.iter().zip(booted) {
+                        match &batch[i].op {
+                            RequestOp::Lut(_)
+                            | RequestOp::Gate { .. }
+                            | RequestOp::LinearLut { .. } => {
+                                ks_slots.push(i);
+                                ks_inputs.push(out);
+                            }
+                            _ => results[i] = Some(Ok(out)),
                         }
-                        _ => results[i] = Some(Ok(out)),
                     }
                 }
-                // The Algorithm-2 tail shares the epoch's thread
-                // budget: sharded like the blind rotation, bit-identical
-                // to the sequential batch. On sampled epochs its wall
-                // time lands in the KeySwitch stage bucket.
-                let ks_t0 = Instant::now();
-                let switched_result = ksk
-                    .keyswitch_batch_parallel(&ks_inputs, self.threads.min(ks_inputs.len()).max(1));
-                if !ks_inputs.is_empty() {
-                    let ks_t1 = Instant::now();
-                    ks_span = Some((ks_t0, ks_t1));
-                    if profiled {
-                        timings.add(PbsStage::KeySwitch, ks_t1 - ks_t0);
-                    }
-                }
-                match switched_result {
-                    Ok(switched) => {
-                        for (&i, out) in ks_slots.iter().zip(switched) {
-                            results[i] = Some(Ok(out));
-                        }
-                    }
-                    // Unreachable with pre-validated shapes (PBS always
-                    // emits the extracted dimension), but an error must
-                    // fail its requests, not the worker.
-                    Err(e) => {
-                        for &i in &ks_slots {
-                            results[i] = Some(Err(e.clone()));
-                        }
+                Err(e) => {
+                    for &i in indices {
+                        results[i] = Some(Err(e.clone()));
                     }
                 }
             }
+        }
+        // The Algorithm-2 tail shares the epoch's thread
+        // budget: sharded like the blind rotation, bit-identical
+        // to the sequential batch. On sampled epochs its wall
+        // time lands in the KeySwitch stage bucket.
+        let ks_t0 = Instant::now();
+        let switched_result =
+            ksk.keyswitch_batch_parallel(&ks_inputs, self.threads.min(ks_inputs.len()).max(1));
+        if !ks_inputs.is_empty() {
+            let ks_t1 = Instant::now();
+            ks_span = Some((ks_t0, ks_t1));
+            if profiled {
+                timings.add(PbsStage::KeySwitch, ks_t1 - ks_t0);
+            }
+        }
+        match switched_result {
+            Ok(switched) => {
+                for (&i, out) in ks_slots.iter().zip(switched) {
+                    results[i] = Some(Ok(out));
+                }
+            }
+            // Unreachable with pre-validated shapes (PBS always
+            // emits the extracted dimension), but an error must
+            // fail its requests, not the worker.
             Err(e) => {
-                for &i in &pbs_indices {
+                for &i in &ks_slots {
                     results[i] = Some(Err(e.clone()));
                 }
             }
         }
 
+        let kernel_jobs = [jobs.len(), mb_jobs.len()];
         let results =
             results.into_iter().map(|r| r.expect("every request receives a result")).collect();
-        let stage_sample = (profiled && !jobs.is_empty()).then_some((timings, jobs.len()));
-        EpochExecution { results, pbs_span, ks_span, stage_sample }
+        let stage_sample = (profiled && total_pbs > 0).then_some((timings, total_pbs));
+        EpochExecution { results, pbs_span, ks_span, stage_sample, kernel_jobs }
     }
 
     fn planned_threads(&self, batch_len: usize) -> usize {
@@ -572,6 +684,118 @@ mod tests {
             matches!(results[1], Err(TfheError::ParameterMismatch { .. })),
             "arity mismatch must fail its own request"
         );
+    }
+
+    #[test]
+    fn multi_bit_policy_dispatches_and_decrypts_like_classical() {
+        let params =
+            TfheParameters::testing_fast().with_kernel(PbsKernel::MultiBit { grouping_factor: 2 });
+        let (mut client, server) = generate_keys(&params, 91);
+        let server = Arc::new(server);
+        let p = 2u32;
+        let lut = Arc::new(Lut::from_function(params.polynomial_size, p, |m| (m + 1) % 4).unwrap());
+        let batch: Vec<Request> = (0..5u64)
+            .map(|i| {
+                let ct = client.encrypt_shortint(i % 4, p).unwrap().as_lwe().clone();
+                request(i, 0, ct, RequestOp::Lut(Arc::clone(&lut)))
+            })
+            .collect();
+
+        // The default policy follows the parameter set: multi-bit.
+        let grouped = TfheExecutor::new(Arc::clone(&server));
+        assert_eq!(
+            grouped.kernel_policy().kernel_for(RequestClass::Lut),
+            PbsKernel::MultiBit { grouping_factor: 2 }
+        );
+        let grouped_exec = grouped.execute_epoch(&batch, false);
+        assert_eq!(grouped_exec.kernel_jobs, [0, 5]);
+        // Forcing the classical kernel on the same server key must
+        // yield the same decoded messages (the kernels are
+        // decrypt-identical, not bit-identical).
+        let classical = TfheExecutor::with_policy(
+            Arc::clone(&server),
+            1,
+            KernelPolicy::uniform(PbsKernel::Classical),
+        );
+        let classical_exec = classical.execute_epoch(&batch, false);
+        assert_eq!(classical_exec.kernel_jobs, [5, 0]);
+        for (i, (g, c)) in grouped_exec.results.iter().zip(&classical_exec.results).enumerate() {
+            let decode = |ct: &LweCiphertext| {
+                let phase = client.decrypt_phase(ct).unwrap();
+                strix_tfhe::torus::decode_message(phase, p + 1)
+            };
+            let expected = (i as u64 % 4 + 1) % 4;
+            assert_eq!(decode(g.as_ref().unwrap()), expected, "multi-bit request {i}");
+            assert_eq!(decode(c.as_ref().unwrap()), expected, "classical request {i}");
+        }
+    }
+
+    #[test]
+    fn per_class_policy_splits_one_epoch_across_kernels() {
+        let params =
+            TfheParameters::testing_fast().with_kernel(PbsKernel::MultiBit { grouping_factor: 2 });
+        let (mut client, server) = generate_keys(&params, 92);
+        let server = Arc::new(server);
+        let p = 2u32;
+        let lut = Arc::new(Lut::from_function(params.polynomial_size, p, |m| (3 * m) % 4).unwrap());
+        // Lut requests ride the grouped kernel, raw bootstraps stay
+        // classical: one epoch, two key-major batches.
+        let policy = KernelPolicy::uniform(PbsKernel::Classical)
+            .with_class(RequestClass::Lut, PbsKernel::MultiBit { grouping_factor: 2 });
+        assert_eq!(policy.default_kernel(), PbsKernel::Classical);
+        let exec = TfheExecutor::with_policy(Arc::clone(&server), 1, policy);
+        let batch = vec![
+            request(
+                0,
+                0,
+                client.encrypt_shortint(1, p).unwrap().as_lwe().clone(),
+                RequestOp::Lut(Arc::clone(&lut)),
+            ),
+            request(
+                1,
+                0,
+                client.encrypt_shortint(2, p).unwrap().as_lwe().clone(),
+                RequestOp::Bootstrap(Arc::clone(&lut)),
+            ),
+            request(
+                0,
+                1,
+                client.encrypt_shortint(3, p).unwrap().as_lwe().clone(),
+                RequestOp::Lut(Arc::clone(&lut)),
+            ),
+        ];
+        let epoch = exec.execute_epoch(&batch, false);
+        assert_eq!(epoch.kernel_jobs, [1, 2]);
+        let decode = |ct: &LweCiphertext| {
+            let phase = client.decrypt_phase(ct).unwrap();
+            strix_tfhe::torus::decode_message(phase, p + 1)
+        };
+        assert_eq!(decode(epoch.results[0].as_ref().unwrap()), 3);
+        assert_eq!(decode(epoch.results[1].as_ref().unwrap()), 2 * 3 % 4);
+        assert_eq!(decode(epoch.results[2].as_ref().unwrap()), 3 * 3 % 4);
+    }
+
+    #[test]
+    fn multi_bit_policy_without_grouped_key_falls_back_to_classical() {
+        // A classical server key carries no grouped key material: a
+        // policy asking for multi-bit must degrade to the classical
+        // kernel instead of failing the epoch.
+        let params = TfheParameters::testing_fast();
+        let (mut client, server) = generate_keys(&params, 93);
+        let server = Arc::new(server);
+        assert!(server.multi_bit_bootstrap_key().is_none());
+        let p = 2u32;
+        let lut = Arc::new(Lut::from_function(params.polynomial_size, p, |m| m).unwrap());
+        let exec = TfheExecutor::with_policy(
+            Arc::clone(&server),
+            1,
+            KernelPolicy::uniform(PbsKernel::MultiBit { grouping_factor: 2 }),
+        );
+        let ct = client.encrypt_shortint(2, p).unwrap().as_lwe().clone();
+        let epoch = exec.execute_epoch(&[request(0, 0, ct, RequestOp::Lut(lut))], false);
+        assert_eq!(epoch.kernel_jobs, [1, 0], "fallback runs classically");
+        let phase = client.decrypt_phase(epoch.results[0].as_ref().unwrap()).unwrap();
+        assert_eq!(strix_tfhe::torus::decode_message(phase, p + 1), 2);
     }
 
     #[test]

@@ -92,7 +92,7 @@ pub mod traffic;
 pub mod worker;
 
 pub use error::RuntimeError;
-pub use executor::{BatchExecutor, EpochExecution, TfheExecutor};
+pub use executor::{BatchExecutor, EpochExecution, KernelPolicy, TfheExecutor};
 pub use metrics::{
     ClassLatency, MetricsSink, MetricsWindow, PbsStageBreakdown, RequestRecord, RuntimeReport,
     REPORT_SCHEMA_VERSION,

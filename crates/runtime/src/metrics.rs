@@ -99,6 +99,9 @@ struct MetricsInner {
     threads_budget_sum: u64,
     max_threads_used: usize,
     pbs_completed: usize,
+    /// PBS jobs executed per kernel, `[classical, multi_bit]`, as
+    /// reported by the executors' epoch executions.
+    kernel_jobs: [usize; 2],
     fused_linear_completed: usize,
     completed: usize,
     failed: usize,
@@ -211,6 +214,16 @@ impl MetricsSink {
         inner.threads_used_sum += used.max(1) as u64;
         inner.threads_budget_sum += budget.max(1) as u64;
         inner.max_threads_used = inner.max_threads_used.max(used.max(1));
+    }
+
+    /// Records how many of one executed epoch's PBS jobs ran through
+    /// each kernel — the observable of the per-request-class kernel
+    /// dispatch. Feeds [`RuntimeReport::pbs_jobs_classical`] and
+    /// [`RuntimeReport::pbs_jobs_multi_bit`].
+    pub fn record_kernel_jobs(&self, classical: usize, multi_bit: usize) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        inner.kernel_jobs[0] += classical;
+        inner.kernel_jobs[1] += multi_bit;
     }
 
     /// Records the ingress queue depth observed at a batcher flush, so
@@ -406,6 +419,8 @@ impl MetricsSink {
                     } else {
                         0.0
                     },
+                    pbs_jobs_classical: inner.kernel_jobs[0],
+                    pbs_jobs_multi_bit: inner.kernel_jobs[1],
                     mean_batch_occupancy: mean_occ,
                     occupancy_histogram: inner.occupancy_histogram.to_vec(),
                     mean_threads_per_epoch: mean_threads,
@@ -542,6 +557,14 @@ pub struct RuntimeReport {
     /// Achieved programmable bootstraps per second (wall clock, first
     /// submit to last completion).
     pub achieved_pbs_per_s: f64,
+    /// PBS jobs executed through the classical kernel, across all
+    /// epochs (absent in reports from older schema versions).
+    #[serde(default)]
+    pub pbs_jobs_classical: usize,
+    /// PBS jobs executed through the grouped multi-bit kernel, across
+    /// all epochs (absent in reports from older schema versions).
+    #[serde(default)]
+    pub pbs_jobs_multi_bit: usize,
     /// Mean epoch occupancy in `[0, 1]`.
     pub mean_batch_occupancy: f64,
     /// Epoch count per occupancy decile (`(i/10, (i+1)/10]`).
@@ -603,6 +626,12 @@ impl RuntimeReport {
             self.max_latency_us as f64 / 1e3,
             self.achieved_pbs_per_s,
         );
+        if self.pbs_jobs_multi_bit > 0 {
+            out.push_str(&format!(
+                "\nkernels:  {} classical / {} multi-bit PBS jobs",
+                self.pbs_jobs_classical, self.pbs_jobs_multi_bit,
+            ));
+        }
         for c in &self.latency_attribution {
             out.push_str(&format!(
                 "\nclass {:<10} {:>7} ok: queue {:.3} ms | batch {:.3} ms | execute {:.3} ms",

@@ -13,7 +13,7 @@ use strix_tfhe::lwe::LweCiphertext;
 
 use crate::batcher;
 use crate::error::RuntimeError;
-use crate::executor::BatchExecutor;
+use crate::executor::{BatchExecutor, KernelPolicy};
 use crate::metrics::{MetricsSink, RuntimeReport};
 use crate::policy::FlushPolicy;
 use crate::queue::BoundedQueue;
@@ -47,6 +47,13 @@ pub struct RuntimeConfig {
     /// single-threaded, so with `threads_per_worker > 1` this trades a
     /// sliver of throughput for attribution.
     pub profile_every: u64,
+    /// Per-request-class PBS kernel selection for [`Runtime::start_tfhe`].
+    /// `None` (the default) follows the server key's parameter set:
+    /// multi-bit parameters route everything through the grouped
+    /// kernel, classical parameters through the classical one. Classes
+    /// routed to a kernel whose key material is absent fall back to
+    /// the classical kernel.
+    pub kernel_policy: Option<KernelPolicy>,
 }
 
 impl RuntimeConfig {
@@ -62,6 +69,7 @@ impl RuntimeConfig {
             ingress_depth: geometry.epoch_size() * 4,
             trace: TraceConfig::default(),
             profile_every: 16,
+            kernel_policy: None,
         }
     }
 
@@ -88,6 +96,12 @@ impl RuntimeConfig {
     /// Overrides the stage-profiling sampling period (0 disables).
     pub fn with_profile_every(self, profile_every: u64) -> Self {
         Self { profile_every, ..self }
+    }
+
+    /// Overrides the per-request-class PBS kernel policy used by
+    /// [`Runtime::start_tfhe`].
+    pub fn with_kernel_policy(self, kernel_policy: KernelPolicy) -> Self {
+        Self { kernel_policy: Some(kernel_policy), ..self }
     }
 }
 
@@ -139,11 +153,21 @@ impl Runtime {
     }
 
     /// Starts a runtime over the TFHE back-end, honouring the config's
-    /// `threads_per_worker`: shorthand for [`Self::start`] with
-    /// [`TfheExecutor::with_threads`](crate::executor::TfheExecutor::with_threads).
+    /// `threads_per_worker` and `kernel_policy`: shorthand for
+    /// [`Self::start`] with
+    /// [`TfheExecutor::with_threads`](crate::executor::TfheExecutor::with_threads)
+    /// (or
+    /// [`TfheExecutor::with_policy`](crate::executor::TfheExecutor::with_policy)
+    /// when a kernel policy is set).
     pub fn start_tfhe(config: RuntimeConfig, server: Arc<strix_tfhe::ServerKey>) -> Self {
-        let executor =
-            crate::executor::TfheExecutor::with_threads(server, config.threads_per_worker);
+        let executor = match config.kernel_policy {
+            Some(policy) => crate::executor::TfheExecutor::with_policy(
+                server,
+                config.threads_per_worker,
+                policy,
+            ),
+            None => crate::executor::TfheExecutor::with_threads(server, config.threads_per_worker),
+        };
         Self::start(config, executor)
     }
 

@@ -75,6 +75,12 @@ pub(crate) fn run(
         if let Some((timings, pbs_jobs)) = &execution.stage_sample {
             metrics.record_stage_sample(timings, *pbs_jobs);
         }
+        // Per-kernel dispatch accounting: which kernel the epoch's PBS
+        // jobs actually ran through (after any classical fallback).
+        let [classical_jobs, multi_bit_jobs] = execution.kernel_jobs;
+        if classical_jobs + multi_bit_jobs > 0 {
+            metrics.record_kernel_jobs(classical_jobs, multi_bit_jobs);
+        }
         // The epoch-level execution timeline applies to every
         // PBS-bearing span in the epoch: the batched blind rotation and
         // the batched keyswitch tail are shared work, so each traced

@@ -37,17 +37,17 @@
 //! back in job order, bit-identical to the sequential
 //! [`BootstrapKey::bootstrap_batch`].
 
-use strix_fft::{pointwise_mul_add_soa, NegacyclicFft};
+use strix_fft::{pointwise_mul_add_soa, MonomialTable, NegacyclicFft};
 
 use crate::decompose::DecompositionParams;
 use crate::ggsw::{FourierGgsw, GgswCiphertext};
 use crate::glwe::{GlweCiphertext, GlweSecretKey};
 use crate::lwe::{LweCiphertext, LweSecretKey};
-use crate::params::TfheParameters;
+use crate::params::{PbsKernel, TfheParameters};
 use crate::poly::TorusPolynomial;
 use crate::profiler::{NoProbe, PbsStage, Probe, StageTimings, TimingProbe};
 use crate::rng::NoiseSampler;
-use crate::scratch::{PbsScratch, CMUX_JOB_BLOCK};
+use crate::scratch::{MultiBitPbsScratch, PbsScratch, CMUX_JOB_BLOCK};
 use crate::torus::{encode_fraction, f64_to_torus, modulus_switch};
 use crate::TfheError;
 
@@ -711,6 +711,627 @@ impl BootstrapKey {
     }
 }
 
+/// The **multi-bit** bootstrapping key: `⌈n/g⌉` *groups* of
+/// Fourier-domain GGSW entries for grouping factor `g` — the software
+/// counterpart of tfhe-rs's CUDA `MULTI_BIT` PBS kernel.
+///
+/// Group `i` covers secret bits `s_{ig} .. s_{ig+g-1}` and stores `2^g`
+/// GGSW encryptions, one per bit pattern `b ∈ {0,1}^g`, of the
+/// *indicator product* `m_b = ∏_j s^{b_j} · (1−s)^{1−b_j}` — exactly
+/// one `m_b` equals 1 (the pattern matching the actual key bits), the
+/// rest encrypt 0. The last group covers the `n mod g` remainder bits
+/// with `2^{n mod g}` entries.
+///
+/// Blind rotation then needs only **one external product per group**
+/// instead of one CMUX per bit: since
+/// `X^{Σ_j ã_j s_j} = Σ_b X^{⟨b, ã⟩} · m_b`, the server assembles the
+/// *combined* GGSW `G = Σ_b X^{d_b} · GGSW(m_b)` (monomial weighting is
+/// a pointwise spectrum multiply, [`MonomialTable`]) and replaces the
+/// accumulator with `G ⊡ acc` — a rotation of the accumulator by the
+/// whole group's phase contribution in a single decompose → FFT → VMA →
+/// IFFT pass. `⌈n/g⌉` passes replace `n`, trading a `2^g/g ×` larger
+/// key (and a `2^g ×` key-noise term, see
+/// [`crate::noise::multi_bit_external_product_variance`]) for `g ×`
+/// fewer transforms.
+///
+/// Outputs are **not bit-identical** to [`BootstrapKey`] — the
+/// arithmetic is genuinely different — but decrypt to the same message:
+/// both kernels realise the same blind rotation
+/// `X^{b̃ + Σ ã_j s_j} · lut`.
+#[derive(Clone, Debug)]
+pub struct MultiBitBootstrapKey {
+    /// Group `i` holds `2^{m_i}` pattern entries (`m_i = g` except for
+    /// the remainder group).
+    groups: Vec<Vec<FourierGgsw>>,
+    fft: NegacyclicFft,
+    mono: MonomialTable,
+    glwe_dimension: usize,
+    poly_size: usize,
+    decomp: DecompositionParams,
+    grouping_factor: usize,
+    input_dimension: usize,
+}
+
+impl MultiBitBootstrapKey {
+    /// Generates a multi-bit bootstrapping key encrypting `lwe_sk`
+    /// under `glwe_sk` at `grouping_factor` bits per key entry.
+    ///
+    /// Every one of a group's `2^g` pattern entries is a *real* GGSW
+    /// encryption (including the `2^g − 1` encryptions of zero): which
+    /// single pattern holds the 1 is exactly the key material.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grouping_factor` is 0, exceeds
+    /// [`PbsKernel::MAX_GROUPING_FACTOR`] or exceeds the LWE dimension
+    /// (all rejected earlier by [`TfheParameters::validate`]).
+    pub fn generate(
+        lwe_sk: &LweSecretKey,
+        glwe_sk: &GlweSecretKey,
+        params: &TfheParameters,
+        grouping_factor: usize,
+        rng: &mut NoiseSampler,
+    ) -> Self {
+        Self::check_grouping(grouping_factor, lwe_sk.bits().len());
+        let decomp = DecompositionParams::new(params.pbs_base_log, params.pbs_level);
+        let fft = NegacyclicFft::new(params.polynomial_size)
+            .expect("validated parameters have power-of-two N");
+        let groups = lwe_sk
+            .bits()
+            .chunks(grouping_factor)
+            .map(|bits| {
+                (0..1usize << bits.len())
+                    .map(|pattern| {
+                        let indicator: u64 = bits
+                            .iter()
+                            .enumerate()
+                            .map(|(t, &s)| if (pattern >> t) & 1 == 1 { s } else { 1 - s })
+                            .product();
+                        GgswCiphertext::encrypt_scalar(
+                            indicator,
+                            glwe_sk,
+                            decomp,
+                            params.glwe_noise_std,
+                            rng,
+                        )
+                        .to_fourier(&fft)
+                    })
+                    .collect()
+            })
+            .collect();
+        let mono = MonomialTable::for_plan(&fft);
+        Self {
+            groups,
+            fft,
+            mono,
+            glwe_dimension: params.glwe_dimension,
+            poly_size: params.polynomial_size,
+            decomp,
+            grouping_factor,
+            input_dimension: params.lwe_dimension,
+        }
+    }
+
+    /// Generates a *timing-equivalent* multi-bit key without real
+    /// encryption: every pattern entry is a trivial GGSW of 1 (same
+    /// convention as [`BootstrapKey::generate_for_benchmark`]). The
+    /// grouped rotation performs exactly the same arithmetic as with a
+    /// real key; outputs are cryptographically meaningless.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grouping_factor` is out of range (see
+    /// [`Self::generate`]).
+    pub fn generate_for_benchmark(params: &TfheParameters, grouping_factor: usize) -> Self {
+        Self::check_grouping(grouping_factor, params.lwe_dimension);
+        let decomp = DecompositionParams::new(params.pbs_base_log, params.pbs_level);
+        let fft = NegacyclicFft::new(params.polynomial_size)
+            .expect("validated parameters have power-of-two N");
+        let template =
+            GgswCiphertext::trivial(1, params.glwe_dimension, params.polynomial_size, decomp)
+                .to_fourier(&fft);
+        let full_groups = params.lwe_dimension / grouping_factor;
+        let remainder = params.lwe_dimension % grouping_factor;
+        let mut groups: Vec<Vec<FourierGgsw>> =
+            vec![vec![template.clone(); 1 << grouping_factor]; full_groups];
+        if remainder > 0 {
+            groups.push(vec![template; 1 << remainder]);
+        }
+        let mono = MonomialTable::for_plan(&fft);
+        Self {
+            groups,
+            fft,
+            mono,
+            glwe_dimension: params.glwe_dimension,
+            poly_size: params.polynomial_size,
+            decomp,
+            grouping_factor,
+            input_dimension: params.lwe_dimension,
+        }
+    }
+
+    fn check_grouping(grouping_factor: usize, lwe_dimension: usize) {
+        assert!(grouping_factor >= 1, "grouping factor must be positive");
+        assert!(
+            grouping_factor <= PbsKernel::MAX_GROUPING_FACTOR,
+            "grouping factor exceeds the supported maximum"
+        );
+        assert!(grouping_factor <= lwe_dimension, "grouping factor exceeds the lwe dimension");
+    }
+
+    /// Input LWE dimension `n`.
+    #[inline]
+    pub fn input_dimension(&self) -> usize {
+        self.input_dimension
+    }
+
+    /// Output LWE dimension `k·N` after sample extraction.
+    #[inline]
+    pub fn output_dimension(&self) -> usize {
+        self.glwe_dimension * self.poly_size
+    }
+
+    /// Polynomial size `N`.
+    #[inline]
+    pub fn poly_size(&self) -> usize {
+        self.poly_size
+    }
+
+    /// Secret bits collapsed per key entry.
+    #[inline]
+    pub fn grouping_factor(&self) -> usize {
+        self.grouping_factor
+    }
+
+    /// Number of blind-rotation groups `⌈n/g⌉` (= external products per
+    /// bootstrap).
+    #[inline]
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The decomposition used by the external products.
+    #[inline]
+    pub fn decomposition(&self) -> DecompositionParams {
+        self.decomp
+    }
+
+    /// The FFT plan shared by all external products.
+    #[inline]
+    pub fn fft(&self) -> &NegacyclicFft {
+        &self.fft
+    }
+
+    /// Allocates a [`MultiBitPbsScratch`] sized to this key — one per
+    /// thread, reused across every bootstrap that thread performs.
+    pub fn scratch(&self) -> MultiBitPbsScratch {
+        MultiBitPbsScratch::new(
+            self.glwe_dimension,
+            self.poly_size,
+            self.decomp,
+            self.grouping_factor,
+        )
+    }
+
+    /// Total Fourier-domain key size in bytes — `2^g/g ×` the classical
+    /// key (`Σ` over groups of `2^{m_i}` entries).
+    pub fn byte_size(&self) -> usize {
+        self.groups.iter().flatten().map(FourierGgsw::byte_size).sum()
+    }
+
+    /// Checks that a `(ciphertext, LUT)` pair matches this key's shape —
+    /// identical validation to [`BootstrapKey::check_shape`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TfheError::ParameterMismatch`] naming the mismatch.
+    pub fn check_shape(&self, ct: &LweCiphertext, lut: &Lut) -> Result<(), TfheError> {
+        if ct.dimension() != self.input_dimension {
+            return Err(TfheError::ParameterMismatch {
+                what: "lwe dimension",
+                left: ct.dimension(),
+                right: self.input_dimension,
+            });
+        }
+        if lut.poly_size() != self.poly_size {
+            return Err(TfheError::ParameterMismatch {
+                what: "polynomial size",
+                left: lut.poly_size(),
+                right: self.poly_size,
+            });
+        }
+        Ok(())
+    }
+
+    /// Grouped blind rotation: rotates `lut` by the encrypted phase of
+    /// `ct` in `⌈n/g⌉` external products.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TfheError::ParameterMismatch`] on shape mismatch.
+    pub fn blind_rotate(&self, ct: &LweCiphertext, lut: &Lut) -> Result<GlweCiphertext, TfheError> {
+        let mut scratch = self.scratch();
+        self.blind_rotate_with(ct, lut, &mut scratch)
+    }
+
+    /// As [`Self::blind_rotate`] with caller-provided scratch. A single
+    /// job runs through the same grouped batch core as an epoch, so the
+    /// single and batched paths are bit-identical by construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TfheError::ParameterMismatch`] on shape mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch` was sized for a different parameter set or
+    /// grouping factor.
+    pub fn blind_rotate_with(
+        &self,
+        ct: &LweCiphertext,
+        lut: &Lut,
+        scratch: &mut MultiBitPbsScratch,
+    ) -> Result<GlweCiphertext, TfheError> {
+        let jobs = [PbsJob { ct, lut }];
+        let mut accs = self.blind_rotate_batch_core(&jobs, scratch, &mut NoProbe)?;
+        Ok(accs.pop().expect("one job in, one accumulator out"))
+    }
+
+    /// Grouped blind rotation of a whole batch, key-major and
+    /// job-blocked like the classical kernel: the outer loop walks the
+    /// `⌈n/g⌉` groups, and within each group the batch is processed in
+    /// blocks of [`CMUX_JOB_BLOCK`] jobs so a group's `2^g` pattern
+    /// entries are streamed once per block rather than once per job.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TfheError::ParameterMismatch`] on any shape mismatch.
+    pub fn blind_rotate_batch(
+        &self,
+        jobs: &[PbsJob<'_>],
+    ) -> Result<Vec<GlweCiphertext>, TfheError> {
+        let mut scratch = self.scratch();
+        self.blind_rotate_batch_with(jobs, &mut scratch)
+    }
+
+    /// As [`Self::blind_rotate_batch`] with caller-provided scratch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TfheError::ParameterMismatch`] on any shape mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch` was sized for a different parameter set or
+    /// grouping factor.
+    pub fn blind_rotate_batch_with(
+        &self,
+        jobs: &[PbsJob<'_>],
+        scratch: &mut MultiBitPbsScratch,
+    ) -> Result<Vec<GlweCiphertext>, TfheError> {
+        self.blind_rotate_batch_core(jobs, scratch, &mut NoProbe)
+    }
+
+    /// The single implementation behind every grouped blind-rotation
+    /// entry point, generic over a [`Probe`] so the profiled and
+    /// production paths cannot drift.
+    fn blind_rotate_batch_core<P: Probe>(
+        &self,
+        jobs: &[PbsJob<'_>],
+        scratch: &mut MultiBitPbsScratch,
+        probe: &mut P,
+    ) -> Result<Vec<GlweCiphertext>, TfheError> {
+        let log2_two_n = self.poly_size.trailing_zeros() + 1;
+        for job in jobs {
+            self.check_shape(job.ct, job.lut)?;
+        }
+        scratch.check_shape(
+            self.glwe_dimension,
+            self.poly_size,
+            self.decomp.level,
+            self.grouping_factor,
+        );
+
+        // Initial rotation by each body (identical to the classical
+        // kernel — only the mask handling differs between kernels).
+        let mut accs: Vec<GlweCiphertext> = jobs
+            .iter()
+            .map(|job| {
+                let b_tilde = modulus_switch(job.ct.body(), log2_two_n) as usize;
+                GlweCiphertext::trivial(self.glwe_dimension, job.lut.poly().rotate_left(b_tilde))
+            })
+            .collect();
+
+        // Epoch-wide hoisted modulus switch, entry-major exactly like
+        // the classical batch path: bit `i`'s switched amounts for the
+        // whole batch are one contiguous slice.
+        let n_in = self.input_dimension;
+        let batch = jobs.len();
+        let mut switched = vec![0u32; batch * n_in];
+        probe.time(PbsStage::ModSwitch, || {
+            for (j, job) in jobs.iter().enumerate() {
+                for (i, &a) in job.ct.mask().iter().enumerate() {
+                    switched[i * batch + j] = modulus_switch(a, log2_two_n) as u32;
+                }
+            }
+        });
+
+        // Group-major, job-blocked grouped rotation: fetch group `gi`'s
+        // pattern entries once per block of jobs.
+        for (gi, entries) in self.groups.iter().enumerate() {
+            let first_bit = gi * self.grouping_factor;
+            let group_bits = entries.len().trailing_zeros() as usize;
+            for (bi, accs_block) in accs.chunks_mut(CMUX_JOB_BLOCK).enumerate() {
+                self.grouped_cmux_block(
+                    entries,
+                    first_bit,
+                    group_bits,
+                    &switched,
+                    batch,
+                    bi * CMUX_JOB_BLOCK,
+                    accs_block,
+                    scratch,
+                    probe,
+                );
+            }
+        }
+        Ok(accs)
+    }
+
+    /// One blocked grouped-CMUX step: replaces every active accumulator
+    /// of the block with `G_job ⊡ acc`, where `G_job` is the job's
+    /// combined GGSW for this group. Four stages:
+    ///
+    /// 1. **Degrees** — per job, the `2^m` monomial degrees
+    ///    `d_b = Σ_{t: b_t=1} ã_t mod 2N` by binary-counting recurrence
+    ///    (`d_{b|bit} = d_b + ã_t`), plus an *active* flag: a job whose
+    ///    group digits are all zero is skipped outright (`G` would
+    ///    encrypt `X^0 = 1`, so skipping is the exact identity the
+    ///    classical kernel also takes on `ã = 0`).
+    /// 2. **Assembly, pattern-major across the block** — seed each
+    ///    job's combined spectrum with the pattern-0 entry (its degree
+    ///    is always 0: a plane copy), then for every other pattern MAC
+    ///    `entry_b × X^{d_b}` into it; the monomial spectrum is built
+    ///    once per `(job, pattern)` and reused across all
+    ///    `(k+1)·l · (k+1)` transforms. Pattern-major order streams
+    ///    each key entry once per block.
+    /// 3. **External product staging** — per job: gadget-decompose the
+    ///    accumulator polynomials *directly* (no rotate-and-subtract —
+    ///    the combined GGSW carries the rotation), one batched forward
+    ///    transform, then the row-major VMA against the job's combined
+    ///    spectrum.
+    /// 4. **Drain** — one batched inverse transform per job, fused with
+    ///    the torus conversion, **replacing** the accumulator
+    ///    (`acc ← G ⊡ acc`, not `acc += …`).
+    #[allow(clippy::too_many_arguments)]
+    fn grouped_cmux_block<P: Probe>(
+        &self,
+        entries: &[FourierGgsw],
+        first_bit: usize,
+        group_bits: usize,
+        switched: &[u32],
+        batch: usize,
+        job0: usize,
+        accs: &mut [GlweCiphertext],
+        scratch: &mut MultiBitPbsScratch,
+        probe: &mut P,
+    ) {
+        debug_assert!(accs.len() <= CMUX_JOB_BLOCK);
+        let k = self.glwe_dimension;
+        let n = self.poly_size;
+        let two_n = 2 * n;
+        let level = self.decomp.level;
+        let cols = k + 1;
+        let rows = cols * level;
+        let patterns = 1usize << group_bits;
+        let MultiBitPbsScratch {
+            decomp_state,
+            all_digits,
+            digit_batch,
+            acc_batch,
+            comb_batch,
+            mono_re,
+            mono_im,
+            degrees,
+            time_batch,
+            ..
+        } = scratch;
+
+        // Stage 1: monomial degrees and active flags.
+        let mut active = [false; CMUX_JOB_BLOCK];
+        probe.time(PbsStage::ModSwitch, || {
+            for j in 0..accs.len() {
+                let d = &mut degrees[j * patterns..(j + 1) * patterns];
+                d[0] = 0;
+                let mut any = false;
+                for t in 0..group_bits {
+                    let a = switched[(first_bit + t) * batch + job0 + j] as usize;
+                    any |= a != 0;
+                    let bit = 1usize << t;
+                    for b in 0..bit {
+                        d[bit | b] = (d[b] + a) & (two_n - 1);
+                    }
+                }
+                active[j] = any;
+            }
+        });
+
+        // Stage 2: assemble each active job's combined GGSW spectrum.
+        probe.time(PbsStage::VectorMultiply, || {
+            for (j, comb) in comb_batch.iter_mut().enumerate().take(accs.len()) {
+                if active[j] {
+                    comb.copy_from(entries[0].spectra());
+                }
+            }
+            for (pattern, entry) in entries.iter().enumerate().skip(1) {
+                for (j, comb) in comb_batch.iter_mut().enumerate().take(accs.len()) {
+                    if !active[j] {
+                        continue;
+                    }
+                    self.mono
+                        .spectrum_into(degrees[j * patterns + pattern], mono_re, mono_im)
+                        .expect("monomial planes are sized to the fft plan");
+                    let spectra = entry.spectra();
+                    for t in 0..rows * cols {
+                        let (e_re, e_im) = spectra.transform(t);
+                        let (c_re, c_im) = comb.transform_mut(t);
+                        pointwise_mul_add_soa(c_re, c_im, e_re, e_im, mono_re, mono_im);
+                    }
+                }
+            }
+        });
+
+        // Stage 3a: decompose the accumulators directly and transform.
+        for (j, acc) in accs.iter().enumerate() {
+            if !active[j] {
+                continue;
+            }
+            probe.time(PbsStage::Decompose, || {
+                for (p, poly) in acc.polys().enumerate() {
+                    self.decomp.decompose_polynomial_levels(
+                        poly,
+                        &mut all_digits[p * level * n..(p + 1) * level * n],
+                        decomp_state,
+                    );
+                }
+            });
+            probe.time(PbsStage::Fft, || {
+                self.fft
+                    .forward_i64_many(all_digits, &mut digit_batch[j])
+                    .expect("digit batch matches the fft plan");
+            });
+        }
+
+        // Stage 3b: VMA, row-major across the block, each job against
+        // its own combined spectrum.
+        probe.time(PbsStage::VectorMultiply, || {
+            for j in 0..accs.len() {
+                if active[j] {
+                    acc_batch[j].fill_zero();
+                }
+            }
+            for r in 0..rows {
+                for j in 0..accs.len() {
+                    if !active[j] {
+                        continue;
+                    }
+                    let (d_re, d_im) = digit_batch[j].transform(r);
+                    for col in 0..cols {
+                        let (k_re, k_im) = comb_batch[j].transform(r * cols + col);
+                        let (a_re, a_im) = acc_batch[j].transform_mut(col);
+                        pointwise_mul_add_soa(a_re, a_im, d_re, d_im, k_re, k_im);
+                    }
+                }
+            }
+        });
+
+        // Stage 4: batched inverse, fused torus conversion, *replacing*
+        // the accumulator.
+        for (j, acc) in accs.iter_mut().enumerate() {
+            if !active[j] {
+                continue;
+            }
+            probe.time(PbsStage::IfftAccumulate, || {
+                self.fft
+                    .backward_f64_many(&mut acc_batch[j], time_batch)
+                    .expect("accumulator batch matches the fft plan");
+                for (col, time) in time_batch.chunks_exact(n).enumerate() {
+                    let poly = acc.poly_mut(col).expect("column within GLWE dimension");
+                    for (o, &v) in poly.coeffs_mut().iter_mut().zip(time) {
+                        *o = f64_to_torus(v);
+                    }
+                }
+            });
+        }
+    }
+
+    /// Batched multi-bit programmable bootstrap: grouped blind rotation
+    /// followed by per-job sample extraction, in job order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TfheError::ParameterMismatch`] on any shape mismatch.
+    pub fn bootstrap_batch(&self, jobs: &[PbsJob<'_>]) -> Result<Vec<LweCiphertext>, TfheError> {
+        Ok(self.blind_rotate_batch(jobs)?.iter().map(GlweCiphertext::sample_extract).collect())
+    }
+
+    /// As [`Self::bootstrap_batch`] with per-stage timing
+    /// instrumentation over the production grouped path — the same
+    /// kernel the un-instrumented batch runs, observed through a
+    /// timing probe (combined-GGSW assembly and the VMA both account
+    /// to [`PbsStage::VectorMultiply`]; monomial-degree computation to
+    /// [`PbsStage::ModSwitch`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TfheError::ParameterMismatch`] on any shape mismatch.
+    pub fn bootstrap_batch_profiled(
+        &self,
+        jobs: &[PbsJob<'_>],
+        timings: &mut StageTimings,
+    ) -> Result<Vec<LweCiphertext>, TfheError> {
+        let mut scratch = self.scratch();
+        let mut probe = TimingProbe(timings);
+        let accs = self.blind_rotate_batch_core(jobs, &mut scratch, &mut probe)?;
+        Ok(probe.time(PbsStage::SampleExtract, || {
+            accs.iter().map(GlweCiphertext::sample_extract).collect()
+        }))
+    }
+
+    /// Parallel multi-bit epoch execution: contiguous balanced shards,
+    /// one scratch per worker, results in job order — the same
+    /// scheduling contract as [`BootstrapKey::bootstrap_batch_parallel`]
+    /// and bit-identical to the sequential [`Self::bootstrap_batch`].
+    ///
+    /// `threads` is clamped to `[1, jobs.len()]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TfheError::ParameterMismatch`] if any job's shape
+    /// disagrees with the key (validated before any thread spawns).
+    pub fn bootstrap_batch_parallel(
+        &self,
+        jobs: &[PbsJob<'_>],
+        threads: usize,
+    ) -> Result<Vec<LweCiphertext>, TfheError> {
+        for job in jobs {
+            self.check_shape(job.ct, job.lut)?;
+        }
+        let threads = threads.max(1).min(jobs.len());
+        if threads <= 1 {
+            return self.bootstrap_batch(jobs);
+        }
+        let base = jobs.len() / threads;
+        let extra = jobs.len() % threads;
+        let shards: Vec<Result<Vec<LweCiphertext>, TfheError>> = std::thread::scope(|scope| {
+            let mut start = 0;
+            let handles: Vec<_> = (0..threads)
+                .map(|i| {
+                    let len = base + usize::from(i < extra);
+                    let shard = &jobs[start..start + len];
+                    start += len;
+                    scope.spawn(move || self.bootstrap_batch(shard))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("PBS shard worker panicked")).collect()
+        });
+        let mut out = Vec::with_capacity(jobs.len());
+        for shard in shards {
+            out.extend(shard?);
+        }
+        Ok(out)
+    }
+
+    /// Full multi-bit programmable bootstrap of a single ciphertext.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TfheError::ParameterMismatch`] on shape mismatch.
+    pub fn bootstrap(&self, ct: &LweCiphertext, lut: &Lut) -> Result<LweCiphertext, TfheError> {
+        Ok(self.blind_rotate(ct, lut)?.sample_extract())
+    }
+}
+
 /// Encodes a boolean as `±1/8` on the torus (gate-bootstrapping
 /// convention): `true ↦ +1/8`, `false ↦ −1/8`.
 ///
@@ -999,5 +1620,118 @@ mod tests {
         let lut = Lut::sign(params.polynomial_size, encode_fraction(1, 3));
         let out = bsk.bootstrap(&ct, &lut).unwrap();
         assert_eq!(out.dimension(), bsk.output_dimension());
+    }
+
+    fn multi_bit_key(fx: &mut Fixture, g: usize) -> MultiBitBootstrapKey {
+        MultiBitBootstrapKey::generate(&fx.lwe_sk, &fx.glwe_sk, &fx.params, g, &mut fx.rng)
+    }
+
+    #[test]
+    fn multi_bit_key_size_matches_parameter_formula() {
+        let params = TfheParameters::testing_fast();
+        let fx = &mut fixture(params.clone());
+        for g in [2usize, 3] {
+            let mbsk = multi_bit_key(fx, g);
+            assert_eq!(mbsk.grouping_factor(), g);
+            assert_eq!(mbsk.group_count(), params.multi_bit_group_count(g));
+            assert_eq!(mbsk.byte_size(), params.multi_bit_bootstrap_key_bytes(g), "g={g}");
+            assert_eq!(mbsk.input_dimension(), params.lwe_dimension);
+            assert_eq!(mbsk.output_dimension(), params.extracted_lwe_dimension());
+        }
+    }
+
+    #[test]
+    fn multi_bit_bootstrap_decrypts_like_classical() {
+        // Not bit-identical — a genuinely different kernel — but the
+        // decoded messages must agree with the classical path on every
+        // input of the message space.
+        let fx = &mut fixture(TfheParameters::testing_fast());
+        let mbsk = multi_bit_key(fx, 2);
+        let p = 2u32;
+        let f = |m: u64| (3 * m + 1) % 4;
+        let lut = Lut::from_function(fx.params.polynomial_size, p, f).unwrap();
+        for m in 0..4u64 {
+            let pt = m << (64 - p - 1);
+            let ct = fx.lwe_sk.encrypt(pt, fx.params.lwe_noise_std, &mut fx.rng);
+            let classical = fx.bsk.bootstrap(&ct, &lut).unwrap();
+            let multi_bit = mbsk.bootstrap(&ct, &lut).unwrap();
+            let pc = fx.extracted.decrypt_phase(&classical).unwrap();
+            let pm = fx.extracted.decrypt_phase(&multi_bit).unwrap();
+            assert_eq!(decode_message(pm, p + 1), decode_message(pc, p + 1), "m={m}");
+            assert_eq!(decode_message(pm, p + 1), f(m), "m={m}");
+        }
+    }
+
+    #[test]
+    fn multi_bit_zero_rotation_job_is_exact_passthrough() {
+        // A trivial ciphertext with all-zero mask and body skips every
+        // group: the accumulator must come back exactly as initialised,
+        // bit-identical to what the classical kernel produces.
+        let fx = &mut fixture(TfheParameters::testing_fast());
+        let mbsk = multi_bit_key(fx, 2);
+        let lut = Lut::sign(fx.params.polynomial_size, encode_fraction(1, 3));
+        let ct = LweCiphertext::trivial(fx.params.lwe_dimension, 0);
+        let grouped = mbsk.blind_rotate(&ct, &lut).unwrap();
+        let classical = fx.bsk.blind_rotate(&ct, &lut).unwrap();
+        assert_eq!(grouped, classical);
+    }
+
+    #[test]
+    fn multi_bit_batch_matches_single_per_job() {
+        let fx = &mut fixture(TfheParameters::testing_fast());
+        let mbsk = multi_bit_key(fx, 2);
+        let p = 2u32;
+        let lut = Lut::from_function(fx.params.polynomial_size, p, |m| m).unwrap();
+        let cts: Vec<LweCiphertext> = (0..5u64)
+            .map(|m| {
+                fx.lwe_sk.encrypt((m % 4) << (64 - p - 1), fx.params.lwe_noise_std, &mut fx.rng)
+            })
+            .collect();
+        let jobs: Vec<PbsJob<'_>> = cts.iter().map(|ct| PbsJob { ct, lut: &lut }).collect();
+        let batched = mbsk.bootstrap_batch(&jobs).unwrap();
+        for (job, out) in jobs.iter().zip(&batched) {
+            assert_eq!(out, &mbsk.bootstrap(job.ct, job.lut).unwrap());
+        }
+    }
+
+    #[test]
+    fn multi_bit_shape_mismatch_is_reported() {
+        let fx = &mut fixture(TfheParameters::testing_fast());
+        let mbsk = multi_bit_key(fx, 2);
+        let lut = Lut::sign(fx.params.polynomial_size, encode_fraction(1, 3));
+        let wrong = LweCiphertext::trivial(10, 0);
+        assert!(mbsk.blind_rotate(&wrong, &lut).is_err());
+        let wrong_lut = Lut::sign(fx.params.polynomial_size * 2, 1);
+        let ct = LweCiphertext::trivial(fx.params.lwe_dimension, 0);
+        assert!(mbsk.blind_rotate(&ct, &wrong_lut).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "scratch grouping factor mismatch")]
+    fn multi_bit_wrong_scratch_grouping_panics() {
+        let fx = &mut fixture(TfheParameters::testing_fast());
+        let mbsk = multi_bit_key(fx, 2);
+        let lut = Lut::sign(fx.params.polynomial_size, encode_fraction(1, 3));
+        let ct = LweCiphertext::trivial(fx.params.lwe_dimension, 0);
+        let mut wrong = crate::scratch::MultiBitPbsScratch::new(
+            fx.params.glwe_dimension,
+            fx.params.polynomial_size,
+            mbsk.decomposition(),
+            3,
+        );
+        let _ = mbsk.blind_rotate_with(&ct, &lut, &mut wrong);
+    }
+
+    #[test]
+    fn multi_bit_benchmark_key_has_real_shape_and_runs() {
+        let params = TfheParameters::testing_fast();
+        for g in [2usize, 3] {
+            let mbsk = MultiBitBootstrapKey::generate_for_benchmark(&params, g);
+            assert_eq!(mbsk.byte_size(), params.multi_bit_bootstrap_key_bytes(g), "g={g}");
+            let ct = LweCiphertext::trivial(params.lwe_dimension, encode_bool(true));
+            let lut = Lut::sign(params.polynomial_size, encode_fraction(1, 3));
+            let out = mbsk.bootstrap(&ct, &lut).unwrap();
+            assert_eq!(out.dimension(), mbsk.output_dimension());
+        }
     }
 }

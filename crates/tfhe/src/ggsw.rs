@@ -211,6 +211,15 @@ impl FourierGgsw {
         self.spectra.transform(row * (self.glwe_dimension + 1) + col)
     }
 
+    /// The full split-complex batch of this entry's spectra
+    /// (`(k+1)·l·(k+1)` transforms, row-major then column) — the unit
+    /// the multi-bit kernel streams when it MACs whole pattern entries
+    /// into a combined GGSW.
+    #[inline]
+    pub(crate) fn spectra(&self) -> &SoaSpectrum {
+        &self.spectra
+    }
+
     /// Number of bytes this key entry occupies (the per-iteration HBM
     /// traffic of one blind-rotation step).
     pub fn byte_size(&self) -> usize {

@@ -7,7 +7,7 @@
 //! paper targets: the server — or the Strix accelerator — never sees a
 //! secret key.
 
-use crate::bootstrap::BootstrapKey;
+use crate::bootstrap::{BootstrapKey, MultiBitBootstrapKey};
 use crate::glwe::GlweSecretKey;
 use crate::keyswitch::KeySwitchKey;
 use crate::lwe::{LweCiphertext, LweSecretKey};
@@ -84,11 +84,25 @@ impl ClientKey {
     }
 
     /// Derives the matching server key.
+    ///
+    /// The classical bootstrapping key is always generated (it is the
+    /// fallback every dispatch path can rely on); when the parameter
+    /// set selects [`PbsKernel::MultiBit`](crate::params::PbsKernel::MultiBit), the grouped multi-bit key
+    /// is generated alongside it.
     pub fn server_key(&mut self) -> ServerKey {
         let bsk = BootstrapKey::generate(&self.lwe_sk, &self.glwe_sk, &self.params, &mut self.rng);
+        let mbsk = self.params.pbs_kernel.grouping_factor().map(|g| {
+            MultiBitBootstrapKey::generate(
+                &self.lwe_sk,
+                &self.glwe_sk,
+                &self.params,
+                g,
+                &mut self.rng,
+            )
+        });
         let ksk =
             KeySwitchKey::generate(&self.extracted_sk, &self.lwe_sk, &self.params, &mut self.rng);
-        ServerKey { params: self.params.clone(), bsk, ksk }
+        ServerKey { params: self.params.clone(), bsk, mbsk, ksk }
     }
 }
 
@@ -97,6 +111,7 @@ impl ClientKey {
 pub struct ServerKey {
     pub(crate) params: TfheParameters,
     pub(crate) bsk: BootstrapKey,
+    pub(crate) mbsk: Option<MultiBitBootstrapKey>,
     pub(crate) ksk: KeySwitchKey,
 }
 
@@ -107,10 +122,18 @@ impl ServerKey {
         &self.params
     }
 
-    /// The bootstrapping key.
+    /// The classical bootstrapping key (always present).
     #[inline]
     pub fn bootstrap_key(&self) -> &BootstrapKey {
         &self.bsk
+    }
+
+    /// The multi-bit bootstrapping key, present when the parameter set
+    /// was generated with a [`PbsKernel::MultiBit`](crate::params::PbsKernel::MultiBit) kernel. Dispatchers
+    /// that find `None` fall back to the classical kernel.
+    #[inline]
+    pub fn multi_bit_bootstrap_key(&self) -> Option<&MultiBitBootstrapKey> {
+        self.mbsk.as_ref()
     }
 
     /// The keyswitching key.
@@ -119,10 +142,13 @@ impl ServerKey {
         &self.ksk
     }
 
-    /// Total evaluation-key footprint in bytes (bsk + ksk) — the
-    /// quantity Table I contrasts against CKKS's gigabyte-scale keys.
+    /// Total evaluation-key footprint in bytes (bsk + optional mbsk +
+    /// ksk) — the quantity Table I contrasts against CKKS's
+    /// gigabyte-scale keys.
     pub fn key_bytes(&self) -> usize {
-        self.bsk.byte_size() + self.ksk.byte_size()
+        self.bsk.byte_size()
+            + self.mbsk.as_ref().map_or(0, MultiBitBootstrapKey::byte_size)
+            + self.ksk.byte_size()
     }
 
     /// Generates a *timing-equivalent* server key without the full
@@ -138,12 +164,16 @@ impl ServerKey {
         params.validate().expect("parameter set must be valid");
         let mut rng = NoiseSampler::from_seed(seed);
         let bsk = BootstrapKey::generate_for_benchmark(params);
+        let mbsk = params
+            .pbs_kernel
+            .grouping_factor()
+            .map(|g| MultiBitBootstrapKey::generate_for_benchmark(params, g));
         let glwe_sk =
             GlweSecretKey::generate(params.glwe_dimension, params.polynomial_size, &mut rng);
         let lwe_sk = LweSecretKey::generate(params.lwe_dimension, &mut rng);
         let ksk =
             KeySwitchKey::generate(&glwe_sk.to_extracted_lwe_key(), &lwe_sk, params, &mut rng);
-        Self { params: params.clone(), bsk, ksk }
+        Self { params: params.clone(), bsk, mbsk, ksk }
     }
 }
 
@@ -169,6 +199,7 @@ pub fn generate_keys(params: &TfheParameters, seed: u64) -> (ClientKey, ServerKe
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::params::PbsKernel;
 
     #[test]
     fn generate_keys_produces_matching_dimensions() {
@@ -185,7 +216,39 @@ mod tests {
     fn key_bytes_matches_parameter_formulas() {
         let params = TfheParameters::testing_fast();
         let (_, server) = generate_keys(&params, 7);
+        assert!(server.multi_bit_bootstrap_key().is_none());
         assert_eq!(server.key_bytes(), params.bootstrap_key_bytes() + params.keyswitch_key_bytes());
+    }
+
+    #[test]
+    fn multi_bit_kernel_adds_grouped_key_material() {
+        let g = 2;
+        let params =
+            TfheParameters::testing_fast().with_kernel(PbsKernel::MultiBit { grouping_factor: g });
+        let (_, server) = generate_keys(&params, 7);
+        let mbsk = server.multi_bit_bootstrap_key().expect("multi-bit kernel carries its key");
+        assert_eq!(mbsk.grouping_factor(), g);
+        assert_eq!(mbsk.group_count(), params.multi_bit_group_count(g));
+        assert_eq!(
+            server.key_bytes(),
+            params.bootstrap_key_bytes()
+                + params.multi_bit_bootstrap_key_bytes(g)
+                + params.keyswitch_key_bytes()
+        );
+        // The classical key is still present as dispatch fallback.
+        assert_eq!(server.bootstrap_key().input_dimension(), params.lwe_dimension);
+    }
+
+    #[test]
+    fn benchmark_key_honours_multi_bit_kernel() {
+        let params =
+            TfheParameters::testing_fast().with_kernel(PbsKernel::MultiBit { grouping_factor: 3 });
+        let server = ServerKey::generate_for_benchmark(&params, 5);
+        let mbsk = server.multi_bit_bootstrap_key().expect("benchmark key honours the kernel");
+        assert_eq!(mbsk.byte_size(), params.multi_bit_bootstrap_key_bytes(3));
+        let lut = crate::bootstrap::Lut::sign(params.polynomial_size, 1);
+        let ct = LweCiphertext::trivial(params.lwe_dimension, 0);
+        assert!(mbsk.bootstrap(&ct, &lut).is_ok());
     }
 
     #[test]

@@ -70,14 +70,14 @@ pub mod unrolled;
 
 pub use error::TfheError;
 pub use keys::{generate_keys, ClientKey, ServerKey};
-pub use params::{ParameterSet, TfheParameters};
+pub use params::{ParameterSet, PbsKernel, TfheParameters};
 
 /// Commonly used items, for glob import.
 pub mod prelude {
     pub use crate::boolean::BoolCiphertext;
     pub use crate::keys::{generate_keys, ClientKey, ServerKey};
     pub use crate::lwe::LweCiphertext;
-    pub use crate::params::{ParameterSet, TfheParameters};
+    pub use crate::params::{ParameterSet, PbsKernel, TfheParameters};
     pub use crate::shortint::ShortintCiphertext;
     pub use crate::TfheError;
 }

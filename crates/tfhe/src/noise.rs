@@ -12,7 +12,7 @@
 
 use crate::keys::ClientKey;
 use crate::lwe::LweCiphertext;
-use crate::params::TfheParameters;
+use crate::params::{PbsKernel, TfheParameters};
 
 /// Variance of a fresh LWE encryption.
 pub fn fresh_lwe_variance(params: &TfheParameters) -> f64 {
@@ -36,10 +36,58 @@ pub fn external_product_variance(params: &TfheParameters) -> f64 {
     key_term + round_term
 }
 
-/// Variance of a PBS output (fresh noise, independent of input noise):
-/// `n` accumulated external products.
-pub fn pbs_output_variance(params: &TfheParameters) -> f64 {
+/// Variance of a classical PBS output (fresh noise, independent of
+/// input noise): `n` accumulated external products.
+pub fn classical_pbs_output_variance(params: &TfheParameters) -> f64 {
     params.lwe_dimension as f64 * external_product_variance(params)
+}
+
+/// Variance added by one *grouped* external product of the multi-bit
+/// kernel at group width `group_bits`. The combined GGSW is a sum of
+/// `2^m` monomial-weighted pattern entries — monomials have unit norm,
+/// so the key-noise term carries a `2^m` factor — and the gadget
+/// rounding term loses the classical path's binary-secret `1/2` (the
+/// combined message `X^ρ` has norm 1, not expectation 1/2).
+pub fn multi_bit_external_product_variance(params: &TfheParameters, group_bits: usize) -> f64 {
+    let k = params.glwe_dimension as f64;
+    let n = params.polynomial_size as f64;
+    let l = params.pbs_level as f64;
+    let b = 2.0f64.powi(params.pbs_base_log as i32);
+    let var_ggsw = params.glwe_noise_std * params.glwe_noise_std;
+    let patterns = 2.0f64.powi(group_bits as i32);
+    let key_term = (k + 1.0) * l * n * (b * b + 2.0) / 12.0 * patterns * var_ggsw;
+    let round_term = (1.0 + k * n) * b.powf(-2.0 * l) / 12.0;
+    key_term + round_term
+}
+
+/// Variance of a multi-bit PBS output at grouping factor `g`:
+/// `⌊n/g⌋` full-width grouped products plus, when `g` does not divide
+/// `n`, one remainder product of width `n mod g`.
+pub fn multi_bit_pbs_output_variance(params: &TfheParameters, grouping_factor: usize) -> f64 {
+    let full_groups = params.lwe_dimension / grouping_factor;
+    let remainder = params.lwe_dimension % grouping_factor;
+    let mut var = full_groups as f64 * multi_bit_external_product_variance(params, grouping_factor);
+    if remainder > 0 {
+        var += multi_bit_external_product_variance(params, remainder);
+    }
+    var
+}
+
+/// Variance of a PBS output under an explicit kernel choice.
+pub fn pbs_output_variance_for(params: &TfheParameters, kernel: PbsKernel) -> f64 {
+    match kernel {
+        PbsKernel::Classical => classical_pbs_output_variance(params),
+        PbsKernel::MultiBit { grouping_factor } => {
+            multi_bit_pbs_output_variance(params, grouping_factor)
+        }
+    }
+}
+
+/// Variance of a PBS output under the kernel the parameter set selects
+/// (`params.pbs_kernel`); classical parameters keep their historical
+/// value.
+pub fn pbs_output_variance(params: &TfheParameters) -> f64 {
+    pbs_output_variance_for(params, params.pbs_kernel)
 }
 
 /// Variance added by keyswitching back to the `n`-dimension key.
@@ -68,20 +116,33 @@ pub fn modswitch_variance(params: &TfheParameters) -> f64 {
     (1.0 + n / 2.0) / (two_n * two_n * 12.0)
 }
 
-/// Total phase variance at the *decision point* of a gate bootstrap:
-/// two fresh gate inputs (each PBS + KS output) combined linearly with
-/// unit weights, plus modulus switching.
-pub fn gate_decision_variance(params: &TfheParameters) -> f64 {
-    2.0 * (pbs_output_variance(params) + keyswitch_added_variance(params))
+/// Total phase variance at the *decision point* of a gate bootstrap
+/// under an explicit kernel choice: two fresh gate inputs (each PBS +
+/// KS output) combined linearly with unit weights, plus modulus
+/// switching.
+pub fn gate_decision_variance_for(params: &TfheParameters, kernel: PbsKernel) -> f64 {
+    2.0 * (pbs_output_variance_for(params, kernel) + keyswitch_added_variance(params))
         + modswitch_variance(params)
 }
 
-/// The margin-to-noise ratio of gate bootstrapping: distance from the
-/// `±1/8` encodings to the decision boundary (1/8 of the torus) divided
-/// by the phase standard deviation. Values above ~6 give negligible
-/// error probability; Table IV sets land well above that.
+/// As [`gate_decision_variance_for`] under the parameter set's own
+/// kernel.
+pub fn gate_decision_variance(params: &TfheParameters) -> f64 {
+    gate_decision_variance_for(params, params.pbs_kernel)
+}
+
+/// The margin-to-noise ratio of gate bootstrapping under an explicit
+/// kernel choice: distance from the `±1/8` encodings to the decision
+/// boundary (1/8 of the torus) divided by the phase standard deviation.
+/// Values above ~6 give negligible error probability; Table IV sets
+/// land well above that for both kernels.
+pub fn gate_margin_sigmas_for(params: &TfheParameters, kernel: PbsKernel) -> f64 {
+    0.125 / gate_decision_variance_for(params, kernel).sqrt()
+}
+
+/// As [`gate_margin_sigmas_for`] under the parameter set's own kernel.
 pub fn gate_margin_sigmas(params: &TfheParameters) -> f64 {
-    0.125 / gate_decision_variance(params).sqrt()
+    gate_margin_sigmas_for(params, params.pbs_kernel)
 }
 
 /// Measures the signed torus error of a ciphertext against the expected
@@ -120,6 +181,60 @@ mod tests {
             let sigmas = gate_margin_sigmas(&p);
             assert!(sigmas > 10.0, "{}: only {sigmas:.1} sigmas of margin", p.name);
         }
+    }
+
+    #[test]
+    fn shipped_sets_keep_margin_above_threshold_for_every_kernel() {
+        // Regression for the kernel-aware margin helpers: every shipped
+        // parameter set must stay above the gate decision threshold
+        // under the classical kernel *and* under multi-bit at g ∈ {2,3}
+        // — the configurations the runtime dispatcher may select.
+        let kernels = [
+            PbsKernel::Classical,
+            PbsKernel::MultiBit { grouping_factor: 2 },
+            PbsKernel::MultiBit { grouping_factor: 3 },
+        ];
+        for set in crate::params::ParameterSet::ALL {
+            let p = set.parameters();
+            for kernel in kernels {
+                let sigmas = gate_margin_sigmas_for(&p, kernel);
+                assert!(sigmas > 10.0, "{} / {kernel}: only {sigmas:.1} sigmas", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn margin_helpers_follow_the_parameter_sets_kernel() {
+        let classical = TfheParameters::set_ii();
+        let multi_bit = classical.clone().with_kernel(PbsKernel::MultiBit { grouping_factor: 2 });
+        assert_eq!(
+            gate_margin_sigmas(&classical),
+            gate_margin_sigmas_for(&classical, PbsKernel::Classical)
+        );
+        assert_eq!(
+            gate_margin_sigmas(&multi_bit),
+            gate_margin_sigmas_for(&multi_bit, PbsKernel::MultiBit { grouping_factor: 2 })
+        );
+        // The 2^g key-noise amplification must show up as a strictly
+        // smaller margin than classical on the same set.
+        assert!(gate_margin_sigmas(&multi_bit) < gate_margin_sigmas(&classical));
+    }
+
+    #[test]
+    fn multi_bit_variance_counts_remainder_group() {
+        let p = TfheParameters::testing_fast(); // n = 64
+                                                // g = 2 divides n: 32 full-width products.
+        let g2 = multi_bit_pbs_output_variance(&p, 2);
+        assert_eq!(g2, 32.0 * multi_bit_external_product_variance(&p, 2));
+        // g = 3 leaves a width-1 remainder: 21 full + 1 narrow product.
+        let g3 = multi_bit_pbs_output_variance(&p, 3);
+        let expected = 21.0 * multi_bit_external_product_variance(&p, 3)
+            + multi_bit_external_product_variance(&p, 1);
+        assert_eq!(g3, expected);
+        // Wider groups amplify the key term per product.
+        assert!(
+            multi_bit_external_product_variance(&p, 3) > multi_bit_external_product_variance(&p, 2)
+        );
     }
 
     #[test]

@@ -66,6 +66,61 @@ impl std::fmt::Display for ParameterSet {
     }
 }
 
+/// Which blind-rotation kernel a server key targets — the software
+/// counterpart of tfhe-rs's CUDA `CLASSICAL` vs `MULTI_BIT` PBS
+/// dispatch.
+///
+/// * [`PbsKernel::Classical`] runs one CMUX per LWE mask element: `n`
+///   external products against an `n`-entry bootstrapping key.
+/// * [`PbsKernel::MultiBit`] groups `grouping_factor` secret bits per
+///   key entry (`2^g` GGSW rows encrypting all bit-pattern indicator
+///   products) and runs one external product per *group* —
+///   `⌈n/g⌉` iterations instead of `n`, at the cost of a `2^g/g ×`
+///   larger key and a `2^g ×` key-noise term per product.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PbsKernel {
+    /// One CMUX per secret-key bit (the PR 4/5 coefficient-batched
+    /// kernel).
+    #[default]
+    Classical,
+    /// Grouped blind rotation over `⌈n/g⌉` combined GGSW entries.
+    MultiBit {
+        /// Secret bits collapsed per key entry (`g ≥ 1`; each entry
+        /// stores `2^g` GGSW rows).
+        grouping_factor: usize,
+    },
+}
+
+impl PbsKernel {
+    /// Largest supported grouping factor: key entries grow as `2^g`,
+    /// and beyond a handful of bits the combined-GGSW assembly
+    /// outweighs the saved transforms.
+    pub const MAX_GROUPING_FACTOR: usize = 8;
+
+    /// Stable human-readable label (`"classical"` / `"multi-bit-g2"`).
+    pub fn label(self) -> String {
+        match self {
+            PbsKernel::Classical => "classical".to_string(),
+            PbsKernel::MultiBit { grouping_factor } => format!("multi-bit-g{grouping_factor}"),
+        }
+    }
+
+    /// The grouping factor, or `None` for the classical kernel.
+    #[inline]
+    pub fn grouping_factor(self) -> Option<usize> {
+        match self {
+            PbsKernel::Classical => None,
+            PbsKernel::MultiBit { grouping_factor } => Some(grouping_factor),
+        }
+    }
+}
+
+impl std::fmt::Display for PbsKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
 /// A complete TFHE parameter set.
 ///
 /// Field names follow the paper's notation (§II-D, Table II): `n` is the
@@ -95,6 +150,12 @@ pub struct TfheParameters {
     pub glwe_noise_std: f64,
     /// Claimed security level in bits (Table IV's λ).
     pub security_bits: u32,
+    /// Which blind-rotation kernel server keys for this set target.
+    /// Defaults to [`PbsKernel::Classical`] (including when absent from
+    /// serialized parameters, for compatibility with pre-multi-bit
+    /// snapshots).
+    #[serde(default)]
+    pub pbs_kernel: PbsKernel,
 }
 
 impl TfheParameters {
@@ -112,6 +173,7 @@ impl TfheParameters {
             lwe_noise_std: 2.43e-5,
             glwe_noise_std: 3.73e-9,
             security_bits: 110,
+            pbs_kernel: PbsKernel::Classical,
         }
     }
 
@@ -129,6 +191,7 @@ impl TfheParameters {
             lwe_noise_std: 2.0f64.powi(-15),
             glwe_noise_std: 2.0f64.powi(-25),
             security_bits: 128,
+            pbs_kernel: PbsKernel::Classical,
         }
     }
 
@@ -146,6 +209,7 @@ impl TfheParameters {
             lwe_noise_std: 2.0f64.powi(-15),
             glwe_noise_std: 2.0f64.powi(-37),
             security_bits: 128,
+            pbs_kernel: PbsKernel::Classical,
         }
     }
 
@@ -164,6 +228,7 @@ impl TfheParameters {
             lwe_noise_std: 2.0f64.powi(-22),
             glwe_noise_std: 2.0f64.powi(-51),
             security_bits: 128,
+            pbs_kernel: PbsKernel::Classical,
         }
     }
 
@@ -199,6 +264,7 @@ impl TfheParameters {
             lwe_noise_std: 2.0f64.powi(-15),
             glwe_noise_std,
             security_bits: 128,
+            pbs_kernel: PbsKernel::Classical,
         })
     }
 
@@ -218,6 +284,7 @@ impl TfheParameters {
             lwe_noise_std: 2.0f64.powi(-20),
             glwe_noise_std: 2.0f64.powi(-30),
             security_bits: 0,
+            pbs_kernel: PbsKernel::Classical,
         }
     }
 
@@ -236,6 +303,7 @@ impl TfheParameters {
             lwe_noise_std: 2.0f64.powi(-20),
             glwe_noise_std: 2.0f64.powi(-30),
             security_bits: 0,
+            pbs_kernel: PbsKernel::Classical,
         }
     }
 
@@ -270,7 +338,31 @@ impl TfheParameters {
         if self.ks_base_log as usize * self.ks_level > 64 {
             return Err(TfheError::InvalidParameters("ks decomposition exceeds torus width"));
         }
+        if let PbsKernel::MultiBit { grouping_factor } = self.pbs_kernel {
+            if grouping_factor == 0 {
+                return Err(TfheError::InvalidParameters(
+                    "multi-bit grouping factor must be positive",
+                ));
+            }
+            if grouping_factor > PbsKernel::MAX_GROUPING_FACTOR {
+                return Err(TfheError::InvalidParameters(
+                    "multi-bit grouping factor exceeds the supported maximum",
+                ));
+            }
+            if grouping_factor > self.lwe_dimension {
+                return Err(TfheError::InvalidParameters(
+                    "multi-bit grouping factor exceeds the lwe dimension",
+                ));
+            }
+        }
         Ok(())
+    }
+
+    /// The same parameters retargeted at `kernel` (builder-style).
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: PbsKernel) -> Self {
+        self.pbs_kernel = kernel;
+        self
     }
 
     /// Dimension of LWE ciphertexts extracted from GLWE: `k · N`
@@ -313,6 +405,26 @@ impl TfheParameters {
     #[inline]
     pub fn keyswitch_key_bytes(&self) -> usize {
         self.extracted_lwe_dimension() * self.ks_level * (self.lwe_dimension + 1) * 8
+    }
+
+    /// Number of blind-rotation groups at grouping factor `g`:
+    /// `⌈n/g⌉` (the last group covers the `n mod g` remainder bits).
+    #[inline]
+    pub fn multi_bit_group_count(&self, grouping_factor: usize) -> usize {
+        self.lwe_dimension.div_ceil(grouping_factor)
+    }
+
+    /// Total Fourier multi-bit bootstrapping-key size in bytes at
+    /// grouping factor `g`: each full group stores `2^g` GGSW entries
+    /// (one per bit pattern), the remainder group `2^{n mod g}`.
+    pub fn multi_bit_bootstrap_key_bytes(&self, grouping_factor: usize) -> usize {
+        let full_groups = self.lwe_dimension / grouping_factor;
+        let remainder = self.lwe_dimension % grouping_factor;
+        let mut entries = full_groups * (1usize << grouping_factor);
+        if remainder > 0 {
+            entries += 1usize << remainder;
+        }
+        entries * self.fourier_ggsw_bytes()
     }
 
     /// Size in bytes of one LWE ciphertext (`n + 1` torus elements).
@@ -396,6 +508,70 @@ mod tests {
         assert_eq!(ParameterSet::SetI.to_string(), "I");
         assert_eq!(ParameterSet::SetIV.label(), "IV");
         assert_eq!(ParameterSet::ALL.len(), 4);
+    }
+
+    #[test]
+    fn kernel_labels_and_default() {
+        assert_eq!(PbsKernel::default(), PbsKernel::Classical);
+        assert_eq!(PbsKernel::Classical.to_string(), "classical");
+        assert_eq!(PbsKernel::MultiBit { grouping_factor: 3 }.to_string(), "multi-bit-g3");
+        assert_eq!(PbsKernel::Classical.grouping_factor(), None);
+        assert_eq!(PbsKernel::MultiBit { grouping_factor: 2 }.grouping_factor(), Some(2));
+        assert_eq!(TfheParameters::set_ii().pbs_kernel, PbsKernel::Classical);
+    }
+
+    #[test]
+    fn kernel_validation_bounds_grouping_factor() {
+        let base = TfheParameters::testing_fast();
+        for g in 1..=4 {
+            base.clone()
+                .with_kernel(PbsKernel::MultiBit { grouping_factor: g })
+                .validate()
+                .unwrap();
+        }
+        for g in [0, PbsKernel::MAX_GROUPING_FACTOR + 1] {
+            assert!(base
+                .clone()
+                .with_kernel(PbsKernel::MultiBit { grouping_factor: g })
+                .validate()
+                .is_err());
+        }
+        let mut tiny = base.clone().with_kernel(PbsKernel::MultiBit { grouping_factor: 4 });
+        tiny.lwe_dimension = 3;
+        assert!(tiny.validate().is_err());
+    }
+
+    #[test]
+    fn parameters_without_kernel_field_deserialize_as_classical() {
+        // Pre-multi-bit serialized parameters carry no `pbs_kernel`
+        // field; they must keep parsing (and mean the classical
+        // kernel) so committed bench snapshots stay readable.
+        let mut p = TfheParameters::testing_fast();
+        p.pbs_kernel = PbsKernel::MultiBit { grouping_factor: 2 };
+        let json = serde_json::to_string(&p).unwrap();
+        let back: TfheParameters = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+
+        let legacy = serde_json::to_string(&TfheParameters::testing_fast()).unwrap();
+        let stripped = legacy.replace(",\"pbs_kernel\":\"Classical\"", "");
+        assert!(stripped.len() < legacy.len(), "field must have been present: {legacy}");
+        let parsed: TfheParameters = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(parsed.pbs_kernel, PbsKernel::Classical);
+    }
+
+    #[test]
+    fn multi_bit_key_sizes_count_pattern_entries() {
+        let p = TfheParameters::testing_fast(); // n = 64
+        assert_eq!(p.multi_bit_group_count(2), 32);
+        assert_eq!(p.multi_bit_group_count(3), 22); // 21 full + 1 remainder
+                                                    // g=2: 32 groups × 4 patterns = 128 entries (2× classical 64).
+        assert_eq!(p.multi_bit_bootstrap_key_bytes(2), 128 * p.fourier_ggsw_bytes());
+        // g=3: 21 × 8 + 2^(64 mod 3 = 1) = 170 entries.
+        assert_eq!(p.multi_bit_bootstrap_key_bytes(3), 170 * p.fourier_ggsw_bytes());
+        // g dividing n exactly: no remainder group.
+        let ii = TfheParameters::set_ii(); // n = 630
+        assert_eq!(ii.multi_bit_group_count(2), 315);
+        assert_eq!(ii.multi_bit_bootstrap_key_bytes(2), 1260 * ii.fourier_ggsw_bytes());
     }
 
     #[test]

@@ -162,6 +162,96 @@ impl PbsScratch {
     }
 }
 
+/// Per-thread reusable working memory for the **multi-bit** grouped
+/// blind rotation ([`crate::bootstrap::MultiBitBootstrapKey`]).
+///
+/// The grouped kernel never rotates the accumulator in the time domain,
+/// so there are no `diff`/`prod` GLWE buffers; instead each job of a
+/// block stages a *combined* GGSW — the monomial-weighted sum of the
+/// group's `2^g` pattern entries — in a split-complex spectrum the same
+/// shape as one bootstrapping-key entry, plus one scratch monomial
+/// spectrum reused across every `(row, col)` MAC of a pattern.
+#[derive(Clone, Debug)]
+pub struct MultiBitPbsScratch {
+    /// Lane-parallel decomposition state (`N` extraction words).
+    pub(crate) decomp_state: Vec<u64>,
+    /// One job's full digit decomposition (`(k+1)·l · N` digits),
+    /// poly-major then level-major — the packed input of the batched
+    /// forward transform.
+    pub(crate) all_digits: Vec<i64>,
+    /// Per-job split digit spectra for one block ([`CMUX_JOB_BLOCK`]
+    /// batches of `(k+1)·l` transforms of `N/2` points).
+    pub(crate) digit_batch: Vec<SoaSpectrum>,
+    /// Per-job split accumulator spectra (`k+1` transforms each).
+    pub(crate) acc_batch: Vec<SoaSpectrum>,
+    /// Per-job combined-GGSW spectra: `(k+1)·l · (k+1)` transforms of
+    /// `N/2` points each — one full key entry's worth per job of a
+    /// block, assembled fresh per group.
+    pub(crate) comb_batch: Vec<SoaSpectrum>,
+    /// Monomial spectrum staging (real plane, `N/2` points).
+    pub(crate) mono_re: Vec<f64>,
+    /// Monomial spectrum staging (imaginary plane, `N/2` points).
+    pub(crate) mono_im: Vec<f64>,
+    /// Per-(job, pattern) monomial degrees for one block
+    /// ([`CMUX_JOB_BLOCK`] · `2^g` entries, pattern-minor).
+    pub(crate) degrees: Vec<usize>,
+    /// Batched inverse-transform output (`(k+1) · N` reals).
+    pub(crate) time_batch: Vec<f64>,
+    glwe_dimension: usize,
+    poly_size: usize,
+    level: usize,
+    grouping_factor: usize,
+}
+
+impl MultiBitPbsScratch {
+    /// Allocates scratch for multi-bit bootstraps of shape
+    /// `(k, N, l)` at `grouping_factor` bits per key entry.
+    pub fn new(
+        glwe_dimension: usize,
+        poly_size: usize,
+        decomp: DecompositionParams,
+        grouping_factor: usize,
+    ) -> Self {
+        let half = poly_size / 2;
+        let cols = glwe_dimension + 1;
+        let rows = cols * decomp.level;
+        Self {
+            decomp_state: vec![0u64; poly_size],
+            all_digits: vec![0i64; rows * poly_size],
+            digit_batch: (0..CMUX_JOB_BLOCK).map(|_| SoaSpectrum::new(rows, half)).collect(),
+            acc_batch: (0..CMUX_JOB_BLOCK).map(|_| SoaSpectrum::new(cols, half)).collect(),
+            comb_batch: (0..CMUX_JOB_BLOCK).map(|_| SoaSpectrum::new(rows * cols, half)).collect(),
+            mono_re: vec![0.0f64; half],
+            mono_im: vec![0.0f64; half],
+            degrees: vec![0usize; CMUX_JOB_BLOCK << grouping_factor],
+            time_batch: vec![0.0f64; cols * poly_size],
+            glwe_dimension,
+            poly_size,
+            level: decomp.level,
+            grouping_factor,
+        }
+    }
+
+    /// Asserts this scratch matches the `(k, N, l, g)` shape of the key
+    /// about to use it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any mismatch.
+    pub(crate) fn check_shape(
+        &self,
+        glwe_dimension: usize,
+        poly_size: usize,
+        level: usize,
+        grouping_factor: usize,
+    ) {
+        assert_eq!(self.glwe_dimension, glwe_dimension, "scratch glwe dimension mismatch");
+        assert_eq!(self.poly_size, poly_size, "scratch polynomial size mismatch");
+        assert_eq!(self.level, level, "scratch decomposition level mismatch");
+        assert_eq!(self.grouping_factor, grouping_factor, "scratch grouping factor mismatch");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,5 +284,32 @@ mod tests {
     fn shape_mismatch_panics() {
         let decomp = DecompositionParams::new(8, 3);
         PbsScratch::new(1, 64, decomp).check_shape(1, 128, 3);
+    }
+
+    #[test]
+    fn multi_bit_buffers_are_sized_to_the_shape() {
+        let decomp = DecompositionParams::new(8, 3);
+        let s = MultiBitPbsScratch::new(1, 64, decomp, 2);
+        assert_eq!(s.decomp_state.len(), 64);
+        assert_eq!(s.all_digits.len(), 2 * 3 * 64);
+        assert_eq!(s.digit_batch.len(), CMUX_JOB_BLOCK);
+        assert_eq!(s.digit_batch[0].count(), 2 * 3);
+        assert_eq!(s.acc_batch[0].count(), 2);
+        // One combined key entry per job: (k+1)l rows × (k+1) columns.
+        assert_eq!(s.comb_batch.len(), CMUX_JOB_BLOCK);
+        assert_eq!(s.comb_batch[0].count(), 2 * 3 * 2);
+        assert_eq!(s.comb_batch[0].transform_len(), 32);
+        assert_eq!(s.mono_re.len(), 32);
+        assert_eq!(s.mono_im.len(), 32);
+        assert_eq!(s.degrees.len(), CMUX_JOB_BLOCK << 2);
+        assert_eq!(s.time_batch.len(), 2 * 64);
+        s.check_shape(1, 64, 3, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "scratch grouping factor mismatch")]
+    fn multi_bit_grouping_mismatch_panics() {
+        let decomp = DecompositionParams::new(8, 3);
+        MultiBitPbsScratch::new(1, 64, decomp, 2).check_shape(1, 64, 3, 3);
     }
 }

@@ -1,0 +1,165 @@
+//! Correctness of the grouped (multi-bit) blind-rotation kernel
+//! against the classical kernel it replaces.
+//!
+//! The contract pinned here: for any epoch shape — grouping factor
+//! g ∈ {2, 3}, polynomial size N ∈ {512, 1024}, job counts that do not
+//! divide the CMUX job block, LWE dimensions that leave a remainder
+//! group, zero-rotation (trivial-mask) jobs — the grouped kernel must
+//! decode to the same message the classical kernel produces, and its
+//! parallel path must be *bit*-identical to its sequential path.
+
+use std::sync::{Mutex, OnceLock};
+
+use proptest::prelude::*;
+
+use strix_tfhe::bootstrap::{Lut, PbsJob};
+use strix_tfhe::lwe::LweCiphertext;
+use strix_tfhe::prelude::*;
+use strix_tfhe::torus::decode_message;
+
+const MESSAGE_BITS: u32 = 2;
+
+/// One keyed configuration of the kernel matrix. Key generation is the
+/// expensive part, so the four (g, N, n) combinations are built once and
+/// shared by every proptest case; the client sits behind a mutex because
+/// encryption advances its noise rng.
+struct Fixture {
+    params: TfheParameters,
+    client: Mutex<ClientKey>,
+    server: ServerKey,
+    lut: Lut,
+}
+
+impl Fixture {
+    fn encrypt(&self, m: u64) -> LweCiphertext {
+        let mut client = self.client.lock().unwrap();
+        client.encrypt_shortint(m, MESSAGE_BITS).unwrap().as_lwe().clone()
+    }
+
+    /// A zero-rotation job: every mask digit mod-switches to zero, so
+    /// both kernels take their explicit skip path.
+    fn trivial(&self, m: u64) -> LweCiphertext {
+        let pt = m << (64 - MESSAGE_BITS - 1);
+        LweCiphertext::trivial(self.params.lwe_dimension, pt)
+    }
+
+    fn decode(&self, ct: &LweCiphertext) -> u64 {
+        let client = self.client.lock().unwrap();
+        let phase = client.decrypt_phase(ct).unwrap();
+        decode_message(phase, MESSAGE_BITS + 1)
+    }
+}
+
+fn lut_fn(m: u64) -> u64 {
+    (3 * m + 1) % 4
+}
+
+/// The kernel matrix: g ∈ {2, 3} × N ∈ {512, 1024}, with LWE dimensions
+/// chosen so the group split exercises an exact divide (14 = 7·2), a
+/// width-1 remainder (13 mod 2, 13 mod 3) and a width-2 remainder
+/// (14 mod 3).
+fn fixtures() -> &'static Vec<Fixture> {
+    static FIXTURES: OnceLock<Vec<Fixture>> = OnceLock::new();
+    FIXTURES.get_or_init(|| {
+        [(2usize, 512usize, 14usize), (2, 1024, 13), (3, 512, 14), (3, 1024, 13)]
+            .iter()
+            .map(|&(g, poly, n)| {
+                let mut params = TfheParameters::testing_fast();
+                params.name = format!("mb-test-g{g}-n{poly}");
+                params.lwe_dimension = n;
+                params.polynomial_size = poly;
+                params.pbs_kernel = PbsKernel::MultiBit { grouping_factor: g };
+                params.validate().unwrap();
+                let seed = 0xC0FFEE ^ (g as u64) << 16 ^ poly as u64;
+                let (client, server) = generate_keys(&params, seed);
+                assert!(server.multi_bit_bootstrap_key().is_some());
+                let lut = Lut::from_function(poly, MESSAGE_BITS, lut_fn).unwrap();
+                Fixture { params, client: Mutex::new(client), server, lut }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    // PBS-heavy properties: each case runs three full batches.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For every kernel-matrix entry and any epoch shape, the grouped
+    /// kernel decodes like the classical kernel, and its parallel path
+    /// is bit-identical to its sequential path.
+    #[test]
+    fn grouped_kernel_decodes_identically_to_classical(
+        fixture_idx in 0usize..4,
+        // (message, use a zero-rotation trivial ciphertext?) per job;
+        // lengths 1..6 straddle the CMUX job block of 4.
+        job_spec in prop::collection::vec((0u64..4, any::<bool>()), 1..6),
+        threads in 1usize..=5,
+    ) {
+        let fx = &fixtures()[fixture_idx];
+        let cts: Vec<LweCiphertext> = job_spec
+            .iter()
+            .map(|&(m, trivial)| if trivial { fx.trivial(m) } else { fx.encrypt(m) })
+            .collect();
+        let jobs: Vec<PbsJob<'_>> =
+            cts.iter().map(|ct| PbsJob { ct, lut: &fx.lut }).collect();
+
+        let classical = fx.server.bootstrap_key().bootstrap_batch(&jobs).unwrap();
+        let mbsk = fx.server.multi_bit_bootstrap_key().unwrap();
+        let grouped = mbsk.bootstrap_batch(&jobs).unwrap();
+        let grouped_parallel = mbsk.bootstrap_batch_parallel(&jobs, threads).unwrap();
+        prop_assert_eq!(
+            &grouped_parallel, &grouped,
+            "parallel grouped path diverged ({} jobs, {} threads, {})",
+            jobs.len(), threads, fx.params.name
+        );
+
+        for (i, &(m, trivial)) in job_spec.iter().enumerate() {
+            let expected = lut_fn(m);
+            prop_assert_eq!(
+                fx.decode(&classical[i]), expected,
+                "classical kernel wrong at job {} ({})", i, &fx.params.name
+            );
+            prop_assert_eq!(
+                fx.decode(&grouped[i]), expected,
+                "grouped kernel wrong at job {} ({})", i, &fx.params.name
+            );
+            if trivial {
+                // Zero rotations hit the skip path in both kernels, so
+                // the two accumulators — and hence the extracted
+                // outputs — agree bit for bit.
+                prop_assert_eq!(
+                    &grouped[i], &classical[i],
+                    "zero-rotation job {} not a bit-exact passthrough ({})",
+                    i, &fx.params.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn grouped_batch_matches_grouped_singles() {
+    // Batched (job-blocked) execution must agree bit for bit with the
+    // one-job-at-a-time path on every kernel-matrix entry.
+    for fx in fixtures() {
+        let cts: Vec<LweCiphertext> = (0..5).map(|m| fx.encrypt(m % 4)).collect();
+        let jobs: Vec<PbsJob<'_>> = cts.iter().map(|ct| PbsJob { ct, lut: &fx.lut }).collect();
+        let mbsk = fx.server.multi_bit_bootstrap_key().unwrap();
+        let batched = mbsk.bootstrap_batch(&jobs).unwrap();
+        for (job, out) in jobs.iter().zip(&batched) {
+            let single = mbsk.bootstrap(job.ct, job.lut).unwrap();
+            assert_eq!(&single, out, "{}", fx.params.name);
+        }
+    }
+}
+
+#[test]
+fn empty_epoch_and_shape_mismatch_are_handled() {
+    let fx = &fixtures()[0];
+    let mbsk = fx.server.multi_bit_bootstrap_key().unwrap();
+    assert!(mbsk.bootstrap_batch(&[]).unwrap().is_empty());
+    assert!(mbsk.bootstrap_batch_parallel(&[], 4).unwrap().is_empty());
+    // A ciphertext of the wrong dimension is rejected, not mangled.
+    let bad = LweCiphertext::trivial(fx.params.lwe_dimension + 1, 0);
+    assert!(mbsk.check_shape(&bad, &fx.lut).is_err());
+}

@@ -76,6 +76,60 @@ fn probed_bootstrap_is_bit_identical_to_production_on_real_keys() {
 }
 
 #[test]
+fn probed_multi_bit_bootstrap_is_bit_identical_to_production() {
+    // The grouped kernel threads the same `Probe` machinery through its
+    // assembly/decompose/FFT loops; the probes must not perturb it.
+    let params =
+        TfheParameters::testing_fast().with_kernel(PbsKernel::MultiBit { grouping_factor: 2 });
+    let (mut client, server) = generate_keys(&params, 246);
+    let mbsk = server.multi_bit_bootstrap_key().expect("multi-bit params carry the grouped key");
+    let lut = Lut::from_function(params.polynomial_size, 2, |m| (m + 3) % 4).unwrap();
+    let cts: Vec<_> =
+        (0..5u64).map(|i| client.encrypt_shortint(i % 4, 2).unwrap().as_lwe().clone()).collect();
+    let jobs: Vec<PbsJob<'_>> = cts.iter().map(|ct| PbsJob { ct, lut: &lut }).collect();
+
+    let production = mbsk.bootstrap_batch(&jobs).unwrap();
+    let mut timings = StageTimings::new();
+    let probed = mbsk.bootstrap_batch_profiled(&jobs, &mut timings).unwrap();
+    assert_eq!(probed, production, "TimingProbe must not perturb the grouped kernel");
+    // The grouped kernel's signature stages all ran under a probe: the
+    // combined-GGSW assembly accounts to VectorMultiply and there is no
+    // per-entry rotate stage.
+    assert!(timings.total_for(PbsStage::Fft) > Duration::ZERO);
+    assert!(timings.total_for(PbsStage::VectorMultiply) > Duration::ZERO);
+}
+
+#[test]
+fn probed_multi_bit_stage_times_sum_to_the_measured_wall_time() {
+    let params =
+        TfheParameters::testing_fast().with_kernel(PbsKernel::MultiBit { grouping_factor: 2 });
+    let (mut client, server) = generate_keys(&params, 135);
+    let mbsk = server.multi_bit_bootstrap_key().unwrap();
+    let lut = Lut::from_function(params.polynomial_size, 2, |m| m).unwrap();
+    let cts: Vec<_> =
+        (0..6u64).map(|i| client.encrypt_shortint(i % 4, 2).unwrap().as_lwe().clone()).collect();
+    let jobs: Vec<PbsJob<'_>> = cts.iter().map(|ct| PbsJob { ct, lut: &lut }).collect();
+
+    let mut warmup = StageTimings::new();
+    mbsk.bootstrap_batch_profiled(&jobs, &mut warmup).unwrap();
+    let mut timings = StageTimings::new();
+    let t0 = Instant::now();
+    mbsk.bootstrap_batch_profiled(&jobs, &mut timings).unwrap();
+    let wall = t0.elapsed();
+
+    let sum = timings.total();
+    assert!(
+        sum <= wall + wall / 4 + Duration::from_millis(1),
+        "stage sum {sum:?} exceeds wall time {wall:?}"
+    );
+    assert!(
+        sum >= wall / 2,
+        "stage sum {sum:?} accounts for under half of wall time {wall:?} — \
+         a heavy region of the grouped kernel runs outside every probe bracket"
+    );
+}
+
+#[test]
 fn probed_keyswitch_is_bit_identical_to_production() {
     let params = TfheParameters::testing_fast();
     let (mut client, server) = generate_keys(&params, 987);

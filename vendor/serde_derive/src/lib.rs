@@ -14,8 +14,17 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 #[derive(Debug)]
 enum Item {
-    Struct { name: String, fields: Vec<String> },
+    Struct { name: String, fields: Vec<Field> },
     Enum { name: String, variants: Vec<Variant> },
+}
+
+/// A named field plus the subset of `#[serde(...)]` attributes the
+/// stub honours (`default`: fall back to `Default::default()` when the
+/// field is absent during deserialization).
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default: bool,
 }
 
 #[derive(Debug)]
@@ -28,17 +37,17 @@ struct Variant {
 enum VariantKind {
     Unit,
     Tuple(usize),
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
 }
 
 /// Derives `serde::Serialize` via the value tree.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     expand(input, gen_serialize)
 }
 
 /// Derives `serde::Deserialize` via the value tree.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     expand(input, gen_deserialize)
 }
@@ -112,13 +121,35 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
     }
 }
 
-/// Parses `name1: Type1, name2: Type2, ...` from a brace group's stream.
-fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+/// Parses `name1: Type1, name2: Type2, ...` from a brace group's
+/// stream, honouring `#[serde(default)]` on individual fields.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut i);
+        let mut default = false;
+        // Consume attributes and visibility, noting serde attributes.
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                        if let Some(is_default) = parse_serde_attr(g.stream())? {
+                            default = default || is_default;
+                        }
+                    }
+                    i += 2;
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        i += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
         if i >= tokens.len() {
             break;
         }
@@ -129,9 +160,29 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
             _ => return Err(format!("expected `:` after field `{name}`")),
         }
         skip_type(&tokens, &mut i);
-        fields.push(name);
+        fields.push(Field { name, default });
     }
     Ok(fields)
+}
+
+/// Inspects one attribute's bracket-group stream. Returns
+/// `Ok(Some(true))` for `serde(default)`, `Ok(None)` for non-serde
+/// attributes, and an error for any other `serde(...)` content — the
+/// stub refuses attributes it would otherwise silently ignore.
+fn parse_serde_attr(stream: TokenStream) -> Result<Option<bool>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            match inner.as_slice() {
+                [TokenTree::Ident(opt)] if opt.to_string() == "default" => Ok(Some(true)),
+                _ => Err("serde_derive stub: only `#[serde(default)]` is supported".to_string()),
+            }
+        }
+        _ => Ok(None),
+    }
 }
 
 /// Advances past a type, stopping after the top-level `,` (or at end).
@@ -222,7 +273,10 @@ fn gen_serialize(item: &Item) -> String {
         Item::Struct { name, fields } => {
             let entries = fields
                 .iter()
-                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .map(|f| {
+                    let f = &f.name;
+                    format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))")
+                })
                 .collect::<Vec<_>>()
                 .join(", ");
             format!(
@@ -261,10 +315,12 @@ fn gen_serialize(item: &Item) -> String {
                             )
                         }
                         VariantKind::Struct(fields) => {
-                            let binds = fields.join(", ");
+                            let binds =
+                                fields.iter().map(|f| f.name.clone()).collect::<Vec<_>>().join(", ");
                             let entries = fields
                                 .iter()
                                 .map(|f| {
+                                    let f = &f.name;
                                     format!(
                                         "({f:?}.to_string(), ::serde::Serialize::to_value({f}))"
                                     )
@@ -292,18 +348,28 @@ fn gen_serialize(item: &Item) -> String {
     }
 }
 
+/// One `name: value,` initializer for a deserialized field: missing
+/// fields are an error unless the field carries `#[serde(default)]`,
+/// in which case they fall back to `Default::default()`.
+fn field_init(f: &Field, obj: &str) -> String {
+    let name = &f.name;
+    if f.default {
+        format!(
+            "{name}: match ::serde::get_field({obj}, {name:?}) {{\n\
+             \t\t\t\tOk(__fv) => ::serde::Deserialize::from_value(__fv)?,\n\
+             \t\t\t\tErr(_) => ::core::default::Default::default(),\n\
+             \t\t\t}},"
+        )
+    } else {
+        format!("{name}: ::serde::Deserialize::from_value(::serde::get_field({obj}, {name:?})?)?,")
+    }
+}
+
 fn gen_deserialize(item: &Item) -> String {
     match item {
         Item::Struct { name, fields } => {
-            let inits = fields
-                .iter()
-                .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::from_value(::serde::get_field(__obj, {f:?})?)?,"
-                    )
-                })
-                .collect::<Vec<_>>()
-                .join("\n\t\t\t");
+            let inits =
+                fields.iter().map(|f| field_init(f, "__obj")).collect::<Vec<_>>().join("\n\t\t\t");
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
                  \tfn from_value(__v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
@@ -349,11 +415,7 @@ fn gen_deserialize(item: &Item) -> String {
                         VariantKind::Struct(fields) => {
                             let inits = fields
                                 .iter()
-                                .map(|f| {
-                                    format!(
-                                        "{f}: ::serde::Deserialize::from_value(::serde::get_field(__fields, {f:?})?)?,"
-                                    )
-                                })
+                                .map(|f| field_init(f, "__fields"))
                                 .collect::<Vec<_>>()
                                 .join(" ");
                             Some(format!(
