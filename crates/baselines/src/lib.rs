@@ -17,9 +17,6 @@
 //! [`breakdown`] reproduces the Fig. 1 workload decomposition by
 //! running an instrumented bootstrapped gate.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod breakdown;
 pub mod cpu;
 pub mod gpu;

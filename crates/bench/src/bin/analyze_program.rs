@@ -1,0 +1,204 @@
+//! Static noise-budget report for the shipped Program workloads.
+//!
+//! Runs the `strix-runtime` program analyzer (the same abstract
+//! interpreter the runtime consults at session admission) over the
+//! repository's shipped dataflow workloads — the ripple-carry adder,
+//! the bitwise equality circuit and the Deep-NN ReLU schedule — under
+//! both PBS kernels the dispatcher can select, and prints each
+//! program's budget table: request count, bootstrap depth, worst-case
+//! linear gain and the minimum decision margin in sigmas.
+//!
+//! ```text
+//! cargo run -p strix-bench --bin analyze_program
+//! cargo run -p strix-bench --bin analyze_program -- --check
+//! cargo run -p strix-bench --bin analyze_program -- --check --threshold 12
+//! ```
+//!
+//! `--check` turns the report into a gate: exit status 1 if any
+//! workload's worst margin falls below the threshold (default 10σ, the
+//! bound the parameter sets are documented to keep). CI runs this next
+//! to the test suite so a parameter or noise-model change that erodes
+//! the shipped margins fails loudly with the offending node named.
+
+use std::process::ExitCode;
+
+use strix_runtime::session::Program;
+use strix_runtime::{AdmissionPolicy, KernelPolicy, ProgramAnalysis};
+use strix_tfhe::{PbsKernel, TfheParameters};
+use strix_workloads::gates::{equality_program, ripple_carry_adder_program};
+use strix_workloads::ReluSchedule;
+
+/// Margin every shipped workload must clear in `--check` mode.
+const CHECK_THRESHOLD_SIGMAS: f64 = 10.0;
+
+/// Adder/equality operand width: the paper's gate workloads run 8-bit
+/// words.
+const GATE_BITS: usize = 8;
+
+/// Deep-NN schedule shape: depth 20 is the smallest Zama variant; the
+/// width is the schedule's fan-in cap.
+const NN_DEPTH: usize = 20;
+const NN_WIDTH: usize = 3;
+const NN_SEED: u64 = 0x5EED_AA01;
+
+struct Row {
+    workload: &'static str,
+    params: String,
+    kernel: PbsKernel,
+    analysis: ProgramAnalysis,
+}
+
+fn analyze(program: &Program, params: &TfheParameters, kernel: PbsKernel) -> ProgramAnalysis {
+    AdmissionPolicy::new(params.clone(), KernelPolicy::uniform(kernel)).analyze(program)
+}
+
+fn kernel_label(kernel: PbsKernel) -> String {
+    match kernel {
+        PbsKernel::Classical => "classical".into(),
+        PbsKernel::MultiBit { grouping_factor } => format!("multi-bit g={grouping_factor}"),
+    }
+}
+
+fn rows() -> Result<Vec<Row>, String> {
+    let kernels = [PbsKernel::Classical, PbsKernel::MultiBit { grouping_factor: 3 }];
+    let mut rows = Vec::new();
+
+    // Gate circuits: analyzed under the headline 128-bit set (the
+    // adder/equality examples and benches run set II).
+    let gate_params = TfheParameters::set_ii();
+    let adder = ripple_carry_adder_program(GATE_BITS);
+    let equality = equality_program(GATE_BITS);
+    for kernel in kernels {
+        rows.push(Row {
+            workload: "adder-8bit",
+            params: gate_params.name.clone(),
+            kernel,
+            analysis: analyze(&adder, &gate_params, kernel),
+        });
+        rows.push(Row {
+            workload: "equality-8bit",
+            params: gate_params.name.clone(),
+            kernel,
+            analysis: analyze(&equality, &gate_params, kernel),
+        });
+    }
+
+    // The Deep-NN ReLU schedule, at every polynomial size the paper
+    // evaluates (Fig. 7).
+    for poly in strix_workloads::nn::ZAMA_POLY_SIZES {
+        let params = TfheParameters::deep_nn(poly).map_err(|e| e.to_string())?;
+        let schedule = ReluSchedule::new(NN_DEPTH, NN_WIDTH, NN_SEED);
+        let program = schedule.program(poly).map_err(|e| e.to_string())?;
+        for kernel in kernels {
+            rows.push(Row {
+                workload: "deep-nn-relu",
+                params: params.name.clone(),
+                kernel,
+                analysis: analyze(&program, &params, kernel),
+            });
+        }
+    }
+    Ok(rows)
+}
+
+fn print_table(rows: &[Row], threshold: f64) {
+    println!("# Static noise-budget analysis (threshold: {threshold:.1} sigmas)");
+    println!();
+    println!(
+        "| workload | params | kernel | requests | pbs depth | max gain | worst margin (σ) | verdict |"
+    );
+    println!("|---|---|---|---:|---:|---:|---:|---|");
+    for row in rows {
+        let a = &row.analysis;
+        let verdict = if a.worst_margin_sigmas() >= threshold { "pass" } else { "FAIL" };
+        println!(
+            "| {} | {} | {} | {} | {} | {:.0} | {:.1} | {} |",
+            row.workload,
+            row.params,
+            kernel_label(row.kernel),
+            a.reports.len(),
+            a.pbs_depth,
+            a.max_linear_gain,
+            a.worst_margin_sigmas(),
+            verdict,
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut check = false;
+    let mut threshold = CHECK_THRESHOLD_SIGMAS;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--check" => check = true,
+            "--threshold" => {
+                i += 1;
+                threshold = match args.get(i).map(|s| s.parse::<f64>()) {
+                    Some(Ok(t)) => t,
+                    _ => {
+                        eprintln!("--threshold needs a numeric argument");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: analyze_program [--check] [--threshold SIGMAS]");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    let rows = match rows() {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("failed to build workload programs: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print_table(&rows, threshold);
+
+    let worst = rows.iter().min_by(|a, b| {
+        a.analysis.worst_margin_sigmas().total_cmp(&b.analysis.worst_margin_sigmas())
+    });
+    if let Some(row) = worst {
+        println!();
+        let a = &row.analysis;
+        match a.worst_report() {
+            Some(r) => println!(
+                "Tightest node overall: {} / {} node {} at {:.1} sigmas \
+                 (variance {:.3e}, distance {:.3e}).",
+                row.workload,
+                kernel_label(row.kernel),
+                r.node,
+                r.margin_sigmas,
+                r.decision_variance,
+                r.decision_distance,
+            ),
+            None => println!("No program bootstraps; nothing to bound."),
+        }
+    }
+
+    if check {
+        let failed: Vec<&Row> =
+            rows.iter().filter(|r| r.analysis.worst_margin_sigmas() < threshold).collect();
+        if !failed.is_empty() {
+            eprintln!();
+            for row in &failed {
+                eprintln!(
+                    "FAIL: {} under {} ({}): worst margin {:.1} < {threshold:.1} sigmas",
+                    row.workload,
+                    kernel_label(row.kernel),
+                    row.params,
+                    row.analysis.worst_margin_sigmas(),
+                );
+            }
+            return ExitCode::FAILURE;
+        }
+        println!("\nanalyze_program --check: every workload clears {threshold:.1} sigmas.");
+    }
+    ExitCode::SUCCESS
+}

@@ -6,9 +6,6 @@
 //! the helpers here keep their output format consistent so
 //! `EXPERIMENTS.md` can be assembled from the printed blocks.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 use serde::{Deserialize, Serialize, Value};
 use strix_core::PbsReport;
 use strix_runtime::RuntimeReport;

@@ -52,9 +52,6 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod complex;
 mod error;
 mod kernel;

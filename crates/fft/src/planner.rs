@@ -44,12 +44,8 @@ impl PlanCache {
     /// # Errors
     ///
     /// Returns [`FftError::InvalidSize`] if `poly_size` is unsupported.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the internal lock was poisoned by a panicking thread.
     pub fn get_or_create(&self, poly_size: usize) -> Result<Arc<NegacyclicFft>, FftError> {
-        let mut plans = self.plans.lock().expect("plan cache lock poisoned");
+        let mut plans = self.plans.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
         if let Some(plan) = plans.get(&poly_size) {
             return Ok(Arc::clone(plan));
         }
@@ -59,19 +55,11 @@ impl PlanCache {
     }
 
     /// Number of distinct sizes currently cached.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the internal lock was poisoned.
     pub fn len(&self) -> usize {
-        self.plans.lock().expect("plan cache lock poisoned").len()
+        self.plans.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).len()
     }
 
     /// Whether the cache is empty.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the internal lock was poisoned.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }

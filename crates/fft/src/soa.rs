@@ -50,6 +50,7 @@ impl SoaSpectrum {
         }
     }
 
+    // lint:hot-path-start — per-call spectrum accessors and kernels must stay allocation-free
     /// Number of transforms in the batch.
     #[inline]
     pub fn count(&self) -> usize {
@@ -154,6 +155,7 @@ impl SoaSpectrum {
     }
 }
 
+// lint:hot-path-end
 #[cfg(test)]
 mod tests {
     use super::*;

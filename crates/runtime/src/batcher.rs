@@ -79,6 +79,7 @@ pub(crate) fn run(
         // The epoch queue only closes after this thread exits, so a
         // failed push can't lose requests; still, be explicit.
         if epochs.push(epoch).is_err() {
+            // lint:allow(panic) the runtime closes the epoch queue only after joining this thread
             unreachable!("epoch queue closed while batcher alive");
         }
     };
@@ -98,29 +99,24 @@ pub(crate) fn run(
     };
 
     loop {
-        let popped = if open.is_empty() {
-            // Nothing pending: wait indefinitely for work.
-            ingress.pop()
-        } else {
-            // A batch is open: wait only until its deadline, measured
-            // from the oldest request's *submission* so ingress
-            // queueing time counts against the `max_delay` bound.
-            // Pop order follows push order, not submission order (a
-            // submitter can block on a full ingress while a younger
-            // request lands first), so take the true minimum.
-            let oldest = open
-                .iter()
-                .map(|r| r.submitted_at)
-                .min()
-                .expect("open batch is non-empty on this branch");
-            let deadline = oldest + policy.max_delay;
-            let now = Instant::now();
-            if now >= deadline {
-                top_up(&mut open);
-                flush(&mut open, &mut next_epoch);
-                continue;
+        // A batch is open: wait only until its deadline, measured from
+        // the oldest request's *submission* so ingress queueing time
+        // counts against the `max_delay` bound. Pop order follows push
+        // order, not submission order (a submitter can block on a full
+        // ingress while a younger request lands first), so take the
+        // true minimum. With nothing pending, wait indefinitely.
+        let popped = match open.iter().map(|r| r.submitted_at).min() {
+            None => ingress.pop(),
+            Some(oldest) => {
+                let deadline = oldest + policy.max_delay;
+                let now = Instant::now();
+                if now >= deadline {
+                    top_up(&mut open);
+                    flush(&mut open, &mut next_epoch);
+                    continue;
+                }
+                ingress.pop_timeout(deadline - now)
             }
-            ingress.pop_timeout(deadline - now)
         };
 
         match popped {

@@ -3,7 +3,7 @@
 use strix_tfhe::TfheError;
 
 /// Errors surfaced by the streaming runtime.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum RuntimeError {
     /// The runtime has shut down and no further requests are accepted
     /// (or no further responses will arrive).
@@ -16,6 +16,20 @@ pub enum RuntimeError {
     /// A dataflow program is malformed (bad wire reference, input
     /// count mismatch, weight arity mismatch).
     Program(&'static str),
+    /// The static noise analyzer rejected a program at admission: some
+    /// request node's predicted decision margin falls below the
+    /// executor's threshold, so a decryption error would be likelier
+    /// than the service guarantees. Raised before any request of the
+    /// session is enqueued.
+    NoiseBudgetExceeded {
+        /// Index of the offending program node.
+        node: usize,
+        /// Predicted decision margin at that node, in standard
+        /// deviations of the accumulated noise.
+        margin_sigmas: f64,
+        /// Minimum margin the admission policy requires.
+        threshold_sigmas: f64,
+    },
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -25,6 +39,12 @@ impl std::fmt::Display for RuntimeError {
             RuntimeError::Tfhe(e) => write!(f, "homomorphic operation failed: {e}"),
             RuntimeError::Lost => write!(f, "request was lost by the worker pool"),
             RuntimeError::Program(why) => write!(f, "malformed dataflow program: {why}"),
+            RuntimeError::NoiseBudgetExceeded { node, margin_sigmas, threshold_sigmas } => write!(
+                f,
+                "noise budget exceeded: program node {node} has a predicted decision margin \
+                 of {margin_sigmas:.2} sigmas, below the admission threshold of \
+                 {threshold_sigmas:.2} sigmas"
+            ),
         }
     }
 }

@@ -12,11 +12,12 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use strix_tfhe::boolean::gate_sign_lut;
-use strix_tfhe::bootstrap::{Lut, PbsJob};
+use strix_tfhe::bootstrap::{Lut, MultiBitBootstrapKey, PbsJob};
 use strix_tfhe::lwe::LweCiphertext;
 use strix_tfhe::profiler::{PbsStage, StageTimings};
 use strix_tfhe::{PbsKernel, ServerKey, TfheError};
 
+use crate::analyzer::AdmissionPolicy;
 use crate::request::{Request, RequestClass, RequestOp};
 
 /// Per-request-class PBS kernel selection, mirroring the
@@ -154,6 +155,17 @@ pub trait BatchExecutor: Send + Sync + 'static {
     fn max_threads(&self) -> usize {
         1
     }
+
+    /// The static noise-budget admission policy programs submitted
+    /// through this executor must satisfy, if it enforces one. The
+    /// runtime captures it at start-up and every
+    /// [`ProgramSession`](crate::session::ProgramSession) checks its
+    /// program against it before the first request is enqueued.
+    /// Synthetic executors (no key material, no noise model) return
+    /// `None`: nothing is checked.
+    fn admission(&self) -> Option<AdmissionPolicy> {
+        None
+    }
 }
 
 /// The TFHE back-end: batched PBS with amortised bootstrapping-key
@@ -175,6 +187,9 @@ pub struct TfheExecutor {
     /// The sign LUT shared by every gate request, built once per
     /// executor instead of once per gate.
     gate_lut: Lut,
+    /// Minimum predicted decision margin (in sigmas) the admission
+    /// analyzer requires of every submitted program.
+    admission_threshold_sigmas: f64,
 }
 
 impl TfheExecutor {
@@ -204,7 +219,22 @@ impl TfheExecutor {
     /// (always present).
     pub fn with_policy(server: Arc<ServerKey>, threads: usize, policy: KernelPolicy) -> Self {
         let gate_lut = gate_sign_lut(server.params().polynomial_size);
-        Self { server, threads: threads.max(1), policy, gate_lut }
+        Self {
+            server,
+            threads: threads.max(1),
+            policy,
+            gate_lut,
+            admission_threshold_sigmas: crate::analyzer::DEFAULT_THRESHOLD_SIGMAS,
+        }
+    }
+
+    /// Overrides the admission threshold: the minimum predicted
+    /// decision margin, in standard deviations of the accumulated
+    /// noise, the static analyzer requires of every program node. A
+    /// non-positive threshold admits everything.
+    pub fn with_admission_threshold(mut self, sigmas: f64) -> Self {
+        self.admission_threshold_sigmas = sigmas;
+        self
     }
 
     /// The kernel policy this executor dispatches with.
@@ -212,11 +242,25 @@ impl TfheExecutor {
         self.policy
     }
 
-    /// Whether `class` resolves to the multi-bit kernel: the policy
-    /// selects it **and** the server key carries the grouped key.
-    fn uses_multi_bit(&self, class: RequestClass) -> bool {
-        matches!(self.policy.kernel_for(class), PbsKernel::MultiBit { .. })
-            && self.server.multi_bit_bootstrap_key().is_some()
+    /// The grouped bootstrapping key `class` routes through, when the
+    /// policy selects the multi-bit kernel **and** the server key
+    /// carries the material; `None` means the classical kernel.
+    fn multi_bit_for(&self, class: RequestClass) -> Option<&MultiBitBootstrapKey> {
+        match self.policy.kernel_for(class) {
+            PbsKernel::MultiBit { .. } => self.server.multi_bit_bootstrap_key(),
+            PbsKernel::Classical => None,
+        }
+    }
+
+    /// The kernel `class` actually executes with, after resolving the
+    /// policy's intent against the server key's material: the grouped
+    /// key's own grouping factor when multi-bit is selected and
+    /// present, the classical kernel otherwise.
+    pub fn effective_kernel(&self, class: RequestClass) -> PbsKernel {
+        match self.multi_bit_for(class) {
+            Some(mb) => PbsKernel::MultiBit { grouping_factor: mb.grouping_factor() },
+            None => PbsKernel::Classical,
+        }
     }
 }
 
@@ -309,8 +353,7 @@ impl BatchExecutor for TfheExecutor {
                 }
             };
             if let Some((ct, lut)) = job {
-                if self.uses_multi_bit(req.op.class()) {
-                    let mb = mbsk.expect("uses_multi_bit implies the grouped key is present");
+                if let Some(mb) = self.multi_bit_for(req.op.class()) {
                     match mb.check_shape(ct, lut) {
                         Ok(()) => {
                             mb_indices.push(i);
@@ -445,8 +488,11 @@ impl BatchExecutor for TfheExecutor {
         }
 
         let kernel_jobs = [jobs.len(), mb_jobs.len()];
-        let results =
-            results.into_iter().map(|r| r.expect("every request receives a result")).collect();
+        let results = results
+            .into_iter()
+            // lint:allow(panic) every request is routed to exactly one of the fill paths above
+            .map(|r| r.expect("every request receives a result"))
+            .collect();
         let stage_sample = (profiled && total_pbs > 0).then_some((timings, total_pbs));
         EpochExecution { results, pbs_span, ks_span, stage_sample, kernel_jobs }
     }
@@ -464,6 +510,21 @@ impl BatchExecutor for TfheExecutor {
 
     fn max_threads(&self) -> usize {
         self.threads
+    }
+
+    fn admission(&self) -> Option<AdmissionPolicy> {
+        // The policy resolves each class's *effective* kernel (the one
+        // the epoch loop above will dispatch to), so the analyzer
+        // predicts exactly what execution does — including classical
+        // fallback when the grouped key is absent.
+        let mut effective = KernelPolicy::uniform(self.effective_kernel(RequestClass::Gate));
+        for class in RequestClass::ALL {
+            effective = effective.with_class(class, self.effective_kernel(class));
+        }
+        Some(
+            AdmissionPolicy::new(self.server.params().clone(), effective)
+                .with_threshold(self.admission_threshold_sigmas),
+        )
     }
 }
 

@@ -75,9 +75,7 @@
 //! runtime.shutdown();
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
+pub mod analyzer;
 pub mod batcher;
 mod error;
 pub mod executor;
@@ -87,10 +85,12 @@ pub mod queue;
 pub mod request;
 mod runtime;
 pub mod session;
+mod sync;
 pub mod trace;
 pub mod traffic;
 pub mod worker;
 
+pub use analyzer::{AdmissionPolicy, ProgramAnalysis, WireReport, DEFAULT_THRESHOLD_SIGMAS};
 pub use error::RuntimeError;
 pub use executor::{BatchExecutor, EpochExecution, KernelPolicy, TfheExecutor};
 pub use metrics::{

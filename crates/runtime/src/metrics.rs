@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 use strix_tfhe::profiler::{PbsStage, StageTimings};
 
 use crate::request::RequestClass;
+use crate::sync::lock_unpoisoned;
 
 /// Number of buckets in the occupancy histogram (bucket `i` covers
 /// `(i/10, (i+1)/10]` of the epoch capacity, with 0 occupancy in
@@ -186,6 +187,7 @@ impl MetricsSink {
                 inner.windows.pop_front();
             }
         }
+        // lint:allow(panic) the ring is seeded with one window at construction and never fully drained
         inner.windows.back_mut().expect("ring has a live window")
     }
 
@@ -193,7 +195,7 @@ impl MetricsSink {
     pub fn record_epoch(&self, len: usize, capacity: usize) {
         let now = Instant::now();
         let occ = len.min(capacity) as f64 / capacity.max(1) as f64;
-        let mut inner = self.inner.lock().expect("metrics lock");
+        let mut inner = lock_unpoisoned(&self.inner);
         inner.epochs += 1;
         inner.occupancy_sum += occ;
         let bucket =
@@ -209,7 +211,7 @@ impl MetricsSink {
     /// configured `budget`. Both clamp to at least 1 (an epoch always
     /// occupies at least its worker thread).
     pub fn record_epoch_threads(&self, used: usize, budget: usize) {
-        let mut inner = self.inner.lock().expect("metrics lock");
+        let mut inner = lock_unpoisoned(&self.inner);
         inner.executed_epochs += 1;
         inner.threads_used_sum += used.max(1) as u64;
         inner.threads_budget_sum += budget.max(1) as u64;
@@ -221,7 +223,7 @@ impl MetricsSink {
     /// dispatch. Feeds [`RuntimeReport::pbs_jobs_classical`] and
     /// [`RuntimeReport::pbs_jobs_multi_bit`].
     pub fn record_kernel_jobs(&self, classical: usize, multi_bit: usize) {
-        let mut inner = self.inner.lock().expect("metrics lock");
+        let mut inner = lock_unpoisoned(&self.inner);
         inner.kernel_jobs[0] += classical;
         inner.kernel_jobs[1] += multi_bit;
     }
@@ -231,7 +233,7 @@ impl MetricsSink {
     /// throughput counters.
     pub fn record_queue_depth(&self, depth: usize) {
         let now = Instant::now();
-        let mut inner = self.inner.lock().expect("metrics lock");
+        let mut inner = lock_unpoisoned(&self.inner);
         let w = self.window_mut(&mut inner, now);
         w.max_queue_depth = w.max_queue_depth.max(depth);
     }
@@ -243,7 +245,7 @@ impl MetricsSink {
         if pbs_jobs == 0 {
             return;
         }
-        let mut inner = self.inner.lock().expect("metrics lock");
+        let mut inner = lock_unpoisoned(&self.inner);
         inner.sampled_epochs += 1;
         inner.sampled_pbs += pbs_jobs;
         for (slot, &stage) in inner.stage_ns.iter_mut().zip(PbsStage::ALL.iter()) {
@@ -257,7 +259,7 @@ impl MetricsSink {
         // ordering contract this preserves.
         let now = Instant::now();
         let is_pbs = record.class != RequestClass::Keyswitch;
-        let mut inner = self.inner.lock().expect("metrics lock");
+        let mut inner = lock_unpoisoned(&self.inner);
         let us = record.latency.as_micros().min(u64::MAX as u128) as u64;
         inner.latency_seen += 1;
         inner.max_latency_us = inner.max_latency_us.max(us);
@@ -321,7 +323,7 @@ impl MetricsSink {
         // Snapshot under the lock, sort outside it: record_request on
         // the workers never waits behind a percentile computation.
         let (mut sorted, snapshot) = {
-            let inner = self.inner.lock().expect("metrics lock");
+            let inner = lock_unpoisoned(&self.inner);
             let elapsed_s = match (inner.first_submit, inner.last_complete) {
                 (Some(first), Some(last)) if last > first => (last - first).as_secs_f64(),
                 _ => 0.0,
@@ -365,6 +367,7 @@ impl MetricsSink {
                 None
             } else {
                 let us = |stage: PbsStage| {
+                    // lint:allow(panic) PbsStage::ALL enumerates every variant by construction
                     let i = PbsStage::ALL.iter().position(|&s| s == stage).expect("stage in ALL");
                     inner.stage_ns[i] as f64 / 1e3 / inner.sampled_pbs as f64
                 };

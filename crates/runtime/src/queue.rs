@@ -9,6 +9,8 @@
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+
+use crate::sync::lock_unpoisoned;
 use std::time::{Duration, Instant};
 
 /// Why a push was rejected.
@@ -60,7 +62,7 @@ impl<T> BoundedQueue<T> {
     ///
     /// Returns [`PushError::Closed`] with the item if the queue closed.
     pub fn push(&self, item: T) -> Result<(), PushError<T>> {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = lock_unpoisoned(&self.inner);
         loop {
             if inner.closed {
                 return Err(PushError::Closed(item));
@@ -71,7 +73,7 @@ impl<T> BoundedQueue<T> {
                 self.not_empty.notify_one();
                 return Ok(());
             }
-            inner = self.not_full.wait(inner).expect("queue lock");
+            inner = self.not_full.wait(inner).unwrap_or_else(|p| p.into_inner());
         }
     }
 
@@ -82,7 +84,7 @@ impl<T> BoundedQueue<T> {
     ///
     /// Returns [`PopError::Closed`] once the queue is closed and empty.
     pub fn pop(&self) -> Result<T, PopError> {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = lock_unpoisoned(&self.inner);
         loop {
             if let Some(item) = inner.items.pop_front() {
                 self.not_full.notify_one();
@@ -91,7 +93,7 @@ impl<T> BoundedQueue<T> {
             if inner.closed {
                 return Err(PopError::Closed);
             }
-            inner = self.not_empty.wait(inner).expect("queue lock");
+            inner = self.not_empty.wait(inner).unwrap_or_else(|p| p.into_inner());
         }
     }
 
@@ -103,7 +105,7 @@ impl<T> BoundedQueue<T> {
     /// stayed empty; [`PopError::Closed`] once closed and drained.
     pub fn pop_timeout(&self, timeout: Duration) -> Result<T, PopError> {
         let deadline = Instant::now() + timeout;
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = lock_unpoisoned(&self.inner);
         loop {
             if let Some(item) = inner.items.pop_front() {
                 self.not_full.notify_one();
@@ -116,15 +118,17 @@ impl<T> BoundedQueue<T> {
             if now >= deadline {
                 return Err(PopError::TimedOut);
             }
-            let (guard, _result) =
-                self.not_empty.wait_timeout(inner, deadline - now).expect("queue lock");
+            let (guard, _result) = self
+                .not_empty
+                .wait_timeout(inner, deadline - now)
+                .unwrap_or_else(|p| p.into_inner());
             inner = guard;
         }
     }
 
     /// Closes the queue: pending pushes fail, pops drain the remainder.
     pub fn close(&self) {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = lock_unpoisoned(&self.inner);
         inner.closed = true;
         drop(inner);
         self.not_empty.notify_all();
@@ -133,7 +137,7 @@ impl<T> BoundedQueue<T> {
 
     /// Number of items currently buffered.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue lock").items.len()
+        lock_unpoisoned(&self.inner).items.len()
     }
 
     /// Whether the queue currently buffers nothing.
@@ -144,7 +148,7 @@ impl<T> BoundedQueue<T> {
     /// Highest depth the queue ever reached. A high-water mark near
     /// capacity means submitters have been blocking on backpressure.
     pub fn high_water(&self) -> usize {
-        self.inner.lock().expect("queue lock").high_water
+        lock_unpoisoned(&self.inner).high_water
     }
 }
 
@@ -212,6 +216,106 @@ mod tests {
         assert_eq!(q.pop().unwrap(), 1);
         pusher.join().unwrap();
         assert_eq!(q.pop().unwrap(), 2);
+    }
+
+    #[test]
+    fn close_wakes_blocked_push_with_the_item() {
+        // A submitter blocked on backpressure when shutdown arrives
+        // must get its item handed back — never deadlock, never lose
+        // it silently. The pusher provably blocks (full queue), then
+        // close() must wake it onto the closed branch.
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(0u32).unwrap();
+        let q2 = Arc::clone(&q);
+        let pusher = std::thread::spawn(move || q2.push(1));
+        // Wait until the pusher is parked in the not_full wait (the
+        // queue stays full the whole time, so it cannot complete).
+        std::thread::sleep(Duration::from_millis(30));
+        q.close();
+        assert_eq!(pusher.join().unwrap(), Err(PushError::Closed(1)));
+        // The pre-close item still drains.
+        assert_eq!(q.pop(), Ok(0));
+        assert_eq!(q.pop(), Err(PopError::Closed));
+    }
+
+    #[test]
+    fn close_wakes_blocked_pop_after_drain() {
+        // The mirror race: a consumer blocked on an empty queue when
+        // shutdown arrives must see Closed, not hang.
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let popper = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(Duration::from_millis(30));
+        q.close();
+        assert_eq!(popper.join().unwrap(), Err(PopError::Closed));
+    }
+
+    #[test]
+    fn shutdown_race_accounts_for_every_item() {
+        // Multi-producer stress against a mid-stream close: every
+        // attempted push either lands (and is drained) or is rejected
+        // with the item handed back — accepted + rejected == attempted,
+        // nothing dropped, nothing duplicated. A tiny capacity keeps
+        // producers constantly blocking on backpressure so the
+        // close-vs-blocked-push race is actually exercised, and the
+        // consumer keeps draining after close (drain-on-shutdown).
+        //
+        // Deterministic by construction: the consumer itself closes the
+        // queue after draining CLOSE_AFTER items, so at close time at
+        // most CLOSE_AFTER + capacity of the 2000 attempted items have
+        // been accepted — the rest must come back as rejections.
+        const PRODUCERS: usize = 4;
+        const PER_PRODUCER: u32 = 500;
+        const CLOSE_AFTER: usize = 500;
+        let q = Arc::new(BoundedQueue::new(2));
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut rejected = Vec::new();
+                    for i in 0..PER_PRODUCER {
+                        let item = (p as u32) * PER_PRODUCER + i;
+                        if let Err(PushError::Closed(returned)) = q.push(item) {
+                            // The exact item must come back.
+                            assert_eq!(returned, item);
+                            rejected.push(returned);
+                        }
+                    }
+                    rejected
+                })
+            })
+            .collect();
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut drained = Vec::new();
+                while let Ok(item) = q.pop() {
+                    drained.push(item);
+                    if drained.len() == CLOSE_AFTER {
+                        // Slam the door mid-stream with producers still
+                        // pushing, then keep draining the remainder.
+                        q.close();
+                    }
+                }
+                drained
+            })
+        };
+        let mut seen: Vec<u32> = Vec::new();
+        for handle in producers {
+            seen.extend(handle.join().unwrap());
+        }
+        let rejected = seen.len();
+        seen.extend(consumer.join().unwrap());
+        // At close time at most CLOSE_AFTER + capacity + PRODUCERS
+        // items (drained, buffered, or mid-push) had been accepted, so
+        // a large majority must have bounced.
+        let total = PRODUCERS * PER_PRODUCER as usize;
+        assert!(rejected >= total - CLOSE_AFTER - 2 - PRODUCERS);
+        // Every attempted item is accounted for exactly once, whether
+        // it went through or bounced.
+        seen.sort_unstable();
+        let expected: Vec<u32> = (0..(PRODUCERS as u32) * PER_PRODUCER).collect();
+        assert_eq!(seen, expected);
     }
 
     #[test]

@@ -11,6 +11,7 @@ use std::time::{Duration, Instant};
 use strix_core::BatchGeometry;
 use strix_tfhe::lwe::LweCiphertext;
 
+use crate::analyzer::AdmissionPolicy;
 use crate::batcher;
 use crate::error::RuntimeError;
 use crate::executor::{BatchExecutor, KernelPolicy};
@@ -140,6 +141,10 @@ pub struct Runtime {
     registry: Arc<ClientRegistry>,
     metrics: Arc<MetricsSink>,
     tracer: Arc<Tracer>,
+    /// The executor's noise-budget admission policy, captured once at
+    /// start-up and shared by every client handle; `None` for
+    /// executors that enforce none.
+    admission: Option<Arc<AdmissionPolicy>>,
     epoch_capacity: usize,
     next_client: AtomicU64,
     batcher: Option<JoinHandle<()>>,
@@ -181,6 +186,7 @@ impl Runtime {
         let registry = Arc::new(ClientRegistry::default());
         let metrics = Arc::new(MetricsSink::default());
         let tracer = Arc::new(Tracer::new(config.trace));
+        let admission = executor.admission().map(Arc::new);
 
         let batcher = {
             let (i, e, m, t) = (
@@ -192,6 +198,7 @@ impl Runtime {
             std::thread::Builder::new()
                 .name("strix-batcher".into())
                 .spawn(move || batcher::run(i, e, policy, m, t))
+                // lint:allow(panic) thread spawn fails only on resource exhaustion at startup
                 .expect("spawn batcher")
         };
         let profile_every = config.profile_every;
@@ -207,6 +214,7 @@ impl Runtime {
                 std::thread::Builder::new()
                     .name(format!("strix-worker-{idx}"))
                     .spawn(move || worker::run(e, x, r, m, t, profile_every))
+                    // lint:allow(panic) thread spawn fails only on resource exhaustion at startup
                     .expect("spawn worker")
             })
             .collect();
@@ -216,6 +224,7 @@ impl Runtime {
             registry,
             metrics,
             tracer,
+            admission,
             epoch_capacity: policy.max_epoch,
             next_client: AtomicU64::new(0),
             batcher: Some(batcher),
@@ -234,6 +243,7 @@ impl Runtime {
             ingress: Arc::clone(&self.ingress),
             registry: Arc::clone(&self.registry),
             tracer: Arc::clone(&self.tracer),
+            admission: self.admission.clone(),
             rx,
             next_submit: 0,
             next_recv: 0,
@@ -301,6 +311,7 @@ pub struct ClientHandle {
     ingress: Arc<BoundedQueue<Request>>,
     registry: Arc<ClientRegistry>,
     tracer: Arc<Tracer>,
+    admission: Option<Arc<AdmissionPolicy>>,
     rx: Receiver<Response>,
     next_submit: u64,
     next_recv: u64,
@@ -311,6 +322,13 @@ impl ClientHandle {
     /// This stream's id.
     pub fn id(&self) -> ClientId {
         self.id
+    }
+
+    /// The runtime's noise-budget admission policy, when its executor
+    /// enforces one. [`ProgramSession`](crate::session::ProgramSession)
+    /// checks every program against it before submitting anything.
+    pub fn admission(&self) -> Option<&AdmissionPolicy> {
+        self.admission.as_deref()
     }
 
     /// Submits a request, blocking if the ingress queue is full

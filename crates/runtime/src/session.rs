@@ -52,7 +52,7 @@ pub enum Wire {
 }
 
 #[derive(Clone, Debug)]
-enum NodeOp {
+pub(crate) enum NodeOp {
     /// Two-input boolean gate: one runtime request.
     Gate(BinaryGate),
     /// Local negation: resolved without a runtime round trip.
@@ -63,9 +63,9 @@ enum NodeOp {
 }
 
 #[derive(Clone, Debug)]
-struct Node {
-    op: NodeOp,
-    inputs: Vec<Wire>,
+pub(crate) struct Node {
+    pub(crate) op: NodeOp,
+    pub(crate) inputs: Vec<Wire>,
 }
 
 /// A dependency-carrying multi-stage homomorphic program: a DAG of
@@ -77,7 +77,7 @@ struct Node {
 #[derive(Clone, Debug, Default)]
 pub struct Program {
     input_count: usize,
-    nodes: Vec<Node>,
+    pub(crate) nodes: Vec<Node>,
     outputs: Vec<Wire>,
 }
 
@@ -181,7 +181,7 @@ impl Program {
     /// Marks the nodes the output set transitively depends on. Both
     /// execution paths schedule exactly this set, so a dead node can
     /// neither cost a bootstrap nor fail a run on either path.
-    fn needed_nodes(&self) -> Vec<bool> {
+    pub(crate) fn needed_nodes(&self) -> Vec<bool> {
         let mut needed = vec![false; self.nodes.len()];
         let mut stack: Vec<usize> = self
             .outputs
@@ -231,33 +231,37 @@ impl Program {
             if !needed[idx] {
                 continue; // same pruning as the streamed session
             }
-            let value_of = |w: Wire| -> &LweCiphertext {
+            let value_of = |w: Wire| -> Result<&LweCiphertext, RuntimeError> {
                 match w {
-                    Wire::Input(i) => &inputs[i],
-                    Wire::Node(n) => values[n].as_ref().expect("needed nodes resolve in order"),
+                    Wire::Input(i) => Ok(&inputs[i]),
+                    Wire::Node(n) => values[n]
+                        .as_ref()
+                        .ok_or(RuntimeError::Program("needed node referenced before it resolved")),
                 }
             };
             let out = match &node.op {
                 NodeOp::Not => {
-                    let mut ct = value_of(node.inputs[0]).clone();
+                    let mut ct = value_of(node.inputs[0])?.clone();
                     ct.negate();
                     ct
                 }
                 NodeOp::Gate(gate) => {
                     let recipe = gate.recipe();
                     let sum = linear_preamble(
-                        value_of(node.inputs[0]),
+                        value_of(node.inputs[0])?,
                         &recipe.weights(),
-                        std::slice::from_ref(value_of(node.inputs[1])),
+                        std::slice::from_ref(value_of(node.inputs[1])?),
                         recipe.offset(),
                     )?;
                     let boot = server.bootstrap_key().bootstrap(&sum, &sign)?;
                     server.keyswitch_key().keyswitch(&boot)?
                 }
                 NodeOp::LinearLut { weights, offset, lut } => {
-                    let extra: Vec<LweCiphertext> =
-                        node.inputs[1..].iter().map(|&w| value_of(w).clone()).collect();
-                    let sum = linear_preamble(value_of(node.inputs[0]), weights, &extra, *offset)?;
+                    let extra: Vec<LweCiphertext> = node.inputs[1..]
+                        .iter()
+                        .map(|&w| Ok(value_of(w)?.clone()))
+                        .collect::<Result<_, RuntimeError>>()?;
+                    let sum = linear_preamble(value_of(node.inputs[0])?, weights, &extra, *offset)?;
                     let boot = server.bootstrap_key().bootstrap(&sum, lut)?;
                     server.keyswitch_key().keyswitch(&boot)?
                 }
@@ -269,9 +273,10 @@ impl Program {
             .map(|&w| {
                 Ok(match w {
                     Wire::Input(i) => inputs[i].clone(),
-                    Wire::Node(n) => {
-                        values[n].as_ref().expect("output node is needed by definition").clone()
-                    }
+                    Wire::Node(n) => values[n]
+                        .as_ref()
+                        .ok_or(RuntimeError::Program("output depends on an unresolved node"))?
+                        .clone(),
                 })
             })
             .collect()
@@ -355,6 +360,10 @@ pub struct ProgramSession<'p> {
     in_flight: HashMap<u64, usize>,
     /// Needed nodes not yet resolved.
     outstanding_nodes: usize,
+    /// Whether the handle's admission policy has vetted this program.
+    /// Checked once, on the first `submit_ready`, *before* anything is
+    /// enqueued — a rejected program never reaches the batcher.
+    admission_checked: bool,
 }
 
 impl<'p> ProgramSession<'p> {
@@ -399,15 +408,16 @@ impl<'p> ProgramSession<'p> {
             ready,
             in_flight: HashMap::new(),
             outstanding_nodes,
+            admission_checked: false,
         })
     }
 
-    fn wire_value(&self, w: Wire) -> &LweCiphertext {
+    fn wire_value(&self, w: Wire) -> Result<&LweCiphertext, RuntimeError> {
         match w {
-            Wire::Input(i) => &self.inputs[i],
-            Wire::Node(n) => {
-                self.node_values[n].as_ref().expect("wire scheduled before it resolved")
-            }
+            Wire::Input(i) => Ok(&self.inputs[i]),
+            Wire::Node(n) => self.node_values[n]
+                .as_ref()
+                .ok_or(RuntimeError::Program("wire scheduled before it resolved")),
         }
     }
 
@@ -432,28 +442,39 @@ impl<'p> ProgramSession<'p> {
     ///
     /// # Errors
     ///
+    /// [`RuntimeError::NoiseBudgetExceeded`] if the handle carries an
+    /// admission policy and the program's predicted noise margin falls
+    /// below its threshold (checked once, before anything is enqueued);
     /// [`RuntimeError::Shutdown`] if the runtime stopped accepting
     /// requests.
     pub fn submit_ready(&mut self, handle: &mut ClientHandle) -> Result<(), RuntimeError> {
+        if !self.admission_checked {
+            if let Some(policy) = handle.admission() {
+                policy.admit(self.program)?;
+            }
+            self.admission_checked = true;
+        }
         while let Some(n) = self.ready.pop() {
             match &self.program.nodes[n].op {
                 NodeOp::Not => {
-                    let mut ct = self.wire_value(self.program.nodes[n].inputs[0]).clone();
+                    let mut ct = self.wire_value(self.program.nodes[n].inputs[0])?.clone();
                     ct.negate();
                     self.resolve(n, ct);
                 }
                 NodeOp::Gate(gate) => {
                     let node = &self.program.nodes[n];
-                    let ct = self.wire_value(node.inputs[0]).clone();
-                    let other = self.wire_value(node.inputs[1]).clone();
+                    let ct = self.wire_value(node.inputs[0])?.clone();
+                    let other = self.wire_value(node.inputs[1])?.clone();
                     let seq = handle.submit(ct, RequestOp::Gate { gate: *gate, other })?;
                     self.in_flight.insert(seq, n);
                 }
                 NodeOp::LinearLut { weights, offset, lut } => {
                     let node = &self.program.nodes[n];
-                    let ct = self.wire_value(node.inputs[0]).clone();
-                    let extra: Vec<LweCiphertext> =
-                        node.inputs[1..].iter().map(|&w| self.wire_value(w).clone()).collect();
+                    let ct = self.wire_value(node.inputs[0])?.clone();
+                    let extra: Vec<LweCiphertext> = node.inputs[1..]
+                        .iter()
+                        .map(|&w| Ok(self.wire_value(w)?.clone()))
+                        .collect::<Result<_, RuntimeError>>()?;
                     let op = RequestOp::LinearLut {
                         weights: weights.clone(),
                         extra,
@@ -537,8 +558,11 @@ impl<'p> ProgramSession<'p> {
             let response = handle.recv()?;
             self.absorb(response)?;
         }
-        let outputs = self.program.outputs.iter().map(|&w| self.wire_value(w).clone()).collect();
-        Ok(outputs)
+        self.program
+            .outputs
+            .iter()
+            .map(|&w| Ok(self.wire_value(w)?.clone()))
+            .collect::<Result<Vec<_>, RuntimeError>>()
     }
 }
 

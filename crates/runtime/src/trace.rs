@@ -40,6 +40,7 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 
 use crate::request::ClientId;
+use crate::sync::lock_unpoisoned;
 
 /// Identifies one request end to end, across every runtime layer.
 ///
@@ -229,7 +230,7 @@ impl Tracer {
         let at_us =
             at.saturating_duration_since(self.origin).as_micros().min(u64::MAX as u128) as u64;
         let event = TraceEvent { span, client, seq, epoch, stage, at_us };
-        let mut ring = self.ring.lock().expect("trace ring lock");
+        let mut ring = lock_unpoisoned(&self.ring);
         if ring.events.len() >= self.config.capacity {
             ring.events.pop_front();
             ring.evicted += 1;
@@ -239,12 +240,12 @@ impl Tracer {
 
     /// A snapshot of the buffered events, oldest first.
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.ring.lock().expect("trace ring lock").events.iter().copied().collect()
+        lock_unpoisoned(&self.ring).events.iter().copied().collect()
     }
 
     /// Number of events evicted because the ring was full.
     pub fn evicted(&self) -> u64 {
-        self.ring.lock().expect("trace ring lock").evicted
+        lock_unpoisoned(&self.ring).evicted
     }
 
     /// Builds the Chrome trace-event representation of the buffer: one
@@ -259,6 +260,7 @@ impl Tracer {
     /// Chrome trace-event format, accepted by `chrome://tracing` and
     /// <https://ui.perfetto.dev>.
     pub fn chrome_trace_json(&self) -> String {
+        // lint:allow(panic) plain structs of numbers and strings cannot fail to serialize
         serde_json::to_string(&self.chrome_trace()).expect("trace serialization is infallible")
     }
 }

@@ -17,6 +17,7 @@ use crate::executor::BatchExecutor;
 use crate::metrics::{MetricsSink, RequestRecord};
 use crate::queue::BoundedQueue;
 use crate::request::{ClientId, Epoch, Response};
+use crate::sync::lock_unpoisoned;
 use crate::trace::{TraceStage, Tracer};
 
 /// Routes responses to per-client channels.
@@ -27,11 +28,11 @@ pub(crate) struct ClientRegistry {
 
 impl ClientRegistry {
     pub(crate) fn register(&self, id: ClientId, tx: Sender<Response>) {
-        self.senders.lock().expect("registry lock").insert(id, tx);
+        lock_unpoisoned(&self.senders).insert(id, tx);
     }
 
     pub(crate) fn deregister(&self, id: ClientId) {
-        self.senders.lock().expect("registry lock").remove(&id);
+        lock_unpoisoned(&self.senders).remove(&id);
     }
 
     /// Drops every sender. Called after the workers have drained and
@@ -39,11 +40,11 @@ impl ClientRegistry {
     /// buffered responses are consumed, which is what lets
     /// `ClientHandle::recv` report shutdown instead of blocking.
     pub(crate) fn clear(&self) {
-        self.senders.lock().expect("registry lock").clear();
+        lock_unpoisoned(&self.senders).clear();
     }
 
     fn deliver(&self, response: Response) {
-        let senders = self.senders.lock().expect("registry lock");
+        let senders = lock_unpoisoned(&self.senders);
         if let Some(tx) = senders.get(&response.client) {
             // A dropped handle just discards its remaining responses.
             let _ = tx.send(response);

@@ -48,9 +48,6 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub use strix_baselines as baselines;
 pub use strix_core as core;
 pub use strix_fft as fft;

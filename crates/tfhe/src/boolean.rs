@@ -53,6 +53,7 @@ impl ClientKey {
     /// Panics if the ciphertext dimension matches neither client key
     /// (programming error in the pipeline).
     pub fn decrypt_bool(&self, ct: &BoolCiphertext) -> bool {
+        // lint:allow(panic) ciphertext was produced under this key's dimension
         let phase = self.decrypt_phase(&ct.ct).expect("boolean ciphertext dimension");
         decode_bool(phase)
     }
@@ -85,6 +86,32 @@ impl GateRecipe {
     #[inline]
     pub fn weights(self) -> [i64; 2] {
         [self.w1, self.w2]
+    }
+
+    /// Worst-case distance from this recipe's noiseless output phase to
+    /// the nearest sign-LUT decision boundary, in torus units — the
+    /// numerator of the recipe's noise margin.
+    ///
+    /// The sign LUT decides on half-torus boxes, so its boundaries sit
+    /// at 0 and 1/2. Unit-weight recipes (AND, OR, NAND, NOR) place
+    /// every outcome ±1/8 from a boundary; the ±2-weight recipes (XOR,
+    /// XNOR) double the noise amplitude but also place their outcomes
+    /// ±1/4 from a boundary, which is why all six gates share one noise
+    /// budget. Computed by enumerating the four input combinations
+    /// rather than hard-coded, so a new recipe is automatically scored
+    /// by what its offsets actually achieve.
+    pub fn decision_distance(self) -> f64 {
+        let mut min_distance = f64::INFINITY;
+        for (a, b) in [(-1i64, -1i64), (-1, 1), (1, -1), (1, 1)] {
+            // Noiseless phase in eighths of the torus: inputs encode at
+            // ±1/8.
+            let eighths = self.w1 * a + self.w2 * b + self.offset_eighths;
+            // Distance to the nearest multiple of 1/2 (= 4 eighths).
+            let within_box = eighths.rem_euclid(4);
+            let distance_eighths = within_box.min(4 - within_box);
+            min_distance = min_distance.min(distance_eighths as f64 / 8.0);
+        }
+        min_distance
     }
 }
 

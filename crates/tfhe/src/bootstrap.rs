@@ -55,6 +55,10 @@ use crate::TfheError;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Lut {
     poly: TorusPolynomial,
+    /// Message precision the table was built for (the sign LUT counts
+    /// as 1 bit: two half-torus boxes). Drives the static analyzer's
+    /// per-node decision distance.
+    precision_bits: u32,
 }
 
 impl Lut {
@@ -62,7 +66,7 @@ impl Lut {
     /// phases in the positive half-torus and `−μ` for the negative half
     /// (via negacyclic wrap-around). All `N` coefficients equal `μ`.
     pub fn sign(poly_size: usize, mu: u64) -> Self {
-        Self { poly: TorusPolynomial::from_coeffs(vec![mu; poly_size]) }
+        Self { poly: TorusPolynomial::from_coeffs(vec![mu; poly_size]), precision_bits: 1 }
     }
 
     /// Builds the LUT for an arbitrary function over a
@@ -121,7 +125,7 @@ impl Lut {
             *c = f(m).wrapping_shl(output_shift);
         }
         let poly = TorusPolynomial::from_coeffs(coeffs).rotate_left(box_size / 2);
-        Ok(Self { poly })
+        Ok(Self { poly, precision_bits })
     }
 
     /// The underlying test-vector polynomial.
@@ -134,6 +138,21 @@ impl Lut {
     #[inline]
     pub fn poly_size(&self) -> usize {
         self.poly.size()
+    }
+
+    /// Message precision the table was built for, in bits.
+    #[inline]
+    pub fn precision_bits(&self) -> u32 {
+        self.precision_bits
+    }
+
+    /// Distance from a nominal encoding to the nearest decision
+    /// boundary of this table, in torus units: half a redundancy box,
+    /// `2^-(p+2)` for a `p`-bit message space with one padding bit.
+    /// The sign LUT (`p = 1`) gives the classic gate margin of `1/8`.
+    #[inline]
+    pub fn decision_distance(&self) -> f64 {
+        crate::noise::lut_decision_distance(self.precision_bits)
     }
 }
 
@@ -169,6 +188,7 @@ impl BootstrapKey {
     ) -> Self {
         let decomp = DecompositionParams::new(params.pbs_base_log, params.pbs_level);
         let fft = NegacyclicFft::new(params.polynomial_size)
+            // lint:allow(panic) parameters were validated at construction
             .expect("validated parameters have power-of-two N");
         let ggsws = lwe_sk
             .bits()
@@ -200,6 +220,7 @@ impl BootstrapKey {
     pub fn generate_for_benchmark(params: &TfheParameters) -> Self {
         let decomp = DecompositionParams::new(params.pbs_base_log, params.pbs_level);
         let fft = NegacyclicFft::new(params.polynomial_size)
+            // lint:allow(panic) parameters were validated at construction
             .expect("validated parameters have power-of-two N");
         // GGSW of message 1: gadget terms give the spectra non-trivial
         // values so the FFT timing is honest.
@@ -294,6 +315,7 @@ impl BootstrapKey {
     /// passes [`NoProbe`] (inlines to nothing), the profiled path a
     /// [`TimingProbe`] — one rotation loop, so instrumented and
     /// production execution can never drift.
+    // lint:hot-path-start — the classical per-job CMUX loop must stay allocation-free
     fn blind_rotate_core<P: Probe>(
         &self,
         ct: &LweCiphertext,
@@ -317,13 +339,16 @@ impl BootstrapKey {
             let PbsScratch { diff, prod, ep, .. } = scratch;
             probe.time(PbsStage::Rotate, || {
                 acc.rotate_right_into(a_tilde, diff);
+                // lint:allow(panic) shape invariant established at construction
                 diff.sub_assign(&acc).expect("scratch shape is pre-validated");
             });
             ggsw.external_product_probed(diff, &self.fft, prod, ep, probe);
+            // lint:allow(panic) shape invariant established at construction
             acc.add_assign(prod).expect("scratch shape is pre-validated");
         }
         Ok(acc)
     }
+    // lint:hot-path-end
 
     /// Blind rotation with stage timing instrumentation — the same
     /// rotation loop as [`Self::blind_rotate_with`], observed through
@@ -500,6 +525,7 @@ impl BootstrapKey {
     /// [`FourierGgsw::external_product_scratch`] — only the loop
     /// nesting across *independent* jobs differs, which cannot change
     /// a bit of any output.
+    // lint:hot-path-start — the blocked classical CMUX kernel must stay allocation-free
     fn cmux_block<P: Probe>(
         &self,
         ggsw: &FourierGgsw,
@@ -522,6 +548,7 @@ impl BootstrapKey {
             }
             probe.time(PbsStage::Rotate, || {
                 acc.rotate_right_into(amt as usize, diff);
+                // lint:allow(panic) shape invariant established at construction
                 diff.sub_assign(acc).expect("scratch shape is pre-validated");
             });
             probe.time(PbsStage::Decompose, || {
@@ -536,6 +563,7 @@ impl BootstrapKey {
             probe.time(PbsStage::Fft, || {
                 self.fft
                     .forward_i64_many(all_digits, digits)
+                    // lint:allow(panic) shape invariant established at construction
                     .expect("digit batch matches the fft plan");
             });
         }
@@ -574,8 +602,10 @@ impl BootstrapKey {
             probe.time(PbsStage::IfftAccumulate, || {
                 self.fft
                     .backward_f64_many(spec, time_batch)
+                    // lint:allow(panic) shape invariant established at construction
                     .expect("accumulator batch matches the fft plan");
                 for (col, time) in time_batch.chunks_exact(n).enumerate() {
+                    // lint:allow(panic) shape invariant established at construction
                     let poly = acc.poly_mut(col).expect("column within GLWE dimension");
                     for (o, &v) in poly.coeffs_mut().iter_mut().zip(time) {
                         *o = o.wrapping_add(f64_to_torus(v));
@@ -584,6 +614,7 @@ impl BootstrapKey {
             });
         }
     }
+    // lint:hot-path-end
 
     /// Batched programmable bootstrap: [`Self::blind_rotate_batch`]
     /// followed by per-job sample extraction. Outputs are in job order
@@ -670,6 +701,7 @@ impl BootstrapKey {
                     scope.spawn(move || self.bootstrap_batch(shard))
                 })
                 .collect();
+            // lint:allow(panic) a worker panic is propagated, not swallowed
             handles.into_iter().map(|h| h.join().expect("PBS shard worker panicked")).collect()
         });
         let mut out = Vec::with_capacity(jobs.len());
@@ -775,6 +807,7 @@ impl MultiBitBootstrapKey {
         Self::check_grouping(grouping_factor, lwe_sk.bits().len());
         let decomp = DecompositionParams::new(params.pbs_base_log, params.pbs_level);
         let fft = NegacyclicFft::new(params.polynomial_size)
+            // lint:allow(panic) parameters were validated at construction
             .expect("validated parameters have power-of-two N");
         let groups = lwe_sk
             .bits()
@@ -826,6 +859,7 @@ impl MultiBitBootstrapKey {
         Self::check_grouping(grouping_factor, params.lwe_dimension);
         let decomp = DecompositionParams::new(params.pbs_base_log, params.pbs_level);
         let fft = NegacyclicFft::new(params.polynomial_size)
+            // lint:allow(panic) parameters were validated at construction
             .expect("validated parameters have power-of-two N");
         let template =
             GgswCiphertext::trivial(1, params.glwe_dimension, params.polynomial_size, decomp)
@@ -974,6 +1008,7 @@ impl MultiBitBootstrapKey {
     ) -> Result<GlweCiphertext, TfheError> {
         let jobs = [PbsJob { ct, lut }];
         let mut accs = self.blind_rotate_batch_core(&jobs, scratch, &mut NoProbe)?;
+        // lint:allow(panic) batch core returns one accumulator per job
         Ok(accs.pop().expect("one job in, one accumulator out"))
     }
 
@@ -1104,6 +1139,7 @@ impl MultiBitBootstrapKey {
     ///    the torus conversion, **replacing** the accumulator
     ///    (`acc ← G ⊡ acc`, not `acc += …`).
     #[allow(clippy::too_many_arguments)]
+    // lint:hot-path-start — the blocked grouped CMUX kernel must stay allocation-free
     fn grouped_cmux_block<P: Probe>(
         &self,
         entries: &[FourierGgsw],
@@ -1170,6 +1206,7 @@ impl MultiBitBootstrapKey {
                     }
                     self.mono
                         .spectrum_into(degrees[j * patterns + pattern], mono_re, mono_im)
+                        // lint:allow(panic) shape invariant established at construction
                         .expect("monomial planes are sized to the fft plan");
                     let spectra = entry.spectra();
                     for t in 0..rows * cols {
@@ -1198,6 +1235,7 @@ impl MultiBitBootstrapKey {
             probe.time(PbsStage::Fft, || {
                 self.fft
                     .forward_i64_many(all_digits, &mut digit_batch[j])
+                    // lint:allow(panic) shape invariant established at construction
                     .expect("digit batch matches the fft plan");
             });
         }
@@ -1234,8 +1272,10 @@ impl MultiBitBootstrapKey {
             probe.time(PbsStage::IfftAccumulate, || {
                 self.fft
                     .backward_f64_many(&mut acc_batch[j], time_batch)
+                    // lint:allow(panic) shape invariant established at construction
                     .expect("accumulator batch matches the fft plan");
                 for (col, time) in time_batch.chunks_exact(n).enumerate() {
+                    // lint:allow(panic) shape invariant established at construction
                     let poly = acc.poly_mut(col).expect("column within GLWE dimension");
                     for (o, &v) in poly.coeffs_mut().iter_mut().zip(time) {
                         *o = f64_to_torus(v);
@@ -1244,6 +1284,7 @@ impl MultiBitBootstrapKey {
             });
         }
     }
+    // lint:hot-path-end
 
     /// Batched multi-bit programmable bootstrap: grouped blind rotation
     /// followed by per-job sample extraction, in job order.
@@ -1313,6 +1354,7 @@ impl MultiBitBootstrapKey {
                     scope.spawn(move || self.bootstrap_batch(shard))
                 })
                 .collect();
+            // lint:allow(panic) a worker panic is propagated, not swallowed
             handles.into_iter().map(|h| h.join().expect("PBS shard worker panicked")).collect()
         });
         let mut out = Vec::with_capacity(jobs.len());

@@ -53,6 +53,7 @@ impl GgswCiphertext {
             for lvl in 1..=decomp.level {
                 let mut row = glwe_sk.encrypt(&zero, noise_std, rng);
                 let scale = decomp.gadget_scale(lvl);
+                // lint:allow(panic) shape invariant established at construction
                 let target = row.poly_mut(j).expect("row index within GLWE dimension");
                 target[0] = target[0].wrapping_add(message.wrapping_mul(scale));
                 rows.push(row);
@@ -75,6 +76,7 @@ impl GgswCiphertext {
         for j in 0..=glwe_dimension {
             for lvl in 1..=decomp.level {
                 let mut row = GlweCiphertext::zero(glwe_dimension, poly_size);
+                // lint:allow(panic) shape invariant established at construction
                 let target = row.poly_mut(j).expect("row index within GLWE dimension");
                 target[0] = message.wrapping_mul(decomp.gadget_scale(lvl));
                 rows.push(row);
@@ -115,6 +117,7 @@ impl GgswCiphertext {
                     let row_poly = if col < k { &row.masks()[col] } else { row.body() };
                     let prod =
                         strix_fft::reference::negacyclic_mul_torus(digits, row_poly.coeffs());
+                    // lint:allow(panic) shape invariant established at construction
                     let out = acc.poly_mut(col).expect("column within GLWE dimension");
                     for (o, p) in out.coeffs_mut().iter_mut().zip(&prod) {
                         *o = o.wrapping_add(*p);
@@ -151,6 +154,7 @@ impl GgswCiphertext {
                     *s = torus_to_f64_signed(c);
                 }
                 fft.forward_f64(&signed, &mut spec)
+                    // lint:allow(panic) shape invariant established at construction
                     .expect("ggsw polynomial size must match the fft plan");
                 spectra.store(r * (k + 1) + col, &spec);
             }
@@ -320,6 +324,7 @@ impl FourierGgsw {
                 probe.time(PbsStage::Fft, || {
                     let digits = &scratch.digit_levels[lvl * n..(lvl + 1) * n];
                     fft.forward_i64(digits, &mut scratch.digit_spec)
+                        // lint:allow(panic) shape invariant established at construction
                         .expect("digit polynomial matches fft plan");
                 });
                 probe.time(PbsStage::VectorMultiply, || {
@@ -335,7 +340,9 @@ impl FourierGgsw {
         probe.time(PbsStage::IfftAccumulate, || {
             for (col, spec) in scratch.fourier_acc.chunks_mut(half).enumerate() {
                 fft.backward_f64(spec, &mut scratch.time_domain)
+                    // lint:allow(panic) shape invariant established at construction
                     .expect("accumulator matches fft plan");
+                // lint:allow(panic) shape invariant established at construction
                 let poly = out.poly_mut(col).expect("column within GLWE dimension");
                 for (o, &v) in poly.coeffs_mut().iter_mut().zip(&scratch.time_domain) {
                     *o = f64_to_torus(v);

@@ -242,6 +242,7 @@ impl ServerKey {
                 Some(prev) => self.apply_bivariate_lut(&prev, &eq, |x, y| x & y)?,
             });
         }
+        // lint:allow(panic) specs guarantee at least one digit
         Ok(acc.expect("specs guarantee at least one digit"))
     }
 

@@ -28,6 +28,7 @@ pub struct ClientKey {
 impl ClientKey {
     /// Generates a fresh client key.
     pub fn generate(params: &TfheParameters, seed: u64) -> Self {
+        // lint:allow(panic) documented constructor contract
         params.validate().expect("parameter set must be valid");
         let mut rng = NoiseSampler::from_seed(seed);
         let lwe_sk = LweSecretKey::generate(params.lwe_dimension, &mut rng);
@@ -161,6 +162,7 @@ impl ServerKey {
     /// measurements (the closed-loop SLO harness); outputs do not
     /// decrypt meaningfully.
     pub fn generate_for_benchmark(params: &TfheParameters, seed: u64) -> Self {
+        // lint:allow(panic) documented constructor contract
         params.validate().expect("parameter set must be valid");
         let mut rng = NoiseSampler::from_seed(seed);
         let bsk = BootstrapKey::generate_for_benchmark(params);

@@ -160,6 +160,7 @@ impl KeySwitchKey {
                 .collect();
             handles
                 .into_iter()
+                // lint:allow(panic) a worker panic is propagated, not swallowed
                 .map(|h| h.join().expect("keyswitch shard worker panicked"))
                 .collect()
         });

@@ -45,9 +45,6 @@
 //! not production use. Randomness is drawn from a seedable CSPRNG so
 //! experiments are reproducible.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod boolean;
 pub mod bootstrap;
 pub mod decompose;

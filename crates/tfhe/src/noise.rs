@@ -116,6 +116,43 @@ pub fn modswitch_variance(params: &TfheParameters) -> f64 {
     (1.0 + n / 2.0) / (two_n * two_n * 12.0)
 }
 
+/// Distance from the `±1/8` gate encodings to the nearest decision
+/// boundary, in torus units — the numerator of every gate margin.
+pub const GATE_DECISION_DISTANCE: f64 = 0.125;
+
+/// Distance from a nominal encoding to the nearest decision boundary
+/// of a `precision_bits`-bit LUT with one padding bit, in torus units:
+/// half a redundancy box, `2^-(p+2)`. For `p = 1` (the sign LUT) this
+/// is [`GATE_DECISION_DISTANCE`].
+pub fn lut_decision_distance(precision_bits: u32) -> f64 {
+    2.0f64.powi(-(precision_bits as i32 + 2))
+}
+
+/// Variance of a full LUT-request output under an explicit kernel:
+/// one PBS (which resets the input noise) followed by the keyswitch
+/// back to the small key — the wire noise a fused linear→PBS→KS
+/// request node hands to its consumers. This is the per-op helper the
+/// runtime crate's static analyzer calls.
+pub fn lut_output_variance_for(params: &TfheParameters, kernel: PbsKernel) -> f64 {
+    pbs_output_variance_for(params, kernel) + keyswitch_added_variance(params)
+}
+
+/// Variance of the weighted sum `Σ wᵢ·xᵢ` of independent ciphertexts
+/// with the given per-input variances: `Σ wᵢ²·varᵢ`. Plaintext offsets
+/// are exact and add nothing.
+pub fn linear_combination_variance(weights: &[i64], input_variances: &[f64]) -> f64 {
+    weights.iter().zip(input_variances).map(|(&w, &v)| (w as f64) * (w as f64) * v).sum()
+}
+
+/// Margin in standard deviations: `distance / sqrt(variance)`. Returns
+/// infinity for zero variance (a trivially noiseless wire).
+pub fn margin_sigmas(distance: f64, variance: f64) -> f64 {
+    if variance <= 0.0 {
+        return f64::INFINITY;
+    }
+    distance / variance.sqrt()
+}
+
 /// Total phase variance at the *decision point* of a gate bootstrap
 /// under an explicit kernel choice: two fresh gate inputs (each PBS +
 /// KS output) combined linearly with unit weights, plus modulus
@@ -152,6 +189,7 @@ pub fn gate_margin_sigmas(params: &TfheParameters) -> f64 {
 ///
 /// Panics if the ciphertext decrypts under neither client key.
 pub fn measure_error(client: &ClientKey, ct: &LweCiphertext, expected_pt: u64) -> f64 {
+    // lint:allow(panic) documented panic contract
     let phase = client.decrypt_phase(ct).expect("ciphertext matches client key");
     let err = phase.wrapping_sub(expected_pt);
     err as i64 as f64 / 2.0f64.powi(64)

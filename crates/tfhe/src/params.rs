@@ -235,6 +235,14 @@ impl TfheParameters {
     /// The Zama Deep-NN parameter family (Fig. 7): same shape as the
     /// 128-bit sets with the requested polynomial size.
     ///
+    /// Noise levels are provisioned for the workload the family
+    /// serves: the ReLU schedule evaluates 3-bit LUTs over fan-in-3
+    /// weighted sums of keyswitched bootstrap outputs, and the static
+    /// noise analyzer (`strix-runtime`) requires every such node to
+    /// keep a >10σ decision margin under both PBS kernels. The
+    /// keyswitch key term `k·N·l_k·B²/12·σ_lwe²` dominates that
+    /// budget, which pins `σ_lwe` at 2⁻¹⁹ for these dimensions.
+    ///
     /// # Errors
     ///
     /// Returns [`TfheError::InvalidParameters`] if `polynomial_size` is
@@ -243,7 +251,7 @@ impl TfheParameters {
     /// unsupported client request without panicking a worker thread.
     pub fn deep_nn(polynomial_size: usize) -> Result<Self, TfheError> {
         let (glwe_noise_std, pbs_base_log, pbs_level) = match polynomial_size {
-            1024 => (2.0f64.powi(-25), 7, 3),
+            1024 => (2.0f64.powi(-28), 7, 3),
             2048 => (2.0f64.powi(-37), 8, 3),
             4096 => (2.0f64.powi(-45), 12, 2),
             _ => {
@@ -261,7 +269,7 @@ impl TfheParameters {
             pbs_level,
             ks_base_log: 3,
             ks_level: 5,
-            lwe_noise_std: 2.0f64.powi(-15),
+            lwe_noise_std: 2.0f64.powi(-19),
             glwe_noise_std,
             security_bits: 128,
             pbs_kernel: PbsKernel::Classical,

@@ -65,6 +65,7 @@ impl UnrolledBootstrapKey {
     ) -> Self {
         let decomp = DecompositionParams::new(params.pbs_base_log, params.pbs_level);
         let fft = NegacyclicFft::new(params.polynomial_size)
+            // lint:allow(panic) parameters were validated at construction
             .expect("validated parameters have power-of-two N");
         let std = params.glwe_noise_std;
         let bits = lwe_sk.bits();

@@ -1,0 +1,915 @@
+//! Repository-invariant linter: `cargo run -p xtask -- lint`.
+//!
+//! Machine-checks the invariants the codebase otherwise enforces only
+//! by reviewer memory. Four checks, each with a test fixture proving it
+//! fires on a seeded violation:
+//!
+//! 1. **hot-path-alloc** — no allocation calls (`Vec::new`, `vec!`,
+//!    `.to_vec()`, `.collect()`, `Box::new`) inside the designated
+//!    CMUX/blind-rotate and FFT-kernel regions, delimited in-source by
+//!    `// lint:hot-path-start` / `// lint:hot-path-end` markers.
+//! 2. **panic** — no `.unwrap()` / `.expect(` / `panic!` / `todo!` /
+//!    `unimplemented!` / `unreachable!` in non-test `runtime`, `tfhe`
+//!    and `fft` library code. Genuinely unreachable uses carry a
+//!    `// lint:allow(panic) <reason>` comment on the same or the
+//!    immediately preceding line.
+//! 3. **serde-default** — struct fields added to the serde types in
+//!    `metrics.rs` / `trace.rs` after the v1 schema baseline must carry
+//!    `#[serde(default)]` so old captures keep deserializing.
+//! 4. **lint-header** — the workspace lint posture lives in a single
+//!    `[workspace.lints]` table in the root `Cargo.toml`; every
+//!    `crates/*` manifest opts in with `[lints] workspace = true`, and
+//!    no `lib.rs` re-declares the old inline headers.
+//!
+//! Allow-comments are per-check: `lint:allow(panic)` and
+//! `lint:allow(alloc)`. The reason text is mandatory by convention and
+//! reviewed like any other comment.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Directories whose `.rs` files are subject to the panic check.
+const PANIC_SCAN_ROOTS: &[&str] = &["crates/runtime/src", "crates/tfhe/src", "crates/fft/src"];
+
+/// Panic-token spellings. `.expect(` deliberately does not match
+/// `.expect_err(`, and `.unwrap()` does not match `unwrap_or_else`.
+const PANIC_TOKENS: &[&str] =
+    &[".unwrap()", ".expect(", "panic!", "todo!", "unimplemented!", "unreachable!"];
+
+/// Files that must contain marked hot-path regions.
+const HOT_PATH_FILES: &[&str] = &["crates/tfhe/src/bootstrap.rs", "crates/fft/src/soa.rs"];
+
+/// Allocation-call spellings forbidden inside hot-path regions.
+const ALLOC_TOKENS: &[&str] = &["Vec::new", "vec!", ".to_vec()", ".collect()", "Box::new"];
+
+const HOT_PATH_START: &str = "lint:hot-path-start";
+const HOT_PATH_END: &str = "lint:hot-path-end";
+
+/// The v1 schema baseline for serde types in `metrics.rs`/`trace.rs`:
+/// fields present when the check was introduced. Any field *not* in
+/// this list must be `#[serde(default)]` so reports and traces captured
+/// by older builds keep deserializing byte-compatibly.
+const SERDE_BASELINE: &[(&str, &str, &[&str])] = &[
+    (
+        "crates/runtime/src/metrics.rs",
+        "ClassLatency",
+        &[
+            "class",
+            "completed",
+            "failed",
+            "mean_queue_wait_us",
+            "mean_batch_wait_us",
+            "mean_execute_us",
+            "mean_latency_us",
+        ],
+    ),
+    (
+        "crates/runtime/src/metrics.rs",
+        "PbsStageBreakdown",
+        &[
+            "sampled_epochs",
+            "sampled_pbs",
+            "modswitch_us",
+            "rotate_us",
+            "decompose_us",
+            "forward_fft_us",
+            "vma_us",
+            "inverse_fft_us",
+            "sample_extract_us",
+            "keyswitch_us",
+            "linear_ops_us",
+        ],
+    ),
+    (
+        "crates/runtime/src/metrics.rs",
+        "MetricsWindow",
+        &[
+            "start_s",
+            "duration_s",
+            "completed",
+            "failed",
+            "pbs_completed",
+            "epochs",
+            "pbs_per_s",
+            "mean_occupancy",
+            "max_queue_depth",
+        ],
+    ),
+    (
+        "crates/runtime/src/metrics.rs",
+        "RuntimeReport",
+        &[
+            "schema_version",
+            "requests_completed",
+            "requests_failed",
+            "fused_linear_completed",
+            "epochs",
+            "epoch_capacity",
+            "p50_latency_us",
+            "p90_latency_us",
+            "p99_latency_us",
+            "max_latency_us",
+            "achieved_pbs_per_s",
+            "pbs_jobs_classical",
+            "pbs_jobs_multi_bit",
+            "mean_batch_occupancy",
+            "occupancy_histogram",
+            "mean_threads_per_epoch",
+            "thread_occupancy",
+            "max_threads_per_epoch",
+            "ingress_queue_depth",
+            "ingress_queue_high_water",
+            "latency_attribution",
+            "pbs_stage_breakdown",
+            "windows",
+            "elapsed_s",
+        ],
+    ),
+    (
+        "crates/runtime/src/trace.rs",
+        "ChromeTraceEvent",
+        &["name", "cat", "ph", "ts", "dur", "pid", "tid", "args"],
+    ),
+    ("crates/runtime/src/trace.rs", "ChromeTraceArgs", &["span", "seq", "epoch"]),
+];
+
+/// One lint violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Finding {
+    file: PathBuf,
+    line: usize,
+    check: &'static str,
+    message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file.display(), self.line, self.check, self.message)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root = PathBuf::from(".");
+    let mut cmd = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => match it.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("--root needs a path argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "lint" => cmd = Some("lint"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match cmd {
+        Some("lint") => {}
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint [--root PATH]");
+            return ExitCode::FAILURE;
+        }
+    }
+    let findings = run_lint(&root);
+    if findings.is_empty() {
+        println!("xtask lint: all invariants hold");
+        ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        println!("xtask lint: {} violation(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Runs every check against the repository rooted at `root`.
+fn run_lint(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    findings.extend(check_hot_path_allocations(root));
+    findings.extend(check_panic_tokens(root));
+    findings.extend(check_serde_defaults(root));
+    findings.extend(check_lint_headers(root));
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Source scanning machinery
+// ---------------------------------------------------------------------------
+
+/// One physical source line, raw and with comments/strings blanked.
+struct ScanLine {
+    /// 1-based line number.
+    number: usize,
+    /// The raw line, for marker and allow-comment detection.
+    raw: String,
+    /// The line with comments and string/char literal contents replaced
+    /// by spaces, for token matching.
+    code: String,
+    /// Whether the line sits inside a `#[cfg(test)]` item.
+    in_test: bool,
+}
+
+/// Prepares a file for token scanning: blanks comments and string
+/// literal contents (so doc examples and message strings can't trip
+/// token matches) and marks `#[cfg(test)]` regions by brace counting.
+fn scan_file(source: &str) -> Vec<ScanLine> {
+    let mut lines = Vec::new();
+    let mut in_block_comment = false;
+    for (i, raw) in source.lines().enumerate() {
+        let code = blank_non_code(raw, &mut in_block_comment);
+        lines.push(ScanLine { number: i + 1, raw: raw.to_string(), code, in_test: false });
+    }
+    // Mark #[cfg(test)] items: from the attribute, through the next
+    // opening brace, to its matching close.
+    let mut idx = 0;
+    while idx < lines.len() {
+        if lines[idx].code.contains("cfg(test)") || lines[idx].code.contains("cfg(all(test") {
+            let mut depth = 0usize;
+            let mut opened = false;
+            let mut j = idx;
+            while j < lines.len() {
+                lines[j].in_test = true;
+                for c in lines[j].code.clone().chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth = depth.saturating_sub(1),
+                        _ => {}
+                    }
+                }
+                if opened && depth == 0 {
+                    break;
+                }
+                j += 1;
+            }
+            idx = j + 1;
+        } else {
+            idx += 1;
+        }
+    }
+    lines
+}
+
+/// Replaces comments and string/char literal contents with spaces,
+/// keeping byte offsets stable. Handles `//` line comments, `/* */`
+/// block comments (possibly spanning lines via `in_block_comment`),
+/// double-quoted strings with backslash escapes, and character
+/// literals (while leaving lifetimes alone).
+fn blank_non_code(line: &str, in_block_comment: &mut bool) -> String {
+    let bytes: Vec<char> = line.chars().collect();
+    let mut out: Vec<char> = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if *in_block_comment {
+            if bytes[i] == '*' && i + 1 < bytes.len() && bytes[i + 1] == '/' {
+                *in_block_comment = false;
+                out.push(' ');
+                out.push(' ');
+                i += 2;
+            } else {
+                out.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+        match bytes[i] {
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == '/' => {
+                // Line comment: blank the rest of the line.
+                while i < bytes.len() {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == '*' => {
+                *in_block_comment = true;
+                out.push(' ');
+                out.push(' ');
+                i += 2;
+            }
+            '"' => {
+                out.push('"');
+                i += 1;
+                while i < bytes.len() {
+                    if bytes[i] == '\\' && i + 1 < bytes.len() {
+                        out.push(' ');
+                        out.push(' ');
+                        i += 2;
+                    } else if bytes[i] == '"' {
+                        out.push('"');
+                        i += 1;
+                        break;
+                    } else {
+                        out.push(' ');
+                        i += 1;
+                    }
+                }
+            }
+            '\'' => {
+                // Char literal or lifetime. A literal closes within a
+                // couple of characters; a lifetime never closes.
+                if i + 2 < bytes.len() && bytes[i + 1] == '\\' {
+                    let close = (i + 2..bytes.len().min(i + 6)).find(|&j| bytes[j] == '\'');
+                    if let Some(c) = close {
+                        out.push('\'');
+                        out.extend(std::iter::repeat_n(' ', c - i - 1));
+                        out.push('\'');
+                        i = c + 1;
+                    } else {
+                        out.push(bytes[i]);
+                        i += 1;
+                    }
+                } else if i + 2 < bytes.len() && bytes[i + 2] == '\'' {
+                    out.push('\'');
+                    out.push(' ');
+                    out.push('\'');
+                    i += 3;
+                } else {
+                    out.push(bytes[i]);
+                    i += 1;
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Whether line `idx` carries (or inherits from the previous line) an
+/// allow-comment for `check` (e.g. `lint:allow(panic)`).
+fn allowed(lines: &[ScanLine], idx: usize, check: &str) -> bool {
+    let tag = format!("lint:allow({check})");
+    if lines[idx].raw.contains(&tag) {
+        return true;
+    }
+    idx > 0 && lines[idx - 1].raw.contains(&tag)
+}
+
+/// Collects every `.rs` file under `dir`, recursively, sorted for
+/// deterministic output.
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&d) else { continue };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+// ---------------------------------------------------------------------------
+// Check 1: hot-path allocations
+// ---------------------------------------------------------------------------
+
+fn check_hot_path_allocations(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for rel in HOT_PATH_FILES {
+        let path = root.join(rel);
+        let Ok(source) = fs::read_to_string(&path) else {
+            findings.push(Finding {
+                file: path,
+                line: 0,
+                check: "hot-path-alloc",
+                message: "designated hot-path file is missing".into(),
+            });
+            continue;
+        };
+        let lines = scan_file(&source);
+        let mut in_region = false;
+        let mut region_count = 0usize;
+        for (idx, line) in lines.iter().enumerate() {
+            if line.raw.contains(HOT_PATH_START) {
+                in_region = true;
+                region_count += 1;
+                continue;
+            }
+            if line.raw.contains(HOT_PATH_END) {
+                in_region = false;
+                continue;
+            }
+            if !in_region || line.in_test {
+                continue;
+            }
+            for token in ALLOC_TOKENS {
+                if line.code.contains(token) && !allowed(&lines, idx, "alloc") {
+                    findings.push(Finding {
+                        file: path.clone(),
+                        line: line.number,
+                        check: "hot-path-alloc",
+                        message: format!("allocation call `{token}` inside a hot-path region"),
+                    });
+                }
+            }
+        }
+        if region_count == 0 {
+            findings.push(Finding {
+                file: path.clone(),
+                line: 0,
+                check: "hot-path-alloc",
+                message: format!(
+                    "no `{HOT_PATH_START}` region markers — the designated hot path is unguarded"
+                ),
+            });
+        }
+        if in_region {
+            findings.push(Finding {
+                file: path,
+                line: 0,
+                check: "hot-path-alloc",
+                message: format!("unbalanced region markers: missing `{HOT_PATH_END}`"),
+            });
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Check 2: panic tokens on the service path
+// ---------------------------------------------------------------------------
+
+fn check_panic_tokens(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for scan_root in PANIC_SCAN_ROOTS {
+        for path in rust_files(&root.join(scan_root)) {
+            let Ok(source) = fs::read_to_string(&path) else { continue };
+            let lines = scan_file(&source);
+            for (idx, line) in lines.iter().enumerate() {
+                if line.in_test {
+                    continue;
+                }
+                for token in PANIC_TOKENS {
+                    if line.code.contains(token) && !allowed(&lines, idx, "panic") {
+                        findings.push(Finding {
+                            file: path.clone(),
+                            line: line.number,
+                            check: "panic",
+                            message: format!("`{token}` in non-test service code"),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Check 3: serde schema evolution
+// ---------------------------------------------------------------------------
+
+fn check_serde_defaults(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (rel, struct_name, baseline) in SERDE_BASELINE {
+        let path = root.join(rel);
+        let Ok(source) = fs::read_to_string(&path) else {
+            findings.push(Finding {
+                file: path,
+                line: 0,
+                check: "serde-default",
+                message: format!("file with baselined struct `{struct_name}` is missing"),
+            });
+            continue;
+        };
+        findings.extend(check_struct_fields(&path, &source, struct_name, baseline));
+    }
+    findings
+}
+
+/// Finds `struct_name` in `source` and reports fields outside
+/// `baseline` that lack `#[serde(default)]`.
+fn check_struct_fields(
+    path: &Path,
+    source: &str,
+    struct_name: &str,
+    baseline: &[&str],
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let lines: Vec<&str> = source.lines().collect();
+    let header = format!("struct {struct_name} ");
+    let header_brace = format!("struct {struct_name} {{");
+    let Some(start) = lines.iter().position(|l| {
+        l.contains(header_brace.as_str()) || l.trim_end().ends_with(header.trim_end())
+    }) else {
+        findings.push(Finding {
+            file: path.to_path_buf(),
+            line: 0,
+            check: "serde-default",
+            message: format!("baselined struct `{struct_name}` not found (baseline stale?)"),
+        });
+        return findings;
+    };
+    let mut has_default = false;
+    for (offset, raw) in lines[start + 1..].iter().enumerate() {
+        let line_no = start + 2 + offset;
+        let trimmed = raw.trim();
+        if trimmed.starts_with('}') {
+            break;
+        }
+        if trimmed.starts_with("#[") {
+            if trimmed.contains("serde(default") {
+                has_default = true;
+            }
+            continue;
+        }
+        if trimmed.starts_with("//") || trimmed.is_empty() {
+            continue;
+        }
+        let Some(field) = field_name(trimmed) else {
+            has_default = false;
+            continue;
+        };
+        if !baseline.contains(&field) && !has_default {
+            findings.push(Finding {
+                file: path.to_path_buf(),
+                line: line_no,
+                check: "serde-default",
+                message: format!(
+                    "field `{struct_name}.{field}` is newer than the v1 schema baseline but \
+                     lacks #[serde(default)]"
+                ),
+            });
+        }
+        has_default = false;
+    }
+    findings
+}
+
+/// Extracts the field name from a `pub name: Type,` line.
+fn field_name(trimmed: &str) -> Option<&str> {
+    let rest = trimmed.strip_prefix("pub ")?;
+    let colon = rest.find(':')?;
+    let name = rest[..colon].trim();
+    (!name.is_empty() && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'))
+        .then_some(name)
+}
+
+// ---------------------------------------------------------------------------
+// Check 4: workspace lint-header single source of truth
+// ---------------------------------------------------------------------------
+
+fn check_lint_headers(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let root_manifest = root.join("Cargo.toml");
+    match fs::read_to_string(&root_manifest) {
+        Ok(s) => {
+            if !s.contains("[workspace.lints.rust]")
+                || !s.contains("unsafe_code = \"forbid\"")
+                || !s.contains("missing_docs = \"warn\"")
+            {
+                findings.push(Finding {
+                    file: root_manifest.clone(),
+                    line: 0,
+                    check: "lint-header",
+                    message: "root Cargo.toml must declare [workspace.lints.rust] with \
+                              unsafe_code = \"forbid\" and missing_docs = \"warn\""
+                        .into(),
+                });
+            }
+        }
+        Err(_) => findings.push(Finding {
+            file: root_manifest.clone(),
+            line: 0,
+            check: "lint-header",
+            message: "root Cargo.toml is missing".into(),
+        }),
+    }
+    let crates_dir = root.join("crates");
+    let Ok(entries) = fs::read_dir(&crates_dir) else {
+        findings.push(Finding {
+            file: crates_dir,
+            line: 0,
+            check: "lint-header",
+            message: "crates/ directory is missing".into(),
+        });
+        return findings;
+    };
+    let mut members: Vec<PathBuf> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir() && p.join("Cargo.toml").is_file())
+        .collect();
+    members.sort();
+    for member in members {
+        let manifest = member.join("Cargo.toml");
+        if let Ok(s) = fs::read_to_string(&manifest) {
+            let opted_in = s
+                .split("[lints]")
+                .nth(1)
+                .is_some_and(|tail| tail.trim_start().starts_with("workspace = true"));
+            if !opted_in {
+                findings.push(Finding {
+                    file: manifest,
+                    line: 0,
+                    check: "lint-header",
+                    message: "member crate does not opt into [lints] workspace = true".into(),
+                });
+            }
+        }
+        let lib = member.join("src/lib.rs");
+        if let Ok(s) = fs::read_to_string(&lib) {
+            for (i, raw) in s.lines().enumerate() {
+                let t = raw.trim();
+                if t == "#![forbid(unsafe_code)]" || t == "#![warn(missing_docs)]" {
+                    findings.push(Finding {
+                        file: lib.clone(),
+                        line: i + 1,
+                        check: "lint-header",
+                        message: format!(
+                            "inline `{t}` duplicates the [workspace.lints] table — remove it"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Fixture tests: each check must fire on a seeded violation and stay
+// quiet when the allow-syntax or the invariant itself is honoured.
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A throw-away tree under the target dir, deleted on drop.
+    struct Fixture {
+        root: PathBuf,
+    }
+
+    impl Fixture {
+        fn new(name: &str) -> Self {
+            let root =
+                std::env::temp_dir().join(format!("xtask-fixture-{}-{name}", std::process::id()));
+            let _ = fs::remove_dir_all(&root);
+            fs::create_dir_all(&root).expect("create fixture root");
+            Self { root }
+        }
+
+        fn write(&self, rel: &str, contents: &str) {
+            let path = self.root.join(rel);
+            fs::create_dir_all(path.parent().expect("fixture paths have parents"))
+                .expect("create fixture dirs");
+            fs::write(path, contents).expect("write fixture file");
+        }
+
+        /// Seeds the minimal tree every check accepts, so a test can
+        /// perturb exactly one invariant.
+        fn write_clean_tree(&self) {
+            self.write(
+                "Cargo.toml",
+                "[workspace]\n[workspace.lints.rust]\nunsafe_code = \"forbid\"\n\
+                 missing_docs = \"warn\"\n",
+            );
+            for krate in ["runtime", "tfhe", "fft"] {
+                self.write(
+                    &format!("crates/{krate}/Cargo.toml"),
+                    "[package]\nname = \"x\"\n\n[lints]\nworkspace = true\n",
+                );
+                self.write(&format!("crates/{krate}/src/lib.rs"), "//! Docs.\n");
+            }
+            self.write(
+                "crates/tfhe/src/bootstrap.rs",
+                "// lint:hot-path-start\nfn rotate() {}\n// lint:hot-path-end\n",
+            );
+            self.write(
+                "crates/fft/src/soa.rs",
+                "// lint:hot-path-start\nfn kernel() {}\n// lint:hot-path-end\n",
+            );
+            self.write(
+                "crates/runtime/src/metrics.rs",
+                metrics_fixture(&[], &[], &[], &[]).as_str(),
+            );
+            self.write(
+                "crates/runtime/src/trace.rs",
+                "pub struct ChromeTraceEvent {\n    pub name: String,\n    pub cat: String,\n\
+                 \x20   pub ph: String,\n    pub ts: u64,\n    pub dur: u64,\n    pub pid: u64,\n\
+                 \x20   pub tid: u64,\n    pub args: ChromeTraceArgs,\n}\n\
+                 pub struct ChromeTraceArgs {\n    pub span: u64,\n    pub seq: u64,\n\
+                 \x20   pub epoch: Option<u64>,\n}\n",
+            );
+        }
+    }
+
+    impl Drop for Fixture {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.root);
+        }
+    }
+
+    /// Renders a metrics.rs stand-in whose four baselined structs carry
+    /// the full baseline field set plus the given extra field lines.
+    fn metrics_fixture(
+        class_extra: &[&str],
+        stage_extra: &[&str],
+        window_extra: &[&str],
+        report_extra: &[&str],
+    ) -> String {
+        let mut out = String::new();
+        let extras = [class_extra, stage_extra, window_extra, report_extra];
+        for ((_, name, fields), extra) in
+            SERDE_BASELINE.iter().filter(|(rel, _, _)| rel.ends_with("metrics.rs")).zip(extras)
+        {
+            out.push_str(&format!("pub struct {name} {{\n"));
+            for f in fields.iter() {
+                out.push_str(&format!("    pub {f}: u64,\n"));
+            }
+            for line in extra.iter() {
+                out.push_str(line);
+                out.push('\n');
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    fn findings_for(fix: &Fixture, check: &str) -> Vec<Finding> {
+        run_lint(&fix.root).into_iter().filter(|f| f.check == check).collect()
+    }
+
+    #[test]
+    fn clean_tree_passes_every_check() {
+        let fix = Fixture::new("clean");
+        fix.write_clean_tree();
+        let findings = run_lint(&fix.root);
+        assert!(findings.is_empty(), "unexpected findings: {findings:?}");
+    }
+
+    #[test]
+    fn hot_path_allocation_is_flagged() {
+        let fix = Fixture::new("hot-alloc");
+        fix.write_clean_tree();
+        fix.write(
+            "crates/fft/src/soa.rs",
+            "// lint:hot-path-start\nfn kernel() { let v = Vec::new(); let _ = v; }\n\
+             // lint:hot-path-end\n",
+        );
+        let findings = findings_for(&fix, "hot-path-alloc");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("Vec::new"));
+        assert_eq!(findings[0].line, 2);
+    }
+
+    #[test]
+    fn hot_path_alloc_allow_comment_suppresses() {
+        let fix = Fixture::new("hot-alloc-allow");
+        fix.write_clean_tree();
+        fix.write(
+            "crates/fft/src/soa.rs",
+            "// lint:hot-path-start\n// lint:allow(alloc) cold setup branch\n\
+             fn kernel() { let v = Vec::new(); let _ = v; }\n// lint:hot-path-end\n",
+        );
+        assert!(findings_for(&fix, "hot-path-alloc").is_empty());
+    }
+
+    #[test]
+    fn missing_hot_path_markers_are_flagged() {
+        let fix = Fixture::new("hot-markers");
+        fix.write_clean_tree();
+        fix.write("crates/fft/src/soa.rs", "fn kernel() {}\n");
+        let findings = findings_for(&fix, "hot-path-alloc");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("unguarded"));
+    }
+
+    #[test]
+    fn hot_path_allocations_in_tests_are_fine() {
+        let fix = Fixture::new("hot-test");
+        fix.write_clean_tree();
+        fix.write(
+            "crates/fft/src/soa.rs",
+            "// lint:hot-path-start\nfn kernel() {}\n#[cfg(test)]\nmod tests {\n\
+             \x20   fn t() { let v = Vec::new(); let _ = v; }\n}\n// lint:hot-path-end\n",
+        );
+        assert!(findings_for(&fix, "hot-path-alloc").is_empty());
+    }
+
+    #[test]
+    fn panic_tokens_are_flagged_outside_tests() {
+        let fix = Fixture::new("panic");
+        fix.write_clean_tree();
+        fix.write(
+            "crates/runtime/src/queue.rs",
+            "fn pop() { None::<u8>.unwrap(); }\n#[cfg(test)]\nmod tests {\n\
+             \x20   fn t() { None::<u8>.unwrap(); }\n}\n",
+        );
+        let findings = findings_for(&fix, "panic");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 1);
+    }
+
+    #[test]
+    fn panic_allow_comment_suppresses_same_and_previous_line() {
+        let fix = Fixture::new("panic-allow");
+        fix.write_clean_tree();
+        fix.write(
+            "crates/runtime/src/queue.rs",
+            "fn a() { None::<u8>.unwrap() } // lint:allow(panic) invariant\n\
+             // lint:allow(panic) invariant\nfn b() { None::<u8>.unwrap() }\n",
+        );
+        assert!(findings_for(&fix, "panic").is_empty());
+    }
+
+    #[test]
+    fn panic_tokens_in_comments_and_strings_are_ignored() {
+        let fix = Fixture::new("panic-comments");
+        fix.write_clean_tree();
+        fix.write(
+            "crates/runtime/src/doc.rs",
+            "/// Example: `x.unwrap()` then panic!(\"no\").\n\
+             fn msg() -> &'static str { \".unwrap() panic! todo!\" }\n\
+             /* block comment .expect( spanning\n   lines with panic! tokens */\n",
+        );
+        assert!(findings_for(&fix, "panic").is_empty());
+    }
+
+    #[test]
+    fn expect_err_and_unwrap_or_else_are_not_panic_tokens() {
+        let fix = Fixture::new("panic-lookalikes");
+        fix.write_clean_tree();
+        fix.write(
+            "crates/runtime/src/ok.rs",
+            "fn f(r: Result<u8, u8>) -> u8 { r.unwrap_or_else(|e| e) }\n\
+             fn g(r: Result<u8, u8>) -> u8 { r.expect_err(\"want err\") }\n",
+        );
+        assert!(findings_for(&fix, "panic").is_empty());
+    }
+
+    #[test]
+    fn new_serde_field_without_default_is_flagged() {
+        let fix = Fixture::new("serde");
+        fix.write_clean_tree();
+        fix.write(
+            "crates/runtime/src/metrics.rs",
+            metrics_fixture(&[], &[], &[], &["    pub brand_new_counter: u64,"]).as_str(),
+        );
+        let findings = findings_for(&fix, "serde-default");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("RuntimeReport.brand_new_counter"));
+    }
+
+    #[test]
+    fn new_serde_field_with_default_passes() {
+        let fix = Fixture::new("serde-ok");
+        fix.write_clean_tree();
+        fix.write(
+            "crates/runtime/src/metrics.rs",
+            metrics_fixture(&[], &[], &[], &["    #[serde(default)]", "    pub new_one: u64,"])
+                .as_str(),
+        );
+        assert!(findings_for(&fix, "serde-default").is_empty());
+    }
+
+    #[test]
+    fn missing_workspace_lints_table_is_flagged() {
+        let fix = Fixture::new("header-root");
+        fix.write_clean_tree();
+        fix.write("Cargo.toml", "[workspace]\n");
+        let findings = findings_for(&fix, "lint-header");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("[workspace.lints.rust]"));
+    }
+
+    #[test]
+    fn member_without_lints_opt_in_is_flagged() {
+        let fix = Fixture::new("header-member");
+        fix.write_clean_tree();
+        fix.write("crates/runtime/Cargo.toml", "[package]\nname = \"x\"\n");
+        let findings = findings_for(&fix, "lint-header");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("opt into"));
+    }
+
+    #[test]
+    fn inline_header_duplicating_workspace_table_is_flagged() {
+        let fix = Fixture::new("header-inline");
+        fix.write_clean_tree();
+        fix.write("crates/tfhe/src/lib.rs", "//! Docs.\n#![forbid(unsafe_code)]\n");
+        let findings = findings_for(&fix, "lint-header");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("duplicates"));
+    }
+}
