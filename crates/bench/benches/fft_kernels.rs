@@ -12,7 +12,7 @@
 //! be ≥ 1.5× faster on the new kernel than on the seed kernel.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use strix_fft::{Complex64, FftPlan, NegacyclicFft};
+use strix_fft::{Complex64, FftPlan, NegacyclicFft, SoaSpectrum, StrixFftBackend};
 
 /// The seed negacyclic transform: explicit twist tables around the
 /// natural-order radix-2 `FftPlan`, exactly as the seed
@@ -100,5 +100,70 @@ fn bench_transform_pair(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_transform_pair);
+/// Per-backend smoke over the batched SoA entry points — one bench per
+/// *available* backend (unavailable tiers are skipped, so the group
+/// degrades gracefully on portable-only hardware). The ISSUE 9
+/// acceptance bar reads off this group: `forward_many` at N=1024/2048,
+/// best backend ≥ 1.3× over portable.
+fn bench_backend_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_backends");
+    // One CMUX external product's worth of transforms per call, so the
+    // stage-across-batch schedule is exercised like the hot path.
+    let batch = 8usize;
+    for n in [1024usize, 2048] {
+        let polys: Vec<i64> = (0..(batch * n) as i64).map(|i| (i * 31 % 1024) - 512).collect();
+        group.throughput(Throughput::Elements((batch * n) as u64));
+        for backend in [StrixFftBackend::Portable, StrixFftBackend::Avx2, StrixFftBackend::Avx512] {
+            if !backend.is_available() {
+                continue;
+            }
+            let fft = NegacyclicFft::with_backend(n, backend).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(format!("forward_many/{backend}"), n),
+                &n,
+                |b, _| {
+                    let mut spec = SoaSpectrum::new(batch, n / 2);
+                    b.iter(|| fft.forward_i64_many(&polys, &mut spec).unwrap())
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("backward_many/{backend}"), n),
+                &n,
+                |b, _| {
+                    let mut spec = SoaSpectrum::new(batch, n / 2);
+                    fft.forward_i64_many(&polys, &mut spec).unwrap();
+                    let mut time = vec![0.0f64; batch * n];
+                    let mut scratch = SoaSpectrum::new(batch, n / 2);
+                    b.iter(|| {
+                        scratch.copy_from(&spec);
+                        fft.backward_f64_many(&mut scratch, &mut time).unwrap();
+                        time[0]
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("vma_soa/{backend}"), n),
+                &n,
+                |b, _| {
+                    let mut acc = SoaSpectrum::new(batch, n / 2);
+                    let mut a = SoaSpectrum::new(batch, n / 2);
+                    fft.forward_i64_many(&polys, &mut a).unwrap();
+                    let key_re = vec![0.5f64; n / 2];
+                    let key_im = vec![-0.25f64; n / 2];
+                    b.iter(|| {
+                        for t in 0..batch {
+                            let (ar, ai) = a.transform(t);
+                            // Split borrows: accumulate into acc's planes.
+                            let (sr, si) = acc.transform_mut(t);
+                            fft.pointwise_mul_add_soa(sr, si, ar, ai, &key_re, &key_im);
+                        }
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transform_pair, bench_backend_matrix);
 criterion_main!(benches);

@@ -19,6 +19,11 @@
 //! bound the parameter sets are documented to keep). CI runs this next
 //! to the test suite so a parameter or noise-model change that erodes
 //! the shipped margins fails loudly with the offending node named.
+//!
+//! Unlike `bench_snapshot`/`bench_service`, this tool takes no
+//! `--backend` override: every SIMD kernel backend is bit-identical to
+//! the portable scalar path, so the noise margins cannot depend on
+//! which tier the CPU dispatch selects.
 
 use std::process::ExitCode;
 
@@ -146,6 +151,10 @@ fn main() -> ExitCode {
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!("usage: analyze_program [--check] [--threshold SIGMAS]");
+                eprintln!(
+                    "note: margins are SIMD-backend-independent (every STRIX_FFT_BACKEND \
+                     tier is bit-identical), so there is no --backend flag here"
+                );
                 return ExitCode::FAILURE;
             }
         }

@@ -32,8 +32,14 @@
 //! that telemetry, and the measured overhead is recorded in the
 //! snapshot (`trace_overhead_percent`).
 //!
+//! `--backend auto|portable|avx2|avx512` (default `auto`) forces the
+//! SIMD kernel backend the runtime's spectral transforms run on; the
+//! snapshot's config block records the resolved tier.
+//!
 //! `--baseline <file>` compares against a previous snapshot, warn-only
 //! (exit status stays 0): CI surfaces the report, humans judge it.
+//! Comparisons are skipped when the baseline's shape — parameters,
+//! geometry, or kernel backend — differs from the measured run.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
@@ -48,7 +54,7 @@ use strix_runtime::{
 use strix_tfhe::bootstrap::Lut;
 use strix_tfhe::lwe::LweCiphertext;
 use strix_tfhe::torus::encode_fraction;
-use strix_tfhe::{ServerKey, TfheParameters};
+use strix_tfhe::{ServerKey, StrixFftBackend, TfheParameters};
 
 /// Offered loads as fractions of measured capacity. The last rung sits
 /// well past 1.0× so its excess arrivals outrun the system's whole
@@ -338,12 +344,19 @@ fn compare_against_baseline(old: &str, baseline_path: &str, fresh: &ServiceBench
 
 fn main() {
     let mut fast = false;
+    let mut backend = StrixFftBackend::Auto;
     let mut out_path = String::from("BENCH_service.json");
     let mut baseline: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--fast" => fast = true,
+            "--backend" => {
+                backend = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--backend <auto|portable|avx2|avx512>");
+            }
             "--out" => out_path = args.next().expect("--out <path>"),
             "--baseline" => baseline = Some(args.next().expect("--baseline <file>")),
             other => {
@@ -356,11 +369,14 @@ fn main() {
     // Capture the baseline *now*, before anything writes `out_path`.
     let baseline_contents = baseline.as_ref().map(|p| (p.clone(), std::fs::read_to_string(p)));
 
-    let shape = Shape::new(fast);
+    let mut shape = Shape::new(fast);
+    shape.params = shape.params.with_fft_backend(backend);
     let server = Arc::new(ServerKey::generate_for_benchmark(&shape.params, 0xBE7C));
+    let kernel_backend = server.fft_backend().label().to_string();
     let lut = Arc::new(Lut::sign(shape.params.polynomial_size, encode_fraction(1, 3)));
     eprintln!(
-        "bench_service: params={} epoch={}x{} clients={CLIENTS} duration={:?}/point",
+        "bench_service: params={} epoch={}x{} clients={CLIENTS} duration={:?}/point \
+         backend={kernel_backend}",
         shape.params.name, shape.geometry.tvlp, shape.geometry.core_batch, shape.duration
     );
 
@@ -427,6 +443,7 @@ fn main() {
             clients: CLIENTS,
             max_delay_ms: shape.max_delay.as_secs_f64() * 1e3,
             profile_every: 16,
+            kernel_backend,
         },
         capacity_pbs_per_s: capacity,
         trace_overhead_percent,

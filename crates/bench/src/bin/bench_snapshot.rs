@@ -30,14 +30,24 @@
 //! committed JSON explains *where* a regression or win lives, not just
 //! that one happened.
 //!
+//! `--backend auto|portable|avx2|avx512` (default `auto`) forces the
+//! SIMD kernel backend the measured transforms run on; the snapshot
+//! records the *resolved* backend (`kernel_backend`) plus the host's
+//! detected CPU features, and a `fft_backends` table timing every
+//! backend available on the host side by side. The per-backend rows
+//! run the batched SoA entry points (per-transform µs at a batch of
+//! 8) — the path the SIMD dispatch actually covers; the `fft` rows
+//! keep the historical single-transform measurement.
+//!
 //! `--baseline <file>` compares the fresh numbers against a previous
 //! snapshot and prints a warn-only report (exit status stays 0 — CI
 //! uses it as a visibility check, not a gate, since container timing
-//! is noisy).
+//! is noisy). Comparisons are skipped when the baseline was measured
+//! at different parameters, thread/batch shape, or kernel backend.
 
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
-use strix_fft::{Complex64, NegacyclicFft};
+use strix_fft::{detected_cpu_features, Complex64, NegacyclicFft, SoaSpectrum, StrixFftBackend};
 use strix_tfhe::bootstrap::{BootstrapKey, Lut, MultiBitBootstrapKey, PbsJob};
 use strix_tfhe::lwe::LweCiphertext;
 use strix_tfhe::profiler::{PbsStage, StageTimings};
@@ -68,8 +78,8 @@ struct FftRow {
     pair_us: f64,
 }
 
-fn measure_fft(n: usize) -> FftRow {
-    let fft = NegacyclicFft::new(n).unwrap();
+fn measure_fft(n: usize, backend: StrixFftBackend) -> FftRow {
+    let fft = NegacyclicFft::with_backend(n, backend).unwrap();
     let poly: Vec<i64> = (0..n as i64).map(|i| (i * 31 % 1024) - 512).collect();
     let mut spec = vec![Complex64::ZERO; n / 2];
     let mut time = vec![0.0f64; n];
@@ -95,6 +105,48 @@ fn measure_fft(n: usize) -> FftRow {
         forward_us: forward * 1e6,
         inverse_us: (inverse - clone_cost).max(0.0) * 1e6,
         pair_us: pair * 1e6,
+    }
+}
+
+/// Batch width of the per-backend rows: the criterion bench and the
+/// CMUX hot path both run batches of this order ((k+1)·l digit
+/// polynomials per external product).
+const BACKEND_FFT_BATCH: usize = 8;
+
+/// Measures the *batched SoA* entry points (`forward_i64_many` /
+/// `backward_f64_many`) on one backend, reporting per-transform µs.
+/// These — not the single interleaved transforms above — are what the
+/// SIMD backends dispatch, so this is the row where a tier's speedup
+/// (or regression) is visible.
+fn measure_fft_batched(n: usize, backend: StrixFftBackend) -> FftRow {
+    let fft = NegacyclicFft::with_backend(n, backend).unwrap();
+    let polys: Vec<i64> =
+        (0..(n * BACKEND_FFT_BATCH) as i64).map(|i| (i * 31 % 1024) - 512).collect();
+    let mut spec = SoaSpectrum::new(BACKEND_FFT_BATCH, n / 2);
+    let mut time = vec![0.0f64; n * BACKEND_FFT_BATCH];
+
+    let forward = time_per_call(|| fft.forward_i64_many(&polys, &mut spec).unwrap());
+    fft.forward_i64_many(&polys, &mut spec).unwrap();
+    let inverse = time_per_call(|| {
+        // The inverse consumes the batch as scratch; refresh it so
+        // every iteration transforms honest data.
+        let mut s = spec.clone();
+        fft.backward_f64_many(&mut s, &mut time).unwrap();
+    });
+    let clone_cost = time_per_call(|| {
+        let s = spec.clone();
+        std::hint::black_box(&s);
+    });
+    let pair = time_per_call(|| {
+        fft.forward_i64_many(&polys, &mut spec).unwrap();
+        fft.backward_f64_many(&mut spec, &mut time).unwrap();
+    });
+    let per_transform_us = 1e6 / BACKEND_FFT_BATCH as f64;
+    FftRow {
+        n,
+        forward_us: forward * per_transform_us,
+        inverse_us: (inverse - clone_cost).max(0.0) * per_transform_us,
+        pair_us: pair * per_transform_us,
     }
 }
 
@@ -141,6 +193,7 @@ fn compare_against_baseline(
     params_name: &str,
     threads: usize,
     batch: usize,
+    backend: &str,
     per_pbs_ms: f64,
 ) {
     let old_name = json_string(old, "name").unwrap_or_default();
@@ -150,6 +203,19 @@ fn compare_against_baseline(
              ({params_name}); comparison skipped"
         );
         return;
+    }
+    // A v2 baseline carries no `kernel_backend`: those numbers predate
+    // the SIMD tiers and remain comparable (a backend win *should*
+    // show against them). A v3 baseline from a different backend is a
+    // different machine configuration, not a code change.
+    if let Some(old_backend) = json_string(old, "kernel_backend") {
+        if old_backend != backend {
+            eprintln!(
+                "bench_snapshot: baseline backend ({old_backend}) differs from measured \
+                 ({backend}); comparison skipped"
+            );
+            return;
+        }
     }
     // per_pbs_ms is only comparable at the same shard count and epoch
     // size — a 4-thread run against a 1-thread baseline would print a
@@ -233,6 +299,7 @@ fn main() {
     let mut batch = 8usize;
     let mut kernel = String::from("both");
     let mut grouping = 3usize;
+    let mut backend = StrixFftBackend::Auto;
     let mut out_path = String::from("BENCH_pbs.json");
     let mut baseline: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -250,6 +317,12 @@ fn main() {
             }
             "--grouping" => {
                 grouping = args.next().and_then(|v| v.parse().ok()).expect("--grouping <factor>");
+            }
+            "--backend" => {
+                backend = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--backend <auto|portable|avx2|avx512>");
             }
             "--out" => out_path = args.next().expect("--out <path>"),
             "--baseline" => baseline = Some(args.next().expect("--baseline <file>")),
@@ -274,18 +347,45 @@ fn main() {
     // against the previous snapshot, not the one being produced.
     let baseline_contents = baseline.as_ref().map(|p| (p.clone(), std::fs::read_to_string(p)));
 
-    let params = if fast { TfheParameters::testing_fast() } else { TfheParameters::set_ii() };
+    let params = if fast { TfheParameters::testing_fast() } else { TfheParameters::set_ii() }
+        .with_fft_backend(backend);
     if fast {
         batch = batch.min(4);
     }
+    // The backend the PBS/FFT measurements below actually run on — the
+    // snapshot records the resolved tier, never "auto".
+    let resolved = match backend.resolve() {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench_snapshot: {e}");
+            std::process::exit(2);
+        }
+    };
+    let cpu_features = detected_cpu_features();
     eprintln!(
-        "bench_snapshot: params={} batch={batch} threads={threads} kernel={kernel}",
-        params.name
+        "bench_snapshot: params={} batch={batch} threads={threads} kernel={kernel} \
+         backend={resolved} cpu=[{}]",
+        params.name,
+        cpu_features.join(" "),
     );
 
-    // FFT rows: the per-transform numbers future PRs diff against.
+    // FFT rows: the per-transform numbers future PRs diff against,
+    // measured on the selected backend.
     let fft_sizes: &[usize] = if fast { &[256, 1024] } else { &[1024, 2048] };
-    let fft_rows: Vec<FftRow> = fft_sizes.iter().map(|&n| measure_fft(n)).collect();
+    let fft_rows: Vec<FftRow> = fft_sizes.iter().map(|&n| measure_fft(n, backend)).collect();
+
+    // Per-backend FFT rows: every backend the host supports, timed on
+    // the same sizes through the batched SoA entry points (the only
+    // transforms the SIMD dispatch covers), so the committed snapshot
+    // shows the per-tier speedup (and any regression in a tier nobody
+    // exercises by default). Values are per-transform µs at a batch of
+    // BACKEND_FFT_BATCH.
+    let backend_rows: Vec<(StrixFftBackend, FftRow)> =
+        [StrixFftBackend::Portable, StrixFftBackend::Avx2, StrixFftBackend::Avx512]
+            .into_iter()
+            .filter(|b| b.is_available())
+            .flat_map(|b| fft_sizes.iter().map(move |&n| (b, measure_fft_batched(n, b))))
+            .collect();
 
     // PBS throughput on the timing-equivalent benchmark keys: one
     // key-major epoch of `batch` sign-LUT bootstraps per kernel,
@@ -359,6 +459,18 @@ fn main() {
             )
         })
         .collect();
+    let backend_json: Vec<String> = backend_rows
+        .iter()
+        .map(|(b, r)| {
+            format!(
+                "    {{ \"backend\": \"{b}\", \"n\": {}, \"batch\": {BACKEND_FFT_BATCH}, \
+                 \"forward_us\": {:.3}, \"inverse_us\": {:.3}, \"pair_us\": {:.3} }}",
+                r.n, r.forward_us, r.inverse_us, r.pair_us
+            )
+        })
+        .collect();
+    let features_json =
+        cpu_features.iter().map(|f| format!("\"{f}\"")).collect::<Vec<_>>().join(", ");
     let stage_obj = |m: &KernelMeasure| {
         std::iter::once("    \"threads\": 1".to_string())
             .chain(m.stages.iter().map(|(k, v)| format!("    \"{k}\": {v:.3}")))
@@ -386,9 +498,11 @@ fn main() {
     }
     let json = format!(
         "{{\n\
-         \x20 \"schema\": \"strix-bench-snapshot-v2\",\n\
+         \x20 \"schema\": \"strix-bench-snapshot-v3\",\n\
          \x20 \"unix_time\": {unix_time},\n\
          \x20 \"git_commit\": \"{commit}\",\n\
+         \x20 \"kernel_backend\": \"{resolved}\",\n\
+         \x20 \"cpu_features\": [{features_json}],\n\
          \x20 \"params\": {{\n\
          \x20   \"name\": \"{name}\",\n\
          \x20   \"lwe_dimension\": {n_lwe},\n\
@@ -401,7 +515,8 @@ fn main() {
          \x20 }},\n\
          \x20 \"threads\": {threads},\n\
          {kernels},\n\
-         \x20 \"fft\": [\n{fft}\n  ]\n\
+         \x20 \"fft\": [\n{fft}\n  ],\n\
+         \x20 \"fft_backends\": [\n{fft_backends}\n  ]\n\
          }}\n",
         commit = git_commit(),
         name = params.name,
@@ -414,6 +529,7 @@ fn main() {
         ks_level = params.ks_level,
         kernels = kernel_blocks.join(",\n"),
         fft = fft_json.join(",\n"),
+        fft_backends = backend_json.join(",\n"),
     );
     std::fs::write(&out_path, &json).expect("write snapshot JSON");
     println!("{json}");
@@ -421,7 +537,15 @@ fn main() {
     match baseline_contents {
         Some((path, Ok(old))) => {
             if let Some(m) = &classical {
-                compare_against_baseline(&old, &path, &params.name, threads, batch, m.per_pbs_ms);
+                compare_against_baseline(
+                    &old,
+                    &path,
+                    &params.name,
+                    threads,
+                    batch,
+                    resolved.label(),
+                    m.per_pbs_ms,
+                );
             } else {
                 eprintln!(
                     "bench_snapshot: classical kernel not measured; baseline comparison skipped"

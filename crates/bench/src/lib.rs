@@ -70,6 +70,13 @@ pub struct ServiceBenchConfig {
     pub max_delay_ms: f64,
     /// Stage-profiling period (every Nth epoch; 0 = off).
     pub profile_every: u64,
+    /// Resolved SIMD kernel backend the runtime's transforms ran on
+    /// (`"portable"` / `"avx2"` / `"avx512"`; empty in snapshots from
+    /// pre-backend builds). Part of the comparability shape: numbers
+    /// from different backends are different machines, not different
+    /// code.
+    #[serde(default)]
+    pub kernel_backend: String,
 }
 
 /// One offered-load point of the SLO sweep.
@@ -297,6 +304,7 @@ mod tests {
                 clients: 8,
                 max_delay_ms: 40.0,
                 profile_every: 16,
+                kernel_backend: "avx2".into(),
             },
             capacity_pbs_per_s: 37.25,
             trace_overhead_percent: 0.4,

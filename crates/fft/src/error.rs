@@ -3,6 +3,8 @@
 use std::error::Error;
 use std::fmt;
 
+use crate::backend::{StrixFftBackend, BACKEND_ENV_VAR};
+
 /// Errors produced by FFT plan construction and execution.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FftError {
@@ -20,6 +22,15 @@ pub enum FftError {
         /// The length that was supplied.
         actual: usize,
     },
+    /// An explicitly requested kernel backend is not supported by the
+    /// CPU this process is running on.
+    BackendUnavailable {
+        /// The backend that was requested.
+        requested: StrixFftBackend,
+    },
+    /// The `STRIX_FFT_BACKEND` environment variable holds a value that
+    /// is not one of `auto`, `portable`, `avx2`, or `avx512`.
+    InvalidBackendEnv,
 }
 
 impl fmt::Display for FftError {
@@ -30,6 +41,12 @@ impl fmt::Display for FftError {
             }
             FftError::LengthMismatch { expected, actual } => {
                 write!(f, "buffer length {actual} does not match plan size {expected}")
+            }
+            FftError::BackendUnavailable { requested } => {
+                write!(f, "kernel backend {requested} is not supported by this cpu")
+            }
+            FftError::InvalidBackendEnv => {
+                write!(f, "{BACKEND_ENV_VAR} must be one of auto, portable, avx2, avx512",)
             }
         }
     }
@@ -47,6 +64,10 @@ mod tests {
         assert_eq!(e.to_string(), "transform size 3 is not a power of two >= 2");
         let e = FftError::LengthMismatch { expected: 8, actual: 4 };
         assert_eq!(e.to_string(), "buffer length 4 does not match plan size 8");
+        let e = FftError::BackendUnavailable { requested: StrixFftBackend::Avx512 };
+        assert_eq!(e.to_string(), "kernel backend avx512 is not supported by this cpu");
+        let e = FftError::InvalidBackendEnv;
+        assert_eq!(e.to_string(), "STRIX_FFT_BACKEND must be one of auto, portable, avx2, avx512");
     }
 
     #[test]

@@ -35,6 +35,7 @@
 //! correctness oracle; [`SpectralPlan::permutation`] gives the exact
 //! bin→slot map connecting the two conventions.
 
+use crate::backend::{self, StrixFftBackend};
 use crate::complex::Complex64;
 use crate::error::FftError;
 use crate::is_pow2_at_least;
@@ -304,11 +305,12 @@ fn apply_inv_stage(stage: &Stage, data: &mut [Complex64]) {
 /// One forward SoA stage over one transform's split planes. Mirrors
 /// [`apply_fwd_stage`] operation for operation: every butterfly
 /// computes the same IEEE expressions in the same order, so the two
-/// layouts produce bit-identical spectra. The split planes let every
-/// loop below run over plain contiguous `f64` slices (sliced to exact
-/// lengths so the compiler drops the bounds checks and emits packed
-/// arithmetic).
-fn apply_fwd_stage_soa(stage: &Stage, re: &mut [f64], im: &mut [f64]) {
+/// layouts produce bit-identical spectra — on every backend, since the
+/// SIMD kernels pin the identical per-element expressions (see
+/// [`crate::backend`]). The twiddle-less unit stage (`len == 4`
+/// radix-4) stays scalar here: its add/sub network autovectorises
+/// fully and has no contiguous-lane structure worth dispatching.
+fn apply_fwd_stage_soa(kb: StrixFftBackend, stage: &Stage, re: &mut [f64], im: &mut [f64]) {
     let len = stage.len;
     if len == 4 && stage.radix == Radix::Four {
         for (re4, im4) in re.chunks_exact_mut(4).zip(im.chunks_exact_mut(4)) {
@@ -328,60 +330,16 @@ fn apply_fwd_stage_soa(stage: &Stage, re: &mut [f64], im: &mut [f64]) {
         }
         return;
     }
-    for (bre, bim) in re.chunks_exact_mut(len).zip(im.chunks_exact_mut(len)) {
-        match stage.radix {
-            Radix::Two => {
-                let q = len / 2;
-                let (lo_r, hi_r) = bre.split_at_mut(q);
-                let (lo_i, hi_i) = bim.split_at_mut(q);
-                let (wr, wi) = (&stage.tw_re[..q], &stage.tw_im[..q]);
-                for j in 0..q {
-                    let (xr, xi) = (lo_r[j], lo_i[j]);
-                    let (yr, yi) = (hi_r[j], hi_i[j]);
-                    lo_r[j] = xr + yr;
-                    lo_i[j] = xi + yi;
-                    let (br, bi) = cmul(xr - yr, xi - yi, wr[j], wi[j]);
-                    hi_r[j] = br;
-                    hi_i[j] = bi;
-                }
-            }
-            Radix::Four => {
-                let q = len / 4;
-                let (r0, rest) = bre.split_at_mut(q);
-                let (r1, rest) = rest.split_at_mut(q);
-                let (r2, r3) = rest.split_at_mut(q);
-                let (i0, rest) = bim.split_at_mut(q);
-                let (i1, rest) = rest.split_at_mut(q);
-                let (i2, i3) = rest.split_at_mut(q);
-                let (w1r, w1i) = (&stage.tw_re[..q], &stage.tw_im[..q]);
-                let (w2r, w2i) = (&stage.tw_re[q..2 * q], &stage.tw_im[q..2 * q]);
-                let (w3r, w3i) = (&stage.tw_re[2 * q..3 * q], &stage.tw_im[2 * q..3 * q]);
-                for j in 0..q {
-                    let (p02r, p02i) = (r0[j] + r2[j], i0[j] + i2[j]);
-                    let (m02r, m02i) = (r0[j] - r2[j], i0[j] - i2[j]);
-                    let (p13r, p13i) = (r1[j] + r3[j], i1[j] + i3[j]);
-                    let (m13ir, m13ii) = (-(i1[j] - i3[j]), r1[j] - r3[j]);
-                    r0[j] = p02r + p13r;
-                    i0[j] = p02i + p13i;
-                    let (y1r, y1i) = cmul(m02r - m13ir, m02i - m13ii, w1r[j], w1i[j]);
-                    r1[j] = y1r;
-                    i1[j] = y1i;
-                    let (y2r, y2i) = cmul(p02r - p13r, p02i - p13i, w2r[j], w2i[j]);
-                    r2[j] = y2r;
-                    i2[j] = y2i;
-                    let (y3r, y3i) = cmul(m02r + m13ir, m02i + m13ii, w3r[j], w3i[j]);
-                    r3[j] = y3r;
-                    i3[j] = y3i;
-                }
-            }
-        }
+    match stage.radix {
+        Radix::Two => backend::fwd_stage_r2(kb, re, im, len, &stage.tw_re, &stage.tw_im),
+        Radix::Four => backend::fwd_stage_r4(kb, re, im, len, &stage.tw_re, &stage.tw_im),
     }
 }
 
 /// One inverse SoA stage over one transform's split planes — the exact
 /// mirror of [`apply_inv_stage`] (same expressions, same order,
-/// bit-identical results).
-fn apply_inv_stage_soa(stage: &Stage, re: &mut [f64], im: &mut [f64]) {
+/// bit-identical results on every backend).
+fn apply_inv_stage_soa(kb: StrixFftBackend, stage: &Stage, re: &mut [f64], im: &mut [f64]) {
     let len = stage.len;
     if len == 4 && stage.radix == Radix::Four {
         for (re4, im4) in re.chunks_exact_mut(4).zip(im.chunks_exact_mut(4)) {
@@ -400,52 +358,9 @@ fn apply_inv_stage_soa(stage: &Stage, re: &mut [f64], im: &mut [f64]) {
         }
         return;
     }
-    for (bre, bim) in re.chunks_exact_mut(len).zip(im.chunks_exact_mut(len)) {
-        match stage.radix {
-            Radix::Two => {
-                let q = len / 2;
-                let (lo_r, hi_r) = bre.split_at_mut(q);
-                let (lo_i, hi_i) = bim.split_at_mut(q);
-                let (wr, wi) = (&stage.tw_re[..q], &stage.tw_im[..q]);
-                for j in 0..q {
-                    let (xr, xi) = (lo_r[j], lo_i[j]);
-                    let (yr, yi) = cmul(hi_r[j], hi_i[j], wr[j], wi[j]);
-                    lo_r[j] = xr + yr;
-                    lo_i[j] = xi + yi;
-                    hi_r[j] = xr - yr;
-                    hi_i[j] = xi - yi;
-                }
-            }
-            Radix::Four => {
-                let q = len / 4;
-                let (r0, rest) = bre.split_at_mut(q);
-                let (r1, rest) = rest.split_at_mut(q);
-                let (r2, r3) = rest.split_at_mut(q);
-                let (i0, rest) = bim.split_at_mut(q);
-                let (i1, rest) = rest.split_at_mut(q);
-                let (i2, i3) = rest.split_at_mut(q);
-                let (w1r, w1i) = (&stage.tw_re[..q], &stage.tw_im[..q]);
-                let (w2r, w2i) = (&stage.tw_re[q..2 * q], &stage.tw_im[q..2 * q]);
-                let (w3r, w3i) = (&stage.tw_re[2 * q..3 * q], &stage.tw_im[2 * q..3 * q]);
-                for j in 0..q {
-                    let (u1r, u1i) = cmul(r1[j], i1[j], w1r[j], w1i[j]);
-                    let (u2r, u2i) = cmul(r2[j], i2[j], w2r[j], w2i[j]);
-                    let (u3r, u3i) = cmul(r3[j], i3[j], w3r[j], w3i[j]);
-                    let (p02r, p02i) = (r0[j] + u2r, i0[j] + u2i);
-                    let (m02r, m02i) = (r0[j] - u2r, i0[j] - u2i);
-                    let (p13r, p13i) = (u1r + u3r, u1i + u3i);
-                    let (m13ir, m13ii) = (-(u1i - u3i), u1r - u3r);
-                    r0[j] = p02r + p13r;
-                    i0[j] = p02i + p13i;
-                    r1[j] = m02r + m13ir;
-                    i1[j] = m02i + m13ii;
-                    r2[j] = p02r - p13r;
-                    i2[j] = p02i - p13i;
-                    r3[j] = m02r - m13ir;
-                    i3[j] = m02i - m13ii;
-                }
-            }
-        }
+    match stage.radix {
+        Radix::Two => backend::inv_stage_r2(kb, re, im, len, &stage.tw_re, &stage.tw_im),
+        Radix::Four => backend::inv_stage_r4(kb, re, im, len, &stage.tw_re, &stage.tw_im),
     }
 }
 
@@ -481,6 +396,9 @@ fn apply_inv_stage_soa(stage: &Stage, re: &mut [f64], im: &mut [f64]) {
 #[derive(Clone, Debug)]
 pub struct SpectralPlan {
     size: usize,
+    /// The resolved kernel backend every batched (SoA) stage runs on —
+    /// never [`StrixFftBackend::Auto`] after construction.
+    backend: StrixFftBackend,
     /// DIF stages, largest block first (`len = n, …, 4|2`).
     fwd_stages: Vec<Stage>,
     /// DIT stages, smallest block first — each the exact inverse of
@@ -492,13 +410,33 @@ impl SpectralPlan {
     /// Smallest supported transform size.
     pub const MIN_SIZE: usize = 1;
 
-    /// Creates a plan for transforms of `size` points.
+    /// Creates a plan for transforms of `size` points, selecting the
+    /// kernel backend by runtime CPU detection (honouring the
+    /// `STRIX_FFT_BACKEND` environment override).
     ///
     /// # Errors
     ///
     /// Returns [`FftError::InvalidSize`] if `size` is not a power of
-    /// two.
+    /// two, or [`FftError::InvalidBackendEnv`] if the environment
+    /// override holds an unknown backend name.
     pub fn new(size: usize) -> Result<Self, FftError> {
+        Self::with_backend(size, StrixFftBackend::Auto)
+    }
+
+    /// Creates a plan for transforms of `size` points on an explicitly
+    /// requested kernel backend. [`StrixFftBackend::Auto`] behaves
+    /// like [`Self::new`]; a concrete backend is used as-is after a
+    /// CPU-capability check.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::InvalidSize`] if `size` is not a power of
+    /// two, [`FftError::BackendUnavailable`] if the requested backend
+    /// is not supported by this CPU, or
+    /// [`FftError::InvalidBackendEnv`] for a malformed environment
+    /// override under `Auto`.
+    pub fn with_backend(size: usize, backend: StrixFftBackend) -> Result<Self, FftError> {
+        let backend = backend.resolve()?;
         if !is_pow2_at_least(size, Self::MIN_SIZE) {
             return Err(FftError::InvalidSize { requested: size, min: Self::MIN_SIZE });
         }
@@ -530,13 +468,20 @@ impl SpectralPlan {
         let fwd_stages = build(-1.0);
         let mut inv_stages = build(1.0);
         inv_stages.reverse();
-        Ok(Self { size, fwd_stages, inv_stages })
+        Ok(Self { size, backend, fwd_stages, inv_stages })
     }
 
     /// The transform size this plan was built for.
     #[inline]
     pub fn size(&self) -> usize {
         self.size
+    }
+
+    /// The resolved kernel backend the batched entry points run on
+    /// (never [`StrixFftBackend::Auto`]).
+    #[inline]
+    pub fn backend(&self) -> StrixFftBackend {
+        self.backend
     }
 
     /// Number of butterfly stages (radix-4 counts once) — the depth of
@@ -611,7 +556,7 @@ impl SpectralPlan {
         for stage in &self.fwd_stages {
             for t in 0..batch.count() {
                 let (re, im) = batch.transform_mut(t);
-                apply_fwd_stage_soa(stage, re, im);
+                apply_fwd_stage_soa(self.backend, stage, re, im);
             }
         }
         Ok(())
@@ -631,7 +576,7 @@ impl SpectralPlan {
         for stage in &self.inv_stages {
             for t in 0..batch.count() {
                 let (re, im) = batch.transform_mut(t);
-                apply_inv_stage_soa(stage, re, im);
+                apply_inv_stage_soa(self.backend, stage, re, im);
             }
         }
         Ok(())
@@ -835,28 +780,29 @@ impl SpectralPlan {
 
     /// Batched split-complex counterpart of
     /// [`Self::forward_folded_twisted`]: transforms `count` packed
-    /// real polynomials (each `2n` coefficients, laid out back to
-    /// back in `polys`) into the matching transforms of `batch`. The
-    /// fused fold+twist+first-stage pass runs per transform straight
-    /// from the coefficient array; every remaining butterfly stage
-    /// then runs **across the whole batch** before the next stage
-    /// starts, amortising one twiddle-table walk over all `count`
-    /// transforms. Per-transform arithmetic mirrors the interleaved
-    /// fused path expression for expression, so the spectra are
-    /// bit-identical to it.
+    /// real `i64` polynomials (each `2n` coefficients, laid out back
+    /// to back in `polys`) into the matching transforms of `batch`.
+    /// The fused fold+twist+first-stage pass runs per transform
+    /// straight from the coefficient array — dispatched to the plan's
+    /// kernel backend, which also performs the exact i64→f64 torus
+    /// conversion in-register; every remaining butterfly stage then
+    /// runs **across the whole batch** before the next stage starts,
+    /// amortising one twiddle-table walk over all `count` transforms.
+    /// Per-transform arithmetic mirrors the interleaved fused path
+    /// expression for expression, so the spectra are bit-identical to
+    /// it on every backend.
     ///
     /// # Panics
     ///
     /// Panics if `polys.len() != 2n · count`, the twist planes are not
     /// `n` long, or `batch`'s transform length is not `n` (callers
     /// validate first).
-    pub(crate) fn forward_folded_twisted_many<T: Copy>(
+    pub(crate) fn forward_folded_twisted_many(
         &self,
-        polys: &[T],
+        polys: &[i64],
         twist_re: &[f64],
         twist_im: &[f64],
         batch: &mut SoaSpectrum,
-        to_f64: impl Fn(T) -> f64 + Copy,
     ) {
         let n = self.size;
         let count = batch.count();
@@ -867,7 +813,7 @@ impl SpectralPlan {
         let Some((first, rest)) = self.fwd_stages.split_first() else {
             for (t, poly) in polys.chunks_exact(2 * n).enumerate() {
                 let (re, im) = batch.transform_mut(t);
-                let (zr, zi) = cmul(to_f64(poly[0]), to_f64(poly[1]), twist_re[0], twist_im[0]);
+                let (zr, zi) = cmul(poly[0] as f64, poly[1] as f64, twist_re[0], twist_im[0]);
                 re[0] = zr;
                 im[0] = zi;
             }
@@ -875,84 +821,33 @@ impl SpectralPlan {
         };
         for (t, poly) in polys.chunks_exact(2 * n).enumerate() {
             let (out_re, out_im) = batch.transform_mut(t);
-            let (pre, pim) = poly.split_at(n);
             match first.radix {
-                Radix::Two => {
-                    let q = n / 2;
-                    let (o0r, o1r) = out_re.split_at_mut(q);
-                    let (o0i, o1i) = out_im.split_at_mut(q);
-                    let (wr, wi) = (&first.tw_re[..q], &first.tw_im[..q]);
-                    for j in 0..q {
-                        let (xr, xi) =
-                            cmul(to_f64(pre[j]), to_f64(pim[j]), twist_re[j], twist_im[j]);
-                        let (yr, yi) = cmul(
-                            to_f64(pre[j + q]),
-                            to_f64(pim[j + q]),
-                            twist_re[j + q],
-                            twist_im[j + q],
-                        );
-                        o0r[j] = xr + yr;
-                        o0i[j] = xi + yi;
-                        let (br, bi) = cmul(xr - yr, xi - yi, wr[j], wi[j]);
-                        o1r[j] = br;
-                        o1i[j] = bi;
-                    }
-                }
-                Radix::Four => {
-                    let q = n / 4;
-                    let (o0r, restr) = out_re.split_at_mut(q);
-                    let (o1r, restr) = restr.split_at_mut(q);
-                    let (o2r, o3r) = restr.split_at_mut(q);
-                    let (o0i, resti) = out_im.split_at_mut(q);
-                    let (o1i, resti) = resti.split_at_mut(q);
-                    let (o2i, o3i) = resti.split_at_mut(q);
-                    let (w1r, w1i) = (&first.tw_re[..q], &first.tw_im[..q]);
-                    let (w2r, w2i) = (&first.tw_re[q..2 * q], &first.tw_im[q..2 * q]);
-                    let (w3r, w3i) = (&first.tw_re[2 * q..3 * q], &first.tw_im[2 * q..3 * q]);
-                    for j in 0..q {
-                        let (a0r, a0i) =
-                            cmul(to_f64(pre[j]), to_f64(pim[j]), twist_re[j], twist_im[j]);
-                        let (a1r, a1i) = cmul(
-                            to_f64(pre[j + q]),
-                            to_f64(pim[j + q]),
-                            twist_re[j + q],
-                            twist_im[j + q],
-                        );
-                        let (a2r, a2i) = cmul(
-                            to_f64(pre[j + 2 * q]),
-                            to_f64(pim[j + 2 * q]),
-                            twist_re[j + 2 * q],
-                            twist_im[j + 2 * q],
-                        );
-                        let (a3r, a3i) = cmul(
-                            to_f64(pre[j + 3 * q]),
-                            to_f64(pim[j + 3 * q]),
-                            twist_re[j + 3 * q],
-                            twist_im[j + 3 * q],
-                        );
-                        let (p02r, p02i) = (a0r + a2r, a0i + a2i);
-                        let (m02r, m02i) = (a0r - a2r, a0i - a2i);
-                        let (p13r, p13i) = (a1r + a3r, a1i + a3i);
-                        let (m13ir, m13ii) = (-(a1i - a3i), a1r - a3r);
-                        o0r[j] = p02r + p13r;
-                        o0i[j] = p02i + p13i;
-                        let (y1r, y1i) = cmul(m02r - m13ir, m02i - m13ii, w1r[j], w1i[j]);
-                        o1r[j] = y1r;
-                        o1i[j] = y1i;
-                        let (y2r, y2i) = cmul(p02r - p13r, p02i - p13i, w2r[j], w2i[j]);
-                        o2r[j] = y2r;
-                        o2i[j] = y2i;
-                        let (y3r, y3i) = cmul(m02r + m13ir, m02i + m13ii, w3r[j], w3i[j]);
-                        o3r[j] = y3r;
-                        o3i[j] = y3i;
-                    }
-                }
+                Radix::Two => backend::fold_twist_r2(
+                    self.backend,
+                    poly,
+                    twist_re,
+                    twist_im,
+                    out_re,
+                    out_im,
+                    &first.tw_re,
+                    &first.tw_im,
+                ),
+                Radix::Four => backend::fold_twist_r4(
+                    self.backend,
+                    poly,
+                    twist_re,
+                    twist_im,
+                    out_re,
+                    out_im,
+                    &first.tw_re,
+                    &first.tw_im,
+                ),
             }
         }
         for stage in rest {
             for t in 0..count {
                 let (re, im) = batch.transform_mut(t);
-                apply_fwd_stage_soa(stage, re, im);
+                apply_fwd_stage_soa(self.backend, stage, re, im);
             }
         }
     }
@@ -994,72 +889,32 @@ impl SpectralPlan {
         for stage in rest {
             for t in 0..count {
                 let (re, im) = batch.transform_mut(t);
-                apply_inv_stage_soa(stage, re, im);
+                apply_inv_stage_soa(self.backend, stage, re, im);
             }
         }
         for (t, slot) in out.chunks_exact_mut(2 * n).enumerate() {
             let (sre, sim) = batch.transform(t);
-            let (out_re, out_im) = slot.split_at_mut(n);
             match last.radix {
-                Radix::Two => {
-                    let q = n / 2;
-                    let (s0r, s1r) = sre.split_at(q);
-                    let (s0i, s1i) = sim.split_at(q);
-                    let (u0r, u1r) = untwist_re.split_at(q);
-                    let (u0i, u1i) = untwist_im.split_at(q);
-                    let (r0, r1) = out_re.split_at_mut(q);
-                    let (i0, i1) = out_im.split_at_mut(q);
-                    let (wr, wi) = (&last.tw_re[..q], &last.tw_im[..q]);
-                    for j in 0..q {
-                        let (xr, xi) = (s0r[j], s0i[j]);
-                        let (yr, yi) = cmul(s1r[j], s1i[j], wr[j], wi[j]);
-                        let (z0r, z0i) = cmul(xr + yr, xi + yi, u0r[j], u0i[j]);
-                        let (z1r, z1i) = cmul(xr - yr, xi - yi, u1r[j], u1i[j]);
-                        r0[j] = z0r;
-                        i0[j] = z0i;
-                        r1[j] = z1r;
-                        i1[j] = z1i;
-                    }
-                }
-                Radix::Four => {
-                    let q = n / 4;
-                    let (w1r, w1i) = (&last.tw_re[..q], &last.tw_im[..q]);
-                    let (w2r, w2i) = (&last.tw_re[q..2 * q], &last.tw_im[q..2 * q]);
-                    let (w3r, w3i) = (&last.tw_re[2 * q..3 * q], &last.tw_im[2 * q..3 * q]);
-                    for j in 0..q {
-                        let (u1r, u1i) = cmul(sre[j + q], sim[j + q], w1r[j], w1i[j]);
-                        let (u2r, u2i) = cmul(sre[j + 2 * q], sim[j + 2 * q], w2r[j], w2i[j]);
-                        let (u3r, u3i) = cmul(sre[j + 3 * q], sim[j + 3 * q], w3r[j], w3i[j]);
-                        let (p02r, p02i) = (sre[j] + u2r, sim[j] + u2i);
-                        let (m02r, m02i) = (sre[j] - u2r, sim[j] - u2i);
-                        let (p13r, p13i) = (u1r + u3r, u1i + u3i);
-                        let (m13ir, m13ii) = (-(u1i - u3i), u1r - u3r);
-                        let (z0r, z0i) =
-                            cmul(p02r + p13r, p02i + p13i, untwist_re[j], untwist_im[j]);
-                        let (z1r, z1i) =
-                            cmul(m02r + m13ir, m02i + m13ii, untwist_re[j + q], untwist_im[j + q]);
-                        let (z2r, z2i) = cmul(
-                            p02r - p13r,
-                            p02i - p13i,
-                            untwist_re[j + 2 * q],
-                            untwist_im[j + 2 * q],
-                        );
-                        let (z3r, z3i) = cmul(
-                            m02r - m13ir,
-                            m02i - m13ii,
-                            untwist_re[j + 3 * q],
-                            untwist_im[j + 3 * q],
-                        );
-                        out_re[j] = z0r;
-                        out_im[j] = z0i;
-                        out_re[j + q] = z1r;
-                        out_im[j + q] = z1i;
-                        out_re[j + 2 * q] = z2r;
-                        out_im[j + 2 * q] = z2i;
-                        out_re[j + 3 * q] = z3r;
-                        out_im[j + 3 * q] = z3i;
-                    }
-                }
+                Radix::Two => backend::untwist_unfold_r2(
+                    self.backend,
+                    sre,
+                    sim,
+                    untwist_re,
+                    untwist_im,
+                    slot,
+                    &last.tw_re,
+                    &last.tw_im,
+                ),
+                Radix::Four => backend::untwist_unfold_r4(
+                    self.backend,
+                    sre,
+                    sim,
+                    untwist_re,
+                    untwist_im,
+                    slot,
+                    &last.tw_re,
+                    &last.tw_im,
+                ),
             }
         }
     }

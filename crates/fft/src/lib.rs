@@ -33,6 +33,14 @@
 //!   points are scratch-taking by design (they write into caller
 //!   buffers and never allocate), which is what `strix-tfhe`'s larger
 //!   per-thread PBS scratch builds on,
+//! * [`StrixFftBackend`] — the pluggable kernel-backend layer: the
+//!   SoA butterfly stages, the fused fold/twist and untwist/unfold
+//!   passes, and the VMA kernels each exist as a portable scalar
+//!   reference plus explicit AVX2 and AVX-512 implementations,
+//!   selected by runtime CPU detection at plan construction (or forced
+//!   via [`SpectralPlan::with_backend`] / the `STRIX_FFT_BACKEND`
+//!   environment variable) — every backend bit-identical to the
+//!   scalar oracle,
 //! * [`mod@reference`] — exact schoolbook negacyclic convolution used as the
 //!   correctness oracle in tests and for small parameter sets.
 //!
@@ -52,6 +60,7 @@
 //! # }
 //! ```
 
+mod backend;
 mod complex;
 mod error;
 mod kernel;
@@ -61,6 +70,7 @@ pub mod planner;
 pub mod reference;
 mod soa;
 
+pub use backend::{detected_cpu_features, StrixFftBackend, BACKEND_ENV_VAR};
 pub use complex::Complex64;
 pub use error::FftError;
 pub use kernel::SpectralPlan;

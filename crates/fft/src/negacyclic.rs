@@ -39,6 +39,7 @@
 //! permutation pass, no twist pass, no normalisation pass, and no
 //! direction branch anywhere in the inner loops.
 
+use crate::backend::{self, StrixFftBackend};
 use crate::complex::Complex64;
 use crate::error::FftError;
 use crate::is_pow2_at_least;
@@ -125,18 +126,38 @@ impl NegacyclicFft {
     /// Smallest supported polynomial size.
     pub const MIN_POLY_SIZE: usize = 2;
 
-    /// Creates a transform for polynomials with `poly_size` coefficients.
+    /// Creates a transform for polynomials with `poly_size` coefficients,
+    /// selecting the kernel backend by runtime CPU detection (honouring
+    /// the `STRIX_FFT_BACKEND` environment override).
     ///
     /// # Errors
     ///
     /// Returns [`FftError::InvalidSize`] unless `poly_size` is a power of
-    /// two, at least [`Self::MIN_POLY_SIZE`].
+    /// two, at least [`Self::MIN_POLY_SIZE`], or
+    /// [`FftError::InvalidBackendEnv`] if the environment override holds
+    /// an unknown backend name.
     pub fn new(poly_size: usize) -> Result<Self, FftError> {
+        Self::with_backend(poly_size, StrixFftBackend::Auto)
+    }
+
+    /// Creates a transform for polynomials with `poly_size` coefficients
+    /// on an explicitly requested kernel backend.
+    /// [`StrixFftBackend::Auto`] behaves like [`Self::new`]; a concrete
+    /// backend is used as-is after a CPU-capability check.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::InvalidSize`] unless `poly_size` is a power of
+    /// two at least [`Self::MIN_POLY_SIZE`],
+    /// [`FftError::BackendUnavailable`] if the requested backend is not
+    /// supported by this CPU, or [`FftError::InvalidBackendEnv`] for a
+    /// malformed environment override under `Auto`.
+    pub fn with_backend(poly_size: usize, backend: StrixFftBackend) -> Result<Self, FftError> {
         if !is_pow2_at_least(poly_size, Self::MIN_POLY_SIZE) {
             return Err(FftError::InvalidSize { requested: poly_size, min: Self::MIN_POLY_SIZE });
         }
         let half = poly_size / 2;
-        let kernel = SpectralPlan::new(half)?;
+        let kernel = SpectralPlan::with_backend(half, backend)?;
         let inv_n = 1.0 / half as f64;
         let mut twist = Vec::with_capacity(half);
         let mut untwist_norm = Vec::with_capacity(half);
@@ -172,6 +193,15 @@ impl NegacyclicFft {
     #[inline]
     pub fn fourier_size(&self) -> usize {
         self.poly_size / 2
+    }
+
+    /// The resolved kernel backend this transform's batched entry
+    /// points (and [`Self::pointwise_mul_add_soa`] /
+    /// [`Self::pointwise_mul_add_key`]) run on — never
+    /// [`StrixFftBackend::Auto`].
+    #[inline]
+    pub fn backend(&self) -> StrixFftBackend {
+        self.kernel.backend()
     }
 
     /// The bin→slot map of the spectra this transform produces:
@@ -253,8 +283,7 @@ impl NegacyclicFft {
     /// `N · count` or `out`'s transform length is not `N/2`.
     pub fn forward_i64_many(&self, polys: &[i64], out: &mut SoaSpectrum) -> Result<(), FftError> {
         self.check_batch(polys.len(), out)?;
-        self.kernel
-            .forward_folded_twisted_many(polys, &self.twist_re, &self.twist_im, out, |v| v as f64);
+        self.kernel.forward_folded_twisted_many(polys, &self.twist_re, &self.twist_im, out);
         Ok(())
     }
 
@@ -278,6 +307,57 @@ impl NegacyclicFft {
         self.check_batch(out.len(), batch)?;
         self.kernel.inverse_folded_untwisted_many(batch, &self.untwist_re, &self.untwist_im, out);
         Ok(())
+    }
+
+    /// Backend-dispatched form of the free [`pointwise_mul_add_soa`]
+    /// VMA kernel: `acc_k += a_k · b_k` over fully split planes,
+    /// running on this transform's resolved kernel backend.
+    /// Bit-identical to the free function (the scalar reference) on
+    /// every backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths (programming error —
+    /// the buffers come from plans of matching size).
+    #[allow(clippy::too_many_arguments)] // mirrors the fused kernel's full operand set
+    #[inline]
+    pub fn pointwise_mul_add_soa(
+        &self,
+        acc_re: &mut [f64],
+        acc_im: &mut [f64],
+        a_re: &[f64],
+        a_im: &[f64],
+        b_re: &[f64],
+        b_im: &[f64],
+    ) {
+        let n = acc_re.len();
+        assert_eq!(acc_im.len(), n, "pointwise length mismatch");
+        assert_eq!(a_re.len(), n, "pointwise length mismatch");
+        assert_eq!(a_im.len(), n, "pointwise length mismatch");
+        assert_eq!(b_re.len(), n, "pointwise length mismatch");
+        assert_eq!(b_im.len(), n, "pointwise length mismatch");
+        backend::mul_add_soa(self.backend(), acc_re, acc_im, a_re, a_im, b_re, b_im);
+    }
+
+    /// Backend-dispatched form of the free [`pointwise_mul_add_key`]
+    /// mixed-layout VMA: interleaved `acc`/`a`, split key planes.
+    /// Bit-identical to the free function on every backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    #[inline]
+    pub fn pointwise_mul_add_key(
+        &self,
+        acc: &mut [Complex64],
+        a: &[Complex64],
+        b_re: &[f64],
+        b_im: &[f64],
+    ) {
+        assert_eq!(acc.len(), a.len(), "pointwise length mismatch");
+        assert_eq!(acc.len(), b_re.len(), "pointwise length mismatch");
+        assert_eq!(acc.len(), b_im.len(), "pointwise length mismatch");
+        backend::mul_add_key(self.backend(), acc, a, b_re, b_im);
     }
 
     fn check_batch(&self, time_len: usize, batch: &SoaSpectrum) -> Result<(), FftError> {

@@ -166,6 +166,16 @@ pub trait BatchExecutor: Send + Sync + 'static {
     fn admission(&self) -> Option<AdmissionPolicy> {
         None
     }
+
+    /// The resolved SIMD kernel backend this executor's spectral
+    /// transforms run on (a [`strix_tfhe::StrixFftBackend`] label,
+    /// never `"auto"`). Captured once at runtime start-up and surfaced
+    /// in [`RuntimeReport`](crate::metrics::RuntimeReport) next to the
+    /// kernel job counters. Synthetic executors perform no transforms
+    /// and return `None`.
+    fn fft_backend(&self) -> Option<String> {
+        None
+    }
 }
 
 /// The TFHE back-end: batched PBS with amortised bootstrapping-key
@@ -525,6 +535,10 @@ impl BatchExecutor for TfheExecutor {
             AdmissionPolicy::new(self.server.params().clone(), effective)
                 .with_threshold(self.admission_threshold_sigmas),
         )
+    }
+
+    fn fft_backend(&self) -> Option<String> {
+        Some(self.server.bootstrap_key().fft().backend().label().to_string())
     }
 }
 

@@ -424,6 +424,7 @@ impl MetricsSink {
                     },
                     pbs_jobs_classical: inner.kernel_jobs[0],
                     pbs_jobs_multi_bit: inner.kernel_jobs[1],
+                    fft_backend: String::new(),
                     mean_batch_occupancy: mean_occ,
                     occupancy_histogram: inner.occupancy_histogram.to_vec(),
                     mean_threads_per_epoch: mean_threads,
@@ -568,6 +569,12 @@ pub struct RuntimeReport {
     /// all epochs (absent in reports from older schema versions).
     #[serde(default)]
     pub pbs_jobs_multi_bit: usize,
+    /// Resolved SIMD kernel backend label the executor's spectral
+    /// transforms ran on (`"portable"` / `"avx2"` / `"avx512"`; never
+    /// `"auto"`). Filled by the runtime at report time; empty for
+    /// synthetic executors and reports from older schema versions.
+    #[serde(default)]
+    pub fft_backend: String,
     /// Mean epoch occupancy in `[0, 1]`.
     pub mean_batch_occupancy: f64,
     /// Epoch count per occupancy decile (`(i/10, (i+1)/10]`).
@@ -629,6 +636,9 @@ impl RuntimeReport {
             self.max_latency_us as f64 / 1e3,
             self.achieved_pbs_per_s,
         );
+        if !self.fft_backend.is_empty() {
+            out.push_str(&format!("\nbackend:  {} fft/vma kernels", self.fft_backend));
+        }
         if self.pbs_jobs_multi_bit > 0 {
             out.push_str(&format!(
                 "\nkernels:  {} classical / {} multi-bit PBS jobs",

@@ -145,6 +145,9 @@ pub struct Runtime {
     /// start-up and shared by every client handle; `None` for
     /// executors that enforce none.
     admission: Option<Arc<AdmissionPolicy>>,
+    /// The executor's resolved SIMD kernel backend label, captured once
+    /// at start-up; empty for synthetic executors.
+    fft_backend: String,
     epoch_capacity: usize,
     next_client: AtomicU64,
     batcher: Option<JoinHandle<()>>,
@@ -187,6 +190,7 @@ impl Runtime {
         let metrics = Arc::new(MetricsSink::default());
         let tracer = Arc::new(Tracer::new(config.trace));
         let admission = executor.admission().map(Arc::new);
+        let fft_backend = executor.fft_backend().unwrap_or_default();
 
         let batcher = {
             let (i, e, m, t) = (
@@ -225,6 +229,7 @@ impl Runtime {
             metrics,
             tracer,
             admission,
+            fft_backend,
             epoch_capacity: policy.max_epoch,
             next_client: AtomicU64::new(0),
             batcher: Some(batcher),
@@ -263,6 +268,7 @@ impl Runtime {
         let mut report = self.metrics.report(self.epoch_capacity);
         report.ingress_queue_depth = self.ingress.len();
         report.ingress_queue_high_water = self.ingress.high_water();
+        report.fft_backend = self.fft_backend.clone();
         report
     }
 
@@ -276,6 +282,7 @@ impl Runtime {
         self.drain_and_join();
         let mut report = self.metrics.report(self.epoch_capacity);
         report.ingress_queue_high_water = high_water.max(self.ingress.high_water());
+        report.fft_backend = self.fft_backend.clone();
         report
     }
 

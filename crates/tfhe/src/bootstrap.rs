@@ -37,7 +37,7 @@
 //! back in job order, bit-identical to the sequential
 //! [`BootstrapKey::bootstrap_batch`].
 
-use strix_fft::{pointwise_mul_add_soa, MonomialTable, NegacyclicFft};
+use strix_fft::{MonomialTable, NegacyclicFft};
 
 use crate::decompose::DecompositionParams;
 use crate::ggsw::{FourierGgsw, GgswCiphertext};
@@ -187,9 +187,9 @@ impl BootstrapKey {
         rng: &mut NoiseSampler,
     ) -> Self {
         let decomp = DecompositionParams::new(params.pbs_base_log, params.pbs_level);
-        let fft = NegacyclicFft::new(params.polynomial_size)
+        let fft = NegacyclicFft::with_backend(params.polynomial_size, params.fft_backend)
             // lint:allow(panic) parameters were validated at construction
-            .expect("validated parameters have power-of-two N");
+            .expect("validated parameters have power-of-two N and an available backend");
         let ggsws = lwe_sk
             .bits()
             .iter()
@@ -219,9 +219,9 @@ impl BootstrapKey {
     /// meaningless — outputs decrypt to the unrotated test vector.
     pub fn generate_for_benchmark(params: &TfheParameters) -> Self {
         let decomp = DecompositionParams::new(params.pbs_base_log, params.pbs_level);
-        let fft = NegacyclicFft::new(params.polynomial_size)
+        let fft = NegacyclicFft::with_backend(params.polynomial_size, params.fft_backend)
             // lint:allow(panic) parameters were validated at construction
-            .expect("validated parameters have power-of-two N");
+            .expect("validated parameters have power-of-two N and an available backend");
         // GGSW of message 1: gadget terms give the spectra non-trivial
         // values so the FFT timing is honest.
         let template =
@@ -588,7 +588,7 @@ impl BootstrapKey {
                     for col in 0..=k {
                         let (k_re, k_im) = ggsw.row_col(r, col);
                         let (a_re, a_im) = spec.transform_mut(col);
-                        pointwise_mul_add_soa(a_re, a_im, d_re, d_im, k_re, k_im);
+                        self.fft.pointwise_mul_add_soa(a_re, a_im, d_re, d_im, k_re, k_im);
                     }
                 }
             }
@@ -806,9 +806,9 @@ impl MultiBitBootstrapKey {
     ) -> Self {
         Self::check_grouping(grouping_factor, lwe_sk.bits().len());
         let decomp = DecompositionParams::new(params.pbs_base_log, params.pbs_level);
-        let fft = NegacyclicFft::new(params.polynomial_size)
+        let fft = NegacyclicFft::with_backend(params.polynomial_size, params.fft_backend)
             // lint:allow(panic) parameters were validated at construction
-            .expect("validated parameters have power-of-two N");
+            .expect("validated parameters have power-of-two N and an available backend");
         let groups = lwe_sk
             .bits()
             .chunks(grouping_factor)
@@ -858,9 +858,9 @@ impl MultiBitBootstrapKey {
     pub fn generate_for_benchmark(params: &TfheParameters, grouping_factor: usize) -> Self {
         Self::check_grouping(grouping_factor, params.lwe_dimension);
         let decomp = DecompositionParams::new(params.pbs_base_log, params.pbs_level);
-        let fft = NegacyclicFft::new(params.polynomial_size)
+        let fft = NegacyclicFft::with_backend(params.polynomial_size, params.fft_backend)
             // lint:allow(panic) parameters were validated at construction
-            .expect("validated parameters have power-of-two N");
+            .expect("validated parameters have power-of-two N and an available backend");
         let template =
             GgswCiphertext::trivial(1, params.glwe_dimension, params.polynomial_size, decomp)
                 .to_fourier(&fft);
@@ -1212,7 +1212,7 @@ impl MultiBitBootstrapKey {
                     for t in 0..rows * cols {
                         let (e_re, e_im) = spectra.transform(t);
                         let (c_re, c_im) = comb.transform_mut(t);
-                        pointwise_mul_add_soa(c_re, c_im, e_re, e_im, mono_re, mono_im);
+                        self.fft.pointwise_mul_add_soa(c_re, c_im, e_re, e_im, mono_re, mono_im);
                     }
                 }
             }
@@ -1257,7 +1257,7 @@ impl MultiBitBootstrapKey {
                     for col in 0..cols {
                         let (k_re, k_im) = comb_batch[j].transform(r * cols + col);
                         let (a_re, a_im) = acc_batch[j].transform_mut(col);
-                        pointwise_mul_add_soa(a_re, a_im, d_re, d_im, k_re, k_im);
+                        self.fft.pointwise_mul_add_soa(a_re, a_im, d_re, d_im, k_re, k_im);
                     }
                 }
             }

@@ -15,7 +15,7 @@
 //! * [`GgswCiphertext::external_product_exact`] — an exact integer path
 //!   used as the correctness oracle in tests.
 
-use strix_fft::{pointwise_mul_add_key, Complex64, NegacyclicFft, SoaSpectrum};
+use strix_fft::{Complex64, NegacyclicFft, SoaSpectrum};
 
 use crate::decompose::DecompositionParams;
 use crate::glwe::{GlweCiphertext, GlweSecretKey};
@@ -179,7 +179,7 @@ impl GgswCiphertext {
 /// polynomials live in two contiguous `f64` planes (real, imaginary),
 /// row-major then column. This is the layout the blocked CMUX's
 /// four-array VMA streams directly; the interleaved oracle path reads
-/// the same planes through [`pointwise_mul_add_key`], so both paths
+/// the same planes through [`NegacyclicFft::pointwise_mul_add_key`], so both paths
 /// consume identical key bits.
 #[derive(Clone, Debug)]
 pub struct FourierGgsw {
@@ -330,7 +330,7 @@ impl FourierGgsw {
                 probe.time(PbsStage::VectorMultiply, || {
                     for (col, acc_col) in scratch.fourier_acc.chunks_mut(half).enumerate() {
                         let (key_re, key_im) = self.row_col(row_idx, col);
-                        pointwise_mul_add_key(acc_col, &scratch.digit_spec, key_re, key_im);
+                        fft.pointwise_mul_add_key(acc_col, &scratch.digit_spec, key_re, key_im);
                     }
                 });
                 row_idx += 1;

@@ -14,6 +14,7 @@ use crate::lwe::{LweCiphertext, LweSecretKey};
 use crate::params::TfheParameters;
 use crate::rng::NoiseSampler;
 use crate::TfheError;
+use strix_fft::StrixFftBackend;
 
 /// Secret key material plus encryption/decryption helpers.
 #[derive(Clone, Debug)]
@@ -141,6 +142,14 @@ impl ServerKey {
     #[inline]
     pub fn keyswitch_key(&self) -> &KeySwitchKey {
         &self.ksk
+    }
+
+    /// The resolved SIMD kernel backend this key's spectral plans run
+    /// on (never [`StrixFftBackend::Auto`]): the parameter set's
+    /// requested backend after runtime CPU dispatch.
+    #[inline]
+    pub fn fft_backend(&self) -> StrixFftBackend {
+        self.bsk.fft().backend()
     }
 
     /// Total evaluation-key footprint in bytes (bsk + optional mbsk +

@@ -68,6 +68,9 @@ pub mod unrolled;
 pub use error::TfheError;
 pub use keys::{generate_keys, ClientKey, ServerKey};
 pub use params::{ParameterSet, PbsKernel, TfheParameters};
+// Re-exported so downstream crates can force a kernel backend without
+// depending on `strix-fft` directly.
+pub use strix_fft::StrixFftBackend;
 
 /// Commonly used items, for glob import.
 pub mod prelude {

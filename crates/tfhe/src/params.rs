@@ -18,6 +18,7 @@
 //! production parameters.
 
 use serde::{Deserialize, Serialize};
+use strix_fft::StrixFftBackend;
 
 use crate::TfheError;
 
@@ -156,6 +157,12 @@ pub struct TfheParameters {
     /// snapshots).
     #[serde(default)]
     pub pbs_kernel: PbsKernel,
+    /// Which SIMD kernel backend the spectral transforms should use.
+    /// Defaults to [`StrixFftBackend::Auto`] (runtime CPU detection,
+    /// including when absent from serialized parameters, for
+    /// compatibility with pre-backend snapshots).
+    #[serde(default)]
+    pub fft_backend: StrixFftBackend,
 }
 
 impl TfheParameters {
@@ -174,6 +181,7 @@ impl TfheParameters {
             glwe_noise_std: 3.73e-9,
             security_bits: 110,
             pbs_kernel: PbsKernel::Classical,
+            fft_backend: StrixFftBackend::Auto,
         }
     }
 
@@ -192,6 +200,7 @@ impl TfheParameters {
             glwe_noise_std: 2.0f64.powi(-25),
             security_bits: 128,
             pbs_kernel: PbsKernel::Classical,
+            fft_backend: StrixFftBackend::Auto,
         }
     }
 
@@ -210,6 +219,7 @@ impl TfheParameters {
             glwe_noise_std: 2.0f64.powi(-37),
             security_bits: 128,
             pbs_kernel: PbsKernel::Classical,
+            fft_backend: StrixFftBackend::Auto,
         }
     }
 
@@ -229,6 +239,7 @@ impl TfheParameters {
             glwe_noise_std: 2.0f64.powi(-51),
             security_bits: 128,
             pbs_kernel: PbsKernel::Classical,
+            fft_backend: StrixFftBackend::Auto,
         }
     }
 
@@ -273,6 +284,7 @@ impl TfheParameters {
             glwe_noise_std,
             security_bits: 128,
             pbs_kernel: PbsKernel::Classical,
+            fft_backend: StrixFftBackend::Auto,
         })
     }
 
@@ -293,6 +305,7 @@ impl TfheParameters {
             glwe_noise_std: 2.0f64.powi(-30),
             security_bits: 0,
             pbs_kernel: PbsKernel::Classical,
+            fft_backend: StrixFftBackend::Auto,
         }
     }
 
@@ -312,6 +325,7 @@ impl TfheParameters {
             glwe_noise_std: 2.0f64.powi(-30),
             security_bits: 0,
             pbs_kernel: PbsKernel::Classical,
+            fft_backend: StrixFftBackend::Auto,
         }
     }
 
@@ -346,6 +360,11 @@ impl TfheParameters {
         if self.ks_base_log as usize * self.ks_level > 64 {
             return Err(TfheError::InvalidParameters("ks decomposition exceeds torus width"));
         }
+        if !self.fft_backend.is_available() {
+            return Err(TfheError::InvalidParameters(
+                "requested fft backend is not supported by this cpu",
+            ));
+        }
         if let PbsKernel::MultiBit { grouping_factor } = self.pbs_kernel {
             if grouping_factor == 0 {
                 return Err(TfheError::InvalidParameters(
@@ -370,6 +389,15 @@ impl TfheParameters {
     #[must_use]
     pub fn with_kernel(mut self, kernel: PbsKernel) -> Self {
         self.pbs_kernel = kernel;
+        self
+    }
+
+    /// The same parameters retargeted at the given SIMD kernel backend
+    /// (builder-style). Tests use this to force the portable scalar
+    /// path regardless of host CPU features.
+    #[must_use]
+    pub fn with_fft_backend(mut self, backend: StrixFftBackend) -> Self {
+        self.fft_backend = backend;
         self
     }
 
@@ -565,6 +593,40 @@ mod tests {
         assert!(stripped.len() < legacy.len(), "field must have been present: {legacy}");
         let parsed: TfheParameters = serde_json::from_str(&stripped).unwrap();
         assert_eq!(parsed.pbs_kernel, PbsKernel::Classical);
+    }
+
+    #[test]
+    fn parameters_without_backend_field_deserialize_as_auto() {
+        // Pre-backend snapshots carry no `fft_backend` field; they must
+        // keep parsing and mean runtime CPU detection.
+        let legacy = serde_json::to_string(&TfheParameters::testing_fast()).unwrap();
+        let stripped = legacy.replace(",\"fft_backend\":\"Auto\"", "");
+        assert!(stripped.len() < legacy.len(), "field must have been present: {legacy}");
+        let parsed: TfheParameters = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(parsed.fft_backend, StrixFftBackend::Auto);
+
+        // Explicit backends round-trip.
+        let forced = TfheParameters::testing_fast().with_fft_backend(StrixFftBackend::Portable);
+        let json = serde_json::to_string(&forced).unwrap();
+        let back: TfheParameters = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.fft_backend, StrixFftBackend::Portable);
+    }
+
+    #[test]
+    fn validation_tracks_backend_availability() {
+        // Auto and Portable always pass; SIMD tiers pass exactly when
+        // the host CPU supports them, so keygen's `expect` can rely on
+        // a validated parameter set never naming an unusable backend.
+        let base = TfheParameters::testing_fast();
+        for backend in [
+            StrixFftBackend::Auto,
+            StrixFftBackend::Portable,
+            StrixFftBackend::Avx2,
+            StrixFftBackend::Avx512,
+        ] {
+            let p = base.clone().with_fft_backend(backend);
+            assert_eq!(p.validate().is_ok(), backend.is_available(), "{backend}");
+        }
     }
 
     #[test]

@@ -64,9 +64,9 @@ impl UnrolledBootstrapKey {
         rng: &mut NoiseSampler,
     ) -> Self {
         let decomp = DecompositionParams::new(params.pbs_base_log, params.pbs_level);
-        let fft = NegacyclicFft::new(params.polynomial_size)
+        let fft = NegacyclicFft::with_backend(params.polynomial_size, params.fft_backend)
             // lint:allow(panic) parameters were validated at construction
-            .expect("validated parameters have power-of-two N");
+            .expect("validated parameters have power-of-two N and an available backend");
         let std = params.glwe_noise_std;
         let bits = lwe_sk.bits();
         let mut encrypt =

@@ -154,6 +154,50 @@ fn grouped_batch_matches_grouped_singles() {
 }
 
 #[test]
+fn forced_portable_backend_matches_the_detected_backend_on_grouped_pbs() {
+    // Same contract as the classical-kernel test in `soa_cmux.rs`, for
+    // the grouped path: the monomial-MAC combined-GGSW assembly now
+    // runs through the backend VMA kernels, so a multi-bit key forced
+    // to the portable tier must produce byte-equal outputs to one on
+    // the auto-detected tier.
+    use strix_tfhe::bootstrap::MultiBitBootstrapKey;
+    use strix_tfhe::StrixFftBackend;
+
+    let fx = &fixtures()[1]; // g = 2, N = 1024, n = 13 (width-1 remainder)
+    let portable_key = MultiBitBootstrapKey::generate_for_benchmark(
+        &fx.params.clone().with_fft_backend(StrixFftBackend::Portable),
+        2,
+    );
+    let auto_key = MultiBitBootstrapKey::generate_for_benchmark(&fx.params, 2);
+    let cts: Vec<LweCiphertext> = (0..5).map(|m| fx.trivial(m % 4)).collect();
+    // Dense masks too: trivial jobs alone would skip every CMUX.
+    let dense: Vec<LweCiphertext> = (0..5)
+        .map(|j| {
+            let mut state = 0xD1CEu64 + j;
+            let next = |s: &mut u64| {
+                *s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = *s;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            LweCiphertext::from_raw(
+                (0..=fx.params.lwe_dimension).map(|_| next(&mut state)).collect(),
+            )
+        })
+        .collect();
+    for cts in [&cts, &dense] {
+        let jobs: Vec<PbsJob<'_>> = cts.iter().map(|ct| PbsJob { ct, lut: &fx.lut }).collect();
+        assert_eq!(
+            portable_key.bootstrap_batch(&jobs).unwrap(),
+            auto_key.bootstrap_batch(&jobs).unwrap(),
+            "auto backend ({}) diverged from portable on the grouped kernel",
+            auto_key.fft().backend()
+        );
+    }
+}
+
+#[test]
 fn empty_epoch_and_shape_mismatch_are_handled() {
     let fx = &fixtures()[0];
     let mbsk = fx.server.multi_bit_bootstrap_key().unwrap();

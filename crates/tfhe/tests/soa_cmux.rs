@@ -33,7 +33,7 @@ use strix_tfhe::bootstrap::{BootstrapKey, Lut, PbsJob};
 use strix_tfhe::lwe::LweCiphertext;
 use strix_tfhe::scratch::CMUX_JOB_BLOCK;
 use strix_tfhe::torus::encode_fraction;
-use strix_tfhe::TfheParameters;
+use strix_tfhe::{StrixFftBackend, TfheParameters};
 
 /// Small LWE dimension: enough blind-rotation iterations to exercise
 /// many (entry, block) steps while keeping 2048-point transforms fast.
@@ -109,6 +109,33 @@ fn blocked_cmux_handles_zero_rotations_inside_a_block() {
     cts[4] = LweCiphertext::trivial(TEST_LWE_DIM, 0);
     let jobs: Vec<PbsJob<'_>> = cts.iter().map(|ct| PbsJob { ct, lut: &lut }).collect();
     assert_eq!(bsk.bootstrap_batch(&jobs).unwrap(), oracle_outputs(&bsk, &jobs));
+}
+
+#[test]
+fn forced_portable_backend_is_bit_identical_to_the_detected_backend() {
+    // The SIMD backends promise bit-identity with the portable scalar
+    // kernels; the strongest end-to-end statement is two keys over the
+    // same parameters — one forced portable, one on the auto-detected
+    // tier — producing byte-equal PBS outputs. On hosts where auto
+    // resolves to portable this degenerates to a self-comparison,
+    // which is fine: it then costs one extra keygen, not coverage.
+    for n in [1024usize, 2048] {
+        let params = shaped_params(1, n, 2);
+        let portable_key = BootstrapKey::generate_for_benchmark(
+            &params.clone().with_fft_backend(StrixFftBackend::Portable),
+        );
+        let auto_key = BootstrapKey::generate_for_benchmark(&params);
+        let lut = Lut::sign(n, encode_fraction(1, 3));
+        let cts: Vec<LweCiphertext> =
+            (0..4u64).map(|j| random_ct(0xF0CA + j + n as u64, TEST_LWE_DIM)).collect();
+        let jobs: Vec<PbsJob<'_>> = cts.iter().map(|ct| PbsJob { ct, lut: &lut }).collect();
+        assert_eq!(
+            portable_key.bootstrap_batch(&jobs).unwrap(),
+            auto_key.bootstrap_batch(&jobs).unwrap(),
+            "n={n}: auto backend ({}) diverged from portable",
+            auto_key.fft().backend()
+        );
+    }
 }
 
 /// Shared fixture for the proptest cases (keygen once, not per case).

@@ -1,7 +1,7 @@
 //! Repository-invariant linter: `cargo run -p xtask -- lint`.
 //!
 //! Machine-checks the invariants the codebase otherwise enforces only
-//! by reviewer memory. Four checks, each with a test fixture proving it
+//! by reviewer memory. Five checks, each with a test fixture proving it
 //! fires on a seeded violation:
 //!
 //! 1. **hot-path-alloc** — no allocation calls (`Vec::new`, `vec!`,
@@ -17,13 +17,20 @@
 //!    `metrics.rs` / `trace.rs` after the v1 schema baseline must carry
 //!    `#[serde(default)]` so old captures keep deserializing.
 //! 4. **lint-header** — the workspace lint posture lives in a single
-//!    `[workspace.lints]` table in the root `Cargo.toml`; every
-//!    `crates/*` manifest opts in with `[lints] workspace = true`, and
-//!    no `lib.rs` re-declares the old inline headers.
+//!    `[workspace.lints]` table in the root `Cargo.toml` (with
+//!    `unsafe_code = "deny"` so the SIMD backend tree can opt back in
+//!    per-module); every `crates/*` manifest opts in with
+//!    `[lints] workspace = true`, and no `lib.rs` re-declares the old
+//!    inline headers.
+//! 5. **unsafe-hygiene** — the `unsafe` keyword appears only under
+//!    `crates/fft/src/backend/` (the SIMD kernel backends, where
+//!    feature-gated intrinsics make it unavoidable), and every use
+//!    there is justified by a `// SAFETY:` comment on the same line or
+//!    in the comment block immediately above.
 //!
-//! Allow-comments are per-check: `lint:allow(panic)` and
-//! `lint:allow(alloc)`. The reason text is mandatory by convention and
-//! reviewed like any other comment.
+//! Allow-comments are per-check: `lint:allow(panic)`,
+//! `lint:allow(alloc)` and `lint:allow(unsafe)`. The reason text is
+//! mandatory by convention and reviewed like any other comment.
 
 use std::fmt;
 use std::fs;
@@ -198,6 +205,7 @@ fn run_lint(root: &Path) -> Vec<Finding> {
     findings.extend(check_panic_tokens(root));
     findings.extend(check_serde_defaults(root));
     findings.extend(check_lint_headers(root));
+    findings.extend(check_unsafe_hygiene(root));
     findings
 }
 
@@ -574,7 +582,7 @@ fn check_lint_headers(root: &Path) -> Vec<Finding> {
     match fs::read_to_string(&root_manifest) {
         Ok(s) => {
             if !s.contains("[workspace.lints.rust]")
-                || !s.contains("unsafe_code = \"forbid\"")
+                || !s.contains("unsafe_code = \"deny\"")
                 || !s.contains("missing_docs = \"warn\"")
             {
                 findings.push(Finding {
@@ -582,7 +590,8 @@ fn check_lint_headers(root: &Path) -> Vec<Finding> {
                     line: 0,
                     check: "lint-header",
                     message: "root Cargo.toml must declare [workspace.lints.rust] with \
-                              unsafe_code = \"forbid\" and missing_docs = \"warn\""
+                              unsafe_code = \"deny\" (deny, not forbid, so the kernel-backend \
+                              modules can `#![allow(unsafe_code)]`) and missing_docs = \"warn\""
                         .into(),
                 });
             }
@@ -630,7 +639,10 @@ fn check_lint_headers(root: &Path) -> Vec<Finding> {
         if let Ok(s) = fs::read_to_string(&lib) {
             for (i, raw) in s.lines().enumerate() {
                 let t = raw.trim();
-                if t == "#![forbid(unsafe_code)]" || t == "#![warn(missing_docs)]" {
+                if t == "#![forbid(unsafe_code)]"
+                    || t == "#![deny(unsafe_code)]"
+                    || t == "#![warn(missing_docs)]"
+                {
                     findings.push(Finding {
                         file: lib.clone(),
                         line: i + 1,
@@ -640,6 +652,97 @@ fn check_lint_headers(root: &Path) -> Vec<Finding> {
                         ),
                     });
                 }
+            }
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Check 5: unsafe-code hygiene
+// ---------------------------------------------------------------------------
+
+/// The one directory allowed to contain `unsafe` code: the SIMD kernel
+/// backends, where feature-gated intrinsics make it unavoidable.
+const UNSAFE_ALLOWED_DIR: &str = "crates/fft/src/backend";
+
+/// Whether `code` contains the `unsafe` keyword. Word-boundary match,
+/// so identifiers like `unsafe_code` (in an `allow` attribute) do not
+/// trip it; `code` has comments and strings already blanked.
+fn has_unsafe_keyword(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    let boundary = |b: u8| !(b.is_ascii_alphanumeric() || b == b'_');
+    let mut from = 0;
+    while let Some(pos) = code[from..].find("unsafe") {
+        let i = from + pos;
+        let end = i + "unsafe".len();
+        if (i == 0 || boundary(bytes[i - 1])) && (end == bytes.len() || boundary(bytes[end])) {
+            return true;
+        }
+        from = i + 1;
+    }
+    false
+}
+
+/// Whether the `unsafe` at line `idx` is justified by a `// SAFETY:`
+/// comment — trailing on the same line, or anywhere in the contiguous
+/// run of comment/attribute lines immediately above it (a SAFETY
+/// comment may span lines, and a `#[cfg]` may sit between it and the
+/// match arm it covers).
+fn has_safety_comment(lines: &[ScanLine], idx: usize) -> bool {
+    if lines[idx].raw.contains("SAFETY:") {
+        return true;
+    }
+    for line in lines[..idx].iter().rev() {
+        let t = line.raw.trim();
+        if t.starts_with("//") {
+            if t.contains("SAFETY:") {
+                return true;
+            }
+        } else if !t.starts_with("#[") {
+            return false;
+        }
+    }
+    false
+}
+
+fn check_unsafe_hygiene(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let allowed_dir = root.join(UNSAFE_ALLOWED_DIR);
+    // The linter itself is exempt: its fixtures must be able to spell
+    // violations in string literals (which the line-oriented blanker
+    // cannot track across `\n\` continuations). The workspace-level
+    // `unsafe_code = "deny"` lint still covers xtask at compile time.
+    let linter_dir = root.join("crates/xtask");
+    for path in rust_files(&root.join("crates")) {
+        if path.starts_with(&linter_dir) {
+            continue;
+        }
+        let Ok(source) = fs::read_to_string(&path) else { continue };
+        let lines = scan_file(&source);
+        let in_backend = path.starts_with(&allowed_dir);
+        for (idx, line) in lines.iter().enumerate() {
+            if !has_unsafe_keyword(&line.code) || allowed(&lines, idx, "unsafe") {
+                continue;
+            }
+            if !in_backend {
+                findings.push(Finding {
+                    file: path.clone(),
+                    line: line.number,
+                    check: "unsafe-hygiene",
+                    message: format!(
+                        "`unsafe` outside the kernel-backend tree ({UNSAFE_ALLOWED_DIR}/)"
+                    ),
+                });
+            } else if !has_safety_comment(&lines, idx) {
+                findings.push(Finding {
+                    file: path.clone(),
+                    line: line.number,
+                    check: "unsafe-hygiene",
+                    message: "`unsafe` in a backend module without a preceding `// SAFETY:` \
+                              comment"
+                        .into(),
+                });
             }
         }
     }
@@ -681,7 +784,7 @@ mod tests {
         fn write_clean_tree(&self) {
             self.write(
                 "Cargo.toml",
-                "[workspace]\n[workspace.lints.rust]\nunsafe_code = \"forbid\"\n\
+                "[workspace]\n[workspace.lints.rust]\nunsafe_code = \"deny\"\n\
                  missing_docs = \"warn\"\n",
             );
             for krate in ["runtime", "tfhe", "fft"] {
@@ -907,9 +1010,75 @@ mod tests {
     fn inline_header_duplicating_workspace_table_is_flagged() {
         let fix = Fixture::new("header-inline");
         fix.write_clean_tree();
-        fix.write("crates/tfhe/src/lib.rs", "//! Docs.\n#![forbid(unsafe_code)]\n");
+        fix.write(
+            "crates/tfhe/src/lib.rs",
+            "//! Docs.\n#![forbid(unsafe_code)]\n#![deny(unsafe_code)]\n",
+        );
         let findings = findings_for(&fix, "lint-header");
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings.iter().all(|f| f.message.contains("duplicates")));
+    }
+
+    #[test]
+    fn unsafe_outside_the_backend_tree_is_flagged() {
+        let fix = Fixture::new("unsafe-outside");
+        fix.write_clean_tree();
+        fix.write(
+            "crates/tfhe/src/fast.rs",
+            "// SAFETY: a comment does not make it acceptable here.\n\
+             fn read(p: *const u8) -> u8 { unsafe { *p } }\n",
+        );
+        let findings = findings_for(&fix, "unsafe-hygiene");
         assert_eq!(findings.len(), 1, "{findings:?}");
-        assert!(findings[0].message.contains("duplicates"));
+        assert_eq!(findings[0].line, 2);
+        assert!(findings[0].message.contains("outside the kernel-backend tree"));
+    }
+
+    #[test]
+    fn unsafe_in_backend_without_safety_comment_is_flagged() {
+        let fix = Fixture::new("unsafe-no-safety");
+        fix.write_clean_tree();
+        fix.write(
+            "crates/fft/src/backend/avx2.rs",
+            "// loads 4 lanes from offset j (not a safety argument)\n\
+             fn load(s: &[f64]) -> f64 { unsafe { *s.as_ptr() } }\n",
+        );
+        let findings = findings_for(&fix, "unsafe-hygiene");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("SAFETY"));
+    }
+
+    #[test]
+    fn safety_commented_unsafe_in_backend_passes() {
+        let fix = Fixture::new("unsafe-ok");
+        fix.write_clean_tree();
+        // Three accepted shapes: comment directly above, comment block
+        // with a continuation line and an interleaved attribute, and a
+        // trailing same-line comment.
+        fix.write(
+            "crates/fft/src/backend/mod.rs",
+            "#![allow(unsafe_code)]\n\
+             // SAFETY: the slice is non-empty by construction.\n\
+             fn a(s: &[f64]) -> f64 { unsafe { *s.as_ptr() } }\n\
+             // SAFETY: caller proved the cpu supports avx2,\n\
+             // so the feature-gated call is sound.\n\
+             #[inline]\n\
+             fn b(s: &[f64]) -> f64 { unsafe { *s.as_ptr() } }\n\
+             fn c(s: &[f64]) -> f64 { unsafe { *s.as_ptr() } } // SAFETY: len checked\n",
+        );
+        assert!(findings_for(&fix, "unsafe-hygiene").is_empty());
+    }
+
+    #[test]
+    fn unsafe_in_strings_comments_and_identifiers_is_ignored() {
+        let fix = Fixture::new("unsafe-lookalikes");
+        fix.write_clean_tree();
+        fix.write(
+            "crates/runtime/src/doc.rs",
+            "/// Mentions unsafe in a doc comment.\n\
+             fn msg() -> &'static str { \"unsafe\" }\n\
+             fn unsafe_sounding_name(x: u8) -> u8 { x }\n",
+        );
+        assert!(findings_for(&fix, "unsafe-hygiene").is_empty());
     }
 }
