@@ -123,6 +123,98 @@ pub struct ServiceLoadPoint {
     pub saturated: bool,
 }
 
+/// Schema tag written into (and expected from) `BENCH_tenants.json`.
+pub const TENANTS_SCHEMA: &str = "strix-bench-tenants-v1";
+
+/// The committed multi-tenant key-fabric snapshot
+/// (`BENCH_tenants.json`): aggregate throughput versus the number of
+/// *hot* tenants sharing a fixed key-cache residency budget, through
+/// the registry-backed runtime.
+///
+/// Written by `cargo run --release -p strix-bench --bin bench_tenants`,
+/// parsed back for the warn-only `--baseline` comparison and by the
+/// schema round-trip tests. The sweep's story: with the hot set inside
+/// the budget the cache converges to all-hits and throughput holds
+/// near single-tenant capacity; past the budget every epoch thrashes a
+/// key expansion and the cost of key churn becomes visible.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TenantsBenchReport {
+    /// Always [`TENANTS_SCHEMA`]; bumped when the shape changes.
+    pub schema: String,
+    /// Seconds since the Unix epoch at measurement time.
+    pub unix_time: u64,
+    /// Short git commit hash the numbers were measured at.
+    pub git_commit: String,
+    /// Parameter set, runtime shape and cache budget of the sweep.
+    pub config: TenantsBenchConfig,
+    /// One entry per hot-tenant count, in ascending order.
+    pub points: Vec<TenantsLoadPoint>,
+}
+
+/// The shape a [`TenantsBenchReport`] was measured with; baselines are
+/// only comparable when these match.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TenantsBenchConfig {
+    /// Parameter-set name (`set_ii`, `testing_fast`, …).
+    pub params: String,
+    /// LWE dimension `n`.
+    pub lwe_dimension: usize,
+    /// Polynomial size `N`.
+    pub polynomial_size: usize,
+    /// TvLP factor of the epoch geometry.
+    pub tvlp: usize,
+    /// Core batch factor of the epoch geometry.
+    pub core_batch: usize,
+    /// Worker threads executing epochs.
+    pub workers: usize,
+    /// Intra-epoch PBS threads per worker.
+    pub threads_per_worker: usize,
+    /// Batcher deadline, in milliseconds.
+    pub max_delay_ms: f64,
+    /// Tenants registered in the key registry (all seeded).
+    pub tenants_registered: usize,
+    /// Residency budget, in whole expanded keys.
+    pub cache_budget_keys: usize,
+    /// Bytes one tenant's seeded transport form ships at onboarding.
+    pub seeded_transport_bytes: usize,
+    /// Bytes of one tenant's expanded resident key (the eviction
+    /// accounting unit; the transport form must stay ≤ 0.6× of this).
+    pub server_key_bytes: usize,
+    /// Resolved SIMD kernel backend the transforms ran on.
+    #[serde(default)]
+    pub kernel_backend: String,
+}
+
+/// One hot-tenant-count point of the multi-tenant sweep.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TenantsLoadPoint {
+    /// Tenants actively submitting during the timed window.
+    pub hot_tenants: usize,
+    /// Requests submitted in the timed window (across all tenants).
+    pub requests: usize,
+    /// Requests completed successfully.
+    pub completed: usize,
+    /// Requests that returned an error.
+    pub failed: usize,
+    /// Timed-window wall clock, in seconds.
+    pub duration_s: f64,
+    /// Completed PBS per second over the timed window, summed across
+    /// every hot tenant.
+    pub aggregate_pbs_per_s: f64,
+    /// Mean epoch occupancy (fraction of slots filled at flush).
+    pub mean_occupancy: f64,
+    /// Key-cache hits during the timed window (warmup excluded).
+    pub key_cache_hits: u64,
+    /// Key-cache misses — each one is a full seeded-key expansion.
+    pub key_cache_misses: u64,
+    /// Resident keys dropped to fit the budget during the window.
+    pub key_cache_evictions: u64,
+    /// Median submit→completion latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile submit→completion latency, milliseconds.
+    pub p99_ms: f64,
+}
+
 /// Renders a [`Value`] as indented JSON (two-space indent), matching
 /// the compact writer's escaping and float formatting byte for byte —
 /// `serde_json::from_str` of the output parses to the same value. The
@@ -373,6 +465,98 @@ mod tests {
             "at least one point past the saturation knee"
         );
         assert!(report.capacity_pbs_per_s > 0.0);
+    }
+
+    fn sample_tenants_report() -> TenantsBenchReport {
+        TenantsBenchReport {
+            schema: TENANTS_SCHEMA.into(),
+            unix_time: 1_754_000_000,
+            git_commit: "abc1234".into(),
+            config: TenantsBenchConfig {
+                params: "set_ii".into(),
+                lwe_dimension: 742,
+                polynomial_size: 2048,
+                tvlp: 2,
+                core_batch: 4,
+                workers: 1,
+                threads_per_worker: 1,
+                max_delay_ms: 40.0,
+                tenants_registered: 64,
+                cache_budget_keys: 8,
+                seeded_transport_bytes: 50_000_000,
+                server_key_bytes: 100_000_000,
+                kernel_backend: "avx2".into(),
+            },
+            points: vec![TenantsLoadPoint {
+                hot_tenants: 8,
+                requests: 384,
+                completed: 384,
+                failed: 0,
+                duration_s: 6.8,
+                aggregate_pbs_per_s: 56.5,
+                mean_occupancy: 1.0,
+                key_cache_hits: 48,
+                key_cache_misses: 0,
+                key_cache_evictions: 0,
+                p50_ms: 420.5,
+                p99_ms: 890.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn tenants_report_round_trips_through_pretty_json() {
+        let report = sample_tenants_report();
+        let pretty = pretty_json(&serde_json::to_value(&report));
+        let parsed: TenantsBenchReport =
+            serde_json::from_str(&pretty).expect("pretty output parses");
+        assert_eq!(parsed, report);
+        let compact = serde_json::to_string(&report).unwrap();
+        let parsed: TenantsBenchReport = serde_json::from_str(&compact).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn committed_tenants_snapshot_parses_and_keeps_the_fabric_guarantees() {
+        // The committed multi-tenant baseline must stay parseable and
+        // keep the key-fabric acceptance properties: seeded transport
+        // at most 0.6x the expanded key, and a hot set that fits the
+        // cache budget retaining at least 0.8x of the single-tenant
+        // point's throughput.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tenants.json");
+        let text = std::fs::read_to_string(path).expect("committed BENCH_tenants.json exists");
+        let report: TenantsBenchReport =
+            serde_json::from_str(&text).expect("committed snapshot matches schema");
+        assert_eq!(report.schema, TENANTS_SCHEMA);
+        assert!(report.config.tenants_registered >= report.config.cache_budget_keys);
+        assert!(
+            report.config.seeded_transport_bytes as f64
+                <= 0.6 * report.config.server_key_bytes as f64,
+            "seeded transport must stay within 0.6x of the expanded key"
+        );
+        assert!(report.points.len() >= 3, "sweep covers 1 / budget / all-tenants hot counts");
+        assert!(
+            report.points.windows(2).all(|w| w[0].hot_tenants < w[1].hot_tenants),
+            "points in ascending hot-tenant order"
+        );
+        let single = &report.points[0];
+        assert_eq!(single.hot_tenants, 1);
+        let budget_sized = report
+            .points
+            .iter()
+            .find(|p| p.hot_tenants == report.config.cache_budget_keys)
+            .expect("a point with the hot set exactly filling the budget");
+        assert!(
+            budget_sized.aggregate_pbs_per_s >= 0.8 * single.aggregate_pbs_per_s,
+            "a budget-sized hot set must retain >= 0.8x single-tenant throughput \
+             ({} vs {})",
+            budget_sized.aggregate_pbs_per_s,
+            single.aggregate_pbs_per_s
+        );
+        for point in &report.points {
+            assert_eq!(point.failed, 0, "registered tenants never fail");
+            assert_eq!(point.requests, point.completed);
+        }
     }
 
     #[test]

@@ -99,6 +99,21 @@ impl SoaSpectrum {
         &self.im
     }
 
+    /// Both whole planes at once — the borrow the grouped CMUX hoists
+    /// out of its inner loops so per-transform slicing
+    /// (`chunks_exact(transform_len)`) carries no per-iteration bounds
+    /// arithmetic.
+    #[inline]
+    pub fn planes(&self) -> (&[f64], &[f64]) {
+        (&self.re, &self.im)
+    }
+
+    /// Mutable counterpart of [`Self::planes`].
+    #[inline]
+    pub fn planes_mut(&mut self) -> (&mut [f64], &mut [f64]) {
+        (&mut self.re, &mut self.im)
+    }
+
     /// Zeroes every value in the batch (fresh accumulator state).
     pub fn fill_zero(&mut self) {
         self.re.fill(0.0);

@@ -1,20 +1,34 @@
 //! The two-level batcher: turns the live ingress stream into epochs.
 //!
-//! One batcher thread owns the open batch. It pulls requests in
-//! arrival order (which preserves each client's submission order) and
-//! flushes an [`Epoch`] to the worker queue when either side of the
-//! [`FlushPolicy`] trips:
+//! One batcher thread owns the open batches — one per tenant, because
+//! an [`Epoch`] only ever executes under a single tenant's key (the
+//! key-major batching level above `TvLP × core_batch`). It pulls
+//! requests in arrival order (which preserves each client's submission
+//! order), partitions them by [`TenantId`], and flushes an epoch to
+//! the worker queue when either side of the [`FlushPolicy`] trips for
+//! some tenant:
 //!
-//! * **batch-full** — `TvLP × core_batch` requests are waiting, the
-//!   fragmentation-free case the paper optimises for, or
-//! * **deadline** — the oldest open request has waited `max_delay`
-//!   *since it was submitted* (`Request::submitted_at`), bounding tail
-//!   latency under light load. Time spent queued in the ingress counts
-//!   against the deadline: a request that aged in a backed-up ingress
-//!   flushes immediately once the batcher pops it, instead of waiting
-//!   another full `max_delay` measured from batch-open.
+//! * **batch-full** — `TvLP × core_batch` requests of one tenant are
+//!   waiting, the fragmentation-free case the paper optimises for, or
+//! * **deadline** — a tenant's oldest open request has waited
+//!   `max_delay` *since it was submitted* (`Request::submitted_at`),
+//!   bounding tail latency under light load. Time spent queued in the
+//!   ingress counts against the deadline: a request that aged in a
+//!   backed-up ingress flushes immediately once the batcher pops it,
+//!   instead of waiting another full `max_delay` measured from
+//!   batch-open.
 //!
-//! On ingress close the batcher flushes the remainder (possibly
+//! Flush arbitration across tenants is **deficit round robin**: a
+//! rotation visits every tenant with pending work, credits it
+//! [`FlushPolicy::quantum`] requests, and lets it emit full epochs
+//! only while it has credit — so a hog tenant with an endless backlog
+//! cannot monopolise the epoch stream while others hold full batches.
+//! Deadline flushes bypass the quota entirely (the latency bound is a
+//! guarantee, not a share), and a single-tenant stream with the
+//! default quantum (one full epoch per visit) behaves exactly like
+//! the un-partitioned batcher.
+//!
+//! On ingress close the batcher flushes every remainder (possibly
 //! undersized — losing requests is worse than fragmenting one final
 //! epoch) and closes the epoch queue, which lets the workers drain and
 //! exit.
@@ -25,26 +39,41 @@ use std::time::{Duration, Instant};
 use crate::metrics::MetricsSink;
 use crate::policy::FlushPolicy;
 use crate::queue::{BoundedQueue, PopError};
-use crate::request::{Epoch, Request};
+use crate::request::{Epoch, Request, TenantId};
 use crate::trace::{TraceStage, Tracer};
 
-pub(crate) fn run(
+/// One tenant's open batch plus its DRR bookkeeping. Slots live in the
+/// rotation ring in first-seen order and persist once created (tenant
+/// counts are small and bounded by the deployment).
+struct TenantBatch {
+    tenant: TenantId,
+    requests: Vec<Request>,
+    /// Unspent DRR credit, in requests.
+    deficit: usize,
+}
+
+struct Batcher {
     ingress: Arc<BoundedQueue<Request>>,
     epochs: Arc<BoundedQueue<Epoch>>,
     policy: FlushPolicy,
     metrics: Arc<MetricsSink>,
     tracer: Arc<Tracer>,
-) {
-    let mut open: Vec<Request> = Vec::with_capacity(policy.max_epoch);
-    let mut next_epoch = 0u64;
+    /// Per-tenant open batches, in rotation order.
+    ring: Vec<TenantBatch>,
+    /// Rotation start for the next flush scan.
+    cursor: usize,
+    next_epoch: u64,
+}
 
-    // Entry into the open batch stamps `batched_at` (closing the
-    // ingress queue-wait interval) on the request itself, so latency
-    // attribution works even with tracing disabled or sampled out.
-    let admit = |open: &mut Vec<Request>, mut request: Request| {
+impl Batcher {
+    /// Entry into a tenant's open batch stamps `batched_at` (closing
+    /// the ingress queue-wait interval) on the request itself, so
+    /// latency attribution works even with tracing disabled or sampled
+    /// out.
+    fn admit(&mut self, mut request: Request) {
         let now = Instant::now();
         request.batched_at = Some(now);
-        tracer.record_at(
+        self.tracer.record_at(
             request.span,
             request.client,
             request.seq,
@@ -52,20 +81,43 @@ pub(crate) fn run(
             TraceStage::BatchOpened,
             now,
         );
-        open.push(request);
-    };
+        let tenant = request.tenant;
+        match self.ring.iter_mut().find(|slot| slot.tenant == tenant) {
+            Some(slot) => slot.requests.push(request),
+            None => self.ring.push(TenantBatch { tenant, requests: vec![request], deficit: 0 }),
+        }
+    }
 
-    let flush = |open: &mut Vec<Request>, next_epoch: &mut u64| {
-        if open.is_empty() {
+    /// The earliest submission across every open batch — the next
+    /// deadline the main loop must wake for. Pop order follows push
+    /// order, not submission order (a submitter can block on a full
+    /// ingress while a younger request lands first), so take the true
+    /// minimum.
+    fn oldest_submission(&self) -> Option<Instant> {
+        self.ring.iter().flat_map(|s| s.requests.iter().map(|r| r.submitted_at)).min()
+    }
+
+    fn any_full(&self) -> bool {
+        self.ring.iter().any(|s| self.policy.is_full(s.requests.len()))
+    }
+
+    /// Emits one epoch of up to `chunk` requests from the front of
+    /// slot `idx`'s batch.
+    fn emit(&mut self, idx: usize, chunk: usize) {
+        let slot = &mut self.ring[idx];
+        let take = chunk.min(slot.requests.len());
+        if take == 0 {
             return;
         }
-        metrics.record_epoch(open.len(), policy.max_epoch);
-        metrics.record_queue_depth(ingress.len());
+        let tenant = slot.tenant;
+        let mut requests: Vec<Request> = slot.requests.drain(..take).collect();
+        self.metrics.record_epoch(requests.len(), self.policy.max_epoch);
+        self.metrics.record_queue_depth(self.ingress.len());
         let now = Instant::now();
-        let id = *next_epoch;
-        for request in open.iter_mut() {
+        let id = self.next_epoch;
+        for request in requests.iter_mut() {
             request.flushed_at = Some(now);
-            tracer.record_at(
+            self.tracer.record_at(
                 request.span,
                 request.client,
                 request.seq,
@@ -74,69 +126,137 @@ pub(crate) fn run(
                 now,
             );
         }
-        let epoch = Epoch { id, requests: std::mem::take(open) };
-        *next_epoch += 1;
+        self.next_epoch += 1;
         // The epoch queue only closes after this thread exits, so a
         // failed push can't lose requests; still, be explicit.
-        if epochs.push(epoch).is_err() {
+        if self.epochs.push(Epoch { id, tenant, requests }).is_err() {
             // lint:allow(panic) the runtime closes the epoch queue only after joining this thread
             unreachable!("epoch queue closed while batcher alive");
         }
-    };
+    }
 
-    // A deadline flush first tops the batch up with whatever already
-    // waits in the ingress — pops are instant, so an aged backlog must
-    // fill epochs instead of collapsing into undersized flushes (one
-    // aged request per epoch would be the worst fragmentation case the
-    // policy exists to avoid).
-    let top_up = |open: &mut Vec<Request>| {
-        while !policy.is_full(open.len()) {
-            match ingress.pop_timeout(Duration::ZERO) {
-                Ok(request) => admit(open, request),
+    /// One DRR rotation over the tenant ring, starting at the cursor.
+    /// Every visited tenant with pending work earns `quantum` credit;
+    /// full batches spend credit to emit epochs, overdue batches
+    /// (`now` past their oldest request's deadline) and drain
+    /// rotations (`drain`, on ingress close) emit unconditionally,
+    /// chunked at `max_epoch`. A tenant whose batch empties forfeits
+    /// leftover credit — classic DRR, so idle tenants cannot hoard.
+    fn rotation_flush(&mut self, now: Option<Instant>, drain: bool) {
+        let n = self.ring.len();
+        if n == 0 {
+            return;
+        }
+        for step in 0..n {
+            let idx = (self.cursor + step) % n;
+            if self.ring[idx].requests.is_empty() {
+                continue;
+            }
+            let quantum = self.policy.quantum;
+            self.ring[idx].deficit = self.ring[idx].deficit.saturating_add(quantum);
+            loop {
+                let slot = &self.ring[idx];
+                let len = slot.requests.len();
+                if len == 0 {
+                    break;
+                }
+                let overdue = drain
+                    || now.is_some_and(|now| {
+                        slot.requests
+                            .iter()
+                            .map(|r| r.submitted_at)
+                            .min()
+                            .is_some_and(|oldest| now >= oldest + self.policy.max_delay)
+                    });
+                let chunk = len.min(self.policy.max_epoch);
+                let emits = overdue || (self.policy.is_full(len) && slot.deficit >= chunk);
+                if !emits {
+                    break;
+                }
+                self.emit(idx, chunk);
+                let slot = &mut self.ring[idx];
+                slot.deficit = slot.deficit.saturating_sub(chunk);
+            }
+            if self.ring[idx].requests.is_empty() {
+                self.ring[idx].deficit = 0;
+            }
+        }
+        self.cursor = (self.cursor + 1) % n;
+    }
+
+    /// A deadline flush first tops the batches up with whatever
+    /// already waits in the ingress — pops are instant, so an aged
+    /// backlog must fill epochs instead of collapsing into undersized
+    /// flushes (one aged request per epoch would be the worst
+    /// fragmentation case the policy exists to avoid). Stops as soon
+    /// as some tenant's batch fills: the rotation that follows emits
+    /// it, and the main loop tops up again on the next pass.
+    fn top_up(&mut self) {
+        while !self.any_full() {
+            match self.ingress.pop_timeout(Duration::ZERO) {
+                Ok(request) => self.admit(request),
                 Err(_) => break,
             }
         }
+    }
+}
+
+pub(crate) fn run(
+    ingress: Arc<BoundedQueue<Request>>,
+    epochs: Arc<BoundedQueue<Epoch>>,
+    policy: FlushPolicy,
+    metrics: Arc<MetricsSink>,
+    tracer: Arc<Tracer>,
+) {
+    let epochs_queue = Arc::clone(&epochs);
+    let mut batcher = Batcher {
+        ingress,
+        epochs,
+        policy,
+        metrics,
+        tracer,
+        ring: Vec::new(),
+        cursor: 0,
+        next_epoch: 0,
     };
 
     loop {
-        // A batch is open: wait only until its deadline, measured from
-        // the oldest request's *submission* so ingress queueing time
-        // counts against the `max_delay` bound. Pop order follows push
-        // order, not submission order (a submitter can block on a full
-        // ingress while a younger request lands first), so take the
-        // true minimum. With nothing pending, wait indefinitely.
-        let popped = match open.iter().map(|r| r.submitted_at).min() {
-            None => ingress.pop(),
+        // Batches are open: wait only until the earliest deadline,
+        // measured from the oldest request's *submission* so ingress
+        // queueing time counts against the `max_delay` bound. With
+        // nothing pending, wait indefinitely.
+        let popped = match batcher.oldest_submission() {
+            None => batcher.ingress.pop(),
             Some(oldest) => {
                 let deadline = oldest + policy.max_delay;
                 let now = Instant::now();
                 if now >= deadline {
-                    top_up(&mut open);
-                    flush(&mut open, &mut next_epoch);
+                    batcher.top_up();
+                    batcher.rotation_flush(Some(Instant::now()), false);
                     continue;
                 }
-                ingress.pop_timeout(deadline - now)
+                batcher.ingress.pop_timeout(deadline - now)
             }
         };
 
         match popped {
             Ok(request) => {
-                admit(&mut open, request);
-                if policy.is_full(open.len()) {
-                    flush(&mut open, &mut next_epoch);
+                batcher.admit(request);
+                if batcher.any_full() {
+                    batcher.rotation_flush(None, false);
                 }
             }
             Err(PopError::TimedOut) => {
-                top_up(&mut open);
-                flush(&mut open, &mut next_epoch);
+                batcher.top_up();
+                batcher.rotation_flush(Some(Instant::now()), false);
             }
             Err(PopError::Closed) => {
-                flush(&mut open, &mut next_epoch);
+                batcher.rotation_flush(None, true);
                 break;
             }
         }
     }
-    epochs.close();
+    epochs_queue.close();
 }
 
 #[cfg(test)]
@@ -176,7 +296,7 @@ mod tests {
 
     #[test]
     fn flushes_on_batch_full() {
-        let policy = FlushPolicy { max_epoch: 4, max_delay: Duration::from_secs(10) };
+        let policy = FlushPolicy::new(4, Duration::from_secs(10));
         let (ingress, epochs, handle) = harness(policy);
         for seq in 0..8 {
             ingress.push(request(seq)).unwrap();
@@ -195,7 +315,7 @@ mod tests {
 
     #[test]
     fn flushes_on_deadline_when_undersized() {
-        let policy = FlushPolicy { max_epoch: 64, max_delay: Duration::from_millis(20) };
+        let policy = FlushPolicy::new(64, Duration::from_millis(20));
         let (ingress, epochs, handle) = harness(policy);
         ingress.push(request(0)).unwrap();
         let t0 = Instant::now();
@@ -215,7 +335,7 @@ mod tests {
         // would only flush after the full extra 500 ms. (The back-date
         // is kept to 2 s so a freshly booted machine's monotonic clock
         // can still represent it.)
-        let policy = FlushPolicy { max_epoch: 64, max_delay: Duration::from_millis(500) };
+        let policy = FlushPolicy::new(64, Duration::from_millis(500));
         let (ingress, epochs, handle) = harness(policy);
         let mut aged = request(0);
         aged.submitted_at = Instant::now()
@@ -246,7 +366,7 @@ mod tests {
         // flush must first top up from the queued requests: 8 aged
         // requests with max_epoch 4 form 2 full epochs, not 8
         // singletons.
-        let policy = FlushPolicy { max_epoch: 4, max_delay: Duration::from_millis(100) };
+        let policy = FlushPolicy::new(4, Duration::from_millis(100));
         // Enqueue the whole backlog *before* the batcher starts so the
         // test is deterministic (no race with the batcher's pops).
         let ingress = Arc::new(BoundedQueue::new(1024));
@@ -277,7 +397,7 @@ mod tests {
 
     #[test]
     fn flush_stamps_batch_and_flush_times() {
-        let policy = FlushPolicy { max_epoch: 2, max_delay: Duration::from_secs(10) };
+        let policy = FlushPolicy::new(2, Duration::from_secs(10));
         let (ingress, epochs, handle) = harness(policy);
         ingress.push(request(0)).unwrap();
         ingress.push(request(1)).unwrap();
@@ -293,7 +413,7 @@ mod tests {
 
     #[test]
     fn close_flushes_remainder_and_closes_epochs() {
-        let policy = FlushPolicy { max_epoch: 64, max_delay: Duration::from_secs(10) };
+        let policy = FlushPolicy::new(64, Duration::from_secs(10));
         let (ingress, epochs, handle) = harness(policy);
         for seq in 0..5 {
             ingress.push(request(seq)).unwrap();
@@ -303,5 +423,194 @@ mod tests {
         let epoch = epochs.pop().unwrap();
         assert_eq!(epoch.requests.len(), 5);
         assert!(matches!(epochs.pop(), Err(PopError::Closed)));
+    }
+
+    #[test]
+    fn tenants_never_share_an_epoch() {
+        // Interleaved arrivals from two tenants partition into
+        // single-tenant epochs with per-tenant arrival order intact.
+        let policy = FlushPolicy::new(4, Duration::from_secs(10));
+        let (ingress, epochs, handle) = harness(policy);
+        for seq in 0..8u64 {
+            for t in [1u64, 2] {
+                ingress.push(request(seq * 2 + t).with_tenant(TenantId(t))).unwrap();
+            }
+        }
+        ingress.close();
+        handle.join().unwrap();
+        let mut per_tenant: std::collections::HashMap<u64, Vec<u64>> = Default::default();
+        let mut epoch_count = 0;
+        while let Ok(epoch) = epochs.pop() {
+            epoch_count += 1;
+            assert!(
+                epoch.requests.iter().all(|r| r.tenant == epoch.tenant),
+                "epoch {} mixes tenants",
+                epoch.id
+            );
+            per_tenant
+                .entry(epoch.tenant.0)
+                .or_default()
+                .extend(epoch.requests.iter().map(|r| r.seq));
+        }
+        assert_eq!(epoch_count, 4, "8 + 8 requests at max_epoch 4");
+        for t in [1u64, 2] {
+            let seqs = &per_tenant[&t];
+            assert_eq!(seqs.len(), 8);
+            assert!(seqs.windows(2).all(|w| w[0] < w[1]), "tenant {t} order broken: {seqs:?}");
+        }
+        assert!(matches!(epochs.pop(), Err(PopError::Closed)));
+    }
+
+    #[test]
+    fn full_tenants_flush_in_rotation() {
+        // Alternating arrivals: each tenant fills its batch in turn,
+        // so the epoch stream alternates tenants instead of letting
+        // the first tenant emit everything before the second starts.
+        let policy = FlushPolicy::new(2, Duration::from_secs(10));
+        let (ingress, epochs, handle) = harness(policy);
+        for seq in 0..4u64 {
+            ingress.push(request(seq).with_tenant(TenantId(seq % 2))).unwrap();
+        }
+        ingress.close();
+        handle.join().unwrap();
+        let mut tenants = Vec::new();
+        while let Ok(epoch) = epochs.pop() {
+            assert_eq!(epoch.requests.len(), 2);
+            tenants.push(epoch.tenant.0);
+        }
+        tenants.sort_unstable();
+        assert_eq!(tenants, [0, 1], "each tenant emits exactly one full epoch");
+    }
+
+    #[test]
+    fn quantum_gates_full_batch_flushes_until_credit_accrues() {
+        // quantum 1 with max_epoch 2: a full batch needs two rotation
+        // visits' worth of credit before it may emit, so the first
+        // full trigger does NOT flush and the third admit (second
+        // rotation) does. Deadline and drain flushes bypass the quota.
+        let policy = FlushPolicy::new(2, Duration::from_secs(10)).with_quantum(1);
+        let (ingress, epochs, handle) = harness(policy);
+        ingress.push(request(0)).unwrap();
+        ingress.push(request(1)).unwrap();
+        // Full, but only 1 credit after the first rotation: no epoch.
+        assert!(matches!(epochs.pop_timeout(Duration::from_millis(100)), Err(PopError::TimedOut)));
+        ingress.push(request(2)).unwrap();
+        // Second rotation: credit reaches 2, the full chunk emits.
+        let epoch = epochs.pop_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(epoch.requests.len(), 2);
+        assert_eq!(epoch.requests[0].seq, 0);
+        // The drain flush emits the remainder regardless of credit.
+        ingress.close();
+        handle.join().unwrap();
+        assert_eq!(epochs.pop().unwrap().requests.len(), 1);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Pushes the whole arrival sequence, closes the ingress and
+        /// runs the batcher to completion on this thread, returning
+        /// the emitted epochs in flush order. A far-future deadline
+        /// keeps the run timing-free: only batch-full and drain
+        /// flushes can fire, so the epoch stream is a deterministic
+        /// function of the arrival sequence.
+        fn run_to_completion(policy: FlushPolicy, arrivals: Vec<Request>) -> Vec<Epoch> {
+            let capacity = arrivals.len().max(1);
+            let ingress = Arc::new(BoundedQueue::new(capacity));
+            let epochs = Arc::new(BoundedQueue::new(capacity));
+            for r in arrivals {
+                ingress.push(r).unwrap();
+            }
+            ingress.close();
+            run(
+                Arc::clone(&ingress),
+                Arc::clone(&epochs),
+                policy,
+                Arc::new(MetricsSink::default()),
+                Arc::new(Tracer::default()),
+            );
+            let mut out = Vec::new();
+            while let Ok(epoch) = epochs.pop() {
+                out.push(epoch);
+            }
+            out
+        }
+
+        proptest! {
+            #[test]
+            fn epochs_never_mix_tenants_and_preserve_per_tenant_order(
+                tenants in prop::collection::vec(0u64..4, 1..80),
+                max_epoch in 1usize..8,
+            ) {
+                let policy = FlushPolicy::new(max_epoch, Duration::from_secs(1000));
+                let arrivals: Vec<Request> = tenants
+                    .iter()
+                    .enumerate()
+                    .map(|(seq, &t)| request(seq as u64).with_tenant(TenantId(t)))
+                    .collect();
+                let epochs = run_to_completion(policy, arrivals);
+                let mut per_tenant: std::collections::HashMap<u64, Vec<u64>> =
+                    Default::default();
+                for epoch in &epochs {
+                    prop_assert!(!epoch.requests.is_empty());
+                    prop_assert!(epoch.requests.len() <= max_epoch);
+                    prop_assert!(
+                        epoch.requests.iter().all(|r| r.tenant == epoch.tenant),
+                        "epoch {} mixes tenants",
+                        epoch.id
+                    );
+                    per_tenant
+                        .entry(epoch.tenant.0)
+                        .or_default()
+                        .extend(epoch.requests.iter().map(|r| r.seq));
+                }
+                // Nothing lost, nothing duplicated, and every tenant's
+                // requests flush in their arrival order.
+                let mut expected: std::collections::HashMap<u64, Vec<u64>> =
+                    Default::default();
+                for (seq, &t) in tenants.iter().enumerate() {
+                    expected.entry(t).or_default().push(seq as u64);
+                }
+                prop_assert_eq!(per_tenant, expected);
+            }
+
+            #[test]
+            fn drr_rotation_bounds_every_tenants_wait(
+                tenant_count in 2usize..5,
+                max_epoch in 1usize..5,
+                epochs_per_tenant in 1usize..4,
+            ) {
+                // Equal saturated backlogs with arrivals interleaved
+                // round robin: DRR must emit epochs round robin too, so
+                // at any prefix of the flush order no tenant is more
+                // than one epoch ahead of another — a full batch waits
+                // at most one epoch per competing tenant, never a whole
+                // competing backlog.
+                let policy = FlushPolicy::new(max_epoch, Duration::from_secs(1000));
+                let mut arrivals = Vec::new();
+                let mut seq = 0u64;
+                for _ in 0..epochs_per_tenant * max_epoch {
+                    for t in 0..tenant_count as u64 {
+                        arrivals.push(request(seq).with_tenant(TenantId(t)));
+                        seq += 1;
+                    }
+                }
+                let epochs = run_to_completion(policy, arrivals);
+                prop_assert_eq!(epochs.len(), tenant_count * epochs_per_tenant);
+                let mut counts = vec![0usize; tenant_count];
+                for epoch in &epochs {
+                    prop_assert_eq!(
+                        epoch.requests.len(),
+                        max_epoch,
+                        "saturated epochs must flush full"
+                    );
+                    counts[epoch.tenant.0 as usize] += 1;
+                    let lo = counts.iter().copied().min().unwrap_or(0);
+                    let hi = counts.iter().copied().max().unwrap_or(0);
+                    prop_assert!(hi - lo <= 1, "unfair epoch prefix: {:?}", counts);
+                }
+            }
+        }
     }
 }

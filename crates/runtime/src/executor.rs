@@ -18,6 +18,7 @@ use strix_tfhe::profiler::{PbsStage, StageTimings};
 use strix_tfhe::{PbsKernel, ServerKey, TfheError};
 
 use crate::analyzer::AdmissionPolicy;
+use crate::registry::KeyRegistry;
 use crate::request::{Request, RequestClass, RequestOp};
 
 /// Per-request-class PBS kernel selection, mirroring the
@@ -256,10 +257,7 @@ impl TfheExecutor {
     /// policy selects the multi-bit kernel **and** the server key
     /// carries the material; `None` means the classical kernel.
     fn multi_bit_for(&self, class: RequestClass) -> Option<&MultiBitBootstrapKey> {
-        match self.policy.kernel_for(class) {
-            PbsKernel::MultiBit { .. } => self.server.multi_bit_bootstrap_key(),
-            PbsKernel::Classical => None,
-        }
+        multi_bit_on_key(&self.server, &self.policy, class)
     }
 
     /// The kernel `class` actually executes with, after resolving the
@@ -274,248 +272,286 @@ impl TfheExecutor {
     }
 }
 
+/// Block-aware intra-epoch thread plan shared by the TFHE executors:
+/// the blocked CMUX amortises each key row over up to `CMUX_JOB_BLOCK`
+/// accumulators, so a shard smaller than one block trades that
+/// locality for thread count. Cap the shard count at one block per
+/// thread (the keyswitch tail, which has no blocking, shards with the
+/// plain thread budget instead). Bit-identity holds for any split.
+fn plan_threads(threads: usize, batch_len: usize) -> usize {
+    let max_useful = batch_len.div_ceil(strix_tfhe::scratch::CMUX_JOB_BLOCK);
+    threads.min(max_useful).max(1)
+}
+
+/// The grouped bootstrapping key `class` routes through on `server`,
+/// when the policy selects the multi-bit kernel **and** the key
+/// carries the material; `None` means the classical kernel.
+fn multi_bit_on_key<'a>(
+    server: &'a ServerKey,
+    policy: &KernelPolicy,
+    class: RequestClass,
+) -> Option<&'a MultiBitBootstrapKey> {
+    match policy.kernel_for(class) {
+        PbsKernel::MultiBit { .. } => server.multi_bit_bootstrap_key(),
+        PbsKernel::Classical => None,
+    }
+}
+
+/// Runs one epoch of requests against a specific server key — the
+/// shared body of [`TfheExecutor`] (one fixed key for the runtime's
+/// lifetime) and [`MultiTenantExecutor`] (the epoch's tenant key,
+/// resolved from the [`KeyRegistry`] and pinned for the whole PBS+KS
+/// run by the borrow held here).
+fn execute_epoch_on_key(
+    server: &ServerKey,
+    threads: usize,
+    policy: &KernelPolicy,
+    gate_lut: &Lut,
+    batch: &[Request],
+    profiled: bool,
+) -> EpochExecution {
+    // Collect every PBS-bearing request into one key-major batch;
+    // keyswitch-only requests run directly. Shape validation
+    // happens here, per job, so one malformed request fails alone
+    // instead of poisoning (or serialising) the shared batch call.
+    let bsk = server.bootstrap_key();
+    let mut timings = StageTimings::new();
+    let mut pbs_span = None;
+    let mut ks_span = None;
+    let mut results: Vec<Option<Result<LweCiphertext, TfheError>>> =
+        batch.iter().map(|_| None).collect();
+    // Fused linear preambles are materialised first so the borrowed
+    // PBS jobs below can reference them alongside the plain request
+    // ciphertexts. A failed preamble fails its request alone.
+    let preamble_t0 = Instant::now();
+    let mut preambles: Vec<Option<LweCiphertext>> = batch.iter().map(|_| None).collect();
+    for (i, req) in batch.iter().enumerate() {
+        let combined = match &req.op {
+            RequestOp::Gate { gate, other } => {
+                let recipe = gate.recipe();
+                Some(linear_preamble(
+                    &req.ct,
+                    &recipe.weights(),
+                    std::slice::from_ref(other),
+                    recipe.offset(),
+                ))
+            }
+            RequestOp::LinearLut { weights, extra, offset, .. } => {
+                Some(linear_preamble(&req.ct, weights, extra, *offset))
+            }
+            _ => None,
+        };
+        match combined {
+            Some(Ok(ct)) => preambles[i] = Some(ct),
+            Some(Err(e)) => results[i] = Some(Err(e)),
+            None => {}
+        }
+    }
+    if profiled {
+        timings.add(PbsStage::LinearOps, preamble_t0.elapsed());
+    }
+
+    let ksk = server.keyswitch_key();
+    let mbsk = server.multi_bit_bootstrap_key();
+    // One job list per kernel: each request's class resolves
+    // through the policy (with classical fallback when the grouped
+    // key is absent), so one epoch may mix kernels freely while
+    // each kernel still runs as a single key-major batch.
+    let mut pbs_indices = Vec::new();
+    let mut jobs: Vec<PbsJob<'_>> = Vec::new();
+    let mut mb_indices = Vec::new();
+    let mut mb_jobs: Vec<PbsJob<'_>> = Vec::new();
+    // Keyswitch-only requests are collected and run as ONE batch
+    // (one digit buffer per epoch) instead of one allocating
+    // `keyswitch` call per request. Dimensions are validated here,
+    // per request, so a malformed input fails alone instead of
+    // poisoning the shared batch call.
+    let mut ks_only_slots = Vec::new();
+    let mut ks_only_inputs: Vec<&LweCiphertext> = Vec::new();
+    for (i, req) in batch.iter().enumerate() {
+        if results[i].is_some() {
+            continue; // preamble already failed this request
+        }
+        let job = match &req.op {
+            RequestOp::Lut(lut) | RequestOp::Bootstrap(lut) => Some((&req.ct, lut.as_ref())),
+            RequestOp::Gate { .. } => preambles[i].as_ref().map(|ct| (ct, gate_lut)),
+            RequestOp::LinearLut { lut, .. } => preambles[i].as_ref().map(|ct| (ct, lut.as_ref())),
+            RequestOp::Keyswitch => {
+                if req.ct.dimension() == ksk.input_dimension() {
+                    ks_only_slots.push(i);
+                    ks_only_inputs.push(&req.ct);
+                } else {
+                    results[i] = Some(Err(TfheError::ParameterMismatch {
+                        what: "lwe dimension",
+                        left: req.ct.dimension(),
+                        right: ksk.input_dimension(),
+                    }));
+                }
+                None
+            }
+        };
+        if let Some((ct, lut)) = job {
+            if let Some(mb) = multi_bit_on_key(server, policy, req.op.class()) {
+                match mb.check_shape(ct, lut) {
+                    Ok(()) => {
+                        mb_indices.push(i);
+                        mb_jobs.push(PbsJob { ct, lut });
+                    }
+                    Err(e) => results[i] = Some(Err(e)),
+                }
+            } else {
+                match bsk.check_shape(ct, lut) {
+                    Ok(()) => {
+                        pbs_indices.push(i);
+                        jobs.push(PbsJob { ct, lut });
+                    }
+                    Err(e) => results[i] = Some(Err(e)),
+                }
+            }
+        }
+    }
+
+    // With dimensions pre-validated the batch call cannot fail;
+    // an unexpected error still fails only its own requests.
+    // Keyswitching has no job blocking, so it shards with the
+    // plain thread budget, not the block-aware PBS plan.
+    if !ks_only_inputs.is_empty() {
+        match ksk
+            .keyswitch_batch_parallel(&ks_only_inputs, threads.min(ks_only_inputs.len()).max(1))
+        {
+            Ok(switched) => {
+                for (&i, out) in ks_only_slots.iter().zip(switched) {
+                    results[i] = Some(Ok(out));
+                }
+            }
+            Err(e) => {
+                for &i in &ks_only_slots {
+                    results[i] = Some(Err(e.clone()));
+                }
+            }
+        }
+    }
+
+    // With shapes pre-validated the batch call cannot mismatch;
+    // still, an unexpected error fails its jobs rather than
+    // panicking the worker thread.
+    //
+    // A profiled (sampled) epoch runs the probed production kernel
+    // instead — same blocked CMUX loop, single-threaded, with each
+    // stage bracketed by `TimingProbe`. Bit-identical output; the
+    // sampling cost is losing intra-epoch parallelism for this one
+    // epoch, which is why it's every Nth epoch, not all of them.
+    // Both kernels run their batch inside one PBS span: the
+    // classical jobs first, then the grouped multi-bit jobs. On
+    // sampled epochs both probed kernels accumulate into the same
+    // per-stage timings (the stages are shared vocabulary).
+    let pbs_t0 = Instant::now();
+    let classical_result = if profiled {
+        bsk.bootstrap_batch_profiled(&jobs, &mut timings)
+    } else {
+        bsk.bootstrap_batch_parallel(&jobs, plan_threads(threads, jobs.len()))
+    };
+    let multi_bit_result = match mbsk {
+        Some(mb) if !mb_jobs.is_empty() => {
+            if profiled {
+                mb.bootstrap_batch_profiled(&mb_jobs, &mut timings)
+            } else {
+                mb.bootstrap_batch_parallel(&mb_jobs, plan_threads(threads, mb_jobs.len()))
+            }
+        }
+        _ => Ok(Vec::new()),
+    };
+    let total_pbs = jobs.len() + mb_jobs.len();
+    if total_pbs > 0 {
+        pbs_span = Some((pbs_t0, Instant::now()));
+    }
+    // Keyswitch the Lut/Gate/LinearLut outputs of BOTH kernels as
+    // one batch (they all carry the extracted dimension the key
+    // expects); Bootstrap-op outputs pass through raw.
+    let mut ks_slots = Vec::new();
+    let mut ks_inputs = Vec::new();
+    for (indices, booted_result) in
+        [(&pbs_indices, classical_result), (&mb_indices, multi_bit_result)]
+    {
+        match booted_result {
+            Ok(booted) => {
+                for (&i, out) in indices.iter().zip(booted) {
+                    match &batch[i].op {
+                        RequestOp::Lut(_)
+                        | RequestOp::Gate { .. }
+                        | RequestOp::LinearLut { .. } => {
+                            ks_slots.push(i);
+                            ks_inputs.push(out);
+                        }
+                        _ => results[i] = Some(Ok(out)),
+                    }
+                }
+            }
+            Err(e) => {
+                for &i in indices {
+                    results[i] = Some(Err(e.clone()));
+                }
+            }
+        }
+    }
+    // The Algorithm-2 tail shares the epoch's thread
+    // budget: sharded like the blind rotation, bit-identical
+    // to the sequential batch. On sampled epochs its wall
+    // time lands in the KeySwitch stage bucket.
+    let ks_t0 = Instant::now();
+    let switched_result =
+        ksk.keyswitch_batch_parallel(&ks_inputs, threads.min(ks_inputs.len()).max(1));
+    if !ks_inputs.is_empty() {
+        let ks_t1 = Instant::now();
+        ks_span = Some((ks_t0, ks_t1));
+        if profiled {
+            timings.add(PbsStage::KeySwitch, ks_t1 - ks_t0);
+        }
+    }
+    match switched_result {
+        Ok(switched) => {
+            for (&i, out) in ks_slots.iter().zip(switched) {
+                results[i] = Some(Ok(out));
+            }
+        }
+        // Unreachable with pre-validated shapes (PBS always
+        // emits the extracted dimension), but an error must
+        // fail its requests, not the worker.
+        Err(e) => {
+            for &i in &ks_slots {
+                results[i] = Some(Err(e.clone()));
+            }
+        }
+    }
+
+    let kernel_jobs = [jobs.len(), mb_jobs.len()];
+    let results = results
+        .into_iter()
+        // lint:allow(panic) every request is routed to exactly one of the fill paths above
+        .map(|r| r.expect("every request receives a result"))
+        .collect();
+    let stage_sample = (profiled && total_pbs > 0).then_some((timings, total_pbs));
+    EpochExecution { results, pbs_span, ks_span, stage_sample, kernel_jobs }
+}
+
 impl BatchExecutor for TfheExecutor {
     fn execute(&self, batch: &[Request]) -> Vec<Result<LweCiphertext, TfheError>> {
         self.execute_epoch(batch, false).results
     }
 
     fn execute_epoch(&self, batch: &[Request], profiled: bool) -> EpochExecution {
-        // Collect every PBS-bearing request into one key-major batch;
-        // keyswitch-only requests run directly. Shape validation
-        // happens here, per job, so one malformed request fails alone
-        // instead of poisoning (or serialising) the shared batch call.
-        let bsk = self.server.bootstrap_key();
-        let mut timings = StageTimings::new();
-        let mut pbs_span = None;
-        let mut ks_span = None;
-        let mut results: Vec<Option<Result<LweCiphertext, TfheError>>> =
-            batch.iter().map(|_| None).collect();
-        // Fused linear preambles are materialised first so the borrowed
-        // PBS jobs below can reference them alongside the plain request
-        // ciphertexts. A failed preamble fails its request alone.
-        let preamble_t0 = Instant::now();
-        let mut preambles: Vec<Option<LweCiphertext>> = batch.iter().map(|_| None).collect();
-        for (i, req) in batch.iter().enumerate() {
-            let combined = match &req.op {
-                RequestOp::Gate { gate, other } => {
-                    let recipe = gate.recipe();
-                    Some(linear_preamble(
-                        &req.ct,
-                        &recipe.weights(),
-                        std::slice::from_ref(other),
-                        recipe.offset(),
-                    ))
-                }
-                RequestOp::LinearLut { weights, extra, offset, .. } => {
-                    Some(linear_preamble(&req.ct, weights, extra, *offset))
-                }
-                _ => None,
-            };
-            match combined {
-                Some(Ok(ct)) => preambles[i] = Some(ct),
-                Some(Err(e)) => results[i] = Some(Err(e)),
-                None => {}
-            }
-        }
-        if profiled {
-            timings.add(PbsStage::LinearOps, preamble_t0.elapsed());
-        }
-
-        let ksk = self.server.keyswitch_key();
-        let mbsk = self.server.multi_bit_bootstrap_key();
-        // One job list per kernel: each request's class resolves
-        // through the policy (with classical fallback when the grouped
-        // key is absent), so one epoch may mix kernels freely while
-        // each kernel still runs as a single key-major batch.
-        let mut pbs_indices = Vec::new();
-        let mut jobs: Vec<PbsJob<'_>> = Vec::new();
-        let mut mb_indices = Vec::new();
-        let mut mb_jobs: Vec<PbsJob<'_>> = Vec::new();
-        // Keyswitch-only requests are collected and run as ONE batch
-        // (one digit buffer per epoch) instead of one allocating
-        // `keyswitch` call per request. Dimensions are validated here,
-        // per request, so a malformed input fails alone instead of
-        // poisoning the shared batch call.
-        let mut ks_only_slots = Vec::new();
-        let mut ks_only_inputs: Vec<&LweCiphertext> = Vec::new();
-        for (i, req) in batch.iter().enumerate() {
-            if results[i].is_some() {
-                continue; // preamble already failed this request
-            }
-            let job = match &req.op {
-                RequestOp::Lut(lut) | RequestOp::Bootstrap(lut) => Some((&req.ct, lut.as_ref())),
-                RequestOp::Gate { .. } => preambles[i].as_ref().map(|ct| (ct, &self.gate_lut)),
-                RequestOp::LinearLut { lut, .. } => {
-                    preambles[i].as_ref().map(|ct| (ct, lut.as_ref()))
-                }
-                RequestOp::Keyswitch => {
-                    if req.ct.dimension() == ksk.input_dimension() {
-                        ks_only_slots.push(i);
-                        ks_only_inputs.push(&req.ct);
-                    } else {
-                        results[i] = Some(Err(TfheError::ParameterMismatch {
-                            what: "lwe dimension",
-                            left: req.ct.dimension(),
-                            right: ksk.input_dimension(),
-                        }));
-                    }
-                    None
-                }
-            };
-            if let Some((ct, lut)) = job {
-                if let Some(mb) = self.multi_bit_for(req.op.class()) {
-                    match mb.check_shape(ct, lut) {
-                        Ok(()) => {
-                            mb_indices.push(i);
-                            mb_jobs.push(PbsJob { ct, lut });
-                        }
-                        Err(e) => results[i] = Some(Err(e)),
-                    }
-                } else {
-                    match bsk.check_shape(ct, lut) {
-                        Ok(()) => {
-                            pbs_indices.push(i);
-                            jobs.push(PbsJob { ct, lut });
-                        }
-                        Err(e) => results[i] = Some(Err(e)),
-                    }
-                }
-            }
-        }
-
-        // With dimensions pre-validated the batch call cannot fail;
-        // an unexpected error still fails only its own requests.
-        // Keyswitching has no job blocking, so it shards with the
-        // plain thread budget, not the block-aware PBS plan.
-        if !ks_only_inputs.is_empty() {
-            match ksk.keyswitch_batch_parallel(
-                &ks_only_inputs,
-                self.threads.min(ks_only_inputs.len()).max(1),
-            ) {
-                Ok(switched) => {
-                    for (&i, out) in ks_only_slots.iter().zip(switched) {
-                        results[i] = Some(Ok(out));
-                    }
-                }
-                Err(e) => {
-                    for &i in &ks_only_slots {
-                        results[i] = Some(Err(e.clone()));
-                    }
-                }
-            }
-        }
-
-        // With shapes pre-validated the batch call cannot mismatch;
-        // still, an unexpected error fails its jobs rather than
-        // panicking the worker thread.
-        //
-        // A profiled (sampled) epoch runs the probed production kernel
-        // instead — same blocked CMUX loop, single-threaded, with each
-        // stage bracketed by `TimingProbe`. Bit-identical output; the
-        // sampling cost is losing intra-epoch parallelism for this one
-        // epoch, which is why it's every Nth epoch, not all of them.
-        // Both kernels run their batch inside one PBS span: the
-        // classical jobs first, then the grouped multi-bit jobs. On
-        // sampled epochs both probed kernels accumulate into the same
-        // per-stage timings (the stages are shared vocabulary).
-        let pbs_t0 = Instant::now();
-        let classical_result = if profiled {
-            bsk.bootstrap_batch_profiled(&jobs, &mut timings)
-        } else {
-            bsk.bootstrap_batch_parallel(&jobs, self.planned_threads(jobs.len()))
-        };
-        let multi_bit_result = match mbsk {
-            Some(mb) if !mb_jobs.is_empty() => {
-                if profiled {
-                    mb.bootstrap_batch_profiled(&mb_jobs, &mut timings)
-                } else {
-                    mb.bootstrap_batch_parallel(&mb_jobs, self.planned_threads(mb_jobs.len()))
-                }
-            }
-            _ => Ok(Vec::new()),
-        };
-        let total_pbs = jobs.len() + mb_jobs.len();
-        if total_pbs > 0 {
-            pbs_span = Some((pbs_t0, Instant::now()));
-        }
-        // Keyswitch the Lut/Gate/LinearLut outputs of BOTH kernels as
-        // one batch (they all carry the extracted dimension the key
-        // expects); Bootstrap-op outputs pass through raw.
-        let mut ks_slots = Vec::new();
-        let mut ks_inputs = Vec::new();
-        for (indices, booted_result) in
-            [(&pbs_indices, classical_result), (&mb_indices, multi_bit_result)]
-        {
-            match booted_result {
-                Ok(booted) => {
-                    for (&i, out) in indices.iter().zip(booted) {
-                        match &batch[i].op {
-                            RequestOp::Lut(_)
-                            | RequestOp::Gate { .. }
-                            | RequestOp::LinearLut { .. } => {
-                                ks_slots.push(i);
-                                ks_inputs.push(out);
-                            }
-                            _ => results[i] = Some(Ok(out)),
-                        }
-                    }
-                }
-                Err(e) => {
-                    for &i in indices {
-                        results[i] = Some(Err(e.clone()));
-                    }
-                }
-            }
-        }
-        // The Algorithm-2 tail shares the epoch's thread
-        // budget: sharded like the blind rotation, bit-identical
-        // to the sequential batch. On sampled epochs its wall
-        // time lands in the KeySwitch stage bucket.
-        let ks_t0 = Instant::now();
-        let switched_result =
-            ksk.keyswitch_batch_parallel(&ks_inputs, self.threads.min(ks_inputs.len()).max(1));
-        if !ks_inputs.is_empty() {
-            let ks_t1 = Instant::now();
-            ks_span = Some((ks_t0, ks_t1));
-            if profiled {
-                timings.add(PbsStage::KeySwitch, ks_t1 - ks_t0);
-            }
-        }
-        match switched_result {
-            Ok(switched) => {
-                for (&i, out) in ks_slots.iter().zip(switched) {
-                    results[i] = Some(Ok(out));
-                }
-            }
-            // Unreachable with pre-validated shapes (PBS always
-            // emits the extracted dimension), but an error must
-            // fail its requests, not the worker.
-            Err(e) => {
-                for &i in &ks_slots {
-                    results[i] = Some(Err(e.clone()));
-                }
-            }
-        }
-
-        let kernel_jobs = [jobs.len(), mb_jobs.len()];
-        let results = results
-            .into_iter()
-            // lint:allow(panic) every request is routed to exactly one of the fill paths above
-            .map(|r| r.expect("every request receives a result"))
-            .collect();
-        let stage_sample = (profiled && total_pbs > 0).then_some((timings, total_pbs));
-        EpochExecution { results, pbs_span, ks_span, stage_sample, kernel_jobs }
+        execute_epoch_on_key(
+            &self.server,
+            self.threads,
+            &self.policy,
+            &self.gate_lut,
+            batch,
+            profiled,
+        )
     }
 
     fn planned_threads(&self, batch_len: usize) -> usize {
-        // Block-aware sharding: the blocked CMUX amortises each key
-        // row over up to CMUX_JOB_BLOCK accumulators, so a shard
-        // smaller than one block trades that locality for thread
-        // count. Cap the shard count at one block per thread (the
-        // keyswitch tail, which has no blocking, shards with the plain
-        // thread budget instead). Bit-identity holds for any split.
-        let max_useful = batch_len.div_ceil(strix_tfhe::scratch::CMUX_JOB_BLOCK);
-        self.threads.min(max_useful).max(1)
+        plan_threads(self.threads, batch_len)
     }
 
     fn max_threads(&self) -> usize {
@@ -539,6 +575,136 @@ impl BatchExecutor for TfheExecutor {
 
     fn fft_backend(&self) -> Option<String> {
         Some(self.server.bootstrap_key().fft().backend().label().to_string())
+    }
+}
+
+/// The multi-tenant TFHE back-end: the same key-major epoch execution
+/// as [`TfheExecutor`], but with the server key resolved per epoch from
+/// a shared [`KeyRegistry`] instead of fixed at construction. Epochs
+/// are single-tenant by construction (the batcher partitions its open
+/// window by tenant), so one [`resolve`](KeyRegistry::resolve) pins the
+/// epoch's key — as an `Arc`, safe against concurrent eviction — for
+/// the whole PBS+KS run: the third batching level, grouping by *key*
+/// above the TvLP × core_batch grouping by ciphertext.
+pub struct MultiTenantExecutor {
+    registry: Arc<KeyRegistry>,
+    threads: usize,
+    policy: KernelPolicy,
+    gate_lut: Lut,
+    admission_threshold_sigmas: f64,
+}
+
+impl MultiTenantExecutor {
+    /// Wraps a key registry; epochs execute on the calling worker
+    /// thread alone.
+    pub fn new(registry: Arc<KeyRegistry>) -> Self {
+        Self::with_threads(registry, 1)
+    }
+
+    /// Wraps a key registry with an intra-epoch thread budget (clamped
+    /// to at least 1). The kernel policy follows the registry's shared
+    /// parameter set, exactly like [`TfheExecutor::with_threads`].
+    pub fn with_threads(registry: Arc<KeyRegistry>, threads: usize) -> Self {
+        let policy = KernelPolicy::uniform(registry.params().pbs_kernel);
+        Self::with_policy(registry, threads, policy)
+    }
+
+    /// Wraps a key registry with an explicit per-class kernel policy.
+    pub fn with_policy(registry: Arc<KeyRegistry>, threads: usize, policy: KernelPolicy) -> Self {
+        let gate_lut = gate_sign_lut(registry.params().polynomial_size);
+        Self {
+            registry,
+            threads: threads.max(1),
+            policy,
+            gate_lut,
+            admission_threshold_sigmas: crate::analyzer::DEFAULT_THRESHOLD_SIGMAS,
+        }
+    }
+
+    /// Overrides the admission threshold (see
+    /// [`TfheExecutor::with_admission_threshold`]).
+    pub fn with_admission_threshold(mut self, sigmas: f64) -> Self {
+        self.admission_threshold_sigmas = sigmas;
+        self
+    }
+
+    /// The shared registry this executor resolves epoch keys from.
+    pub fn registry(&self) -> &Arc<KeyRegistry> {
+        &self.registry
+    }
+
+    /// The kernel `class` executes with under the registry's shared
+    /// parameter set: every tenant's key is generated from the same
+    /// parameters, so the effective kernel is uniform across tenants.
+    fn effective_kernel(&self, class: RequestClass) -> PbsKernel {
+        match (self.policy.kernel_for(class), self.registry.params().pbs_kernel) {
+            (PbsKernel::MultiBit { .. }, actual @ PbsKernel::MultiBit { .. }) => actual,
+            _ => PbsKernel::Classical,
+        }
+    }
+}
+
+impl BatchExecutor for MultiTenantExecutor {
+    fn execute(&self, batch: &[Request]) -> Vec<Result<LweCiphertext, TfheError>> {
+        self.execute_epoch(batch, false).results
+    }
+
+    fn execute_epoch(&self, batch: &[Request], profiled: bool) -> EpochExecution {
+        let Some(first) = batch.first() else {
+            return EpochExecution::from_results(Vec::new());
+        };
+        debug_assert!(
+            batch.iter().all(|r| r.tenant == first.tenant),
+            "epochs must be single-tenant"
+        );
+        match self.registry.resolve(first.tenant) {
+            // The Arc pins the key for the whole epoch: a concurrent
+            // eviction drops residency, not the material under us.
+            Some(server) => execute_epoch_on_key(
+                &server,
+                self.threads,
+                &self.policy,
+                &self.gate_lut,
+                batch,
+                profiled,
+            ),
+            None => EpochExecution::from_results(
+                batch
+                    .iter()
+                    .map(|_| {
+                        Err(TfheError::InvalidParameters(
+                            "no key registered for the request's tenant",
+                        ))
+                    })
+                    .collect(),
+            ),
+        }
+    }
+
+    fn planned_threads(&self, batch_len: usize) -> usize {
+        plan_threads(self.threads, batch_len)
+    }
+
+    fn max_threads(&self) -> usize {
+        self.threads
+    }
+
+    fn admission(&self) -> Option<AdmissionPolicy> {
+        let mut effective = KernelPolicy::uniform(self.effective_kernel(RequestClass::Gate));
+        for class in RequestClass::ALL {
+            effective = effective.with_class(class, self.effective_kernel(class));
+        }
+        Some(
+            AdmissionPolicy::new(self.registry.params().clone(), effective)
+                .with_threshold(self.admission_threshold_sigmas),
+        )
+    }
+
+    fn fft_backend(&self) -> Option<String> {
+        // Resolved from the parameter set's backend selection (the
+        // same dispatch every expanded key's FFT plan goes through),
+        // so the label is available before any key is resident.
+        self.registry.params().fft_backend.resolve().ok().map(|b| b.label().to_string())
     }
 }
 

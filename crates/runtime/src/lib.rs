@@ -82,6 +82,7 @@ pub mod executor;
 pub mod metrics;
 pub mod policy;
 pub mod queue;
+pub mod registry;
 pub mod request;
 mod runtime;
 pub mod session;
@@ -92,13 +93,16 @@ pub mod worker;
 
 pub use analyzer::{AdmissionPolicy, ProgramAnalysis, WireReport, DEFAULT_THRESHOLD_SIGMAS};
 pub use error::RuntimeError;
-pub use executor::{BatchExecutor, EpochExecution, KernelPolicy, TfheExecutor};
+pub use executor::{
+    BatchExecutor, EpochExecution, KernelPolicy, MultiTenantExecutor, TfheExecutor,
+};
 pub use metrics::{
     ClassLatency, MetricsSink, MetricsWindow, PbsStageBreakdown, RequestRecord, RuntimeReport,
     REPORT_SCHEMA_VERSION,
 };
 pub use policy::FlushPolicy;
-pub use request::{ClientId, Epoch, Request, RequestClass, RequestOp, Response};
+pub use registry::{KeyRegistry, KeyRegistryStats};
+pub use request::{ClientId, Epoch, Request, RequestClass, RequestOp, Response, TenantId};
 pub use runtime::{ClientHandle, Runtime, RuntimeConfig};
 pub use session::{Program, ProgramSession, Wire};
 pub use trace::{SpanId, TraceConfig, TraceStage, Tracer};

@@ -432,6 +432,12 @@ impl MetricsSink {
                     max_threads_per_epoch: inner.max_threads_used,
                     ingress_queue_depth: 0,
                     ingress_queue_high_water: 0,
+                    tenants_registered: 0,
+                    key_cache_hits: 0,
+                    key_cache_misses: 0,
+                    key_cache_evictions: 0,
+                    key_cache_resident_bytes: 0,
+                    key_cache_budget_bytes: 0,
                     latency_attribution,
                     pbs_stage_breakdown,
                     windows,
@@ -595,6 +601,27 @@ pub struct RuntimeReport {
     /// Highest ingress-queue depth ever observed (filled by the
     /// runtime at report time).
     pub ingress_queue_high_water: usize,
+    /// Tenants registered in the multi-tenant key registry (filled by
+    /// the runtime at report time; 0 for single-tenant deployments and
+    /// reports from older schema versions).
+    #[serde(default)]
+    pub tenants_registered: usize,
+    /// Key-registry resolves served from an already-resident key.
+    #[serde(default)]
+    pub key_cache_hits: u64,
+    /// Key-registry resolves that had to expand the seeded transport
+    /// form into a resident key.
+    #[serde(default)]
+    pub key_cache_misses: u64,
+    /// Resident keys dropped to fit the registry's byte budget.
+    #[serde(default)]
+    pub key_cache_evictions: u64,
+    /// Estimated bytes of resident expanded keys at report time.
+    #[serde(default)]
+    pub key_cache_resident_bytes: usize,
+    /// Configured key-residency budget in bytes (0 when no registry).
+    #[serde(default)]
+    pub key_cache_budget_bytes: usize,
     /// Mean queue-wait / batch-wait / execute attribution per request
     /// class, for completed requests.
     pub latency_attribution: Vec<ClassLatency>,
@@ -643,6 +670,18 @@ impl RuntimeReport {
             out.push_str(&format!(
                 "\nkernels:  {} classical / {} multi-bit PBS jobs",
                 self.pbs_jobs_classical, self.pbs_jobs_multi_bit,
+            ));
+        }
+        if self.tenants_registered > 0 {
+            out.push_str(&format!(
+                "\ntenants:  {} registered; key cache {} hits / {} misses / {} evictions, \
+                 {:.1} of {:.1} MiB resident",
+                self.tenants_registered,
+                self.key_cache_hits,
+                self.key_cache_misses,
+                self.key_cache_evictions,
+                self.key_cache_resident_bytes as f64 / (1024.0 * 1024.0),
+                self.key_cache_budget_bytes as f64 / (1024.0 * 1024.0),
             ));
         }
         for c in &self.latency_attribution {

@@ -9,6 +9,14 @@
 //! bound: `max_delay` limits submit-to-flush scheduling delay, not
 //! merely time spent in an open batch. Flush whichever trips first:
 //! batch-full (throughput-optimal) or deadline (latency-bounded).
+//!
+//! With multiple tenants the batcher keeps one open batch per tenant
+//! (epochs never mix keys) and arbitrates flushes with deficit round
+//! robin: each rotation visit credits a tenant [`FlushPolicy::quantum`]
+//! requests, and a tenant only spends credit on batch-full flushes.
+//! Deadline flushes always go through — the latency bound is a
+//! guarantee, not a quota — so the quantum shapes throughput sharing
+//! under saturation without ever stretching the tail.
 
 use std::time::Duration;
 
@@ -23,13 +31,34 @@ pub struct FlushPolicy {
     /// Flush when the oldest batched request has waited this long
     /// since submission (ingress queueing included).
     pub max_delay: Duration,
+    /// Deficit-round-robin credit (in requests) granted to each tenant
+    /// with pending work per flush rotation. A tenant spends credit
+    /// when a *full* batch flushes; deadline flushes bypass the quota.
+    /// One full epoch per visit (`quantum == max_epoch`) reproduces
+    /// the single-tenant policy exactly, which is why
+    /// [`Self::from_geometry`] defaults to it.
+    pub quantum: usize,
 }
 
 impl FlushPolicy {
+    /// A policy flushing full epochs or on deadline, with the fair
+    /// default of one full epoch of DRR credit per rotation visit.
+    pub fn new(max_epoch: usize, max_delay: Duration) -> Self {
+        Self { max_epoch, max_delay, quantum: max_epoch }
+    }
+
     /// Policy mirroring an accelerator batch geometry with the given
     /// deadline.
     pub fn from_geometry(geometry: BatchGeometry, max_delay: Duration) -> Self {
-        Self { max_epoch: geometry.epoch_size(), max_delay }
+        Self::new(geometry.epoch_size(), max_delay)
+    }
+
+    /// Overrides the DRR quantum (clamped to at least 1: zero credit
+    /// would starve every full-batch flush forever).
+    #[must_use]
+    pub fn with_quantum(mut self, quantum: usize) -> Self {
+        self.quantum = quantum.max(1);
+        self
     }
 
     /// Whether an open batch of `len` requests must flush now.
@@ -48,7 +77,15 @@ mod tests {
         let p =
             FlushPolicy::from_geometry(BatchGeometry::explicit(8, 32), Duration::from_millis(5));
         assert_eq!(p.max_epoch, 256);
+        assert_eq!(p.quantum, 256, "default credit is one full epoch per visit");
         assert!(!p.is_full(255));
         assert!(p.is_full(256));
+    }
+
+    #[test]
+    fn quantum_override_clamps_to_one() {
+        let p = FlushPolicy::new(8, Duration::from_millis(5)).with_quantum(0);
+        assert_eq!(p.quantum, 1);
+        assert_eq!(p.with_quantum(3).quantum, 3);
     }
 }

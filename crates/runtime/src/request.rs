@@ -21,6 +21,23 @@ impl std::fmt::Display for ClientId {
     }
 }
 
+/// Identifies one tenant — one key domain. Every request carries a
+/// tenant id; an epoch only ever holds requests of a single tenant, so
+/// the worker can pin that tenant's server key for the epoch's whole
+/// PBS+KS run (the third batching level above TvLP × CLP: group by
+/// *key* before grouping by ciphertext).
+///
+/// Single-tenant deployments never mention tenants: the default id 0
+/// routes everything through one key exactly as before.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(pub u64);
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant-{}", self.0)
+    }
+}
+
 /// The homomorphic operation a request asks for.
 ///
 /// LUTs are shared by `Arc`: many requests typically evaluate the same
@@ -145,6 +162,8 @@ impl RequestClass {
 pub struct Request {
     /// Originating client.
     pub client: ClientId,
+    /// The tenant (key domain) this request executes under.
+    pub tenant: TenantId,
     /// Position in the client's stream (0-based, strictly increasing).
     pub seq: u64,
     /// Trace span carried through every runtime layer.
@@ -164,10 +183,12 @@ pub struct Request {
 }
 
 impl Request {
-    /// Builds a fresh request, submitted now, not yet batched.
+    /// Builds a fresh request, submitted now, not yet batched, under
+    /// the default (single-tenant) key domain.
     pub fn new(client: ClientId, seq: u64, span: SpanId, ct: LweCiphertext, op: RequestOp) -> Self {
         Self {
             client,
+            tenant: TenantId::default(),
             seq,
             span,
             ct,
@@ -176,6 +197,13 @@ impl Request {
             batched_at: None,
             flushed_at: None,
         }
+    }
+
+    /// Routes this request to a specific tenant's key domain.
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
+        self
     }
 }
 
@@ -214,6 +242,9 @@ impl Response {
 pub struct Epoch {
     /// Monotonic epoch number (flush order).
     pub id: u64,
+    /// The single tenant whose key this epoch executes under (epochs
+    /// never mix tenants — that is the point of key-major batching).
+    pub tenant: TenantId,
     /// The batched requests, in arrival order.
     pub requests: Vec<Request>,
 }
@@ -253,5 +284,22 @@ mod tests {
     #[test]
     fn client_id_display() {
         assert_eq!(ClientId(3).to_string(), "client-3");
+    }
+
+    #[test]
+    fn requests_default_to_tenant_zero_and_route_explicitly() {
+        let lut = Arc::new(Lut::sign(64, 1));
+        let req = Request::new(
+            ClientId(1),
+            0,
+            SpanId(0),
+            LweCiphertext::trivial(4, 0),
+            RequestOp::Lut(lut),
+        );
+        assert_eq!(req.tenant, TenantId::default());
+        assert_eq!(req.tenant, TenantId(0));
+        let routed = req.with_tenant(TenantId(9));
+        assert_eq!(routed.tenant, TenantId(9));
+        assert_eq!(TenantId(9).to_string(), "tenant-9");
     }
 }

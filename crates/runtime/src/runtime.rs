@@ -18,7 +18,8 @@ use crate::executor::{BatchExecutor, KernelPolicy};
 use crate::metrics::{MetricsSink, RuntimeReport};
 use crate::policy::FlushPolicy;
 use crate::queue::BoundedQueue;
-use crate::request::{ClientId, Request, RequestOp, Response};
+use crate::registry::KeyRegistry;
+use crate::request::{ClientId, Request, RequestOp, Response, TenantId};
 use crate::trace::{TraceConfig, TraceStage, Tracer};
 use crate::worker::{self, ClientRegistry};
 
@@ -148,6 +149,10 @@ pub struct Runtime {
     /// The executor's resolved SIMD kernel backend label, captured once
     /// at start-up; empty for synthetic executors.
     fft_backend: String,
+    /// The multi-tenant key registry, when this runtime was started
+    /// through [`Self::start_multi_tenant`]: its cache counters are
+    /// folded into every report.
+    key_registry: Option<Arc<KeyRegistry>>,
     epoch_capacity: usize,
     next_client: AtomicU64,
     batcher: Option<JoinHandle<()>>,
@@ -177,6 +182,33 @@ impl Runtime {
             None => crate::executor::TfheExecutor::with_threads(server, config.threads_per_worker),
         };
         Self::start(config, executor)
+    }
+
+    /// Starts a multi-tenant runtime over a shared [`KeyRegistry`],
+    /// honouring the config's `threads_per_worker` and `kernel_policy`
+    /// exactly like [`Self::start_tfhe`]. The batcher partitions its
+    /// open window by tenant — epochs never mix key domains — and each
+    /// worker resolves the epoch tenant's server key from the registry
+    /// (expanding the seeded transport form on first use, under the
+    /// registry's LRU residency budget) and pins it for the epoch's
+    /// whole PBS+KS run. Open per-tenant streams with
+    /// [`Self::client_for`]; the registry's cache counters appear in
+    /// every [`RuntimeReport`].
+    pub fn start_multi_tenant(config: RuntimeConfig, registry: Arc<KeyRegistry>) -> Self {
+        let executor = match config.kernel_policy {
+            Some(policy) => crate::executor::MultiTenantExecutor::with_policy(
+                Arc::clone(&registry),
+                config.threads_per_worker,
+                policy,
+            ),
+            None => crate::executor::MultiTenantExecutor::with_threads(
+                Arc::clone(&registry),
+                config.threads_per_worker,
+            ),
+        };
+        let mut runtime = Self::start(config, executor);
+        runtime.key_registry = Some(registry);
+        runtime
     }
 
     /// As [`Self::start`], for an already-shared executor.
@@ -230,6 +262,7 @@ impl Runtime {
             tracer,
             admission,
             fft_backend,
+            key_registry: None,
             epoch_capacity: policy.max_epoch,
             next_client: AtomicU64::new(0),
             batcher: Some(batcher),
@@ -237,14 +270,25 @@ impl Runtime {
         }
     }
 
-    /// Opens a new client stream. Handles are independent and may move
-    /// to their own threads.
+    /// Opens a new client stream under the default (single-tenant) key
+    /// domain. Handles are independent and may move to their own
+    /// threads.
     pub fn client(&self) -> ClientHandle {
+        self.client_for(TenantId::default())
+    }
+
+    /// Opens a new client stream whose every request routes to
+    /// `tenant`'s key domain. On a multi-tenant runtime the tenant must
+    /// have key material registered before its first epoch executes;
+    /// unregistered tenants fail their requests, they never stall the
+    /// pipeline.
+    pub fn client_for(&self, tenant: TenantId) -> ClientHandle {
         let id = ClientId(self.next_client.fetch_add(1, Ordering::Relaxed));
         let (tx, rx) = mpsc::channel();
         self.registry.register(id, tx);
         ClientHandle {
             id,
+            tenant,
             ingress: Arc::clone(&self.ingress),
             registry: Arc::clone(&self.registry),
             tracer: Arc::clone(&self.tracer),
@@ -269,7 +313,23 @@ impl Runtime {
         report.ingress_queue_depth = self.ingress.len();
         report.ingress_queue_high_water = self.ingress.high_water();
         report.fft_backend = self.fft_backend.clone();
+        self.fill_key_cache_stats(&mut report);
         report
+    }
+
+    /// Folds the key registry's cache counters into a report (a no-op
+    /// on single-tenant runtimes, whose reports keep the zero
+    /// defaults).
+    fn fill_key_cache_stats(&self, report: &mut RuntimeReport) {
+        if let Some(registry) = &self.key_registry {
+            let stats = registry.stats();
+            report.tenants_registered = stats.tenants_registered;
+            report.key_cache_hits = stats.hits;
+            report.key_cache_misses = stats.misses;
+            report.key_cache_evictions = stats.evictions;
+            report.key_cache_resident_bytes = stats.resident_bytes;
+            report.key_cache_budget_bytes = stats.budget_bytes;
+        }
     }
 
     /// Drains and stops the runtime: the ingress closes (further
@@ -283,6 +343,7 @@ impl Runtime {
         let mut report = self.metrics.report(self.epoch_capacity);
         report.ingress_queue_high_water = high_water.max(self.ingress.high_water());
         report.fft_backend = self.fft_backend.clone();
+        self.fill_key_cache_stats(&mut report);
         report
     }
 
@@ -315,6 +376,9 @@ impl Drop for Runtime {
 /// response that completes ahead of its predecessors.
 pub struct ClientHandle {
     id: ClientId,
+    /// The key domain every request submitted through this handle
+    /// routes to.
+    tenant: TenantId,
     ingress: Arc<BoundedQueue<Request>>,
     registry: Arc<ClientRegistry>,
     tracer: Arc<Tracer>,
@@ -329,6 +393,11 @@ impl ClientHandle {
     /// This stream's id.
     pub fn id(&self) -> ClientId {
         self.id
+    }
+
+    /// The key domain this handle submits into.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
     }
 
     /// The runtime's noise-budget admission policy, when its executor
@@ -347,7 +416,7 @@ impl ClientHandle {
     pub fn submit(&mut self, ct: LweCiphertext, op: RequestOp) -> Result<u64, RuntimeError> {
         let seq = self.next_submit;
         let span = self.tracer.next_span();
-        let request = Request::new(self.id, seq, span, ct, op);
+        let request = Request::new(self.id, seq, span, ct, op).with_tenant(self.tenant);
         // The Submitted→Enqueued gap is the time `push` blocked on
         // backpressure — visible per request in the exported trace.
         self.tracer.record_at(

@@ -151,7 +151,7 @@ mod tests {
     use strix_tfhe::lwe::LweCiphertext;
     use strix_tfhe::TfheError;
 
-    use crate::request::{Request, RequestOp};
+    use crate::request::{Request, RequestOp, TenantId};
     use crate::trace::SpanId;
 
     /// Echoes the input ciphertext back; fails on dimension 0.
@@ -192,7 +192,11 @@ mod tests {
             )
         };
         epochs
-            .push(Epoch { id: 0, requests: vec![make(1, 0, 10), make(2, 0, 20), make(1, 1, 11)] })
+            .push(Epoch {
+                id: 0,
+                tenant: TenantId::default(),
+                requests: vec![make(1, 0, 10), make(2, 0, 20), make(1, 1, 11)],
+            })
             .unwrap();
         epochs.close();
 
@@ -239,7 +243,9 @@ mod tests {
                 RequestOp::Keyswitch,
             )
         };
-        epochs.push(Epoch { id: 0, requests: vec![make(0), make(1)] }).unwrap();
+        epochs
+            .push(Epoch { id: 0, tenant: TenantId::default(), requests: vec![make(0), make(1)] })
+            .unwrap();
         epochs.close();
         run(
             epochs,
@@ -269,6 +275,7 @@ mod tests {
         epochs
             .push(Epoch {
                 id: 0,
+                tenant: TenantId::default(),
                 requests: vec![Request::new(
                     ClientId(9),
                     0,
@@ -318,6 +325,7 @@ mod tests {
             epochs
                 .push(Epoch {
                     id,
+                    tenant: TenantId::default(),
                     requests: vec![Request::new(
                         ClientId(1),
                         id,

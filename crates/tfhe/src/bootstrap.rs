@@ -237,6 +237,40 @@ impl BootstrapKey {
         }
     }
 
+    /// Expansion half of seeded key transport: rebuilds each GGSW from
+    /// its stored body polynomials and the CRS mask stream (drawn in
+    /// generation order), then runs the usual Fourier materialisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bodies` does not hold one entry per secret bit with
+    /// `(k+1)·l` rows each (transport payload invariant).
+    pub(crate) fn from_seeded_parts(
+        bodies: &[Vec<TorusPolynomial>],
+        params: &TfheParameters,
+        crs: &mut NoiseSampler,
+    ) -> Self {
+        assert_eq!(bodies.len(), params.lwe_dimension, "seeded bsk entry count");
+        let decomp = DecompositionParams::new(params.pbs_base_log, params.pbs_level);
+        let fft = NegacyclicFft::with_backend(params.polynomial_size, params.fft_backend)
+            // lint:allow(panic) parameters were validated at construction
+            .expect("validated parameters have power-of-two N and an available backend");
+        let ggsws = bodies
+            .iter()
+            .map(|entry| {
+                GgswCiphertext::from_seeded_parts(entry, decomp, params.glwe_dimension, crs)
+                    .to_fourier(&fft)
+            })
+            .collect();
+        Self {
+            ggsws,
+            fft,
+            glwe_dimension: params.glwe_dimension,
+            poly_size: params.polynomial_size,
+            decomp,
+        }
+    }
+
     /// Input LWE dimension `n` (number of blind-rotation iterations).
     #[inline]
     pub fn input_dimension(&self) -> usize {
@@ -884,6 +918,56 @@ impl MultiBitBootstrapKey {
         }
     }
 
+    /// Expansion half of seeded key transport: rebuilds every pattern
+    /// entry from its stored body polynomials and the CRS mask stream
+    /// (drawn in generation order: group-major, then pattern), then
+    /// runs the usual Fourier materialisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group/entry structure does not match the
+    /// parameters (transport payload invariant).
+    pub(crate) fn from_seeded_parts(
+        group_bodies: &[Vec<Vec<TorusPolynomial>>],
+        params: &TfheParameters,
+        grouping_factor: usize,
+        crs: &mut NoiseSampler,
+    ) -> Self {
+        Self::check_grouping(grouping_factor, params.lwe_dimension);
+        assert_eq!(
+            group_bodies.len(),
+            params.multi_bit_group_count(grouping_factor),
+            "seeded mbsk group count"
+        );
+        let decomp = DecompositionParams::new(params.pbs_base_log, params.pbs_level);
+        let fft = NegacyclicFft::with_backend(params.polynomial_size, params.fft_backend)
+            // lint:allow(panic) parameters were validated at construction
+            .expect("validated parameters have power-of-two N and an available backend");
+        let groups = group_bodies
+            .iter()
+            .map(|entries| {
+                entries
+                    .iter()
+                    .map(|entry| {
+                        GgswCiphertext::from_seeded_parts(entry, decomp, params.glwe_dimension, crs)
+                            .to_fourier(&fft)
+                    })
+                    .collect()
+            })
+            .collect();
+        let mono = MonomialTable::for_plan(&fft);
+        Self {
+            groups,
+            fft,
+            mono,
+            glwe_dimension: params.glwe_dimension,
+            poly_size: params.polynomial_size,
+            decomp,
+            grouping_factor,
+            input_dimension: params.lwe_dimension,
+        }
+    }
+
     fn check_grouping(grouping_factor: usize, lwe_dimension: usize) {
         assert!(grouping_factor >= 1, "grouping factor must be positive");
         assert!(
@@ -1117,12 +1201,14 @@ impl MultiBitBootstrapKey {
     /// of the block with `G_job ⊡ acc`, where `G_job` is the job's
     /// combined GGSW for this group. Four stages:
     ///
-    /// 1. **Degrees** — per job, the `2^m` monomial degrees
+    /// 1. **Degrees** — per job, first an all-zero probe of the group's
+    ///    digits (a job whose digits are all zero is skipped outright,
+    ///    *before* any degree work: `G` would encrypt `X^0 = 1`, the
+    ///    exact identity the classical kernel also takes on `ã = 0`),
+    ///    then the `2^m` monomial degrees
     ///    `d_b = Σ_{t: b_t=1} ã_t mod 2N` by binary-counting recurrence
-    ///    (`d_{b|bit} = d_b + ã_t`), plus an *active* flag: a job whose
-    ///    group digits are all zero is skipped outright (`G` would
-    ///    encrypt `X^0 = 1`, so skipping is the exact identity the
-    ///    classical kernel also takes on `ã = 0`).
+    ///    (`d_{b|bit} = d_b + ã_t`). A block with no active job returns
+    ///    here.
     /// 2. **Assembly, pattern-major across the block** — seed each
     ///    job's combined spectrum with the pattern-0 entry (its degree
     ///    is always 0: a plane copy), then for every other pattern MAC
@@ -1133,8 +1219,8 @@ impl MultiBitBootstrapKey {
     /// 3. **External product staging** — per job: gadget-decompose the
     ///    accumulator polynomials *directly* (no rotate-and-subtract —
     ///    the combined GGSW carries the rotation), one batched forward
-    ///    transform, then the row-major VMA against the job's combined
-    ///    spectrum.
+    ///    transform, then the job-major VMA against the job's combined
+    ///    spectrum (plane pointers hoisted once per job).
     /// 4. **Drain** — one batched inverse transform per job, fused with
     ///    the torus conversion, **replacing** the accumulator
     ///    (`acc ← G ⊡ acc`, not `acc += …`).
@@ -1173,26 +1259,45 @@ impl MultiBitBootstrapKey {
             ..
         } = scratch;
 
-        // Stage 1: monomial degrees and active flags.
+        // Stage 1: active flags, then monomial degrees for active jobs
+        // only. The all-zero probe runs *before* the `2^m` degree
+        // recurrence: a job whose group digits are all zero would
+        // assemble `G = GGSW(X^0·Σ m_b) = GGSW(1)`, the exact identity
+        // the classical kernel also skips on `ã = 0`, so neither the
+        // recurrence nor any later stage needs to touch it.
         let mut active = [false; CMUX_JOB_BLOCK];
+        let mut any_active = false;
         probe.time(PbsStage::ModSwitch, || {
-            for j in 0..accs.len() {
+            for (j, slot) in active.iter_mut().enumerate().take(accs.len()) {
+                let digits =
+                    (0..group_bits).map(|t| switched[(first_bit + t) * batch + job0 + j] as usize);
+                if digits.clone().all(|a| a == 0) {
+                    continue;
+                }
+                *slot = true;
+                any_active = true;
                 let d = &mut degrees[j * patterns..(j + 1) * patterns];
                 d[0] = 0;
-                let mut any = false;
-                for t in 0..group_bits {
-                    let a = switched[(first_bit + t) * batch + job0 + j] as usize;
-                    any |= a != 0;
+                for (t, a) in digits.enumerate() {
                     let bit = 1usize << t;
                     for b in 0..bit {
                         d[bit | b] = (d[b] + a) & (two_n - 1);
                     }
                 }
-                active[j] = any;
             }
         });
+        // A fully idle block (common in sparse-mask workloads) pays for
+        // nothing beyond the probe above.
+        if !any_active {
+            return;
+        }
 
         // Stage 2: assemble each active job's combined GGSW spectrum.
+        // Plane base pointers are hoisted out of the transform walk:
+        // one `planes()` borrow per `(pattern, job)` and a
+        // `chunks_exact` sweep, instead of `rows·cols` bounds-computed
+        // `transform()` calls per MAC.
+        let half = mono_re.len();
         probe.time(PbsStage::VectorMultiply, || {
             for (j, comb) in comb_batch.iter_mut().enumerate().take(accs.len()) {
                 if active[j] {
@@ -1200,6 +1305,7 @@ impl MultiBitBootstrapKey {
                 }
             }
             for (pattern, entry) in entries.iter().enumerate().skip(1) {
+                let (e_re_plane, e_im_plane) = entry.spectra().planes();
                 for (j, comb) in comb_batch.iter_mut().enumerate().take(accs.len()) {
                     if !active[j] {
                         continue;
@@ -1208,10 +1314,12 @@ impl MultiBitBootstrapKey {
                         .spectrum_into(degrees[j * patterns + pattern], mono_re, mono_im)
                         // lint:allow(panic) shape invariant established at construction
                         .expect("monomial planes are sized to the fft plan");
-                    let spectra = entry.spectra();
-                    for t in 0..rows * cols {
-                        let (e_re, e_im) = spectra.transform(t);
-                        let (c_re, c_im) = comb.transform_mut(t);
+                    let (c_re_plane, c_im_plane) = comb.planes_mut();
+                    let chunks = c_re_plane
+                        .chunks_exact_mut(half)
+                        .zip(c_im_plane.chunks_exact_mut(half))
+                        .zip(e_re_plane.chunks_exact(half).zip(e_im_plane.chunks_exact(half)));
+                    for ((c_re, c_im), (e_re, e_im)) in chunks {
                         self.fft.pointwise_mul_add_soa(c_re, c_im, e_re, e_im, mono_re, mono_im);
                     }
                 }
@@ -1240,23 +1348,33 @@ impl MultiBitBootstrapKey {
             });
         }
 
-        // Stage 3b: VMA, row-major across the block, each job against
-        // its own combined spectrum.
+        // Stage 3b: VMA, job-major. Unlike the classical kernel — whose
+        // row-major-across-jobs order reuses one shared key row for the
+        // whole block — the combined spectrum here is *per job*, so
+        // row-major order has nothing to reuse and only re-derives the
+        // three spectra's plane pointers every row. Job-major hoists
+        // them once per job; per accumulator column the additions still
+        // run over `r` in ascending order, so results stay bit-identical
+        // to the row-major schedule (the per-job accumulators are
+        // disjoint).
         probe.time(PbsStage::VectorMultiply, || {
             for j in 0..accs.len() {
-                if active[j] {
-                    acc_batch[j].fill_zero();
+                if !active[j] {
+                    continue;
                 }
-            }
-            for r in 0..rows {
-                for j in 0..accs.len() {
-                    if !active[j] {
-                        continue;
-                    }
-                    let (d_re, d_im) = digit_batch[j].transform(r);
+                acc_batch[j].fill_zero();
+                let (d_re_plane, d_im_plane) = digit_batch[j].planes();
+                let (k_re_plane, k_im_plane) = comb_batch[j].planes();
+                let (a_re_plane, a_im_plane) = acc_batch[j].planes_mut();
+                for r in 0..rows {
+                    let d_re = &d_re_plane[r * half..(r + 1) * half];
+                    let d_im = &d_im_plane[r * half..(r + 1) * half];
                     for col in 0..cols {
-                        let (k_re, k_im) = comb_batch[j].transform(r * cols + col);
-                        let (a_re, a_im) = acc_batch[j].transform_mut(col);
+                        let s = (r * cols + col) * half;
+                        let k_re = &k_re_plane[s..s + half];
+                        let k_im = &k_im_plane[s..s + half];
+                        let a_re = &mut a_re_plane[col * half..(col + 1) * half];
+                        let a_im = &mut a_im_plane[col * half..(col + 1) * half];
                         self.fft.pointwise_mul_add_soa(a_re, a_im, d_re, d_im, k_re, k_im);
                     }
                 }

@@ -62,6 +62,75 @@ impl GgswCiphertext {
         Self { rows, decomp, glwe_dimension: k }
     }
 
+    /// Seeded encryption of a small scalar: every mask polynomial is
+    /// drawn from the shared CRS stream `crs`, so only the body
+    /// polynomials (one per row) have to ship — a `(k+1)×` transport
+    /// compression of the bootstrapping key.
+    ///
+    /// The gadget term cannot be folded into a CRS mask (the receiver
+    /// must regenerate masks from the seed alone), so each row instead
+    /// encrypts the gadget's *phase contribution* directly: row
+    /// `(j, lvl)` with `j < k` is a GLWE encryption of
+    /// `−m·q/B^{lvl+1}·S_j`, and the body row `j = k` encrypts the
+    /// constant `m·q/B^{lvl+1}`. Both have exactly the phase of the
+    /// classical row (`encrypt_scalar` adds the gadget to polynomial
+    /// `j`, which shifts the phase by the same amount), so the external
+    /// product is oblivious to which generation path produced the key.
+    pub(crate) fn encrypt_scalar_seeded(
+        message: u64,
+        glwe_sk: &GlweSecretKey,
+        decomp: DecompositionParams,
+        noise_std: f64,
+        noise_rng: &mut NoiseSampler,
+        crs: &mut NoiseSampler,
+    ) -> Self {
+        let k = glwe_sk.dimension();
+        let n = glwe_sk.poly_size();
+        let mut rows = Vec::with_capacity((k + 1) * decomp.level);
+        for j in 0..=k {
+            for lvl in 1..=decomp.level {
+                let gadget = message.wrapping_mul(decomp.gadget_scale(lvl));
+                let mut msg = TorusPolynomial::zero(n);
+                if j < k {
+                    let key = glwe_sk.polys()[j].coeffs();
+                    for (m, &s) in msg.coeffs_mut().iter_mut().zip(key) {
+                        *m = gadget.wrapping_mul(s).wrapping_neg();
+                    }
+                } else {
+                    msg[0] = gadget;
+                }
+                let masks = draw_crs_masks(k, n, crs);
+                rows.push(glwe_sk.encrypt_with_mask(masks, &msg, noise_std, noise_rng));
+            }
+        }
+        Self { rows, decomp, glwe_dimension: k }
+    }
+
+    /// Expansion half of seeded transport: regenerates the CRS masks in
+    /// the draw order of [`Self::encrypt_scalar_seeded`] and attaches
+    /// the stored body polynomials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bodies` does not hold `(k+1)·l` rows (transport
+    /// payload invariant).
+    pub(crate) fn from_seeded_parts(
+        bodies: &[TorusPolynomial],
+        decomp: DecompositionParams,
+        glwe_dimension: usize,
+        crs: &mut NoiseSampler,
+    ) -> Self {
+        assert_eq!(bodies.len(), (glwe_dimension + 1) * decomp.level, "seeded ggsw row count");
+        let rows = bodies
+            .iter()
+            .map(|body| {
+                let masks = draw_crs_masks(glwe_dimension, body.size(), crs);
+                GlweCiphertext::from_parts(masks, body.clone())
+            })
+            .collect();
+        Self { rows, decomp, glwe_dimension }
+    }
+
     /// A *trivial* (noiseless, zero-mask) GGSW encryption of `message`:
     /// rows carry only the gadget terms `m·q/B^{lvl+1}`. Useful for
     /// tests and for timing-equivalent benchmark keys — the arithmetic
@@ -161,6 +230,18 @@ impl GgswCiphertext {
         }
         FourierGgsw { spectra, decomp: self.decomp, glwe_dimension: k }
     }
+}
+
+/// Draws `k` uniform mask polynomials from a CRS stream — the shared
+/// mask schedule of seeded generation and expansion.
+fn draw_crs_masks(k: usize, n: usize, crs: &mut NoiseSampler) -> Vec<TorusPolynomial> {
+    (0..k)
+        .map(|_| {
+            let mut m = TorusPolynomial::zero(n);
+            crs.fill_uniform(m.coeffs_mut());
+            m
+        })
+        .collect()
 }
 
 /// A GGSW ciphertext with every polynomial stored in the Fourier domain
@@ -423,6 +504,54 @@ mod tests {
         for (a, b) in pe.coeffs().iter().zip(pf.coeffs()) {
             assert_eq!(decode_message(*a, 4), decode_message(*b, 4));
         }
+    }
+
+    #[test]
+    fn seeded_ggsw_matches_classical_semantics() {
+        // A seeded GGSW row encrypts the gadget's phase contribution
+        // instead of folding the gadget into a mask; the external
+        // product must be unable to tell the difference.
+        for (k, n) in [(1usize, 64usize), (2, 32)] {
+            let mut fx = fixture(k, n);
+            for message in [0u64, 1] {
+                let mut crs = NoiseSampler::from_seed(4242);
+                let ggsw = GgswCiphertext::encrypt_scalar_seeded(
+                    message,
+                    &fx.glwe_sk,
+                    fx.decomp,
+                    STD,
+                    &mut fx.rng,
+                    &mut crs,
+                );
+                let msg = test_message(fx.n);
+                let ct = fx.glwe_sk.encrypt(&msg, STD, &mut fx.rng);
+                let prod = ggsw.external_product_exact(&ct);
+                let phase = fx.glwe_sk.decrypt_phase(&prod).unwrap();
+                for (p, m) in phase.coeffs().iter().zip(msg.coeffs()) {
+                    let want = if message == 1 { decode_message(*m, 4) } else { 0 };
+                    assert_eq!(decode_message(*p, 4), want, "k={k} n={n} m={message}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_ggsw_expansion_is_bit_identical() {
+        let mut fx = fixture(2, 32);
+        let mut crs = NoiseSampler::from_seed(7);
+        let ggsw = GgswCiphertext::encrypt_scalar_seeded(
+            1,
+            &fx.glwe_sk,
+            fx.decomp,
+            STD,
+            &mut fx.rng,
+            &mut crs,
+        );
+        // Transport payload: the bodies only.
+        let bodies: Vec<TorusPolynomial> = ggsw.rows().iter().map(|r| r.body().clone()).collect();
+        let mut crs2 = NoiseSampler::from_seed(7);
+        let expanded = GgswCiphertext::from_seeded_parts(&bodies, fx.decomp, 2, &mut crs2);
+        assert_eq!(expanded.rows(), ggsw.rows());
     }
 
     #[test]

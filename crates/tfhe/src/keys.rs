@@ -8,13 +8,24 @@
 //! secret key.
 
 use crate::bootstrap::{BootstrapKey, MultiBitBootstrapKey};
+use crate::decompose::DecompositionParams;
+use crate::ggsw::GgswCiphertext;
 use crate::glwe::GlweSecretKey;
 use crate::keyswitch::KeySwitchKey;
 use crate::lwe::{LweCiphertext, LweSecretKey};
 use crate::params::TfheParameters;
-use crate::rng::NoiseSampler;
+use crate::poly::TorusPolynomial;
+use crate::rng::{derive_seed, NoiseSampler};
 use crate::TfheError;
 use strix_fft::StrixFftBackend;
+
+/// CRS stream labels: each seeded-key component regenerates its public
+/// masks from an independent sub-stream of the one transported seed, so
+/// expansion order never couples the components.
+const CRS_BSK_STREAM: u64 = 1;
+const CRS_MBSK_STREAM: u64 = 2;
+const CRS_KSK_STREAM: u64 = 3;
+const CRS_BENCHMARK_STREAM: u64 = 4;
 
 /// Secret key material plus encryption/decryption helpers.
 #[derive(Clone, Debug)]
@@ -106,6 +117,75 @@ impl ClientKey {
             KeySwitchKey::generate(&self.extracted_sk, &self.lwe_sk, &self.params, &mut self.rng);
         ServerKey { params: self.params.clone(), bsk, mbsk, ksk }
     }
+
+    /// Derives the matching server key in **seeded transport form**:
+    /// every public mask is drawn from a common-reference stream of
+    /// `crs_seed`, so the payload ships only the body polynomials —
+    /// roughly `1/(k+1)` of the full bootstrapping-key bytes (half at
+    /// `k = 1`). The receiving side calls [`SeededServerKey::expand`]
+    /// to regenerate the masks and materialise the Fourier keys.
+    pub fn seeded_server_key(&mut self, crs_seed: u64) -> SeededServerKey {
+        let decomp = DecompositionParams::new(self.params.pbs_base_log, self.params.pbs_level);
+        let noise_std = self.params.glwe_noise_std;
+        let mut crs = NoiseSampler::from_derived_seed(crs_seed, CRS_BSK_STREAM);
+        let bsk_bodies = self
+            .lwe_sk
+            .bits()
+            .iter()
+            .map(|&s| {
+                let ggsw = GgswCiphertext::encrypt_scalar_seeded(
+                    s,
+                    &self.glwe_sk,
+                    decomp,
+                    noise_std,
+                    &mut self.rng,
+                    &mut crs,
+                );
+                ggsw.rows().iter().map(|r| r.body().clone()).collect()
+            })
+            .collect();
+        let mbsk_bodies = self.params.pbs_kernel.grouping_factor().map(|g| {
+            let mut crs = NoiseSampler::from_derived_seed(crs_seed, CRS_MBSK_STREAM);
+            self.lwe_sk
+                .bits()
+                .chunks(g)
+                .map(|bits| {
+                    (0..1usize << bits.len())
+                        .map(|pattern| {
+                            let indicator: u64 = bits
+                                .iter()
+                                .enumerate()
+                                .map(|(t, &s)| if (pattern >> t) & 1 == 1 { s } else { 1 - s })
+                                .product();
+                            let ggsw = GgswCiphertext::encrypt_scalar_seeded(
+                                indicator,
+                                &self.glwe_sk,
+                                decomp,
+                                noise_std,
+                                &mut self.rng,
+                                &mut crs,
+                            );
+                            ggsw.rows().iter().map(|r| r.body().clone()).collect()
+                        })
+                        .collect()
+                })
+                .collect()
+        });
+        let mut crs = NoiseSampler::from_derived_seed(crs_seed, CRS_KSK_STREAM);
+        let ksk_bodies = KeySwitchKey::generate_seeded(
+            &self.extracted_sk,
+            &self.lwe_sk,
+            &self.params,
+            &mut self.rng,
+            &mut crs,
+        )
+        .bodies();
+        SeededServerKey {
+            params: self.params.clone(),
+            crs_seed,
+            payload: SeededKeyPayload::Real { bsk_bodies, mbsk_bodies, ksk_bodies },
+        }
+    }
 }
 
 /// Public evaluation keys: everything the server (or accelerator) needs.
@@ -185,6 +265,125 @@ impl ServerKey {
         let ksk =
             KeySwitchKey::generate(&glwe_sk.to_extracted_lwe_key(), &lwe_sk, params, &mut rng);
         Self { params: params.clone(), bsk, mbsk, ksk }
+    }
+}
+
+/// A server key in seeded (compressed) transport form.
+///
+/// LWE/GLWE mask material is uniformly random and therefore incompressible —
+/// unless both sides agree to derive it from a shared seed. A seeded key
+/// ships the 64-bit CRS seed plus only the *body* part of every key row
+/// (phantom-zone's seed-expansion idiom): `1/(k+1)` of the GGSW bytes
+/// and `1/(n+1)` of the keyswitching-key bytes. [`Self::expand`]
+/// regenerates the masks deterministically through
+/// [`NoiseSampler::from_derived_seed`] and materialises the Fourier-form
+/// [`ServerKey`] — the lazy, CPU-heavy half the runtime's key registry
+/// defers until a tenant's key first becomes resident.
+#[derive(Clone, Debug)]
+pub struct SeededServerKey {
+    params: TfheParameters,
+    crs_seed: u64,
+    payload: SeededKeyPayload,
+}
+
+/// What the transport actually carries.
+#[derive(Clone, Debug)]
+enum SeededKeyPayload {
+    /// Real bodies for every component (mbsk only under a multi-bit
+    /// kernel), in generation order.
+    Real {
+        /// One entry per LWE secret bit; each holds `(k+1)·l` bodies.
+        bsk_bodies: Vec<Vec<TorusPolynomial>>,
+        /// Group-major, then pattern entry, then row.
+        mbsk_bodies: Option<Vec<Vec<Vec<TorusPolynomial>>>>,
+        /// One body element per keyswitching-key row.
+        ksk_bodies: Vec<u64>,
+    },
+    /// Timing-equivalent stand-in: expansion runs
+    /// [`ServerKey::generate_for_benchmark`] under a derived seed. Used
+    /// by the capacity benchmarks, where real keygen at production
+    /// parameters is prohibitive; byte accounting reports the size a
+    /// real payload at these parameters would ship.
+    Benchmark,
+}
+
+impl SeededServerKey {
+    /// A timing-equivalent seeded key for capacity benchmarks: carries
+    /// only parameters + seed and expands through the benchmark keygen
+    /// path (same arithmetic shape, cryptographically meaningless).
+    pub fn for_benchmark(params: &TfheParameters, crs_seed: u64) -> Self {
+        // lint:allow(panic) documented constructor contract
+        params.validate().expect("parameter set must be valid");
+        Self { params: params.clone(), crs_seed, payload: SeededKeyPayload::Benchmark }
+    }
+
+    /// The parameter set this key was generated for.
+    #[inline]
+    pub fn params(&self) -> &TfheParameters {
+        &self.params
+    }
+
+    /// The transported CRS seed.
+    #[inline]
+    pub fn crs_seed(&self) -> u64 {
+        self.crs_seed
+    }
+
+    /// Expands the transport form into a full evaluation key:
+    /// regenerates every mask from the CRS sub-streams in generation
+    /// order, attaches the stored bodies, and materialises the
+    /// Fourier-domain keys. Deterministic — expanding twice yields
+    /// bit-identical key material.
+    pub fn expand(&self) -> ServerKey {
+        match &self.payload {
+            SeededKeyPayload::Real { bsk_bodies, mbsk_bodies, ksk_bodies } => {
+                let mut crs = NoiseSampler::from_derived_seed(self.crs_seed, CRS_BSK_STREAM);
+                let bsk = BootstrapKey::from_seeded_parts(bsk_bodies, &self.params, &mut crs);
+                let mbsk = self.params.pbs_kernel.grouping_factor().and_then(|g| {
+                    mbsk_bodies.as_ref().map(|bodies| {
+                        let mut crs =
+                            NoiseSampler::from_derived_seed(self.crs_seed, CRS_MBSK_STREAM);
+                        MultiBitBootstrapKey::from_seeded_parts(bodies, &self.params, g, &mut crs)
+                    })
+                });
+                let mut crs = NoiseSampler::from_derived_seed(self.crs_seed, CRS_KSK_STREAM);
+                let ksk = KeySwitchKey::from_seeded_parts(
+                    ksk_bodies,
+                    &self.params,
+                    self.params.extracted_lwe_dimension(),
+                    self.params.lwe_dimension,
+                    &mut crs,
+                );
+                ServerKey { params: self.params.clone(), bsk, mbsk, ksk }
+            }
+            SeededKeyPayload::Benchmark => ServerKey::generate_for_benchmark(
+                &self.params,
+                derive_seed(self.crs_seed, CRS_BENCHMARK_STREAM),
+            ),
+        }
+    }
+
+    /// Bytes this key ships over the wire (bodies + the 8-byte seed).
+    ///
+    /// For the benchmark variant this reports the size a *real* payload
+    /// at these parameters would occupy
+    /// ([`TfheParameters::seeded_server_key_bytes`]), so capacity
+    /// benchmarks account transport at production ratios.
+    pub fn transport_bytes(&self) -> usize {
+        match &self.payload {
+            SeededKeyPayload::Real { bsk_bodies, mbsk_bodies, ksk_bodies } => {
+                let poly_bytes = self.params.polynomial_size * 8;
+                let bsk: usize = bsk_bodies.iter().map(|entry| entry.len() * poly_bytes).sum();
+                let mbsk: usize = mbsk_bodies.as_ref().map_or(0, |groups| {
+                    groups
+                        .iter()
+                        .flat_map(|entries| entries.iter().map(|entry| entry.len() * poly_bytes))
+                        .sum()
+                });
+                bsk + mbsk + ksk_bodies.len() * 8 + 8
+            }
+            SeededKeyPayload::Benchmark => self.params.seeded_server_key_bytes(),
+        }
     }
 }
 
@@ -286,6 +485,75 @@ mod tests {
         let booted = server.bootstrap_key().bootstrap(&ct, &lut).unwrap();
         let switched = server.keyswitch_key().keyswitch(&booted).unwrap();
         assert_eq!(switched.dimension(), params.lwe_dimension);
+    }
+
+    #[test]
+    fn seeded_key_expands_to_a_working_server_key() {
+        let params = TfheParameters::testing_fast();
+        let mut client = ClientKey::generate(&params, 21);
+        let seeded = client.seeded_server_key(0xfeed);
+        let server = seeded.expand();
+        let a = client.encrypt_bool(true);
+        let b = client.encrypt_bool(true);
+        let c = server.nand(&a, &b).unwrap();
+        assert!(!client.decrypt_bool(&c));
+        let d = server.xor(&a, &c).unwrap();
+        assert!(client.decrypt_bool(&d));
+    }
+
+    #[test]
+    fn seeded_key_expands_with_multi_bit_kernel() {
+        let params =
+            TfheParameters::testing_fast().with_kernel(PbsKernel::MultiBit { grouping_factor: 2 });
+        let mut client = ClientKey::generate(&params, 22);
+        let server = client.seeded_server_key(0xbeef).expand();
+        let mbsk = server.multi_bit_bootstrap_key().expect("multi-bit kernel carries its key");
+        assert_eq!(mbsk.group_count(), params.multi_bit_group_count(2));
+        let a = client.encrypt_bool(false);
+        let b = client.encrypt_bool(true);
+        let c = server.nand(&a, &b).unwrap();
+        assert!(client.decrypt_bool(&c));
+    }
+
+    #[test]
+    fn seeded_expansion_is_deterministic() {
+        // Expanding twice must yield bit-identical evaluation keys —
+        // the registry relies on eviction + re-expansion being
+        // invisible to results.
+        let params = TfheParameters::testing_fast();
+        let mut client = ClientKey::generate(&params, 23);
+        let seeded = client.seeded_server_key(77);
+        let k1 = seeded.expand();
+        let k2 = seeded.expand();
+        let ct = client.encrypt_torus(crate::torus::encode_fraction(1, 4));
+        let lut = crate::bootstrap::Lut::sign(params.polynomial_size, 1);
+        let o1 = k1.bootstrap_key().bootstrap(&ct, &lut).unwrap();
+        let o2 = k2.bootstrap_key().bootstrap(&ct, &lut).unwrap();
+        assert_eq!(o1, o2);
+        let s1 = k1.keyswitch_key().keyswitch(&o1).unwrap();
+        let s2 = k2.keyswitch_key().keyswitch(&o2).unwrap();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn seeded_transport_bytes_match_estimator_and_ratio() {
+        for params in [
+            TfheParameters::testing_fast(),
+            TfheParameters::testing_fast().with_kernel(PbsKernel::MultiBit { grouping_factor: 2 }),
+            TfheParameters::testing_k2(),
+        ] {
+            let mut client = ClientKey::generate(&params, 24);
+            let seeded = client.seeded_server_key(1);
+            assert_eq!(seeded.transport_bytes(), params.seeded_server_key_bytes());
+            let full = seeded.expand().key_bytes();
+            assert_eq!(full, params.server_key_bytes());
+            let ratio = seeded.transport_bytes() as f64 / full as f64;
+            assert!(ratio <= 0.6, "ratio {ratio} at {params:?}");
+            // The benchmark stand-in accounts the same transport size.
+            let bench = SeededServerKey::for_benchmark(&params, 1);
+            assert_eq!(bench.transport_bytes(), seeded.transport_bytes());
+            assert_eq!(bench.expand().key_bytes(), full);
+        }
     }
 
     #[test]

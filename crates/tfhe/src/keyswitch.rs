@@ -51,6 +51,69 @@ impl KeySwitchKey {
         }
     }
 
+    /// Seeded generation: masks come from the shared CRS stream `crs`,
+    /// so transport only ships one body element per row — an `(n+1)×`
+    /// compression of the keyswitching key.
+    pub fn generate_seeded(
+        from_key: &LweSecretKey,
+        to_key: &LweSecretKey,
+        params: &TfheParameters,
+        noise_rng: &mut NoiseSampler,
+        crs: &mut NoiseSampler,
+    ) -> Self {
+        let decomp = DecompositionParams::new(params.ks_base_log, params.ks_level);
+        let n = to_key.dimension();
+        let mut rows = Vec::with_capacity(from_key.dimension() * decomp.level);
+        for &bit in from_key.bits() {
+            for lvl in 1..=decomp.level {
+                let pt = bit.wrapping_mul(decomp.gadget_scale(lvl));
+                let mut mask = vec![0u64; n];
+                crs.fill_uniform(&mut mask);
+                rows.push(to_key.encrypt_with_mask(mask, pt, params.lwe_noise_std, noise_rng));
+            }
+        }
+        Self {
+            rows,
+            decomp,
+            input_dimension: from_key.dimension(),
+            output_dimension: to_key.dimension(),
+        }
+    }
+
+    /// Expansion half of seeded transport: regenerates the CRS masks in
+    /// the draw order of [`Self::generate_seeded`] and attaches the
+    /// stored body elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the body count is not `input_dimension · l_k`
+    /// (transport payload invariant).
+    pub(crate) fn from_seeded_parts(
+        bodies: &[u64],
+        params: &TfheParameters,
+        input_dimension: usize,
+        output_dimension: usize,
+        crs: &mut NoiseSampler,
+    ) -> Self {
+        let decomp = DecompositionParams::new(params.ks_base_log, params.ks_level);
+        assert_eq!(bodies.len(), input_dimension * decomp.level, "seeded ksk row count");
+        let rows = bodies
+            .iter()
+            .map(|&body| {
+                let mut data = vec![0u64; output_dimension + 1];
+                crs.fill_uniform(&mut data[..output_dimension]);
+                data[output_dimension] = body;
+                LweCiphertext::from_raw(data)
+            })
+            .collect();
+        Self { rows, decomp, input_dimension, output_dimension }
+    }
+
+    /// The transport payload of a seeded key: one body element per row.
+    pub(crate) fn bodies(&self) -> Vec<u64> {
+        self.rows.iter().map(|r| r.body()).collect()
+    }
+
     /// Input dimension (`k·N`).
     #[inline]
     pub fn input_dimension(&self) -> usize {

@@ -66,7 +66,7 @@ pub mod torus;
 pub mod unrolled;
 
 pub use error::TfheError;
-pub use keys::{generate_keys, ClientKey, ServerKey};
+pub use keys::{generate_keys, ClientKey, SeededServerKey, ServerKey};
 pub use params::{ParameterSet, PbsKernel, TfheParameters};
 // Re-exported so downstream crates can force a kernel backend without
 // depending on `strix-fft` directly.
@@ -75,7 +75,7 @@ pub use strix_fft::StrixFftBackend;
 /// Commonly used items, for glob import.
 pub mod prelude {
     pub use crate::boolean::BoolCiphertext;
-    pub use crate::keys::{generate_keys, ClientKey, ServerKey};
+    pub use crate::keys::{generate_keys, ClientKey, SeededServerKey, ServerKey};
     pub use crate::lwe::LweCiphertext;
     pub use crate::params::{ParameterSet, PbsKernel, TfheParameters};
     pub use crate::shortint::ShortintCiphertext;

@@ -60,6 +60,33 @@ impl LweSecretKey {
         LweCiphertext { data }
     }
 
+    /// Encrypts a plaintext under a caller-supplied mask (seeded key
+    /// transport: the mask comes from a shared CRS stream, so only the
+    /// body element has to ship). Noise still comes from the private
+    /// `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask length differs from the key dimension
+    /// (internal key-generation invariant, not a runtime path).
+    pub(crate) fn encrypt_with_mask(
+        &self,
+        mask: Vec<u64>,
+        plaintext: u64,
+        noise_std: f64,
+        rng: &mut NoiseSampler,
+    ) -> LweCiphertext {
+        let n = self.dimension();
+        assert_eq!(mask.len(), n, "mask length mismatch");
+        let mut body = plaintext.wrapping_add(rng.gaussian_torus(noise_std));
+        for (a, s) in mask.iter().zip(&self.bits) {
+            body = body.wrapping_add(a.wrapping_mul(*s));
+        }
+        let mut data = mask;
+        data.push(body);
+        LweCiphertext { data }
+    }
+
     /// Computes the phase `b − Σ a_i s_i = m + e`.
     ///
     /// # Errors

@@ -463,6 +463,58 @@ impl TfheParameters {
         entries * self.fourier_ggsw_bytes()
     }
 
+    /// Transport size in bytes of the *seeded* bootstrapping key: one
+    /// body polynomial per GGSW row instead of `k+1` polynomials —
+    /// masks regenerate from the CRS seed, so the ratio to
+    /// [`Self::bootstrap_key_bytes`] is exactly `1/(k+1)`.
+    #[inline]
+    pub fn seeded_bootstrap_key_bytes(&self) -> usize {
+        self.lwe_dimension * self.ggsw_row_count() * self.polynomial_size * 8
+    }
+
+    /// Transport size in bytes of the seeded multi-bit bootstrapping
+    /// key at grouping factor `g` (same `1/(k+1)` ratio as
+    /// [`Self::seeded_bootstrap_key_bytes`], applied per pattern
+    /// entry).
+    pub fn seeded_multi_bit_bootstrap_key_bytes(&self, grouping_factor: usize) -> usize {
+        let full_groups = self.lwe_dimension / grouping_factor;
+        let remainder = self.lwe_dimension % grouping_factor;
+        let mut entries = full_groups * (1usize << grouping_factor);
+        if remainder > 0 {
+            entries += 1usize << remainder;
+        }
+        entries * self.ggsw_row_count() * self.polynomial_size * 8
+    }
+
+    /// Transport size in bytes of the seeded keyswitching key: one body
+    /// element per row instead of an `(n+1)`-element ciphertext.
+    #[inline]
+    pub fn seeded_keyswitch_key_bytes(&self) -> usize {
+        self.extracted_lwe_dimension() * self.ks_level * 8
+    }
+
+    /// Total seeded-transport footprint of a server key at this
+    /// parameter set: seeded bsk (+ seeded mbsk under a multi-bit
+    /// kernel) + seeded ksk + the 8-byte CRS seed.
+    pub fn seeded_server_key_bytes(&self) -> usize {
+        let mbsk = self
+            .pbs_kernel
+            .grouping_factor()
+            .map_or(0, |g| self.seeded_multi_bit_bootstrap_key_bytes(g));
+        self.seeded_bootstrap_key_bytes() + mbsk + self.seeded_keyswitch_key_bytes() + 8
+    }
+
+    /// Total full-form (expanded, Fourier-resident) footprint of a
+    /// server key at this parameter set: bsk (+ mbsk under a multi-bit
+    /// kernel) + ksk — the denominator of the seeded-transport
+    /// compression ratio and the unit of the key registry's residency
+    /// accounting.
+    pub fn server_key_bytes(&self) -> usize {
+        let mbsk =
+            self.pbs_kernel.grouping_factor().map_or(0, |g| self.multi_bit_bootstrap_key_bytes(g));
+        self.bootstrap_key_bytes() + mbsk + self.keyswitch_key_bytes()
+    }
+
     /// Size in bytes of one LWE ciphertext (`n + 1` torus elements).
     #[inline]
     pub fn lwe_bytes(&self) -> usize {
@@ -537,6 +589,38 @@ mod tests {
         assert_eq!(p.bootstrap_key_bytes(), 500 * 64 * 1024);
         assert_eq!(p.lwe_bytes(), 501 * 8);
         assert_eq!(p.glwe_bytes(), 2 * 1024 * 8);
+    }
+
+    #[test]
+    fn seeded_transport_compresses_every_parameter_set() {
+        // Seeded GGSW bodies ship 1/(k+1) of the full key; the ksk
+        // compresses far harder. The issue's acceptance bar is ≤ 0.6×.
+        for set in ParameterSet::ALL {
+            let p = set.parameters();
+            assert_eq!(
+                p.seeded_bootstrap_key_bytes() * (p.glwe_dimension + 1),
+                p.bootstrap_key_bytes()
+            );
+            let ratio = p.seeded_server_key_bytes() as f64 / p.server_key_bytes() as f64;
+            assert!(ratio <= 0.6, "set {set}: ratio {ratio}");
+        }
+        // Multi-bit kernels keep the same per-entry ratio.
+        let p =
+            TfheParameters::testing_fast().with_kernel(PbsKernel::MultiBit { grouping_factor: 3 });
+        assert_eq!(
+            p.seeded_multi_bit_bootstrap_key_bytes(3) * (p.glwe_dimension + 1),
+            p.multi_bit_bootstrap_key_bytes(3)
+        );
+        assert_eq!(
+            p.server_key_bytes(),
+            p.bootstrap_key_bytes() + p.multi_bit_bootstrap_key_bytes(3) + p.keyswitch_key_bytes()
+        );
+        let ratio = p.seeded_server_key_bytes() as f64 / p.server_key_bytes() as f64;
+        assert!(ratio <= 0.6, "multi-bit ratio {ratio}");
+        // k = 2: ratio tightens to ~1/3.
+        let p = TfheParameters::testing_k2();
+        let ratio = p.seeded_server_key_bytes() as f64 / p.server_key_bytes() as f64;
+        assert!(ratio <= 0.4, "k=2 ratio {ratio}");
     }
 
     #[test]

@@ -154,6 +154,24 @@ fn grouped_batch_matches_grouped_singles() {
 }
 
 #[test]
+fn all_zero_blocks_take_the_early_return_bit_exactly() {
+    // Five zero-rotation jobs straddle the CMUX job block of 4, so the
+    // grouped kernel's whole-block early return fires (no job in the
+    // block is active) as well as the partial-block path. Both must be
+    // bit-exact passthroughs, matching the classical oracle's skip.
+    for fx in fixtures() {
+        let cts: Vec<LweCiphertext> = (0..5).map(|m| fx.trivial(m % 4)).collect();
+        let jobs: Vec<PbsJob<'_>> = cts.iter().map(|ct| PbsJob { ct, lut: &fx.lut }).collect();
+        let classical = fx.server.bootstrap_key().bootstrap_batch(&jobs).unwrap();
+        let grouped = fx.server.multi_bit_bootstrap_key().unwrap().bootstrap_batch(&jobs).unwrap();
+        assert_eq!(grouped, classical, "{}", fx.params.name);
+        for (i, (out, &m)) in grouped.iter().zip([0u64, 1, 2, 3, 0].iter()).enumerate() {
+            assert_eq!(fx.decode(out), lut_fn(m), "job {i} ({})", fx.params.name);
+        }
+    }
+}
+
+#[test]
 fn forced_portable_backend_matches_the_detected_backend_on_grouped_pbs() {
     // Same contract as the classical-kernel test in `soa_cmux.rs`, for
     // the grouped path: the monomial-MAC combined-GGSW assembly now

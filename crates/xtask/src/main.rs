@@ -987,6 +987,53 @@ mod tests {
     }
 
     #[test]
+    fn tenant_key_cache_fields_are_post_baseline_and_need_default() {
+        // The multi-tenant key fabric appended six key-cache fields to
+        // `RuntimeReport`. They are deliberately *not* in the v1
+        // baseline, so the lint holds them to the `#[serde(default)]`
+        // rule that keeps pre-fabric reports deserialising.
+        let fields = [
+            "tenants_registered",
+            "key_cache_hits",
+            "key_cache_misses",
+            "key_cache_evictions",
+            "key_cache_resident_bytes",
+            "key_cache_budget_bytes",
+        ];
+        for (_, name, baseline) in SERDE_BASELINE {
+            if *name == "RuntimeReport" {
+                for f in fields {
+                    assert!(!baseline.contains(&f), "{f} must stay out of the v1 baseline");
+                }
+            }
+        }
+
+        let bare: Vec<String> = fields.iter().map(|f| format!("    pub {f}: u64,")).collect();
+        let bare_refs: Vec<&str> = bare.iter().map(String::as_str).collect();
+        let fix = Fixture::new("serde-tenant-bare");
+        fix.write_clean_tree();
+        fix.write(
+            "crates/runtime/src/metrics.rs",
+            metrics_fixture(&[], &[], &[], &bare_refs).as_str(),
+        );
+        let findings = findings_for(&fix, "serde-default");
+        assert_eq!(findings.len(), fields.len(), "{findings:?}");
+
+        let guarded: Vec<String> = fields
+            .iter()
+            .flat_map(|f| ["    #[serde(default)]".to_string(), format!("    pub {f}: u64,")])
+            .collect();
+        let guarded_refs: Vec<&str> = guarded.iter().map(String::as_str).collect();
+        let fix = Fixture::new("serde-tenant-guarded");
+        fix.write_clean_tree();
+        fix.write(
+            "crates/runtime/src/metrics.rs",
+            metrics_fixture(&[], &[], &[], &guarded_refs).as_str(),
+        );
+        assert!(findings_for(&fix, "serde-default").is_empty());
+    }
+
+    #[test]
     fn missing_workspace_lints_table_is_flagged() {
         let fix = Fixture::new("header-root");
         fix.write_clean_tree();
